@@ -1,0 +1,34 @@
+//! # baselines — the comparison methods of Table III
+//!
+//! From-scratch reimplementations of every baseline the paper compares
+//! against, at reduced scale but with the original architectural shape:
+//!
+//! * graph embeddings: DeepWalk, Node2Vec, Trans2Vec (`embed` crate walks +
+//!   skip-gram, logistic-regression readout),
+//! * GNNs: GCN, GAT, GIN, GraphSAGE, APPNP, I²BGNN — each with and without
+//!   the 15-dim node features where the paper reports both,
+//! * transformers: GRIT-lite (attention with a structural bias, no message
+//!   passing), BERT4ETH-lite (sequence encoder over centre transactions),
+//! * Ethereum-specific: TSGN (line-graph GCN), Ethident (hierarchical
+//!   attention), TEGDetector (time-slice GCN + GRU).
+//!
+//! Entry point: [`run_baseline`] / [`Baseline::ALL`].
+
+mod embedbl;
+mod gnnmodels;
+mod harness;
+mod runner;
+mod special;
+mod transformer;
+
+pub use embedbl::{embed_graph, run_embedding_baseline, EmbedConfig, EmbedKind};
+pub use gnnmodels::{
+    AppnpBaseline, GatBaseline, GcnBaseline, GinBaseline, I2BgnnBaseline, SageBaseline,
+};
+pub use harness::{
+    predict_model, score_metrics, train_model, GraphModel, LogisticRegression, LoweredDataset,
+    TrainConfig,
+};
+pub use runner::{baseline_scores, run_baseline, Baseline, BaselineConfig};
+pub use special::{EthidentBaseline, TegDetectorBaseline, TsgnBaseline};
+pub use transformer::{AttentionBlock, Bert4EthBaseline, GritBaseline};

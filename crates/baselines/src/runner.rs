@@ -1,0 +1,252 @@
+//! One entry point that runs any Table III baseline on a dataset.
+
+use crate::embedbl::{run_embedding_baseline, EmbedConfig, EmbedKind};
+use crate::gnnmodels::{
+    AppnpBaseline, GatBaseline, GcnBaseline, GinBaseline, I2BgnnBaseline, SageBaseline,
+};
+use crate::harness::{predict_model, score_metrics, train_model, GraphModel, LoweredDataset, TrainConfig};
+use crate::special::{EthidentBaseline, TegDetectorBaseline, TsgnBaseline};
+use crate::transformer::{Bert4EthBaseline, GritBaseline};
+use eth_sim::GraphDataset;
+use nn::metrics::Metrics;
+use nn::ParamStore;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Every baseline of Table III (`features: false` variants are the
+/// "w/o node feature" rows).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Baseline {
+    DeepWalk,
+    Node2Vec,
+    GcnNoFeatures,
+    Gcn,
+    GatNoFeatures,
+    Gat,
+    GinNoFeatures,
+    Gin,
+    GraphSage,
+    Appnp,
+    Grit,
+    Trans2Vec,
+    I2BgnnNoFeatures,
+    I2Bgnn,
+    Tsgn,
+    Ethident,
+    TegDetector,
+    Bert4Eth,
+}
+
+impl Baseline {
+    /// All baselines in Table III's row order.
+    pub const ALL: [Baseline; 18] = [
+        Baseline::DeepWalk,
+        Baseline::Node2Vec,
+        Baseline::GcnNoFeatures,
+        Baseline::Gcn,
+        Baseline::GatNoFeatures,
+        Baseline::Gat,
+        Baseline::GinNoFeatures,
+        Baseline::Gin,
+        Baseline::GraphSage,
+        Baseline::Appnp,
+        Baseline::Grit,
+        Baseline::Trans2Vec,
+        Baseline::I2BgnnNoFeatures,
+        Baseline::I2Bgnn,
+        Baseline::Tsgn,
+        Baseline::Ethident,
+        Baseline::TegDetector,
+        Baseline::Bert4Eth,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Baseline::DeepWalk => "DeepWalk",
+            Baseline::Node2Vec => "Node2Vec",
+            Baseline::GcnNoFeatures => "GCN(w/o node feature)",
+            Baseline::Gcn => "GCN",
+            Baseline::GatNoFeatures => "GAT(w/o node feature)",
+            Baseline::Gat => "GAT",
+            Baseline::GinNoFeatures => "GIN(w/o node feature)",
+            Baseline::Gin => "GIN",
+            Baseline::GraphSage => "GraphSAGE",
+            Baseline::Appnp => "APPNP",
+            Baseline::Grit => "GRIT",
+            Baseline::Trans2Vec => "Trans2Vec",
+            Baseline::I2BgnnNoFeatures => "I2BGNN(w/o node feature)",
+            Baseline::I2Bgnn => "I2BGNN",
+            Baseline::Tsgn => "TSGN",
+            Baseline::Ethident => "Ethident",
+            Baseline::TegDetector => "TEGDetector",
+            Baseline::Bert4Eth => "BERT4ETH",
+        }
+    }
+
+    fn uses_node_features(self) -> bool {
+        !matches!(
+            self,
+            Baseline::GcnNoFeatures | Baseline::GatNoFeatures | Baseline::GinNoFeatures
+                | Baseline::I2BgnnNoFeatures
+        )
+    }
+}
+
+/// Baseline-runner options.
+#[derive(Clone, Copy, Debug)]
+pub struct BaselineConfig {
+    pub train: TrainConfig,
+    pub hidden: usize,
+    pub t_slices: usize,
+    pub embed: EmbedConfig,
+}
+
+impl Default for BaselineConfig {
+    fn default() -> Self {
+        Self {
+            train: TrainConfig::default(),
+            hidden: 32,
+            t_slices: 10,
+            embed: EmbedConfig::default(),
+        }
+    }
+}
+
+fn run_gnn_baseline<M: GraphModel>(
+    model: M,
+    mut store: ParamStore,
+    lowered: &LoweredDataset,
+    train: TrainConfig,
+) -> (Vec<f64>, Vec<bool>) {
+    let train_graphs = lowered.train_graphs();
+    train_model(&model, &mut store, &train_graphs, train);
+    let scores = predict_model(&model, &store, &lowered.test_graphs());
+    (scores, lowered.test_labels())
+}
+
+/// Run one baseline; returns Table III-style percentage metrics.
+pub fn run_baseline(
+    baseline: Baseline,
+    dataset: &GraphDataset,
+    train_frac: f64,
+    config: &BaselineConfig,
+) -> Metrics {
+    let (scores, labels) = baseline_scores(baseline, dataset, train_frac, config);
+    score_metrics(&scores, &labels)
+}
+
+/// Run one baseline; returns `(test_scores, test_labels)`.
+pub fn baseline_scores(
+    baseline: Baseline,
+    dataset: &GraphDataset,
+    train_frac: f64,
+    config: &BaselineConfig,
+) -> (Vec<f64>, Vec<bool>) {
+    match baseline {
+        Baseline::DeepWalk => {
+            run_embedding_baseline(EmbedKind::DeepWalk, dataset, train_frac, &config.embed)
+        }
+        Baseline::Node2Vec => {
+            run_embedding_baseline(EmbedKind::Node2Vec, dataset, train_frac, &config.embed)
+        }
+        Baseline::Trans2Vec => {
+            run_embedding_baseline(EmbedKind::Trans2Vec, dataset, train_frac, &config.embed)
+        }
+        _ => {
+            let lowered = LoweredDataset::new(
+                dataset,
+                config.t_slices,
+                baseline.uses_node_features(),
+                train_frac,
+                config.train.seed,
+            );
+            let d_in = lowered.tensors[0].x.cols();
+            let h = config.hidden;
+            let mut store = ParamStore::new();
+            let mut rng = StdRng::seed_from_u64(config.train.seed ^ 0xBA5E11);
+            match baseline {
+                Baseline::Gcn | Baseline::GcnNoFeatures => {
+                    let m = GcnBaseline::new(&mut store, &mut rng, d_in, h);
+                    run_gnn_baseline(m, store, &lowered, config.train)
+                }
+                Baseline::Gat | Baseline::GatNoFeatures => {
+                    let m = GatBaseline::new(&mut store, &mut rng, d_in, h, 2);
+                    run_gnn_baseline(m, store, &lowered, config.train)
+                }
+                Baseline::Gin | Baseline::GinNoFeatures => {
+                    let m = GinBaseline::new(&mut store, &mut rng, d_in, h);
+                    run_gnn_baseline(m, store, &lowered, config.train)
+                }
+                Baseline::GraphSage => {
+                    let m = SageBaseline::new(&mut store, &mut rng, d_in, h);
+                    run_gnn_baseline(m, store, &lowered, config.train)
+                }
+                Baseline::Appnp => {
+                    let m = AppnpBaseline::new(&mut store, &mut rng, d_in, h);
+                    run_gnn_baseline(m, store, &lowered, config.train)
+                }
+                Baseline::Grit => {
+                    let m = GritBaseline::new(&mut store, &mut rng, d_in, h);
+                    run_gnn_baseline(m, store, &lowered, config.train)
+                }
+                Baseline::I2Bgnn | Baseline::I2BgnnNoFeatures => {
+                    let m = I2BgnnBaseline::new(&mut store, &mut rng, d_in, h);
+                    run_gnn_baseline(m, store, &lowered, config.train)
+                }
+                Baseline::Tsgn => {
+                    let m = TsgnBaseline::new(&mut store, &mut rng, h);
+                    run_gnn_baseline(m, store, &lowered, config.train)
+                }
+                Baseline::Ethident => {
+                    let m = EthidentBaseline::new(&mut store, &mut rng, d_in, h);
+                    run_gnn_baseline(m, store, &lowered, config.train)
+                }
+                Baseline::TegDetector => {
+                    let m = TegDetectorBaseline::new(&mut store, &mut rng, d_in, h, config.t_slices);
+                    run_gnn_baseline(m, store, &lowered, config.train)
+                }
+                Baseline::Bert4Eth => {
+                    let m = Bert4EthBaseline::new(&mut store, &mut rng, h);
+                    run_gnn_baseline(m, store, &lowered, config.train)
+                }
+                Baseline::DeepWalk | Baseline::Node2Vec | Baseline::Trans2Vec => unreachable!(),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eth_graph::SamplerConfig;
+    use eth_sim::{AccountClass, Benchmark, DatasetScale};
+
+    #[test]
+    fn every_baseline_runs_on_a_tiny_dataset() {
+        let scale = DatasetScale {
+            exchange: 8,
+            ico_wallet: 0,
+            mining: 0,
+            phish_hack: 0,
+            bridge: 0,
+            defi: 0,
+        };
+        let bench = Benchmark::generate(scale, SamplerConfig { top_k: 8, hops: 1 }, 2);
+        let d = bench.dataset(AccountClass::Exchange);
+        let mut config = BaselineConfig::default();
+        config.train.epochs = 2;
+        config.hidden = 8;
+        config.t_slices = 3;
+        config.embed.walks.walks_per_node = 2;
+        config.embed.skipgram.dim = 8;
+        for b in Baseline::ALL {
+            let m = run_baseline(b, d, 0.75, &config);
+            assert!(
+                (0.0..=100.0).contains(&m.f1),
+                "{}: f1 out of range: {:?}",
+                b.name(),
+                m
+            );
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! Criterion micro-benchmarks of the computational kernels behind every
+//! table and figure: sampling (Table II), feature extraction (Table I,
+//! Figs. 4-5), GSG / LDG training steps (Tables III-VI, Figs. 8-9),
+//! augmentation (Fig. 9a), calibration (Fig. 6), classifiers (Fig. 7) and
+//! walk embeddings (Table III rows 1-2, 12).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use baselines::{EmbedConfig, EmbedKind};
+use calib::{AdaptiveCalibrator, MethodSubset};
+use dbg4eth::Dbg4EthConfig;
+use eth_graph::{sample_subgraph, SamplerConfig, Subgraph, TxGraph};
+use eth_sim::{AccountClass, Benchmark, DatasetScale, World, WorldConfig};
+use gnn::{augment, AugmentConfig, GraphTensors, GsgEncoder, LdgEncoder};
+use nn::{Ctx, ParamStore};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::rc::Rc;
+use tensor::Tape;
+
+fn small_world() -> (World, TxGraph) {
+    let world = World::generate(
+        WorldConfig { n_background: 800, seed: 3, ..Default::default() },
+        &[(AccountClass::Exchange, 6), (AccountClass::Normal, 6)],
+    );
+    let graph = TxGraph::build(world.kinds.clone(), world.txs.clone());
+    (world, graph)
+}
+
+fn one_subgraph() -> Subgraph {
+    let (world, graph) = small_world();
+    let center = world.centers_of(AccountClass::Exchange)[0];
+    sample_subgraph(&graph, center, SamplerConfig { top_k: 2000, hops: 2 }, Some(1))
+}
+
+/// Table II kernel: top-K neighbour sampling.
+fn bench_sampling(c: &mut Criterion) {
+    let (world, graph) = small_world();
+    let center = world.centers_of(AccountClass::Exchange)[0];
+    c.bench_function("table2/sample_subgraph_2hop", |b| {
+        b.iter(|| {
+            black_box(sample_subgraph(
+                &graph,
+                black_box(center),
+                SamplerConfig { top_k: 2000, hops: 2 },
+                Some(1),
+            ))
+        })
+    });
+}
+
+/// Table I / Figs. 4-5 kernels: deep features and their correlation matrix.
+fn bench_features(c: &mut Criterion) {
+    let sg = one_subgraph();
+    c.bench_function("table1/deep_features", |b| {
+        b.iter(|| black_box(features::node_features(black_box(&sg))))
+    });
+    let f = features::node_features(&sg);
+    c.bench_function("fig4/correlation_matrix", |b| {
+        b.iter(|| black_box(features::stats::correlation_matrix(black_box(&f))))
+    });
+}
+
+/// Tables III-VI kernel: one GSG forward+backward pass.
+fn bench_gsg_step(c: &mut Criterion) {
+    let sg = one_subgraph();
+    let g = GraphTensors::from_subgraph(&sg, 10);
+    let cfg = Dbg4EthConfig::fast();
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut store = ParamStore::new();
+    let enc = GsgEncoder::new(&mut store, &mut rng, cfg.gsg);
+    c.bench_function("table3/gsg_forward_backward", |b| {
+        b.iter(|| {
+            store.zero_grad();
+            let mut tape = Tape::new();
+            let mut ctx = Ctx::new(&store);
+            let out = enc.forward(&mut tape, &mut ctx, &store, &g);
+            let loss = tape.cross_entropy(out.logits, Rc::new(vec![1]));
+            tape.backward(loss);
+            ctx.accumulate_grads(&tape, &mut store);
+            black_box(tape.value(loss).item())
+        })
+    });
+}
+
+/// Tables III-VI / Fig. 9b kernel: one LDG forward+backward pass.
+fn bench_ldg_step(c: &mut Criterion) {
+    let sg = one_subgraph();
+    let cfg = Dbg4EthConfig::fast();
+    let g = GraphTensors::from_subgraph(&sg, cfg.t_slices);
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut store = ParamStore::new();
+    let mut ldg_cfg = cfg.ldg;
+    ldg_cfg.t_slices = cfg.t_slices;
+    let enc = LdgEncoder::new(&mut store, &mut rng, ldg_cfg);
+    c.bench_function("table4/ldg_forward_backward", |b| {
+        b.iter(|| {
+            store.zero_grad();
+            let mut tape = Tape::new();
+            let mut ctx = Ctx::new(&store);
+            let out = enc.forward(&mut tape, &mut ctx, &store, &g);
+            let loss = tape.cross_entropy(out.logits, Rc::new(vec![1]));
+            tape.backward(loss);
+            ctx.accumulate_grads(&tape, &mut store);
+            black_box(tape.value(loss).item())
+        })
+    });
+}
+
+/// Fig. 9a kernel: one adaptive augmentation.
+fn bench_augment(c: &mut Criterion) {
+    let sg = one_subgraph();
+    let g = GraphTensors::from_subgraph(&sg, 4);
+    c.bench_function("fig9a/adaptive_augmentation", |b| {
+        let mut rng = StdRng::seed_from_u64(4);
+        b.iter(|| black_box(augment(&g, AugmentConfig::view1(), &mut rng)))
+    });
+}
+
+/// Fig. 6 kernel: fitting all six calibrators plus adaptive weights.
+fn bench_calibration(c: &mut Criterion) {
+    let mut scores = Vec::new();
+    let mut labels = Vec::new();
+    for i in 0..400 {
+        scores.push(if i % 2 == 0 { 0.9 } else { 0.15 });
+        labels.push(i % 10 < 6);
+    }
+    c.bench_function("fig6/adaptive_calibrator_fit", |b| {
+        b.iter(|| {
+            black_box(AdaptiveCalibrator::fit(
+                black_box(&scores),
+                black_box(&labels),
+                MethodSubset::All,
+                true,
+            ))
+        })
+    });
+}
+
+/// Fig. 7 kernel: LightGBM-style GBDT fit on calibrated pairs.
+fn bench_gbdt(c: &mut Criterion) {
+    let x: Vec<Vec<f64>> = (0..200)
+        .map(|i| vec![(i % 17) as f64 / 17.0, (i % 23) as f64 / 23.0])
+        .collect();
+    let y: Vec<bool> = (0..200).map(|i| (i % 17) > 8).collect();
+    c.bench_function("fig7/lightgbm_fit", |b| {
+        b.iter(|| black_box(boost::Gbdt::fit(&x, &y, boost::GbdtConfig::lightgbm())))
+    });
+}
+
+/// Table III rows 1-2, 12 kernel: walk-based graph embedding.
+fn bench_embedding(c: &mut Criterion) {
+    let sg = one_subgraph();
+    let cfg = EmbedConfig::default();
+    c.bench_function("table3/deepwalk_graph_embedding", |b| {
+        b.iter(|| black_box(baselines::embed_graph(EmbedKind::DeepWalk, &sg, &cfg)))
+    });
+}
+
+/// Table II end-to-end kernel: full benchmark generation at tiny scale.
+fn bench_generation(c: &mut Criterion) {
+    c.bench_function("table2/benchmark_generation_tiny", |b| {
+        b.iter(|| {
+            let scale = DatasetScale {
+                exchange: 4,
+                ico_wallet: 0,
+                mining: 0,
+                phish_hack: 0,
+                bridge: 0,
+                defi: 0,
+            };
+            black_box(Benchmark::generate(
+                scale,
+                SamplerConfig { top_k: 50, hops: 2 },
+                9,
+            ))
+        })
+    });
+}
+
+criterion_group! {
+    name = kernels;
+    config = Criterion::default().sample_size(10);
+    targets = bench_sampling, bench_features, bench_gsg_step, bench_ldg_step,
+        bench_augment, bench_calibration, bench_gbdt, bench_embedding,
+        bench_generation
+}
+criterion_main!(kernels);

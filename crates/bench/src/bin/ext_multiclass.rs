@@ -1,0 +1,37 @@
+//! Extension: direct 7-way multiclass account identification with a single
+//! DBG4ETH encoder pair (the paper evaluates per-category binary tasks; a
+//! regulator wants one model that names the category).
+
+use dbg4eth::run_multiclass;
+use eth_sim::{multiclass_graphs, multiclass_names};
+
+fn main() {
+    println!("== Extension: multiclass account identification ==");
+    let bench = bench::benchmark();
+    let graphs = multiclass_graphs(&bench.world, bench::sampler());
+    println!("{} centre subgraphs over 7 classes", graphs.len());
+    let mut cfg = bench::dbg4eth_config();
+    cfg.epochs = 20;
+    cfg.lr = 0.01;
+    let result = run_multiclass(&graphs, 7, 0.8, &cfg);
+
+    let names = multiclass_names();
+    print!("{:>12}", "act\\pred");
+    for n in &names {
+        print!("{n:>12}");
+    }
+    println!("{:>8}", "F1");
+    for (c, row) in result.confusion.iter().enumerate() {
+        print!("{:>12}", names[c]);
+        for v in row {
+            print!("{v:>12}");
+        }
+        if result.per_class_f1[c].is_nan() {
+            println!("{:>8}", "-");
+        } else {
+            println!("{:>8.1}", result.per_class_f1[c]);
+        }
+    }
+    println!("\nmacro-F1 {:.2}%  accuracy {:.2}%  (7-way chance ≈ {:.1}%)",
+        result.macro_f1, result.accuracy, 100.0 / 7.0);
+}

@@ -1,0 +1,46 @@
+//! Internal hyper-parameter sweep used to pick the default DBG4ETH
+//! configuration (not a paper experiment). Prints F1 per dataset per
+//! configuration.
+
+use dbg4eth::run;
+
+fn main() {
+    let bench = bench::benchmark();
+    let base = bench::dbg4eth_config();
+    let variants: Vec<(&str, Box<dyn Fn() -> dbg4eth::Dbg4EthConfig>)> = vec![
+        ("default(e12,cw.2)", Box::new(move || base)),
+        ("e20", Box::new(move || {
+            let mut c = base;
+            c.epochs = 20;
+            c
+        })),
+        ("e20,cw0", Box::new(move || {
+            let mut c = base;
+            c.epochs = 20;
+            c.contrastive_weight = 0.0;
+            c
+        })),
+        ("e20,cw.1,lr.01", Box::new(move || {
+            let mut c = base;
+            c.epochs = 20;
+            c.contrastive_weight = 0.1;
+            c.lr = 0.01;
+            c
+        })),
+    ];
+    print!("{:<20}", "config");
+    for class in bench::MAIN_CLASSES {
+        print!("{:>12}", class.name());
+    }
+    println!("{:>8}", "mean");
+    for (name, make) in &variants {
+        print!("{name:<20}");
+        let mut sum = 0.0;
+        for class in bench::MAIN_CLASSES {
+            let out = run(bench.dataset(class), 0.8, &make());
+            print!("{:>12.2}", out.metrics.f1);
+            sum += out.metrics.f1;
+        }
+        println!("{:>8.2}", sum / 4.0);
+    }
+}

@@ -1,0 +1,148 @@
+//! Table IV — ablation study: single branches, calibration variants and the
+//! classifier (F1 per account type).
+//!
+//! The expensive encoder stage is run once per dataset (`dbg4eth::encode`);
+//! every calibration/classifier ablation reuses it via `dbg4eth::finish`.
+//! Only the two single-branch rows affect the encoders, and those reuse the
+//! same training too (each branch trains independently).
+
+use calib::MethodSubset;
+use dbg4eth::{encode, finish, ClassifierKind, Dbg4EthConfig};
+
+struct Ablation {
+    name: &'static str,
+    paper: [f64; 4],
+    make: fn(Dbg4EthConfig) -> Dbg4EthConfig,
+}
+
+const ABLATIONS: [Ablation; 10] = [
+    Ablation {
+        name: "w/o GSG",
+        paper: [87.50, 56.67, 80.00, 90.83],
+        make: |mut c| {
+            c.use_gsg = false;
+            c
+        },
+    },
+    Ablation {
+        name: "w/o LDG",
+        paper: [78.72, 64.52, 75.00, 93.44],
+        make: |mut c| {
+            c.use_ldg = false;
+            c
+        },
+    },
+    Ablation {
+        name: "w/o calibration",
+        paper: [94.23, 83.05, 78.05, 97.11],
+        make: |mut c| {
+            c.calibration.enabled = false;
+            c
+        },
+    },
+    Ablation {
+        name: "w/o Param. calibration",
+        paper: [99.03, 89.76, 68.00, 98.31],
+        make: |mut c| {
+            c.calibration.subset = MethodSubset::NonParametricOnly;
+            c
+        },
+    },
+    Ablation {
+        name: "w/o Non-param. calibration",
+        paper: [97.58, 98.21, 93.02, 98.24],
+        make: |mut c| {
+            c.calibration.subset = MethodSubset::ParametricOnly;
+            c
+        },
+    },
+    Ablation {
+        name: "w/o Ada. Param. calibration",
+        paper: [99.50, 88.89, 97.56, 98.30],
+        make: |mut c| {
+            c.calibration.subset = MethodSubset::NonParametricOnly;
+            c.calibration.adaptive = false;
+            c
+        },
+    },
+    Ablation {
+        name: "w/o Ada. Non-param. calibration",
+        paper: [97.08, 98.28, 75.00, 98.41],
+        make: |mut c| {
+            c.calibration.subset = MethodSubset::ParametricOnly;
+            c.calibration.adaptive = false;
+            c
+        },
+    },
+    Ablation {
+        name: "w/o Ada. calibration",
+        paper: [98.49, 98.26, 97.54, 98.23],
+        make: |mut c| {
+            c.calibration.adaptive = false;
+            c
+        },
+    },
+    Ablation {
+        name: "w/o LightGBM",
+        paper: [96.13, 91.80, 81.63, 98.29],
+        make: |mut c| {
+            c.classifier = ClassifierKind::Mlp;
+            c
+        },
+    },
+    Ablation {
+        name: "DBG4ETH",
+        paper: [99.51, 97.19, 97.56, 98.42],
+        make: |c| c,
+    },
+];
+
+fn main() {
+    println!("== Table IV: ablation study (F1 per account type) ==");
+    let bench = bench::benchmark();
+    let base = bench::dbg4eth_config();
+
+    // Encode each dataset once.
+    let encoded: Vec<_> = bench::MAIN_CLASSES
+        .iter()
+        .map(|&class| {
+            eprintln!("encoding {} ...", class.name());
+            encode(bench.dataset(class), 0.8, &base)
+        })
+        .collect();
+
+    print!("{:<32}", "model");
+    for class in bench::MAIN_CLASSES {
+        print!("{:>12}", class.name());
+    }
+    println!("   (each cell: ours / paper)");
+
+    let mut full_f1 = [0.0f64; 4];
+    let mut single_branch_max = [0.0f64; 4];
+    for ab in &ABLATIONS {
+        print!("{:<32}", ab.name);
+        for (k, enc) in encoded.iter().enumerate() {
+            let cfg = (ab.make)(base);
+            let out = finish(enc, &cfg);
+            print!("  {:5.1}/{:4.1}", out.metrics.f1, ab.paper[k]);
+            if ab.name == "DBG4ETH" {
+                full_f1[k] = out.metrics.f1;
+            }
+            if ab.name == "w/o GSG" || ab.name == "w/o LDG" {
+                single_branch_max[k] = single_branch_max[k].max(out.metrics.f1);
+            }
+        }
+        println!();
+    }
+
+    println!("\n== shape checks ==");
+    for (k, class) in bench::MAIN_CLASSES.into_iter().enumerate() {
+        println!(
+            "{:<12} full {:6.2} vs best single branch {:6.2} (margin {:+.2}; paper: combining wins)",
+            class.name(),
+            full_f1[k],
+            single_branch_max[k],
+            full_f1[k] - single_branch_max[k]
+        );
+    }
+}

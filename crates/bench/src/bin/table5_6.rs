@@ -1,0 +1,48 @@
+//! Tables V & VI — account classification on the novel types bridge and
+//! defi (RQ4: robustness to new account types in a dynamic market).
+
+use baselines::{run_baseline, Baseline};
+use dbg4eth::run;
+use eth_sim::AccountClass;
+
+/// The baseline subset the paper reports for the novel types, with paper F1
+/// on (bridge, defi).
+const ROWS: [(Baseline, f64, f64); 8] = [
+    (Baseline::DeepWalk, 64.62, 61.29),
+    (Baseline::Gcn, 93.30, 93.30),
+    (Baseline::Gin, 90.83, 95.88),
+    (Baseline::GraphSage, 95.88, 95.88),
+    (Baseline::I2Bgnn, 97.14, 97.14),
+    (Baseline::Ethident, 97.22, 97.22),
+    (Baseline::TegDetector, 76.67, 63.33),
+    (Baseline::Bert4Eth, 97.27, 96.57),
+];
+
+const PAPER_DBG4ETH: [(AccountClass, f64); 2] =
+    [(AccountClass::Bridge, 99.32), (AccountClass::Defi, 99.31)];
+
+fn main() {
+    println!("== Tables V & VI: novel account types (bridge, defi) ==");
+    let bench = bench::benchmark();
+    let bcfg = bench::baseline_config();
+    let cfg = bench::dbg4eth_config();
+    for (class, paper_full) in PAPER_DBG4ETH {
+        println!("\n--- dataset: {} ---", class.name());
+        let dataset = bench.dataset(class);
+        let mut best_baseline = f64::NEG_INFINITY;
+        for (b, bridge_f1, defi_f1) in ROWS {
+            let paper = if class == AccountClass::Bridge { bridge_f1 } else { defi_f1 };
+            let m = run_baseline(b, dataset, 0.8, &bcfg);
+            bench::print_row(b.name(), &m, Some(paper));
+            best_baseline = best_baseline.max(m.f1);
+        }
+        let out = run(dataset, 0.8, &cfg);
+        bench::print_row("DBG4ETH", &out.metrics, Some(paper_full));
+        println!(
+            "shape: DBG4ETH {:.2} vs best baseline {:.2} (margin {:+.2}; paper: DBG4ETH leads)",
+            out.metrics.f1,
+            best_baseline,
+            out.metrics.f1 - best_baseline
+        );
+    }
+}

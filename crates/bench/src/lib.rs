@@ -1,0 +1,99 @@
+//! # bench — experiment harness regenerating every table and figure
+//!
+//! Each binary in `src/bin/` reproduces one table or figure of the paper
+//! (see DESIGN.md's per-experiment index) and prints our measured numbers
+//! next to the paper's reported ones. The Criterion benches in `benches/`
+//! time the computational kernels behind each experiment.
+//!
+//! Scale control (all binaries):
+//! * default — reduced scale (fast, minutes per binary),
+//! * `DBG4ETH_FULL=1` — paper-scale dataset sizes (Table II counts),
+//! * `DBG4ETH_SEED=n` — world seed (default 7).
+
+use eth_graph::SamplerConfig;
+use eth_sim::{AccountClass, Benchmark, DatasetScale};
+
+/// The four headline datasets of Tables III and IV.
+pub const MAIN_CLASSES: [AccountClass; 4] = [
+    AccountClass::Exchange,
+    AccountClass::IcoWallet,
+    AccountClass::Mining,
+    AccountClass::PhishHack,
+];
+
+/// Env-selected dataset scale.
+pub fn scale() -> DatasetScale {
+    if std::env::var("DBG4ETH_FULL").map_or(false, |v| v == "1") {
+        DatasetScale::paper()
+    } else {
+        DatasetScale {
+            exchange: 50,
+            ico_wallet: 40,
+            mining: 36,
+            phish_hack: 70,
+            bridge: 40,
+            defi: 40,
+        }
+    }
+}
+
+/// Env-selected seed.
+pub fn seed() -> u64 {
+    std::env::var("DBG4ETH_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(7)
+}
+
+/// The shared sampler settings (paper: K = 2000, 2 hops; our synthetic
+/// degrees are ≤ ~130 so K = 2000 keeps every neighbour, exactly like the
+/// paper's effectively-unclipped sampling).
+pub fn sampler() -> SamplerConfig {
+    SamplerConfig { top_k: 2000, hops: 2 }
+}
+
+/// Generate the shared benchmark world + datasets.
+pub fn benchmark() -> Benchmark {
+    Benchmark::generate(scale(), sampler(), seed())
+}
+
+/// The default experiment configuration for DBG4ETH runs.
+pub fn dbg4eth_config() -> dbg4eth::Dbg4EthConfig {
+    dbg4eth::Dbg4EthConfig::default()
+}
+
+/// The default baseline-runner configuration.
+pub fn baseline_config() -> baselines::BaselineConfig {
+    baselines::BaselineConfig::default()
+}
+
+/// Print a metrics row in the paper's table format, next to the paper's
+/// reported F1 when available.
+pub fn print_row(name: &str, m: &nn::metrics::Metrics, paper_f1: Option<f64>) {
+    match paper_f1 {
+        Some(p) => println!(
+            "{name:<26} P {:6.2}  R {:6.2}  F1 {:6.2}  Acc {:6.2}   (paper F1 {p:.2})",
+            m.precision, m.recall, m.f1, m.accuracy
+        ),
+        None => println!(
+            "{name:<26} P {:6.2}  R {:6.2}  F1 {:6.2}  Acc {:6.2}",
+            m.precision, m.recall, m.f1, m.accuracy
+        ),
+    }
+}
+
+/// Render a small heat-map-ish matrix on the console with 2-decimal cells.
+pub fn print_matrix(labels: &[&str], m: &tensor::Tensor) {
+    print!("{:>9}", "");
+    for l in labels {
+        print!("{l:>9}");
+    }
+    println!();
+    for (r, l) in labels.iter().enumerate() {
+        print!("{l:>9}");
+        for c in 0..labels.len() {
+            print!("{:>9.2}", m.get(r, c));
+        }
+        println!();
+    }
+}

@@ -1,0 +1,228 @@
+//! Random forest (Breiman, 2001) and AdaBoost (Freund & Schapire, 1996) —
+//! two of the alternative classifiers compared in Fig. 7.
+
+use crate::tree::{Growth, RegressionTree, TreeConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Random forest of probability trees over bootstrap samples.
+pub struct RandomForest {
+    trees: Vec<RegressionTree>,
+}
+
+/// Random-forest hyper-parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct ForestConfig {
+    pub n_trees: usize,
+    pub max_depth: usize,
+    pub seed: u64,
+}
+
+impl Default for ForestConfig {
+    fn default() -> Self {
+        Self { n_trees: 50, max_depth: 5, seed: 17 }
+    }
+}
+
+impl RandomForest {
+    pub fn fit(x: &[Vec<f64>], y: &[bool], config: ForestConfig) -> Self {
+        assert_eq!(x.len(), y.len());
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let n = x.len();
+        let tree_cfg = TreeConfig {
+            growth: Growth::DepthWise { max_depth: config.max_depth },
+            min_samples_leaf: 1,
+            lambda: 1e-9,
+            min_gain: 1e-9,
+        };
+        let trees = (0..config.n_trees)
+            .map(|_| {
+                // Bootstrap sample.
+                let mut bx = Vec::with_capacity(n);
+                let mut g = Vec::with_capacity(n);
+                let h = vec![1.0; n];
+                for _ in 0..n {
+                    let i = rng.gen_range(0..n);
+                    bx.push(x[i].clone());
+                    // Squared loss from 0: leaf value = mean(y) in {0, 1}.
+                    g.push(if y[i] { -1.0 } else { 0.0 });
+                }
+                RegressionTree::fit(&bx, &g, &h, &tree_cfg)
+            })
+            .collect();
+        Self { trees }
+    }
+
+    /// P(positive) — the average of per-tree leaf class fractions.
+    pub fn predict_proba(&self, row: &[f64]) -> f64 {
+        let s: f64 = self.trees.iter().map(|t| t.predict(row)).sum();
+        (s / self.trees.len().max(1) as f64).clamp(0.0, 1.0)
+    }
+
+    pub fn predict_proba_all(&self, x: &[Vec<f64>]) -> Vec<f64> {
+        x.iter().map(|r| self.predict_proba(r)).collect()
+    }
+}
+
+/// AdaBoost with decision stumps (discrete SAMME, binary).
+pub struct AdaBoost {
+    stumps: Vec<(RegressionTree, f64)>,
+}
+
+/// AdaBoost hyper-parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct AdaBoostConfig {
+    pub n_stumps: usize,
+}
+
+impl Default for AdaBoostConfig {
+    fn default() -> Self {
+        Self { n_stumps: 50 }
+    }
+}
+
+impl AdaBoost {
+    pub fn fit(x: &[Vec<f64>], y: &[bool], config: AdaBoostConfig) -> Self {
+        assert_eq!(x.len(), y.len());
+        let n = x.len();
+        let mut w = vec![1.0 / n.max(1) as f64; n];
+        let tree_cfg = TreeConfig {
+            growth: Growth::DepthWise { max_depth: 1 },
+            min_samples_leaf: 1,
+            lambda: 1e-9,
+            min_gain: 1e-12,
+        };
+        let mut stumps = Vec::with_capacity(config.n_stumps);
+        for _ in 0..config.n_stumps {
+            // Weighted least-squares stump targeting ±1: g = -w·y±, h = w.
+            let g: Vec<f64> = y
+                .iter()
+                .zip(&w)
+                .map(|(&yi, &wi)| -wi * if yi { 1.0 } else { -1.0 })
+                .collect();
+            let stump = RegressionTree::fit(x, &g, &w, &tree_cfg);
+            // Weighted error of the sign prediction.
+            let mut err = 0.0;
+            for i in 0..n {
+                let pred = stump.predict(&x[i]) >= 0.0;
+                if pred != y[i] {
+                    err += w[i];
+                }
+            }
+            let err = err.clamp(1e-9, 1.0 - 1e-9);
+            let alpha = 0.5 * ((1.0 - err) / err).ln();
+            if alpha <= 0.0 {
+                break; // weak learner no better than chance
+            }
+            // Reweight.
+            let mut total = 0.0;
+            for i in 0..n {
+                let pred = stump.predict(&x[i]) >= 0.0;
+                let agree = pred == y[i];
+                w[i] *= (if agree { -alpha } else { alpha }).exp();
+                total += w[i];
+            }
+            for wi in &mut w {
+                *wi /= total;
+            }
+            stumps.push((stump, alpha));
+        }
+        Self { stumps }
+    }
+
+    /// Margin in `(-1, 1)`-ish units; positive means positive class.
+    pub fn decision(&self, row: &[f64]) -> f64 {
+        self.stumps
+            .iter()
+            .map(|(t, a)| a * if t.predict(row) >= 0.0 { 1.0 } else { -1.0 })
+            .sum()
+    }
+
+    /// Squashed margin as a probability proxy.
+    pub fn predict_proba(&self, row: &[f64]) -> f64 {
+        1.0 / (1.0 + (-2.0 * self.decision(row)).exp())
+    }
+
+    pub fn predict_proba_all(&self, x: &[Vec<f64>]) -> Vec<f64> {
+        x.iter().map(|r| self.predict_proba(r)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs(n: usize) -> (Vec<Vec<f64>>, Vec<bool>) {
+        // Two well-separated clusters with deterministic jitter.
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..n {
+            let pos = i % 2 == 0;
+            let j1 = (i as f64 * 0.37).fract();
+            let j2 = (i as f64 * 0.71).fract();
+            let base = if pos { 2.0 } else { -2.0 };
+            x.push(vec![base + j1, base - j2]);
+            y.push(pos);
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn forest_separates_blobs() {
+        let (x, y) = blobs(60);
+        let f = RandomForest::fit(&x, &y, ForestConfig::default());
+        for (row, &label) in x.iter().zip(&y) {
+            let p = f.predict_proba(row);
+            assert_eq!(p >= 0.5, label, "p = {p} for label {label}");
+        }
+    }
+
+    #[test]
+    fn forest_probability_reflects_vote_share() {
+        let (x, y) = blobs(60);
+        let f = RandomForest::fit(&x, &y, ForestConfig::default());
+        // Deep inside a cluster, the vote should be near-unanimous.
+        assert!(f.predict_proba(&[2.5, 1.5]) > 0.9);
+        assert!(f.predict_proba(&[-2.5, -2.5]) < 0.1);
+    }
+
+    #[test]
+    fn adaboost_separates_blobs() {
+        let (x, y) = blobs(60);
+        let a = AdaBoost::fit(&x, &y, AdaBoostConfig::default());
+        for (row, &label) in x.iter().zip(&y) {
+            assert_eq!(a.predict_proba(row) >= 0.5, label);
+        }
+    }
+
+    #[test]
+    fn adaboost_fits_xor_with_enough_stumps() {
+        // XOR needs stump combinations; a single stump cannot fit it.
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..40 {
+            let a = (i % 2) as f64;
+            let b = ((i / 2) % 2) as f64;
+            let j = (i as f64 * 0.13).fract() * 0.1;
+            x.push(vec![a + j, b + j / 2.0]);
+            y.push((a as i32 ^ b as i32) == 1);
+        }
+        let model = AdaBoost::fit(&x, &y, AdaBoostConfig { n_stumps: 100 });
+        let correct = x
+            .iter()
+            .zip(&y)
+            .filter(|(row, l)| (model.predict_proba(row) >= 0.5) == **l)
+            .count();
+        assert!(correct as f64 / y.len() as f64 > 0.85, "acc {correct}/{}", y.len());
+    }
+
+    #[test]
+    fn forest_is_seed_deterministic() {
+        let (x, y) = blobs(30);
+        let f1 = RandomForest::fit(&x, &y, ForestConfig { seed: 5, ..Default::default() });
+        let f2 = RandomForest::fit(&x, &y, ForestConfig { seed: 5, ..Default::default() });
+        for row in &x {
+            assert_eq!(f1.predict_proba(row), f2.predict_proba(row));
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! # boost — tabular classifiers for the account classification module
+//!
+//! The paper classifies the two calibrated probabilities `(P_g, P_l)` with
+//! LightGBM (Section IV-D) and compares MLP, random forest, AdaBoost and
+//! XGBoost (Fig. 7). This crate implements all five from scratch:
+//!
+//! * [`RegressionTree`] — second-order gradient trees with leaf-wise
+//!   (LightGBM) or level-wise (XGBoost) growth,
+//! * [`Gbdt`] — boosted trees with logistic loss,
+//! * [`RandomForest`], [`AdaBoost`] — bagging and stump boosting,
+//! * [`MlpClassifier`] — a small neural baseline on the `nn` stack.
+
+mod forest;
+mod gbdt;
+mod mlp;
+mod tree;
+
+pub use forest::{AdaBoost, AdaBoostConfig, ForestConfig, RandomForest};
+pub use gbdt::{Gbdt, GbdtConfig};
+pub use mlp::{MlpClassifier, MlpClassifierConfig};
+pub use tree::{Growth, RegressionTree, TreeConfig};

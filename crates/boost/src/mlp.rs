@@ -1,0 +1,118 @@
+//! MLP classifier over tabular features — the "w/o LightGBM" ablation
+//! (Table IV) and one of the Fig. 7 comparison classifiers.
+
+use nn::{Activation, Adam, Ctx, Mlp, ParamStore};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::rc::Rc;
+use tensor::{Tape, Tensor};
+
+/// MLP classifier hyper-parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct MlpClassifierConfig {
+    pub hidden: usize,
+    pub epochs: usize,
+    pub lr: f32,
+    pub seed: u64,
+}
+
+impl Default for MlpClassifierConfig {
+    fn default() -> Self {
+        Self { hidden: 32, epochs: 300, lr: 0.01, seed: 23 }
+    }
+}
+
+/// A trained binary MLP classifier.
+pub struct MlpClassifier {
+    store: ParamStore,
+    mlp: Mlp,
+}
+
+fn to_tensor(x: &[Vec<f64>]) -> Tensor {
+    let n = x.len();
+    let d = x.first().map_or(0, Vec::len);
+    Tensor::from_fn(n, d, |r, c| x[r][c] as f32)
+}
+
+impl MlpClassifier {
+    /// Train with full-batch Adam on cross-entropy.
+    pub fn fit(x: &[Vec<f64>], y: &[bool], config: MlpClassifierConfig) -> Self {
+        assert_eq!(x.len(), y.len());
+        let d = x.first().map_or(1, Vec::len);
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut store = ParamStore::new();
+        let mlp = Mlp::new(&mut store, &mut rng, "clf", &[d, config.hidden, 2], Activation::Relu);
+        let xt = to_tensor(x);
+        let targets = Rc::new(y.iter().map(|&b| b as usize).collect::<Vec<_>>());
+        let mut opt = Adam::new(config.lr);
+        for _ in 0..config.epochs {
+            store.zero_grad();
+            let mut tape = Tape::new();
+            let mut ctx = Ctx::new(&store);
+            let input = tape.leaf(xt.clone());
+            let logits = mlp.forward(&mut tape, &mut ctx, &store, input);
+            let loss = tape.cross_entropy(logits, targets.clone());
+            tape.backward(loss);
+            ctx.accumulate_grads(&tape, &mut store);
+            opt.step(&mut store);
+        }
+        Self { store, mlp }
+    }
+
+    /// P(positive) per sample.
+    pub fn predict_proba_all(&self, x: &[Vec<f64>]) -> Vec<f64> {
+        if x.is_empty() {
+            return Vec::new();
+        }
+        let mut tape = Tape::new();
+        let mut ctx = Ctx::new(&self.store);
+        let input = tape.leaf(to_tensor(x));
+        let logits = self.mlp.forward(&mut tape, &mut ctx, &self.store, input);
+        let probs = tape.softmax_rows(logits);
+        let v = tape.value(probs);
+        (0..x.len()).map(|r| v.get(r, 1) as f64).collect()
+    }
+
+    pub fn predict_proba(&self, row: &[f64]) -> f64 {
+        self.predict_proba_all(&[row.to_vec()])[0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fits_linear_boundary() {
+        let x: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64 / 40.0 - 0.5]).collect();
+        let y: Vec<bool> = (0..40).map(|i| i >= 20).collect();
+        let m = MlpClassifier::fit(&x, &y, MlpClassifierConfig::default());
+        let probs = m.predict_proba_all(&x);
+        let correct = probs
+            .iter()
+            .zip(&y)
+            .filter(|(&p, &l)| (p >= 0.5) == l)
+            .count();
+        assert!(correct >= 38, "acc {correct}/40");
+    }
+
+    #[test]
+    fn probabilities_valid() {
+        let x: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64, -(i as f64)]).collect();
+        let y: Vec<bool> = (0..10).map(|i| i % 2 == 0).collect();
+        let m = MlpClassifier::fit(&x, &y, MlpClassifierConfig { epochs: 50, ..Default::default() });
+        for p in m.predict_proba_all(&x) {
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let x: Vec<Vec<f64>> = (0..20).map(|i| vec![(i % 5) as f64, (i % 3) as f64]).collect();
+        let y: Vec<bool> = (0..20).map(|i| i % 2 == 0).collect();
+        let cfg = MlpClassifierConfig { epochs: 30, ..Default::default() };
+        let a = MlpClassifier::fit(&x, &y, cfg).predict_proba_all(&x);
+        let b = MlpClassifier::fit(&x, &y, cfg).predict_proba_all(&x);
+        assert_eq!(a, b);
+    }
+}

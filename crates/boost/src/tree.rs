@@ -1,0 +1,337 @@
+//! Gradient-based regression trees — the shared building block of the
+//! LightGBM-style and XGBoost-style boosters.
+//!
+//! Trees are fitted to per-sample gradients `g` and hessians `h` of a loss
+//! (second-order boosting, Chen & Guestrin 2016). Split gain is the usual
+//! `G_L²/(H_L+λ) + G_R²/(H_R+λ) − G²/(H+λ)`; leaf values are `−G/(H+λ)`.
+
+/// Tree growth policy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Growth {
+    /// Best-first (leaf-wise) growth with a leaf budget — LightGBM's policy.
+    LeafWise { max_leaves: usize },
+    /// Breadth-first (level-wise) growth to a depth — XGBoost's policy.
+    DepthWise { max_depth: usize },
+}
+
+/// Hyper-parameters of one tree.
+#[derive(Clone, Copy, Debug)]
+pub struct TreeConfig {
+    pub growth: Growth,
+    /// Minimum samples on each side of a split.
+    pub min_samples_leaf: usize,
+    /// L2 regularisation λ on leaf values.
+    pub lambda: f64,
+    /// Minimum gain required to make a split.
+    pub min_gain: f64,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        Self {
+            growth: Growth::LeafWise { max_leaves: 15 },
+            min_samples_leaf: 2,
+            lambda: 1.0,
+            min_gain: 1e-6,
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Node {
+    Leaf { value: f64 },
+    Split { feature: usize, threshold: f64, gain: f64, left: usize, right: usize },
+}
+
+/// A fitted regression tree.
+#[derive(Clone, Debug)]
+pub struct RegressionTree {
+    nodes: Vec<Node>,
+}
+
+struct Candidate {
+    node: usize,
+    samples: Vec<usize>,
+    gain: f64,
+    feature: usize,
+    threshold: f64,
+    depth: usize,
+}
+
+impl RegressionTree {
+    /// Fit to gradients/hessians over row-major samples `x` (each row one
+    /// sample).
+    pub fn fit(x: &[Vec<f64>], g: &[f64], h: &[f64], config: &TreeConfig) -> Self {
+        assert_eq!(x.len(), g.len());
+        assert_eq!(x.len(), h.len());
+        let mut tree = Self { nodes: Vec::new() };
+        let all: Vec<usize> = (0..x.len()).collect();
+        let root_value = leaf_value(&all, g, h, config.lambda);
+        tree.nodes.push(Node::Leaf { value: root_value });
+        if x.is_empty() {
+            return tree;
+        }
+
+        let mut frontier: Vec<Candidate> = Vec::new();
+        if let Some(c) = best_split(0, all, x, g, h, config, 0) {
+            frontier.push(c);
+        }
+        let mut leaves = 1usize;
+        loop {
+            match config.growth {
+                Growth::LeafWise { max_leaves } => {
+                    if leaves >= max_leaves || frontier.is_empty() {
+                        break;
+                    }
+                    // Best-first: expand the highest-gain candidate.
+                    let best = frontier
+                        .iter()
+                        .enumerate()
+                        .max_by(|a, b| a.1.gain.partial_cmp(&b.1.gain).unwrap())
+                        .map(|(i, _)| i)
+                        .unwrap();
+                    let cand = frontier.swap_remove(best);
+                    leaves += 1;
+                    tree.apply_split(cand, x, g, h, config, &mut frontier);
+                }
+                Growth::DepthWise { max_depth } => {
+                    // Expand every candidate at the current shallowest depth.
+                    let depth = match frontier.iter().map(|c| c.depth).min() {
+                        Some(d) if d < max_depth => d,
+                        _ => break,
+                    };
+                    let (now, later): (Vec<_>, Vec<_>) =
+                        frontier.drain(..).partition(|c| c.depth == depth);
+                    frontier = later;
+                    for cand in now {
+                        leaves += 1;
+                        tree.apply_split(cand, x, g, h, config, &mut frontier);
+                    }
+                }
+            }
+        }
+        tree
+    }
+
+    fn apply_split(
+        &mut self,
+        cand: Candidate,
+        x: &[Vec<f64>],
+        g: &[f64],
+        h: &[f64],
+        config: &TreeConfig,
+        frontier: &mut Vec<Candidate>,
+    ) {
+        let (mut left_samples, mut right_samples) = (Vec::new(), Vec::new());
+        for &i in &cand.samples {
+            if x[i][cand.feature] <= cand.threshold {
+                left_samples.push(i);
+            } else {
+                right_samples.push(i);
+            }
+        }
+        let left = self.nodes.len();
+        self.nodes.push(Node::Leaf { value: leaf_value(&left_samples, g, h, config.lambda) });
+        let right = self.nodes.len();
+        self.nodes.push(Node::Leaf { value: leaf_value(&right_samples, g, h, config.lambda) });
+        self.nodes[cand.node] = Node::Split {
+            feature: cand.feature,
+            threshold: cand.threshold,
+            gain: cand.gain,
+            left,
+            right,
+        };
+        if let Some(c) = best_split(left, left_samples, x, g, h, config, cand.depth + 1) {
+            frontier.push(c);
+        }
+        if let Some(c) = best_split(right, right_samples, x, g, h, config, cand.depth + 1) {
+            frontier.push(c);
+        }
+    }
+
+    /// Predict the leaf value for one sample.
+    pub fn predict(&self, row: &[f64]) -> f64 {
+        let mut node = 0usize;
+        loop {
+            match &self.nodes[node] {
+                Node::Leaf { value } => return *value,
+                Node::Split { feature, threshold, left, right, .. } => {
+                    node = if row[*feature] <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+
+    /// Number of leaves.
+    pub fn n_leaves(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, Node::Leaf { .. }))
+            .count()
+    }
+
+    /// Accumulate per-feature split gains into `importance`
+    /// (gain-based feature importance, as LightGBM reports it).
+    pub fn accumulate_importance(&self, importance: &mut [f64]) {
+        for node in &self.nodes {
+            if let Node::Split { feature, gain, .. } = node {
+                if *feature < importance.len() {
+                    importance[*feature] += gain.max(0.0);
+                }
+            }
+        }
+    }
+
+    /// Maximum depth (root = 0).
+    pub fn depth(&self) -> usize {
+        fn rec(nodes: &[Node], i: usize) -> usize {
+            match &nodes[i] {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => 1 + rec(nodes, *left).max(rec(nodes, *right)),
+            }
+        }
+        rec(&self.nodes, 0)
+    }
+}
+
+fn leaf_value(samples: &[usize], g: &[f64], h: &[f64], lambda: f64) -> f64 {
+    let gs: f64 = samples.iter().map(|&i| g[i]).sum();
+    let hs: f64 = samples.iter().map(|&i| h[i]).sum();
+    -gs / (hs + lambda)
+}
+
+/// Exact best split over all features for one node's samples.
+fn best_split(
+    node: usize,
+    samples: Vec<usize>,
+    x: &[Vec<f64>],
+    g: &[f64],
+    h: &[f64],
+    config: &TreeConfig,
+    depth: usize,
+) -> Option<Candidate> {
+    if samples.len() < 2 * config.min_samples_leaf {
+        return None;
+    }
+    let d = x[samples[0]].len();
+    let g_total: f64 = samples.iter().map(|&i| g[i]).sum();
+    let h_total: f64 = samples.iter().map(|&i| h[i]).sum();
+    let parent_score = g_total * g_total / (h_total + config.lambda);
+
+    let mut best: Option<(f64, usize, f64)> = None; // (gain, feature, threshold)
+    let mut order = samples.clone();
+    for f in 0..d {
+        order.sort_by(|&a, &b| x[a][f].partial_cmp(&x[b][f]).unwrap());
+        let mut gl = 0.0;
+        let mut hl = 0.0;
+        for k in 0..order.len() - 1 {
+            let i = order[k];
+            gl += g[i];
+            hl += h[i];
+            // No split between equal feature values.
+            if x[order[k + 1]][f] <= x[i][f] {
+                continue;
+            }
+            let n_left = k + 1;
+            let n_right = order.len() - n_left;
+            if n_left < config.min_samples_leaf || n_right < config.min_samples_leaf {
+                continue;
+            }
+            let gr = g_total - gl;
+            let hr = h_total - hl;
+            let gain = gl * gl / (hl + config.lambda) + gr * gr / (hr + config.lambda)
+                - parent_score;
+            if best.map_or(true, |(bg, _, _)| gain > bg) {
+                let threshold = (x[i][f] + x[order[k + 1]][f]) / 2.0;
+                best = Some((gain, f, threshold));
+            }
+        }
+    }
+    let (gain, feature, threshold) = best?;
+    if gain < config.min_gain {
+        return None;
+    }
+    Some(Candidate { node, samples, gain, feature, threshold, depth })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// y = sign-ish target via gradients of squared loss: g = pred - y with
+    /// pred = 0, h = 1 => leaf value approximates mean(y).
+    fn fit_mean_tree(x: &[Vec<f64>], y: &[f64], cfg: &TreeConfig) -> RegressionTree {
+        let g: Vec<f64> = y.iter().map(|&v| -v).collect();
+        let h = vec![1.0; y.len()];
+        RegressionTree::fit(x, &g, &h, cfg)
+    }
+
+    #[test]
+    fn splits_a_step_function() {
+        let x: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..20).map(|i| if i < 10 { 0.0 } else { 10.0 }).collect();
+        let cfg = TreeConfig { lambda: 0.0, ..Default::default() };
+        let t = fit_mean_tree(&x, &y, &cfg);
+        assert!(t.predict(&[3.0]) < 1.0, "left value {}", t.predict(&[3.0]));
+        assert!(t.predict(&[15.0]) > 9.0, "right value {}", t.predict(&[15.0]));
+    }
+
+    #[test]
+    fn respects_leaf_budget() {
+        let x: Vec<Vec<f64>> = (0..64).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..64).map(|i| (i % 7) as f64).collect();
+        let cfg = TreeConfig {
+            growth: Growth::LeafWise { max_leaves: 4 },
+            ..Default::default()
+        };
+        let t = fit_mean_tree(&x, &y, &cfg);
+        assert!(t.n_leaves() <= 4, "{} leaves", t.n_leaves());
+    }
+
+    #[test]
+    fn respects_depth_budget() {
+        let x: Vec<Vec<f64>> = (0..64).map(|i| vec![i as f64, (i * 7 % 13) as f64]).collect();
+        let y: Vec<f64> = (0..64).map(|i| ((i * 31) % 5) as f64).collect();
+        let cfg = TreeConfig {
+            growth: Growth::DepthWise { max_depth: 2 },
+            ..Default::default()
+        };
+        let t = fit_mean_tree(&x, &y, &cfg);
+        assert!(t.depth() <= 2, "depth {}", t.depth());
+    }
+
+    #[test]
+    fn pure_node_is_not_split() {
+        let x: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let y = vec![5.0; 10];
+        let cfg = TreeConfig::default();
+        let t = fit_mean_tree(&x, &y, &cfg);
+        assert_eq!(t.n_leaves(), 1);
+    }
+
+    #[test]
+    fn min_samples_leaf_enforced() {
+        let x: Vec<Vec<f64>> = (0..6).map(|i| vec![i as f64]).collect();
+        let y = vec![0.0, 0.0, 0.0, 0.0, 0.0, 100.0];
+        let cfg = TreeConfig { min_samples_leaf: 3, lambda: 0.0, ..Default::default() };
+        let t = fit_mean_tree(&x, &y, &cfg);
+        // The only admissible split is 3|3; verify no leaf got < 3 samples
+        // by checking the tree depth is at most 1.
+        assert!(t.depth() <= 1);
+    }
+
+    #[test]
+    fn empty_input_predicts_zero() {
+        let t = RegressionTree::fit(&[], &[], &[], &TreeConfig::default());
+        assert_eq!(t.predict(&[1.0, 2.0]), 0.0);
+    }
+
+    #[test]
+    fn lambda_shrinks_leaf_values() {
+        let x: Vec<Vec<f64>> = (0..4).map(|i| vec![i as f64]).collect();
+        let y = vec![4.0; 4];
+        let small = fit_mean_tree(&x, &y, &TreeConfig { lambda: 0.0, ..Default::default() });
+        let big = fit_mean_tree(&x, &y, &TreeConfig { lambda: 4.0, ..Default::default() });
+        assert!(big.predict(&[0.0]).abs() < small.predict(&[0.0]).abs());
+    }
+}

@@ -1,0 +1,107 @@
+//! Property-based tests of the tree/boosting stack.
+
+use boost::{AdaBoost, AdaBoostConfig, ForestConfig, Gbdt, GbdtConfig, Growth, RandomForest, RegressionTree, TreeConfig};
+use proptest::prelude::*;
+
+fn dataset() -> impl Strategy<Value = (Vec<Vec<f64>>, Vec<bool>)> {
+    prop::collection::vec((any::<bool>(), -10.0f64..10.0, -10.0f64..10.0), 8..60).prop_map(
+        |rows| {
+            let x = rows.iter().map(|(_, a, b)| vec![*a, *b]).collect();
+            let y = rows.iter().map(|(l, _, _)| *l).collect();
+            (x, y)
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Regression-tree predictions always lie within the range of leaf
+    /// values implied by the gradients (here: means of ±1 targets).
+    #[test]
+    fn tree_predictions_bounded((x, y) in dataset()) {
+        let g: Vec<f64> = y.iter().map(|&b| if b { -1.0 } else { 1.0 }).collect();
+        let h = vec![1.0; y.len()];
+        let cfg = TreeConfig { lambda: 0.0, ..Default::default() };
+        let tree = RegressionTree::fit(&x, &g, &h, &cfg);
+        for row in &x {
+            let p = tree.predict(row);
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&p), "prediction {p}");
+        }
+    }
+
+    /// Leaf-wise growth respects its leaf budget for any data.
+    #[test]
+    fn leaf_budget_respected((x, y) in dataset(), max_leaves in 2usize..10) {
+        let g: Vec<f64> = y.iter().map(|&b| if b { -1.0 } else { 1.0 }).collect();
+        let h = vec![1.0; y.len()];
+        let cfg = TreeConfig {
+            growth: Growth::LeafWise { max_leaves },
+            min_samples_leaf: 1,
+            lambda: 0.1,
+            min_gain: 0.0,
+        };
+        let tree = RegressionTree::fit(&x, &g, &h, &cfg);
+        prop_assert!(tree.n_leaves() <= max_leaves);
+    }
+
+    /// GBDT probabilities are valid and deterministic.
+    #[test]
+    fn gbdt_probabilities_valid((x, y) in dataset()) {
+        prop_assume!(y.iter().any(|&b| b) && y.iter().any(|&b| !b));
+        let cfg = GbdtConfig { n_trees: 10, ..GbdtConfig::lightgbm() };
+        let m1 = Gbdt::fit(&x, &y, cfg);
+        let m2 = Gbdt::fit(&x, &y, cfg);
+        for row in &x {
+            let p = m1.predict_proba(row);
+            prop_assert!((0.0..=1.0).contains(&p));
+            prop_assert_eq!(p, m2.predict_proba(row), "non-deterministic fit");
+        }
+    }
+
+    /// Random forest probabilities are valid vote shares.
+    #[test]
+    fn forest_probabilities_valid((x, y) in dataset()) {
+        let f = RandomForest::fit(&x, &y, ForestConfig { n_trees: 8, ..Default::default() });
+        for row in &x {
+            let p = f.predict_proba(row);
+            prop_assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    /// AdaBoost never panics and outputs valid probabilities, even on
+    /// single-class data.
+    #[test]
+    fn adaboost_total_function((x, y) in dataset()) {
+        let a = AdaBoost::fit(&x, &y, AdaBoostConfig { n_stumps: 10 });
+        for row in &x {
+            let p = a.predict_proba(row);
+            prop_assert!((0.0..=1.0).contains(&p));
+        }
+    }
+}
+
+#[test]
+fn gbdt_improves_training_loss_over_rounds() {
+    // More trees -> training log-loss can only improve (monotone boosting
+    // on the same data with shrinkage).
+    let x: Vec<Vec<f64>> = (0..60).map(|i| vec![(i % 13) as f64, (i % 7) as f64]).collect();
+    let y: Vec<bool> = (0..60).map(|i| (i % 13) >= 6).collect();
+    let log_loss = |m: &Gbdt| -> f64 {
+        x.iter()
+            .zip(&y)
+            .map(|(row, &label)| {
+                let p = m.predict_proba(row).clamp(1e-9, 1.0 - 1e-9);
+                if label {
+                    -p.ln()
+                } else {
+                    -(1.0 - p).ln()
+                }
+            })
+            .sum::<f64>()
+            / y.len() as f64
+    };
+    let short = Gbdt::fit(&x, &y, GbdtConfig { n_trees: 5, ..GbdtConfig::lightgbm() });
+    let long = Gbdt::fit(&x, &y, GbdtConfig { n_trees: 40, ..GbdtConfig::lightgbm() });
+    assert!(log_loss(&long) <= log_loss(&short) + 1e-9);
+}

@@ -1,0 +1,230 @@
+//! Adaptive weight calibration (Section IV-C3, Eqs. 24-25).
+//!
+//! All six calibrators are fitted on a calibration split; each method's
+//! weight is its normalised ECE reduction `ΔECE_i / Σ ΔECE_j`. Methods that
+//! *increase* ECE receive negative weights — the paper observes exactly this
+//! for parametric methods on small datasets (Fig. 6).
+
+use crate::ece::ece;
+use crate::methods::{CalibMethod, Calibrator};
+
+/// Number of ECE bins used throughout.
+pub const ECE_BINS: usize = 10;
+
+/// A fitted adaptive calibration ensemble.
+pub struct AdaptiveCalibrator {
+    methods: Vec<(CalibMethod, Calibrator)>,
+    weights: Vec<f64>,
+    /// ECE of the raw scores on the calibration split.
+    pub base_ece: f64,
+    /// Per-method ECE after calibration, aligned with `methods`.
+    pub method_ece: Vec<f64>,
+}
+
+/// Which subset of methods to use — supports the w/o Param. / w/o
+/// Non-param. ablation rows of Table IV.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MethodSubset {
+    All,
+    ParametricOnly,
+    NonParametricOnly,
+}
+
+impl MethodSubset {
+    fn contains(self, m: CalibMethod) -> bool {
+        match self {
+            MethodSubset::All => true,
+            MethodSubset::ParametricOnly => m.is_parametric(),
+            MethodSubset::NonParametricOnly => !m.is_parametric(),
+        }
+    }
+}
+
+impl AdaptiveCalibrator {
+    /// Fit the selected calibrators on `(scores, labels)` and derive the
+    /// ΔECE weights. If `adaptive` is false, methods are weighted uniformly
+    /// (the "w/o Ada." ablations).
+    pub fn fit(
+        scores: &[f64],
+        labels: &[bool],
+        subset: MethodSubset,
+        adaptive: bool,
+    ) -> Self {
+        let base_ece = ece(scores, labels, ECE_BINS);
+        let mut methods = Vec::new();
+        let mut deltas = Vec::new();
+        let mut method_ece = Vec::new();
+        for m in CalibMethod::ALL {
+            if !subset.contains(m) {
+                continue;
+            }
+            let cal = Calibrator::fit(m, scores, labels);
+            let e = ece(&cal.apply_all(scores), labels, ECE_BINS);
+            deltas.push(base_ece - e);
+            method_ece.push(e);
+            methods.push((m, cal));
+        }
+        let weights = if adaptive {
+            let total: f64 = deltas.iter().sum();
+            if total.abs() < 1e-12 {
+                vec![1.0 / methods.len().max(1) as f64; methods.len()]
+            } else {
+                deltas.iter().map(|&d| d / total).collect()
+            }
+        } else {
+            vec![1.0 / methods.len().max(1) as f64; methods.len()]
+        };
+        Self { methods, weights, base_ece, method_ece }
+    }
+
+    /// The fitted methods and their adaptive weights (Fig. 6's bars).
+    pub fn method_weights(&self) -> Vec<(CalibMethod, f64)> {
+        self.methods
+            .iter()
+            .zip(&self.weights)
+            .map(|((m, _), &w)| (*m, w))
+            .collect()
+    }
+
+    /// Eq. 24: the weighted calibrated probability of one raw score,
+    /// clamped to `[0, 1]` (negative weights can push the sum outside).
+    pub fn calibrate(&self, p: f64) -> f64 {
+        let mut out = 0.0;
+        for ((_, cal), &w) in self.methods.iter().zip(&self.weights) {
+            out += w * cal.apply(p);
+        }
+        out.clamp(0.0, 1.0)
+    }
+
+    pub fn calibrate_all(&self, scores: &[f64]) -> Vec<f64> {
+        scores.iter().map(|&p| self.calibrate(p)).collect()
+    }
+}
+
+/// Turn raw (unbounded) prediction values into confidences in `(0, 1)` by
+/// z-scoring against the calibration split and squashing (Section IV-C1's
+/// "confidence generation").
+#[derive(Clone, Copy, Debug)]
+pub struct ConfidenceScaler {
+    pub mean: f64,
+    pub std: f64,
+}
+
+impl ConfidenceScaler {
+    pub fn fit(raw: &[f64]) -> Self {
+        let n = raw.len().max(1) as f64;
+        let mean = raw.iter().sum::<f64>() / n;
+        let var = raw.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        Self { mean, std: var.sqrt().max(1e-9) }
+    }
+
+    pub fn scale(&self, x: f64) -> f64 {
+        let z = (x - self.mean) / self.std;
+        1.0 / (1.0 + (-z).exp())
+    }
+
+    pub fn scale_all(&self, raw: &[f64]) -> Vec<f64> {
+        raw.iter().map(|&x| self.scale(x)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn overconfident() -> (Vec<f64>, Vec<bool>) {
+        let mut s = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..300 {
+            s.push(0.92);
+            y.push(i % 10 < 6);
+            s.push(0.08);
+            y.push(i % 10 < 4);
+        }
+        (s, y)
+    }
+
+    #[test]
+    fn adaptive_weights_sum_to_one() {
+        let (s, y) = overconfident();
+        let cal = AdaptiveCalibrator::fit(&s, &y, MethodSubset::All, true);
+        let sum: f64 = cal.method_weights().iter().map(|(_, w)| w).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert_eq!(cal.method_weights().len(), 6);
+    }
+
+    #[test]
+    fn adaptive_ensemble_reduces_ece() {
+        let (s, y) = overconfident();
+        let cal = AdaptiveCalibrator::fit(&s, &y, MethodSubset::All, true);
+        let after = ece(&cal.calibrate_all(&s), &y, ECE_BINS);
+        assert!(after < cal.base_ece, "{} -> {after}", cal.base_ece);
+    }
+
+    #[test]
+    fn better_methods_get_larger_weights() {
+        let (s, y) = overconfident();
+        let cal = AdaptiveCalibrator::fit(&s, &y, MethodSubset::All, true);
+        // Weight order must match ΔECE order.
+        let weights = cal.method_weights();
+        for (i, &e_i) in cal.method_ece.iter().enumerate() {
+            for (j, &e_j) in cal.method_ece.iter().enumerate() {
+                if e_i < e_j {
+                    assert!(
+                        weights[i].1 >= weights[j].1 - 1e-12,
+                        "method with lower ECE got smaller weight"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn subsets_restrict_methods() {
+        let (s, y) = overconfident();
+        let p = AdaptiveCalibrator::fit(&s, &y, MethodSubset::ParametricOnly, true);
+        assert!(p.method_weights().iter().all(|(m, _)| m.is_parametric()));
+        assert_eq!(p.method_weights().len(), 3);
+        let np = AdaptiveCalibrator::fit(&s, &y, MethodSubset::NonParametricOnly, true);
+        assert!(np.method_weights().iter().all(|(m, _)| !m.is_parametric()));
+    }
+
+    #[test]
+    fn non_adaptive_weights_are_uniform() {
+        let (s, y) = overconfident();
+        let cal = AdaptiveCalibrator::fit(&s, &y, MethodSubset::All, false);
+        for (_, w) in cal.method_weights() {
+            assert!((w - 1.0 / 6.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn calibrated_outputs_in_unit_interval() {
+        let (s, y) = overconfident();
+        let cal = AdaptiveCalibrator::fit(&s, &y, MethodSubset::All, true);
+        for p in [0.0, 0.3, 0.5, 0.77, 1.0] {
+            let q = cal.calibrate(p);
+            assert!((0.0..=1.0).contains(&q));
+        }
+    }
+
+    #[test]
+    fn confidence_scaler_squashes_to_unit_interval() {
+        let raw = vec![-3.0, -1.0, 0.0, 2.0, 10.0];
+        let sc = ConfidenceScaler::fit(&raw);
+        let scaled = sc.scale_all(&raw);
+        assert!(scaled.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        // Monotone.
+        for w in scaled.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+        // Mean raw value maps to 0.5.
+        assert!((sc.scale(sc.mean) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn confidence_scaler_degenerate_constant_input() {
+        let sc = ConfidenceScaler::fit(&[2.0, 2.0, 2.0]);
+        assert!((sc.scale(2.0) - 0.5).abs() < 1e-9);
+    }
+}

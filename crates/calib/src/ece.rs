@@ -1,0 +1,117 @@
+//! Expected calibration error (Guo et al., 2017) — the metric driving the
+//! adaptive weight assignment (Section IV-C3).
+
+/// Expected calibration error with `n_bins` equal-width confidence bins.
+///
+/// For binary scores interpreted as P(positive), each prediction's
+/// confidence is `max(p, 1-p)` and it is correct when the implied hard
+/// prediction matches the label. ECE is the accuracy-vs-confidence gap,
+/// weighted by bin occupancy.
+pub fn ece(scores: &[f64], labels: &[bool], n_bins: usize) -> f64 {
+    assert_eq!(scores.len(), labels.len());
+    assert!(n_bins > 0);
+    if scores.is_empty() {
+        return 0.0;
+    }
+    let mut bin_conf = vec![0.0f64; n_bins];
+    let mut bin_acc = vec![0.0f64; n_bins];
+    let mut bin_count = vec![0usize; n_bins];
+    for (&p, &y) in scores.iter().zip(labels) {
+        let p = p.clamp(0.0, 1.0);
+        let conf = p.max(1.0 - p);
+        let pred = p >= 0.5;
+        let correct = pred == y;
+        // Confidence lives in [0.5, 1.0]; spread bins over that range.
+        let b = (((conf - 0.5) * 2.0 * n_bins as f64) as usize).min(n_bins - 1);
+        bin_conf[b] += conf;
+        bin_acc[b] += if correct { 1.0 } else { 0.0 };
+        bin_count[b] += 1;
+    }
+    let n = scores.len() as f64;
+    let mut e = 0.0;
+    for b in 0..n_bins {
+        if bin_count[b] == 0 {
+            continue;
+        }
+        let c = bin_count[b] as f64;
+        e += (c / n) * ((bin_acc[b] / c) - (bin_conf[b] / c)).abs();
+    }
+    e
+}
+
+/// One bar of a reliability diagram.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ReliabilityBin {
+    pub confidence: f64,
+    pub accuracy: f64,
+    pub count: usize,
+}
+
+/// Reliability diagram data (confidence vs accuracy per bin).
+pub fn reliability_diagram(scores: &[f64], labels: &[bool], n_bins: usize) -> Vec<ReliabilityBin> {
+    let mut bins = vec![ReliabilityBin { confidence: 0.0, accuracy: 0.0, count: 0 }; n_bins];
+    for (&p, &y) in scores.iter().zip(labels) {
+        let p = p.clamp(0.0, 1.0);
+        let conf = p.max(1.0 - p);
+        let correct = (p >= 0.5) == y;
+        let b = (((conf - 0.5) * 2.0 * n_bins as f64) as usize).min(n_bins - 1);
+        bins[b].confidence += conf;
+        bins[b].accuracy += if correct { 1.0 } else { 0.0 };
+        bins[b].count += 1;
+    }
+    for b in &mut bins {
+        if b.count > 0 {
+            b.confidence /= b.count as f64;
+            b.accuracy /= b.count as f64;
+        }
+    }
+    bins
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfectly_calibrated_confident_predictions() {
+        // p=1.0 always right, p=0.0 always right -> ECE 0.
+        let scores = vec![1.0, 1.0, 0.0, 0.0];
+        let labels = vec![true, true, false, false];
+        assert!(ece(&scores, &labels, 10) < 1e-12);
+    }
+
+    #[test]
+    fn overconfident_wrong_predictions_have_high_ece() {
+        let scores = vec![0.99, 0.99, 0.99, 0.99];
+        let labels = vec![false, false, false, false];
+        let e = ece(&scores, &labels, 10);
+        assert!(e > 0.9, "ece = {e}");
+    }
+
+    #[test]
+    fn half_right_at_confidence_half_is_calibrated() {
+        // Confidence ~0.5 and accuracy 0.5 -> small ECE.
+        let scores = vec![0.5, 0.5, 0.5, 0.5];
+        let labels = vec![true, false, true, false];
+        let e = ece(&scores, &labels, 10);
+        assert!(e < 1e-6, "ece = {e}");
+    }
+
+    #[test]
+    fn empty_input_is_zero() {
+        assert_eq!(ece(&[], &[], 10), 0.0);
+    }
+
+    #[test]
+    fn reliability_bins_average_correctly() {
+        let scores = vec![0.9, 0.9, 0.1];
+        let labels = vec![true, false, false];
+        let bins = reliability_diagram(&scores, &labels, 5);
+        let total: usize = bins.iter().map(|b| b.count).sum();
+        assert_eq!(total, 3);
+        // All three predictions have confidence 0.9 -> same bin, acc 2/3.
+        let bin = bins.iter().find(|b| b.count == 3).unwrap();
+        assert!((bin.accuracy - 2.0 / 3.0).abs() < 1e-12);
+        assert!((bin.confidence - 0.9).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,171 @@
+//! Additional calibration-assessment metrics.
+//!
+//! The paper notes (Section V-B2) that ECE has weaknesses — it cannot
+//! capture the variance of predicted values — and that "additional
+//! calibration assessment metrics could be investigated in subsequent
+//! work". This module provides them: maximum calibration error (MCE), the
+//! Brier score and its calibration/refinement decomposition.
+
+use crate::ece::reliability_diagram;
+
+/// Maximum calibration error: the worst confidence-accuracy gap over
+/// occupied bins (Guo et al., 2017). More sensitive to isolated
+/// badly-calibrated regions than ECE's occupancy-weighted mean.
+pub fn mce(scores: &[f64], labels: &[bool], n_bins: usize) -> f64 {
+    reliability_diagram(scores, labels, n_bins)
+        .iter()
+        .filter(|b| b.count > 0)
+        .map(|b| (b.accuracy - b.confidence).abs())
+        .fold(0.0, f64::max)
+}
+
+/// Brier score: mean squared error between predicted probability and the
+/// 0/1 outcome. Strictly proper, so it rewards both calibration and
+/// discrimination.
+pub fn brier(scores: &[f64], labels: &[bool]) -> f64 {
+    assert_eq!(scores.len(), labels.len());
+    if scores.is_empty() {
+        return 0.0;
+    }
+    scores
+        .iter()
+        .zip(labels)
+        .map(|(&p, &y)| {
+            let o = if y { 1.0 } else { 0.0 };
+            (p - o) * (p - o)
+        })
+        .sum::<f64>()
+        / scores.len() as f64
+}
+
+/// Murphy decomposition of the Brier score over `n_bins` probability bins:
+/// `brier = reliability − resolution + uncertainty`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BrierDecomposition {
+    /// Calibration term (lower is better).
+    pub reliability: f64,
+    /// Discrimination term (higher is better).
+    pub resolution: f64,
+    /// Outcome base-rate entropy term `ō(1−ō)` (data property).
+    pub uncertainty: f64,
+}
+
+impl BrierDecomposition {
+    /// Recompose the Brier score.
+    pub fn brier(&self) -> f64 {
+        self.reliability - self.resolution + self.uncertainty
+    }
+}
+
+/// Compute the Murphy decomposition with equal-width probability bins.
+pub fn brier_decomposition(scores: &[f64], labels: &[bool], n_bins: usize) -> BrierDecomposition {
+    assert_eq!(scores.len(), labels.len());
+    assert!(n_bins > 0);
+    let n = scores.len();
+    if n == 0 {
+        return BrierDecomposition { reliability: 0.0, resolution: 0.0, uncertainty: 0.0 };
+    }
+    let base_rate = labels.iter().filter(|&&y| y).count() as f64 / n as f64;
+    let mut bin_p = vec![0.0f64; n_bins];
+    let mut bin_o = vec![0.0f64; n_bins];
+    let mut bin_n = vec![0usize; n_bins];
+    for (&p, &y) in scores.iter().zip(labels) {
+        let b = ((p.clamp(0.0, 1.0) * n_bins as f64) as usize).min(n_bins - 1);
+        bin_p[b] += p;
+        bin_o[b] += if y { 1.0 } else { 0.0 };
+        bin_n[b] += 1;
+    }
+    let mut reliability = 0.0;
+    let mut resolution = 0.0;
+    for b in 0..n_bins {
+        if bin_n[b] == 0 {
+            continue;
+        }
+        let nk = bin_n[b] as f64;
+        let pk = bin_p[b] / nk;
+        let ok = bin_o[b] / nk;
+        reliability += nk / n as f64 * (pk - ok) * (pk - ok);
+        resolution += nk / n as f64 * (ok - base_rate) * (ok - base_rate);
+    }
+    BrierDecomposition {
+        reliability,
+        resolution,
+        uncertainty: base_rate * (1.0 - base_rate),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn brier_perfect_and_worst() {
+        assert_eq!(brier(&[1.0, 0.0], &[true, false]), 0.0);
+        assert_eq!(brier(&[0.0, 1.0], &[true, false]), 1.0);
+        assert_eq!(brier(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn brier_constant_half_is_quarter() {
+        let scores = vec![0.5; 10];
+        let labels: Vec<bool> = (0..10).map(|i| i % 2 == 0).collect();
+        assert!((brier(&scores, &labels) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mce_reflects_worst_bin_while_ece_dilutes_it() {
+        // Bin at confidence ~0.99 is perfect (10 samples); bin at ~0.65 is
+        // always wrong (2 samples). MCE picks up the 0.65 gap in full.
+        let mut scores = vec![0.99; 10];
+        let mut labels = vec![true; 10];
+        scores.extend(vec![0.65; 2]);
+        labels.extend(vec![false; 2]);
+        let m = mce(&scores, &labels, 10);
+        assert!(m > 0.6, "mce = {m}");
+        let e = crate::ece::ece(&scores, &labels, 10);
+        assert!(e < m, "ece {e} should be diluted below mce {m}");
+    }
+
+    #[test]
+    fn mce_zero_for_perfect_predictions() {
+        let scores = vec![1.0, 1.0, 0.0];
+        let labels = vec![true, true, false];
+        assert!(mce(&scores, &labels, 10) < 1e-12);
+    }
+
+    #[test]
+    fn decomposition_recomposes_brier() {
+        // With per-bin-constant predictions the decomposition is exact.
+        let mut scores = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..50 {
+            scores.push(0.85);
+            labels.push(i % 10 < 7);
+            scores.push(0.15);
+            labels.push(i % 10 < 2);
+        }
+        let d = brier_decomposition(&scores, &labels, 10);
+        let b = brier(&scores, &labels);
+        assert!(
+            (d.brier() - b).abs() < 1e-9,
+            "decomposition {} vs direct {}",
+            d.brier(),
+            b
+        );
+        assert!(d.reliability >= 0.0 && d.resolution >= 0.0);
+        assert!((d.uncertainty - 0.45 * 0.55).abs() < 1e-9);
+    }
+
+    #[test]
+    fn resolution_rewards_discrimination() {
+        // Discriminating predictions (right direction) have higher
+        // resolution than constant base-rate predictions.
+        let labels: Vec<bool> = (0..40).map(|i| i % 2 == 0).collect();
+        let informative: Vec<f64> =
+            labels.iter().map(|&y| if y { 0.9 } else { 0.1 }).collect();
+        let constant = vec![0.5; 40];
+        let di = brier_decomposition(&informative, &labels, 10);
+        let dc = brier_decomposition(&constant, &labels, 10);
+        assert!(di.resolution > dc.resolution);
+    }
+}

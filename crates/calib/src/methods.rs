@@ -1,0 +1,459 @@
+//! The six confidence-calibration methods of Section IV-C2.
+//!
+//! Parametric: temperature scaling, beta calibration, logistic (Platt)
+//! calibration. Non-parametric: histogram binning, isotonic regression
+//! (PAVA), Bayesian binning into quantiles (BBQ).
+//!
+//! All methods fit on a held-out calibration set of `(score, label)` pairs
+//! where `score ∈ [0, 1]` is the model's positive-class probability, and
+//! then map new scores to calibrated probabilities.
+
+const EPS: f64 = 1e-7;
+
+fn clamp01(p: f64) -> f64 {
+    p.clamp(EPS, 1.0 - EPS)
+}
+
+fn logit(p: f64) -> f64 {
+    let p = clamp01(p);
+    (p / (1.0 - p)).ln()
+}
+
+fn sigmoid(x: f64) -> f64 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// Negative log-likelihood of calibrated probabilities.
+fn nll(probs: &[f64], labels: &[bool]) -> f64 {
+    probs
+        .iter()
+        .zip(labels)
+        .map(|(&p, &y)| {
+            let p = clamp01(p);
+            if y {
+                -p.ln()
+            } else {
+                -(1.0 - p).ln()
+            }
+        })
+        .sum::<f64>()
+        / probs.len().max(1) as f64
+}
+
+/// The identifiers of the six methods, in the paper's presentation order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CalibMethod {
+    TemperatureScaling,
+    BetaCalibration,
+    LogisticCalibration,
+    HistogramBinning,
+    IsotonicRegression,
+    Bbq,
+}
+
+impl CalibMethod {
+    pub const ALL: [CalibMethod; 6] = [
+        CalibMethod::TemperatureScaling,
+        CalibMethod::BetaCalibration,
+        CalibMethod::LogisticCalibration,
+        CalibMethod::HistogramBinning,
+        CalibMethod::IsotonicRegression,
+        CalibMethod::Bbq,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            CalibMethod::TemperatureScaling => "temperature",
+            CalibMethod::BetaCalibration => "beta",
+            CalibMethod::LogisticCalibration => "logistic",
+            CalibMethod::HistogramBinning => "histogram",
+            CalibMethod::IsotonicRegression => "isotonic",
+            CalibMethod::Bbq => "bbq",
+        }
+    }
+
+    pub fn is_parametric(self) -> bool {
+        matches!(
+            self,
+            CalibMethod::TemperatureScaling
+                | CalibMethod::BetaCalibration
+                | CalibMethod::LogisticCalibration
+        )
+    }
+}
+
+/// A fitted calibration map.
+pub enum Calibrator {
+    Temperature { t: f64 },
+    Beta { a: f64, b: f64, c: f64 },
+    Logistic { a: f64, b: f64 },
+    Histogram { edges: Vec<f64>, values: Vec<f64> },
+    Isotonic { xs: Vec<f64>, ys: Vec<f64> },
+    Bbq { models: Vec<(Vec<f64>, Vec<f64>)>, weights: Vec<f64> },
+}
+
+impl Calibrator {
+    /// Fit the given method on a calibration split.
+    pub fn fit(method: CalibMethod, scores: &[f64], labels: &[bool]) -> Self {
+        assert_eq!(scores.len(), labels.len());
+        match method {
+            CalibMethod::TemperatureScaling => fit_temperature(scores, labels),
+            CalibMethod::BetaCalibration => fit_beta(scores, labels),
+            CalibMethod::LogisticCalibration => fit_logistic(scores, labels),
+            CalibMethod::HistogramBinning => fit_histogram(scores, labels, 10),
+            CalibMethod::IsotonicRegression => fit_isotonic(scores, labels),
+            CalibMethod::Bbq => fit_bbq(scores, labels),
+        }
+    }
+
+    /// Calibrate one score.
+    pub fn apply(&self, p: f64) -> f64 {
+        let p = p.clamp(0.0, 1.0);
+        match self {
+            Calibrator::Temperature { t } => sigmoid(logit(p) / t),
+            Calibrator::Beta { a, b, c } => {
+                let q = clamp01(p);
+                sigmoid(a * q.ln() - b * (1.0 - q).ln() + c)
+            }
+            Calibrator::Logistic { a, b } => sigmoid(a * logit(p) + b),
+            Calibrator::Histogram { edges, values } => {
+                let bin = edges.iter().take_while(|&&e| p >= e).count().saturating_sub(1);
+                values[bin.min(values.len() - 1)]
+            }
+            Calibrator::Isotonic { xs, ys } => {
+                // Step-function interpolation of the PAVA fit.
+                match xs.binary_search_by(|x| x.partial_cmp(&p).unwrap()) {
+                    Ok(i) => ys[i],
+                    Err(0) => ys.first().copied().unwrap_or(p),
+                    Err(i) if i >= xs.len() => ys.last().copied().unwrap_or(p),
+                    Err(i) => {
+                        // Linear interpolation between the bracketing points.
+                        let (x0, x1) = (xs[i - 1], xs[i]);
+                        let (y0, y1) = (ys[i - 1], ys[i]);
+                        if (x1 - x0).abs() < 1e-15 {
+                            y0
+                        } else {
+                            y0 + (y1 - y0) * (p - x0) / (x1 - x0)
+                        }
+                    }
+                }
+            }
+            Calibrator::Bbq { models, weights } => {
+                let mut out = 0.0;
+                for ((edges, values), &w) in models.iter().zip(weights) {
+                    let bin = edges.iter().take_while(|&&e| p >= e).count().saturating_sub(1);
+                    out += w * values[bin.min(values.len() - 1)];
+                }
+                out
+            }
+        }
+    }
+
+    /// Calibrate a batch.
+    pub fn apply_all(&self, scores: &[f64]) -> Vec<f64> {
+        scores.iter().map(|&p| self.apply(p)).collect()
+    }
+}
+
+/// Golden-section search for the temperature minimising NLL.
+fn fit_temperature(scores: &[f64], labels: &[bool]) -> Calibrator {
+    let logits: Vec<f64> = scores.iter().map(|&p| logit(p)).collect();
+    let loss = |t: f64| {
+        let probs: Vec<f64> = logits.iter().map(|&z| sigmoid(z / t)).collect();
+        nll(&probs, labels)
+    };
+    let (mut lo, mut hi) = (0.05f64, 10.0f64);
+    let phi = (5.0f64.sqrt() - 1.0) / 2.0;
+    for _ in 0..60 {
+        let m1 = hi - phi * (hi - lo);
+        let m2 = lo + phi * (hi - lo);
+        if loss(m1) < loss(m2) {
+            hi = m2;
+        } else {
+            lo = m1;
+        }
+    }
+    Calibrator::Temperature { t: (lo + hi) / 2.0 }
+}
+
+/// Gradient descent on the 2-parameter Platt map `σ(a·logit(p) + b)`.
+fn fit_logistic(scores: &[f64], labels: &[bool]) -> Calibrator {
+    let z: Vec<f64> = scores.iter().map(|&p| logit(p)).collect();
+    let (mut a, mut b) = (1.0f64, 0.0f64);
+    let n = z.len().max(1) as f64;
+    let lr = 0.1;
+    for _ in 0..500 {
+        let (mut ga, mut gb) = (0.0, 0.0);
+        for (&zi, &yi) in z.iter().zip(labels) {
+            let p = sigmoid(a * zi + b);
+            let err = p - if yi { 1.0 } else { 0.0 };
+            ga += err * zi;
+            gb += err;
+        }
+        a -= lr * ga / n;
+        b -= lr * gb / n;
+    }
+    Calibrator::Logistic { a, b }
+}
+
+/// Gradient descent on the 3-parameter beta-calibration map
+/// `σ(a·ln p − b·ln(1−p) + c)` with `a, b ≥ 0` (Kull et al.).
+fn fit_beta(scores: &[f64], labels: &[bool]) -> Calibrator {
+    let u: Vec<f64> = scores.iter().map(|&p| clamp01(p).ln()).collect();
+    let v: Vec<f64> = scores.iter().map(|&p| (1.0 - clamp01(p)).ln()).collect();
+    let (mut a, mut b, mut c) = (1.0f64, 1.0f64, 0.0f64);
+    let n = u.len().max(1) as f64;
+    let lr = 0.1;
+    for _ in 0..500 {
+        let (mut ga, mut gb, mut gc) = (0.0, 0.0, 0.0);
+        for ((&ui, &vi), &yi) in u.iter().zip(&v).zip(labels) {
+            let p = sigmoid(a * ui - b * vi + c);
+            let err = p - if yi { 1.0 } else { 0.0 };
+            ga += err * ui;
+            gb += err * -vi;
+            gc += err;
+        }
+        a = (a - lr * ga / n).max(0.0);
+        b = (b - lr * gb / n).max(0.0);
+        c -= lr * gc / n;
+    }
+    Calibrator::Beta { a, b, c }
+}
+
+/// Equal-width histogram binning (Zadrozny & Elkan, 2001) with Laplace
+/// smoothing inside each bin.
+fn fit_histogram(scores: &[f64], labels: &[bool], n_bins: usize) -> Calibrator {
+    let edges: Vec<f64> = (0..=n_bins).map(|i| i as f64 / n_bins as f64).collect();
+    let mut pos = vec![0.0f64; n_bins];
+    let mut cnt = vec![0.0f64; n_bins];
+    for (&p, &y) in scores.iter().zip(labels) {
+        let b = ((p * n_bins as f64) as usize).min(n_bins - 1);
+        cnt[b] += 1.0;
+        if y {
+            pos[b] += 1.0;
+        }
+    }
+    let values: Vec<f64> = (0..n_bins).map(|b| (pos[b] + 1.0) / (cnt[b] + 2.0)).collect();
+    Calibrator::Histogram { edges, values }
+}
+
+/// Isotonic regression by pool-adjacent-violators (Zadrozny & Elkan, 2002).
+fn fit_isotonic(scores: &[f64], labels: &[bool]) -> Calibrator {
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&i, &j| scores[i].partial_cmp(&scores[j]).unwrap());
+    // Blocks of (weighted mean, weight, min x, max x).
+    let mut blocks: Vec<(f64, f64, f64)> = Vec::new(); // (mean, weight, x)
+    for &i in &order {
+        let y = if labels[i] { 1.0 } else { 0.0 };
+        blocks.push((y, 1.0, scores[i]));
+        while blocks.len() >= 2 {
+            let n = blocks.len();
+            if blocks[n - 2].0 <= blocks[n - 1].0 {
+                break;
+            }
+            let (m2, w2, _x2) = blocks.pop().unwrap();
+            let (m1, w1, x1) = blocks.pop().unwrap();
+            let w = w1 + w2;
+            blocks.push(((m1 * w1 + m2 * w2) / w, w, x1));
+        }
+    }
+    // Expand blocks back into a monotone step function keyed by score.
+    let mut xs = Vec::with_capacity(blocks.len());
+    let mut ys = Vec::with_capacity(blocks.len());
+    for &(m, _w, x) in &blocks {
+        xs.push(x);
+        ys.push(m);
+    }
+    Calibrator::Isotonic { xs, ys }
+}
+
+/// Bayesian binning into quantiles (Naeini et al., 2015): average several
+/// equal-frequency binning models, weighted by their Beta-Binomial marginal
+/// likelihood.
+fn fit_bbq(scores: &[f64], labels: &[bool]) -> Calibrator {
+    let n = scores.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| scores[i].partial_cmp(&scores[j]).unwrap());
+
+    let bin_counts: Vec<usize> = [2usize, 3, 5, 8, 12]
+        .into_iter()
+        .filter(|&b| b <= n.max(1))
+        .collect();
+    let bin_counts = if bin_counts.is_empty() { vec![1] } else { bin_counts };
+
+    let mut models = Vec::new();
+    let mut log_evidence = Vec::new();
+    for &nb in &bin_counts {
+        let mut edges = vec![0.0f64];
+        let mut values = Vec::with_capacity(nb);
+        let mut log_ev = 0.0f64;
+        for b in 0..nb {
+            let lo = b * n / nb;
+            let hi = ((b + 1) * n / nb).max(lo + 1).min(n);
+            let idx = &order[lo..hi.max(lo)];
+            let k = idx.iter().filter(|&&i| labels[i]).count() as f64;
+            let m = idx.len() as f64;
+            values.push((k + 1.0) / (m + 2.0));
+            // Beta(1,1)-Binomial evidence: B(k+1, m-k+1) / B(1,1).
+            log_ev += ln_beta(k + 1.0, m - k + 1.0);
+            if b + 1 < nb {
+                let cut = scores[order[hi.min(n - 1)]];
+                edges.push(cut);
+            }
+        }
+        edges.push(1.0 + 1e-12);
+        models.push((edges, values));
+        log_evidence.push(log_ev);
+    }
+    // Softmax the evidences into weights.
+    let max_ev = log_evidence.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let mut weights: Vec<f64> = log_evidence.iter().map(|&e| (e - max_ev).exp()).collect();
+    let s: f64 = weights.iter().sum();
+    for w in &mut weights {
+        *w /= s;
+    }
+    Calibrator::Bbq { models, weights }
+}
+
+/// `ln B(a, b)` via Stirling-series `ln Γ`.
+fn ln_beta(a: f64, b: f64) -> f64 {
+    ln_gamma(a) + ln_gamma(b) - ln_gamma(a + b)
+}
+
+/// Lanczos approximation of `ln Γ(x)` for `x > 0`.
+fn ln_gamma(x: f64) -> f64 {
+    const G: f64 = 7.0;
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_13,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        return (std::f64::consts::PI / (std::f64::consts::PI * x).sin()).ln()
+            - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = COEF[0];
+    let t = x + G + 0.5;
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        a += c / (x + i as f64);
+    }
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ece::ece;
+
+    /// Systematically overconfident scores: true probability is milder than
+    /// the reported one.
+    fn overconfident_data() -> (Vec<f64>, Vec<bool>) {
+        let mut scores = Vec::new();
+        let mut labels = Vec::new();
+        // Reported 0.9 but only 60% positive; reported 0.1 but 40% positive.
+        for i in 0..200 {
+            scores.push(0.9);
+            labels.push(i % 10 < 6);
+            scores.push(0.1);
+            labels.push(i % 10 < 4);
+        }
+        (scores, labels)
+    }
+
+    #[test]
+    fn every_method_reduces_ece_on_overconfident_data() {
+        let (scores, labels) = overconfident_data();
+        let before = ece(&scores, &labels, 10);
+        for method in CalibMethod::ALL {
+            let cal = Calibrator::fit(method, &scores, &labels);
+            let after = ece(&cal.apply_all(&scores), &labels, 10);
+            assert!(
+                after < before,
+                "{} failed to reduce ECE: {before:.4} -> {after:.4}",
+                method.name()
+            );
+        }
+    }
+
+    #[test]
+    fn outputs_stay_in_unit_interval() {
+        let (scores, labels) = overconfident_data();
+        for method in CalibMethod::ALL {
+            let cal = Calibrator::fit(method, &scores, &labels);
+            for p in [0.0, 0.001, 0.25, 0.5, 0.75, 0.999, 1.0] {
+                let q = cal.apply(p);
+                assert!((0.0..=1.0).contains(&q), "{}({p}) = {q}", method.name());
+            }
+        }
+    }
+
+    #[test]
+    fn temperature_above_one_for_overconfident_model() {
+        let (scores, labels) = overconfident_data();
+        let cal = Calibrator::fit(CalibMethod::TemperatureScaling, &scores, &labels);
+        match cal {
+            Calibrator::Temperature { t } => assert!(t > 1.0, "t = {t}"),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn isotonic_output_is_monotone() {
+        let (scores, labels) = overconfident_data();
+        let cal = Calibrator::fit(CalibMethod::IsotonicRegression, &scores, &labels);
+        let mut prev = -1.0;
+        for i in 0..=100 {
+            let p = i as f64 / 100.0;
+            let q = cal.apply(p);
+            assert!(q >= prev - 1e-12, "isotonic not monotone at {p}: {q} < {prev}");
+            prev = q;
+        }
+    }
+
+    #[test]
+    fn histogram_learns_bin_frequencies() {
+        let scores = vec![0.95; 100];
+        let labels: Vec<bool> = (0..100).map(|i| i < 70).collect();
+        let cal = Calibrator::fit(CalibMethod::HistogramBinning, &scores, &labels);
+        let q = cal.apply(0.95);
+        assert!((q - 0.7).abs() < 0.02, "q = {q}");
+    }
+
+    #[test]
+    fn bbq_weights_sum_to_one() {
+        let (scores, labels) = overconfident_data();
+        let cal = Calibrator::fit(CalibMethod::Bbq, &scores, &labels);
+        match cal {
+            Calibrator::Bbq { weights, .. } => {
+                assert!((weights.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn parametric_split_matches_paper() {
+        assert!(CalibMethod::TemperatureScaling.is_parametric());
+        assert!(CalibMethod::BetaCalibration.is_parametric());
+        assert!(CalibMethod::LogisticCalibration.is_parametric());
+        assert!(!CalibMethod::HistogramBinning.is_parametric());
+        assert!(!CalibMethod::IsotonicRegression.is_parametric());
+        assert!(!CalibMethod::Bbq.is_parametric());
+    }
+
+    #[test]
+    fn ln_gamma_known_values() {
+        // Γ(5) = 24.
+        assert!((ln_gamma(5.0) - 24.0f64.ln()).abs() < 1e-9);
+        // Γ(0.5) = sqrt(pi).
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,146 @@
+//! Configuration of the end-to-end DBG4ETH pipeline.
+
+use calib::MethodSubset;
+use gnn::{AugmentConfig, GsgConfig, LdgConfig};
+
+/// Which tabular classifier consumes the calibrated probabilities
+/// (Section IV-D and Fig. 7).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ClassifierKind {
+    /// LightGBM-style GBDT — the paper's choice.
+    LightGbm,
+    /// XGBoost-style GBDT.
+    XgBoost,
+    RandomForest,
+    AdaBoost,
+    Mlp,
+}
+
+impl ClassifierKind {
+    pub const ALL: [ClassifierKind; 5] = [
+        ClassifierKind::LightGbm,
+        ClassifierKind::XgBoost,
+        ClassifierKind::RandomForest,
+        ClassifierKind::AdaBoost,
+        ClassifierKind::Mlp,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            ClassifierKind::LightGbm => "LightGBM",
+            ClassifierKind::XgBoost => "XGBoost",
+            ClassifierKind::RandomForest => "RandomForest",
+            ClassifierKind::AdaBoost => "AdaBoost",
+            ClassifierKind::Mlp => "MLP",
+        }
+    }
+}
+
+/// How subgraph node features are constructed before lowering.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FeatureMode {
+    /// Log-compressed absolute scales (the default; see features crate).
+    LogAbsolute,
+    /// Per-graph column z-scoring (destroys absolute scales — kept as a
+    /// design ablation).
+    ZScored,
+    /// Constant 1-dim features (the "w/o node feature" setting).
+    None,
+}
+
+/// Calibration-stage configuration, including the Table IV ablations.
+#[derive(Clone, Copy, Debug)]
+pub struct CalibrationConfig {
+    /// Apply calibration at all (`false` = "w/o calibration").
+    pub enabled: bool,
+    /// Which methods participate ("w/o Param." / "w/o Non-param.").
+    pub subset: MethodSubset,
+    /// Weight by ΔECE (`false` = uniform weights, the "w/o Ada." rows).
+    pub adaptive: bool,
+}
+
+impl Default for CalibrationConfig {
+    fn default() -> Self {
+        Self { enabled: true, subset: MethodSubset::All, adaptive: true }
+    }
+}
+
+/// Full pipeline configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct Dbg4EthConfig {
+    pub gsg: GsgConfig,
+    pub ldg: LdgConfig,
+    /// Enable the global static branch (`false` = "w/o GSG").
+    pub use_gsg: bool,
+    /// Enable the local dynamic branch (`false` = "w/o LDG").
+    pub use_ldg: bool,
+    /// Contrastive-regularisation weight on the GSG branch
+    /// (0 disables the augmented-view objective).
+    pub contrastive_weight: f32,
+    /// Augmentation settings of the two views.
+    pub aug1: AugmentConfig,
+    pub aug2: AugmentConfig,
+    /// Number of LDG time slices `T` (paper: 10).
+    pub t_slices: usize,
+    pub epochs: usize,
+    pub batch_size: usize,
+    pub lr: f32,
+    pub calibration: CalibrationConfig,
+    pub classifier: ClassifierKind,
+    /// Node-feature construction mode.
+    pub features: FeatureMode,
+    /// Fraction of the training split held out to fit the calibrators and
+    /// the final classifier (they must not see the encoder's training fit).
+    /// With 0 (the default), 2-fold cross-fitting is used instead when
+    /// `cross_fit` is set.
+    pub holdout_frac: f64,
+    /// Cross-fit the training-split scores used to fit the calibrators and
+    /// stacked classifier (standard stacking practice; see DESIGN.md).
+    /// Only applies when `holdout_frac == 0`.
+    pub cross_fit: bool,
+    pub seed: u64,
+}
+
+impl Default for Dbg4EthConfig {
+    fn default() -> Self {
+        Self {
+            gsg: GsgConfig::default(),
+            ldg: LdgConfig::default(),
+            use_gsg: true,
+            use_ldg: true,
+            contrastive_weight: 0.2,
+            aug1: AugmentConfig::view1(),
+            aug2: AugmentConfig::view2(),
+            t_slices: 10,
+            epochs: 20,
+            batch_size: 8,
+            lr: 0.005,
+            calibration: CalibrationConfig::default(),
+            classifier: ClassifierKind::LightGbm,
+            features: FeatureMode::LogAbsolute,
+            holdout_frac: 0.0,
+            cross_fit: true,
+            seed: 42,
+        }
+    }
+}
+
+impl Dbg4EthConfig {
+    /// A fast, reduced configuration for tests and CI.
+    pub fn fast() -> Self {
+        Self {
+            gsg: GsgConfig { hidden: 32, heads: 2, d_out: 16, ..GsgConfig::default() },
+            ldg: LdgConfig {
+                hidden: 32,
+                t_slices: 5,
+                d_out: 16,
+                pool_clusters: [8, 4, 1],
+                ..LdgConfig::default()
+            },
+            t_slices: 5,
+            epochs: 6,
+            contrastive_weight: 0.1,
+            ..Self::default()
+        }
+    }
+}

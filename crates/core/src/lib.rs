@@ -1,0 +1,37 @@
+//! # dbg4eth — Double Graph inference-based account de-anonymization
+//!
+//! Rust reproduction of *Know Your Account: Double Graph Inference-based
+//! Account De-anonymization on Ethereum* (ICDE 2025). The pipeline:
+//!
+//! 1. sample account-centred subgraphs and extract 15-dim deep features
+//!    (`eth-graph`, `features`),
+//! 2. encode the **Global Static Graph** with hierarchical attention +
+//!    contrastive regularisation, and the **Local Dynamic Graph** with
+//!    GCN+GRU+DiffPool (`gnn`),
+//! 3. scale and adaptively calibrate both branches' confidences (`calib`),
+//! 4. classify the calibrated pair with a LightGBM-style GBDT (`boost`).
+//!
+//! Entry point: [`run`] on an `eth_sim::GraphDataset` with a
+//! [`Dbg4EthConfig`].
+//!
+//! ```no_run
+//! use dbg4eth::{run, Dbg4EthConfig};
+//! use eth_graph::SamplerConfig;
+//! use eth_sim::{AccountClass, Benchmark, DatasetScale};
+//!
+//! let bench = Benchmark::generate(DatasetScale::small(), SamplerConfig::default(), 7);
+//! let out = run(bench.dataset(AccountClass::Exchange), 0.8, &Dbg4EthConfig::fast());
+//! println!("F1 = {:.2}", out.metrics.f1);
+//! ```
+
+mod config;
+mod multiclass;
+mod pipeline;
+mod trainer;
+
+pub use config::{CalibrationConfig, ClassifierKind, Dbg4EthConfig, FeatureMode};
+pub use multiclass::{run_multiclass, MultiClassResult};
+pub use pipeline::{
+    encode, finish, fit_predict_classifier, run, BranchDiagnostics, EncodedDataset, RunOutput,
+};
+pub use trainer::{train_gsg, train_ldg, EpochStats, TrainedGsg, TrainedLdg};

@@ -1,0 +1,405 @@
+//! The end-to-end DBG4ETH pipeline (Fig. 2): double-graph encoders →
+//! confidence generation → adaptive calibration → account classification.
+
+use crate::config::{ClassifierKind, Dbg4EthConfig, FeatureMode};
+use crate::trainer::{train_gsg, train_ldg};
+use boost::{AdaBoost, AdaBoostConfig, ForestConfig, Gbdt, GbdtConfig, MlpClassifier, MlpClassifierConfig, RandomForest};
+use calib::{ece, AdaptiveCalibrator, CalibMethod, ConfidenceScaler, ECE_BINS};
+use eth_sim::{GraphDataset, POSITIVE};
+use gnn::GraphTensors;
+use nn::metrics::Metrics;
+use rand::rngs::StdRng;
+use rand::{seq::SliceRandom, SeedableRng};
+
+/// Per-branch calibration diagnostics (feeding Fig. 6 and EXPERIMENTS.md).
+#[derive(Clone, Debug)]
+pub struct BranchDiagnostics {
+    /// Adaptive weight of each calibration method (Eq. 25).
+    pub weights: Vec<(CalibMethod, f64)>,
+    /// ECE of the scaled-but-uncalibrated scores on the holdout.
+    pub base_ece: f64,
+    /// ECE of the weighted calibrated scores on the holdout.
+    pub calibrated_ece: f64,
+}
+
+/// Result of one DBG4ETH run on one dataset.
+#[derive(Clone, Debug)]
+pub struct RunOutput {
+    pub metrics: Metrics,
+    /// Final classifier probabilities on the test split.
+    pub test_scores: Vec<f64>,
+    pub test_labels: Vec<bool>,
+    pub gsg: Option<BranchDiagnostics>,
+    pub ldg: Option<BranchDiagnostics>,
+    /// Calibrated feature rows `[P_g, P_l]` on the classifier-fitting split,
+    /// exposed so Fig. 7 can compare alternative classifiers on identical
+    /// inputs.
+    pub train_features: Vec<Vec<f64>>,
+    pub train_labels: Vec<bool>,
+    pub test_features: Vec<Vec<f64>>,
+}
+
+/// Fit the configured classifier and return P(positive) on the test rows.
+pub fn fit_predict_classifier(
+    kind: ClassifierKind,
+    train_x: &[Vec<f64>],
+    train_y: &[bool],
+    test_x: &[Vec<f64>],
+) -> Vec<f64> {
+    match kind {
+        ClassifierKind::LightGbm => {
+            Gbdt::fit(train_x, train_y, GbdtConfig::lightgbm()).predict_proba_all(test_x)
+        }
+        ClassifierKind::XgBoost => {
+            Gbdt::fit(train_x, train_y, GbdtConfig::xgboost()).predict_proba_all(test_x)
+        }
+        ClassifierKind::RandomForest => {
+            RandomForest::fit(train_x, train_y, ForestConfig::default()).predict_proba_all(test_x)
+        }
+        ClassifierKind::AdaBoost => {
+            AdaBoost::fit(train_x, train_y, AdaBoostConfig::default()).predict_proba_all(test_x)
+        }
+        ClassifierKind::Mlp => {
+            MlpClassifier::fit(train_x, train_y, MlpClassifierConfig::default())
+                .predict_proba_all(test_x)
+        }
+    }
+}
+
+struct Branch {
+    holdout_p: Vec<f64>,
+    test_p: Vec<f64>,
+    diagnostics: BranchDiagnostics,
+}
+
+/// Scale raw scores into confidences, calibrate them adaptively, and report
+/// diagnostics. `holdout` fits the scaler and calibrators; `test` is mapped.
+fn calibrate_branch(
+    holdout_raw: &[f64],
+    test_raw: &[f64],
+    holdout_labels: &[bool],
+    config: &Dbg4EthConfig,
+) -> Branch {
+    // Stage 1 — confidence generation: "scale the predicted values
+    // according to their mean and standard deviation" (Section IV-C1).
+    // Each batch is scaled by its *own* statistics: the encoder's raw
+    // log-odds are systematically larger on data it was fitted on, so
+    // z-scoring per batch is what makes train-fitted calibrators transfer
+    // to the test distribution.
+    let holdout_s = ConfidenceScaler::fit(holdout_raw).scale_all(holdout_raw);
+    let test_s = ConfidenceScaler::fit(test_raw).scale_all(test_raw);
+    let base_ece = ece(&holdout_s, holdout_labels, ECE_BINS);
+
+    if !config.calibration.enabled {
+        return Branch {
+            holdout_p: holdout_s.clone(),
+            test_p: test_s,
+            diagnostics: BranchDiagnostics {
+                weights: Vec::new(),
+                base_ece,
+                calibrated_ece: base_ece,
+            },
+        };
+    }
+
+    // Stages 2-3 — per-method calibration and adaptive ΔECE weighting.
+    let cal = AdaptiveCalibrator::fit(
+        &holdout_s,
+        holdout_labels,
+        config.calibration.subset,
+        config.calibration.adaptive,
+    );
+    let holdout_p = cal.calibrate_all(&holdout_s);
+    let test_p = cal.calibrate_all(&test_s);
+    let calibrated_ece = ece(&holdout_p, holdout_labels, ECE_BINS);
+    Branch {
+        holdout_p,
+        test_p,
+        diagnostics: BranchDiagnostics {
+            weights: cal.method_weights(),
+            base_ece,
+            calibrated_ece,
+        },
+    }
+}
+
+/// Encoder-stage output: raw prediction values per branch, before the
+/// calibration and classification stages. Produced by [`encode`] and
+/// consumed by [`finish`] — splitting the pipeline lets the Table IV
+/// calibration/classifier ablations reuse one (expensive) encoder training.
+#[derive(Clone, Debug)]
+pub struct EncodedDataset {
+    /// `(holdout_raw, test_raw)` log-odds from the GSG branch.
+    pub gsg: Option<(Vec<f64>, Vec<f64>)>,
+    /// `(holdout_raw, test_raw)` log-odds from the LDG branch.
+    pub ldg: Option<(Vec<f64>, Vec<f64>)>,
+    pub holdout_labels: Vec<bool>,
+    pub test_labels: Vec<bool>,
+}
+
+/// Stages 2-4 of the pipeline: confidence generation, adaptive calibration
+/// and classification, applied to precomputed raw scores. The branch and
+/// calibration switches of `config` select the Table IV ablations; branches
+/// absent from `encoded` are ignored.
+pub fn finish(encoded: &EncodedDataset, config: &Dbg4EthConfig) -> RunOutput {
+    let mut branches: Vec<Branch> = Vec::new();
+    let mut gsg_diag = None;
+    let mut ldg_diag = None;
+    if config.use_gsg {
+        let (holdout_raw, test_raw) =
+            encoded.gsg.as_ref().expect("GSG branch not encoded");
+        let branch =
+            calibrate_branch(holdout_raw, test_raw, &encoded.holdout_labels, config);
+        gsg_diag = Some(branch.diagnostics.clone());
+        branches.push(branch);
+    }
+    if config.use_ldg {
+        let (holdout_raw, test_raw) =
+            encoded.ldg.as_ref().expect("LDG branch not encoded");
+        let branch =
+            calibrate_branch(holdout_raw, test_raw, &encoded.holdout_labels, config);
+        ldg_diag = Some(branch.diagnostics.clone());
+        branches.push(branch);
+    }
+    assert!(!branches.is_empty(), "at least one branch required");
+
+    let stack = |get: &dyn Fn(&Branch) -> &Vec<f64>, n: usize| -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|r| branches.iter().map(|b| get(b)[r]).collect())
+            .collect()
+    };
+    let train_features = stack(&|b| &b.holdout_p, encoded.holdout_labels.len());
+    let test_features = stack(&|b| &b.test_p, encoded.test_labels.len());
+
+    let test_scores = fit_predict_classifier(
+        config.classifier,
+        &train_features,
+        &encoded.holdout_labels,
+        &test_features,
+    );
+    let metrics = Metrics::from_scores(&test_scores, &encoded.test_labels, 0.5);
+
+    RunOutput {
+        metrics,
+        test_scores,
+        test_labels: encoded.test_labels.clone(),
+        gsg: gsg_diag,
+        ldg: ldg_diag,
+        train_features,
+        train_labels: encoded.holdout_labels.clone(),
+        test_features,
+    }
+}
+
+/// Run DBG4ETH on one dataset with the given train fraction.
+pub fn run(dataset: &GraphDataset, train_frac: f64, config: &Dbg4EthConfig) -> RunOutput {
+    finish(&encode(dataset, train_frac, config), config)
+}
+
+/// Stage 1-2 of the pipeline: lower the graphs, split, train the enabled
+/// branches and compute their raw prediction values.
+pub fn encode(dataset: &GraphDataset, train_frac: f64, config: &Dbg4EthConfig) -> EncodedDataset {
+    assert!(config.use_gsg || config.use_ldg, "at least one branch required");
+    let (train_idx, test_idx) = dataset.split(train_frac, config.seed);
+
+    // Lower every graph once, honouring the feature mode.
+    let tensors: Vec<GraphTensors> = dataset
+        .graphs
+        .iter()
+        .map(|g| match config.features {
+            FeatureMode::LogAbsolute => GraphTensors::from_subgraph(g, config.t_slices),
+            FeatureMode::ZScored => {
+                let mut x = features::log_compress(&features::raw_features(g));
+                features::standardize_columns(&mut x);
+                GraphTensors::new(g, x, config.t_slices)
+            }
+            FeatureMode::None => GraphTensors::without_node_features(g, config.t_slices),
+        })
+        .collect();
+    let labels: Vec<bool> = dataset
+        .graphs
+        .iter()
+        .map(|g| g.label == Some(POSITIVE))
+        .collect();
+
+    // Holdout construction for fitting the calibrators and the stacked
+    // classifier. With `holdout_frac = 0` (the default under label
+    // scarcity) the training split is **cross-fitted**: it is cut into two
+    // stratified folds, each fold is scored by an encoder trained on the
+    // other, and the final encoder (trained on the full split) scores the
+    // test set. Cross-fitting is the standard way to build a stacked
+    // meta-learner's training features (Wolpert, 1992): scoring the
+    // training data with an encoder fitted on it yields saturated,
+    // error-free features from which LightGBM cannot learn which branch to
+    // trust. With `holdout_frac > 0` a plain disjoint holdout is used
+    // instead.
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0x401D);
+    let cross_fit = config.cross_fit && config.holdout_frac <= 0.0;
+    let mut fit_idx = Vec::new();
+    let mut holdout_idx = Vec::new();
+    let mut fold_a = Vec::new();
+    let mut fold_b = Vec::new();
+    if cross_fit {
+        fit_idx = train_idx.clone();
+        for positive in [true, false] {
+            let mut part: Vec<usize> = train_idx
+                .iter()
+                .copied()
+                .filter(|&i| labels[i] == positive)
+                .collect();
+            part.shuffle(&mut rng);
+            let half = part.len() / 2;
+            fold_a.extend_from_slice(&part[..half]);
+            fold_b.extend_from_slice(&part[half..]);
+        }
+        holdout_idx.extend_from_slice(&fold_a);
+        holdout_idx.extend_from_slice(&fold_b);
+    } else {
+        for positive in [true, false] {
+            let mut part: Vec<usize> = train_idx
+                .iter()
+                .copied()
+                .filter(|&i| labels[i] == positive)
+                .collect();
+            part.shuffle(&mut rng);
+            let n_hold = ((part.len() as f64) * config.holdout_frac).round() as usize;
+            let n_hold = n_hold.clamp(1.min(part.len()), part.len().saturating_sub(1).max(1));
+            holdout_idx.extend_from_slice(&part[..n_hold]);
+            fit_idx.extend_from_slice(&part[n_hold..]);
+        }
+    }
+
+    let graphs_of = |idx: &[usize]| -> Vec<&GraphTensors> {
+        idx.iter().map(|&i| &tensors[i]).collect()
+    };
+    let fit_graphs = graphs_of(&fit_idx);
+    let test_graphs = graphs_of(&test_idx);
+    let holdout_labels: Vec<bool> = holdout_idx.iter().map(|&i| labels[i]).collect();
+    let test_labels: Vec<bool> = test_idx.iter().map(|&i| labels[i]).collect();
+
+    // Train a branch and produce (holdout_raw, test_raw), cross-fitting the
+    // holdout scores when enabled.
+    let run_branch = |train: &dyn Fn(&[&GraphTensors]) -> Box<dyn Fn(&[&GraphTensors]) -> Vec<f64>>| {
+        let full_scorer = train(&fit_graphs);
+        let test_raw = full_scorer(&test_graphs);
+        let holdout_raw = if cross_fit && !fold_a.is_empty() && !fold_b.is_empty() {
+            // Score each fold with the encoder trained on the other fold.
+            let scorer_a = train(&graphs_of(&fold_b)); // fitted without fold A
+            let mut scores = scorer_a(&graphs_of(&fold_a));
+            let scorer_b = train(&graphs_of(&fold_a));
+            scores.extend(scorer_b(&graphs_of(&fold_b)));
+            scores
+        } else {
+            full_scorer(&graphs_of(&holdout_idx))
+        };
+        (holdout_raw, test_raw)
+    };
+
+    let mut gsg = None;
+    let mut ldg = None;
+    if config.use_gsg {
+        gsg = Some(run_branch(&|graphs: &[&GraphTensors]| {
+            let trained = train_gsg(graphs, config);
+            Box::new(move |gs: &[&GraphTensors]| trained.raw_scores(gs))
+        }));
+    }
+    if config.use_ldg {
+        ldg = Some(run_branch(&|graphs: &[&GraphTensors]| {
+            let trained = train_ldg(graphs, config);
+            Box::new(move |gs: &[&GraphTensors]| trained.raw_scores(gs))
+        }));
+    }
+    EncodedDataset { gsg, ldg, holdout_labels, test_labels }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eth_graph::SamplerConfig;
+    use eth_sim::{AccountClass, Benchmark, DatasetScale};
+
+    fn tiny_benchmark() -> Benchmark {
+        let scale = DatasetScale {
+            exchange: 14,
+            ico_wallet: 0,
+            mining: 0,
+            phish_hack: 0,
+            bridge: 0,
+            defi: 0,
+        };
+        Benchmark::generate(scale, SamplerConfig { top_k: 12, hops: 2 }, 5)
+    }
+
+    fn tiny_config() -> Dbg4EthConfig {
+        let mut cfg = Dbg4EthConfig::fast();
+        cfg.epochs = 4;
+        cfg.gsg.hidden = 16;
+        cfg.gsg.d_out = 8;
+        cfg.ldg.hidden = 16;
+        cfg.ldg.d_out = 8;
+        cfg.ldg.pool_clusters = [4, 2, 1];
+        cfg.t_slices = 3;
+        cfg
+    }
+
+    #[test]
+    fn end_to_end_run_produces_consistent_output() {
+        let b = tiny_benchmark();
+        let d = b.dataset(AccountClass::Exchange);
+        let out = run(d, 0.7, &tiny_config());
+        assert_eq!(out.test_scores.len(), out.test_labels.len());
+        assert!(!out.test_scores.is_empty());
+        assert!(out.test_scores.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        assert!(out.gsg.is_some() && out.ldg.is_some());
+        let g = out.gsg.unwrap();
+        assert_eq!(g.weights.len(), 6);
+        let wsum: f64 = g.weights.iter().map(|(_, w)| w).sum();
+        assert!((wsum - 1.0).abs() < 1e-9);
+        // Metrics are percentages.
+        assert!(out.metrics.accuracy >= 0.0 && out.metrics.accuracy <= 100.0);
+        // Feature rows have one column per branch.
+        assert!(out.train_features.iter().all(|r| r.len() == 2));
+    }
+
+    #[test]
+    fn single_branch_ablations_run() {
+        let b = tiny_benchmark();
+        let d = b.dataset(AccountClass::Exchange);
+        let mut cfg = tiny_config();
+        cfg.use_ldg = false;
+        let out = run(d, 0.7, &cfg);
+        assert!(out.ldg.is_none());
+        assert!(out.train_features.iter().all(|r| r.len() == 1));
+
+        let mut cfg = tiny_config();
+        cfg.use_gsg = false;
+        cfg.contrastive_weight = 0.0;
+        let out = run(d, 0.7, &cfg);
+        assert!(out.gsg.is_none());
+    }
+
+    #[test]
+    fn without_calibration_reports_no_weights() {
+        let b = tiny_benchmark();
+        let d = b.dataset(AccountClass::Exchange);
+        let mut cfg = tiny_config();
+        cfg.use_ldg = false;
+        cfg.calibration.enabled = false;
+        let out = run(d, 0.7, &cfg);
+        let diag = out.gsg.unwrap();
+        assert!(diag.weights.is_empty());
+        assert_eq!(diag.base_ece, diag.calibrated_ece);
+    }
+
+    #[test]
+    fn runs_are_seed_deterministic() {
+        let b = tiny_benchmark();
+        let d = b.dataset(AccountClass::Exchange);
+        let mut cfg = tiny_config();
+        cfg.use_ldg = false; // keep it quick
+        let a = run(d, 0.7, &cfg);
+        let c = run(d, 0.7, &cfg);
+        assert_eq!(a.test_scores, c.test_scores);
+        assert_eq!(a.metrics, c.metrics);
+    }
+}

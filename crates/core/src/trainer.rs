@@ -1,0 +1,184 @@
+//! Training loops for the two encoder branches.
+
+use crate::config::Dbg4EthConfig;
+use gnn::{augment, nt_xent, GraphTensors, GsgEncoder, LdgEncoder};
+use nn::{Adam, Ctx, ParamStore};
+use rand::rngs::StdRng;
+use rand::{seq::SliceRandom, SeedableRng};
+use std::rc::Rc;
+use tensor::{Tape, Var};
+
+/// Per-epoch training statistics.
+#[derive(Clone, Copy, Debug)]
+pub struct EpochStats {
+    pub loss: f32,
+    pub contrastive: f32,
+}
+
+/// A trained GSG branch.
+pub struct TrainedGsg {
+    pub store: ParamStore,
+    pub encoder: GsgEncoder,
+    pub history: Vec<EpochStats>,
+}
+
+/// A trained LDG branch.
+pub struct TrainedLdg {
+    pub store: ParamStore,
+    pub encoder: LdgEncoder,
+    pub history: Vec<EpochStats>,
+}
+
+fn batches(n: usize, batch_size: usize, rng: &mut StdRng) -> Vec<Vec<usize>> {
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.shuffle(rng);
+    idx.chunks(batch_size.max(1)).map(<[usize]>::to_vec).collect()
+}
+
+/// Train the global static encoder with cross-entropy plus the contrastive
+/// objective over two adaptively augmented views (Section IV-A3).
+pub fn train_gsg(graphs: &[&GraphTensors], config: &Dbg4EthConfig) -> TrainedGsg {
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0x65C6);
+    let mut store = ParamStore::new();
+    let encoder = GsgEncoder::new(&mut store, &mut rng, config.gsg);
+    let mut opt = Adam::new(config.lr);
+    let mut history = Vec::with_capacity(config.epochs);
+
+    for _epoch in 0..config.epochs {
+        let mut epoch_loss = 0.0f32;
+        let mut epoch_con = 0.0f32;
+        let mut n_batches = 0;
+        for batch in batches(graphs.len(), config.batch_size, &mut rng) {
+            store.zero_grad();
+            let mut tape = Tape::new();
+            let mut ctx = Ctx::new(&store);
+            let mut logits: Option<Var> = None;
+            let mut proj1: Option<Var> = None;
+            let mut proj2: Option<Var> = None;
+            let mut targets = Vec::with_capacity(batch.len());
+            for &gi in &batch {
+                let g = graphs[gi];
+                let out = encoder.forward(&mut tape, &mut ctx, &store, g);
+                logits = Some(match logits {
+                    None => out.logits,
+                    Some(acc) => tape.concat_rows(acc, out.logits),
+                });
+                targets.push(g.label.expect("training graph must be labelled"));
+                if config.contrastive_weight > 0.0 {
+                    let v1 = augment(g, config.aug1, &mut rng);
+                    let o1 = encoder.forward_parts(
+                        &mut tape, &mut ctx, &store, v1.n, &v1.x, &v1.src, &v1.dst,
+                        &v1.edge_feat,
+                    );
+                    let v2 = augment(g, config.aug2, &mut rng);
+                    let o2 = encoder.forward_parts(
+                        &mut tape, &mut ctx, &store, v2.n, &v2.x, &v2.src, &v2.dst,
+                        &v2.edge_feat,
+                    );
+                    proj1 = Some(match proj1 {
+                        None => o1.projection,
+                        Some(acc) => tape.concat_rows(acc, o1.projection),
+                    });
+                    proj2 = Some(match proj2 {
+                        None => o2.projection,
+                        Some(acc) => tape.concat_rows(acc, o2.projection),
+                    });
+                }
+            }
+            let ce = tape.cross_entropy(logits.expect("non-empty batch"), Rc::new(targets));
+            let (loss, con_val) = match (proj1, proj2) {
+                (Some(z1), Some(z2)) if batch.len() > 1 => {
+                    let con = nt_xent(&mut tape, z1, z2, 0.5);
+                    let weighted = tape.scale(con, config.contrastive_weight);
+                    (tape.add(ce, weighted), tape.value(con).item())
+                }
+                _ => (ce, 0.0),
+            };
+            epoch_loss += tape.value(loss).item();
+            epoch_con += con_val;
+            n_batches += 1;
+            tape.backward(loss);
+            ctx.accumulate_grads(&tape, &mut store);
+            store.clip_grad_norm(5.0);
+            opt.step(&mut store);
+        }
+        history.push(EpochStats {
+            loss: epoch_loss / n_batches.max(1) as f32,
+            contrastive: epoch_con / n_batches.max(1) as f32,
+        });
+    }
+    TrainedGsg { store, encoder, history }
+}
+
+/// Train the local dynamic encoder with cross-entropy.
+pub fn train_ldg(graphs: &[&GraphTensors], config: &Dbg4EthConfig) -> TrainedLdg {
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0x1D6);
+    let mut store = ParamStore::new();
+    let mut ldg_cfg = config.ldg;
+    ldg_cfg.t_slices = config.t_slices;
+    let encoder = LdgEncoder::new(&mut store, &mut rng, ldg_cfg);
+    let mut opt = Adam::new(config.lr);
+    let mut history = Vec::with_capacity(config.epochs);
+
+    for _epoch in 0..config.epochs {
+        let mut epoch_loss = 0.0f32;
+        let mut n_batches = 0;
+        for batch in batches(graphs.len(), config.batch_size, &mut rng) {
+            store.zero_grad();
+            let mut tape = Tape::new();
+            let mut ctx = Ctx::new(&store);
+            let mut logits: Option<Var> = None;
+            let mut targets = Vec::with_capacity(batch.len());
+            for &gi in &batch {
+                let g = graphs[gi];
+                let out = encoder.forward(&mut tape, &mut ctx, &store, g);
+                logits = Some(match logits {
+                    None => out.logits,
+                    Some(acc) => tape.concat_rows(acc, out.logits),
+                });
+                targets.push(g.label.expect("training graph must be labelled"));
+            }
+            let loss = tape.cross_entropy(logits.expect("non-empty batch"), Rc::new(targets));
+            epoch_loss += tape.value(loss).item();
+            n_batches += 1;
+            tape.backward(loss);
+            ctx.accumulate_grads(&tape, &mut store);
+            store.clip_grad_norm(5.0);
+            opt.step(&mut store);
+        }
+        history.push(EpochStats { loss: epoch_loss / n_batches.max(1) as f32, contrastive: 0.0 });
+    }
+    TrainedLdg { store, encoder, history }
+}
+
+impl TrainedGsg {
+    /// Raw prediction value (positive-class log-odds) for each graph.
+    pub fn raw_scores(&self, graphs: &[&GraphTensors]) -> Vec<f64> {
+        graphs
+            .iter()
+            .map(|g| {
+                let mut tape = Tape::new();
+                let mut ctx = Ctx::new(&self.store);
+                let out = self.encoder.forward(&mut tape, &mut ctx, &self.store, g);
+                let v = tape.value(out.logits);
+                (v.get(0, 1) - v.get(0, 0)) as f64
+            })
+            .collect()
+    }
+}
+
+impl TrainedLdg {
+    /// Raw prediction value (positive-class log-odds) for each graph.
+    pub fn raw_scores(&self, graphs: &[&GraphTensors]) -> Vec<f64> {
+        graphs
+            .iter()
+            .map(|g| {
+                let mut tape = Tape::new();
+                let mut ctx = Ctx::new(&self.store);
+                let out = self.encoder.forward(&mut tape, &mut ctx, &self.store, g);
+                let v = tape.value(out.logits);
+                (v.get(0, 1) - v.get(0, 0)) as f64
+            })
+            .collect()
+    }
+}

@@ -1,0 +1,12 @@
+//! # embed — random-walk graph embeddings
+//!
+//! The graph-embedding baselines of Table III: walk corpora
+//! ([`uniform_walks`] for DeepWalk, [`node2vec_walks`], and the
+//! amount/timestamp-biased [`trans2vec_walks`]) trained with skip-gram
+//! negative sampling ([`skipgram`]), mean-pooled into graph embeddings.
+
+mod walks;
+mod word2vec;
+
+pub use walks::{node2vec_walks, trans2vec_walks, uniform_walks, WalkConfig};
+pub use word2vec::{mean_pool, skipgram, SkipGramConfig};

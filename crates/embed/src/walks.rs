@@ -1,0 +1,258 @@
+//! Random-walk corpus generation: uniform walks (DeepWalk), p/q-biased
+//! second-order walks (Node2Vec) and amount/timestamp-biased walks
+//! (Trans2Vec).
+
+use eth_graph::Subgraph;
+use rand::Rng;
+use std::collections::HashMap;
+
+/// Walk-corpus hyper-parameters (the paper sets walk length 30 and 200
+/// walks per node for the embedding baselines).
+#[derive(Clone, Copy, Debug)]
+pub struct WalkConfig {
+    pub walk_length: usize,
+    pub walks_per_node: usize,
+}
+
+impl Default for WalkConfig {
+    fn default() -> Self {
+        Self { walk_length: 30, walks_per_node: 10 }
+    }
+}
+
+/// Sample an index proportionally to `weights` (assumed non-negative, not
+/// all zero — falls back to uniform otherwise).
+fn weighted_choice(weights: &[f64], rng: &mut impl Rng) -> usize {
+    let total: f64 = weights.iter().sum();
+    if total <= 0.0 {
+        return rng.gen_range(0..weights.len());
+    }
+    let mut t = rng.gen_range(0.0..total);
+    for (i, &w) in weights.iter().enumerate() {
+        if t < w {
+            return i;
+        }
+        t -= w;
+    }
+    weights.len() - 1
+}
+
+/// Uniform random walks over an undirected adjacency list (DeepWalk).
+pub fn uniform_walks(
+    adj: &[Vec<usize>],
+    config: WalkConfig,
+    rng: &mut impl Rng,
+) -> Vec<Vec<usize>> {
+    let mut walks = Vec::new();
+    for start in 0..adj.len() {
+        for _ in 0..config.walks_per_node {
+            let mut walk = Vec::with_capacity(config.walk_length);
+            let mut cur = start;
+            walk.push(cur);
+            for _ in 1..config.walk_length {
+                if adj[cur].is_empty() {
+                    break;
+                }
+                cur = adj[cur][rng.gen_range(0..adj[cur].len())];
+                walk.push(cur);
+            }
+            walks.push(walk);
+        }
+    }
+    walks
+}
+
+/// Node2Vec second-order biased walks: returning to the previous node is
+/// weighted `1/p`, staying in its neighbourhood `1`, exploring outward `1/q`.
+pub fn node2vec_walks(
+    adj: &[Vec<usize>],
+    p: f64,
+    q: f64,
+    config: WalkConfig,
+    rng: &mut impl Rng,
+) -> Vec<Vec<usize>> {
+    let neighbour_sets: Vec<std::collections::HashSet<usize>> =
+        adj.iter().map(|l| l.iter().copied().collect()).collect();
+    let mut walks = Vec::new();
+    for start in 0..adj.len() {
+        for _ in 0..config.walks_per_node {
+            let mut walk = Vec::with_capacity(config.walk_length);
+            walk.push(start);
+            let mut prev: Option<usize> = None;
+            let mut cur = start;
+            for _ in 1..config.walk_length {
+                if adj[cur].is_empty() {
+                    break;
+                }
+                let weights: Vec<f64> = adj[cur]
+                    .iter()
+                    .map(|&next| match prev {
+                        None => 1.0,
+                        Some(pr) if next == pr => 1.0 / p,
+                        Some(pr) if neighbour_sets[pr].contains(&next) => 1.0,
+                        Some(_) => 1.0 / q,
+                    })
+                    .collect();
+                let k = weighted_choice(&weights, rng);
+                prev = Some(cur);
+                cur = adj[cur][k];
+                walk.push(cur);
+            }
+            walks.push(walk);
+        }
+    }
+    walks
+}
+
+/// Trans2Vec-style walks over a transaction subgraph: the transition
+/// probability to a neighbour mixes the (normalised) transferred amount and
+/// timestamp recency with exponent `alpha ∈ [0, 1]`
+/// (`alpha = 1` → amount-only, `alpha = 0` → time-only).
+pub fn trans2vec_walks(
+    graph: &Subgraph,
+    alpha: f64,
+    config: WalkConfig,
+    rng: &mut impl Rng,
+) -> Vec<Vec<usize>> {
+    let n = graph.n();
+    // Undirected weighted view: amount and most-recent timestamp per pair.
+    let mut amount: HashMap<(usize, usize), f64> = HashMap::new();
+    let mut latest: HashMap<(usize, usize), u64> = HashMap::new();
+    for t in &graph.txs {
+        let key = (t.src.min(t.dst), t.src.max(t.dst));
+        *amount.entry(key).or_insert(0.0) += t.value;
+        let e = latest.entry(key).or_insert(0);
+        *e = (*e).max(t.timestamp);
+    }
+    let mut adj: Vec<Vec<(usize, f64, u64)>> = vec![Vec::new(); n];
+    for (&(u, v), &a) in &amount {
+        if u == v {
+            continue;
+        }
+        let ts = latest[&(u, v)];
+        adj[u].push((v, a, ts));
+        adj[v].push((u, a, ts));
+    }
+    let t_max = graph.txs.iter().map(|t| t.timestamp).max().unwrap_or(0) as f64;
+    let t_min = graph.txs.iter().map(|t| t.timestamp).min().unwrap_or(0) as f64;
+    let t_span = (t_max - t_min).max(1.0);
+
+    let mut walks = Vec::new();
+    for start in 0..n {
+        for _ in 0..config.walks_per_node {
+            let mut walk = Vec::with_capacity(config.walk_length);
+            let mut cur = start;
+            walk.push(cur);
+            for _ in 1..config.walk_length {
+                if adj[cur].is_empty() {
+                    break;
+                }
+                let weights: Vec<f64> = adj[cur]
+                    .iter()
+                    .map(|&(_, a, ts)| {
+                        let aw = (1.0 + a).ln().max(1e-9);
+                        let tw = (0.1 + (ts as f64 - t_min) / t_span).max(1e-9);
+                        aw.powf(alpha) * tw.powf(1.0 - alpha)
+                    })
+                    .collect();
+                let k = weighted_choice(&weights, rng);
+                cur = adj[cur][k].0;
+                walk.push(cur);
+            }
+            walks.push(walk);
+        }
+    }
+    walks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eth_graph::{AccountKind, LocalTx};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn path_adj() -> Vec<Vec<usize>> {
+        vec![vec![1], vec![0, 2], vec![1]]
+    }
+
+    #[test]
+    fn uniform_walks_have_expected_count_and_validity() {
+        let adj = path_adj();
+        let mut rng = StdRng::seed_from_u64(1);
+        let cfg = WalkConfig { walk_length: 5, walks_per_node: 3 };
+        let walks = uniform_walks(&adj, cfg, &mut rng);
+        assert_eq!(walks.len(), 9);
+        for w in &walks {
+            assert!(w.len() <= 5 && !w.is_empty());
+            for pair in w.windows(2) {
+                assert!(adj[pair[0]].contains(&pair[1]), "invalid step {pair:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn isolated_node_walks_are_singletons() {
+        let adj = vec![vec![1], vec![0], vec![]];
+        let mut rng = StdRng::seed_from_u64(2);
+        let walks = uniform_walks(&adj, WalkConfig { walk_length: 4, walks_per_node: 2 }, &mut rng);
+        for w in walks.iter().filter(|w| w[0] == 2) {
+            assert_eq!(w.len(), 1);
+        }
+    }
+
+    #[test]
+    fn node2vec_low_p_revisits_more() {
+        // On a path graph, small p (return-heavy) should bounce back and
+        // forth more than large p.
+        let adj = vec![vec![1], vec![0, 2], vec![1, 3], vec![2, 4], vec![3]];
+        let cfg = WalkConfig { walk_length: 20, walks_per_node: 30 };
+        let revisit_rate = |p: f64| {
+            let mut rng = StdRng::seed_from_u64(3);
+            let walks = node2vec_walks(&adj, p, 1.0, cfg, &mut rng);
+            let mut revisits = 0usize;
+            let mut steps = 0usize;
+            for w in &walks {
+                for win in w.windows(3) {
+                    steps += 1;
+                    if win[0] == win[2] {
+                        revisits += 1;
+                    }
+                }
+            }
+            revisits as f64 / steps.max(1) as f64
+        };
+        assert!(revisit_rate(0.1) > revisit_rate(10.0));
+    }
+
+    #[test]
+    fn trans2vec_prefers_heavy_edges() {
+        // Star 0-{1,2}: edge to 1 carries 1000x the value of edge to 2.
+        let g = Subgraph {
+            nodes: vec![0, 1, 2],
+            kinds: vec![AccountKind::Eoa; 3],
+            txs: vec![
+                LocalTx { src: 0, dst: 1, value: 1000.0, timestamp: 10, fee: 0.0, contract_call: false },
+                LocalTx { src: 0, dst: 2, value: 0.01, timestamp: 10, fee: 0.0, contract_call: false },
+            ],
+            label: None,
+        };
+        let mut rng = StdRng::seed_from_u64(4);
+        let cfg = WalkConfig { walk_length: 2, walks_per_node: 300 };
+        let walks = trans2vec_walks(&g, 1.0, cfg, &mut rng);
+        let to1 = walks.iter().filter(|w| w[0] == 0 && w.get(1) == Some(&1)).count();
+        let to2 = walks.iter().filter(|w| w[0] == 0 && w.get(1) == Some(&2)).count();
+        assert!(to1 > to2 * 2, "to1 {to1}, to2 {to2}");
+    }
+
+    #[test]
+    fn weighted_choice_respects_weights() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut counts = [0usize; 3];
+        for _ in 0..3000 {
+            counts[weighted_choice(&[1.0, 0.0, 9.0], &mut rng)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        assert!(counts[2] > counts[0] * 5);
+    }
+}

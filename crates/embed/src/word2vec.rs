@@ -1,0 +1,184 @@
+//! Skip-gram with negative sampling (Mikolov et al., 2013) over walk
+//! corpora — the embedding learner behind DeepWalk / Node2Vec / Trans2Vec.
+
+use rand::Rng;
+
+/// Skip-gram hyper-parameters (the paper uses embedding dimension 64).
+#[derive(Clone, Copy, Debug)]
+pub struct SkipGramConfig {
+    pub dim: usize,
+    pub window: usize,
+    pub negatives: usize,
+    pub epochs: usize,
+    pub lr: f32,
+}
+
+impl Default for SkipGramConfig {
+    fn default() -> Self {
+        Self { dim: 64, window: 5, negatives: 5, epochs: 2, lr: 0.025 }
+    }
+}
+
+fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// Train node embeddings on a walk corpus. Returns an `n_nodes x dim`
+/// embedding table (input vectors).
+pub fn skipgram(
+    walks: &[Vec<usize>],
+    n_nodes: usize,
+    config: SkipGramConfig,
+    rng: &mut impl Rng,
+) -> Vec<Vec<f32>> {
+    let d = config.dim;
+    let scale = 0.5 / d as f32;
+    let mut emb: Vec<Vec<f32>> = (0..n_nodes)
+        .map(|_| (0..d).map(|_| rng.gen_range(-scale..scale)).collect())
+        .collect();
+    let mut ctx: Vec<Vec<f32>> = vec![vec![0.0; d]; n_nodes];
+
+    // Unigram^0.75 negative-sampling table.
+    let mut freq = vec![0.0f64; n_nodes];
+    for w in walks {
+        for &u in w {
+            freq[u] += 1.0;
+        }
+    }
+    let weights: Vec<f64> = freq.iter().map(|&f| f.powf(0.75)).collect();
+    let total: f64 = weights.iter().sum();
+    let sample_negative = |rng: &mut dyn rand::RngCore| -> usize {
+        if total <= 0.0 {
+            return 0;
+        }
+        let mut t = rng.gen_range(0.0..total);
+        for (i, &w) in weights.iter().enumerate() {
+            if t < w {
+                return i;
+            }
+            t -= w;
+        }
+        n_nodes - 1
+    };
+
+    let mut grad = vec![0.0f32; d];
+    for _ in 0..config.epochs {
+        for walk in walks {
+            for (pos, &center) in walk.iter().enumerate() {
+                let lo = pos.saturating_sub(config.window);
+                let hi = (pos + config.window + 1).min(walk.len());
+                for other in lo..hi {
+                    if other == pos {
+                        continue;
+                    }
+                    let target = walk[other];
+                    grad.iter_mut().for_each(|g| *g = 0.0);
+                    // Positive pair.
+                    {
+                        let dot: f32 = emb[center]
+                            .iter()
+                            .zip(&ctx[target])
+                            .map(|(&a, &b)| a * b)
+                            .sum();
+                        let err = sigmoid(dot) - 1.0;
+                        for k in 0..d {
+                            grad[k] += err * ctx[target][k];
+                            ctx[target][k] -= config.lr * err * emb[center][k];
+                        }
+                    }
+                    // Negative samples.
+                    for _ in 0..config.negatives {
+                        let neg = sample_negative(rng);
+                        if neg == target {
+                            continue;
+                        }
+                        let dot: f32 = emb[center]
+                            .iter()
+                            .zip(&ctx[neg])
+                            .map(|(&a, &b)| a * b)
+                            .sum();
+                        let err = sigmoid(dot);
+                        for k in 0..d {
+                            grad[k] += err * ctx[neg][k];
+                            ctx[neg][k] -= config.lr * err * emb[center][k];
+                        }
+                    }
+                    for k in 0..d {
+                        emb[center][k] -= config.lr * grad[k];
+                    }
+                }
+            }
+        }
+    }
+    emb
+}
+
+/// Mean-pool node embeddings into one graph embedding (the paper uses
+/// average pooling for the embedding baselines).
+pub fn mean_pool(embeddings: &[Vec<f32>]) -> Vec<f32> {
+    if embeddings.is_empty() {
+        return Vec::new();
+    }
+    let d = embeddings[0].len();
+    let mut out = vec![0.0f32; d];
+    for e in embeddings {
+        for (o, &x) in out.iter_mut().zip(e) {
+            *o += x;
+        }
+    }
+    let n = embeddings.len() as f32;
+    for o in &mut out {
+        *o /= n;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn cosine(a: &[f32], b: &[f32]) -> f32 {
+        let dot: f32 = a.iter().zip(b).map(|(&x, &y)| x * y).sum();
+        let na: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
+        let nb: f32 = b.iter().map(|x| x * x).sum::<f32>().sqrt();
+        dot / (na * nb).max(1e-12)
+    }
+
+    #[test]
+    fn co_occurring_nodes_become_similar() {
+        // Two disjoint cliques {0,1,2} and {3,4,5}: walks never cross, so
+        // within-clique similarity must beat cross-clique similarity.
+        let mut walks = Vec::new();
+        for _ in 0..200 {
+            walks.push(vec![0, 1, 2, 1, 0, 2]);
+            walks.push(vec![3, 4, 5, 4, 3, 5]);
+        }
+        let mut rng = StdRng::seed_from_u64(11);
+        let cfg = SkipGramConfig { dim: 16, epochs: 3, ..Default::default() };
+        let emb = skipgram(&walks, 6, cfg, &mut rng);
+        let within = cosine(&emb[0], &emb[1]);
+        let across = cosine(&emb[0], &emb[4]);
+        assert!(
+            within > across + 0.2,
+            "within {within} not ahead of across {across}"
+        );
+    }
+
+    #[test]
+    fn embeddings_have_requested_dim() {
+        let walks = vec![vec![0, 1], vec![1, 0]];
+        let mut rng = StdRng::seed_from_u64(1);
+        let emb = skipgram(&walks, 2, SkipGramConfig { dim: 7, epochs: 1, ..Default::default() }, &mut rng);
+        assert_eq!(emb.len(), 2);
+        assert!(emb.iter().all(|e| e.len() == 7));
+    }
+
+    #[test]
+    fn mean_pool_averages() {
+        let embs = vec![vec![1.0, 3.0], vec![3.0, 5.0]];
+        assert_eq!(mean_pool(&embs), vec![2.0, 4.0]);
+        assert!(mean_pool(&[]).is_empty());
+    }
+}

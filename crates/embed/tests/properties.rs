@@ -1,0 +1,74 @@
+//! Property-based tests for the walk/embedding stack.
+
+use embed::{mean_pool, node2vec_walks, skipgram, uniform_walks, SkipGramConfig, WalkConfig};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Arbitrary undirected adjacency lists (symmetrised).
+fn adjacency(n: usize) -> impl Strategy<Value = Vec<Vec<usize>>> {
+    prop::collection::vec((0..n, 0..n), 0..30).prop_map(move |edges| {
+        let mut adj = vec![Vec::new(); n];
+        for (u, v) in edges {
+            if u != v {
+                adj[u].push(v);
+                adj[v].push(u);
+            }
+        }
+        for l in &mut adj {
+            l.sort_unstable();
+            l.dedup();
+        }
+        adj
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Walks only traverse existing edges and never exceed the length cap.
+    #[test]
+    fn uniform_walks_follow_edges(adj in adjacency(8), len in 2usize..10) {
+        let mut rng = StdRng::seed_from_u64(7);
+        let cfg = WalkConfig { walk_length: len, walks_per_node: 2 };
+        for walk in uniform_walks(&adj, cfg, &mut rng) {
+            prop_assert!(walk.len() <= len && !walk.is_empty());
+            for w in walk.windows(2) {
+                prop_assert!(adj[w[0]].contains(&w[1]));
+            }
+        }
+    }
+
+    /// Node2Vec obeys the same validity rules for any p, q.
+    #[test]
+    fn node2vec_walks_follow_edges(
+        adj in adjacency(8),
+        p in 0.1f64..10.0,
+        q in 0.1f64..10.0,
+    ) {
+        let mut rng = StdRng::seed_from_u64(8);
+        let cfg = WalkConfig { walk_length: 6, walks_per_node: 2 };
+        for walk in node2vec_walks(&adj, p, q, cfg, &mut rng) {
+            for w in walk.windows(2) {
+                prop_assert!(adj[w[0]].contains(&w[1]));
+            }
+        }
+    }
+
+    /// Skip-gram always yields finite embeddings of the requested size.
+    #[test]
+    fn skipgram_output_finite(adj in adjacency(6), dim in 2usize..12) {
+        let mut rng = StdRng::seed_from_u64(9);
+        let cfg = WalkConfig { walk_length: 5, walks_per_node: 2 };
+        let walks = uniform_walks(&adj, cfg, &mut rng);
+        let sg_cfg = SkipGramConfig { dim, epochs: 1, ..Default::default() };
+        let emb = skipgram(&walks, 6, sg_cfg, &mut rng);
+        prop_assert_eq!(emb.len(), 6);
+        for e in &emb {
+            prop_assert_eq!(e.len(), dim);
+            prop_assert!(e.iter().all(|v| v.is_finite()));
+        }
+        let pooled = mean_pool(&emb);
+        prop_assert_eq!(pooled.len(), dim);
+    }
+}

@@ -1,0 +1,120 @@
+//! Adjacency-matrix builders for the GNN layers.
+
+use tensor::Tensor;
+
+/// Symmetrically normalised adjacency with self-loops,
+/// `D^{-1/2} (A + I) D^{-1/2}` (the GCN propagation matrix of Eq. 14).
+///
+/// `edges` are directed `(src, dst, weight)` triples; the matrix is
+/// symmetrised (`A[u][v] = A[v][u] = max of provided weights`) because GCN
+/// operates on an undirected view. Pass weight 1.0 for an unweighted graph.
+pub fn gcn_norm_adjacency(n: usize, edges: &[(usize, usize, f64)]) -> Tensor {
+    let mut a = Tensor::zeros(n, n);
+    for &(u, v, w) in edges {
+        assert!(u < n && v < n, "edge ({u}, {v}) out of bounds for n = {n}");
+        let w = w as f32;
+        if w > a.get(u, v) {
+            a.set(u, v, w);
+            a.set(v, u, w);
+        }
+    }
+    for i in 0..n {
+        a.set(i, i, a.get(i, i).max(1.0)); // self-loop
+    }
+    let mut deg = vec![0.0f32; n];
+    for r in 0..n {
+        deg[r] = a.row(r).iter().sum::<f32>();
+    }
+    let inv_sqrt: Vec<f32> =
+        deg.iter().map(|&d| if d > 0.0 { 1.0 / d.sqrt() } else { 0.0 }).collect();
+    for r in 0..n {
+        for c in 0..n {
+            let v = a.get(r, c) * inv_sqrt[r] * inv_sqrt[c];
+            a.set(r, c, v);
+        }
+    }
+    a
+}
+
+/// Row-normalised (random-walk) adjacency with self-loops, `D^{-1} (A + I)`.
+/// Used by APPNP's propagation.
+pub fn rw_norm_adjacency(n: usize, edges: &[(usize, usize, f64)]) -> Tensor {
+    let mut a = Tensor::zeros(n, n);
+    for &(u, v, w) in edges {
+        assert!(u < n && v < n);
+        let w = w as f32;
+        if w > a.get(u, v) {
+            a.set(u, v, w);
+            a.set(v, u, w);
+        }
+    }
+    for i in 0..n {
+        a.set(i, i, a.get(i, i).max(1.0));
+    }
+    for r in 0..n {
+        let s: f32 = a.row(r).iter().sum();
+        if s > 0.0 {
+            for x in a.row_mut(r) {
+                *x /= s;
+            }
+        }
+    }
+    a
+}
+
+/// Log-scaled edge weights: `ln(1 + w)`. Raw ETH amounts span many orders of
+/// magnitude; GNN inputs need bounded dynamic range.
+pub fn log_scale_weight(w: f64) -> f64 {
+    (1.0 + w.max(0.0)).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gcn_norm_is_symmetric_with_self_loops() {
+        let a = gcn_norm_adjacency(3, &[(0, 1, 1.0), (1, 2, 1.0)]);
+        for r in 0..3 {
+            assert!(a.get(r, r) > 0.0, "self-loop missing at {r}");
+            for c in 0..3 {
+                assert!((a.get(r, c) - a.get(c, r)).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn gcn_norm_known_values_for_pair() {
+        // Two nodes, one edge: A+I = [[1,1],[1,1]], deg = 2 each, so every
+        // entry becomes 1/2.
+        let a = gcn_norm_adjacency(2, &[(0, 1, 1.0)]);
+        for r in 0..2 {
+            for c in 0..2 {
+                assert!((a.get(r, c) - 0.5).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn rw_norm_rows_sum_to_one() {
+        let a = rw_norm_adjacency(4, &[(0, 1, 2.0), (1, 2, 3.0), (2, 3, 1.0)]);
+        for r in 0..4 {
+            let s: f32 = a.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-5, "row {r} sums to {s}");
+        }
+    }
+
+    #[test]
+    fn isolated_node_keeps_unit_self_loop_row() {
+        let a = rw_norm_adjacency(2, &[]);
+        assert_eq!(a.get(0, 0), 1.0);
+        assert_eq!(a.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn log_scale_is_monotone_and_nonnegative() {
+        assert_eq!(log_scale_weight(0.0), 0.0);
+        assert!(log_scale_weight(10.0) > log_scale_weight(1.0));
+        assert!(log_scale_weight(-5.0) >= 0.0); // clamps negatives
+    }
+}

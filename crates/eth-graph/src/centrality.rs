@@ -1,0 +1,154 @@
+//! Node centralities for adaptive graph augmentation (Section IV-A3).
+//!
+//! The contrastive-learning branch removes *unimportant* edges, where edge
+//! importance derives from node centrality. The paper uses three measures —
+//! degree, eigenvector and PageRank centrality — and we follow GCA (Zhu et
+//! al., 2021) in defining the centrality of an edge as the mean of its
+//! endpoints' (log-) centralities.
+
+/// Degree centrality: degree / (n - 1).
+pub fn degree_centrality(adj: &[Vec<usize>]) -> Vec<f64> {
+    let n = adj.len();
+    let denom = (n.saturating_sub(1)).max(1) as f64;
+    adj.iter().map(|nbrs| nbrs.len() as f64 / denom).collect()
+}
+
+/// Eigenvector centrality via power iteration on the undirected adjacency.
+/// Returns the (L2-normalised, non-negative) dominant eigenvector.
+pub fn eigenvector_centrality(adj: &[Vec<usize>], iters: usize) -> Vec<f64> {
+    let n = adj.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut x = vec![1.0 / (n as f64).sqrt(); n];
+    for _ in 0..iters {
+        let mut next = vec![0.0; n];
+        for (u, nbrs) in adj.iter().enumerate() {
+            for &v in nbrs {
+                next[u] += x[v];
+            }
+        }
+        // Keep a small self-weight so isolated nodes do not collapse to 0
+        // and the iteration cannot oscillate on bipartite graphs.
+        for (nx, &old) in next.iter_mut().zip(&x) {
+            *nx += 0.1 * old;
+        }
+        let norm = next.iter().map(|v| v * v).sum::<f64>().sqrt();
+        if norm < 1e-12 {
+            return x;
+        }
+        for v in &mut next {
+            *v /= norm;
+        }
+        x = next;
+    }
+    x
+}
+
+/// PageRank with damping `d` on the undirected adjacency. Dangling nodes
+/// redistribute uniformly. Scores sum to 1.
+pub fn pagerank(adj: &[Vec<usize>], d: f64, iters: usize) -> Vec<f64> {
+    let n = adj.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut pr = vec![1.0 / n as f64; n];
+    for _ in 0..iters {
+        let mut next = vec![(1.0 - d) / n as f64; n];
+        let mut dangling = 0.0;
+        for (u, nbrs) in adj.iter().enumerate() {
+            if nbrs.is_empty() {
+                dangling += pr[u];
+            } else {
+                let share = d * pr[u] / nbrs.len() as f64;
+                for &v in nbrs {
+                    next[v] += share;
+                }
+            }
+        }
+        let spread = d * dangling / n as f64;
+        for v in &mut next {
+            *v += spread;
+        }
+        pr = next;
+    }
+    pr
+}
+
+/// Which centrality measure drives the augmentation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CentralityMeasure {
+    Degree,
+    Eigenvector,
+    PageRank,
+}
+
+/// Compute the chosen node centrality.
+pub fn node_centrality(adj: &[Vec<usize>], measure: CentralityMeasure) -> Vec<f64> {
+    match measure {
+        CentralityMeasure::Degree => degree_centrality(adj),
+        CentralityMeasure::Eigenvector => eigenvector_centrality(adj, 50),
+        CentralityMeasure::PageRank => pagerank(adj, 0.85, 50),
+    }
+}
+
+/// Edge centrality: mean of the endpoints' log-centralities (GCA, Eq. 7 of
+/// Zhu et al. 2021). A small epsilon guards `log(0)`.
+pub fn edge_centrality(node_c: &[f64], edges: &[(usize, usize)]) -> Vec<f64> {
+    edges
+        .iter()
+        .map(|&(u, v)| (((node_c[u] + 1e-9).ln()) + ((node_c[v] + 1e-9).ln())) / 2.0)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Path graph 0-1-2: middle node is most central under every measure.
+    fn path3() -> Vec<Vec<usize>> {
+        vec![vec![1], vec![0, 2], vec![1]]
+    }
+
+    #[test]
+    fn degree_centrality_path() {
+        let c = degree_centrality(&path3());
+        assert_eq!(c, vec![0.5, 1.0, 0.5]);
+    }
+
+    #[test]
+    fn eigenvector_centrality_peaks_at_middle() {
+        let c = eigenvector_centrality(&path3(), 100);
+        assert!(c[1] > c[0] && c[1] > c[2]);
+        assert!((c[0] - c[2]).abs() < 1e-9, "symmetry broken: {c:?}");
+    }
+
+    #[test]
+    fn pagerank_sums_to_one_and_peaks_at_middle() {
+        let pr = pagerank(&path3(), 0.85, 100);
+        assert!((pr.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(pr[1] > pr[0]);
+    }
+
+    #[test]
+    fn pagerank_handles_dangling_nodes() {
+        let adj = vec![vec![1], vec![0], vec![]]; // node 2 isolated
+        let pr = pagerank(&adj, 0.85, 100);
+        assert!((pr.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(pr[2] > 0.0);
+    }
+
+    #[test]
+    fn edge_centrality_orders_by_endpoint_importance() {
+        let node_c = vec![0.5, 1.0, 0.5];
+        let ec = edge_centrality(&node_c, &[(0, 1), (0, 2)]);
+        assert!(ec[0] > ec[1], "edge touching the hub should rank higher");
+    }
+
+    #[test]
+    fn empty_graph_is_fine() {
+        let adj: Vec<Vec<usize>> = Vec::new();
+        assert!(eigenvector_centrality(&adj, 10).is_empty());
+        assert!(pagerank(&adj, 0.85, 10).is_empty());
+    }
+}

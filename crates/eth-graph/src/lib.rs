@@ -1,0 +1,25 @@
+//! # eth-graph — Ethereum transaction-graph substrate
+//!
+//! Everything between raw transactions and tensors:
+//!
+//! * [`TxRecord`] / [`AccountKind`] — domain types (Section II-A),
+//! * [`TxGraph`] — the global multigraph with merged pair statistics,
+//! * [`sample_subgraph`] — top-K important-neighbour sampling (Eq. 2),
+//! * [`Subgraph`] — account-centred subgraphs with GSG merged edges and
+//!   LDG time slices (Eq. 1, Section III-B3),
+//! * [`centrality`] — degree / eigenvector / PageRank centralities for
+//!   adaptive augmentation,
+//! * [`adj`] — normalised adjacency builders for GCN/APPNP propagation.
+
+pub mod adj;
+pub mod centrality;
+pub mod stats;
+mod sampling;
+mod subgraph;
+mod tx;
+mod txgraph;
+
+pub use sampling::{sample_subgraph, SamplerConfig};
+pub use subgraph::{LocalTx, MergedEdge, Subgraph, TimeSlice};
+pub use tx::{filter_submitted, AccountKind, TxRecord};
+pub use txgraph::{PairStats, TxGraph};

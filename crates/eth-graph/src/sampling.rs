@@ -1,0 +1,202 @@
+//! Top-K important-neighbour sampling (Eq. 2, Section III-B1).
+//!
+//! Starting from a labelled centre account, each hop selects the `K`
+//! neighbours connected by the highest **average transaction value**, with
+//! ties broken by **total transaction value** (as the paper specifies for
+//! duplicate averages). Iterating for `h` hops yields the node set
+//! `V_i = ⋃ₖ Vₖ` of the account-centred subgraph.
+
+use crate::subgraph::{LocalTx, Subgraph};
+use crate::txgraph::TxGraph;
+use std::collections::HashMap;
+
+/// Parameters of the subgraph sampler.
+#[derive(Clone, Copy, Debug)]
+pub struct SamplerConfig {
+    /// Neighbours kept per node per hop (paper: K = 2000).
+    pub top_k: usize,
+    /// Number of hops (paper: 2).
+    pub hops: usize,
+}
+
+impl Default for SamplerConfig {
+    fn default() -> Self {
+        Self { top_k: 2000, hops: 2 }
+    }
+}
+
+/// Rank the neighbours of `node` by (avg value desc, total value desc,
+/// neighbour id asc) and keep the best `k`.
+fn top_k_neighbours(graph: &TxGraph, node: usize, k: usize) -> Vec<usize> {
+    // Combine both directions per neighbour: the edge importance used for
+    // sampling is the best merged edge between the pair.
+    let mut scored: Vec<(usize, f64, f64)> = graph
+        .neighbours(node)
+        .iter()
+        .map(|&nb| {
+            let mut best_avg = 0.0f64;
+            let mut best_total = 0.0f64;
+            for p in [graph.pair(node, nb), graph.pair(nb, node)].into_iter().flatten() {
+                if p.avg_value() > best_avg
+                    || (p.avg_value() == best_avg && p.total_value > best_total)
+                {
+                    best_avg = p.avg_value();
+                    best_total = p.total_value;
+                }
+            }
+            (nb, best_avg, best_total)
+        })
+        .collect();
+    scored.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal))
+            .then(a.0.cmp(&b.0))
+    });
+    scored.truncate(k);
+    scored.into_iter().map(|(nb, _, _)| nb).collect()
+}
+
+/// Extract the account-centred subgraph for `center` (Eq. 2), including all
+/// transactions among the selected nodes.
+pub fn sample_subgraph(
+    graph: &TxGraph,
+    center: usize,
+    config: SamplerConfig,
+    label: Option<usize>,
+) -> Subgraph {
+    let mut selected: Vec<usize> = vec![center];
+    let mut in_set: HashMap<usize, usize> = HashMap::new();
+    in_set.insert(center, 0);
+    let mut frontier = vec![center];
+    for _hop in 0..config.hops {
+        let mut next = Vec::new();
+        for &node in &frontier {
+            for nb in top_k_neighbours(graph, node, config.top_k) {
+                if !in_set.contains_key(&nb) {
+                    in_set.insert(nb, selected.len());
+                    selected.push(nb);
+                    next.push(nb);
+                }
+            }
+        }
+        frontier = next;
+        if frontier.is_empty() {
+            break;
+        }
+    }
+
+    // Collect all transactions whose endpoints are both selected. Iterating
+    // each node's outgoing list visits every such transaction exactly once.
+    let mut txs = Vec::new();
+    for &node in &selected {
+        for &ti in graph.sent_by(node) {
+            let t = graph.tx(ti);
+            if let (Some(&src), Some(&dst)) = (in_set.get(&t.from), in_set.get(&t.to)) {
+                txs.push(LocalTx {
+                    src,
+                    dst,
+                    value: t.value,
+                    timestamp: t.timestamp,
+                    fee: t.fee(),
+                    contract_call: t.contract_call,
+                });
+            }
+        }
+    }
+    txs.sort_by_key(|t| (t.timestamp, t.src, t.dst));
+
+    let kinds = selected.iter().map(|&a| graph.kind(a)).collect();
+    Subgraph { nodes: selected, kinds, txs, label }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tx::{AccountKind, TxRecord};
+
+    fn tx(from: usize, to: usize, value: f64) -> TxRecord {
+        TxRecord {
+            from,
+            to,
+            value,
+            timestamp: 10,
+            gas_price: 1e-9,
+            gas_used: 21_000.0,
+            contract_call: false,
+            submitted: true,
+        }
+    }
+
+    /// 0 connects to 1 (avg 10), 2 (avg 5), 3 (avg 1); 1 connects to 4.
+    fn star() -> TxGraph {
+        let kinds = vec![AccountKind::Eoa; 6];
+        TxGraph::build(
+            kinds,
+            vec![
+                tx(0, 1, 10.0),
+                tx(0, 2, 5.0),
+                tx(0, 3, 1.0),
+                tx(1, 4, 2.0),
+                tx(5, 5, 99.0), // disconnected self-loop, must never appear
+            ],
+        )
+    }
+
+    #[test]
+    fn center_is_local_node_zero() {
+        let g = star();
+        let s = sample_subgraph(&g, 0, SamplerConfig { top_k: 2, hops: 1 }, Some(3));
+        assert_eq!(s.nodes[Subgraph::CENTER], 0);
+        assert_eq!(s.label, Some(3));
+    }
+
+    #[test]
+    fn top_k_prefers_high_average_value() {
+        let g = star();
+        let s = sample_subgraph(&g, 0, SamplerConfig { top_k: 2, hops: 1 }, None);
+        // Neighbours ranked 1 (avg 10) then 2 (avg 5); 3 is dropped.
+        assert_eq!(s.nodes, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn two_hops_reach_neighbours_of_neighbours() {
+        let g = star();
+        let s = sample_subgraph(&g, 0, SamplerConfig { top_k: 2, hops: 2 }, None);
+        assert!(s.nodes.contains(&4), "hop-2 node missing: {:?}", s.nodes);
+        assert!(!s.nodes.contains(&5), "disconnected node leaked in");
+    }
+
+    #[test]
+    fn ties_break_by_total_value() {
+        // Both neighbours have avg 4; neighbour 2 has higher total.
+        let kinds = vec![AccountKind::Eoa; 3];
+        let g = TxGraph::build(
+            kinds,
+            vec![tx(0, 1, 4.0), tx(0, 2, 4.0), tx(0, 2, 4.0)],
+        );
+        let s = sample_subgraph(&g, 0, SamplerConfig { top_k: 1, hops: 1 }, None);
+        assert_eq!(s.nodes, vec![0, 2]);
+    }
+
+    #[test]
+    fn all_internal_transactions_collected() {
+        let g = star();
+        let s = sample_subgraph(&g, 0, SamplerConfig { top_k: 3, hops: 2 }, None);
+        // Nodes {0,1,2,3,4}: txs 0->1, 0->2, 0->3, 1->4 are internal.
+        assert_eq!(s.txs.len(), 4);
+        for t in &s.txs {
+            assert!(t.src < s.n() && t.dst < s.n());
+        }
+    }
+
+    #[test]
+    fn isolated_center_yields_singleton_graph() {
+        let g = TxGraph::build(vec![AccountKind::Eoa; 2], vec![tx(0, 1, 1.0)]);
+        // Account with no transactions at all.
+        let g2 = TxGraph::build(vec![AccountKind::Eoa; 3], g.transactions().to_vec());
+        let s = sample_subgraph(&g2, 2, SamplerConfig::default(), None);
+        assert_eq!(s.nodes, vec![2]);
+        assert!(s.txs.is_empty());
+    }
+}

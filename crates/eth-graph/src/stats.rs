@@ -1,0 +1,157 @@
+//! Topological statistics of subgraphs — used to characterise the generated
+//! datasets (Table II context) and by downstream analyses.
+
+use crate::subgraph::Subgraph;
+
+/// Summary statistics of one subgraph's undirected topology.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GraphStats {
+    pub n_nodes: usize,
+    /// Undirected edges (merged, deduplicated).
+    pub n_edges: usize,
+    /// `2m / (n (n-1))`.
+    pub density: f64,
+    pub max_degree: usize,
+    pub mean_degree: f64,
+    /// Global clustering coefficient (3 × triangles / open triads).
+    pub clustering: f64,
+    /// Degree of the centre account.
+    pub center_degree: usize,
+}
+
+/// Compute the statistics over the merged undirected view.
+pub fn graph_stats(graph: &Subgraph) -> GraphStats {
+    let adj = graph.undirected_adjacency();
+    let n = adj.len();
+    let degrees: Vec<usize> = adj.iter().map(Vec::len).collect();
+    let m: usize = degrees.iter().sum::<usize>() / 2;
+    let density = if n > 1 {
+        2.0 * m as f64 / (n as f64 * (n as f64 - 1.0))
+    } else {
+        0.0
+    };
+
+    // Triangle count by neighbour-set intersection over sorted lists.
+    let mut triangles = 0usize;
+    for (u, nu) in adj.iter().enumerate() {
+        for &v in nu.iter().filter(|&&v| v > u) {
+            // |N(u) ∩ N(v)| with w > v avoids double counting.
+            let (mut i, mut j) = (0, 0);
+            let nv = &adj[v];
+            while i < nu.len() && j < nv.len() {
+                match nu[i].cmp(&nv[j]) {
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                    std::cmp::Ordering::Equal => {
+                        if nu[i] > v {
+                            triangles += 1;
+                        }
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+        }
+    }
+    let open_triads: usize = degrees.iter().map(|&d| d * d.saturating_sub(1) / 2).sum();
+    let clustering = if open_triads > 0 {
+        3.0 * triangles as f64 / open_triads as f64
+    } else {
+        0.0
+    };
+
+    GraphStats {
+        n_nodes: n,
+        n_edges: m,
+        density,
+        max_degree: degrees.iter().copied().max().unwrap_or(0),
+        mean_degree: if n > 0 { 2.0 * m as f64 / n as f64 } else { 0.0 },
+        clustering,
+        center_degree: degrees.first().copied().unwrap_or(0),
+    }
+}
+
+/// Histogram of node degrees with the last bucket open-ended.
+pub fn degree_histogram(graph: &Subgraph, buckets: &[usize]) -> Vec<usize> {
+    let adj = graph.undirected_adjacency();
+    let mut counts = vec![0usize; buckets.len() + 1];
+    for d in adj.iter().map(Vec::len) {
+        let b = buckets.iter().take_while(|&&b| d > b).count();
+        counts[b] += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::subgraph::LocalTx;
+    use crate::tx::AccountKind;
+
+    fn graph_from_edges(n: usize, edges: &[(usize, usize)]) -> Subgraph {
+        Subgraph {
+            nodes: (0..n).collect(),
+            kinds: vec![AccountKind::Eoa; n],
+            txs: edges
+                .iter()
+                .enumerate()
+                .map(|(i, &(s, d))| LocalTx {
+                    src: s,
+                    dst: d,
+                    value: 1.0,
+                    timestamp: i as u64,
+                    fee: 0.0,
+                    contract_call: false,
+                })
+                .collect(),
+            label: None,
+        }
+    }
+
+    #[test]
+    fn triangle_graph_stats() {
+        let g = graph_from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        let s = graph_stats(&g);
+        assert_eq!(s.n_nodes, 3);
+        assert_eq!(s.n_edges, 3);
+        assert_eq!(s.density, 1.0);
+        assert_eq!(s.clustering, 1.0);
+        assert_eq!(s.center_degree, 2);
+    }
+
+    #[test]
+    fn star_has_zero_clustering() {
+        let g = graph_from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        let s = graph_stats(&g);
+        assert_eq!(s.clustering, 0.0);
+        assert_eq!(s.max_degree, 4);
+        assert_eq!(s.center_degree, 4);
+        assert!((s.mean_degree - 8.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multi_edges_merge_before_counting() {
+        // Two transactions over the same pair count as one undirected edge.
+        let g = graph_from_edges(2, &[(0, 1), (1, 0)]);
+        let s = graph_stats(&g);
+        assert_eq!(s.n_edges, 1);
+    }
+
+    #[test]
+    fn degree_histogram_buckets() {
+        let g = graph_from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        // Buckets: deg <=1, <=3, >3.
+        let h = degree_histogram(&g, &[1, 3]);
+        assert_eq!(h, vec![4, 0, 1]);
+    }
+
+    #[test]
+    fn singleton_graph() {
+        let g = graph_from_edges(1, &[]);
+        let s = graph_stats(&g);
+        assert_eq!(s.n_nodes, 1);
+        assert_eq!(s.n_edges, 0);
+        assert_eq!(s.density, 0.0);
+        assert_eq!(s.clustering, 0.0);
+    }
+}

@@ -1,0 +1,229 @@
+//! Account-centred subgraphs: the unit of classification.
+//!
+//! Stage 1 of the paper converts the account identification task into
+//! subgraph-level classification. A [`Subgraph`] keeps local (re-indexed)
+//! transactions so both views can be derived:
+//!
+//! * **GSG** — merged directed edges with features `r_ij = [w, t]`
+//!   (Section III-B3),
+//! * **LDG** — `T` time slices over the normalised transaction evolution
+//!   time (Eq. 1), each with per-slice merged edge weight `r^k_ij = [w^k]`.
+
+use crate::tx::AccountKind;
+
+/// A transaction re-indexed into subgraph-local node ids.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LocalTx {
+    pub src: usize,
+    pub dst: usize,
+    pub value: f64,
+    pub timestamp: u64,
+    pub fee: f64,
+    pub contract_call: bool,
+}
+
+/// A merged directed edge of the global static view with features `[w, t]`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MergedEdge {
+    pub src: usize,
+    pub dst: usize,
+    /// Total transferred amount `w`.
+    pub total_value: f64,
+    /// Number of merged transactions `t`.
+    pub count: usize,
+}
+
+/// One time slice of the local dynamic view.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TimeSlice {
+    /// Merged directed edges `(src, dst, wᵏ)` within this slice.
+    pub edges: Vec<(usize, usize, f64)>,
+}
+
+/// An account-centred subgraph. Node 0 is always the centre account.
+#[derive(Clone, Debug)]
+pub struct Subgraph {
+    /// Global account ids of the local nodes; `nodes[0]` is the centre.
+    pub nodes: Vec<usize>,
+    pub kinds: Vec<AccountKind>,
+    /// All transactions among the selected nodes, local indices.
+    pub txs: Vec<LocalTx>,
+    /// Ground-truth class of the centre account, when known.
+    pub label: Option<usize>,
+}
+
+impl Subgraph {
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Local index of the centre account.
+    pub const CENTER: usize = 0;
+
+    /// Merge transactions per ordered pair into GSG edges (Section III-B3).
+    /// Edges are returned sorted by `(src, dst)` for determinism.
+    pub fn merged_edges(&self) -> Vec<MergedEdge> {
+        let mut map = std::collections::HashMap::<(usize, usize), MergedEdge>::new();
+        for t in &self.txs {
+            let e = map.entry((t.src, t.dst)).or_insert(MergedEdge {
+                src: t.src,
+                dst: t.dst,
+                total_value: 0.0,
+                count: 0,
+            });
+            e.total_value += t.value;
+            e.count += 1;
+        }
+        let mut edges: Vec<MergedEdge> = map.into_values().collect();
+        edges.sort_unstable_by_key(|e| (e.src, e.dst));
+        edges
+    }
+
+    /// Normalised transaction evolution time of Eq. 1 for every local
+    /// transaction. All-equal timestamps map to 0.
+    pub fn evolution_times(&self) -> Vec<f64> {
+        let (mut tmin, mut tmax) = (u64::MAX, u64::MIN);
+        for t in &self.txs {
+            tmin = tmin.min(t.timestamp);
+            tmax = tmax.max(t.timestamp);
+        }
+        self.txs
+            .iter()
+            .map(|t| {
+                if tmax == tmin {
+                    0.0
+                } else {
+                    (t.timestamp - tmin) as f64 / (tmax - tmin) as f64
+                }
+            })
+            .collect()
+    }
+
+    /// Partition the transactions into `t_slices` time slices over the
+    /// normalised evolution time, merging per-pair within each slice.
+    pub fn time_slices(&self, t_slices: usize) -> Vec<TimeSlice> {
+        assert!(t_slices > 0, "need at least one time slice");
+        let times = self.evolution_times();
+        let mut maps: Vec<std::collections::HashMap<(usize, usize), f64>> =
+            vec![std::collections::HashMap::new(); t_slices];
+        for (tx, &time) in self.txs.iter().zip(&times) {
+            let k = ((time * t_slices as f64) as usize).min(t_slices - 1);
+            *maps[k].entry((tx.src, tx.dst)).or_insert(0.0) += tx.value;
+        }
+        maps.into_iter()
+            .map(|m| {
+                let mut edges: Vec<(usize, usize, f64)> =
+                    m.into_iter().map(|((s, d), w)| (s, d, w)).collect();
+                edges.sort_unstable_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+                TimeSlice { edges }
+            })
+            .collect()
+    }
+
+    /// Undirected adjacency lists over merged edges (for centralities and
+    /// random walks).
+    pub fn undirected_adjacency(&self) -> Vec<Vec<usize>> {
+        let mut adj = vec![Vec::new(); self.n()];
+        for e in self.merged_edges() {
+            if e.src != e.dst {
+                adj[e.src].push(e.dst);
+                adj[e.dst].push(e.src);
+            }
+        }
+        for list in &mut adj {
+            list.sort_unstable();
+            list.dedup();
+        }
+        adj
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ltx(src: usize, dst: usize, value: f64, ts: u64) -> LocalTx {
+        LocalTx { src, dst, value, timestamp: ts, fee: 0.0, contract_call: false }
+    }
+
+    fn sample() -> Subgraph {
+        Subgraph {
+            nodes: vec![10, 20, 30],
+            kinds: vec![AccountKind::Eoa; 3],
+            txs: vec![
+                ltx(0, 1, 2.0, 0),
+                ltx(0, 1, 4.0, 50),
+                ltx(1, 2, 1.0, 100),
+                ltx(2, 0, 3.0, 100),
+            ],
+            label: Some(1),
+        }
+    }
+
+    #[test]
+    fn merged_edges_aggregate_value_and_count() {
+        let g = sample();
+        let edges = g.merged_edges();
+        assert_eq!(edges.len(), 3);
+        let e01 = edges.iter().find(|e| e.src == 0 && e.dst == 1).unwrap();
+        assert_eq!(e01.total_value, 6.0);
+        assert_eq!(e01.count, 2);
+    }
+
+    #[test]
+    fn evolution_time_normalised_to_unit_interval() {
+        let g = sample();
+        let times = g.evolution_times();
+        assert_eq!(times, vec![0.0, 0.5, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn evolution_time_degenerate_single_timestamp() {
+        let mut g = sample();
+        for t in &mut g.txs {
+            t.timestamp = 42;
+        }
+        assert!(g.evolution_times().iter().all(|&t| t == 0.0));
+    }
+
+    #[test]
+    fn time_slices_partition_all_transactions() {
+        let g = sample();
+        let slices = g.time_slices(2);
+        assert_eq!(slices.len(), 2);
+        // First half: both 0->1 txs (times 0.0 and 0.5 -> slice 0 and 1).
+        let total: f64 = slices
+            .iter()
+            .flat_map(|s| s.edges.iter().map(|e| e.2))
+            .sum();
+        assert_eq!(total, 10.0); // all value preserved
+        // Time 1.0 clamps into the last slice rather than overflowing.
+        assert!(slices[1].edges.iter().any(|e| *e == (1, 2, 1.0)));
+    }
+
+    #[test]
+    fn single_slice_equals_merged_values() {
+        let g = sample();
+        let slices = g.time_slices(1);
+        let merged = g.merged_edges();
+        assert_eq!(slices[0].edges.len(), merged.len());
+        for e in &merged {
+            assert!(slices[0]
+                .edges
+                .iter()
+                .any(|&(s, d, w)| s == e.src && d == e.dst && (w - e.total_value).abs() < 1e-12));
+        }
+    }
+
+    #[test]
+    fn undirected_adjacency_symmetric() {
+        let g = sample();
+        let adj = g.undirected_adjacency();
+        for (u, list) in adj.iter().enumerate() {
+            for &v in list {
+                assert!(adj[v].contains(&u), "missing back-edge {v}->{u}");
+            }
+        }
+    }
+}

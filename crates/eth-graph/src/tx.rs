@@ -1,0 +1,75 @@
+//! Core Ethereum transaction types (Section II-A of the paper).
+
+/// The two Ethereum account classes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AccountKind {
+    /// Externally owned account, controlled by a private key.
+    Eoa,
+    /// Contract account: code deployed by an EOA.
+    Contract,
+}
+
+/// A single Ethereum transaction as consumed by the pipeline.
+///
+/// `value` is in ETH, `gas_price` in ETH per gas unit (already converted from
+/// Wei, i.e. the `× 10⁻¹⁸` of Eq. 5 has been applied by the data layer), and
+/// `timestamp` is Unix seconds.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TxRecord {
+    pub from: usize,
+    pub to: usize,
+    pub value: f64,
+    pub timestamp: u64,
+    pub gas_price: f64,
+    pub gas_used: f64,
+    /// Whether `to` is a contract account (the transaction invokes code).
+    pub contract_call: bool,
+    /// Whether the transaction was actually included in a block. The
+    /// pipeline's first filtering step drops unsubmitted transactions
+    /// (Section III-B1).
+    pub submitted: bool,
+}
+
+impl TxRecord {
+    /// The Ether fee paid: `gasPrice × gasUsed` (Eq. 5, already in ETH).
+    pub fn fee(&self) -> f64 {
+        self.gas_price * self.gas_used
+    }
+}
+
+/// Drop unsubmitted transactions (Section III-B1 step 2).
+pub fn filter_submitted(txs: &[TxRecord]) -> Vec<TxRecord> {
+    txs.iter().copied().filter(|t| t.submitted).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tx(from: usize, to: usize, submitted: bool) -> TxRecord {
+        TxRecord {
+            from,
+            to,
+            value: 1.0,
+            timestamp: 0,
+            gas_price: 2e-9,
+            gas_used: 21_000.0,
+            contract_call: false,
+            submitted,
+        }
+    }
+
+    #[test]
+    fn fee_is_price_times_used() {
+        let t = tx(0, 1, true);
+        assert!((t.fee() - 2e-9 * 21_000.0).abs() < 1e-18);
+    }
+
+    #[test]
+    fn filter_drops_unsubmitted() {
+        let txs = vec![tx(0, 1, true), tx(1, 2, false), tx(2, 0, true)];
+        let kept = filter_submitted(&txs);
+        assert_eq!(kept.len(), 2);
+        assert!(kept.iter().all(|t| t.submitted));
+    }
+}

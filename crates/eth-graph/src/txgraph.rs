@@ -1,0 +1,180 @@
+//! The global transaction multigraph over all accounts, with the pair-merged
+//! edge statistics used by top-K neighbour sampling (Eq. 2).
+
+use crate::tx::{AccountKind, TxRecord};
+use std::collections::HashMap;
+
+/// Merged statistics for one ordered account pair `(from, to)`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PairStats {
+    pub from: usize,
+    pub to: usize,
+    /// Total transferred value `w`.
+    pub total_value: f64,
+    /// Number of merged transactions `t`.
+    pub count: usize,
+}
+
+impl PairStats {
+    /// Average transaction value — the neighbour-ranking key of Eq. 2.
+    pub fn avg_value(&self) -> f64 {
+        self.total_value / self.count as f64
+    }
+}
+
+/// An index over all (submitted) transactions: per-account incident
+/// transaction lists plus merged pair statistics.
+pub struct TxGraph {
+    n_accounts: usize,
+    kinds: Vec<AccountKind>,
+    txs: Vec<TxRecord>,
+    /// Transaction indices with `from == a`, per account `a`.
+    out_txs: Vec<Vec<usize>>,
+    /// Transaction indices with `to == a`, per account `a`.
+    in_txs: Vec<Vec<usize>>,
+    /// Merged pair stats, keyed by ordered pair.
+    pairs: HashMap<(usize, usize), PairStats>,
+    /// Undirected neighbour lists (deduplicated, sorted).
+    neighbours: Vec<Vec<usize>>,
+}
+
+impl TxGraph {
+    /// Build the index. Transactions referencing accounts `>= kinds.len()`
+    /// or not submitted are rejected/dropped respectively.
+    pub fn build(kinds: Vec<AccountKind>, txs: Vec<TxRecord>) -> Self {
+        let n = kinds.len();
+        let txs: Vec<TxRecord> = txs.into_iter().filter(|t| t.submitted).collect();
+        let mut out_txs = vec![Vec::new(); n];
+        let mut in_txs = vec![Vec::new(); n];
+        let mut pairs: HashMap<(usize, usize), PairStats> = HashMap::new();
+        let mut nbr: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, t) in txs.iter().enumerate() {
+            assert!(t.from < n && t.to < n, "transaction references unknown account");
+            out_txs[t.from].push(i);
+            in_txs[t.to].push(i);
+            let e = pairs.entry((t.from, t.to)).or_insert(PairStats {
+                from: t.from,
+                to: t.to,
+                total_value: 0.0,
+                count: 0,
+            });
+            e.total_value += t.value;
+            e.count += 1;
+        }
+        for (&(a, b), _) in pairs.iter() {
+            nbr[a].push(b);
+            nbr[b].push(a);
+        }
+        for list in &mut nbr {
+            list.sort_unstable();
+            list.dedup();
+        }
+        Self { n_accounts: n, kinds, txs, out_txs, in_txs, pairs, neighbours: nbr }
+    }
+
+    pub fn n_accounts(&self) -> usize {
+        self.n_accounts
+    }
+
+    pub fn n_transactions(&self) -> usize {
+        self.txs.len()
+    }
+
+    pub fn kind(&self, account: usize) -> AccountKind {
+        self.kinds[account]
+    }
+
+    pub fn transactions(&self) -> &[TxRecord] {
+        &self.txs
+    }
+
+    pub fn tx(&self, idx: usize) -> &TxRecord {
+        &self.txs[idx]
+    }
+
+    /// Indices of transactions sent by `account`, in insertion order.
+    pub fn sent_by(&self, account: usize) -> &[usize] {
+        &self.out_txs[account]
+    }
+
+    /// Indices of transactions received by `account`.
+    pub fn received_by(&self, account: usize) -> &[usize] {
+        &self.in_txs[account]
+    }
+
+    /// Merged stats for the ordered pair, if any transactions exist.
+    pub fn pair(&self, from: usize, to: usize) -> Option<&PairStats> {
+        self.pairs.get(&(from, to))
+    }
+
+    /// Undirected neighbour set of `account` (sorted, deduplicated).
+    pub fn neighbours(&self, account: usize) -> &[usize] {
+        &self.neighbours[account]
+    }
+
+    /// All merged directed pairs incident to `account` (either direction).
+    pub fn incident_pairs(&self, account: usize) -> Vec<&PairStats> {
+        let mut out = Vec::new();
+        for &nb in &self.neighbours[account] {
+            if let Some(p) = self.pairs.get(&(account, nb)) {
+                out.push(p);
+            }
+            if let Some(p) = self.pairs.get(&(nb, account)) {
+                out.push(p);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tx(from: usize, to: usize, value: f64) -> TxRecord {
+        TxRecord {
+            from,
+            to,
+            value,
+            timestamp: 100,
+            gas_price: 1e-9,
+            gas_used: 21_000.0,
+            contract_call: false,
+            submitted: true,
+        }
+    }
+
+    #[test]
+    fn pair_merging() {
+        let kinds = vec![AccountKind::Eoa; 3];
+        let txs = vec![tx(0, 1, 2.0), tx(0, 1, 4.0), tx(1, 0, 1.0), tx(0, 2, 5.0)];
+        let g = TxGraph::build(kinds, txs);
+        let p = g.pair(0, 1).unwrap();
+        assert_eq!(p.count, 2);
+        assert_eq!(p.total_value, 6.0);
+        assert_eq!(p.avg_value(), 3.0);
+        // Directions are distinct edges.
+        assert_eq!(g.pair(1, 0).unwrap().count, 1);
+        assert!(g.pair(2, 0).is_none());
+    }
+
+    #[test]
+    fn incident_and_neighbours() {
+        let kinds = vec![AccountKind::Eoa; 4];
+        let txs = vec![tx(0, 1, 1.0), tx(2, 0, 1.0), tx(3, 2, 1.0)];
+        let g = TxGraph::build(kinds, txs);
+        assert_eq!(g.neighbours(0), &[1, 2]);
+        assert_eq!(g.incident_pairs(0).len(), 2);
+        assert_eq!(g.neighbours(3), &[2]);
+    }
+
+    #[test]
+    fn unsubmitted_dropped_at_build() {
+        let kinds = vec![AccountKind::Eoa; 2];
+        let mut t = tx(0, 1, 1.0);
+        t.submitted = false;
+        let g = TxGraph::build(kinds, vec![t]);
+        assert_eq!(g.n_transactions(), 0);
+        assert!(g.pair(0, 1).is_none());
+    }
+}

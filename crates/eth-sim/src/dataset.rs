@@ -1,0 +1,295 @@
+//! Graph-classification dataset assembly (Table II).
+//!
+//! Each of the paper's datasets is binary: subgraphs centred on accounts of
+//! one labelled category (positives) versus subgraphs centred on other
+//! accounts (negatives), with roughly one negative per positive so the
+//! graph count is about twice the positive count, as in Table II.
+
+use crate::profile::AccountClass;
+use crate::world::{World, WorldConfig};
+use eth_graph::{sample_subgraph, SamplerConfig, Subgraph, TxGraph};
+use rand::rngs::StdRng;
+use rand::{seq::SliceRandom, Rng, SeedableRng};
+
+/// Binary label of a subgraph within a category dataset.
+pub const NEGATIVE: usize = 0;
+/// Positive label.
+pub const POSITIVE: usize = 1;
+
+/// A binary graph-classification dataset for one account category.
+pub struct GraphDataset {
+    pub class: AccountClass,
+    pub graphs: Vec<Subgraph>,
+}
+
+/// Aggregate dataset statistics, mirroring the rows of Table II.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DatasetStats {
+    pub positives: usize,
+    pub graphs: usize,
+    pub avg_nodes: f64,
+    pub avg_edges: f64,
+}
+
+impl GraphDataset {
+    pub fn stats(&self) -> DatasetStats {
+        let positives = self
+            .graphs
+            .iter()
+            .filter(|g| g.label == Some(POSITIVE))
+            .count();
+        let n = self.graphs.len().max(1) as f64;
+        let avg_nodes = self.graphs.iter().map(|g| g.n() as f64).sum::<f64>() / n;
+        let avg_edges =
+            self.graphs.iter().map(|g| g.merged_edges().len() as f64).sum::<f64>() / n;
+        DatasetStats { positives, graphs: self.graphs.len(), avg_nodes, avg_edges }
+    }
+
+    /// Deterministic stratified train/test split. `train_frac` of each class
+    /// goes to train. Returns `(train_idx, test_idx)`.
+    pub fn split(&self, train_frac: f64, seed: u64) -> (Vec<usize>, Vec<usize>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut train = Vec::new();
+        let mut test = Vec::new();
+        for label in [POSITIVE, NEGATIVE] {
+            let mut idx: Vec<usize> = (0..self.graphs.len())
+                .filter(|&i| self.graphs[i].label == Some(label))
+                .collect();
+            idx.shuffle(&mut rng);
+            let cut = ((idx.len() as f64) * train_frac).round() as usize;
+            let cut = cut.clamp(1.min(idx.len()), idx.len().saturating_sub(1).max(1));
+            train.extend_from_slice(&idx[..cut]);
+            test.extend_from_slice(&idx[cut..]);
+        }
+        train.shuffle(&mut rng);
+        test.shuffle(&mut rng);
+        (train, test)
+    }
+}
+
+/// How many centres to generate per category.
+#[derive(Clone, Copy, Debug)]
+pub struct DatasetScale {
+    pub exchange: usize,
+    pub ico_wallet: usize,
+    pub mining: usize,
+    pub phish_hack: usize,
+    pub bridge: usize,
+    pub defi: usize,
+}
+
+impl DatasetScale {
+    /// The paper's positive-sample counts (Table II).
+    pub fn paper() -> Self {
+        Self {
+            exchange: 231,
+            ico_wallet: 155,
+            mining: 56,
+            phish_hack: 1991,
+            bridge: 105,
+            defi: 105,
+        }
+    }
+
+    /// A reduced scale for fast experiments and CI.
+    pub fn small() -> Self {
+        Self { exchange: 40, ico_wallet: 40, mining: 30, phish_hack: 60, bridge: 40, defi: 40 }
+    }
+
+    pub fn of(&self, class: AccountClass) -> usize {
+        match class {
+            AccountClass::Exchange => self.exchange,
+            AccountClass::IcoWallet => self.ico_wallet,
+            AccountClass::Mining => self.mining,
+            AccountClass::PhishHack => self.phish_hack,
+            AccountClass::Bridge => self.bridge,
+            AccountClass::Defi => self.defi,
+            AccountClass::Normal => 0,
+        }
+    }
+
+    /// Total number of positive centres across all categories.
+    pub fn total(&self) -> usize {
+        AccountClass::LABELLED.iter().map(|&c| self.of(c)).sum()
+    }
+}
+
+/// Index of a class in the multiclass labelling (0-5 the labelled
+/// categories in `AccountClass::LABELLED` order, 6 = normal).
+pub fn multiclass_label(class: AccountClass) -> usize {
+    AccountClass::LABELLED
+        .iter()
+        .position(|&c| c == class)
+        .unwrap_or(AccountClass::LABELLED.len())
+}
+
+/// Class names in multiclass-label order (index 6 is "normal").
+pub fn multiclass_names() -> Vec<&'static str> {
+    let mut names: Vec<&'static str> =
+        AccountClass::LABELLED.iter().map(|c| c.name()).collect();
+    names.push(AccountClass::Normal.name());
+    names
+}
+
+/// Assemble a single 7-way multiclass dataset: every centre account of the
+/// world becomes one subgraph whose label is its class index.
+pub fn multiclass_graphs(world: &World, sampler: SamplerConfig) -> Vec<Subgraph> {
+    let graph = TxGraph::build(world.kinds.clone(), world.txs.clone());
+    world
+        .centers
+        .iter()
+        .map(|&(center, class)| {
+            sample_subgraph(&graph, center, sampler, Some(multiclass_label(class)))
+        })
+        .collect()
+}
+
+/// A full benchmark: one world plus the per-category binary datasets.
+pub struct Benchmark {
+    pub world: World,
+    pub datasets: Vec<GraphDataset>,
+}
+
+impl Benchmark {
+    /// Generate the world and sample every category dataset.
+    ///
+    /// Negative centres are dedicated `Normal` accounts, one per positive,
+    /// shared across datasets exactly as unlabelled accounts are in the
+    /// paper's pipeline.
+    pub fn generate(scale: DatasetScale, sampler: SamplerConfig, seed: u64) -> Self {
+        let mut spec: Vec<(AccountClass, usize)> = AccountClass::LABELLED
+            .iter()
+            .map(|&c| (c, scale.of(c)))
+            .collect();
+        let max_class = AccountClass::LABELLED
+            .iter()
+            .map(|&c| scale.of(c))
+            .max()
+            .unwrap_or(0);
+        spec.push((AccountClass::Normal, max_class));
+        let world = World::generate(
+            WorldConfig { seed, ..Default::default() },
+            &spec,
+        );
+        let graph = TxGraph::build(world.kinds.clone(), world.txs.clone());
+        let normals = world.centers_of(AccountClass::Normal);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xD1CE);
+
+        let datasets = AccountClass::LABELLED
+            .iter()
+            .filter(|&&c| scale.of(c) > 0)
+            .map(|&class| {
+                let mut graphs = Vec::new();
+                for center in world.centers_of(class) {
+                    graphs.push(sample_subgraph(&graph, center, sampler, Some(POSITIVE)));
+                }
+                // One negative per positive. Negatives mix ordinary accounts
+                // with *other* labelled categories (hard negatives): asking
+                // "is this an exchange?" must also reject miners and
+                // phishers, as in the paper's labelled universe.
+                let n_pos = graphs.len();
+                let mut hard: Vec<usize> = world
+                    .centers
+                    .iter()
+                    .filter(|(_, c)| *c != class && *c != AccountClass::Normal)
+                    .map(|(a, _)| *a)
+                    .collect();
+                hard.shuffle(&mut rng);
+                let mut easy = normals.clone();
+                easy.shuffle(&mut rng);
+                let n_hard = (n_pos * 2) / 5; // 40% hard negatives
+                let mut pool: Vec<usize> = Vec::with_capacity(n_pos);
+                pool.extend(hard.iter().take(n_hard));
+                while pool.len() < n_pos {
+                    let i = pool.len() - n_hard.min(pool.len());
+                    if i < easy.len() {
+                        pool.push(easy[i]);
+                    } else {
+                        pool.push(easy[rng.gen_range(0..easy.len())]);
+                    }
+                }
+                for center in pool {
+                    graphs.push(sample_subgraph(&graph, center, sampler, Some(NEGATIVE)));
+                }
+                GraphDataset { class, graphs }
+            })
+            .collect();
+        Self { world, datasets }
+    }
+
+    pub fn dataset(&self, class: AccountClass) -> &GraphDataset {
+        self.datasets
+            .iter()
+            .find(|d| d.class == class)
+            .expect("dataset for class not generated")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Benchmark {
+        let scale = DatasetScale {
+            exchange: 6,
+            ico_wallet: 5,
+            mining: 4,
+            phish_hack: 6,
+            bridge: 4,
+            defi: 4,
+        };
+        Benchmark::generate(scale, SamplerConfig { top_k: 30, hops: 2 }, 3)
+    }
+
+    #[test]
+    fn every_dataset_is_balanced() {
+        let b = tiny();
+        for d in &b.datasets {
+            let s = d.stats();
+            assert_eq!(s.graphs, 2 * s.positives, "{:?}", d.class);
+            assert!(s.positives > 0);
+        }
+    }
+
+    #[test]
+    fn subgraphs_are_nontrivial() {
+        let b = tiny();
+        for d in &b.datasets {
+            let s = d.stats();
+            assert!(s.avg_nodes > 5.0, "{}: avg nodes {}", d.class.name(), s.avg_nodes);
+            assert!(s.avg_edges > 5.0, "{}: avg edges {}", d.class.name(), s.avg_edges);
+        }
+    }
+
+    #[test]
+    fn split_is_stratified_and_disjoint() {
+        let b = tiny();
+        let d = b.dataset(AccountClass::Exchange);
+        let (train, test) = d.split(0.8, 42);
+        assert_eq!(train.len() + test.len(), d.graphs.len());
+        for i in &train {
+            assert!(!test.contains(i));
+        }
+        // Both splits see both classes.
+        for split in [&train, &test] {
+            let pos = split.iter().filter(|&&i| d.graphs[i].label == Some(POSITIVE)).count();
+            assert!(pos > 0 && pos < split.len());
+        }
+    }
+
+    #[test]
+    fn split_deterministic_across_calls() {
+        let b = tiny();
+        let d = b.dataset(AccountClass::Mining);
+        assert_eq!(d.split(0.7, 1), d.split(0.7, 1));
+        assert_ne!(d.split(0.7, 1).0, d.split(0.7, 2).0);
+    }
+
+    #[test]
+    fn scale_paper_matches_table2_counts() {
+        let s = DatasetScale::paper();
+        assert_eq!(s.of(AccountClass::Exchange), 231);
+        assert_eq!(s.of(AccountClass::PhishHack), 1991);
+        assert_eq!(s.total(), 231 + 155 + 56 + 1991 + 105 + 105);
+    }
+}

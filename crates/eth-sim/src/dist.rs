@@ -1,0 +1,88 @@
+//! Small sampling toolkit (log-normal, exponential, Pareto, Poisson-ish
+//! counts) built directly on `rand` so no extra crates are needed.
+
+use rand::Rng;
+
+/// Standard normal via Box-Muller.
+pub fn normal(rng: &mut impl Rng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Log-normal with the given parameters of the underlying normal.
+pub fn lognormal(rng: &mut impl Rng, mu: f64, sigma: f64) -> f64 {
+    (mu + sigma * normal(rng)).exp()
+}
+
+/// Exponential with the given mean.
+pub fn exponential(rng: &mut impl Rng, mean: f64) -> f64 {
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    -mean * u.ln()
+}
+
+/// Pareto (heavy-tailed) with scale `x_min` and shape `alpha`.
+pub fn pareto(rng: &mut impl Rng, x_min: f64, alpha: f64) -> f64 {
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    x_min / u.powf(1.0 / alpha)
+}
+
+/// A count sampled around `mean` with geometric-ish dispersion, clamped to
+/// `[min, max]`. Used for degrees and transaction counts.
+pub fn count_around(rng: &mut impl Rng, mean: f64, min: usize, max: usize) -> usize {
+    let x = lognormal(rng, mean.max(1.0).ln(), 0.4);
+    (x.round() as usize).clamp(min, max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| normal(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn lognormal_positive_and_median() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut xs: Vec<f64> = (0..10_001).map(|_| lognormal(&mut rng, 1.0, 0.5)).collect();
+        assert!(xs.iter().all(|&x| x > 0.0));
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = xs[xs.len() / 2];
+        assert!((median - 1.0f64.exp()).abs() < 0.2, "median {median}");
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 20_000;
+        let mean = (0..n).map(|_| exponential(&mut rng, 5.0)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.2, "mean {mean}");
+    }
+
+    #[test]
+    fn pareto_lower_bound() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..1000 {
+            assert!(pareto(&mut rng, 2.0, 1.5) >= 2.0);
+        }
+    }
+
+    #[test]
+    fn count_around_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..1000 {
+            let c = count_around(&mut rng, 10.0, 3, 20);
+            assert!((3..=20).contains(&c));
+        }
+    }
+}

@@ -1,0 +1,410 @@
+//! The synthetic Ethereum world: accounts, labelled centres and a full
+//! transaction stream over a simulated 2015-2024 clock.
+
+use crate::dist;
+use crate::profile::{profile, AccountClass, ClassProfile, TemporalPattern};
+use eth_graph::{AccountKind, TxRecord};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Unix timestamp of the paper's earliest block ("2015-08-07").
+pub const EPOCH_START: u64 = 1_438_905_600;
+/// Unix timestamp of the paper's latest block ("2024-02-18").
+pub const EPOCH_END: u64 = 1_708_214_400;
+
+/// Knobs for world generation.
+#[derive(Clone, Copy, Debug)]
+pub struct WorldConfig {
+    /// Size of the shared pool of ordinary accounts that labelled accounts
+    /// draw counterparties from.
+    pub n_background: usize,
+    /// Fraction of background accounts that are contracts.
+    pub background_contract_frac: f64,
+    /// Mean number of noise transactions each background account initiates.
+    pub background_activity: f64,
+    /// Extra counterparties each fresh peer connects to (gives hop-2
+    /// structure to the sampled subgraphs).
+    pub peer_fanout: f64,
+    pub seed: u64,
+}
+
+impl Default for WorldConfig {
+    fn default() -> Self {
+        Self {
+            n_background: 2_000,
+            background_contract_frac: 0.12,
+            background_activity: 1.0,
+            peer_fanout: 0.8,
+            seed: 7,
+        }
+    }
+}
+
+/// A generated world: account tables, labelled centres and transactions.
+pub struct World {
+    pub kinds: Vec<AccountKind>,
+    /// Class of every account (`Normal` for background and fresh peers).
+    pub classes: Vec<AccountClass>,
+    /// Labelled centre accounts: `(account id, class)`. Includes `Normal`
+    /// centres used as negative examples.
+    pub centers: Vec<(usize, AccountClass)>,
+    pub txs: Vec<TxRecord>,
+}
+
+impl World {
+    /// Generate a world containing `spec` centres per class (plus background
+    /// accounts). `Normal` entries in `spec` become negative-example centres.
+    pub fn generate(config: WorldConfig, spec: &[(AccountClass, usize)]) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut w = WorldBuilder::new(config, &mut rng);
+        w.generate_background(&mut rng);
+        for &(class, count) in spec {
+            for _ in 0..count {
+                w.generate_center(class, &mut rng);
+            }
+        }
+        w.finish()
+    }
+
+    pub fn n_accounts(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Centre accounts of one class.
+    pub fn centers_of(&self, class: AccountClass) -> Vec<usize> {
+        self.centers
+            .iter()
+            .filter(|(_, c)| *c == class)
+            .map(|(a, _)| *a)
+            .collect()
+    }
+}
+
+struct WorldBuilder {
+    config: WorldConfig,
+    kinds: Vec<AccountKind>,
+    classes: Vec<AccountClass>,
+    centers: Vec<(usize, AccountClass)>,
+    txs: Vec<TxRecord>,
+}
+
+impl WorldBuilder {
+    fn new(config: WorldConfig, rng: &mut StdRng) -> Self {
+        let mut kinds = Vec::with_capacity(config.n_background);
+        for _ in 0..config.n_background {
+            let k = if rng.gen_bool(config.background_contract_frac) {
+                AccountKind::Contract
+            } else {
+                AccountKind::Eoa
+            };
+            kinds.push(k);
+        }
+        let classes = vec![AccountClass::Normal; kinds.len()];
+        Self { config, kinds, classes, centers: Vec::new(), txs: Vec::new() }
+    }
+
+    fn new_account(&mut self, kind: AccountKind, class: AccountClass) -> usize {
+        self.kinds.push(kind);
+        self.classes.push(class);
+        self.kinds.len() - 1
+    }
+
+    fn random_background(&self, rng: &mut StdRng) -> usize {
+        rng.gen_range(0..self.config.n_background)
+    }
+
+    fn random_background_eoa(&self, rng: &mut StdRng) -> usize {
+        // Rejection-sample an EOA; the pool always contains plenty.
+        loop {
+            let a = self.random_background(rng);
+            if self.kinds[a] == AccountKind::Eoa {
+                return a;
+            }
+        }
+    }
+
+    fn random_background_contract(&self, rng: &mut StdRng) -> Option<usize> {
+        for _ in 0..64 {
+            let a = self.random_background(rng);
+            if self.kinds[a] == AccountKind::Contract {
+                return Some(a);
+            }
+        }
+        None
+    }
+
+    /// Sparse noise among background accounts so negative subgraphs and
+    /// hop-2 neighbourhoods have realistic texture.
+    fn generate_background(&mut self, rng: &mut StdRng) {
+        let n = self.config.n_background;
+        for a in 0..n {
+            if self.kinds[a] != AccountKind::Eoa {
+                continue;
+            }
+            let k = dist::exponential(rng, self.config.background_activity).round() as usize;
+            for _ in 0..k.min(8) {
+                let b = self.random_background(rng);
+                if a == b {
+                    continue;
+                }
+                let ts = rng.gen_range(EPOCH_START..EPOCH_END);
+                self.push_tx(a, b, dist::lognormal(rng, -1.5, 1.0), ts, 35.0, 40_000.0, rng);
+            }
+        }
+    }
+
+    fn push_tx(
+        &mut self,
+        from: usize,
+        to: usize,
+        value: f64,
+        timestamp: u64,
+        mean_gas_price_gwei: f64,
+        mean_gas_used: f64,
+        rng: &mut StdRng,
+    ) {
+        let contract_call = self.kinds[to] == AccountKind::Contract;
+        let gas_used = if contract_call {
+            dist::lognormal(rng, mean_gas_used.max(21_000.0).ln(), 0.3).max(21_000.0)
+        } else {
+            21_000.0
+        };
+        let gas_price = dist::lognormal(rng, mean_gas_price_gwei.max(1.0).ln(), 0.4) * 1e-9;
+        self.txs.push(TxRecord {
+            from,
+            to,
+            value,
+            timestamp,
+            gas_price,
+            gas_used,
+            contract_call,
+            submitted: true,
+        });
+    }
+
+    /// Timestamp for the i-th of `total` transactions given the pattern.
+    fn timestamp(
+        &self,
+        pattern: TemporalPattern,
+        start: u64,
+        span: u64,
+        i: usize,
+        total: usize,
+        rng: &mut StdRng,
+    ) -> u64 {
+        let span = span.max(1);
+        match pattern {
+            TemporalPattern::Uniform => start + rng.gen_range(0..span),
+            TemporalPattern::Burst { frac } => {
+                let window = ((span as f64) * frac).max(3600.0) as u64;
+                start + rng.gen_range(0..window.min(span))
+            }
+            TemporalPattern::Periodic { jitter } => {
+                let period = span / total.max(1) as u64;
+                let base = start + period * i as u64;
+                let j = ((period as f64) * jitter).max(1.0) as u64;
+                base + rng.gen_range(0..j.max(1))
+            }
+        }
+    }
+
+    /// Generate a labelled centre account and its whole neighbourhood.
+    fn generate_center(&mut self, class: AccountClass, rng: &mut StdRng) {
+        let mut p: ClassProfile = profile(class);
+        // Per-account behavioural jitter: real accounts of one category are
+        // far from identical, and some sit near class boundaries. This is
+        // what keeps the task from being trivially separable.
+        p.incoming_frac = (p.incoming_frac + 0.10 * dist::normal(rng)).clamp(0.02, 0.98);
+        p.value_mu += 0.45 * dist::normal(rng);
+        p.contract_call_frac = (p.contract_call_frac + 0.10 * dist::normal(rng)).clamp(0.0, 1.0);
+        p.mean_degree = (p.mean_degree * (0.35 * dist::normal(rng)).exp())
+            .clamp(p.min_degree as f64, p.max_degree as f64);
+        p.mean_txs_per_peer = (p.mean_txs_per_peer * (0.4 * dist::normal(rng)).exp()).max(1.0);
+        p.mean_gas_price_gwei = (p.mean_gas_price_gwei * (0.4 * dist::normal(rng)).exp()).max(1.0);
+        p.mean_gas_used = (p.mean_gas_used * (0.3 * dist::normal(rng)).exp()).max(21_000.0);
+        p.lifetime_frac = (p.lifetime_frac * (0.4 * dist::normal(rng)).exp()).clamp(0.02, 1.0);
+        p.shared_peer_frac = (p.shared_peer_frac + 0.15 * dist::normal(rng)).clamp(0.0, 1.0);
+        // A small fraction of accounts behave atypically for their class
+        // (label noise in spirit: an exchange wallet that looks like a
+        // normal user, a phisher with exchange-like flow).
+        if rng.gen_bool(0.04) {
+            let other = profile(AccountClass::Normal);
+            p.incoming_frac = other.incoming_frac;
+            p.value_mu = other.value_mu;
+            p.mean_degree = other.mean_degree;
+            p.pattern = other.pattern;
+        }
+        let kind = if class == AccountClass::Bridge {
+            AccountKind::Contract
+        } else {
+            AccountKind::Eoa
+        };
+        let center = self.new_account(kind, class);
+        self.centers.push((center, class));
+
+        // Lifetime window inside the simulated epoch.
+        let epoch_span = EPOCH_END - EPOCH_START;
+        let life_span = ((epoch_span as f64) * p.lifetime_frac) as u64;
+        let latest_start = epoch_span - life_span;
+        let start = EPOCH_START + if latest_start > 0 { rng.gen_range(0..latest_start) } else { 0 };
+
+        let degree = dist::count_around(rng, p.mean_degree, p.min_degree, p.max_degree);
+        // Estimate total txs for periodic scheduling.
+        let est_total = ((degree as f64) * p.mean_txs_per_peer).round().max(1.0) as usize;
+        let mut tx_counter = 0usize;
+
+        for _ in 0..degree {
+            // Is this counterparty a contract (so that outgoing transactions
+            // to it are contract calls)?
+            let contract_peer = rng.gen_bool(p.contract_call_frac);
+            let peer = if rng.gen_bool(p.shared_peer_frac) {
+                if contract_peer {
+                    match self.random_background_contract(rng) {
+                        Some(c) => c,
+                        None => self.new_account(AccountKind::Contract, AccountClass::Normal),
+                    }
+                } else {
+                    self.random_background_eoa(rng)
+                }
+            } else {
+                let k = if contract_peer { AccountKind::Contract } else { AccountKind::Eoa };
+                let fresh = self.new_account(k, AccountClass::Normal);
+                // Fresh peers get a little outside activity so hop-2
+                // sampling finds structure.
+                let fanout = dist::exponential(rng, self.config.peer_fanout).round() as usize;
+                for _ in 0..fanout.min(3) {
+                    let other = self.random_background(rng);
+                    let ts = rng.gen_range(EPOCH_START..EPOCH_END);
+                    if self.kinds[fresh] == AccountKind::Eoa {
+                        self.push_tx(fresh, other, dist::lognormal(rng, -1.5, 1.0), ts, 35.0, 40_000.0, rng);
+                    } else {
+                        let src = self.random_background_eoa(rng);
+                        self.push_tx(src, fresh, dist::lognormal(rng, -1.5, 1.0), ts, 35.0, 90_000.0, rng);
+                    }
+                }
+                fresh
+            };
+            if peer == center {
+                continue;
+            }
+
+            let n_txs = dist::count_around(rng, p.mean_txs_per_peer, 1, 20);
+            for _ in 0..n_txs {
+                let ts = self.timestamp(p.pattern, start, life_span, tx_counter, est_total, rng);
+                tx_counter += 1;
+                let value = dist::lognormal(rng, p.value_mu, p.value_sigma);
+                // Contract peers mostly receive calls from the centre;
+                // occasionally they pay out (withdrawals).
+                let incoming = if contract_peer {
+                    rng.gen_bool(0.25 * p.incoming_frac)
+                } else {
+                    rng.gen_bool(p.incoming_frac)
+                };
+                // Contracts cannot originate top-level transactions unless
+                // the centre itself is a contract (bridge); route those
+                // through the peer only when it is an EOA.
+                let (from, to) = if incoming { (peer, center) } else { (center, peer) };
+                self.push_tx(from, to, value, ts, p.mean_gas_price_gwei, p.mean_gas_used, rng);
+            }
+        }
+    }
+
+    fn finish(mut self) -> World {
+        self.txs.sort_by_key(|t| t.timestamp);
+        World {
+            kinds: self.kinds,
+            classes: self.classes,
+            centers: self.centers,
+            txs: self.txs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_world() -> World {
+        World::generate(
+            WorldConfig { n_background: 300, seed: 11, ..Default::default() },
+            &[
+                (AccountClass::Exchange, 5),
+                (AccountClass::PhishHack, 5),
+                (AccountClass::Normal, 5),
+            ],
+        )
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = small_world();
+        let b = small_world();
+        assert_eq!(a.txs.len(), b.txs.len());
+        assert_eq!(a.centers, b.centers);
+        assert_eq!(a.txs[0], b.txs[0]);
+    }
+
+    #[test]
+    fn timestamps_inside_epoch_and_sorted() {
+        let w = small_world();
+        assert!(!w.txs.is_empty());
+        let mut prev = 0;
+        for t in &w.txs {
+            assert!(t.timestamp >= EPOCH_START && t.timestamp <= EPOCH_END + EPOCH_END);
+            assert!(t.timestamp >= prev);
+            prev = t.timestamp;
+        }
+    }
+
+    #[test]
+    fn centers_have_requested_classes() {
+        let w = small_world();
+        assert_eq!(w.centers_of(AccountClass::Exchange).len(), 5);
+        assert_eq!(w.centers_of(AccountClass::PhishHack).len(), 5);
+        assert_eq!(w.centers_of(AccountClass::Normal).len(), 5);
+    }
+
+    #[test]
+    fn contract_calls_target_contracts() {
+        let w = small_world();
+        for t in &w.txs {
+            assert_eq!(t.contract_call, w.kinds[t.to] == AccountKind::Contract);
+        }
+    }
+
+    #[test]
+    fn phish_centers_receive_more_than_they_send() {
+        // Individual centres get behavioural jitter (a few even behave
+        // atypically on purpose), so assert the class-level aggregate.
+        let w = small_world();
+        let (mut recv, mut sent) = (0usize, 0usize);
+        for center in w.centers_of(AccountClass::PhishHack) {
+            recv += w.txs.iter().filter(|t| t.to == center).count();
+            sent += w.txs.iter().filter(|t| t.from == center).count();
+        }
+        assert!(recv > sent * 2, "phish aggregate: recv {recv} sent {sent}");
+    }
+
+    #[test]
+    fn exchange_centers_are_high_degree() {
+        let w = small_world();
+        for center in w.centers_of(AccountClass::Exchange) {
+            let mut peers: Vec<usize> = w
+                .txs
+                .iter()
+                .filter_map(|t| {
+                    if t.from == center {
+                        Some(t.to)
+                    } else if t.to == center {
+                        Some(t.from)
+                    } else {
+                        None
+                    }
+                })
+                .collect();
+            peers.sort_unstable();
+            peers.dedup();
+            assert!(peers.len() >= 15, "exchange degree {}", peers.len());
+        }
+    }
+}

@@ -1,0 +1,290 @@
+//! The 15-dimensional deep account features of Table I (Section III-B2).
+//!
+//! Four families: sender features (NTS, STV, SAV, min/max STI), receiver
+//! features (NTR, RTV, RAV, min/max RTI), transaction-fee features
+//! (SETF, SAETF, RETF, RAETF) and the contract feature (NC).
+
+use eth_graph::Subgraph;
+use tensor::Tensor;
+
+/// Number of deep features per node.
+pub const N_FEATURES: usize = 15;
+
+/// Feature indices, in the fixed column order used everywhere.
+pub mod idx {
+    pub const NTS: usize = 0;
+    pub const STV: usize = 1;
+    pub const SAV: usize = 2;
+    pub const MIN_STI: usize = 3;
+    pub const MAX_STI: usize = 4;
+    pub const NTR: usize = 5;
+    pub const RTV: usize = 6;
+    pub const RAV: usize = 7;
+    pub const MIN_RTI: usize = 8;
+    pub const MAX_RTI: usize = 9;
+    pub const SETF: usize = 10;
+    pub const SAETF: usize = 11;
+    pub const RETF: usize = 12;
+    pub const RAETF: usize = 13;
+    pub const NC: usize = 14;
+}
+
+/// Human-readable abbreviations (Table I), index-aligned with [`idx`].
+pub const FEATURE_NAMES: [&str; N_FEATURES] = [
+    "NTS", "STV", "SAV", "min_STI", "max_STI", "NTR", "RTV", "RAV", "min_RTI", "max_RTI",
+    "SETF", "SAETF", "RETF", "RAETF", "NC",
+];
+
+/// The four feature families of Table I.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FeatureCategory {
+    /// Sender account features (SAF).
+    Sender,
+    /// Receiver account features (RAF).
+    Receiver,
+    /// Transaction fee features (TFF).
+    Fee,
+    /// Contract feature (CF).
+    Contract,
+}
+
+impl FeatureCategory {
+    pub const ALL: [FeatureCategory; 4] = [
+        FeatureCategory::Sender,
+        FeatureCategory::Receiver,
+        FeatureCategory::Fee,
+        FeatureCategory::Contract,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            FeatureCategory::Sender => "SAF",
+            FeatureCategory::Receiver => "RAF",
+            FeatureCategory::Fee => "TFF",
+            FeatureCategory::Contract => "CF",
+        }
+    }
+
+    /// Column indices belonging to this family.
+    pub fn columns(self) -> &'static [usize] {
+        match self {
+            FeatureCategory::Sender => &[idx::NTS, idx::STV, idx::SAV, idx::MIN_STI, idx::MAX_STI],
+            FeatureCategory::Receiver => {
+                &[idx::NTR, idx::RTV, idx::RAV, idx::MIN_RTI, idx::MAX_RTI]
+            }
+            FeatureCategory::Fee => &[idx::SETF, idx::SAETF, idx::RETF, idx::RAETF],
+            FeatureCategory::Contract => &[idx::NC],
+        }
+    }
+}
+
+/// Min/max absolute gap between consecutive timestamps (Eqs. 3-4). A single
+/// transaction (or none) yields `(0, 0)`.
+fn interval_min_max(timestamps: &mut Vec<u64>) -> (f64, f64) {
+    if timestamps.len() < 2 {
+        return (0.0, 0.0);
+    }
+    timestamps.sort_unstable();
+    let mut min = f64::INFINITY;
+    let mut max: f64 = 0.0;
+    for w in timestamps.windows(2) {
+        let gap = (w[1] - w[0]) as f64;
+        min = min.min(gap);
+        max = max.max(gap);
+    }
+    (min, max)
+}
+
+/// Raw (untransformed) 15-dim features for every node in a subgraph,
+/// computed from the transactions inside the subgraph.
+pub fn raw_features(graph: &Subgraph) -> Tensor {
+    let n = graph.n();
+    let mut f = Tensor::zeros(n, N_FEATURES);
+    let mut sent_ts: Vec<Vec<u64>> = vec![Vec::new(); n];
+    let mut recv_ts: Vec<Vec<u64>> = vec![Vec::new(); n];
+    for t in &graph.txs {
+        let (s, d) = (t.src, t.dst);
+        f.set(s, idx::NTS, f.get(s, idx::NTS) + 1.0);
+        f.set(s, idx::STV, f.get(s, idx::STV) + t.value as f32);
+        f.set(s, idx::SETF, f.get(s, idx::SETF) + t.fee as f32);
+        sent_ts[s].push(t.timestamp);
+        f.set(d, idx::NTR, f.get(d, idx::NTR) + 1.0);
+        f.set(d, idx::RTV, f.get(d, idx::RTV) + t.value as f32);
+        f.set(d, idx::RETF, f.get(d, idx::RETF) + t.fee as f32);
+        recv_ts[d].push(t.timestamp);
+        if t.contract_call {
+            // NC counts contract involvement on both ends (all contracts
+            // called in transactions involving each account).
+            f.set(s, idx::NC, f.get(s, idx::NC) + 1.0);
+            f.set(d, idx::NC, f.get(d, idx::NC) + 1.0);
+        }
+    }
+    for v in 0..n {
+        let nts = f.get(v, idx::NTS);
+        if nts > 0.0 {
+            f.set(v, idx::SAV, f.get(v, idx::STV) / nts);
+            f.set(v, idx::SAETF, f.get(v, idx::SETF) / nts);
+        }
+        let ntr = f.get(v, idx::NTR);
+        if ntr > 0.0 {
+            f.set(v, idx::RAV, f.get(v, idx::RTV) / ntr);
+            f.set(v, idx::RAETF, f.get(v, idx::RETF) / ntr);
+        }
+        let (smin, smax) = interval_min_max(&mut sent_ts[v]);
+        f.set(v, idx::MIN_STI, smin as f32);
+        f.set(v, idx::MAX_STI, smax as f32);
+        let (rmin, rmax) = interval_min_max(&mut recv_ts[v]);
+        f.set(v, idx::MIN_RTI, rmin as f32);
+        f.set(v, idx::MAX_RTI, rmax as f32);
+    }
+    f
+}
+
+/// `log(1 + x)` compression of every column — counts, values, fees and
+/// second-scale intervals all span several orders of magnitude.
+pub fn log_compress(features: &Tensor) -> Tensor {
+    features.map(|x| (1.0 + x.max(0.0)).ln())
+}
+
+/// Z-score each column in place (columns with zero variance become 0).
+pub fn standardize_columns(features: &mut Tensor) {
+    let (n, d) = features.shape();
+    if n == 0 {
+        return;
+    }
+    for c in 0..d {
+        let mut mean = 0.0f64;
+        for r in 0..n {
+            mean += features.get(r, c) as f64;
+        }
+        mean /= n as f64;
+        let mut var = 0.0f64;
+        for r in 0..n {
+            let x = features.get(r, c) as f64 - mean;
+            var += x * x;
+        }
+        var /= n as f64;
+        let std = var.sqrt();
+        for r in 0..n {
+            let z = if std > 1e-12 {
+                ((features.get(r, c) as f64 - mean) / std) as f32
+            } else {
+                0.0
+            };
+            features.set(r, c, z);
+        }
+    }
+}
+
+/// The standard node-feature pipeline: raw -> log-compress -> constant
+/// rescale. This is the `X` matrix fed to every GNN.
+///
+/// Per-graph standardisation is deliberately *not* applied: absolute scales
+/// (how much value an account moves, how many transactions it makes) are
+/// exactly what distinguishes account categories across graphs, and
+/// z-scoring within a graph would erase them. `log(1+x)` already bounds the
+/// dynamic range; the 0.2 factor keeps inputs in a comfortable range for
+/// tanh/sigmoid nonlinearities (counts/values reach e^25 ≈ ln 25).
+pub fn node_features(graph: &Subgraph) -> Tensor {
+    log_compress(&raw_features(graph)).map(|x| 0.2 * x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eth_graph::{AccountKind, LocalTx};
+
+    fn ltx(src: usize, dst: usize, value: f64, ts: u64, fee: f64, call: bool) -> LocalTx {
+        LocalTx { src, dst, value, timestamp: ts, fee, contract_call: call }
+    }
+
+    fn graph() -> Subgraph {
+        Subgraph {
+            nodes: vec![0, 1, 2],
+            kinds: vec![AccountKind::Eoa, AccountKind::Eoa, AccountKind::Contract],
+            txs: vec![
+                ltx(0, 1, 2.0, 100, 0.001, false),
+                ltx(0, 1, 4.0, 160, 0.003, false),
+                ltx(0, 2, 6.0, 400, 0.010, true),
+                ltx(1, 0, 1.0, 500, 0.002, false),
+            ],
+            label: None,
+        }
+    }
+
+    #[test]
+    fn sender_features() {
+        let f = raw_features(&graph());
+        assert_eq!(f.get(0, idx::NTS), 3.0);
+        assert_eq!(f.get(0, idx::STV), 12.0);
+        assert_eq!(f.get(0, idx::SAV), 4.0);
+        // Send intervals for node 0: 60 and 240.
+        assert_eq!(f.get(0, idx::MIN_STI), 60.0);
+        assert_eq!(f.get(0, idx::MAX_STI), 240.0);
+    }
+
+    #[test]
+    fn receiver_features() {
+        let f = raw_features(&graph());
+        assert_eq!(f.get(1, idx::NTR), 2.0);
+        assert_eq!(f.get(1, idx::RTV), 6.0);
+        assert_eq!(f.get(1, idx::RAV), 3.0);
+        assert_eq!(f.get(1, idx::MIN_RTI), 60.0);
+        assert_eq!(f.get(1, idx::MAX_RTI), 60.0);
+        // Single receive -> zero intervals.
+        assert_eq!(f.get(2, idx::MIN_RTI), 0.0);
+        assert_eq!(f.get(2, idx::MAX_RTI), 0.0);
+    }
+
+    #[test]
+    fn fee_features() {
+        let f = raw_features(&graph());
+        assert!((f.get(0, idx::SETF) - 0.014).abs() < 1e-6);
+        assert!((f.get(0, idx::SAETF) - 0.014 / 3.0).abs() < 1e-6);
+        assert!((f.get(1, idx::RETF) - 0.004).abs() < 1e-7);
+    }
+
+    #[test]
+    fn contract_feature_counts_both_ends() {
+        let f = raw_features(&graph());
+        assert_eq!(f.get(0, idx::NC), 1.0); // caller
+        assert_eq!(f.get(2, idx::NC), 1.0); // callee
+        assert_eq!(f.get(1, idx::NC), 0.0);
+    }
+
+    #[test]
+    fn categories_cover_all_columns_exactly_once() {
+        let mut seen = vec![false; N_FEATURES];
+        for cat in FeatureCategory::ALL {
+            for &c in cat.columns() {
+                assert!(!seen[c], "column {c} assigned twice");
+                seen[c] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn node_features_bounded_and_scaled() {
+        let g = graph();
+        let f = node_features(&g);
+        let (_n, d) = f.shape();
+        assert_eq!(d, N_FEATURES);
+        // Non-negative (log1p of non-negative raw values) and bounded.
+        assert!(f.data().iter().all(|&x| (0.0..15.0).contains(&x)));
+        // Absolute scale preserved: node 0 sent more than node 1.
+        assert!(f.get(0, idx::STV) > f.get(1, idx::STV));
+    }
+
+    #[test]
+    fn empty_graph_features_are_zero() {
+        let g = Subgraph {
+            nodes: vec![0],
+            kinds: vec![AccountKind::Eoa],
+            txs: vec![],
+            label: None,
+        };
+        let f = raw_features(&g);
+        assert!(f.data().iter().all(|&x| x == 0.0));
+    }
+}

@@ -1,0 +1,15 @@
+//! # features — the 15-dimensional deep account features (Table I)
+//!
+//! Converts the transactions inside an account-centred [`eth_graph::Subgraph`]
+//! into per-node feature vectors: sender / receiver / fee / contract
+//! families, log-compressed and column-standardised ([`node_features`]).
+//! Also provides the statistics behind Fig. 4 (feature correlation heat map)
+//! and Fig. 5 (category-feature distributions).
+
+mod deep;
+pub mod stats;
+
+pub use deep::{
+    idx, log_compress, node_features, raw_features, standardize_columns, FeatureCategory,
+    FEATURE_NAMES, N_FEATURES,
+};

@@ -1,0 +1,173 @@
+//! Feature statistics backing Fig. 4 (correlation heat map) and Fig. 5
+//! (category-feature distributions).
+
+use crate::deep::{FeatureCategory, N_FEATURES};
+use tensor::Tensor;
+
+/// Pearson correlation matrix over the columns of a feature matrix.
+/// Zero-variance columns yield zero correlation with everything (and 1 on
+/// the diagonal).
+pub fn correlation_matrix(features: &Tensor) -> Tensor {
+    let (n, d) = features.shape();
+    let mut means = vec![0.0f64; d];
+    for r in 0..n {
+        for c in 0..d {
+            means[c] += features.get(r, c) as f64;
+        }
+    }
+    for m in &mut means {
+        *m /= n.max(1) as f64;
+    }
+    let mut stds = vec![0.0f64; d];
+    for r in 0..n {
+        for c in 0..d {
+            let x = features.get(r, c) as f64 - means[c];
+            stds[c] += x * x;
+        }
+    }
+    for s in &mut stds {
+        *s = (*s / n.max(1) as f64).sqrt();
+    }
+    let mut corr = Tensor::eye(d);
+    for a in 0..d {
+        for b in (a + 1)..d {
+            if stds[a] < 1e-12 || stds[b] < 1e-12 {
+                continue;
+            }
+            let mut cov = 0.0f64;
+            for r in 0..n {
+                cov += (features.get(r, a) as f64 - means[a])
+                    * (features.get(r, b) as f64 - means[b]);
+            }
+            cov /= n as f64;
+            let c = (cov / (stds[a] * stds[b])) as f32;
+            corr.set(a, b, c);
+            corr.set(b, a, c);
+        }
+    }
+    corr
+}
+
+/// Collapse a 15-dim feature row into the four category features of Fig. 5
+/// (SAF, RAF, TFF, CF): each is the mean of its columns after the row has
+/// already been normalised per feature.
+pub fn category_features(features: &Tensor) -> Tensor {
+    let (n, d) = features.shape();
+    assert_eq!(d, N_FEATURES, "expected 15-dim features");
+    let mut out = Tensor::zeros(n, 4);
+    for r in 0..n {
+        for (k, cat) in FeatureCategory::ALL.iter().enumerate() {
+            let cols = cat.columns();
+            let mean: f32 =
+                cols.iter().map(|&c| features.get(r, c)).sum::<f32>() / cols.len() as f32;
+            out.set(r, k, mean);
+        }
+    }
+    out
+}
+
+/// Summary of one distribution (for the Fig. 5 console rendering).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ColumnSummary {
+    pub mean: f64,
+    pub std: f64,
+    pub min: f64,
+    pub max: f64,
+}
+
+/// Per-column summaries of a matrix.
+pub fn summarize_columns(features: &Tensor) -> Vec<ColumnSummary> {
+    let (n, d) = features.shape();
+    (0..d)
+        .map(|c| {
+            let xs: Vec<f64> = (0..n).map(|r| features.get(r, c) as f64).collect();
+            let mean = xs.iter().sum::<f64>() / n.max(1) as f64;
+            let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n.max(1) as f64;
+            ColumnSummary {
+                mean,
+                std: var.sqrt(),
+                min: xs.iter().copied().fold(f64::INFINITY, f64::min),
+                max: xs.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            }
+        })
+        .collect()
+}
+
+/// Largest absolute off-diagonal correlation — the paper argues Fig. 4 shows
+/// "no redundant feature with a strong correlation"; this is the number that
+/// claim is about.
+pub fn max_offdiag_correlation(corr: &Tensor) -> f32 {
+    let (n, _) = corr.shape();
+    let mut best = 0.0f32;
+    for a in 0..n {
+        for b in 0..n {
+            if a != b {
+                best = best.max(corr.get(a, b).abs());
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn correlation_of_identical_columns_is_one() {
+        let f = Tensor::from_fn(10, 2, |r, _| r as f32);
+        let c = correlation_matrix(&f);
+        assert!((c.get(0, 1) - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn correlation_of_opposite_columns_is_minus_one() {
+        let f = Tensor::from_fn(10, 2, |r, c| if c == 0 { r as f32 } else { -(r as f32) });
+        let c = correlation_matrix(&f);
+        assert!((c.get(0, 1) + 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn correlation_bounded_and_symmetric() {
+        let f = Tensor::from_fn(20, 5, |r, c| ((r * 7 + c * 13) % 11) as f32);
+        let m = correlation_matrix(&f);
+        for a in 0..5 {
+            assert!((m.get(a, a) - 1.0).abs() < 1e-6);
+            for b in 0..5 {
+                assert!(m.get(a, b).abs() <= 1.0 + 1e-5);
+                assert!((m.get(a, b) - m.get(b, a)).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_variance_column_is_uncorrelated() {
+        let f = Tensor::from_fn(10, 2, |r, c| if c == 0 { 5.0 } else { r as f32 });
+        let m = correlation_matrix(&f);
+        assert_eq!(m.get(0, 1), 0.0);
+        assert_eq!(m.get(0, 0), 1.0);
+    }
+
+    #[test]
+    fn category_features_shape_and_averaging() {
+        let mut f = Tensor::zeros(2, N_FEATURES);
+        // Row 0: all sender columns = 2.0 -> SAF = 2.0.
+        for &c in FeatureCategory::Sender.columns() {
+            f.set(0, c, 2.0);
+        }
+        let cat = category_features(&f);
+        assert_eq!(cat.shape(), (2, 4));
+        assert_eq!(cat.get(0, 0), 2.0);
+        assert_eq!(cat.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn summaries_match_known_values() {
+        let f = Tensor::from_vec(4, 1, vec![1.0, 2.0, 3.0, 4.0]);
+        let s = summarize_columns(&f)[0];
+        assert_eq!(s.mean, 2.5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert!((s.std - 1.118034).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,212 @@
+//! Contrastive learning with adaptive augmentation (Section IV-A3).
+//!
+//! Following GCA (Zhu et al., 2021) as the paper does:
+//!
+//! * **Topology-level**: each real edge is removed with a probability that
+//!   grows as its edge centrality (mean of endpoint log-centralities under
+//!   degree / eigenvector / PageRank centrality) shrinks — unimportant edges
+//!   are perturbed, important topology is preserved.
+//! * **Node-attribute-level**: a random fraction of feature dimensions is
+//!   masked to zero.
+
+use crate::graphdata::GraphTensors;
+use eth_graph::centrality::{edge_centrality, node_centrality, CentralityMeasure};
+use rand::Rng;
+use std::rc::Rc;
+use tensor::Tensor;
+
+/// Augmentation hyper-parameters (the `P_e`, `P_f` of Section V-F1).
+#[derive(Clone, Copy, Debug)]
+pub struct AugmentConfig {
+    /// Base edge-removal probability `P_e`.
+    pub p_edge: f64,
+    /// Feature-dimension masking probability `P_f`.
+    pub p_feat: f64,
+    /// Upper cutoff on any single edge's removal probability (GCA's `p_τ`).
+    pub p_tau: f64,
+    pub measure: CentralityMeasure,
+}
+
+impl AugmentConfig {
+    /// The paper's view-1 defaults (`P_f = 0.1`, `P_e = 0.3`).
+    pub fn view1() -> Self {
+        Self { p_edge: 0.3, p_feat: 0.1, p_tau: 0.7, measure: CentralityMeasure::Degree }
+    }
+
+    /// The paper's view-2 defaults (`P_f = 0.0`, `P_e = 0.4`).
+    pub fn view2() -> Self {
+        Self { p_edge: 0.4, p_feat: 0.0, p_tau: 0.7, measure: CentralityMeasure::PageRank }
+    }
+}
+
+/// An augmented view of a graph, holding exactly what the GSG encoder needs.
+pub struct AugmentedView {
+    pub n: usize,
+    pub x: Tensor,
+    pub src: Rc<Vec<usize>>,
+    pub dst: Rc<Vec<usize>>,
+    pub edge_feat: Tensor,
+}
+
+/// Per-edge removal probabilities from centrality (GCA Eq. 2 analogue):
+/// `p_e · (s_max − s_e) / (s_max − s_mean)`, clamped to `p_tau`.
+pub fn edge_drop_probs(
+    n: usize,
+    edges: &[(usize, usize)],
+    measure: CentralityMeasure,
+    p_edge: f64,
+    p_tau: f64,
+) -> Vec<f64> {
+    if edges.is_empty() {
+        return Vec::new();
+    }
+    let mut adj = vec![Vec::new(); n];
+    for &(u, v) in edges {
+        if u != v {
+            adj[u].push(v);
+            adj[v].push(u);
+        }
+    }
+    let node_c = node_centrality(&adj, measure);
+    let s = edge_centrality(&node_c, edges);
+    let s_max = s.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let s_mean = s.iter().sum::<f64>() / s.len() as f64;
+    let denom = (s_max - s_mean).max(1e-9);
+    s.iter()
+        .map(|&se| (p_edge * (s_max - se) / denom).min(p_tau).max(0.0))
+        .collect()
+}
+
+/// Generate one augmented view of a lowered graph.
+pub fn augment(graph: &GraphTensors, config: AugmentConfig, rng: &mut impl Rng) -> AugmentedView {
+    let n = graph.n;
+    let real = graph.real_edges();
+    let probs = edge_drop_probs(n, &real, config.measure, config.p_edge, config.p_tau);
+
+    let mut src = Vec::with_capacity(real.len() + n);
+    let mut dst = Vec::with_capacity(real.len() + n);
+    let mut kept_rows: Vec<usize> = Vec::with_capacity(real.len());
+    for (i, &(u, v)) in real.iter().enumerate() {
+        if !rng.gen_bool(probs[i]) {
+            src.push(u);
+            dst.push(v);
+            kept_rows.push(i);
+        }
+    }
+    // Self-loops always survive (they carry the node's own representation).
+    let mut edge_feat = Tensor::zeros(kept_rows.len() + n, graph.edge_feat.cols());
+    for (r, &orig) in kept_rows.iter().enumerate() {
+        edge_feat
+            .row_mut(r)
+            .copy_from_slice(graph.edge_feat.row(orig));
+    }
+    for v in 0..n {
+        src.push(v);
+        dst.push(v);
+    }
+
+    // Node-attribute masking: zero whole feature dimensions.
+    let mut x = graph.x.clone();
+    let d = x.cols();
+    for c in 0..d {
+        if rng.gen_bool(config.p_feat) {
+            for r in 0..n {
+                x.set(r, c, 0.0);
+            }
+        }
+    }
+
+    AugmentedView { n, x, src: Rc::new(src), dst: Rc::new(dst), edge_feat }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eth_graph::{AccountKind, LocalTx, Subgraph};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn star_graph() -> GraphTensors {
+        // Hub 0 with spokes 1..5, plus one peripheral edge 4-5.
+        let mut txs = Vec::new();
+        for i in 1..6 {
+            txs.push(LocalTx {
+                src: 0,
+                dst: i,
+                value: 1.0,
+                timestamp: i as u64,
+                fee: 0.0,
+                contract_call: false,
+            });
+        }
+        txs.push(LocalTx { src: 4, dst: 5, value: 1.0, timestamp: 9, fee: 0.0, contract_call: false });
+        let g = Subgraph {
+            nodes: (0..6).collect(),
+            kinds: vec![AccountKind::Eoa; 6],
+            txs,
+            label: Some(1),
+        };
+        GraphTensors::from_subgraph(&g, 2)
+    }
+
+    #[test]
+    fn drop_probs_bounded_and_favour_peripheral_edges() {
+        let g = star_graph();
+        let real = g.real_edges();
+        let probs = edge_drop_probs(g.n, &real, CentralityMeasure::Degree, 0.3, 0.7);
+        assert_eq!(probs.len(), real.len());
+        for &p in &probs {
+            assert!((0.0..=0.7).contains(&p));
+        }
+        // The peripheral 4-5 edge should be at least as droppable as any
+        // hub edge.
+        let peri = real.iter().position(|&(u, v)| (u, v) == (4, 5)).unwrap();
+        let hub = real.iter().position(|&(u, _)| u == 0).unwrap();
+        assert!(probs[peri] >= probs[hub]);
+    }
+
+    #[test]
+    fn augment_keeps_self_loops_and_node_count() {
+        let g = star_graph();
+        let mut rng = StdRng::seed_from_u64(1);
+        let cfg = AugmentConfig { p_edge: 0.9, p_tau: 0.95, p_feat: 0.0, measure: CentralityMeasure::Degree };
+        let view = augment(&g, cfg, &mut rng);
+        assert_eq!(view.n, g.n);
+        // The last n edges are the self-loops.
+        for i in 0..g.n {
+            let e = view.src.len() - g.n + i;
+            assert_eq!(view.src[e], i);
+            assert_eq!(view.dst[e], i);
+        }
+        assert!(view.src.len() < g.src.len(), "aggressive drop removed nothing");
+    }
+
+    #[test]
+    fn zero_probabilities_are_identity() {
+        let g = star_graph();
+        let mut rng = StdRng::seed_from_u64(2);
+        let cfg = AugmentConfig { p_edge: 0.0, p_tau: 0.7, p_feat: 0.0, measure: CentralityMeasure::PageRank };
+        let view = augment(&g, cfg, &mut rng);
+        assert_eq!(view.src.len(), g.src.len());
+        assert_eq!(view.x, g.x);
+    }
+
+    #[test]
+    fn feature_masking_zeroes_whole_columns() {
+        let g = star_graph();
+        let mut rng = StdRng::seed_from_u64(3);
+        let cfg = AugmentConfig { p_edge: 0.0, p_tau: 0.7, p_feat: 1.0, measure: CentralityMeasure::Degree };
+        let view = augment(&g, cfg, &mut rng);
+        assert!(view.x.data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn augmentation_is_seed_deterministic() {
+        let g = star_graph();
+        let cfg = AugmentConfig::view1();
+        let a = augment(&g, cfg, &mut StdRng::seed_from_u64(4));
+        let b = augment(&g, cfg, &mut StdRng::seed_from_u64(4));
+        assert_eq!(a.src, b.src);
+        assert_eq!(a.x, b.x);
+    }
+}

@@ -1,0 +1,89 @@
+//! NT-Xent contrastive objective over graph embeddings.
+//!
+//! The GSG branch maximises agreement between the two augmented views of the
+//! same subgraph while pushing apart different subgraphs in the batch
+//! (Section IV-A3). Composed from tape primitives so gradients are exact.
+
+use std::rc::Rc;
+use tensor::{Tape, Var};
+
+/// Symmetric NT-Xent loss between two view batches `z1, z2` of shape
+/// `(B, d)`: rows with equal index are positive pairs, all other rows are
+/// negatives. `temperature` is the usual τ.
+pub fn nt_xent(tape: &mut Tape, z1: Var, z2: Var, temperature: f32) -> Var {
+    let (b, _) = tape.value(z1).shape();
+    assert_eq!(tape.value(z1).shape(), tape.value(z2).shape());
+    assert!(b > 0, "empty contrastive batch");
+    let n1 = tape.l2_normalize_rows(z1, 1e-8);
+    let n2 = tape.l2_normalize_rows(z2, 1e-8);
+    let n2t = tape.transpose(n2);
+    let sim = tape.matmul(n1, n2t);
+    let sim = tape.scale(sim, 1.0 / temperature);
+    let targets = Rc::new((0..b).collect::<Vec<usize>>());
+    let loss12 = tape.cross_entropy(sim, targets.clone());
+    let sim_t = tape.transpose(sim);
+    let loss21 = tape.cross_entropy(sim_t, targets);
+    let sum = tape.add(loss12, loss21);
+    tape.scale(sum, 0.5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tensor::Tensor;
+
+    #[test]
+    fn aligned_views_have_lower_loss_than_misaligned() {
+        let mut tape = Tape::new();
+        // Orthogonal embeddings: perfect alignment (z1 == z2).
+        let z = Tensor::from_vec(2, 2, vec![1.0, 0.0, 0.0, 1.0]);
+        let a = tape.leaf(z.clone());
+        let b = tape.leaf(z.clone());
+        let good = nt_xent(&mut tape, a, b, 0.5);
+        // Misaligned: z2 rows swapped.
+        let swapped = Tensor::from_vec(2, 2, vec![0.0, 1.0, 1.0, 0.0]);
+        let c = tape.leaf(z);
+        let d = tape.leaf(swapped);
+        let bad = nt_xent(&mut tape, c, d, 0.5);
+        assert!(tape.value(good).item() < tape.value(bad).item());
+    }
+
+    #[test]
+    fn loss_is_scale_invariant_via_normalisation() {
+        let mut tape = Tape::new();
+        let z = Tensor::from_vec(2, 3, vec![1.0, 2.0, 3.0, -1.0, 0.5, 2.0]);
+        let a1 = tape.leaf(z.clone());
+        let b1 = tape.leaf(z.clone());
+        let l1 = nt_xent(&mut tape, a1, b1, 1.0);
+        let scaled = z.map(|x| 10.0 * x);
+        let a2 = tape.leaf(scaled.clone());
+        let b2 = tape.leaf(scaled);
+        let l2 = nt_xent(&mut tape, a2, b2, 1.0);
+        assert!((tape.value(l1).item() - tape.value(l2).item()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gradient_pulls_views_together() {
+        // One step of gradient descent on NT-Xent should increase the
+        // cosine similarity of a positive pair.
+        let z1 = Tensor::from_vec(2, 2, vec![1.0, 0.2, -0.3, 1.0]);
+        let z2 = Tensor::from_vec(2, 2, vec![0.2, 1.0, 1.0, -0.3]);
+        let cos = |a: &Tensor, b: &Tensor, r: usize| -> f32 {
+            let (x, y) = (a.row(r), b.row(r));
+            let dot: f32 = x.iter().zip(y).map(|(&p, &q)| p * q).sum();
+            let nx: f32 = x.iter().map(|v| v * v).sum::<f32>().sqrt();
+            let ny: f32 = y.iter().map(|v| v * v).sum::<f32>().sqrt();
+            dot / (nx * ny)
+        };
+        let before = cos(&z1, &z2, 0);
+        let mut tape = Tape::new();
+        let a = tape.leaf(z1.clone());
+        let b = tape.leaf(z2.clone());
+        let loss = nt_xent(&mut tape, a, b, 0.5);
+        tape.backward(loss);
+        let mut z1_new = z1.clone();
+        z1_new.add_scaled(tape.grad(a).unwrap(), -0.5);
+        let after = cos(&z1_new, &z2, 0);
+        assert!(after > before, "cosine did not improve: {before} -> {after}");
+    }
+}

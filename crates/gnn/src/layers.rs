@@ -1,0 +1,318 @@
+//! Message-passing layers: GCN, GAT, GIN, GraphSAGE and APPNP propagation.
+//!
+//! All layers are built on the autodiff tape; adjacency matrices enter as
+//! constant leaves.
+
+use nn::{Activation, Ctx, Linear, Mlp, ParamId, ParamStore};
+use rand::Rng;
+use std::rc::Rc;
+use tensor::{Tape, Var};
+
+/// Graph convolution (Kipf & Welling): `act(Â H W + b)` where `Â` is the
+/// symmetrically normalised adjacency.
+pub struct GcnLayer {
+    linear: Linear,
+}
+
+impl GcnLayer {
+    pub fn new(
+        store: &mut ParamStore,
+        rng: &mut impl Rng,
+        name: &str,
+        d_in: usize,
+        d_out: usize,
+        act: Activation,
+    ) -> Self {
+        Self { linear: Linear::new(store, rng, name, d_in, d_out, act) }
+    }
+
+    /// `adj` must be an `(n, n)` constant leaf on the same tape.
+    pub fn forward(
+        &self,
+        tape: &mut Tape,
+        ctx: &mut Ctx,
+        store: &ParamStore,
+        adj: Var,
+        h: Var,
+    ) -> Var {
+        let agg = tape.matmul(adj, h);
+        self.linear.forward(tape, ctx, store, agg)
+    }
+}
+
+/// One single-head graph attention layer (Velickovic et al.), matching
+/// Eqs. 7-9: per-edge scores from `[H_i || H_j]`, per-destination softmax,
+/// ELU aggregation. Multi-head attention concatenates several of these.
+pub struct GatHead {
+    w: ParamId,
+    attn: ParamId,
+    pub negative_slope: f32,
+}
+
+impl GatHead {
+    pub fn new(
+        store: &mut ParamStore,
+        rng: &mut impl Rng,
+        name: &str,
+        d_in: usize,
+        d_out: usize,
+    ) -> Self {
+        Self {
+            w: store.xavier(format!("{name}.w"), d_in, d_out, rng),
+            attn: store.xavier(format!("{name}.a"), 2 * d_out, 1, rng),
+            negative_slope: 0.2,
+        }
+    }
+
+    /// `src_h` optionally overrides the per-edge source representations
+    /// (used by the alignment layer of Eq. 6 where neighbour features are
+    /// fused with edge features); when `None` they are gathered from `h`.
+    pub fn forward(
+        &self,
+        tape: &mut Tape,
+        ctx: &mut Ctx,
+        store: &ParamStore,
+        h: Var,
+        src_h: Option<Var>,
+        src: &Rc<Vec<usize>>,
+        dst: &Rc<Vec<usize>>,
+        n: usize,
+    ) -> Var {
+        let w = ctx.var(tape, store, self.w);
+        let a = ctx.var(tape, store, self.attn);
+        let hs = match src_h {
+            Some(s) => tape.matmul(s, w),
+            None => {
+                let hw = tape.matmul(h, w);
+                tape.gather_rows(hw, src.clone())
+            }
+        };
+        let hw = tape.matmul(h, w);
+        let hd = tape.gather_rows(hw, dst.clone());
+        let cat = tape.concat_cols(hs, hd);
+        let score = tape.matmul(cat, a);
+        let score = tape.leaky_relu(score, self.negative_slope);
+        let alpha = tape.segment_softmax(score, dst.clone());
+        let msg = tape.mul_col_broadcast(hs, alpha);
+        let agg = tape.scatter_add_rows(msg, dst.clone(), n);
+        tape.elu(agg, 1.0)
+    }
+}
+
+/// Multi-head GAT: heads are concatenated (the usual hidden-layer variant).
+pub struct GatLayer {
+    pub heads: Vec<GatHead>,
+}
+
+impl GatLayer {
+    pub fn new(
+        store: &mut ParamStore,
+        rng: &mut impl Rng,
+        name: &str,
+        d_in: usize,
+        d_out_per_head: usize,
+        n_heads: usize,
+    ) -> Self {
+        let heads = (0..n_heads)
+            .map(|k| GatHead::new(store, rng, &format!("{name}.h{k}"), d_in, d_out_per_head))
+            .collect();
+        Self { heads }
+    }
+
+    pub fn forward(
+        &self,
+        tape: &mut Tape,
+        ctx: &mut Ctx,
+        store: &ParamStore,
+        h: Var,
+        src_h: Option<Var>,
+        src: &Rc<Vec<usize>>,
+        dst: &Rc<Vec<usize>>,
+        n: usize,
+    ) -> Var {
+        let mut out: Option<Var> = None;
+        for head in &self.heads {
+            let o = head.forward(tape, ctx, store, h, src_h, src, dst, n);
+            out = Some(match out {
+                None => o,
+                Some(acc) => tape.concat_cols(acc, o),
+            });
+        }
+        out.expect("GAT layer needs at least one head")
+    }
+}
+
+/// Graph isomorphism layer (Xu et al.): `MLP((1 + ε) h_i + Σ_j h_j)`.
+/// `ε` is fixed to 0 (GIN-0), the common strong default.
+pub struct GinLayer {
+    mlp: Mlp,
+}
+
+impl GinLayer {
+    pub fn new(
+        store: &mut ParamStore,
+        rng: &mut impl Rng,
+        name: &str,
+        d_in: usize,
+        d_out: usize,
+    ) -> Self {
+        Self { mlp: Mlp::new(store, rng, name, &[d_in, d_out, d_out], Activation::Relu) }
+    }
+
+    /// `adj_unnorm` is the raw (0/1 or weighted) adjacency without
+    /// self-loops; the `(1 + ε) h` term supplies the self-contribution.
+    pub fn forward(
+        &self,
+        tape: &mut Tape,
+        ctx: &mut Ctx,
+        store: &ParamStore,
+        adj_unnorm: Var,
+        h: Var,
+    ) -> Var {
+        let agg = tape.matmul(adj_unnorm, h);
+        let summed = tape.add(agg, h);
+        self.mlp.forward(tape, ctx, store, summed)
+    }
+}
+
+/// GraphSAGE with mean aggregation: `act([h_i || mean_j h_j] W + b)`.
+pub struct SageLayer {
+    linear: Linear,
+}
+
+impl SageLayer {
+    pub fn new(
+        store: &mut ParamStore,
+        rng: &mut impl Rng,
+        name: &str,
+        d_in: usize,
+        d_out: usize,
+        act: Activation,
+    ) -> Self {
+        Self { linear: Linear::new(store, rng, name, 2 * d_in, d_out, act) }
+    }
+
+    /// `adj_rownorm` must be a row-normalised neighbour-mean operator.
+    pub fn forward(
+        &self,
+        tape: &mut Tape,
+        ctx: &mut Ctx,
+        store: &ParamStore,
+        adj_rownorm: Var,
+        h: Var,
+    ) -> Var {
+        let mean = tape.matmul(adj_rownorm, h);
+        let cat = tape.concat_cols(h, mean);
+        self.linear.forward(tape, ctx, store, cat)
+    }
+}
+
+/// APPNP propagation (Klicpera et al.): `Z ← (1 − α) Â Z + α Z₀`, iterated
+/// `k` times after a feature MLP (which the caller owns).
+pub fn appnp_propagate(tape: &mut Tape, adj: Var, z0: Var, alpha: f32, k: usize) -> Var {
+    let mut z = z0;
+    for _ in 0..k {
+        let prop = tape.matmul(adj, z);
+        let scaled = tape.scale(prop, 1.0 - alpha);
+        let teleport = tape.scale(z0, alpha);
+        z = tape.add(scaled, teleport);
+    }
+    z
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tensor::Tensor;
+
+    fn setup() -> (ParamStore, StdRng) {
+        (ParamStore::new(), StdRng::seed_from_u64(9))
+    }
+
+    fn line_graph_edges() -> (Rc<Vec<usize>>, Rc<Vec<usize>>) {
+        // 0 -> 1 -> 2, plus self-loops.
+        (
+            Rc::new(vec![0, 1, 0, 1, 2]),
+            Rc::new(vec![1, 2, 0, 1, 2]),
+        )
+    }
+
+    #[test]
+    fn gcn_layer_shapes() {
+        let (mut store, mut rng) = setup();
+        let layer = GcnLayer::new(&mut store, &mut rng, "g", 4, 8, Activation::Relu);
+        let mut tape = Tape::new();
+        let mut ctx = Ctx::new(&store);
+        let adj = tape.leaf(Tensor::eye(3));
+        let h = tape.leaf(Tensor::ones(3, 4));
+        let out = layer.forward(&mut tape, &mut ctx, &store, adj, h);
+        assert_eq!(tape.value(out).shape(), (3, 8));
+    }
+
+    #[test]
+    fn gat_attention_normalised_and_differentiable() {
+        let (mut store, mut rng) = setup();
+        let layer = GatLayer::new(&mut store, &mut rng, "gat", 4, 5, 2);
+        let mut tape = Tape::new();
+        let mut ctx = Ctx::new(&store);
+        let (src, dst) = line_graph_edges();
+        let h = tape.leaf(Tensor::from_fn(3, 4, |r, c| (r * 4 + c) as f32 * 0.1));
+        let out = layer.forward(&mut tape, &mut ctx, &store, h, None, &src, &dst, 3);
+        assert_eq!(tape.value(out).shape(), (3, 10)); // 2 heads x 5
+        let pooled = tape.mean_all(out);
+        tape.backward(pooled);
+        ctx.accumulate_grads(&tape, &mut store);
+        assert!(store.grad_norm() > 0.0, "no gradient reached GAT params");
+    }
+
+    #[test]
+    fn gat_isolated_node_keeps_self_message() {
+        // A node with only its self-loop must still produce finite output.
+        let (mut store, mut rng) = setup();
+        let layer = GatHead::new(&mut store, &mut rng, "g", 2, 3);
+        let mut tape = Tape::new();
+        let mut ctx = Ctx::new(&store);
+        let src = Rc::new(vec![0usize, 1]);
+        let dst = Rc::new(vec![0usize, 1]);
+        let h = tape.leaf(Tensor::from_vec(2, 2, vec![1.0, 2.0, -1.0, 0.5]));
+        let out = layer.forward(&mut tape, &mut ctx, &store, h, None, &src, &dst, 2);
+        assert!(tape.value(out).all_finite());
+    }
+
+    #[test]
+    fn gin_layer_uses_sum_aggregation() {
+        let (mut store, mut rng) = setup();
+        let layer = GinLayer::new(&mut store, &mut rng, "gin", 3, 6);
+        let mut tape = Tape::new();
+        let mut ctx = Ctx::new(&store);
+        let adj = tape.leaf(Tensor::from_vec(2, 2, vec![0.0, 1.0, 1.0, 0.0]));
+        let h = tape.leaf(Tensor::from_fn(2, 3, |r, _| r as f32 + 1.0));
+        let out = layer.forward(&mut tape, &mut ctx, &store, adj, h);
+        assert_eq!(tape.value(out).shape(), (2, 6));
+    }
+
+    #[test]
+    fn sage_layer_concatenates_self_and_mean() {
+        let (mut store, mut rng) = setup();
+        let layer = SageLayer::new(&mut store, &mut rng, "sage", 3, 4, Activation::Relu);
+        let mut tape = Tape::new();
+        let mut ctx = Ctx::new(&store);
+        let adj = tape.leaf(Tensor::from_vec(2, 2, vec![0.0, 1.0, 1.0, 0.0]));
+        let h = tape.leaf(Tensor::ones(2, 3));
+        let out = layer.forward(&mut tape, &mut ctx, &store, adj, h);
+        assert_eq!(tape.value(out).shape(), (2, 4));
+    }
+
+    #[test]
+    fn appnp_zero_alpha_is_pure_propagation_one_is_identity() {
+        let mut tape = Tape::new();
+        let adj = tape.leaf(Tensor::from_vec(2, 2, vec![0.0, 1.0, 1.0, 0.0]));
+        let z0 = tape.leaf(Tensor::from_vec(2, 1, vec![1.0, 0.0]));
+        let z_id = appnp_propagate(&mut tape, adj, z0, 1.0, 3);
+        assert_eq!(tape.value(z_id).data(), &[1.0, 0.0]);
+        let z_prop = appnp_propagate(&mut tape, adj, z0, 0.0, 1);
+        assert_eq!(tape.value(z_prop).data(), &[0.0, 1.0]); // swapped by A
+    }
+}

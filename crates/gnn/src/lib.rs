@@ -1,0 +1,27 @@
+//! # gnn — graph neural networks for the double-graph pipeline
+//!
+//! Hand-rolled message passing on the `tensor` autodiff tape:
+//!
+//! * [`GraphTensors`] — subgraph → tensors lowering (GSG edges with `[w, t]`
+//!   features, per-slice LDG adjacencies),
+//! * [`layers`] — GCN / GAT / GIN / GraphSAGE / APPNP building blocks,
+//! * [`GsgEncoder`] — the global static encoder: alignment (Eq. 6),
+//!   node-level attention (Eqs. 7-9), graph-level attention pooling
+//!   (Eqs. 10-13),
+//! * [`LdgEncoder`] — the local dynamic encoder: GCN + GRU evolution
+//!   (Eqs. 14-18), DiffPool (Eqs. 19-21), time-slice read-out (Eqs. 22-23),
+//! * [`augment`] / [`nt_xent`] — adaptive augmentation and the contrastive
+//!   objective (Section IV-A3).
+
+mod augment;
+mod contrast;
+mod dynamic;
+mod graphdata;
+mod hier;
+pub mod layers;
+
+pub use augment::{augment, edge_drop_probs, AugmentConfig, AugmentedView};
+pub use contrast::nt_xent;
+pub use dynamic::{LdgConfig, LdgEncoder, LdgOutput};
+pub use graphdata::{GraphTensors, CENTER_SEQ_LEN};
+pub use hier::{GsgConfig, GsgEncoder, GsgOutput};

@@ -1,0 +1,217 @@
+//! Classification metrics used across the paper's evaluation: precision,
+//! recall, F1, accuracy (Section V-A2) and ROC/AUC (Fig. 7).
+
+/// Binary confusion counts.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Confusion {
+    pub tp: usize,
+    pub fp: usize,
+    pub tn: usize,
+    pub fn_: usize,
+}
+
+impl Confusion {
+    /// Tally predictions against labels (`true` = positive class).
+    pub fn from_preds(preds: &[bool], labels: &[bool]) -> Self {
+        assert_eq!(preds.len(), labels.len());
+        let mut c = Confusion::default();
+        for (&p, &l) in preds.iter().zip(labels) {
+            match (p, l) {
+                (true, true) => c.tp += 1,
+                (true, false) => c.fp += 1,
+                (false, false) => c.tn += 1,
+                (false, true) => c.fn_ += 1,
+            }
+        }
+        c
+    }
+
+    pub fn precision(&self) -> f64 {
+        safe_div(self.tp as f64, (self.tp + self.fp) as f64)
+    }
+
+    pub fn recall(&self) -> f64 {
+        safe_div(self.tp as f64, (self.tp + self.fn_) as f64)
+    }
+
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        safe_div(2.0 * p * r, p + r)
+    }
+
+    pub fn accuracy(&self) -> f64 {
+        let total = self.tp + self.fp + self.tn + self.fn_;
+        safe_div((self.tp + self.tn) as f64, total as f64)
+    }
+}
+
+fn safe_div(n: f64, d: f64) -> f64 {
+    if d == 0.0 {
+        0.0
+    } else {
+        n / d
+    }
+}
+
+/// Precision/recall/F1/accuracy, reported as percentages like the paper's
+/// tables.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Metrics {
+    pub precision: f64,
+    pub recall: f64,
+    pub f1: f64,
+    pub accuracy: f64,
+}
+
+impl Metrics {
+    pub fn from_confusion(c: &Confusion) -> Self {
+        Self {
+            precision: c.precision() * 100.0,
+            recall: c.recall() * 100.0,
+            f1: c.f1() * 100.0,
+            accuracy: c.accuracy() * 100.0,
+        }
+    }
+
+    /// Binary metrics from hard predictions.
+    pub fn binary(preds: &[bool], labels: &[bool]) -> Self {
+        Self::from_confusion(&Confusion::from_preds(preds, labels))
+    }
+
+    /// Binary metrics from scores thresholded at `thresh`.
+    pub fn from_scores(scores: &[f64], labels: &[bool], thresh: f64) -> Self {
+        let preds: Vec<bool> = scores.iter().map(|&s| s >= thresh).collect();
+        Self::binary(&preds, labels)
+    }
+
+    /// Macro-averaged metrics over both classes (positive and negative),
+    /// matching how several of the paper's baselines report results on
+    /// balanced binary tasks.
+    pub fn binary_macro(preds: &[bool], labels: &[bool]) -> Self {
+        let pos = Confusion::from_preds(preds, labels);
+        let neg_preds: Vec<bool> = preds.iter().map(|p| !p).collect();
+        let neg_labels: Vec<bool> = labels.iter().map(|l| !l).collect();
+        let neg = Confusion::from_preds(&neg_preds, &neg_labels);
+        Self {
+            precision: (pos.precision() + neg.precision()) / 2.0 * 100.0,
+            recall: (pos.recall() + neg.recall()) / 2.0 * 100.0,
+            f1: (pos.f1() + neg.f1()) / 2.0 * 100.0,
+            accuracy: pos.accuracy() * 100.0,
+        }
+    }
+}
+
+/// A point on a ROC curve.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RocPoint {
+    pub fpr: f64,
+    pub tpr: f64,
+    pub threshold: f64,
+}
+
+/// Compute the ROC curve by sweeping a threshold over the sorted scores.
+pub fn roc_curve(scores: &[f64], labels: &[bool]) -> Vec<RocPoint> {
+    assert_eq!(scores.len(), labels.len());
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal));
+    let pos = labels.iter().filter(|&&l| l).count() as f64;
+    let neg = labels.len() as f64 - pos;
+    let mut curve = vec![RocPoint { fpr: 0.0, tpr: 0.0, threshold: f64::INFINITY }];
+    let (mut tp, mut fp) = (0.0f64, 0.0f64);
+    let mut i = 0;
+    while i < order.len() {
+        // Process ties at the same score together.
+        let s = scores[order[i]];
+        while i < order.len() && scores[order[i]] == s {
+            if labels[order[i]] {
+                tp += 1.0;
+            } else {
+                fp += 1.0;
+            }
+            i += 1;
+        }
+        curve.push(RocPoint {
+            fpr: if neg > 0.0 { fp / neg } else { 0.0 },
+            tpr: if pos > 0.0 { tp / pos } else { 0.0 },
+            threshold: s,
+        });
+    }
+    curve
+}
+
+/// Area under the ROC curve via the trapezoidal rule.
+pub fn roc_auc(scores: &[f64], labels: &[bool]) -> f64 {
+    let curve = roc_curve(scores, labels);
+    let mut auc = 0.0;
+    for w in curve.windows(2) {
+        auc += (w[1].fpr - w[0].fpr) * (w[0].tpr + w[1].tpr) / 2.0;
+    }
+    auc
+}
+
+/// Argmax over a slice; ties break to the lowest index.
+pub fn argmax(xs: &[f32]) -> usize {
+    let mut best = 0;
+    for (i, &x) in xs.iter().enumerate() {
+        if x > xs[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn confusion_counts() {
+        let preds = [true, true, false, false, true];
+        let labels = [true, false, false, true, true];
+        let c = Confusion::from_preds(&preds, &labels);
+        assert_eq!(c, Confusion { tp: 2, fp: 1, tn: 1, fn_: 1 });
+        assert!((c.precision() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((c.recall() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((c.accuracy() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_and_degenerate_metrics() {
+        let m = Metrics::binary(&[true, false], &[true, false]);
+        assert_eq!(m.f1, 100.0);
+        assert_eq!(m.accuracy, 100.0);
+        // No positive predictions -> precision 0 but no NaN.
+        let m = Metrics::binary(&[false, false], &[true, false]);
+        assert_eq!(m.precision, 0.0);
+        assert_eq!(m.f1, 0.0);
+    }
+
+    #[test]
+    fn auc_perfect_random_inverted() {
+        let labels = [true, true, false, false];
+        assert!((roc_auc(&[0.9, 0.8, 0.2, 0.1], &labels) - 1.0).abs() < 1e-12);
+        assert!((roc_auc(&[0.1, 0.2, 0.8, 0.9], &labels)).abs() < 1e-12);
+        // All scores equal -> AUC 0.5 (one big tie step).
+        assert!((roc_auc(&[0.5, 0.5, 0.5, 0.5], &labels) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn roc_curve_monotone() {
+        let scores = [0.1, 0.4, 0.35, 0.8, 0.65, 0.2];
+        let labels = [false, true, false, true, true, false];
+        let curve = roc_curve(&scores, &labels);
+        for w in curve.windows(2) {
+            assert!(w[1].fpr >= w[0].fpr);
+            assert!(w[1].tpr >= w[0].tpr);
+        }
+        let last = curve.last().unwrap();
+        assert_eq!((last.fpr, last.tpr), (1.0, 1.0));
+    }
+
+    #[test]
+    fn argmax_ties_to_first() {
+        assert_eq!(argmax(&[1.0, 3.0, 3.0, 2.0]), 1);
+        assert_eq!(argmax(&[5.0]), 0);
+    }
+}

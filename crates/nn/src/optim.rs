@@ -1,0 +1,145 @@
+//! First-order optimisers over a [`ParamStore`].
+
+use crate::params::ParamStore;
+use tensor::Tensor;
+
+/// Plain stochastic gradient descent with optional weight decay.
+pub struct Sgd {
+    pub lr: f32,
+    pub weight_decay: f32,
+}
+
+impl Sgd {
+    pub fn new(lr: f32) -> Self {
+        Self { lr, weight_decay: 0.0 }
+    }
+
+    pub fn step(&mut self, store: &mut ParamStore) {
+        let (lr, wd) = (self.lr, self.weight_decay);
+        store.apply(|v, g| {
+            for (x, &gx) in v.data_mut().iter_mut().zip(g.data()) {
+                *x -= lr * (gx + wd * *x);
+            }
+        });
+    }
+}
+
+/// Adam (Kingma & Ba, 2015) with bias correction, matching the paper's
+/// training setup ("we use Adam optimizer").
+pub struct Adam {
+    pub lr: f32,
+    pub beta1: f32,
+    pub beta2: f32,
+    pub eps: f32,
+    pub weight_decay: f32,
+    t: u64,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+}
+
+impl Adam {
+    pub fn new(lr: f32) -> Self {
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+
+    /// Apply one update using the gradients accumulated in `store`.
+    pub fn step(&mut self, store: &mut ParamStore) {
+        self.t += 1;
+        // Lazily size the moment buffers to the store (parameters are only
+        // ever appended, never removed).
+        let mut i = self.m.len();
+        while self.m.len() < store.len() {
+            let id = crate::params::ParamId(i);
+            let (r, c) = store.value(id).shape();
+            self.m.push(Tensor::zeros(r, c));
+            self.v.push(Tensor::zeros(r, c));
+            i += 1;
+        }
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        let (lr, b1, b2, eps, wd) = (self.lr, self.beta1, self.beta2, self.eps, self.weight_decay);
+        let (ms, vs) = (&mut self.m, &mut self.v);
+        let mut k = 0usize;
+        store.apply(|val, grad| {
+            let m = &mut ms[k];
+            let v = &mut vs[k];
+            for ((x, &g), (mi, vi)) in val
+                .data_mut()
+                .iter_mut()
+                .zip(grad.data())
+                .zip(m.data_mut().iter_mut().zip(v.data_mut().iter_mut()))
+            {
+                let g = g + wd * *x;
+                *mi = b1 * *mi + (1.0 - b1) * g;
+                *vi = b2 * *vi + (1.0 - b2) * g * g;
+                let mhat = *mi / bc1;
+                let vhat = *vi / bc2;
+                *x -= lr * mhat / (vhat.sqrt() + eps);
+            }
+            k += 1;
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{Ctx, ParamStore};
+    use tensor::{Tape, Tensor};
+
+    /// Minimise (w - 3)^2 and check both optimisers converge.
+    fn converges(mut step: impl FnMut(&mut ParamStore), store: &mut ParamStore) -> f32 {
+        let w = crate::params::ParamId(0);
+        for _ in 0..500 {
+            store.zero_grad();
+            let mut tape = Tape::new();
+            let mut ctx = Ctx::new(store);
+            let wv = ctx.var(&mut tape, store, w);
+            let shifted = tape.add_scalar(wv, -3.0);
+            let sq = tape.mul(shifted, shifted);
+            let loss = tape.sum_all(sq);
+            tape.backward(loss);
+            ctx.accumulate_grads(&tape, store);
+            step(store);
+        }
+        store.value(w).item()
+    }
+
+    #[test]
+    fn sgd_converges_to_minimum() {
+        let mut store = ParamStore::new();
+        store.add("w", Tensor::scalar(-5.0));
+        let mut opt = Sgd::new(0.1);
+        let w = converges(|s| opt.step(s), &mut store);
+        assert!((w - 3.0).abs() < 1e-3, "w = {w}");
+    }
+
+    #[test]
+    fn adam_converges_to_minimum() {
+        let mut store = ParamStore::new();
+        store.add("w", Tensor::scalar(-5.0));
+        let mut opt = Adam::new(0.05);
+        let w = converges(|s| opt.step(s), &mut store);
+        assert!((w - 3.0).abs() < 1e-2, "w = {w}");
+    }
+
+    #[test]
+    fn adam_handles_params_added_after_construction() {
+        let mut store = ParamStore::new();
+        store.add("a", Tensor::scalar(1.0));
+        let mut opt = Adam::new(0.01);
+        opt.step(&mut store);
+        store.add("b", Tensor::scalar(2.0));
+        opt.step(&mut store); // must not panic
+        assert_eq!(opt.m.len(), 2);
+    }
+}

@@ -1,0 +1,216 @@
+//! Persistent parameter storage for define-by-run models.
+//!
+//! A [`ParamStore`] owns the trainable tensors of a model. Each forward pass
+//! creates a fresh [`tensor::Tape`]; a [`Ctx`] lazily inserts the parameters
+//! that pass actually uses as tape leaves and, after `backward`, copies the
+//! leaf gradients back into the store where an optimizer consumes them.
+
+use rand::Rng;
+use tensor::{Tape, Tensor, Var};
+
+/// Handle to a parameter inside a [`ParamStore`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ParamId(pub(crate) usize);
+
+/// Owns model parameters and their accumulated gradients.
+#[derive(Default)]
+pub struct ParamStore {
+    values: Vec<Tensor>,
+    grads: Vec<Tensor>,
+    names: Vec<String>,
+}
+
+impl ParamStore {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a parameter with an explicit initial value.
+    pub fn add(&mut self, name: impl Into<String>, value: Tensor) -> ParamId {
+        let (r, c) = value.shape();
+        self.values.push(value);
+        self.grads.push(Tensor::zeros(r, c));
+        self.names.push(name.into());
+        ParamId(self.values.len() - 1)
+    }
+
+    /// Xavier/Glorot-uniform initialisation: `U(-a, a)` with
+    /// `a = sqrt(6 / (fan_in + fan_out))`.
+    pub fn xavier(
+        &mut self,
+        name: impl Into<String>,
+        rows: usize,
+        cols: usize,
+        rng: &mut impl Rng,
+    ) -> ParamId {
+        let a = (6.0 / (rows + cols) as f32).sqrt();
+        let t = Tensor::from_fn(rows, cols, |_, _| rng.gen_range(-a..a));
+        self.add(name, t)
+    }
+
+    /// Zero-initialised parameter (biases).
+    pub fn zeros(&mut self, name: impl Into<String>, rows: usize, cols: usize) -> ParamId {
+        self.add(name, Tensor::zeros(rows, cols))
+    }
+
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    pub fn value(&self, id: ParamId) -> &Tensor {
+        &self.values[id.0]
+    }
+
+    pub fn value_mut(&mut self, id: ParamId) -> &mut Tensor {
+        &mut self.values[id.0]
+    }
+
+    pub fn grad(&self, id: ParamId) -> &Tensor {
+        &self.grads[id.0]
+    }
+
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.names[id.0]
+    }
+
+    /// Look up a parameter by its registered name.
+    pub fn find(&self, name: &str) -> Option<ParamId> {
+        self.names.iter().position(|n| n == name).map(ParamId)
+    }
+
+    /// Iterate all parameter ids.
+    pub fn ids(&self) -> impl Iterator<Item = ParamId> {
+        (0..self.values.len()).map(ParamId)
+    }
+
+    /// Reset every accumulated gradient to zero.
+    pub fn zero_grad(&mut self) {
+        for g in &mut self.grads {
+            for x in g.data_mut() {
+                *x = 0.0;
+            }
+        }
+    }
+
+    /// Total number of scalar parameters.
+    pub fn num_scalars(&self) -> usize {
+        self.values.iter().map(Tensor::len).sum()
+    }
+
+    /// Global gradient L2 norm (for clipping / diagnostics).
+    pub fn grad_norm(&self) -> f32 {
+        self.grads
+            .iter()
+            .map(|g| g.data().iter().map(|&x| x * x).sum::<f32>())
+            .sum::<f32>()
+            .sqrt()
+    }
+
+    /// Scale all gradients so the global norm does not exceed `max_norm`.
+    pub fn clip_grad_norm(&mut self, max_norm: f32) {
+        let norm = self.grad_norm();
+        if norm > max_norm && norm > 0.0 {
+            let s = max_norm / norm;
+            for g in &mut self.grads {
+                for x in g.data_mut() {
+                    *x *= s;
+                }
+            }
+        }
+    }
+
+    fn values_slice(&self) -> &[Tensor] {
+        &self.values
+    }
+
+    pub(crate) fn apply<F: FnMut(&mut Tensor, &Tensor)>(&mut self, mut f: F) {
+        for (v, g) in self.values.iter_mut().zip(self.grads.iter()) {
+            f(v, g);
+        }
+    }
+}
+
+/// Per-forward-pass mapping from [`ParamId`]s to tape [`Var`]s.
+pub struct Ctx {
+    vars: Vec<Option<Var>>,
+}
+
+impl Ctx {
+    pub fn new(store: &ParamStore) -> Self {
+        Self { vars: vec![None; store.len()] }
+    }
+
+    /// Get (inserting on first use) the tape leaf for a parameter.
+    pub fn var(&mut self, tape: &mut Tape, store: &ParamStore, id: ParamId) -> Var {
+        if let Some(v) = self.vars[id.0] {
+            return v;
+        }
+        let v = tape.leaf(store.values_slice()[id.0].clone());
+        self.vars[id.0] = Some(v);
+        v
+    }
+
+    /// After `tape.backward`, accumulate leaf gradients into the store.
+    pub fn accumulate_grads(&self, tape: &Tape, store: &mut ParamStore) {
+        for (i, slot) in self.vars.iter().enumerate() {
+            if let Some(v) = slot {
+                if let Some(g) = tape.grad(*v) {
+                    store.grads[i].add_assign(g);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xavier_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut store = ParamStore::new();
+        let id = store.xavier("w", 10, 20, &mut rng);
+        let a = (6.0f32 / 30.0).sqrt();
+        assert!(store.value(id).data().iter().all(|x| x.abs() <= a));
+        assert!(store.value(id).data().iter().any(|x| x.abs() > 1e-4));
+    }
+
+    #[test]
+    fn grad_roundtrip_through_ctx() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::from_vec(2, 1, vec![1.0, 2.0]));
+        let mut tape = Tape::new();
+        let mut ctx = Ctx::new(&store);
+        let wv = ctx.var(&mut tape, &store, w);
+        let x = tape.leaf(Tensor::from_vec(1, 2, vec![3.0, 4.0]));
+        let y = tape.matmul(x, wv);
+        let loss = tape.sum_all(y);
+        tape.backward(loss);
+        ctx.accumulate_grads(&tape, &mut store);
+        assert_eq!(store.grad(w).data(), &[3.0, 4.0]);
+        // Accumulation is additive across passes.
+        ctx.accumulate_grads(&tape, &mut store);
+        assert_eq!(store.grad(w).data(), &[6.0, 8.0]);
+        store.zero_grad();
+        assert_eq!(store.grad(w).data(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn clip_grad_norm_scales_down_only() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::zeros(1, 2));
+        store.grads[w.0] = Tensor::from_vec(1, 2, vec![3.0, 4.0]); // norm 5
+        store.clip_grad_norm(10.0);
+        assert_eq!(store.grad(w).data(), &[3.0, 4.0]);
+        store.clip_grad_norm(1.0);
+        let n = store.grad_norm();
+        assert!((n - 1.0).abs() < 1e-5);
+    }
+}

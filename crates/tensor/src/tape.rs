@@ -1,0 +1,736 @@
+//! Tape-based reverse-mode automatic differentiation.
+//!
+//! A [`Tape`] records every primitive operation performed on [`Var`]s during a
+//! forward pass (define-by-run, like PyTorch). [`Tape::backward`] then walks
+//! the tape in reverse, accumulating gradients for every node.
+//!
+//! The op set is deliberately small but covers everything the paper's models
+//! need: dense linear algebra, pointwise activations, row gather / scatter-add
+//! (message passing), per-segment softmax (GAT attention normalisation),
+//! pooling, and two fused losses (cross-entropy, NT-Xent is composed from
+//! primitives in `gnn`). Every op's gradient is verified against central
+//! finite differences in `tests/gradcheck.rs`.
+
+use crate::tensor::Tensor;
+use std::rc::Rc;
+
+/// Handle to a node on a [`Tape`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Var(pub(crate) usize);
+
+#[derive(Clone)]
+enum Op {
+    Leaf,
+    Matmul(usize, usize),
+    Add(usize, usize),
+    Sub(usize, usize),
+    Mul(usize, usize),
+    AddRowBroadcast(usize, usize),
+    MulColBroadcast(usize, usize),
+    Scale(usize, f32),
+    AddScalar(usize),
+    LeakyRelu(usize, f32),
+    Elu(usize, f32),
+    Relu(usize),
+    Tanh(usize),
+    Sigmoid(usize),
+    SoftmaxRows(usize),
+    Transpose(usize),
+    ConcatCols(usize, usize),
+    ConcatRows(usize, usize),
+    GatherRows(usize, Rc<Vec<usize>>),
+    ScatterAddRows(usize, Rc<Vec<usize>>),
+    SegmentSoftmax(usize, Rc<Vec<usize>>),
+    MaxPoolRows(usize),
+    MeanPoolRows(usize),
+    SumAll(usize),
+    MeanAll(usize),
+    L2NormalizeRows(usize, f32),
+    CrossEntropy(usize, Rc<Vec<usize>>),
+}
+
+struct Node {
+    value: Tensor,
+    grad: Option<Tensor>,
+    op: Op,
+}
+
+/// A record of a forward computation, enabling reverse-mode differentiation.
+#[derive(Default)]
+pub struct Tape {
+    nodes: Vec<Node>,
+}
+
+impl Tape {
+    pub fn new() -> Self {
+        Self { nodes: Vec::new() }
+    }
+
+    /// Number of recorded nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    fn push(&mut self, value: Tensor, op: Op) -> Var {
+        self.nodes.push(Node { value, grad: None, op });
+        Var(self.nodes.len() - 1)
+    }
+
+    /// Insert a tensor as a leaf node (an input or parameter).
+    pub fn leaf(&mut self, value: Tensor) -> Var {
+        self.push(value, Op::Leaf)
+    }
+
+    /// Borrow the value of a node.
+    pub fn value(&self, v: Var) -> &Tensor {
+        &self.nodes[v.0].value
+    }
+
+    /// Borrow the gradient of a node, if `backward` reached it.
+    pub fn grad(&self, v: Var) -> Option<&Tensor> {
+        self.nodes[v.0].grad.as_ref()
+    }
+
+    /// Gradient of a node, or zeros of the node's shape if unset.
+    pub fn grad_or_zeros(&self, v: Var) -> Tensor {
+        match &self.nodes[v.0].grad {
+            Some(g) => g.clone(),
+            None => {
+                let (r, c) = self.nodes[v.0].value.shape();
+                Tensor::zeros(r, c)
+            }
+        }
+    }
+
+    // ---- primitive ops -------------------------------------------------
+
+    /// Matrix product `a @ b`.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).matmul(self.value(b));
+        self.push(v, Op::Matmul(a.0, b.0))
+    }
+
+    /// Elementwise `a + b` (same shape).
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).zip(self.value(b), |x, y| x + y);
+        self.push(v, Op::Add(a.0, b.0))
+    }
+
+    /// Elementwise `a - b` (same shape).
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).zip(self.value(b), |x, y| x - y);
+        self.push(v, Op::Sub(a.0, b.0))
+    }
+
+    /// Elementwise (Hadamard) product `a ⊙ b` (same shape).
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).zip(self.value(b), |x, y| x * y);
+        self.push(v, Op::Mul(a.0, b.0))
+    }
+
+    /// `a + b` where `a: (n, d)` and `b: (1, d)` is broadcast over rows
+    /// (bias addition).
+    pub fn add_row_broadcast(&mut self, a: Var, b: Var) -> Var {
+        let (n, d) = self.value(a).shape();
+        assert_eq!(self.value(b).shape(), (1, d), "add_row_broadcast shape");
+        let bt = self.value(b).clone();
+        let mut v = self.value(a).clone();
+        for r in 0..n {
+            for (x, &y) in v.row_mut(r).iter_mut().zip(bt.row(0)) {
+                *x += y;
+            }
+        }
+        self.push(v, Op::AddRowBroadcast(a.0, b.0))
+    }
+
+    /// `a * b` where `a: (n, d)` and `b: (n, 1)` scales each row (attention
+    /// coefficients applied to messages).
+    pub fn mul_col_broadcast(&mut self, a: Var, b: Var) -> Var {
+        let (n, _d) = self.value(a).shape();
+        assert_eq!(self.value(b).shape(), (n, 1), "mul_col_broadcast shape");
+        let bt = self.value(b).clone();
+        let mut v = self.value(a).clone();
+        for r in 0..n {
+            let s = bt.get(r, 0);
+            for x in v.row_mut(r) {
+                *x *= s;
+            }
+        }
+        self.push(v, Op::MulColBroadcast(a.0, b.0))
+    }
+
+    /// `c * a` for a constant scalar `c`.
+    pub fn scale(&mut self, a: Var, c: f32) -> Var {
+        let v = self.value(a).map(|x| c * x);
+        self.push(v, Op::Scale(a.0, c))
+    }
+
+    /// `a + c` for a constant scalar `c`.
+    pub fn add_scalar(&mut self, a: Var, c: f32) -> Var {
+        let v = self.value(a).map(|x| x + c);
+        self.push(v, Op::AddScalar(a.0))
+    }
+
+    /// `1 - a`, used by the GRU update gate.
+    pub fn one_minus(&mut self, a: Var) -> Var {
+        let neg = self.scale(a, -1.0);
+        self.add_scalar(neg, 1.0)
+    }
+
+    pub fn leaky_relu(&mut self, a: Var, slope: f32) -> Var {
+        let v = self.value(a).map(|x| if x > 0.0 { x } else { slope * x });
+        self.push(v, Op::LeakyRelu(a.0, slope))
+    }
+
+    pub fn elu(&mut self, a: Var, alpha: f32) -> Var {
+        let v = self.value(a).map(|x| if x > 0.0 { x } else { alpha * (x.exp() - 1.0) });
+        self.push(v, Op::Elu(a.0, alpha))
+    }
+
+    pub fn relu(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(|x| x.max(0.0));
+        self.push(v, Op::Relu(a.0))
+    }
+
+    pub fn tanh(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(f32::tanh);
+        self.push(v, Op::Tanh(a.0))
+    }
+
+    pub fn sigmoid(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(|x| 1.0 / (1.0 + (-x).exp()));
+        self.push(v, Op::Sigmoid(a.0))
+    }
+
+    /// Numerically stable softmax over each row.
+    pub fn softmax_rows(&mut self, a: Var) -> Var {
+        let x = self.value(a);
+        let (n, d) = x.shape();
+        let mut v = Tensor::zeros(n, d);
+        for r in 0..n {
+            softmax_into(x.row(r), v.row_mut(r));
+        }
+        self.push(v, Op::SoftmaxRows(a.0))
+    }
+
+    pub fn transpose(&mut self, a: Var) -> Var {
+        let v = self.value(a).transpose();
+        self.push(v, Op::Transpose(a.0))
+    }
+
+    /// Concatenate along columns: `(n, p) || (n, q) -> (n, p + q)`.
+    pub fn concat_cols(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).concat_cols(self.value(b));
+        self.push(v, Op::ConcatCols(a.0, b.0))
+    }
+
+    /// Stack along rows: `(p, d)` over `(q, d)` -> `(p + q, d)`.
+    pub fn concat_rows(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).concat_rows(self.value(b));
+        self.push(v, Op::ConcatRows(a.0, b.0))
+    }
+
+    /// Select rows of `a` by `idx` (indices may repeat — e.g. the source node
+    /// of each edge in a message-passing step).
+    pub fn gather_rows(&mut self, a: Var, idx: Rc<Vec<usize>>) -> Var {
+        let v = self.value(a).gather_rows(&idx);
+        self.push(v, Op::GatherRows(a.0, idx))
+    }
+
+    /// `out[idx[r]] += a[r]` for every row `r`; `out` has `n_out` rows.
+    /// This is the aggregation step of message passing.
+    pub fn scatter_add_rows(&mut self, a: Var, idx: Rc<Vec<usize>>, n_out: usize) -> Var {
+        let x = self.value(a);
+        let (n, d) = x.shape();
+        assert_eq!(idx.len(), n, "scatter_add_rows index length");
+        let mut v = Tensor::zeros(n_out, d);
+        for r in 0..n {
+            let dst = idx[r];
+            assert!(dst < n_out, "scatter index {dst} out of bounds {n_out}");
+            for (o, &val) in v.row_mut(dst).iter_mut().zip(x.row(r)) {
+                *o += val;
+            }
+        }
+        self.push(v, Op::ScatterAddRows(a.0, idx))
+    }
+
+    /// Softmax over groups of rows of a column vector `a: (e, 1)`. Rows with
+    /// equal `seg[r]` form one group. This normalises GAT attention scores
+    /// over the in-neighbourhood of each destination node (Eq. 8).
+    pub fn segment_softmax(&mut self, a: Var, seg: Rc<Vec<usize>>) -> Var {
+        let x = self.value(a);
+        assert_eq!(x.cols(), 1, "segment_softmax expects a column vector");
+        assert_eq!(seg.len(), x.rows(), "segment length mismatch");
+        let n_seg = seg.iter().copied().max().map_or(0, |m| m + 1);
+        let mut max = vec![f32::NEG_INFINITY; n_seg];
+        for (r, &s) in seg.iter().enumerate() {
+            max[s] = max[s].max(x.get(r, 0));
+        }
+        let mut denom = vec![0.0f32; n_seg];
+        let mut v = Tensor::zeros(x.rows(), 1);
+        for (r, &s) in seg.iter().enumerate() {
+            let e = (x.get(r, 0) - max[s]).exp();
+            v.set(r, 0, e);
+            denom[s] += e;
+        }
+        for (r, &s) in seg.iter().enumerate() {
+            v.set(r, 0, v.get(r, 0) / denom[s].max(1e-30));
+        }
+        self.push(v, Op::SegmentSoftmax(a.0, seg))
+    }
+
+    /// Column-wise max over rows: `(n, d) -> (1, d)` (global max pooling,
+    /// Eq. 10). Ties break toward the lowest row index in both directions.
+    pub fn max_pool_rows(&mut self, a: Var) -> Var {
+        let x = self.value(a);
+        let (n, d) = x.shape();
+        assert!(n > 0, "max_pool_rows on empty tensor");
+        let mut v = Tensor::full(1, d, f32::NEG_INFINITY);
+        for r in 0..n {
+            for c in 0..d {
+                if x.get(r, c) > v.get(0, c) {
+                    v.set(0, c, x.get(r, c));
+                }
+            }
+        }
+        self.push(v, Op::MaxPoolRows(a.0))
+    }
+
+    /// Column-wise mean over rows: `(n, d) -> (1, d)`.
+    pub fn mean_pool_rows(&mut self, a: Var) -> Var {
+        let x = self.value(a);
+        let (n, d) = x.shape();
+        assert!(n > 0, "mean_pool_rows on empty tensor");
+        let mut v = Tensor::zeros(1, d);
+        for r in 0..n {
+            for c in 0..d {
+                v.set(0, c, v.get(0, c) + x.get(r, c) / n as f32);
+            }
+        }
+        self.push(v, Op::MeanPoolRows(a.0))
+    }
+
+    /// Sum of all elements -> scalar.
+    pub fn sum_all(&mut self, a: Var) -> Var {
+        let v = Tensor::scalar(self.value(a).sum());
+        self.push(v, Op::SumAll(a.0))
+    }
+
+    /// Mean of all elements -> scalar.
+    pub fn mean_all(&mut self, a: Var) -> Var {
+        let v = Tensor::scalar(self.value(a).mean());
+        self.push(v, Op::MeanAll(a.0))
+    }
+
+    /// L2-normalise each row (used by the contrastive objective).
+    pub fn l2_normalize_rows(&mut self, a: Var, eps: f32) -> Var {
+        let x = self.value(a);
+        let (n, d) = x.shape();
+        let mut v = Tensor::zeros(n, d);
+        for r in 0..n {
+            let norm = x.row(r).iter().map(|&t| t * t).sum::<f32>().sqrt().max(eps);
+            for (o, &t) in v.row_mut(r).iter_mut().zip(x.row(r)) {
+                *o = t / norm;
+            }
+        }
+        self.push(v, Op::L2NormalizeRows(a.0, eps))
+    }
+
+    /// Mean cross-entropy between row logits and integer targets -> scalar.
+    pub fn cross_entropy(&mut self, logits: Var, targets: Rc<Vec<usize>>) -> Var {
+        let x = self.value(logits);
+        let (n, d) = x.shape();
+        assert_eq!(targets.len(), n, "cross_entropy target length");
+        let mut loss = 0.0f32;
+        for (r, &t) in targets.iter().enumerate() {
+            assert!(t < d, "target {t} out of range {d}");
+            let row = x.row(r);
+            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let lse = m + row.iter().map(|&v| (v - m).exp()).sum::<f32>().ln();
+            loss += lse - row[t];
+        }
+        let v = Tensor::scalar(loss / n as f32);
+        self.push(v, Op::CrossEntropy(logits.0, targets))
+    }
+
+    // ---- compound helpers ----------------------------------------------
+
+    /// `x @ w + b` with `b: (1, d_out)` broadcast.
+    pub fn linear(&mut self, x: Var, w: Var, b: Var) -> Var {
+        let xw = self.matmul(x, w);
+        self.add_row_broadcast(xw, b)
+    }
+
+    // ---- backward -------------------------------------------------------
+
+    fn acc_grad(&mut self, idx: usize, g: Tensor) {
+        match &mut self.nodes[idx].grad {
+            Some(existing) => existing.add_assign(&g),
+            slot @ None => *slot = Some(g),
+        }
+    }
+
+    /// Backpropagate from scalar node `v`, filling gradients for every node
+    /// that participated in its computation.
+    ///
+    /// Single-shot per tape: to differentiate several heads, combine them
+    /// into one scalar (e.g. with [`Tape::add`]) before calling this.
+    /// Calling `backward` a second time on the same tape re-propagates the
+    /// existing gradients and produces meaningless sums.
+    pub fn backward(&mut self, v: Var) {
+        assert_eq!(
+            self.nodes[v.0].value.shape(),
+            (1, 1),
+            "backward requires a scalar output"
+        );
+        self.nodes[v.0].grad = Some(Tensor::scalar(1.0));
+        for i in (0..=v.0).rev() {
+            let g = match &self.nodes[i].grad {
+                Some(g) => g.clone(),
+                None => continue,
+            };
+            let op = self.nodes[i].op.clone();
+            match op {
+                Op::Leaf => {}
+                Op::Matmul(a, b) => {
+                    let ga = g.matmul(&self.nodes[b].value.transpose());
+                    let gb = self.nodes[a].value.transpose().matmul(&g);
+                    self.acc_grad(a, ga);
+                    self.acc_grad(b, gb);
+                }
+                Op::Add(a, b) => {
+                    self.acc_grad(a, g.clone());
+                    self.acc_grad(b, g);
+                }
+                Op::Sub(a, b) => {
+                    self.acc_grad(a, g.clone());
+                    self.acc_grad(b, g.map(|x| -x));
+                }
+                Op::Mul(a, b) => {
+                    let ga = g.zip(&self.nodes[b].value, |x, y| x * y);
+                    let gb = g.zip(&self.nodes[a].value, |x, y| x * y);
+                    self.acc_grad(a, ga);
+                    self.acc_grad(b, gb);
+                }
+                Op::AddRowBroadcast(a, b) => {
+                    let (n, d) = g.shape();
+                    let mut gb = Tensor::zeros(1, d);
+                    for r in 0..n {
+                        for c in 0..d {
+                            gb.set(0, c, gb.get(0, c) + g.get(r, c));
+                        }
+                    }
+                    self.acc_grad(a, g);
+                    self.acc_grad(b, gb);
+                }
+                Op::MulColBroadcast(a, b) => {
+                    let (n, d) = g.shape();
+                    let bv = self.nodes[b].value.clone();
+                    let av = self.nodes[a].value.clone();
+                    let mut ga = Tensor::zeros(n, d);
+                    let mut gb = Tensor::zeros(n, 1);
+                    for r in 0..n {
+                        let s = bv.get(r, 0);
+                        let mut dot = 0.0;
+                        for c in 0..d {
+                            ga.set(r, c, g.get(r, c) * s);
+                            dot += g.get(r, c) * av.get(r, c);
+                        }
+                        gb.set(r, 0, dot);
+                    }
+                    self.acc_grad(a, ga);
+                    self.acc_grad(b, gb);
+                }
+                Op::Scale(a, c) => self.acc_grad(a, g.map(|x| c * x)),
+                Op::AddScalar(a) => self.acc_grad(a, g),
+                Op::LeakyRelu(a, slope) => {
+                    let ga = g.zip(&self.nodes[a].value, |gv, x| {
+                        if x > 0.0 {
+                            gv
+                        } else {
+                            gv * slope
+                        }
+                    });
+                    self.acc_grad(a, ga);
+                }
+                Op::Elu(a, alpha) => {
+                    // dy/dx = 1 for x > 0, else y + alpha (since y = α(eˣ−1)).
+                    let x = &self.nodes[a].value;
+                    let y = &self.nodes[i].value;
+                    let mut ga = g.clone();
+                    for ((gv, &xv), &yv) in
+                        ga.data_mut().iter_mut().zip(x.data()).zip(y.data())
+                    {
+                        if xv <= 0.0 {
+                            *gv *= yv + alpha;
+                        }
+                    }
+                    self.acc_grad(a, ga);
+                }
+                Op::Relu(a) => {
+                    let ga = g.zip(&self.nodes[a].value, |gv, x| if x > 0.0 { gv } else { 0.0 });
+                    self.acc_grad(a, ga);
+                }
+                Op::Tanh(a) => {
+                    let ga = g.zip(&self.nodes[i].value, |gv, y| gv * (1.0 - y * y));
+                    self.acc_grad(a, ga);
+                }
+                Op::Sigmoid(a) => {
+                    let ga = g.zip(&self.nodes[i].value, |gv, y| gv * y * (1.0 - y));
+                    self.acc_grad(a, ga);
+                }
+                Op::SoftmaxRows(a) => {
+                    let y = self.nodes[i].value.clone();
+                    let (n, d) = y.shape();
+                    let mut ga = Tensor::zeros(n, d);
+                    for r in 0..n {
+                        let dot: f32 =
+                            g.row(r).iter().zip(y.row(r)).map(|(&gv, &yv)| gv * yv).sum();
+                        for c in 0..d {
+                            ga.set(r, c, y.get(r, c) * (g.get(r, c) - dot));
+                        }
+                    }
+                    self.acc_grad(a, ga);
+                }
+                Op::Transpose(a) => self.acc_grad(a, g.transpose()),
+                Op::ConcatCols(a, b) => {
+                    let ca = self.nodes[a].value.cols();
+                    let (n, d) = g.shape();
+                    let mut ga = Tensor::zeros(n, ca);
+                    let mut gb = Tensor::zeros(n, d - ca);
+                    for r in 0..n {
+                        ga.row_mut(r).copy_from_slice(&g.row(r)[..ca]);
+                        gb.row_mut(r).copy_from_slice(&g.row(r)[ca..]);
+                    }
+                    self.acc_grad(a, ga);
+                    self.acc_grad(b, gb);
+                }
+                Op::ConcatRows(a, b) => {
+                    let ra = self.nodes[a].value.rows();
+                    let (n, d) = g.shape();
+                    let mut ga = Tensor::zeros(ra, d);
+                    let mut gb = Tensor::zeros(n - ra, d);
+                    for r in 0..ra {
+                        ga.row_mut(r).copy_from_slice(g.row(r));
+                    }
+                    for r in ra..n {
+                        gb.row_mut(r - ra).copy_from_slice(g.row(r));
+                    }
+                    self.acc_grad(a, ga);
+                    self.acc_grad(b, gb);
+                }
+                Op::GatherRows(a, idx) => {
+                    let (ra, ca) = self.nodes[a].value.shape();
+                    let mut ga = Tensor::zeros(ra, ca);
+                    for (r, &src) in idx.iter().enumerate() {
+                        for (o, &gv) in ga.row_mut(src).iter_mut().zip(g.row(r)) {
+                            *o += gv;
+                        }
+                    }
+                    self.acc_grad(a, ga);
+                }
+                Op::ScatterAddRows(a, idx) => {
+                    let ga = g.gather_rows(&idx);
+                    self.acc_grad(a, ga);
+                }
+                Op::SegmentSoftmax(a, seg) => {
+                    let y = self.nodes[i].value.clone();
+                    let n_seg = seg.iter().copied().max().map_or(0, |m| m + 1);
+                    let mut dot = vec![0.0f32; n_seg];
+                    for (r, &s) in seg.iter().enumerate() {
+                        dot[s] += g.get(r, 0) * y.get(r, 0);
+                    }
+                    let mut ga = Tensor::zeros(y.rows(), 1);
+                    for (r, &s) in seg.iter().enumerate() {
+                        ga.set(r, 0, y.get(r, 0) * (g.get(r, 0) - dot[s]));
+                    }
+                    self.acc_grad(a, ga);
+                }
+                Op::MaxPoolRows(a) => {
+                    let x = self.nodes[a].value.clone();
+                    let (n, d) = x.shape();
+                    let mut ga = Tensor::zeros(n, d);
+                    for c in 0..d {
+                        let mut best = 0usize;
+                        for r in 1..n {
+                            if x.get(r, c) > x.get(best, c) {
+                                best = r;
+                            }
+                        }
+                        ga.set(best, c, g.get(0, c));
+                    }
+                    self.acc_grad(a, ga);
+                }
+                Op::MeanPoolRows(a) => {
+                    let (n, d) = self.nodes[a].value.shape();
+                    let mut ga = Tensor::zeros(n, d);
+                    for r in 0..n {
+                        for c in 0..d {
+                            ga.set(r, c, g.get(0, c) / n as f32);
+                        }
+                    }
+                    self.acc_grad(a, ga);
+                }
+                Op::SumAll(a) => {
+                    let (n, d) = self.nodes[a].value.shape();
+                    self.acc_grad(a, Tensor::full(n, d, g.item()));
+                }
+                Op::MeanAll(a) => {
+                    let (n, d) = self.nodes[a].value.shape();
+                    let scale = g.item() / (n * d) as f32;
+                    self.acc_grad(a, Tensor::full(n, d, scale));
+                }
+                Op::L2NormalizeRows(a, eps) => {
+                    let x = self.nodes[a].value.clone();
+                    let y = self.nodes[i].value.clone();
+                    let (n, d) = x.shape();
+                    let mut ga = Tensor::zeros(n, d);
+                    for r in 0..n {
+                        let norm =
+                            x.row(r).iter().map(|&t| t * t).sum::<f32>().sqrt().max(eps);
+                        let dot: f32 =
+                            g.row(r).iter().zip(y.row(r)).map(|(&gv, &yv)| gv * yv).sum();
+                        for c in 0..d {
+                            ga.set(r, c, (g.get(r, c) - y.get(r, c) * dot) / norm);
+                        }
+                    }
+                    self.acc_grad(a, ga);
+                }
+                Op::CrossEntropy(a, targets) => {
+                    let x = self.nodes[a].value.clone();
+                    let (n, d) = x.shape();
+                    let scale = g.item() / n as f32;
+                    let mut ga = Tensor::zeros(n, d);
+                    for (r, &t) in targets.iter().enumerate() {
+                        softmax_into(x.row(r), ga.row_mut(r));
+                        for c in 0..d {
+                            let p = ga.get(r, c);
+                            let onehot = if c == t { 1.0 } else { 0.0 };
+                            ga.set(r, c, (p - onehot) * scale);
+                        }
+                    }
+                    self.acc_grad(a, ga);
+                }
+            }
+        }
+    }
+}
+
+/// Numerically stable softmax of `input` written into `out`.
+fn softmax_into(input: &[f32], out: &mut [f32]) {
+    let m = input.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0;
+    for (o, &x) in out.iter_mut().zip(input) {
+        *o = (x - m).exp();
+        sum += *o;
+    }
+    let inv = 1.0 / sum.max(1e-30);
+    for o in out.iter_mut() {
+        *o *= inv;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_backward_matches_manual() {
+        // f = sum(A @ B); df/dA = 1 @ B^T, df/dB = A^T @ 1.
+        let mut t = Tape::new();
+        let a = t.leaf(Tensor::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]));
+        let b = t.leaf(Tensor::from_vec(2, 2, vec![5.0, 6.0, 7.0, 8.0]));
+        let c = t.matmul(a, b);
+        let loss = t.sum_all(c);
+        t.backward(loss);
+        let ga = t.grad(a).unwrap();
+        // 1s @ B^T: each row = [5+6, 7+8] = [11, 15]
+        assert_eq!(ga.data(), &[11.0, 15.0, 11.0, 15.0]);
+        let gb = t.grad(b).unwrap();
+        // A^T @ 1s: rows [1+3, ...] = [[4,4],[6,6]]
+        assert_eq!(gb.data(), &[4.0, 4.0, 6.0, 6.0]);
+    }
+
+    #[test]
+    fn softmax_rows_sums_to_one() {
+        let mut t = Tape::new();
+        let a = t.leaf(Tensor::from_vec(2, 3, vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0]));
+        let s = t.softmax_rows(a);
+        for r in 0..2 {
+            let sum: f32 = t.value(s).row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn segment_softmax_normalises_within_segments() {
+        let mut t = Tape::new();
+        let a = t.leaf(Tensor::from_vec(5, 1, vec![1.0, 2.0, 3.0, 0.5, 0.5]));
+        let seg = Rc::new(vec![0usize, 0, 1, 1, 1]);
+        let s = t.segment_softmax(a, seg);
+        let v = t.value(s);
+        assert!((v.get(0, 0) + v.get(1, 0) - 1.0).abs() < 1e-6);
+        assert!((v.get(2, 0) + v.get(3, 0) + v.get(4, 0) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cross_entropy_perfect_prediction_is_near_zero() {
+        let mut t = Tape::new();
+        let a = t.leaf(Tensor::from_vec(2, 2, vec![20.0, -20.0, -20.0, 20.0]));
+        let loss = t.cross_entropy(a, Rc::new(vec![0, 1]));
+        assert!(t.value(loss).item() < 1e-5);
+    }
+
+    #[test]
+    fn cross_entropy_uniform_is_log_c() {
+        let mut t = Tape::new();
+        let a = t.leaf(Tensor::zeros(3, 4));
+        let loss = t.cross_entropy(a, Rc::new(vec![0, 1, 2]));
+        assert!((t.value(loss).item() - 4.0f32.ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gather_scatter_roundtrip_gradient() {
+        // scatter_add(gather(x, idx), idx) accumulates each row idx-count
+        // times; its gradient w.r.t. x should reflect multiplicity.
+        let mut t = Tape::new();
+        let x = t.leaf(Tensor::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]));
+        let idx = Rc::new(vec![0usize, 0, 2]);
+        let gathered = t.gather_rows(x, idx.clone());
+        let scattered = t.scatter_add_rows(gathered, idx, 3);
+        let loss = t.sum_all(scattered);
+        t.backward(loss);
+        let gx = t.grad(x).unwrap();
+        // Row 0 used twice, row 2 once, row 1 never.
+        assert_eq!(gx.data(), &[2.0, 2.0, 0.0, 0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn one_minus_value_and_gradient() {
+        let mut t = Tape::new();
+        let x = t.leaf(Tensor::from_vec(1, 2, vec![0.25, 0.75]));
+        let y = t.one_minus(x);
+        assert_eq!(t.value(y).data(), &[0.75, 0.25]);
+        let loss = t.sum_all(y);
+        t.backward(loss);
+        assert_eq!(t.grad(x).unwrap().data(), &[-1.0, -1.0]);
+    }
+
+    #[test]
+    fn max_pool_gradient_goes_to_argmax() {
+        let mut t = Tape::new();
+        let x = t.leaf(Tensor::from_vec(3, 2, vec![1.0, 9.0, 5.0, 2.0, 3.0, 4.0]));
+        let p = t.max_pool_rows(x);
+        assert_eq!(t.value(p).data(), &[5.0, 9.0]);
+        let loss = t.sum_all(p);
+        t.backward(loss);
+        assert_eq!(
+            t.grad(x).unwrap().data(),
+            &[0.0, 1.0, 1.0, 0.0, 0.0, 0.0]
+        );
+    }
+}

@@ -1,0 +1,55 @@
+//! Evolution analysis: peek inside the Local Dynamic Graph encoder — which
+//! time slices does the learned read-out attention (Eq. 22) consider
+//! important for different account types?
+//!
+//! Bursty behaviours (ico-wallet funding windows, phishing sweeps) should
+//! concentrate attention, while always-on behaviours (exchanges) spread it.
+//!
+//! ```sh
+//! cargo run --release -p dbg4eth --example evolution_analysis
+//! ```
+
+use dbg4eth::{train_ldg, Dbg4EthConfig};
+use eth_graph::SamplerConfig;
+use eth_sim::{AccountClass, Benchmark, DatasetScale, POSITIVE};
+use gnn::GraphTensors;
+
+fn main() {
+    let bench = Benchmark::generate(
+        DatasetScale::small(),
+        SamplerConfig { top_k: 2000, hops: 2 },
+        11,
+    );
+    let mut cfg = Dbg4EthConfig::default();
+    cfg.epochs = 10;
+
+    println!("learned time-slice attention α_t (Eq. 22), per account type:");
+    println!("(T = {} slices over each account's normalised lifetime)\n", cfg.t_slices);
+    for class in [AccountClass::Exchange, AccountClass::IcoWallet, AccountClass::PhishHack] {
+        let dataset = bench.dataset(class);
+        let graphs: Vec<GraphTensors> = dataset
+            .graphs
+            .iter()
+            .filter(|g| g.label == Some(POSITIVE))
+            .map(|g| GraphTensors::from_subgraph(g, cfg.t_slices))
+            .collect();
+        let refs: Vec<&GraphTensors> = graphs.iter().collect();
+        let trained = train_ldg(&refs, &cfg);
+        // The attention logits are a trained parameter; softmax them.
+        let id = trained
+            .store
+            .find("ldg.time_attn")
+            .expect("attention parameter");
+        let logits = trained.store.value(id);
+        let max = logits.max();
+        let exps: Vec<f32> = logits.data().iter().map(|&x| (x - max).exp()).collect();
+        let total: f32 = exps.iter().sum();
+        print!("{:<12}", class.name());
+        for e in &exps {
+            print!(" {:>6.3}", e / total);
+        }
+        println!();
+    }
+    println!("\nHigher weights on early slices indicate burst-driven classes; near-uniform");
+    println!("weights indicate always-on behaviour. The read-out learned this unsupervised.");
+}

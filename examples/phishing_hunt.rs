@@ -1,0 +1,57 @@
+//! Phishing hunt: the intro's motivating scenario — large-scale
+//! de-anonymization surveillance with limited resources, where *calibrated*
+//! confidence decides which accounts an investigator looks at first.
+//!
+//! Trains DBG4ETH on the phish/hack dataset, then ranks the test accounts
+//! by calibrated phishing probability and prints the triage queue.
+//!
+//! ```sh
+//! cargo run --release -p dbg4eth --example phishing_hunt
+//! ```
+
+use dbg4eth::{run, Dbg4EthConfig};
+use eth_graph::SamplerConfig;
+use eth_sim::{AccountClass, Benchmark, DatasetScale};
+
+fn main() {
+    let bench = Benchmark::generate(
+        DatasetScale::small(),
+        SamplerConfig { top_k: 2000, hops: 2 },
+        21,
+    );
+    let dataset = bench.dataset(AccountClass::PhishHack);
+    println!(
+        "phish/hack dataset: {} graphs, training on 80%...",
+        dataset.graphs.len()
+    );
+    let out = run(dataset, 0.8, &Dbg4EthConfig::default());
+    println!(
+        "test metrics: P {:.1}% R {:.1}% F1 {:.1}% Acc {:.1}%\n",
+        out.metrics.precision, out.metrics.recall, out.metrics.f1, out.metrics.accuracy
+    );
+
+    // Triage queue: rank unseen accounts by calibrated confidence.
+    let mut queue: Vec<(usize, f64, bool)> = out
+        .test_scores
+        .iter()
+        .zip(&out.test_labels)
+        .enumerate()
+        .map(|(i, (&p, &y))| (i, p, y))
+        .collect();
+    queue.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+
+    println!("top-10 triage queue (highest calibrated phishing probability):");
+    println!("{:>5} {:>12} {:>14}", "rank", "P(phish)", "actually phish");
+    for (rank, (_, p, y)) in queue.iter().take(10).enumerate() {
+        println!("{:>5} {:>12.4} {:>14}", rank + 1, p, if *y { "yes" } else { "no" });
+    }
+
+    // Budgeted-investigation quality: precision within the top-k queue.
+    for k in [5usize, 10, 20] {
+        let k = k.min(queue.len());
+        let hits = queue.iter().take(k).filter(|(_, _, y)| *y).count();
+        println!("precision@{k}: {:.1}%", 100.0 * hits as f64 / k as f64);
+    }
+    println!("\nWith limited investigation budget, calibrated probabilities make the");
+    println!("queue ordering trustworthy — the paper's challenge (ii).");
+}

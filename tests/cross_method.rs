@@ -1,0 +1,97 @@
+//! Integration tests across methods (DBG4ETH vs baselines) on a shared tiny
+//! benchmark — the code path behind Table III at smoke-test scale.
+
+use baselines::{run_baseline, Baseline, BaselineConfig};
+use dbg4eth::{run, Dbg4EthConfig};
+use eth_graph::SamplerConfig;
+use eth_sim::{AccountClass, Benchmark, DatasetScale};
+
+fn tiny() -> Benchmark {
+    let scale = DatasetScale {
+        exchange: 14,
+        ico_wallet: 0,
+        mining: 0,
+        phish_hack: 0,
+        bridge: 0,
+        defi: 0,
+    };
+    Benchmark::generate(scale, SamplerConfig { top_k: 15, hops: 2 }, 8)
+}
+
+fn tiny_baseline_config() -> BaselineConfig {
+    let mut cfg = BaselineConfig::default();
+    cfg.train.epochs = 4;
+    cfg.hidden = 16;
+    cfg.t_slices = 4;
+    cfg.embed.walks.walks_per_node = 3;
+    cfg.embed.skipgram.dim = 16;
+    cfg
+}
+
+#[test]
+fn representative_baselines_produce_valid_metrics() {
+    let bench = tiny();
+    let d = bench.dataset(AccountClass::Exchange);
+    let cfg = tiny_baseline_config();
+    // One representative per family keeps the smoke test quick; the full
+    // 18-method sweep runs in `cargo run -p bench --bin table3`.
+    for b in [
+        Baseline::DeepWalk,
+        Baseline::Gcn,
+        Baseline::GcnNoFeatures,
+        Baseline::Ethident,
+        Baseline::TegDetector,
+        Baseline::Bert4Eth,
+    ] {
+        let m = run_baseline(b, d, 0.7, &cfg);
+        assert!(m.precision >= 0.0 && m.precision <= 100.0, "{}: {m:?}", b.name());
+        assert!(m.f1 <= 100.0);
+        assert!(m.accuracy > 0.0, "{} got 0 accuracy", b.name());
+    }
+}
+
+#[test]
+fn node_features_help_the_gcn_baseline() {
+    // The Table III shape: GCN with deep features ≥ GCN without, on a
+    // dataset whose classes differ mostly in feature scales.
+    let bench = tiny();
+    let d = bench.dataset(AccountClass::Exchange);
+    let mut cfg = tiny_baseline_config();
+    cfg.train.epochs = 8;
+    let with = run_baseline(Baseline::Gcn, d, 0.7, &cfg);
+    let without = run_baseline(Baseline::GcnNoFeatures, d, 0.7, &cfg);
+    assert!(
+        with.f1 + 1e-9 >= without.f1,
+        "features hurt GCN: with {:.2} vs without {:.2}",
+        with.f1,
+        without.f1
+    );
+}
+
+#[test]
+fn dbg4eth_is_competitive_with_single_branch_ablations() {
+    let bench = tiny();
+    let d = bench.dataset(AccountClass::Exchange);
+    let mut cfg = Dbg4EthConfig::fast();
+    cfg.epochs = 6;
+    cfg.gsg.hidden = 16;
+    cfg.gsg.d_out = 8;
+    cfg.ldg.hidden = 16;
+    cfg.ldg.d_out = 8;
+    cfg.ldg.pool_clusters = [6, 3, 1];
+    cfg.t_slices = 4;
+    let full = run(d, 0.7, &cfg);
+
+    let mut wo_ldg = cfg;
+    wo_ldg.use_ldg = false;
+    let gsg_only = run(d, 0.7, &wo_ldg);
+
+    // At smoke scale exact ordering is noisy; require the combination not
+    // to collapse relative to its own branch.
+    assert!(
+        full.metrics.f1 + 25.0 >= gsg_only.metrics.f1,
+        "full {:.2} collapsed vs GSG-only {:.2}",
+        full.metrics.f1,
+        gsg_only.metrics.f1
+    );
+}

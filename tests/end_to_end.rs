@@ -1,0 +1,101 @@
+//! Integration test spanning the whole stack: world generation →
+//! transaction graph → top-K sampling → deep features → double-graph
+//! encoders → calibration → classification.
+
+use dbg4eth::{run, Dbg4EthConfig};
+use eth_graph::{sample_subgraph, SamplerConfig, TxGraph};
+use eth_sim::{AccountClass, Benchmark, DatasetScale, World, WorldConfig, POSITIVE};
+use gnn::GraphTensors;
+
+fn tiny_scale() -> DatasetScale {
+    DatasetScale {
+        exchange: 12,
+        ico_wallet: 0,
+        mining: 0,
+        phish_hack: 12,
+        bridge: 0,
+        defi: 0,
+    }
+}
+
+fn tiny_config() -> Dbg4EthConfig {
+    let mut cfg = Dbg4EthConfig::fast();
+    cfg.epochs = 5;
+    cfg.gsg.hidden = 16;
+    cfg.gsg.d_out = 8;
+    cfg.ldg.hidden = 16;
+    cfg.ldg.d_out = 8;
+    cfg.ldg.pool_clusters = [6, 3, 1];
+    cfg.t_slices = 4;
+    cfg
+}
+
+#[test]
+fn world_to_subgraph_to_tensors_round_trip() {
+    let world = World::generate(
+        WorldConfig { n_background: 400, seed: 9, ..Default::default() },
+        &[(AccountClass::Exchange, 3)],
+    );
+    let graph = TxGraph::build(world.kinds.clone(), world.txs.clone());
+    for center in world.centers_of(AccountClass::Exchange) {
+        let sg = sample_subgraph(&graph, center, SamplerConfig::default(), Some(POSITIVE));
+        assert_eq!(sg.nodes[0], center);
+        assert!(sg.n() > 5, "exchange subgraph too small: {}", sg.n());
+        // Feature extraction agrees with graph size.
+        let x = features::node_features(&sg);
+        assert_eq!(x.rows(), sg.n());
+        assert_eq!(x.cols(), features::N_FEATURES);
+        assert!(x.all_finite());
+        // Lowering produces consistent tensors.
+        let t = GraphTensors::from_subgraph(&sg, 6);
+        assert_eq!(t.n, sg.n());
+        assert_eq!(t.slice_adj.len(), 6);
+        assert_eq!(t.gsg_adj.shape(), (sg.n(), sg.n()));
+        // Value conservation: sum of slice edge mass equals merged mass.
+        let merged_total: f64 = sg.merged_edges().iter().map(|e| e.total_value).sum();
+        let slices_total: f64 = sg
+            .time_slices(6)
+            .iter()
+            .flat_map(|s| s.edges.iter().map(|e| e.2))
+            .sum();
+        assert!((merged_total - slices_total).abs() < 1e-6 * merged_total.max(1.0));
+    }
+}
+
+#[test]
+fn pipeline_beats_chance_on_separable_data() {
+    let bench = Benchmark::generate(tiny_scale(), SamplerConfig { top_k: 15, hops: 2 }, 4);
+    let out = run(bench.dataset(AccountClass::Exchange), 0.7, &tiny_config());
+    // With 12+12 graphs the tiny config will not be perfect, but it must be
+    // far above coin-flipping.
+    assert!(
+        out.metrics.accuracy > 60.0,
+        "accuracy barely above chance: {:?}",
+        out.metrics
+    );
+    assert!(out.test_scores.iter().all(|p| (0.0..=1.0).contains(p)));
+}
+
+#[test]
+fn calibration_diagnostics_are_consistent() {
+    let bench = Benchmark::generate(tiny_scale(), SamplerConfig { top_k: 15, hops: 2 }, 5);
+    let out = run(bench.dataset(AccountClass::PhishHack), 0.7, &tiny_config());
+    for diag in [out.gsg.as_ref().unwrap(), out.ldg.as_ref().unwrap()] {
+        assert_eq!(diag.weights.len(), 6);
+        let sum: f64 = diag.weights.iter().map(|(_, w)| w).sum();
+        assert!((sum - 1.0).abs() < 1e-9, "weights sum to {sum}");
+        assert!(diag.base_ece >= 0.0 && diag.calibrated_ece >= 0.0);
+    }
+}
+
+#[test]
+fn branch_features_match_split_sizes() {
+    let bench = Benchmark::generate(tiny_scale(), SamplerConfig { top_k: 15, hops: 2 }, 6);
+    let dataset = bench.dataset(AccountClass::Exchange);
+    let (train_idx, test_idx) = dataset.split(0.7, tiny_config().seed);
+    let out = run(dataset, 0.7, &tiny_config());
+    // holdout_frac = 0 ⇒ classifier features cover the whole train split.
+    assert_eq!(out.train_features.len(), train_idx.len());
+    assert_eq!(out.test_features.len(), test_idx.len());
+    assert_eq!(out.test_scores.len(), test_idx.len());
+}

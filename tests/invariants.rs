@@ -1,0 +1,152 @@
+//! Property-based tests of cross-crate invariants with proptest: random
+//! transaction sets must always produce valid graphs, features, slices and
+//! calibrated probabilities.
+
+use calib::{ece, AdaptiveCalibrator, Calibrator, CalibMethod, ConfidenceScaler, MethodSubset};
+use eth_graph::{sample_subgraph, AccountKind, SamplerConfig, Subgraph, TxGraph, TxRecord};
+use eth_graph::{LocalTx, MergedEdge};
+use proptest::prelude::*;
+
+fn arbitrary_txs(n_accounts: usize) -> impl Strategy<Value = Vec<TxRecord>> {
+    prop::collection::vec(
+        (
+            0..n_accounts,
+            0..n_accounts,
+            0.001f64..100.0,
+            0u64..1_000_000,
+            any::<bool>(),
+        ),
+        1..60,
+    )
+    .prop_map(|raw| {
+        raw.into_iter()
+            .map(|(from, to, value, timestamp, submitted)| TxRecord {
+                from,
+                to,
+                value,
+                timestamp,
+                gas_price: 2e-8,
+                gas_used: 21_000.0,
+                contract_call: false,
+                submitted,
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Sampling never leaves the account universe, always contains the
+    /// centre first, and collects only internal transactions.
+    #[test]
+    fn sampling_invariants(txs in arbitrary_txs(12), center in 0usize..12, k in 1usize..6) {
+        let graph = TxGraph::build(vec![AccountKind::Eoa; 12], txs);
+        let sg = sample_subgraph(&graph, center, SamplerConfig { top_k: k, hops: 2 }, Some(1));
+        prop_assert_eq!(sg.nodes[0], center);
+        let mut seen = std::collections::HashSet::new();
+        for &n in &sg.nodes {
+            prop_assert!(n < 12);
+            prop_assert!(seen.insert(n), "duplicate node {}", n);
+        }
+        for t in &sg.txs {
+            prop_assert!(t.src < sg.n() && t.dst < sg.n());
+        }
+    }
+
+    /// Merged-edge totals equal the sum of the underlying transactions and
+    /// time slices preserve total value for any slice count.
+    #[test]
+    fn merging_and_slicing_preserve_value(txs in arbitrary_txs(8), t_slices in 1usize..12) {
+        let graph = TxGraph::build(vec![AccountKind::Eoa; 8], txs.clone());
+        let submitted: f64 = txs.iter().filter(|t| t.submitted).map(|t| t.value).sum();
+        let sg = sample_subgraph(&graph, 0, SamplerConfig { top_k: 100, hops: 8 }, None);
+        let merged: f64 = sg.merged_edges().iter().map(|e: &MergedEdge| e.total_value).sum();
+        let sliced: f64 = sg
+            .time_slices(t_slices)
+            .iter()
+            .flat_map(|s| s.edges.iter().map(|e| e.2))
+            .sum();
+        prop_assert!((merged - sliced).abs() <= 1e-9 * merged.abs().max(1.0));
+        // Everything reachable from node 0 is in the subgraph, so the
+        // subgraph's merged mass can never exceed the world's.
+        prop_assert!(merged <= submitted + 1e-9);
+    }
+
+    /// Deep features are finite and non-negative for any transaction set.
+    #[test]
+    fn features_are_finite(txs in arbitrary_txs(8)) {
+        let graph = TxGraph::build(vec![AccountKind::Eoa; 8], txs);
+        let sg = sample_subgraph(&graph, 0, SamplerConfig { top_k: 50, hops: 3 }, None);
+        let raw = features::raw_features(&sg);
+        prop_assert!(raw.all_finite());
+        prop_assert!(raw.data().iter().all(|&v| v >= 0.0));
+        let x = features::node_features(&sg);
+        prop_assert!(x.all_finite());
+    }
+
+    /// Every calibrator maps arbitrary probabilities into [0, 1] and the
+    /// adaptive ensemble's weights always sum to 1.
+    #[test]
+    fn calibration_is_well_behaved(
+        raw in prop::collection::vec((0.01f64..0.99, any::<bool>()), 12..80),
+        query in 0.0f64..1.0,
+    ) {
+        let scores: Vec<f64> = raw.iter().map(|(s, _)| *s).collect();
+        let labels: Vec<bool> = raw.iter().map(|(_, l)| *l).collect();
+        for method in CalibMethod::ALL {
+            let cal = Calibrator::fit(method, &scores, &labels);
+            let q = cal.apply(query);
+            prop_assert!((0.0..=1.0).contains(&q), "{}({query}) = {q}", method.name());
+        }
+        let ada = AdaptiveCalibrator::fit(&scores, &labels, MethodSubset::All, true);
+        let sum: f64 = ada.method_weights().iter().map(|(_, w)| w).sum();
+        prop_assert!((sum - 1.0).abs() < 1e-6);
+        prop_assert!((0.0..=1.0).contains(&ada.calibrate(query)));
+        prop_assert!(ece(&ada.calibrate_all(&scores), &labels, 10) >= 0.0);
+    }
+
+    /// Confidence scaling is monotone and bounded for any raw scores.
+    #[test]
+    fn confidence_scaler_monotone(raw in prop::collection::vec(-100.0f64..100.0, 2..50)) {
+        let scaler = ConfidenceScaler::fit(&raw);
+        let mut sorted = raw.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let scaled: Vec<f64> = sorted.iter().map(|&x| scaler.scale(x)).collect();
+        for w in scaled.windows(2) {
+            prop_assert!(w[1] >= w[0] - 1e-12);
+        }
+        prop_assert!(scaled.iter().all(|p| (0.0..=1.0).contains(p)));
+    }
+
+    /// Subgraph time slicing puts each transaction in exactly one slice.
+    #[test]
+    fn slices_partition_transactions(
+        stamps in prop::collection::vec(0u64..10_000, 1..40),
+        t_slices in 1usize..8,
+    ) {
+        let txs: Vec<LocalTx> = stamps
+            .iter()
+            .map(|&ts| LocalTx {
+                src: 0,
+                dst: 1,
+                value: 1.0,
+                timestamp: ts,
+                fee: 0.0,
+                contract_call: false,
+            })
+            .collect();
+        let sg = Subgraph {
+            nodes: vec![0, 1],
+            kinds: vec![AccountKind::Eoa; 2],
+            txs,
+            label: None,
+        };
+        let total: f64 = sg
+            .time_slices(t_slices)
+            .iter()
+            .flat_map(|s| s.edges.iter().map(|e| e.2))
+            .sum();
+        prop_assert!((total - stamps.len() as f64).abs() < 1e-9);
+    }
+}
