@@ -4,8 +4,7 @@
 
 use crate::harness::LogisticRegression;
 use embed::{
-    mean_pool, node2vec_walks, skipgram, trans2vec_walks, uniform_walks, SkipGramConfig,
-    WalkConfig,
+    mean_pool, node2vec_walks, skipgram, trans2vec_walks, uniform_walks, SkipGramConfig, WalkConfig,
 };
 use eth_graph::Subgraph;
 use eth_sim::{GraphDataset, POSITIVE};
@@ -73,16 +72,9 @@ pub fn run_embedding_baseline(
     train_frac: f64,
     config: &EmbedConfig,
 ) -> (Vec<f64>, Vec<bool>) {
-    let embeddings: Vec<Vec<f64>> = dataset
-        .graphs
-        .iter()
-        .map(|g| embed_graph(kind, g, config))
-        .collect();
-    let labels: Vec<bool> = dataset
-        .graphs
-        .iter()
-        .map(|g| g.label == Some(POSITIVE))
-        .collect();
+    let embeddings: Vec<Vec<f64>> =
+        dataset.graphs.iter().map(|g| embed_graph(kind, g, config)).collect();
+    let labels: Vec<bool> = dataset.graphs.iter().map(|g| g.label == Some(POSITIVE)).collect();
     let (train_idx, test_idx) = dataset.split(train_frac, config.seed);
     let train_x: Vec<Vec<f64>> = train_idx.iter().map(|&i| embeddings[i].clone()).collect();
     let train_y: Vec<bool> = train_idx.iter().map(|&i| labels[i]).collect();

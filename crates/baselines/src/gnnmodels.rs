@@ -65,13 +65,7 @@ impl GcnBaseline {
 }
 
 impl GraphModel for GcnBaseline {
-    fn forward(
-        &self,
-        tape: &mut Tape,
-        ctx: &mut Ctx,
-        store: &ParamStore,
-        g: &GraphTensors,
-    ) -> Var {
+    fn forward(&self, tape: &mut Tape, ctx: &mut Ctx, store: &ParamStore, g: &GraphTensors) -> Var {
         let adj = tape.leaf(g.gsg_adj.clone());
         let x = tape.leaf(g.x.clone());
         let h = self.l1.forward(tape, ctx, store, adj, x);
@@ -96,7 +90,7 @@ impl GatBaseline {
         hidden: usize,
         heads: usize,
     ) -> Self {
-        assert!(hidden % heads == 0);
+        assert!(hidden.is_multiple_of(heads));
         Self {
             proj: Linear::new(store, rng, "gat.proj", d_in, hidden, Activation::None),
             l1: GatLayer::new(store, rng, "gat.l1", hidden, hidden / heads, heads),
@@ -107,13 +101,7 @@ impl GatBaseline {
 }
 
 impl GraphModel for GatBaseline {
-    fn forward(
-        &self,
-        tape: &mut Tape,
-        ctx: &mut Ctx,
-        store: &ParamStore,
-        g: &GraphTensors,
-    ) -> Var {
+    fn forward(&self, tape: &mut Tape, ctx: &mut Ctx, store: &ParamStore, g: &GraphTensors) -> Var {
         let x = tape.leaf(g.x.clone());
         let h = self.proj.forward(tape, ctx, store, x);
         let h = self.l1.forward(tape, ctx, store, h, None, &g.src, &g.dst, g.n);
@@ -140,13 +128,7 @@ impl GinBaseline {
 }
 
 impl GraphModel for GinBaseline {
-    fn forward(
-        &self,
-        tape: &mut Tape,
-        ctx: &mut Ctx,
-        store: &ParamStore,
-        g: &GraphTensors,
-    ) -> Var {
+    fn forward(&self, tape: &mut Tape, ctx: &mut Ctx, store: &ParamStore, g: &GraphTensors) -> Var {
         let adj = tape.leaf(binary_adjacency(g));
         let x = tape.leaf(g.x.clone());
         let h = self.l1.forward(tape, ctx, store, adj, x);
@@ -173,13 +155,7 @@ impl SageBaseline {
 }
 
 impl GraphModel for SageBaseline {
-    fn forward(
-        &self,
-        tape: &mut Tape,
-        ctx: &mut Ctx,
-        store: &ParamStore,
-        g: &GraphTensors,
-    ) -> Var {
+    fn forward(&self, tape: &mut Tape, ctx: &mut Ctx, store: &ParamStore, g: &GraphTensors) -> Var {
         let adj = tape.leaf(mean_adjacency(g));
         let x = tape.leaf(g.x.clone());
         let h = self.l1.forward(tape, ctx, store, adj, x);
@@ -208,13 +184,7 @@ impl AppnpBaseline {
 }
 
 impl GraphModel for AppnpBaseline {
-    fn forward(
-        &self,
-        tape: &mut Tape,
-        ctx: &mut Ctx,
-        store: &ParamStore,
-        g: &GraphTensors,
-    ) -> Var {
+    fn forward(&self, tape: &mut Tape, ctx: &mut Ctx, store: &ParamStore, g: &GraphTensors) -> Var {
         let x = tape.leaf(g.x.clone());
         let z0 = self.mlp.forward(tape, ctx, store, x);
         let adj = tape.leaf(g.gsg_adj.clone());
@@ -242,13 +212,7 @@ impl I2BgnnBaseline {
 }
 
 impl GraphModel for I2BgnnBaseline {
-    fn forward(
-        &self,
-        tape: &mut Tape,
-        ctx: &mut Ctx,
-        store: &ParamStore,
-        g: &GraphTensors,
-    ) -> Var {
+    fn forward(&self, tape: &mut Tape, ctx: &mut Ctx, store: &ParamStore, g: &GraphTensors) -> Var {
         let adj = tape.leaf(g.gsg_adj.clone());
         let x = tape.leaf(g.x.clone());
         let h = self.l1.forward(tape, ctx, store, adj, x);
@@ -296,10 +260,7 @@ mod tests {
             }],
             label: Some(0),
         };
-        (
-            GraphTensors::from_subgraph(&star, 3),
-            GraphTensors::from_subgraph(&chain, 3),
-        )
+        (GraphTensors::from_subgraph(&star, 3), GraphTensors::from_subgraph(&chain, 3))
     }
 
     fn fits_toy<M: GraphModel>(build: impl Fn(&mut ParamStore, &mut StdRng) -> M) {
@@ -315,10 +276,7 @@ mod tests {
             TrainConfig { epochs: 120, batch_size: 2, lr: 0.02, seed: 1 },
         );
         let scores = predict_model(&model, &store, &graphs);
-        assert!(
-            scores[0] > 0.7 && scores[1] < 0.3,
-            "model failed to fit toy pair: {scores:?}"
-        );
+        assert!(scores[0] > 0.7 && scores[1] < 0.3, "model failed to fit toy pair: {scores:?}");
     }
 
     #[test]

@@ -6,13 +6,12 @@ use nn::metrics::Metrics;
 use nn::{Adam, Ctx, ParamStore};
 use rand::rngs::StdRng;
 use rand::{seq::SliceRandom, SeedableRng};
-use std::rc::Rc;
+use std::sync::Arc;
 use tensor::{Tape, Var};
 
 /// A model that maps one lowered subgraph to class logits `(1, 2)`.
 pub trait GraphModel {
-    fn forward(&self, tape: &mut Tape, ctx: &mut Ctx, store: &ParamStore, g: &GraphTensors)
-        -> Var;
+    fn forward(&self, tape: &mut Tape, ctx: &mut Ctx, store: &ParamStore, g: &GraphTensors) -> Var;
 }
 
 /// Baseline training hyper-parameters.
@@ -56,7 +55,7 @@ pub fn train_model<M: GraphModel>(
                 });
                 targets.push(graphs[gi].label.expect("labelled graph"));
             }
-            let loss = tape.cross_entropy(logits.expect("non-empty batch"), Rc::new(targets));
+            let loss = tape.cross_entropy(logits.expect("non-empty batch"), Arc::new(targets));
             tape.backward(loss);
             ctx.accumulate_grads(&tape, store);
             store.clip_grad_norm(5.0);
@@ -111,11 +110,7 @@ impl LoweredDataset {
                 }
             })
             .collect();
-        let labels = dataset
-            .graphs
-            .iter()
-            .map(|g| g.label == Some(POSITIVE))
-            .collect();
+        let labels = dataset.graphs.iter().map(|g| g.label == Some(POSITIVE)).collect();
         let (train_idx, test_idx) = dataset.split(train_frac, seed);
         Self { tensors, labels, train_idx, test_idx }
     }
@@ -195,11 +190,7 @@ mod tests {
         let x: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64 / 10.0 - 2.0]).collect();
         let y: Vec<bool> = (0..40).map(|i| i >= 20).collect();
         let lr = LogisticRegression::fit(&x, &y, 500, 0.5, 1e-4);
-        let correct = x
-            .iter()
-            .zip(&y)
-            .filter(|(r, l)| (lr.predict_proba(r) >= 0.5) == **l)
-            .count();
+        let correct = x.iter().zip(&y).filter(|(r, l)| (lr.predict_proba(r) >= 0.5) == **l).count();
         assert!(correct >= 38, "acc {correct}/40");
     }
 

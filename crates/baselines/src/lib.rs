@@ -29,6 +29,6 @@ pub use harness::{
     predict_model, score_metrics, train_model, GraphModel, LogisticRegression, LoweredDataset,
     TrainConfig,
 };
-pub use runner::{baseline_scores, run_baseline, Baseline, BaselineConfig};
+pub use runner::{baseline_scores, run_baseline, run_baselines, Baseline, BaselineConfig};
 pub use special::{EthidentBaseline, TegDetectorBaseline, TsgnBaseline};
 pub use transformer::{AttentionBlock, Bert4EthBaseline, GritBaseline};

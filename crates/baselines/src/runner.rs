@@ -4,7 +4,9 @@ use crate::embedbl::{run_embedding_baseline, EmbedConfig, EmbedKind};
 use crate::gnnmodels::{
     AppnpBaseline, GatBaseline, GcnBaseline, GinBaseline, I2BgnnBaseline, SageBaseline,
 };
-use crate::harness::{predict_model, score_metrics, train_model, GraphModel, LoweredDataset, TrainConfig};
+use crate::harness::{
+    predict_model, score_metrics, train_model, GraphModel, LoweredDataset, TrainConfig,
+};
 use crate::special::{EthidentBaseline, TegDetectorBaseline, TsgnBaseline};
 use crate::transformer::{Bert4EthBaseline, GritBaseline};
 use eth_sim::GraphDataset;
@@ -86,7 +88,9 @@ impl Baseline {
     fn uses_node_features(self) -> bool {
         !matches!(
             self,
-            Baseline::GcnNoFeatures | Baseline::GatNoFeatures | Baseline::GinNoFeatures
+            Baseline::GcnNoFeatures
+                | Baseline::GatNoFeatures
+                | Baseline::GinNoFeatures
                 | Baseline::I2BgnnNoFeatures
         )
     }
@@ -122,6 +126,19 @@ fn run_gnn_baseline<M: GraphModel>(
     train_model(&model, &mut store, &train_graphs, train);
     let scores = predict_model(&model, &store, &lowered.test_graphs());
     (scores, lowered.test_labels())
+}
+
+/// Run several baselines concurrently; returns metrics in the order of
+/// `baselines`. Every baseline seeds its own generators from
+/// `config.train.seed`, so the results match running them one by one.
+pub fn run_baselines(
+    baselines: &[Baseline],
+    dataset: &GraphDataset,
+    train_frac: f64,
+    config: &BaselineConfig,
+    threads: usize,
+) -> Vec<(Baseline, Metrics)> {
+    par::par_map(threads, baselines, |&b| (b, run_baseline(b, dataset, train_frac, config)))
 }
 
 /// Run one baseline; returns Table III-style percentage metrics.
@@ -202,7 +219,8 @@ pub fn baseline_scores(
                     run_gnn_baseline(m, store, &lowered, config.train)
                 }
                 Baseline::TegDetector => {
-                    let m = TegDetectorBaseline::new(&mut store, &mut rng, d_in, h, config.t_slices);
+                    let m =
+                        TegDetectorBaseline::new(&mut store, &mut rng, d_in, h, config.t_slices);
                     run_gnn_baseline(m, store, &lowered, config.train)
                 }
                 Baseline::Bert4Eth => {
@@ -241,12 +259,7 @@ mod tests {
         config.embed.skipgram.dim = 8;
         for b in Baseline::ALL {
             let m = run_baseline(b, d, 0.75, &config);
-            assert!(
-                (0.0..=100.0).contains(&m.f1),
-                "{}: f1 out of range: {:?}",
-                b.name(),
-                m
-            );
+            assert!((0.0..=100.0).contains(&m.f1), "{}: f1 out of range: {:?}", b.name(), m);
         }
     }
 }

@@ -66,13 +66,7 @@ impl TsgnBaseline {
 }
 
 impl GraphModel for TsgnBaseline {
-    fn forward(
-        &self,
-        tape: &mut Tape,
-        ctx: &mut Ctx,
-        store: &ParamStore,
-        g: &GraphTensors,
-    ) -> Var {
+    fn forward(&self, tape: &mut Tape, ctx: &mut Ctx, store: &ParamStore, g: &GraphTensors) -> Var {
         let (adj_t, feat_t) = Self::line_graph(g);
         let adj = tape.leaf(adj_t);
         let x = tape.leaf(feat_t);
@@ -98,13 +92,7 @@ impl EthidentBaseline {
 }
 
 impl GraphModel for EthidentBaseline {
-    fn forward(
-        &self,
-        tape: &mut Tape,
-        ctx: &mut Ctx,
-        store: &ParamStore,
-        g: &GraphTensors,
-    ) -> Var {
+    fn forward(&self, tape: &mut Tape, ctx: &mut Ctx, store: &ParamStore, g: &GraphTensors) -> Var {
         self.encoder.forward(tape, ctx, store, g).logits
     }
 }
@@ -140,13 +128,7 @@ impl TegDetectorBaseline {
 }
 
 impl GraphModel for TegDetectorBaseline {
-    fn forward(
-        &self,
-        tape: &mut Tape,
-        ctx: &mut Ctx,
-        store: &ParamStore,
-        g: &GraphTensors,
-    ) -> Var {
+    fn forward(&self, tape: &mut Tape, ctx: &mut Ctx, store: &ParamStore, g: &GraphTensors) -> Var {
         let x = tape.leaf(g.x.clone());
         let node_h = self.input_proj.forward(tape, ctx, store, x);
         // Per-slice graph embedding: GCN then mean pool, evolved by a GRU
@@ -207,7 +189,12 @@ mod tests {
     fn fits<M: GraphModel>(model: M, mut store: ParamStore) {
         let (pos, neg) = (toy(1, true), toy(0, false));
         let graphs = vec![&pos, &neg];
-        train_model(&model, &mut store, &graphs, TrainConfig { epochs: 120, batch_size: 2, lr: 0.02, seed: 5 });
+        train_model(
+            &model,
+            &mut store,
+            &graphs,
+            TrainConfig { epochs: 120, batch_size: 2, lr: 0.02, seed: 5 },
+        );
         let s = predict_model(&model, &store, &graphs);
         assert!(s[0] > 0.7 && s[1] < 0.3, "{s:?}");
     }

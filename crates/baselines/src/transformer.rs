@@ -86,13 +86,7 @@ impl GritBaseline {
 }
 
 impl GraphModel for GritBaseline {
-    fn forward(
-        &self,
-        tape: &mut Tape,
-        ctx: &mut Ctx,
-        store: &ParamStore,
-        g: &GraphTensors,
-    ) -> Var {
+    fn forward(&self, tape: &mut Tape, ctx: &mut Ctx, store: &ParamStore, g: &GraphTensors) -> Var {
         // Degree encoding appended to node features.
         let mut deg = vec![0.0f32; g.n];
         for (u, v) in g.real_edges() {
@@ -158,13 +152,7 @@ impl Bert4EthBaseline {
 }
 
 impl GraphModel for Bert4EthBaseline {
-    fn forward(
-        &self,
-        tape: &mut Tape,
-        ctx: &mut Ctx,
-        store: &ParamStore,
-        g: &GraphTensors,
-    ) -> Var {
+    fn forward(&self, tape: &mut Tape, ctx: &mut Ctx, store: &ParamStore, g: &GraphTensors) -> Var {
         let seq = tape.leaf(g.center_seq.clone());
         let mut h = self.embed.forward(tape, ctx, store, seq);
         let pe = tape.leaf(positional_encoding(g.center_seq.rows(), self.hidden));
@@ -221,7 +209,12 @@ mod tests {
         let model = GritBaseline::new(&mut store, &mut rng, 15, 16);
         let (pos, neg) = (toy(1, true), toy(0, false));
         let graphs = vec![&pos, &neg];
-        train_model(&model, &mut store, &graphs, TrainConfig { epochs: 100, batch_size: 2, lr: 0.02, seed: 2 });
+        train_model(
+            &model,
+            &mut store,
+            &graphs,
+            TrainConfig { epochs: 100, batch_size: 2, lr: 0.02, seed: 2 },
+        );
         let s = predict_model(&model, &store, &graphs);
         assert!(s[0] > 0.7 && s[1] < 0.3, "{s:?}");
     }
@@ -233,7 +226,12 @@ mod tests {
         let model = Bert4EthBaseline::new(&mut store, &mut rng, 16);
         let (pos, neg) = (toy(1, true), toy(0, false));
         let graphs = vec![&pos, &neg];
-        train_model(&model, &mut store, &graphs, TrainConfig { epochs: 100, batch_size: 2, lr: 0.02, seed: 3 });
+        train_model(
+            &model,
+            &mut store,
+            &graphs,
+            TrainConfig { epochs: 100, batch_size: 2, lr: 0.02, seed: 3 },
+        );
         let s = predict_model(&model, &store, &graphs);
         assert!(s[0] > 0.7 && s[1] < 0.3, "{s:?}");
     }

@@ -16,7 +16,7 @@ use gnn::{augment, AugmentConfig, GraphTensors, GsgEncoder, LdgEncoder};
 use nn::{Ctx, ParamStore};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::rc::Rc;
+use std::sync::Arc;
 use tensor::Tape;
 
 fn small_world() -> (World, TxGraph) {
@@ -76,7 +76,7 @@ fn bench_gsg_step(c: &mut Criterion) {
             let mut tape = Tape::new();
             let mut ctx = Ctx::new(&store);
             let out = enc.forward(&mut tape, &mut ctx, &store, &g);
-            let loss = tape.cross_entropy(out.logits, Rc::new(vec![1]));
+            let loss = tape.cross_entropy(out.logits, Arc::new(vec![1]));
             tape.backward(loss);
             ctx.accumulate_grads(&tape, &mut store);
             black_box(tape.value(loss).item())
@@ -100,7 +100,7 @@ fn bench_ldg_step(c: &mut Criterion) {
             let mut tape = Tape::new();
             let mut ctx = Ctx::new(&store);
             let out = enc.forward(&mut tape, &mut ctx, &store, &g);
-            let loss = tape.cross_entropy(out.logits, Rc::new(vec![1]));
+            let loss = tape.cross_entropy(out.logits, Arc::new(vec![1]));
             tape.backward(loss);
             ctx.accumulate_grads(&tape, &mut store);
             black_box(tape.value(loss).item())
@@ -140,9 +140,8 @@ fn bench_calibration(c: &mut Criterion) {
 
 /// Fig. 7 kernel: LightGBM-style GBDT fit on calibrated pairs.
 fn bench_gbdt(c: &mut Criterion) {
-    let x: Vec<Vec<f64>> = (0..200)
-        .map(|i| vec![(i % 17) as f64 / 17.0, (i % 23) as f64 / 23.0])
-        .collect();
+    let x: Vec<Vec<f64>> =
+        (0..200).map(|i| vec![(i % 17) as f64 / 17.0, (i % 23) as f64 / 23.0]).collect();
     let y: Vec<bool> = (0..200).map(|i| (i % 17) > 8).collect();
     c.bench_function("fig7/lightgbm_fit", |b| {
         b.iter(|| black_box(boost::Gbdt::fit(&x, &y, boost::GbdtConfig::lightgbm())))
@@ -170,11 +169,7 @@ fn bench_generation(c: &mut Criterion) {
                 bridge: 0,
                 defi: 0,
             };
-            black_box(Benchmark::generate(
-                scale,
-                SamplerConfig { top_k: 50, hops: 2 },
-                9,
-            ))
+            black_box(Benchmark::generate(scale, SamplerConfig { top_k: 50, hops: 2 }, 9))
         })
     });
 }

@@ -5,9 +5,9 @@
 //! Three conditions on the phish/hack dataset:
 //!  1. clean       — train clean, test clean (the paper's setting),
 //!  2. surprise    — train clean, test mixed (criminals adopt mixers after
-//!                   the model is deployed),
+//!     the model is deployed),
 //!  3. adapted     — train mixed, test mixed (the model sees mixer
-//!                   behaviour during training).
+//!     behaviour during training).
 
 use dbg4eth::run;
 use eth_sim::{obfuscate_dataset, AccountClass, GraphDataset, MixerConfig};
@@ -19,10 +19,8 @@ fn main() {
     let clean = bench.dataset(AccountClass::PhishHack);
 
     let mixer = MixerConfig { fraction: 0.6, ..Default::default() };
-    let mixed = GraphDataset {
-        class: clean.class,
-        graphs: obfuscate_dataset(&clean.graphs, mixer),
-    };
+    let mixed =
+        GraphDataset { class: clean.class, graphs: obfuscate_dataset(&clean.graphs, mixer) };
 
     println!("\ncondition 1: clean train / clean test");
     let base = run(clean, 0.8, &cfg);
@@ -37,13 +35,7 @@ fn main() {
         .graphs
         .iter()
         .enumerate()
-        .map(|(i, g)| {
-            if train_idx.contains(&i) {
-                g.clone()
-            } else {
-                mixed.graphs[i].clone()
-            }
-        })
+        .map(|(i, g)| if train_idx.contains(&i) { g.clone() } else { mixed.graphs[i].clone() })
         .collect();
     let surprise = GraphDataset { class: clean.class, graphs: surprise_graphs };
     let s = run(&surprise, 0.8, &cfg);
@@ -53,8 +45,10 @@ fn main() {
     let a = run(&mixed, 0.8, &cfg);
     bench::print_row("DBG4ETH (adapted)", &a.metrics, None);
 
-    println!("\nshape: clean {:.2} ≥ adapted {:.2} ≥ surprise {:.2} — mixers hurt, and",
-        base.metrics.f1, a.metrics.f1, s.metrics.f1);
+    println!(
+        "\nshape: clean {:.2} ≥ adapted {:.2} ≥ surprise {:.2} — mixers hurt, and",
+        base.metrics.f1, a.metrics.f1, s.metrics.f1
+    );
     println!("retraining on mixed data recovers part of the loss. This quantifies the");
     println!("open problem the paper lists as future work.");
 }

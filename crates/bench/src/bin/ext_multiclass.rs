@@ -32,6 +32,10 @@ fn main() {
             println!("{:>8.1}", result.per_class_f1[c]);
         }
     }
-    println!("\nmacro-F1 {:.2}%  accuracy {:.2}%  (7-way chance ≈ {:.1}%)",
-        result.macro_f1, result.accuracy, 100.0 / 7.0);
+    println!(
+        "\nmacro-F1 {:.2}%  accuracy {:.2}%  (7-way chance ≈ {:.1}%)",
+        result.macro_f1,
+        result.accuracy,
+        100.0 / 7.0
+    );
 }

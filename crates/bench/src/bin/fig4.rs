@@ -39,6 +39,8 @@ fn main() {
     // paper's reading of Fig. 4 is that no feature is fully redundant.
     let mut perfect = 0;
     let (n, _) = corr.shape();
+    // `a`/`b` index the correlation matrix; the name lookup is incidental.
+    #[allow(clippy::needless_range_loop)]
     for a in 0..n {
         for b in 0..a {
             if corr.get(a, b).abs() > 0.98 {

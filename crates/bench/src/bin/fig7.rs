@@ -18,10 +18,13 @@ fn main() {
     }
     println!();
     let mut lightgbm_wins = 0;
-    for class in bench::MAIN_CLASSES {
-        // One shared encoder/calibration run; classifiers compete on the
-        // identical calibrated features.
-        let out = run(bench.dataset(class), 0.8, &cfg);
+    // One shared encoder/calibration run per account type, fanned out over
+    // the four independent datasets; classifiers then compete on the
+    // identical calibrated features.
+    let outs = par::par_map(bench::threads(), &bench::MAIN_CLASSES, |&class| {
+        run(bench.dataset(class), 0.8, &cfg)
+    });
+    for (class, out) in bench::MAIN_CLASSES.into_iter().zip(&outs) {
         print!("{:<12}", class.name());
         let mut aucs = Vec::new();
         for kind in ClassifierKind::ALL {
@@ -42,7 +45,5 @@ fn main() {
         }
     }
     println!();
-    println!(
-        "LightGBM best-or-tied on {lightgbm_wins}/4 account types (paper: best on all 4)"
-    );
+    println!("LightGBM best-or-tied on {lightgbm_wins}/4 account types (paper: best on all 4)");
 }

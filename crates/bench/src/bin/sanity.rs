@@ -1,28 +1,45 @@
 use dbg4eth::{run, Dbg4EthConfig};
 use eth_graph::SamplerConfig;
 use eth_sim::{AccountClass, Benchmark, DatasetScale};
-use std::time::Instant;
 use nn::metrics::roc_auc;
+use std::time::Instant;
 
-fn env(k: &str, d: f64) -> f64 { std::env::var(k).ok().and_then(|v| v.parse().ok()).unwrap_or(d) }
+fn env(k: &str, d: f64) -> f64 {
+    std::env::var(k).ok().and_then(|v| v.parse().ok()).unwrap_or(d)
+}
 
 fn main() {
     let bench = Benchmark::generate(DatasetScale::small(), SamplerConfig { top_k: 30, hops: 2 }, 7);
-    let mut cfg = Dbg4EthConfig::default();
-    cfg.epochs = env("EPOCHS", 12.0) as usize;
-    cfg.lr = env("LR", 0.005) as f32;
-    cfg.contrastive_weight = env("CW", 0.2) as f32;
-    cfg.holdout_frac = env("HOLD", 0.35);
-    cfg.t_slices = env("T", 10.0) as usize;
-    for class in [AccountClass::Exchange, AccountClass::PhishHack, AccountClass::Mining, AccountClass::IcoWallet] {
+    let cfg = Dbg4EthConfig {
+        epochs: env("EPOCHS", 12.0) as usize,
+        lr: env("LR", 0.005) as f32,
+        contrastive_weight: env("CW", 0.2) as f32,
+        holdout_frac: env("HOLD", 0.35),
+        t_slices: env("T", 10.0) as usize,
+        ..Default::default()
+    };
+    for class in [
+        AccountClass::Exchange,
+        AccountClass::PhishHack,
+        AccountClass::Mining,
+        AccountClass::IcoWallet,
+    ] {
         let d = bench.dataset(class);
         let t = Instant::now();
         let out = run(d, 0.8, &cfg);
         let col = |k: usize| out.test_features.iter().map(|r| r[k]).collect::<Vec<_>>();
         let auc_g = roc_auc(&col(0), &out.test_labels);
         let auc_l = roc_auc(&col(1), &out.test_labels);
-        println!("{:12} P {:6.2} R {:6.2} F1 {:6.2} Acc {:6.2}  AUCg {:.3} AUCl {:.3} ({:?})",
-            class.name(), out.metrics.precision, out.metrics.recall, out.metrics.f1, out.metrics.accuracy,
-            auc_g, auc_l, t.elapsed());
+        println!(
+            "{:12} P {:6.2} R {:6.2} F1 {:6.2} Acc {:6.2}  AUCg {:.3} AUCl {:.3} ({:?})",
+            class.name(),
+            out.metrics.precision,
+            out.metrics.recall,
+            out.metrics.f1,
+            out.metrics.accuracy,
+            auc_g,
+            auc_l,
+            t.elapsed()
+        );
     }
 }

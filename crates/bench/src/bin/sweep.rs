@@ -7,26 +7,36 @@ use dbg4eth::run;
 fn main() {
     let bench = bench::benchmark();
     let base = bench::dbg4eth_config();
+    #[allow(clippy::type_complexity)]
     let variants: Vec<(&str, Box<dyn Fn() -> dbg4eth::Dbg4EthConfig>)> = vec![
         ("default(e12,cw.2)", Box::new(move || base)),
-        ("e20", Box::new(move || {
-            let mut c = base;
-            c.epochs = 20;
-            c
-        })),
-        ("e20,cw0", Box::new(move || {
-            let mut c = base;
-            c.epochs = 20;
-            c.contrastive_weight = 0.0;
-            c
-        })),
-        ("e20,cw.1,lr.01", Box::new(move || {
-            let mut c = base;
-            c.epochs = 20;
-            c.contrastive_weight = 0.1;
-            c.lr = 0.01;
-            c
-        })),
+        (
+            "e20",
+            Box::new(move || {
+                let mut c = base;
+                c.epochs = 20;
+                c
+            }),
+        ),
+        (
+            "e20,cw0",
+            Box::new(move || {
+                let mut c = base;
+                c.epochs = 20;
+                c.contrastive_weight = 0.0;
+                c
+            }),
+        ),
+        (
+            "e20,cw.1,lr.01",
+            Box::new(move || {
+                let mut c = base;
+                c.epochs = 20;
+                c.contrastive_weight = 0.1;
+                c.lr = 0.01;
+                c
+            }),
+        ),
     ];
     print!("{:<20}", "config");
     for class in bench::MAIN_CLASSES {

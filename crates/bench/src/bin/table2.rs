@@ -20,7 +20,12 @@ fn main() {
     let bench = bench::benchmark();
     println!(
         "{:<12} {:>9} {:>8} {:>11} {:>11}   {:>30}",
-        "dataset", "positives", "graphs", "avg nodes", "avg edges", "paper (pos/graphs/nodes/edges)"
+        "dataset",
+        "positives",
+        "graphs",
+        "avg nodes",
+        "avg edges",
+        "paper (pos/graphs/nodes/edges)"
     );
     for (class, p_pos, p_graphs, p_nodes, p_edges) in PAPER {
         let stats = bench.dataset(class).stats();

@@ -58,38 +58,64 @@ fn main() {
     let bench = bench::benchmark();
     let bcfg = bench::baseline_config();
     let cfg = bench::dbg4eth_config();
+    let threads = bench::threads();
+    let skip_baselines = std::env::var("DBG4ETH_SKIP_BASELINES").is_ok_and(|v| v == "1");
+
+    // Every (dataset, baseline) cell and every DBG4ETH run is an independent
+    // seeded task — fan them all out, then print in table order.
+    let mut jobs: Vec<(usize, Option<Baseline>)> = Vec::new();
+    for (k, _) in bench::MAIN_CLASSES.iter().enumerate() {
+        if !skip_baselines {
+            jobs.extend(Baseline::ALL.iter().map(|&b| (k, Some(b))));
+        }
+        jobs.push((k, None));
+    }
+    enum Cell {
+        Baseline(nn::metrics::Metrics),
+        Dbg4Eth(Box<dbg4eth::RunOutput>),
+    }
+    let cells = par::par_map(threads, &jobs, |&(k, b)| {
+        let dataset = bench.dataset(bench::MAIN_CLASSES[k]);
+        match b {
+            Some(b) => Cell::Baseline(run_baseline(b, dataset, 0.8, &bcfg)),
+            None => Cell::Dbg4Eth(Box::new(run(dataset, 0.8, &cfg))),
+        }
+    });
+
     let mut dbg_f1 = Vec::new();
     let mut best_baseline_f1 = vec![f64::NEG_INFINITY; bench::MAIN_CLASSES.len()];
     let mut featureless_f1 = Vec::new();
     let mut featureful_f1 = Vec::new();
-
-    for (k, class) in bench::MAIN_CLASSES.into_iter().enumerate() {
-        println!("\n--- dataset: {} ---", class.name());
-        let dataset = bench.dataset(class);
-        let skip_baselines = std::env::var("DBG4ETH_SKIP_BASELINES").map_or(false, |v| v == "1");
-        for b in Baseline::ALL {
-            if skip_baselines {
-                break;
-            }
-            let m = run_baseline(b, dataset, 0.8, &bcfg);
-            bench::print_row(b.name(), &m, Some(paper_f1(b, class)));
-            if m.f1 > best_baseline_f1[k] {
-                best_baseline_f1[k] = m.f1;
-            }
-            match b {
-                Baseline::GcnNoFeatures
-                | Baseline::GatNoFeatures
-                | Baseline::GinNoFeatures
-                | Baseline::I2BgnnNoFeatures => featureless_f1.push(m.f1),
-                Baseline::Gcn | Baseline::Gat | Baseline::Gin | Baseline::I2Bgnn => {
-                    featureful_f1.push(m.f1)
-                }
-                _ => {}
-            }
+    let mut current_class = usize::MAX;
+    for (&(k, b), cell) in jobs.iter().zip(&cells) {
+        let class = bench::MAIN_CLASSES[k];
+        if k != current_class {
+            println!("\n--- dataset: {} ---", class.name());
+            current_class = k;
         }
-        let out = run(dataset, 0.8, &cfg);
-        bench::print_row("DBG4ETH", &out.metrics, Some(paper_dbg4eth_f1(class)));
-        dbg_f1.push(out.metrics.f1);
+        match (b, cell) {
+            (Some(b), Cell::Baseline(m)) => {
+                bench::print_row(b.name(), m, Some(paper_f1(b, class)));
+                if m.f1 > best_baseline_f1[k] {
+                    best_baseline_f1[k] = m.f1;
+                }
+                match b {
+                    Baseline::GcnNoFeatures
+                    | Baseline::GatNoFeatures
+                    | Baseline::GinNoFeatures
+                    | Baseline::I2BgnnNoFeatures => featureless_f1.push(m.f1),
+                    Baseline::Gcn | Baseline::Gat | Baseline::Gin | Baseline::I2Bgnn => {
+                        featureful_f1.push(m.f1)
+                    }
+                    _ => {}
+                }
+            }
+            (None, Cell::Dbg4Eth(out)) => {
+                bench::print_row("DBG4ETH", &out.metrics, Some(paper_dbg4eth_f1(class)));
+                dbg_f1.push(out.metrics.f1);
+            }
+            _ => unreachable!("jobs and cells are index-aligned"),
+        }
     }
 
     println!("\n== shape checks ==");

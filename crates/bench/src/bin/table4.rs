@@ -90,11 +90,7 @@ const ABLATIONS: [Ablation; 10] = [
             c
         },
     },
-    Ablation {
-        name: "DBG4ETH",
-        paper: [99.51, 97.19, 97.56, 98.42],
-        make: |c| c,
-    },
+    Ablation { name: "DBG4ETH", paper: [99.51, 97.19, 97.56, 98.42], make: |c| c },
 ];
 
 fn main() {
@@ -102,14 +98,11 @@ fn main() {
     let bench = bench::benchmark();
     let base = bench::dbg4eth_config();
 
-    // Encode each dataset once.
-    let encoded: Vec<_> = bench::MAIN_CLASSES
-        .iter()
-        .map(|&class| {
-            eprintln!("encoding {} ...", class.name());
-            encode(bench.dataset(class), 0.8, &base)
-        })
-        .collect();
+    // Encode each dataset once; the four datasets are independent tasks.
+    let encoded = par::par_map(bench::threads(), &bench::MAIN_CLASSES, |&class| {
+        eprintln!("encoding {} ...", class.name());
+        encode(bench.dataset(class), 0.8, &base)
+    });
 
     print!("{:<32}", "model");
     for class in bench::MAIN_CLASSES {

@@ -23,7 +23,7 @@ pub const MAIN_CLASSES: [AccountClass; 4] = [
 
 /// Env-selected dataset scale.
 pub fn scale() -> DatasetScale {
-    if std::env::var("DBG4ETH_FULL").map_or(false, |v| v == "1") {
+    if std::env::var("DBG4ETH_FULL").is_ok_and(|v| v == "1") {
         DatasetScale::paper()
     } else {
         DatasetScale {
@@ -39,10 +39,14 @@ pub fn scale() -> DatasetScale {
 
 /// Env-selected seed.
 pub fn seed() -> u64 {
-    std::env::var("DBG4ETH_SEED")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(7)
+    std::env::var("DBG4ETH_SEED").ok().and_then(|v| v.parse().ok()).unwrap_or(7)
+}
+
+/// Worker threads for the experiment binaries' outer loops: auto-detected,
+/// overridable with `DBG4ETH_THREADS` (1 = serial). Results are identical
+/// for every value; only wall-clock time changes.
+pub fn threads() -> usize {
+    par::resolve_threads(0)
 }
 
 /// The shared sampler settings (paper: K = 2000, 2 hops; our synthetic

@@ -8,6 +8,7 @@ use rand::{Rng, SeedableRng};
 /// Random forest of probability trees over bootstrap samples.
 pub struct RandomForest {
     trees: Vec<RegressionTree>,
+    parallelism: usize,
 }
 
 /// Random-forest hyper-parameters.
@@ -16,18 +17,21 @@ pub struct ForestConfig {
     pub n_trees: usize,
     pub max_depth: usize,
     pub seed: u64,
+    /// Worker threads for per-tree fitting and per-row prediction
+    /// (`1` = serial; output is identical for every value because each
+    /// tree draws its bootstrap from its own seed-derived generator).
+    pub parallelism: usize,
 }
 
 impl Default for ForestConfig {
     fn default() -> Self {
-        Self { n_trees: 50, max_depth: 5, seed: 17 }
+        Self { n_trees: 50, max_depth: 5, seed: 17, parallelism: 1 }
     }
 }
 
 impl RandomForest {
     pub fn fit(x: &[Vec<f64>], y: &[bool], config: ForestConfig) -> Self {
         assert_eq!(x.len(), y.len());
-        let mut rng = StdRng::seed_from_u64(config.seed);
         let n = x.len();
         let tree_cfg = TreeConfig {
             growth: Growth::DepthWise { max_depth: config.max_depth },
@@ -35,22 +39,25 @@ impl RandomForest {
             lambda: 1e-9,
             min_gain: 1e-9,
         };
-        let trees = (0..config.n_trees)
-            .map(|_| {
-                // Bootstrap sample.
-                let mut bx = Vec::with_capacity(n);
-                let mut g = Vec::with_capacity(n);
-                let h = vec![1.0; n];
-                for _ in 0..n {
-                    let i = rng.gen_range(0..n);
-                    bx.push(x[i].clone());
-                    // Squared loss from 0: leaf value = mean(y) in {0, 1}.
-                    g.push(if y[i] { -1.0 } else { 0.0 });
-                }
-                RegressionTree::fit(&bx, &g, &h, &tree_cfg)
-            })
-            .collect();
-        Self { trees }
+        // Each tree seeds its own generator from (seed, tree index), so the
+        // ensemble does not depend on the order trees are fitted in.
+        let trees = par::par_map_indices(config.parallelism, config.n_trees, |t| {
+            let mut rng = StdRng::seed_from_u64(
+                config.seed ^ (t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1),
+            );
+            // Bootstrap sample.
+            let mut bx = Vec::with_capacity(n);
+            let mut g = Vec::with_capacity(n);
+            let h = vec![1.0; n];
+            for _ in 0..n {
+                let i = rng.gen_range(0..n);
+                bx.push(x[i].clone());
+                // Squared loss from 0: leaf value = mean(y) in {0, 1}.
+                g.push(if y[i] { -1.0 } else { 0.0 });
+            }
+            RegressionTree::fit(&bx, &g, &h, &tree_cfg)
+        });
+        Self { trees, parallelism: config.parallelism }
     }
 
     /// P(positive) — the average of per-tree leaf class fractions.
@@ -60,7 +67,7 @@ impl RandomForest {
     }
 
     pub fn predict_proba_all(&self, x: &[Vec<f64>]) -> Vec<f64> {
-        x.iter().map(|r| self.predict_proba(r)).collect()
+        par::par_map(self.parallelism, x, |r| self.predict_proba(r))
     }
 }
 
@@ -95,11 +102,8 @@ impl AdaBoost {
         let mut stumps = Vec::with_capacity(config.n_stumps);
         for _ in 0..config.n_stumps {
             // Weighted least-squares stump targeting ±1: g = -w·y±, h = w.
-            let g: Vec<f64> = y
-                .iter()
-                .zip(&w)
-                .map(|(&yi, &wi)| -wi * if yi { 1.0 } else { -1.0 })
-                .collect();
+            let g: Vec<f64> =
+                y.iter().zip(&w).map(|(&yi, &wi)| -wi * if yi { 1.0 } else { -1.0 }).collect();
             let stump = RegressionTree::fit(x, &g, &w, &tree_cfg);
             // Weighted error of the sign prediction.
             let mut err = 0.0;
@@ -132,10 +136,7 @@ impl AdaBoost {
 
     /// Margin in `(-1, 1)`-ish units; positive means positive class.
     pub fn decision(&self, row: &[f64]) -> f64 {
-        self.stumps
-            .iter()
-            .map(|(t, a)| a * if t.predict(row) >= 0.0 { 1.0 } else { -1.0 })
-            .sum()
+        self.stumps.iter().map(|(t, a)| a * if t.predict(row) >= 0.0 { 1.0 } else { -1.0 }).sum()
     }
 
     /// Squashed margin as a probability proxy.
@@ -208,11 +209,8 @@ mod tests {
             y.push((a as i32 ^ b as i32) == 1);
         }
         let model = AdaBoost::fit(&x, &y, AdaBoostConfig { n_stumps: 100 });
-        let correct = x
-            .iter()
-            .zip(&y)
-            .filter(|(row, l)| (model.predict_proba(row) >= 0.5) == **l)
-            .count();
+        let correct =
+            x.iter().zip(&y).filter(|(row, l)| (model.predict_proba(row) >= 0.5) == **l).count();
         assert!(correct as f64 / y.len() as f64 > 0.85, "acc {correct}/{}", y.len());
     }
 
@@ -223,6 +221,20 @@ mod tests {
         let f2 = RandomForest::fit(&x, &y, ForestConfig { seed: 5, ..Default::default() });
         for row in &x {
             assert_eq!(f1.predict_proba(row), f2.predict_proba(row));
+        }
+    }
+
+    #[test]
+    fn forest_is_thread_count_invariant() {
+        let (x, y) = blobs(40);
+        let serial = RandomForest::fit(&x, &y, ForestConfig::default());
+        for threads in [2, 4, 7] {
+            let par = RandomForest::fit(
+                &x,
+                &y,
+                ForestConfig { parallelism: threads, ..Default::default() },
+            );
+            assert_eq!(serial.predict_proba_all(&x), par.predict_proba_all(&x));
         }
     }
 }

@@ -17,6 +17,11 @@ pub struct GbdtConfig {
     pub n_trees: usize,
     pub learning_rate: f64,
     pub tree: TreeConfig,
+    /// Worker threads for the per-row gradient/prediction passes (`1` =
+    /// serial). Boosting rounds stay sequential by construction; only the
+    /// embarrassingly parallel row loops fan out, so the fitted model is
+    /// bit-identical for every value.
+    pub parallelism: usize,
 }
 
 impl GbdtConfig {
@@ -26,6 +31,7 @@ impl GbdtConfig {
             n_trees: 60,
             learning_rate: 0.1,
             tree: TreeConfig { growth: Growth::LeafWise { max_leaves: 15 }, ..Default::default() },
+            parallelism: 1,
         }
     }
 
@@ -35,6 +41,7 @@ impl GbdtConfig {
             n_trees: 60,
             learning_rate: 0.1,
             tree: TreeConfig { growth: Growth::DepthWise { max_depth: 4 }, ..Default::default() },
+            parallelism: 1,
         }
     }
 }
@@ -66,8 +73,11 @@ impl Gbdt {
                 h[i] = (p * (1.0 - p)).max(1e-9);
             }
             let tree = RegressionTree::fit(x, &g, &h, &config.tree);
+            // Rounds are sequential, but scoring the fitted tree over every
+            // training row is an independent per-row task.
+            let deltas = par::par_map(config.parallelism, x, |row| tree.predict(row));
             for i in 0..n {
-                f[i] += config.learning_rate * tree.predict(&x[i]);
+                f[i] += config.learning_rate * deltas[i];
             }
             trees.push(tree);
         }
@@ -88,14 +98,14 @@ impl Gbdt {
         sigmoid(self.decision(row))
     }
 
-    /// P(positive) for a batch.
+    /// P(positive) for a batch (row-parallel when configured).
     pub fn predict_proba_all(&self, x: &[Vec<f64>]) -> Vec<f64> {
-        x.iter().map(|r| self.predict_proba(r)).collect()
+        par::par_map(self.config.parallelism, x, |r| self.predict_proba(r))
     }
 
     /// Hard predictions at threshold 0.5.
     pub fn predict_all(&self, x: &[Vec<f64>]) -> Vec<bool> {
-        x.iter().map(|r| self.predict_proba(r) >= 0.5).collect()
+        par::par_map(self.config.parallelism, x, |r| self.predict_proba(r) >= 0.5)
     }
 
     /// Gain-based feature importance, normalised to sum to 1 (all-zero if
@@ -179,9 +189,8 @@ mod tests {
     #[test]
     fn feature_importance_identifies_informative_feature() {
         // Feature 0 fully determines the label; feature 1 is noise.
-        let x: Vec<Vec<f64>> = (0..80)
-            .map(|i| vec![(i % 2) as f64, ((i * 7) % 13) as f64])
-            .collect();
+        let x: Vec<Vec<f64>> =
+            (0..80).map(|i| vec![(i % 2) as f64, ((i * 7) % 13) as f64]).collect();
         let y: Vec<bool> = (0..80).map(|i| i % 2 == 0).collect();
         let m = Gbdt::fit(&x, &y, GbdtConfig { n_trees: 10, ..GbdtConfig::lightgbm() });
         let imp = m.feature_importance(2);
@@ -195,6 +204,17 @@ mod tests {
         let y = vec![true; 10];
         let m = Gbdt::fit(&x, &y, GbdtConfig::lightgbm());
         assert_eq!(m.feature_importance(1), vec![0.0]);
+    }
+
+    #[test]
+    fn gbdt_is_thread_count_invariant() {
+        let (x, y) = xor_data(60);
+        let serial = Gbdt::fit(&x, &y, GbdtConfig::lightgbm());
+        for threads in [2, 4, 7] {
+            let cfg = GbdtConfig { parallelism: threads, ..GbdtConfig::lightgbm() };
+            let par = Gbdt::fit(&x, &y, cfg);
+            assert_eq!(serial.predict_proba_all(&x), par.predict_proba_all(&x));
+        }
     }
 
     #[test]

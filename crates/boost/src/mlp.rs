@@ -4,7 +4,7 @@
 use nn::{Activation, Adam, Ctx, Mlp, ParamStore};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::rc::Rc;
+use std::sync::Arc;
 use tensor::{Tape, Tensor};
 
 /// MLP classifier hyper-parameters.
@@ -43,7 +43,7 @@ impl MlpClassifier {
         let mut store = ParamStore::new();
         let mlp = Mlp::new(&mut store, &mut rng, "clf", &[d, config.hidden, 2], Activation::Relu);
         let xt = to_tensor(x);
-        let targets = Rc::new(y.iter().map(|&b| b as usize).collect::<Vec<_>>());
+        let targets = Arc::new(y.iter().map(|&b| b as usize).collect::<Vec<_>>());
         let mut opt = Adam::new(config.lr);
         for _ in 0..config.epochs {
             store.zero_grad();
@@ -88,11 +88,7 @@ mod tests {
         let y: Vec<bool> = (0..40).map(|i| i >= 20).collect();
         let m = MlpClassifier::fit(&x, &y, MlpClassifierConfig::default());
         let probs = m.predict_proba_all(&x);
-        let correct = probs
-            .iter()
-            .zip(&y)
-            .filter(|(&p, &l)| (p >= 0.5) == l)
-            .count();
+        let correct = probs.iter().zip(&y).filter(|(&p, &l)| (p >= 0.5) == l).count();
         assert!(correct >= 38, "acc {correct}/40");
     }
 
@@ -100,7 +96,8 @@ mod tests {
     fn probabilities_valid() {
         let x: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64, -(i as f64)]).collect();
         let y: Vec<bool> = (0..10).map(|i| i % 2 == 0).collect();
-        let m = MlpClassifier::fit(&x, &y, MlpClassifierConfig { epochs: 50, ..Default::default() });
+        let m =
+            MlpClassifier::fit(&x, &y, MlpClassifierConfig { epochs: 50, ..Default::default() });
         for p in m.predict_proba_all(&x) {
             assert!((0.0..=1.0).contains(&p));
         }

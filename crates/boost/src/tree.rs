@@ -164,10 +164,7 @@ impl RegressionTree {
 
     /// Number of leaves.
     pub fn n_leaves(&self) -> usize {
-        self.nodes
-            .iter()
-            .filter(|n| matches!(n, Node::Leaf { .. }))
-            .count()
+        self.nodes.iter().filter(|n| matches!(n, Node::Leaf { .. })).count()
     }
 
     /// Accumulate per-feature split gains into `importance`
@@ -220,6 +217,8 @@ fn best_split(
 
     let mut best: Option<(f64, usize, f64)> = None; // (gain, feature, threshold)
     let mut order = samples.clone();
+    // `f` indexes the feature dimension inside each row, not `x` itself.
+    #[allow(clippy::needless_range_loop)]
     for f in 0..d {
         order.sort_by(|&a, &b| x[a][f].partial_cmp(&x[b][f]).unwrap());
         let mut gl = 0.0;
@@ -239,9 +238,9 @@ fn best_split(
             }
             let gr = g_total - gl;
             let hr = h_total - hl;
-            let gain = gl * gl / (hl + config.lambda) + gr * gr / (hr + config.lambda)
-                - parent_score;
-            if best.map_or(true, |(bg, _, _)| gain > bg) {
+            let gain =
+                gl * gl / (hl + config.lambda) + gr * gr / (hr + config.lambda) - parent_score;
+            if best.is_none_or(|(bg, _, _)| gain > bg) {
                 let threshold = (x[i][f] + x[order[k + 1]][f]) / 2.0;
                 best = Some((gain, f, threshold));
             }
@@ -280,10 +279,7 @@ mod tests {
     fn respects_leaf_budget() {
         let x: Vec<Vec<f64>> = (0..64).map(|i| vec![i as f64]).collect();
         let y: Vec<f64> = (0..64).map(|i| (i % 7) as f64).collect();
-        let cfg = TreeConfig {
-            growth: Growth::LeafWise { max_leaves: 4 },
-            ..Default::default()
-        };
+        let cfg = TreeConfig { growth: Growth::LeafWise { max_leaves: 4 }, ..Default::default() };
         let t = fit_mean_tree(&x, &y, &cfg);
         assert!(t.n_leaves() <= 4, "{} leaves", t.n_leaves());
     }
@@ -292,10 +288,7 @@ mod tests {
     fn respects_depth_budget() {
         let x: Vec<Vec<f64>> = (0..64).map(|i| vec![i as f64, (i * 7 % 13) as f64]).collect();
         let y: Vec<f64> = (0..64).map(|i| ((i * 31) % 5) as f64).collect();
-        let cfg = TreeConfig {
-            growth: Growth::DepthWise { max_depth: 2 },
-            ..Default::default()
-        };
+        let cfg = TreeConfig { growth: Growth::DepthWise { max_depth: 2 }, ..Default::default() };
         let t = fit_mean_tree(&x, &y, &cfg);
         assert!(t.depth() <= 2, "depth {}", t.depth());
     }

@@ -1,16 +1,17 @@
 //! Property-based tests of the tree/boosting stack.
 
-use boost::{AdaBoost, AdaBoostConfig, ForestConfig, Gbdt, GbdtConfig, Growth, RandomForest, RegressionTree, TreeConfig};
+use boost::{
+    AdaBoost, AdaBoostConfig, ForestConfig, Gbdt, GbdtConfig, Growth, RandomForest, RegressionTree,
+    TreeConfig,
+};
 use proptest::prelude::*;
 
 fn dataset() -> impl Strategy<Value = (Vec<Vec<f64>>, Vec<bool>)> {
-    prop::collection::vec((any::<bool>(), -10.0f64..10.0, -10.0f64..10.0), 8..60).prop_map(
-        |rows| {
-            let x = rows.iter().map(|(_, a, b)| vec![*a, *b]).collect();
-            let y = rows.iter().map(|(l, _, _)| *l).collect();
-            (x, y)
-        },
-    )
+    prop::collection::vec((any::<bool>(), -10.0f64..10.0, -10.0f64..10.0), 8..60).prop_map(|rows| {
+        let x = rows.iter().map(|(_, a, b)| vec![*a, *b]).collect();
+        let y = rows.iter().map(|(l, _, _)| *l).collect();
+        (x, y)
+    })
 }
 
 proptest! {

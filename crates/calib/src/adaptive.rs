@@ -44,12 +44,7 @@ impl AdaptiveCalibrator {
     /// Fit the selected calibrators on `(scores, labels)` and derive the
     /// ΔECE weights. If `adaptive` is false, methods are weighted uniformly
     /// (the "w/o Ada." ablations).
-    pub fn fit(
-        scores: &[f64],
-        labels: &[bool],
-        subset: MethodSubset,
-        adaptive: bool,
-    ) -> Self {
+    pub fn fit(scores: &[f64], labels: &[bool], subset: MethodSubset, adaptive: bool) -> Self {
         let base_ece = ece(scores, labels, ECE_BINS);
         let mut methods = Vec::new();
         let mut deltas = Vec::new();
@@ -79,11 +74,7 @@ impl AdaptiveCalibrator {
 
     /// The fitted methods and their adaptive weights (Fig. 6's bars).
     pub fn method_weights(&self) -> Vec<(CalibMethod, f64)> {
-        self.methods
-            .iter()
-            .zip(&self.weights)
-            .map(|((m, _), &w)| (*m, w))
-            .collect()
+        self.methods.iter().zip(&self.weights).map(|((m, _), &w)| (*m, w)).collect()
     }
 
     /// Eq. 24: the weighted calibrated probability of one raw score,
@@ -115,7 +106,13 @@ impl ConfidenceScaler {
         let n = raw.len().max(1) as f64;
         let mean = raw.iter().sum::<f64>() / n;
         let var = raw.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
-        Self { mean, std: var.sqrt().max(1e-9) }
+        // Constant raw scores (e.g. a collapsed encoder on a single-class
+        // holdout) have zero variance; dividing by a ~0 std would saturate
+        // every future score to exactly 0 or 1. Fall back to the identity
+        // scale so the constant point maps to 0.5 and nearby scores stay
+        // informative.
+        let std = if var > 1e-18 { var.sqrt() } else { 1.0 };
+        Self { mean, std }
     }
 
     pub fn scale(&self, x: f64) -> f64 {
@@ -226,5 +223,25 @@ mod tests {
     fn confidence_scaler_degenerate_constant_input() {
         let sc = ConfidenceScaler::fit(&[2.0, 2.0, 2.0]);
         assert!((sc.scale(2.0) - 0.5).abs() < 1e-9);
+        // The zero-variance fallback must not saturate nearby scores: with
+        // the identity scale, mean ± 1 maps to σ(±1), not to 0 or 1.
+        let hi = sc.scale(3.0);
+        let lo = sc.scale(1.0);
+        assert!(hi.is_finite() && lo.is_finite());
+        assert!((hi - 0.731).abs() < 1e-3, "hi = {hi}");
+        assert!((lo - 0.269).abs() < 1e-3, "lo = {lo}");
+    }
+
+    #[test]
+    fn adaptive_calibrator_survives_single_class_holdout() {
+        let scores: Vec<f64> = (0..30).map(|i| 0.2 + 0.02 * i as f64).collect();
+        let labels = vec![true; 30];
+        let cal = AdaptiveCalibrator::fit(&scores, &labels, MethodSubset::All, true);
+        for p in [0.0, 0.5, 1.0] {
+            let q = cal.calibrate(p);
+            assert!(q.is_finite() && (0.0..=1.0).contains(&q), "calibrate({p}) = {q}");
+        }
+        let sum: f64 = cal.method_weights().iter().map(|(_, w)| w).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
     }
 }

@@ -17,6 +17,9 @@ pub fn ece(scores: &[f64], labels: &[bool], n_bins: usize) -> f64 {
     let mut bin_acc = vec![0.0f64; n_bins];
     let mut bin_count = vec![0usize; n_bins];
     for (&p, &y) in scores.iter().zip(labels) {
+        // A NaN score would land in bin 0 and turn the whole metric into
+        // NaN without a trace — fail loudly at the source instead.
+        assert!(p.is_finite(), "ece: non-finite score {p}");
         let p = p.clamp(0.0, 1.0);
         let conf = p.max(1.0 - p);
         let pred = p >= 0.5;
@@ -100,6 +103,12 @@ mod tests {
     #[test]
     fn empty_input_is_zero() {
         assert_eq!(ece(&[], &[], 10), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite score")]
+    fn nan_score_panics() {
+        ece(&[0.5, f64::NAN], &[true, false], 10);
     }
 
     #[test]

@@ -87,11 +87,7 @@ pub fn brier_decomposition(scores: &[f64], labels: &[bool], n_bins: usize) -> Br
         reliability += nk / n as f64 * (pk - ok) * (pk - ok);
         resolution += nk / n as f64 * (ok - base_rate) * (ok - base_rate);
     }
-    BrierDecomposition {
-        reliability,
-        resolution,
-        uncertainty: base_rate * (1.0 - base_rate),
-    }
+    BrierDecomposition { reliability, resolution, uncertainty: base_rate * (1.0 - base_rate) }
 }
 
 #[cfg(test)]
@@ -146,12 +142,7 @@ mod tests {
         }
         let d = brier_decomposition(&scores, &labels, 10);
         let b = brier(&scores, &labels);
-        assert!(
-            (d.brier() - b).abs() < 1e-9,
-            "decomposition {} vs direct {}",
-            d.brier(),
-            b
-        );
+        assert!((d.brier() - b).abs() < 1e-9, "decomposition {} vs direct {}", d.brier(), b);
         assert!(d.reliability >= 0.0 && d.resolution >= 0.0);
         assert!((d.uncertainty - 0.45 * 0.55).abs() < 1e-9);
     }
@@ -161,8 +152,7 @@ mod tests {
         // Discriminating predictions (right direction) have higher
         // resolution than constant base-rate predictions.
         let labels: Vec<bool> = (0..40).map(|i| i % 2 == 0).collect();
-        let informative: Vec<f64> =
-            labels.iter().map(|&y| if y { 0.9 } else { 0.1 }).collect();
+        let informative: Vec<f64> = labels.iter().map(|&y| if y { 0.9 } else { 0.1 }).collect();
         let constant = vec![0.5; 40];
         let di = brier_decomposition(&informative, &labels, 10);
         let dc = brier_decomposition(&constant, &labels, 10);

@@ -96,6 +96,14 @@ impl Calibrator {
     /// Fit the given method on a calibration split.
     pub fn fit(method: CalibMethod, scores: &[f64], labels: &[bool]) -> Self {
         assert_eq!(scores.len(), labels.len());
+        // Isotonic and BBQ sort by score; a NaN comparator would panic deep
+        // inside, and any NaN fitted into a bin value silently poisons every
+        // downstream ECE. Reject it at the boundary instead.
+        assert!(
+            scores.iter().all(|s| s.is_finite()),
+            "calibration scores must be finite ({})",
+            method.name()
+        );
         match method {
             CalibMethod::TemperatureScaling => fit_temperature(scores, labels),
             CalibMethod::BetaCalibration => fit_beta(scores, labels),
@@ -275,10 +283,8 @@ fn fit_bbq(scores: &[f64], labels: &[bool]) -> Calibrator {
     let mut order: Vec<usize> = (0..n).collect();
     order.sort_by(|&i, &j| scores[i].partial_cmp(&scores[j]).unwrap());
 
-    let bin_counts: Vec<usize> = [2usize, 3, 5, 8, 12]
-        .into_iter()
-        .filter(|&b| b <= n.max(1))
-        .collect();
+    let bin_counts: Vec<usize> =
+        [2usize, 3, 5, 8, 12].into_iter().filter(|&b| b <= n.max(1)).collect();
     let bin_counts = if bin_counts.is_empty() { vec![1] } else { bin_counts };
 
     let mut models = Vec::new();
@@ -323,6 +329,7 @@ fn ln_beta(a: f64, b: f64) -> f64 {
 /// Lanczos approximation of `ln Γ(x)` for `x > 0`.
 fn ln_gamma(x: f64) -> f64 {
     const G: f64 = 7.0;
+    #[allow(clippy::excessive_precision)]
     const COEF: [f64; 9] = [
         0.999_999_999_999_809_93,
         676.520_368_121_885_1,
@@ -336,8 +343,7 @@ fn ln_gamma(x: f64) -> f64 {
     ];
     if x < 0.5 {
         // Reflection formula.
-        return (std::f64::consts::PI / (std::f64::consts::PI * x).sin()).ln()
-            - ln_gamma(1.0 - x);
+        return (std::f64::consts::PI / (std::f64::consts::PI * x).sin()).ln() - ln_gamma(1.0 - x);
     }
     let x = x - 1.0;
     let mut a = COEF[0];
@@ -447,6 +453,32 @@ mod tests {
         assert!(!CalibMethod::HistogramBinning.is_parametric());
         assert!(!CalibMethod::IsotonicRegression.is_parametric());
         assert!(!CalibMethod::Bbq.is_parametric());
+    }
+
+    #[test]
+    fn every_method_survives_single_class_holdout() {
+        // A holdout stratum can be all-positive (or all-negative) on tiny
+        // datasets; every method must still produce finite probabilities.
+        let scores: Vec<f64> = (0..20).map(|i| 0.3 + 0.02 * i as f64).collect();
+        for labels in [vec![true; 20], vec![false; 20]] {
+            for method in CalibMethod::ALL {
+                let cal = Calibrator::fit(method, &scores, &labels);
+                for p in [0.0, 0.25, 0.5, 0.75, 1.0] {
+                    let q = cal.apply(p);
+                    assert!(
+                        q.is_finite() && (0.0..=1.0).contains(&q),
+                        "{}({p}) = {q} on single-class holdout",
+                        method.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must be finite")]
+    fn nan_scores_are_rejected_at_fit() {
+        Calibrator::fit(CalibMethod::IsotonicRegression, &[0.2, f64::NAN], &[true, false]);
     }
 
     #[test]

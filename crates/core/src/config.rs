@@ -98,6 +98,13 @@ pub struct Dbg4EthConfig {
     /// stacked classifier (standard stacking practice; see DESIGN.md).
     /// Only applies when `holdout_frac == 0`.
     pub cross_fit: bool,
+    /// Degree of task parallelism across the pipeline: `0` resolves to the
+    /// machine's available parallelism, `1` reproduces the historical
+    /// serial execution exactly, and any value is overridden by the
+    /// `DBG4ETH_THREADS` environment variable. All fan-out is task-level
+    /// with fixed per-task seeds and index-ordered collection, so the
+    /// pipeline's outputs are bit-identical for every setting.
+    pub parallelism: usize,
     pub seed: u64,
 }
 
@@ -120,12 +127,19 @@ impl Default for Dbg4EthConfig {
             features: FeatureMode::LogAbsolute,
             holdout_frac: 0.0,
             cross_fit: true,
+            parallelism: 0,
             seed: 42,
         }
     }
 }
 
 impl Dbg4EthConfig {
+    /// The resolved worker-thread count for this run: `parallelism`
+    /// after applying the `DBG4ETH_THREADS` override and auto-detection.
+    pub fn threads(&self) -> usize {
+        par::resolve_threads(self.parallelism)
+    }
+
     /// A fast, reduced configuration for tests and CI.
     pub fn fast() -> Self {
         Self {

@@ -31,7 +31,12 @@ pub struct MultiClassResult {
 }
 
 /// Stratified multiclass split.
-fn split(labels: &[usize], n_classes: usize, train_frac: f64, seed: u64) -> (Vec<usize>, Vec<usize>) {
+fn split(
+    labels: &[usize],
+    n_classes: usize,
+    train_frac: f64,
+    seed: u64,
+) -> (Vec<usize>, Vec<usize>) {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut train = Vec::new();
     let mut test = Vec::new();
@@ -59,16 +64,11 @@ pub fn run_multiclass(
     let mut cfg = *config;
     cfg.gsg.n_classes = n_classes;
     cfg.ldg.n_classes = n_classes;
-    let labels: Vec<usize> = graphs
-        .iter()
-        .map(|g| g.label.expect("labelled graph"))
-        .collect();
+    let labels: Vec<usize> = graphs.iter().map(|g| g.label.expect("labelled graph")).collect();
     assert!(labels.iter().all(|&l| l < n_classes), "label out of range");
 
-    let tensors: Vec<GraphTensors> = graphs
-        .iter()
-        .map(|g| GraphTensors::from_subgraph(g, cfg.t_slices))
-        .collect();
+    let tensors: Vec<GraphTensors> =
+        graphs.iter().map(|g| GraphTensors::from_subgraph(g, cfg.t_slices)).collect();
     let (train_idx, test_idx) = split(&labels, n_classes, train_frac, cfg.seed);
     let train_graphs: Vec<&GraphTensors> = train_idx.iter().map(|&i| &tensors[i]).collect();
     let test_graphs: Vec<&GraphTensors> = test_idx.iter().map(|&i| &tensors[i]).collect();
@@ -126,6 +126,8 @@ pub fn run_multiclass(
     let mut macro_n = 0usize;
     let mut correct = 0usize;
     let total: usize = confusion.iter().map(|r| r.iter().sum::<usize>()).sum();
+    // `c` indexes both a row and a column of the confusion matrix.
+    #[allow(clippy::needless_range_loop)]
     for c in 0..n_classes {
         correct += confusion[c][c];
         let tp = confusion[c][c] as f64;
@@ -160,11 +162,7 @@ mod tests {
     fn multiclass_runs_and_beats_chance() {
         let world = World::generate(
             WorldConfig { n_background: 500, seed: 2, ..Default::default() },
-            &[
-                (AccountClass::Exchange, 10),
-                (AccountClass::Mining, 10),
-                (AccountClass::Normal, 10),
-            ],
+            &[(AccountClass::Exchange, 10), (AccountClass::Mining, 10), (AccountClass::Normal, 10)],
         );
         let graphs = multiclass_graphs(&world, SamplerConfig { top_k: 15, hops: 2 });
         // Only 3 of the 7 labels appear; run with the full 7-way head.

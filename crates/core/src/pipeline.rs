@@ -2,8 +2,11 @@
 //! confidence generation → adaptive calibration → account classification.
 
 use crate::config::{ClassifierKind, Dbg4EthConfig, FeatureMode};
-use crate::trainer::{train_gsg, train_ldg};
-use boost::{AdaBoost, AdaBoostConfig, ForestConfig, Gbdt, GbdtConfig, MlpClassifier, MlpClassifierConfig, RandomForest};
+use crate::trainer::{train_gsg, train_ldg, BranchScorer};
+use boost::{
+    AdaBoost, AdaBoostConfig, ForestConfig, Gbdt, GbdtConfig, MlpClassifier, MlpClassifierConfig,
+    RandomForest,
+};
 use calib::{ece, AdaptiveCalibrator, CalibMethod, ConfidenceScaler, ECE_BINS};
 use eth_sim::{GraphDataset, POSITIVE};
 use gnn::GraphTensors;
@@ -46,23 +49,37 @@ pub fn fit_predict_classifier(
     train_y: &[bool],
     test_x: &[Vec<f64>],
 ) -> Vec<f64> {
+    fit_predict_classifier_par(kind, train_x, train_y, test_x, 1)
+}
+
+/// [`fit_predict_classifier`] with an explicit worker-thread count for the
+/// per-tree / per-row fan-out inside the classifiers (deterministic: output
+/// is bit-identical for every `threads` value).
+pub fn fit_predict_classifier_par(
+    kind: ClassifierKind,
+    train_x: &[Vec<f64>],
+    train_y: &[bool],
+    test_x: &[Vec<f64>],
+    threads: usize,
+) -> Vec<f64> {
     match kind {
         ClassifierKind::LightGbm => {
-            Gbdt::fit(train_x, train_y, GbdtConfig::lightgbm()).predict_proba_all(test_x)
+            let cfg = GbdtConfig { parallelism: threads, ..GbdtConfig::lightgbm() };
+            Gbdt::fit(train_x, train_y, cfg).predict_proba_all(test_x)
         }
         ClassifierKind::XgBoost => {
-            Gbdt::fit(train_x, train_y, GbdtConfig::xgboost()).predict_proba_all(test_x)
+            let cfg = GbdtConfig { parallelism: threads, ..GbdtConfig::xgboost() };
+            Gbdt::fit(train_x, train_y, cfg).predict_proba_all(test_x)
         }
         ClassifierKind::RandomForest => {
-            RandomForest::fit(train_x, train_y, ForestConfig::default()).predict_proba_all(test_x)
+            let cfg = ForestConfig { parallelism: threads, ..ForestConfig::default() };
+            RandomForest::fit(train_x, train_y, cfg).predict_proba_all(test_x)
         }
         ClassifierKind::AdaBoost => {
             AdaBoost::fit(train_x, train_y, AdaBoostConfig::default()).predict_proba_all(test_x)
         }
-        ClassifierKind::Mlp => {
-            MlpClassifier::fit(train_x, train_y, MlpClassifierConfig::default())
-                .predict_proba_all(test_x)
-        }
+        ClassifierKind::Mlp => MlpClassifier::fit(train_x, train_y, MlpClassifierConfig::default())
+            .predict_proba_all(test_x),
     }
 }
 
@@ -115,11 +132,7 @@ fn calibrate_branch(
     Branch {
         holdout_p,
         test_p,
-        diagnostics: BranchDiagnostics {
-            weights: cal.method_weights(),
-            base_ece,
-            calibrated_ece,
-        },
+        diagnostics: BranchDiagnostics { weights: cal.method_weights(), base_ece, calibrated_ece },
     }
 }
 
@@ -146,36 +159,31 @@ pub fn finish(encoded: &EncodedDataset, config: &Dbg4EthConfig) -> RunOutput {
     let mut gsg_diag = None;
     let mut ldg_diag = None;
     if config.use_gsg {
-        let (holdout_raw, test_raw) =
-            encoded.gsg.as_ref().expect("GSG branch not encoded");
-        let branch =
-            calibrate_branch(holdout_raw, test_raw, &encoded.holdout_labels, config);
+        let (holdout_raw, test_raw) = encoded.gsg.as_ref().expect("GSG branch not encoded");
+        let branch = calibrate_branch(holdout_raw, test_raw, &encoded.holdout_labels, config);
         gsg_diag = Some(branch.diagnostics.clone());
         branches.push(branch);
     }
     if config.use_ldg {
-        let (holdout_raw, test_raw) =
-            encoded.ldg.as_ref().expect("LDG branch not encoded");
-        let branch =
-            calibrate_branch(holdout_raw, test_raw, &encoded.holdout_labels, config);
+        let (holdout_raw, test_raw) = encoded.ldg.as_ref().expect("LDG branch not encoded");
+        let branch = calibrate_branch(holdout_raw, test_raw, &encoded.holdout_labels, config);
         ldg_diag = Some(branch.diagnostics.clone());
         branches.push(branch);
     }
     assert!(!branches.is_empty(), "at least one branch required");
 
     let stack = |get: &dyn Fn(&Branch) -> &Vec<f64>, n: usize| -> Vec<Vec<f64>> {
-        (0..n)
-            .map(|r| branches.iter().map(|b| get(b)[r]).collect())
-            .collect()
+        (0..n).map(|r| branches.iter().map(|b| get(b)[r]).collect()).collect()
     };
     let train_features = stack(&|b| &b.holdout_p, encoded.holdout_labels.len());
     let test_features = stack(&|b| &b.test_p, encoded.test_labels.len());
 
-    let test_scores = fit_predict_classifier(
+    let test_scores = fit_predict_classifier_par(
         config.classifier,
         &train_features,
         &encoded.holdout_labels,
         &test_features,
+        config.threads(),
     );
     let metrics = Metrics::from_scores(&test_scores, &encoded.test_labels, 0.5);
 
@@ -200,13 +208,13 @@ pub fn run(dataset: &GraphDataset, train_frac: f64, config: &Dbg4EthConfig) -> R
 /// branches and compute their raw prediction values.
 pub fn encode(dataset: &GraphDataset, train_frac: f64, config: &Dbg4EthConfig) -> EncodedDataset {
     assert!(config.use_gsg || config.use_ldg, "at least one branch required");
+    let threads = config.threads();
     let (train_idx, test_idx) = dataset.split(train_frac, config.seed);
 
-    // Lower every graph once, honouring the feature mode.
-    let tensors: Vec<GraphTensors> = dataset
-        .graphs
-        .iter()
-        .map(|g| match config.features {
+    // Lower every graph once, honouring the feature mode. Lowering is a
+    // pure per-graph function, so the fan-out is trivially deterministic.
+    let tensors: Vec<GraphTensors> =
+        par::par_map(threads, &dataset.graphs, |g| match config.features {
             FeatureMode::LogAbsolute => GraphTensors::from_subgraph(g, config.t_slices),
             FeatureMode::ZScored => {
                 let mut x = features::log_compress(&features::raw_features(g));
@@ -214,13 +222,8 @@ pub fn encode(dataset: &GraphDataset, train_frac: f64, config: &Dbg4EthConfig) -
                 GraphTensors::new(g, x, config.t_slices)
             }
             FeatureMode::None => GraphTensors::without_node_features(g, config.t_slices),
-        })
-        .collect();
-    let labels: Vec<bool> = dataset
-        .graphs
-        .iter()
-        .map(|g| g.label == Some(POSITIVE))
-        .collect();
+        });
+    let labels: Vec<bool> = dataset.graphs.iter().map(|g| g.label == Some(POSITIVE)).collect();
 
     // Holdout construction for fitting the calibrators and the stacked
     // classifier. With `holdout_frac = 0` (the default under label
@@ -242,11 +245,8 @@ pub fn encode(dataset: &GraphDataset, train_frac: f64, config: &Dbg4EthConfig) -
     if cross_fit {
         fit_idx = train_idx.clone();
         for positive in [true, false] {
-            let mut part: Vec<usize> = train_idx
-                .iter()
-                .copied()
-                .filter(|&i| labels[i] == positive)
-                .collect();
+            let mut part: Vec<usize> =
+                train_idx.iter().copied().filter(|&i| labels[i] == positive).collect();
             part.shuffle(&mut rng);
             let half = part.len() / 2;
             fold_a.extend_from_slice(&part[..half]);
@@ -256,59 +256,84 @@ pub fn encode(dataset: &GraphDataset, train_frac: f64, config: &Dbg4EthConfig) -
         holdout_idx.extend_from_slice(&fold_b);
     } else {
         for positive in [true, false] {
-            let mut part: Vec<usize> = train_idx
-                .iter()
-                .copied()
-                .filter(|&i| labels[i] == positive)
-                .collect();
+            let mut part: Vec<usize> =
+                train_idx.iter().copied().filter(|&i| labels[i] == positive).collect();
             part.shuffle(&mut rng);
             let n_hold = ((part.len() as f64) * config.holdout_frac).round() as usize;
-            let n_hold = n_hold.clamp(1.min(part.len()), part.len().saturating_sub(1).max(1));
+            // A stratum must never be exhausted on either side: the fit
+            // split keeps at least one example of every class (so cap at
+            // `len - 1`), and a singleton stratum stays entirely in the
+            // fit split (the old lower clamp of 1 would hand its only
+            // sample to the holdout, leaving the encoder a class it had
+            // never seen).
+            let n_hold = if part.len() > 1 { n_hold.clamp(1, part.len() - 1) } else { 0 };
             holdout_idx.extend_from_slice(&part[..n_hold]);
             fit_idx.extend_from_slice(&part[n_hold..]);
         }
     }
 
-    let graphs_of = |idx: &[usize]| -> Vec<&GraphTensors> {
-        idx.iter().map(|&i| &tensors[i]).collect()
-    };
+    let graphs_of =
+        |idx: &[usize]| -> Vec<&GraphTensors> { idx.iter().map(|&i| &tensors[i]).collect() };
     let fit_graphs = graphs_of(&fit_idx);
     let test_graphs = graphs_of(&test_idx);
     let holdout_labels: Vec<bool> = holdout_idx.iter().map(|&i| labels[i]).collect();
     let test_labels: Vec<bool> = test_idx.iter().map(|&i| labels[i]).collect();
 
     // Train a branch and produce (holdout_raw, test_raw), cross-fitting the
-    // holdout scores when enabled.
-    let run_branch = |train: &dyn Fn(&[&GraphTensors]) -> Box<dyn Fn(&[&GraphTensors]) -> Vec<f64>>| {
-        let full_scorer = train(&fit_graphs);
-        let test_raw = full_scorer(&test_graphs);
-        let holdout_raw = if cross_fit && !fold_a.is_empty() && !fold_b.is_empty() {
-            // Score each fold with the encoder trained on the other fold.
-            let scorer_a = train(&graphs_of(&fold_b)); // fitted without fold A
-            let mut scores = scorer_a(&graphs_of(&fold_a));
-            let scorer_b = train(&graphs_of(&fold_a));
-            scores.extend(scorer_b(&graphs_of(&fold_b)));
-            scores
+    // holdout scores when enabled. Each training task builds its own
+    // seeded `StdRng` from `config.seed`, so the three cross-fit fits (full,
+    // fold A, fold B) are independent tasks whose results do not depend on
+    // the thread count; only their collection order matters, and that is
+    // fixed by task index.
+    let holdout_graphs = graphs_of(&holdout_idx);
+    let fold_a_graphs = graphs_of(&fold_a);
+    let fold_b_graphs = graphs_of(&fold_b);
+    let cross_fitting = cross_fit && !fold_a.is_empty() && !fold_b.is_empty();
+
+    let run_branch = |train: &(dyn Fn(&[&GraphTensors]) -> Box<dyn BranchScorer + Send> + Sync)| {
+        if cross_fitting {
+            // Task 0 scores the test split with the full-split encoder;
+            // tasks 1 and 2 score each fold with the encoder trained on
+            // the other fold.
+            let mut outs = par::par_map_indices(threads, 3, |task| match task {
+                0 => train(&fit_graphs).raw_scores(&test_graphs),
+                1 => train(&fold_b_graphs).raw_scores(&fold_a_graphs),
+                _ => train(&fold_a_graphs).raw_scores(&fold_b_graphs),
+            });
+            let test_raw = std::mem::take(&mut outs[0]);
+            let mut holdout_raw = std::mem::take(&mut outs[1]);
+            holdout_raw.append(&mut outs[2]);
+            (holdout_raw, test_raw)
         } else {
-            full_scorer(&graphs_of(&holdout_idx))
-        };
-        (holdout_raw, test_raw)
+            let scorer = train(&fit_graphs);
+            let (holdout_raw, test_raw) = par::join(
+                threads,
+                || scorer.raw_scores(&holdout_graphs),
+                || scorer.raw_scores_par(&test_graphs, threads),
+            );
+            (holdout_raw, test_raw)
+        }
     };
 
-    let mut gsg = None;
-    let mut ldg = None;
-    if config.use_gsg {
-        gsg = Some(run_branch(&|graphs: &[&GraphTensors]| {
-            let trained = train_gsg(graphs, config);
-            Box::new(move |gs: &[&GraphTensors]| trained.raw_scores(gs))
-        }));
-    }
-    if config.use_ldg {
-        ldg = Some(run_branch(&|graphs: &[&GraphTensors]| {
-            let trained = train_ldg(graphs, config);
-            Box::new(move |gs: &[&GraphTensors]| trained.raw_scores(gs))
-        }));
-    }
+    // The two encoder branches are fully independent (separate parameter
+    // stores, separate seed streams) — run them concurrently.
+    let (gsg, ldg) = par::join(
+        threads,
+        || {
+            config.use_gsg.then(|| {
+                run_branch(&|graphs: &[&GraphTensors]| {
+                    Box::new(train_gsg(graphs, config)) as Box<dyn BranchScorer + Send>
+                })
+            })
+        },
+        || {
+            config.use_ldg.then(|| {
+                run_branch(&|graphs: &[&GraphTensors]| {
+                    Box::new(train_ldg(graphs, config)) as Box<dyn BranchScorer + Send>
+                })
+            })
+        },
+    );
     EncodedDataset { gsg, ldg, holdout_labels, test_labels }
 }
 
@@ -401,5 +426,59 @@ mod tests {
         let c = run(d, 0.7, &cfg);
         assert_eq!(a.test_scores, c.test_scores);
         assert_eq!(a.metrics, c.metrics);
+    }
+
+    #[test]
+    fn runs_are_thread_count_invariant() {
+        // The parallel layer's core guarantee: the same configuration run
+        // serially and with a worker pool produces bit-identical outputs.
+        let b = tiny_benchmark();
+        let d = b.dataset(AccountClass::Exchange);
+        let mut cfg = tiny_config();
+        cfg.use_ldg = false; // keep it quick
+        cfg.parallelism = 1;
+        let serial = run(d, 0.7, &cfg);
+        cfg.parallelism = 4;
+        let parallel = run(d, 0.7, &cfg);
+        assert_eq!(serial.test_scores, parallel.test_scores);
+        assert_eq!(serial.metrics, parallel.metrics);
+    }
+
+    #[test]
+    fn singleton_stratum_stays_in_the_fit_split() {
+        // Regression test for holdout exhaustion: with one positive in the
+        // training split and `holdout_frac > 0`, the old lower clamp of 1
+        // handed the only positive to the holdout, leaving the encoders a
+        // class they had never seen. A singleton stratum must stay in the
+        // fit split, giving a negatives-only holdout.
+        let b = tiny_benchmark();
+        let full = b.dataset(AccountClass::Exchange);
+        let mut graphs = Vec::new();
+        let mut kept_pos = 0;
+        for g in &full.graphs {
+            if g.label == Some(POSITIVE) {
+                if kept_pos < 2 {
+                    kept_pos += 1;
+                    graphs.push(g.clone());
+                }
+            } else {
+                graphs.push(g.clone());
+            }
+        }
+        let d = GraphDataset { class: AccountClass::Exchange, graphs };
+        // split(0.7) puts round(2 * 0.7) = 1 positive into the train split.
+        let mut cfg = tiny_config();
+        cfg.use_ldg = false;
+        cfg.holdout_frac = 0.5;
+        cfg.cross_fit = false;
+        let encoded = encode(&d, 0.7, &cfg);
+        assert!(!encoded.holdout_labels.is_empty());
+        assert!(
+            encoded.holdout_labels.iter().all(|&y| !y),
+            "the singleton positive leaked into the holdout"
+        );
+        // The single-class holdout must still calibrate and classify.
+        let out = finish(&encoded, &cfg);
+        assert!(out.test_scores.iter().all(|p| p.is_finite() && (0.0..=1.0).contains(p)));
     }
 }

@@ -5,7 +5,7 @@ use gnn::{augment, nt_xent, GraphTensors, GsgEncoder, LdgEncoder};
 use nn::{Adam, Ctx, ParamStore};
 use rand::rngs::StdRng;
 use rand::{seq::SliceRandom, SeedableRng};
-use std::rc::Rc;
+use std::sync::Arc;
 use tensor::{Tape, Var};
 
 /// Per-epoch training statistics.
@@ -67,12 +67,24 @@ pub fn train_gsg(graphs: &[&GraphTensors], config: &Dbg4EthConfig) -> TrainedGsg
                 if config.contrastive_weight > 0.0 {
                     let v1 = augment(g, config.aug1, &mut rng);
                     let o1 = encoder.forward_parts(
-                        &mut tape, &mut ctx, &store, v1.n, &v1.x, &v1.src, &v1.dst,
+                        &mut tape,
+                        &mut ctx,
+                        &store,
+                        v1.n,
+                        &v1.x,
+                        &v1.src,
+                        &v1.dst,
                         &v1.edge_feat,
                     );
                     let v2 = augment(g, config.aug2, &mut rng);
                     let o2 = encoder.forward_parts(
-                        &mut tape, &mut ctx, &store, v2.n, &v2.x, &v2.src, &v2.dst,
+                        &mut tape,
+                        &mut ctx,
+                        &store,
+                        v2.n,
+                        &v2.x,
+                        &v2.src,
+                        &v2.dst,
                         &v2.edge_feat,
                     );
                     proj1 = Some(match proj1 {
@@ -85,7 +97,7 @@ pub fn train_gsg(graphs: &[&GraphTensors], config: &Dbg4EthConfig) -> TrainedGsg
                     });
                 }
             }
-            let ce = tape.cross_entropy(logits.expect("non-empty batch"), Rc::new(targets));
+            let ce = tape.cross_entropy(logits.expect("non-empty batch"), Arc::new(targets));
             let (loss, con_val) = match (proj1, proj2) {
                 (Some(z1), Some(z2)) if batch.len() > 1 => {
                     let con = nt_xent(&mut tape, z1, z2, 0.5);
@@ -138,7 +150,7 @@ pub fn train_ldg(graphs: &[&GraphTensors], config: &Dbg4EthConfig) -> TrainedLdg
                 });
                 targets.push(g.label.expect("training graph must be labelled"));
             }
-            let loss = tape.cross_entropy(logits.expect("non-empty batch"), Rc::new(targets));
+            let loss = tape.cross_entropy(logits.expect("non-empty batch"), Arc::new(targets));
             epoch_loss += tape.value(loss).item();
             n_batches += 1;
             tape.backward(loss);
@@ -151,34 +163,46 @@ pub fn train_ldg(graphs: &[&GraphTensors], config: &Dbg4EthConfig) -> TrainedLdg
     TrainedLdg { store, encoder, history }
 }
 
-impl TrainedGsg {
-    /// Raw prediction value (positive-class log-odds) for each graph.
-    pub fn raw_scores(&self, graphs: &[&GraphTensors]) -> Vec<f64> {
-        graphs
-            .iter()
-            .map(|g| {
-                let mut tape = Tape::new();
-                let mut ctx = Ctx::new(&self.store);
-                let out = self.encoder.forward(&mut tape, &mut ctx, &self.store, g);
-                let v = tape.value(out.logits);
-                (v.get(0, 1) - v.get(0, 0)) as f64
-            })
-            .collect()
+/// A trained encoder branch that can score graphs. Inference builds a
+/// fresh tape per graph, so scoring different graphs from different worker
+/// threads is safe and the per-graph results are independent of thread
+/// count.
+pub trait BranchScorer: Sync {
+    /// Raw prediction value (positive-class log-odds) for one graph.
+    fn raw_score(&self, graph: &GraphTensors) -> f64;
+
+    /// Raw prediction values for each graph, serially.
+    fn raw_scores(&self, graphs: &[&GraphTensors]) -> Vec<f64> {
+        self.raw_scores_par(graphs, 1)
+    }
+
+    /// Raw prediction values for each graph, fanned out over `threads`
+    /// workers with index-ordered collection (bit-identical to serial).
+    fn raw_scores_par(&self, graphs: &[&GraphTensors], threads: usize) -> Vec<f64> {
+        par::par_map(threads, graphs, |g| self.raw_score(g))
     }
 }
 
-impl TrainedLdg {
-    /// Raw prediction value (positive-class log-odds) for each graph.
-    pub fn raw_scores(&self, graphs: &[&GraphTensors]) -> Vec<f64> {
-        graphs
-            .iter()
-            .map(|g| {
-                let mut tape = Tape::new();
-                let mut ctx = Ctx::new(&self.store);
-                let out = self.encoder.forward(&mut tape, &mut ctx, &self.store, g);
-                let v = tape.value(out.logits);
-                (v.get(0, 1) - v.get(0, 0)) as f64
-            })
-            .collect()
+fn forward_log_odds(store: &ParamStore, forward: impl Fn(&mut Tape, &mut Ctx) -> Var) -> f64 {
+    let mut tape = Tape::new();
+    let mut ctx = Ctx::new(store);
+    let logits = forward(&mut tape, &mut ctx);
+    let v = tape.value(logits);
+    (v.get(0, 1) - v.get(0, 0)) as f64
+}
+
+impl BranchScorer for TrainedGsg {
+    fn raw_score(&self, graph: &GraphTensors) -> f64 {
+        forward_log_odds(&self.store, |tape, ctx| {
+            self.encoder.forward(tape, ctx, &self.store, graph).logits
+        })
+    }
+}
+
+impl BranchScorer for TrainedLdg {
+    fn raw_score(&self, graph: &GraphTensors) -> f64 {
+        forward_log_odds(&self.store, |tape, ctx| {
+            self.encoder.forward(tape, ctx, &self.store, graph).logits
+        })
     }
 }

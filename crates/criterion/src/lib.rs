@@ -1,0 +1,102 @@
+//! Offline micro-benchmark harness exposing the subset of the `criterion`
+//! API the workspace benches use: [`Criterion::bench_function`],
+//! [`Bencher::iter`], `sample_size`, and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! Timing is a simple best-of-samples wall-clock measurement printed to
+//! stdout — enough to compare kernels on one machine, with none of
+//! criterion's statistics.
+
+use std::time::{Duration, Instant};
+
+/// Runs one benchmark body repeatedly.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    warmup_iters: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10, warmup_iters: 1 }
+    }
+}
+
+impl Criterion {
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        // Warm-up pass (also sizes one sample).
+        let mut b = Bencher { iters: self.warmup_iters, elapsed: Duration::ZERO };
+        f(&mut b);
+        let mut best =
+            b.elapsed.max(Duration::from_nanos(1)) / u32::try_from(b.iters.max(1)).unwrap_or(1);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+            f(&mut b);
+            if b.elapsed > Duration::ZERO && b.elapsed < best {
+                best = b.elapsed;
+            }
+        }
+        println!("{name}: best {best:?} over {} samples", self.sample_size);
+        self
+    }
+}
+
+/// Declare a benchmark group, optionally with a configured [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $cfg;
+            $( $target(&mut c); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(name = $name; config = $crate::Criterion::default(); targets = $($target),+);
+    };
+}
+
+/// Entry point running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn harness_runs() {
+        let mut c = Criterion::default().sample_size(3);
+        sample_bench(&mut c);
+    }
+}

@@ -232,8 +232,22 @@ mod tests {
             nodes: vec![0, 1, 2],
             kinds: vec![AccountKind::Eoa; 3],
             txs: vec![
-                LocalTx { src: 0, dst: 1, value: 1000.0, timestamp: 10, fee: 0.0, contract_call: false },
-                LocalTx { src: 0, dst: 2, value: 0.01, timestamp: 10, fee: 0.0, contract_call: false },
+                LocalTx {
+                    src: 0,
+                    dst: 1,
+                    value: 1000.0,
+                    timestamp: 10,
+                    fee: 0.0,
+                    contract_call: false,
+                },
+                LocalTx {
+                    src: 0,
+                    dst: 2,
+                    value: 0.01,
+                    timestamp: 10,
+                    fee: 0.0,
+                    contract_call: false,
+                },
             ],
             label: None,
         };

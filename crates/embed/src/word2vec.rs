@@ -33,9 +33,8 @@ pub fn skipgram(
 ) -> Vec<Vec<f32>> {
     let d = config.dim;
     let scale = 0.5 / d as f32;
-    let mut emb: Vec<Vec<f32>> = (0..n_nodes)
-        .map(|_| (0..d).map(|_| rng.gen_range(-scale..scale)).collect())
-        .collect();
+    let mut emb: Vec<Vec<f32>> =
+        (0..n_nodes).map(|_| (0..d).map(|_| rng.gen_range(-scale..scale)).collect()).collect();
     let mut ctx: Vec<Vec<f32>> = vec![vec![0.0; d]; n_nodes];
 
     // Unigram^0.75 negative-sampling table.
@@ -67,19 +66,15 @@ pub fn skipgram(
             for (pos, &center) in walk.iter().enumerate() {
                 let lo = pos.saturating_sub(config.window);
                 let hi = (pos + config.window + 1).min(walk.len());
-                for other in lo..hi {
+                for (other, &target) in walk.iter().enumerate().take(hi).skip(lo) {
                     if other == pos {
                         continue;
                     }
-                    let target = walk[other];
                     grad.iter_mut().for_each(|g| *g = 0.0);
                     // Positive pair.
                     {
-                        let dot: f32 = emb[center]
-                            .iter()
-                            .zip(&ctx[target])
-                            .map(|(&a, &b)| a * b)
-                            .sum();
+                        let dot: f32 =
+                            emb[center].iter().zip(&ctx[target]).map(|(&a, &b)| a * b).sum();
                         let err = sigmoid(dot) - 1.0;
                         for k in 0..d {
                             grad[k] += err * ctx[target][k];
@@ -92,11 +87,8 @@ pub fn skipgram(
                         if neg == target {
                             continue;
                         }
-                        let dot: f32 = emb[center]
-                            .iter()
-                            .zip(&ctx[neg])
-                            .map(|(&a, &b)| a * b)
-                            .sum();
+                        let dot: f32 =
+                            emb[center].iter().zip(&ctx[neg]).map(|(&a, &b)| a * b).sum();
                         let err = sigmoid(dot);
                         for k in 0..d {
                             grad[k] += err * ctx[neg][k];
@@ -160,17 +152,19 @@ mod tests {
         let emb = skipgram(&walks, 6, cfg, &mut rng);
         let within = cosine(&emb[0], &emb[1]);
         let across = cosine(&emb[0], &emb[4]);
-        assert!(
-            within > across + 0.2,
-            "within {within} not ahead of across {across}"
-        );
+        assert!(within > across + 0.2, "within {within} not ahead of across {across}");
     }
 
     #[test]
     fn embeddings_have_requested_dim() {
         let walks = vec![vec![0, 1], vec![1, 0]];
         let mut rng = StdRng::seed_from_u64(1);
-        let emb = skipgram(&walks, 2, SkipGramConfig { dim: 7, epochs: 1, ..Default::default() }, &mut rng);
+        let emb = skipgram(
+            &walks,
+            2,
+            SkipGramConfig { dim: 7, epochs: 1, ..Default::default() },
+            &mut rng,
+        );
         assert_eq!(emb.len(), 2);
         assert!(emb.iter().all(|e| e.len() == 7));
     }

@@ -21,10 +21,7 @@ pub fn gcn_norm_adjacency(n: usize, edges: &[(usize, usize, f64)]) -> Tensor {
     for i in 0..n {
         a.set(i, i, a.get(i, i).max(1.0)); // self-loop
     }
-    let mut deg = vec![0.0f32; n];
-    for r in 0..n {
-        deg[r] = a.row(r).iter().sum::<f32>();
-    }
+    let deg: Vec<f32> = (0..n).map(|r| a.row(r).iter().sum::<f32>()).collect();
     let inv_sqrt: Vec<f32> =
         deg.iter().map(|&d| if d > 0.0 { 1.0 / d.sqrt() } else { 0.0 }).collect();
     for r in 0..n {

@@ -13,8 +13,8 @@
 
 pub mod adj;
 pub mod centrality;
-pub mod stats;
 mod sampling;
+pub mod stats;
 mod subgraph;
 mod tx;
 mod txgraph;

@@ -73,8 +73,8 @@ pub fn sample_subgraph(
         let mut next = Vec::new();
         for &node in &frontier {
             for nb in top_k_neighbours(graph, node, config.top_k) {
-                if !in_set.contains_key(&nb) {
-                    in_set.insert(nb, selected.len());
+                if let std::collections::hash_map::Entry::Vacant(e) = in_set.entry(nb) {
+                    e.insert(selected.len());
                     selected.push(nb);
                     next.push(nb);
                 }
@@ -171,10 +171,7 @@ mod tests {
     fn ties_break_by_total_value() {
         // Both neighbours have avg 4; neighbour 2 has higher total.
         let kinds = vec![AccountKind::Eoa; 3];
-        let g = TxGraph::build(
-            kinds,
-            vec![tx(0, 1, 4.0), tx(0, 2, 4.0), tx(0, 2, 4.0)],
-        );
+        let g = TxGraph::build(kinds, vec![tx(0, 1, 4.0), tx(0, 2, 4.0), tx(0, 2, 4.0)]);
         let s = sample_subgraph(&g, 0, SamplerConfig { top_k: 1, hops: 1 }, None);
         assert_eq!(s.nodes, vec![0, 2]);
     }

@@ -25,11 +25,7 @@ pub fn graph_stats(graph: &Subgraph) -> GraphStats {
     let n = adj.len();
     let degrees: Vec<usize> = adj.iter().map(Vec::len).collect();
     let m: usize = degrees.iter().sum::<usize>() / 2;
-    let density = if n > 1 {
-        2.0 * m as f64 / (n as f64 * (n as f64 - 1.0))
-    } else {
-        0.0
-    };
+    let density = if n > 1 { 2.0 * m as f64 / (n as f64 * (n as f64 - 1.0)) } else { 0.0 };
 
     // Triangle count by neighbour-set intersection over sorted lists.
     let mut triangles = 0usize;
@@ -54,11 +50,8 @@ pub fn graph_stats(graph: &Subgraph) -> GraphStats {
         }
     }
     let open_triads: usize = degrees.iter().map(|&d| d * d.saturating_sub(1) / 2).sum();
-    let clustering = if open_triads > 0 {
-        3.0 * triangles as f64 / open_triads as f64
-    } else {
-        0.0
-    };
+    let clustering =
+        if open_triads > 0 { 3.0 * triangles as f64 / open_triads as f64 } else { 0.0 };
 
     GraphStats {
         n_nodes: n,

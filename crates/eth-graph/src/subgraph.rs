@@ -115,7 +115,7 @@ impl Subgraph {
             .map(|m| {
                 let mut edges: Vec<(usize, usize, f64)> =
                     m.into_iter().map(|((s, d), w)| (s, d, w)).collect();
-                edges.sort_unstable_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+                edges.sort_unstable_by_key(|a| (a.0, a.1));
                 TimeSlice { edges }
             })
             .collect()
@@ -193,13 +193,10 @@ mod tests {
         let slices = g.time_slices(2);
         assert_eq!(slices.len(), 2);
         // First half: both 0->1 txs (times 0.0 and 0.5 -> slice 0 and 1).
-        let total: f64 = slices
-            .iter()
-            .flat_map(|s| s.edges.iter().map(|e| e.2))
-            .sum();
+        let total: f64 = slices.iter().flat_map(|s| s.edges.iter().map(|e| e.2)).sum();
         assert_eq!(total, 10.0); // all value preserved
-        // Time 1.0 clamps into the last slice rather than overflowing.
-        assert!(slices[1].edges.iter().any(|e| *e == (1, 2, 1.0)));
+                                 // Time 1.0 clamps into the last slice rather than overflowing.
+        assert!(slices[1].edges.contains(&(1, 2, 1.0)));
     }
 
     #[test]

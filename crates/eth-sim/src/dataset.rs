@@ -33,15 +33,10 @@ pub struct DatasetStats {
 
 impl GraphDataset {
     pub fn stats(&self) -> DatasetStats {
-        let positives = self
-            .graphs
-            .iter()
-            .filter(|g| g.label == Some(POSITIVE))
-            .count();
+        let positives = self.graphs.iter().filter(|g| g.label == Some(POSITIVE)).count();
         let n = self.graphs.len().max(1) as f64;
         let avg_nodes = self.graphs.iter().map(|g| g.n() as f64).sum::<f64>() / n;
-        let avg_edges =
-            self.graphs.iter().map(|g| g.merged_edges().len() as f64).sum::<f64>() / n;
+        let avg_edges = self.graphs.iter().map(|g| g.merged_edges().len() as f64).sum::<f64>() / n;
         DatasetStats { positives, graphs: self.graphs.len(), avg_nodes, avg_edges }
     }
 
@@ -52,9 +47,8 @@ impl GraphDataset {
         let mut train = Vec::new();
         let mut test = Vec::new();
         for label in [POSITIVE, NEGATIVE] {
-            let mut idx: Vec<usize> = (0..self.graphs.len())
-                .filter(|&i| self.graphs[i].label == Some(label))
-                .collect();
+            let mut idx: Vec<usize> =
+                (0..self.graphs.len()).filter(|&i| self.graphs[i].label == Some(label)).collect();
             idx.shuffle(&mut rng);
             let cut = ((idx.len() as f64) * train_frac).round() as usize;
             let cut = cut.clamp(1.min(idx.len()), idx.len().saturating_sub(1).max(1));
@@ -117,16 +111,12 @@ impl DatasetScale {
 /// Index of a class in the multiclass labelling (0-5 the labelled
 /// categories in `AccountClass::LABELLED` order, 6 = normal).
 pub fn multiclass_label(class: AccountClass) -> usize {
-    AccountClass::LABELLED
-        .iter()
-        .position(|&c| c == class)
-        .unwrap_or(AccountClass::LABELLED.len())
+    AccountClass::LABELLED.iter().position(|&c| c == class).unwrap_or(AccountClass::LABELLED.len())
 }
 
 /// Class names in multiclass-label order (index 6 is "normal").
 pub fn multiclass_names() -> Vec<&'static str> {
-    let mut names: Vec<&'static str> =
-        AccountClass::LABELLED.iter().map(|c| c.name()).collect();
+    let mut names: Vec<&'static str> = AccountClass::LABELLED.iter().map(|c| c.name()).collect();
     names.push(AccountClass::Normal.name());
     names
 }
@@ -157,20 +147,11 @@ impl Benchmark {
     /// shared across datasets exactly as unlabelled accounts are in the
     /// paper's pipeline.
     pub fn generate(scale: DatasetScale, sampler: SamplerConfig, seed: u64) -> Self {
-        let mut spec: Vec<(AccountClass, usize)> = AccountClass::LABELLED
-            .iter()
-            .map(|&c| (c, scale.of(c)))
-            .collect();
-        let max_class = AccountClass::LABELLED
-            .iter()
-            .map(|&c| scale.of(c))
-            .max()
-            .unwrap_or(0);
+        let mut spec: Vec<(AccountClass, usize)> =
+            AccountClass::LABELLED.iter().map(|&c| (c, scale.of(c))).collect();
+        let max_class = AccountClass::LABELLED.iter().map(|&c| scale.of(c)).max().unwrap_or(0);
         spec.push((AccountClass::Normal, max_class));
-        let world = World::generate(
-            WorldConfig { seed, ..Default::default() },
-            &spec,
-        );
+        let world = World::generate(WorldConfig { seed, ..Default::default() }, &spec);
         let graph = TxGraph::build(world.kinds.clone(), world.txs.clone());
         let normals = world.centers_of(AccountClass::Normal);
         let mut rng = StdRng::seed_from_u64(seed ^ 0xD1CE);
@@ -218,10 +199,7 @@ impl Benchmark {
     }
 
     pub fn dataset(&self, class: AccountClass) -> &GraphDataset {
-        self.datasets
-            .iter()
-            .find(|d| d.class == class)
-            .expect("dataset for class not generated")
+        self.datasets.iter().find(|d| d.class == class).expect("dataset for class not generated")
     }
 }
 

@@ -7,8 +7,8 @@
 //! 2015-2024 transaction stream ([`World`]), and per-category binary
 //! graph-classification datasets ([`Benchmark`]) matching Table II's shape.
 
-pub mod dist;
 mod dataset;
+pub mod dist;
 mod obfuscate;
 mod profile;
 mod world;
@@ -17,6 +17,8 @@ pub use dataset::{
     multiclass_graphs, multiclass_label, multiclass_names, Benchmark, DatasetScale, DatasetStats,
     GraphDataset, NEGATIVE, POSITIVE,
 };
-pub use obfuscate::{denomination_for, obfuscate_dataset, obfuscate_subgraph, MixerConfig, DENOMINATIONS};
+pub use obfuscate::{
+    denomination_for, obfuscate_dataset, obfuscate_subgraph, MixerConfig, DENOMINATIONS,
+};
 pub use profile::{profile, AccountClass, ClassProfile, TemporalPattern};
 pub use world::{World, WorldConfig, EPOCH_END, EPOCH_START};

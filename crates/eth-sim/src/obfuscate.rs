@@ -90,10 +90,7 @@ pub fn obfuscate_subgraph(graph: &Subgraph, config: MixerConfig) -> Subgraph {
 
 /// Obfuscate every graph of a dataset (both classes — the mixer is a public
 /// service normal users also adopt).
-pub fn obfuscate_dataset(
-    graphs: &[Subgraph],
-    config: MixerConfig,
-) -> Vec<Subgraph> {
+pub fn obfuscate_dataset(graphs: &[Subgraph], config: MixerConfig) -> Vec<Subgraph> {
     graphs
         .iter()
         .enumerate()
@@ -115,9 +112,30 @@ mod tests {
             nodes: vec![10, 20, 30],
             kinds: vec![AccountKind::Eoa; 3],
             txs: vec![
-                LocalTx { src: 0, dst: 1, value: 2.5, timestamp: 100, fee: 0.01, contract_call: false },
-                LocalTx { src: 2, dst: 0, value: 0.05, timestamp: 200, fee: 0.01, contract_call: false },
-                LocalTx { src: 1, dst: 2, value: 7.0, timestamp: 300, fee: 0.01, contract_call: false },
+                LocalTx {
+                    src: 0,
+                    dst: 1,
+                    value: 2.5,
+                    timestamp: 100,
+                    fee: 0.01,
+                    contract_call: false,
+                },
+                LocalTx {
+                    src: 2,
+                    dst: 0,
+                    value: 0.05,
+                    timestamp: 200,
+                    fee: 0.01,
+                    contract_call: false,
+                },
+                LocalTx {
+                    src: 1,
+                    dst: 2,
+                    value: 7.0,
+                    timestamp: 300,
+                    fee: 0.01,
+                    contract_call: false,
+                },
             ],
             label: Some(1),
         }
@@ -167,9 +185,9 @@ mod tests {
         for dep in ob.txs.iter().filter(|t| t.dst == mixer) {
             // A matching withdrawal exists at or after the deposit time.
             assert!(
-                ob.txs
-                    .iter()
-                    .any(|w| w.src == mixer && w.value == dep.value && w.timestamp >= dep.timestamp),
+                ob.txs.iter().any(|w| w.src == mixer
+                    && w.value == dep.value
+                    && w.timestamp >= dep.timestamp),
                 "no withdrawal for deposit {dep:?}"
             );
         }

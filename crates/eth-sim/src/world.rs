@@ -72,11 +72,7 @@ impl World {
 
     /// Centre accounts of one class.
     pub fn centers_of(&self, class: AccountClass) -> Vec<usize> {
-        self.centers
-            .iter()
-            .filter(|(_, c)| *c == class)
-            .map(|(a, _)| *a)
-            .collect()
+        self.centers.iter().filter(|(_, c)| *c == class).map(|(a, _)| *a).collect()
     }
 }
 
@@ -153,6 +149,7 @@ impl WorldBuilder {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn push_tx(
         &mut self,
         from: usize,
@@ -234,11 +231,8 @@ impl WorldBuilder {
             p.mean_degree = other.mean_degree;
             p.pattern = other.pattern;
         }
-        let kind = if class == AccountClass::Bridge {
-            AccountKind::Contract
-        } else {
-            AccountKind::Eoa
-        };
+        let kind =
+            if class == AccountClass::Bridge { AccountKind::Contract } else { AccountKind::Eoa };
         let center = self.new_account(kind, class);
         self.centers.push((center, class));
 
@@ -253,18 +247,29 @@ impl WorldBuilder {
         let est_total = ((degree as f64) * p.mean_txs_per_peer).round().max(1.0) as usize;
         let mut tx_counter = 0usize;
 
+        let mut seen = std::collections::HashSet::with_capacity(degree);
         for _ in 0..degree {
             // Is this counterparty a contract (so that outgoing transactions
             // to it are contract calls)?
             let contract_peer = rng.gen_bool(p.contract_call_frac);
             let peer = if rng.gen_bool(p.shared_peer_frac) {
-                if contract_peer {
-                    match self.random_background_contract(rng) {
-                        Some(c) => c,
-                        None => self.new_account(AccountKind::Contract, AccountClass::Normal),
-                    }
+                let shared = if contract_peer {
+                    self.random_background_contract(rng)
                 } else {
-                    self.random_background_eoa(rng)
+                    Some(self.random_background_eoa(rng))
+                };
+                // `degree` promises that many *distinct* counterparties
+                // (the class profiles guarantee at least `min_degree` of
+                // them); a background account drawn twice would silently
+                // shrink the neighbourhood, so duplicates fall through to a
+                // fresh peer instead.
+                match shared.filter(|s| !seen.contains(s)) {
+                    Some(s) => s,
+                    None => {
+                        let k =
+                            if contract_peer { AccountKind::Contract } else { AccountKind::Eoa };
+                        self.new_account(k, AccountClass::Normal)
+                    }
                 }
             } else {
                 let k = if contract_peer { AccountKind::Contract } else { AccountKind::Eoa };
@@ -276,10 +281,26 @@ impl WorldBuilder {
                     let other = self.random_background(rng);
                     let ts = rng.gen_range(EPOCH_START..EPOCH_END);
                     if self.kinds[fresh] == AccountKind::Eoa {
-                        self.push_tx(fresh, other, dist::lognormal(rng, -1.5, 1.0), ts, 35.0, 40_000.0, rng);
+                        self.push_tx(
+                            fresh,
+                            other,
+                            dist::lognormal(rng, -1.5, 1.0),
+                            ts,
+                            35.0,
+                            40_000.0,
+                            rng,
+                        );
                     } else {
                         let src = self.random_background_eoa(rng);
-                        self.push_tx(src, fresh, dist::lognormal(rng, -1.5, 1.0), ts, 35.0, 90_000.0, rng);
+                        self.push_tx(
+                            src,
+                            fresh,
+                            dist::lognormal(rng, -1.5, 1.0),
+                            ts,
+                            35.0,
+                            90_000.0,
+                            rng,
+                        );
                     }
                 }
                 fresh
@@ -287,6 +308,7 @@ impl WorldBuilder {
             if peer == center {
                 continue;
             }
+            seen.insert(peer);
 
             let n_txs = dist::count_around(rng, p.mean_txs_per_peer, 1, 20);
             for _ in 0..n_txs {
@@ -311,12 +333,7 @@ impl WorldBuilder {
 
     fn finish(mut self) -> World {
         self.txs.sort_by_key(|t| t.timestamp);
-        World {
-            kinds: self.kinds,
-            classes: self.classes,
-            centers: self.centers,
-            txs: self.txs,
-        }
+        World { kinds: self.kinds, classes: self.classes, centers: self.centers, txs: self.txs }
     }
 }
 
@@ -327,11 +344,7 @@ mod tests {
     fn small_world() -> World {
         World::generate(
             WorldConfig { n_background: 300, seed: 11, ..Default::default() },
-            &[
-                (AccountClass::Exchange, 5),
-                (AccountClass::PhishHack, 5),
-                (AccountClass::Normal, 5),
-            ],
+            &[(AccountClass::Exchange, 5), (AccountClass::PhishHack, 5), (AccountClass::Normal, 5)],
         )
     }
 

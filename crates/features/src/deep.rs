@@ -31,8 +31,8 @@ pub mod idx {
 
 /// Human-readable abbreviations (Table I), index-aligned with [`idx`].
 pub const FEATURE_NAMES: [&str; N_FEATURES] = [
-    "NTS", "STV", "SAV", "min_STI", "max_STI", "NTR", "RTV", "RAV", "min_RTI", "max_RTI",
-    "SETF", "SAETF", "RETF", "RAETF", "NC",
+    "NTS", "STV", "SAV", "min_STI", "max_STI", "NTR", "RTV", "RAV", "min_RTI", "max_RTI", "SETF",
+    "SAETF", "RETF", "RAETF", "NC",
 ];
 
 /// The four feature families of Table I.
@@ -80,7 +80,7 @@ impl FeatureCategory {
 
 /// Min/max absolute gap between consecutive timestamps (Eqs. 3-4). A single
 /// transaction (or none) yields `(0, 0)`.
-fn interval_min_max(timestamps: &mut Vec<u64>) -> (f64, f64) {
+fn interval_min_max(timestamps: &mut [u64]) -> (f64, f64) {
     if timestamps.len() < 2 {
         return (0.0, 0.0);
     }
@@ -166,11 +166,8 @@ pub fn standardize_columns(features: &mut Tensor) {
         var /= n as f64;
         let std = var.sqrt();
         for r in 0..n {
-            let z = if std > 1e-12 {
-                ((features.get(r, c) as f64 - mean) / std) as f32
-            } else {
-                0.0
-            };
+            let z =
+                if std > 1e-12 { ((features.get(r, c) as f64 - mean) / std) as f32 } else { 0.0 };
             features.set(r, c, z);
         }
     }
@@ -254,7 +251,7 @@ mod tests {
 
     #[test]
     fn categories_cover_all_columns_exactly_once() {
-        let mut seen = vec![false; N_FEATURES];
+        let mut seen = [false; N_FEATURES];
         for cat in FeatureCategory::ALL {
             for &c in cat.columns() {
                 assert!(!seen[c], "column {c} assigned twice");
@@ -278,12 +275,8 @@ mod tests {
 
     #[test]
     fn empty_graph_features_are_zero() {
-        let g = Subgraph {
-            nodes: vec![0],
-            kinds: vec![AccountKind::Eoa],
-            txs: vec![],
-            label: None,
-        };
+        let g =
+            Subgraph { nodes: vec![0], kinds: vec![AccountKind::Eoa], txs: vec![], label: None };
         let f = raw_features(&g);
         assert!(f.data().iter().all(|&x| x == 0.0));
     }

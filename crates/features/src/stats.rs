@@ -11,8 +11,8 @@ pub fn correlation_matrix(features: &Tensor) -> Tensor {
     let (n, d) = features.shape();
     let mut means = vec![0.0f64; d];
     for r in 0..n {
-        for c in 0..d {
-            means[c] += features.get(r, c) as f64;
+        for (c, m) in means.iter_mut().enumerate() {
+            *m += features.get(r, c) as f64;
         }
     }
     for m in &mut means {
@@ -36,8 +36,8 @@ pub fn correlation_matrix(features: &Tensor) -> Tensor {
             }
             let mut cov = 0.0f64;
             for r in 0..n {
-                cov += (features.get(r, a) as f64 - means[a])
-                    * (features.get(r, b) as f64 - means[b]);
+                cov +=
+                    (features.get(r, a) as f64 - means[a]) * (features.get(r, b) as f64 - means[b]);
             }
             cov /= n as f64;
             let c = (cov / (stds[a] * stds[b])) as f32;

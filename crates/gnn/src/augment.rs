@@ -12,7 +12,7 @@
 use crate::graphdata::GraphTensors;
 use eth_graph::centrality::{edge_centrality, node_centrality, CentralityMeasure};
 use rand::Rng;
-use std::rc::Rc;
+use std::sync::Arc;
 use tensor::Tensor;
 
 /// Augmentation hyper-parameters (the `P_e`, `P_f` of Section V-F1).
@@ -43,8 +43,8 @@ impl AugmentConfig {
 pub struct AugmentedView {
     pub n: usize,
     pub x: Tensor,
-    pub src: Rc<Vec<usize>>,
-    pub dst: Rc<Vec<usize>>,
+    pub src: Arc<Vec<usize>>,
+    pub dst: Arc<Vec<usize>>,
     pub edge_feat: Tensor,
 }
 
@@ -72,9 +72,7 @@ pub fn edge_drop_probs(
     let s_max = s.iter().copied().fold(f64::NEG_INFINITY, f64::max);
     let s_mean = s.iter().sum::<f64>() / s.len() as f64;
     let denom = (s_max - s_mean).max(1e-9);
-    s.iter()
-        .map(|&se| (p_edge * (s_max - se) / denom).min(p_tau).max(0.0))
-        .collect()
+    s.iter().map(|&se| (p_edge * (s_max - se) / denom).min(p_tau).max(0.0)).collect()
 }
 
 /// Generate one augmented view of a lowered graph.
@@ -96,9 +94,7 @@ pub fn augment(graph: &GraphTensors, config: AugmentConfig, rng: &mut impl Rng) 
     // Self-loops always survive (they carry the node's own representation).
     let mut edge_feat = Tensor::zeros(kept_rows.len() + n, graph.edge_feat.cols());
     for (r, &orig) in kept_rows.iter().enumerate() {
-        edge_feat
-            .row_mut(r)
-            .copy_from_slice(graph.edge_feat.row(orig));
+        edge_feat.row_mut(r).copy_from_slice(graph.edge_feat.row(orig));
     }
     for v in 0..n {
         src.push(v);
@@ -116,7 +112,7 @@ pub fn augment(graph: &GraphTensors, config: AugmentConfig, rng: &mut impl Rng) 
         }
     }
 
-    AugmentedView { n, x, src: Rc::new(src), dst: Rc::new(dst), edge_feat }
+    AugmentedView { n, x, src: Arc::new(src), dst: Arc::new(dst), edge_feat }
 }
 
 #[cfg(test)]
@@ -139,7 +135,14 @@ mod tests {
                 contract_call: false,
             });
         }
-        txs.push(LocalTx { src: 4, dst: 5, value: 1.0, timestamp: 9, fee: 0.0, contract_call: false });
+        txs.push(LocalTx {
+            src: 4,
+            dst: 5,
+            value: 1.0,
+            timestamp: 9,
+            fee: 0.0,
+            contract_call: false,
+        });
         let g = Subgraph {
             nodes: (0..6).collect(),
             kinds: vec![AccountKind::Eoa; 6],
@@ -169,7 +172,12 @@ mod tests {
     fn augment_keeps_self_loops_and_node_count() {
         let g = star_graph();
         let mut rng = StdRng::seed_from_u64(1);
-        let cfg = AugmentConfig { p_edge: 0.9, p_tau: 0.95, p_feat: 0.0, measure: CentralityMeasure::Degree };
+        let cfg = AugmentConfig {
+            p_edge: 0.9,
+            p_tau: 0.95,
+            p_feat: 0.0,
+            measure: CentralityMeasure::Degree,
+        };
         let view = augment(&g, cfg, &mut rng);
         assert_eq!(view.n, g.n);
         // The last n edges are the self-loops.
@@ -185,7 +193,12 @@ mod tests {
     fn zero_probabilities_are_identity() {
         let g = star_graph();
         let mut rng = StdRng::seed_from_u64(2);
-        let cfg = AugmentConfig { p_edge: 0.0, p_tau: 0.7, p_feat: 0.0, measure: CentralityMeasure::PageRank };
+        let cfg = AugmentConfig {
+            p_edge: 0.0,
+            p_tau: 0.7,
+            p_feat: 0.0,
+            measure: CentralityMeasure::PageRank,
+        };
         let view = augment(&g, cfg, &mut rng);
         assert_eq!(view.src.len(), g.src.len());
         assert_eq!(view.x, g.x);
@@ -195,7 +208,12 @@ mod tests {
     fn feature_masking_zeroes_whole_columns() {
         let g = star_graph();
         let mut rng = StdRng::seed_from_u64(3);
-        let cfg = AugmentConfig { p_edge: 0.0, p_tau: 0.7, p_feat: 1.0, measure: CentralityMeasure::Degree };
+        let cfg = AugmentConfig {
+            p_edge: 0.0,
+            p_tau: 0.7,
+            p_feat: 1.0,
+            measure: CentralityMeasure::Degree,
+        };
         let view = augment(&g, cfg, &mut rng);
         assert!(view.x.data().iter().all(|&v| v == 0.0));
     }

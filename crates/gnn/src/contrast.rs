@@ -4,7 +4,7 @@
 //! same subgraph while pushing apart different subgraphs in the batch
 //! (Section IV-A3). Composed from tape primitives so gradients are exact.
 
-use std::rc::Rc;
+use std::sync::Arc;
 use tensor::{Tape, Var};
 
 /// Symmetric NT-Xent loss between two view batches `z1, z2` of shape
@@ -19,7 +19,7 @@ pub fn nt_xent(tape: &mut Tape, z1: Var, z2: Var, temperature: f32) -> Var {
     let n2t = tape.transpose(n2);
     let sim = tape.matmul(n1, n2t);
     let sim = tape.scale(sim, 1.0 / temperature);
-    let targets = Rc::new((0..b).collect::<Vec<usize>>());
+    let targets = Arc::new((0..b).collect::<Vec<usize>>());
     let loss12 = tape.cross_entropy(sim, targets.clone());
     let sim_t = tape.transpose(sim);
     let loss21 = tape.cross_entropy(sim_t, targets);

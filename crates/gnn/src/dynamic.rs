@@ -76,15 +76,10 @@ impl LdgEncoder {
             (1..=config.pool_clusters.len()).contains(&config.pool_layers),
             "pool_layers must be within the configured stages"
         );
-        let input_proj = Linear::new(
-            store,
-            rng,
-            "ldg.in",
-            config.d_in,
-            config.hidden,
-            Activation::Tanh,
-        );
-        let gcn = GcnLayer::new(store, rng, "ldg.gcn", config.hidden, config.hidden, Activation::Relu);
+        let input_proj =
+            Linear::new(store, rng, "ldg.in", config.d_in, config.hidden, Activation::Tanh);
+        let gcn =
+            GcnLayer::new(store, rng, "ldg.gcn", config.hidden, config.hidden, Activation::Relu);
         let gru = GruCell::new(store, rng, "ldg.gru", config.hidden);
         let assign = (0..config.pool_layers)
             .map(|i| {
@@ -99,9 +94,11 @@ impl LdgEncoder {
             })
             .collect();
         let time_attn = store.zeros("ldg.time_attn", 1, config.t_slices);
-                let gamma_width = if config.use_center { 2 * config.hidden } else { config.hidden };
-        let theta_g = Linear::new(store, rng, "ldg.theta_g", gamma_width, config.d_out, Activation::Relu);
-        let head = Linear::new(store, rng, "ldg.head", config.d_out, config.n_classes, Activation::None);
+        let gamma_width = if config.use_center { 2 * config.hidden } else { config.hidden };
+        let theta_g =
+            Linear::new(store, rng, "ldg.theta_g", gamma_width, config.d_out, Activation::Relu);
+        let head =
+            Linear::new(store, rng, "ldg.head", config.d_out, config.n_classes, Activation::None);
         Self { config, input_proj, gcn, gru, assign, time_attn, theta_g, head }
     }
 
@@ -145,10 +142,8 @@ impl LdgEncoder {
 
         let mut pooled: Option<Var> = None;
         for t in 0..self.config.t_slices {
-            let adj_tensor = graph
-                .slice_adj
-                .get(t)
-                .unwrap_or_else(|| graph.slice_adj.last().unwrap());
+            let adj_tensor =
+                graph.slice_adj.get(t).unwrap_or_else(|| graph.slice_adj.last().unwrap());
             let adj = tape.leaf(adj_tensor.clone());
             // Eq. 14: topological features from the previous evolutionary
             // state. Eqs. 15-18: GRU update.
@@ -172,7 +167,7 @@ impl LdgEncoder {
         // v_i" (Section IV-B): combine the pooled slice summary with the
         // centre account's final evolutionary features h_T[0].
         let gamma = if self.config.use_center {
-            let center = tape.gather_rows(h, std::rc::Rc::new(vec![0]));
+            let center = tape.gather_rows(h, std::sync::Arc::new(vec![0]));
             tape.concat_cols(gamma, center)
         } else {
             gamma
@@ -191,7 +186,7 @@ mod tests {
     use eth_graph::{AccountKind, LocalTx, Subgraph};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
-    use std::rc::Rc;
+    use std::sync::Arc;
 
     fn toy(label: usize, bursty: bool) -> GraphTensors {
         // Bursty graphs concentrate all transactions in the first slice;
@@ -218,7 +213,8 @@ mod tests {
     fn encoder(pool_layers: usize) -> (ParamStore, LdgEncoder) {
         let mut rng = StdRng::seed_from_u64(13);
         let mut store = ParamStore::new();
-        let cfg = LdgConfig { hidden: 16, t_slices: 5, d_out: 8, pool_layers, ..Default::default() };
+        let cfg =
+            LdgConfig { hidden: 16, t_slices: 5, d_out: 8, pool_layers, ..Default::default() };
         let enc = LdgEncoder::new(&mut store, &mut rng, cfg);
         (store, enc)
     }
@@ -244,7 +240,7 @@ mod tests {
         let mut tape = Tape::new();
         let mut ctx = Ctx::new(&store);
         let out = enc.forward(&mut tape, &mut ctx, &store, &g);
-        let loss = tape.cross_entropy(out.logits, Rc::new(vec![1]));
+        let loss = tape.cross_entropy(out.logits, Arc::new(vec![1]));
         tape.backward(loss);
         ctx.accumulate_grads(&tape, &mut store);
         for name in ["ldg.gru.w_u", "ldg.time_attn", "ldg.assign0.w", "ldg.theta_g.w"] {
@@ -268,7 +264,7 @@ mod tests {
             let o1 = enc.forward(&mut tape, &mut ctx, &store, &g_burst);
             let o0 = enc.forward(&mut tape, &mut ctx, &store, &g_unif);
             let logits = tape.concat_rows(o1.logits, o0.logits);
-            let loss = tape.cross_entropy(logits, Rc::new(vec![1, 0]));
+            let loss = tape.cross_entropy(logits, Arc::new(vec![1, 0]));
             last = tape.value(loss).item();
             tape.backward(loss);
             ctx.accumulate_grads(&tape, &mut store);

@@ -2,7 +2,7 @@
 
 use eth_graph::adj::{gcn_norm_adjacency, log_scale_weight};
 use eth_graph::Subgraph;
-use std::rc::Rc;
+use std::sync::Arc;
 use tensor::Tensor;
 
 /// A subgraph lowered to tensors.
@@ -18,8 +18,8 @@ use tensor::Tensor;
 pub struct GraphTensors {
     pub n: usize,
     pub x: Tensor,
-    pub src: Rc<Vec<usize>>,
-    pub dst: Rc<Vec<usize>>,
+    pub src: Arc<Vec<usize>>,
+    pub dst: Arc<Vec<usize>>,
     pub edge_feat: Tensor,
     pub gsg_adj: Tensor,
     pub slice_adj: Vec<Tensor>,
@@ -98,19 +98,16 @@ impl GraphTensors {
             .time_slices(t_slices)
             .into_iter()
             .map(|s| {
-                let edges: Vec<(usize, usize, f64)> = s
-                    .edges
-                    .iter()
-                    .map(|&(u, v, w)| (u, v, log_scale_weight(w)))
-                    .collect();
+                let edges: Vec<(usize, usize, f64)> =
+                    s.edges.iter().map(|&(u, v, w)| (u, v, log_scale_weight(w))).collect();
                 gcn_norm_adjacency(n, &edges)
             })
             .collect();
         Self {
             n,
             x,
-            src: Rc::new(src),
-            dst: Rc::new(dst),
+            src: Arc::new(src),
+            dst: Arc::new(dst),
             edge_feat,
             gsg_adj,
             slice_adj,
@@ -152,9 +149,30 @@ mod tests {
             nodes: vec![0, 1, 2],
             kinds: vec![AccountKind::Eoa; 3],
             txs: vec![
-                LocalTx { src: 0, dst: 1, value: 3.0, timestamp: 0, fee: 0.0, contract_call: false },
-                LocalTx { src: 0, dst: 1, value: 1.0, timestamp: 10, fee: 0.0, contract_call: false },
-                LocalTx { src: 2, dst: 0, value: 2.0, timestamp: 20, fee: 0.0, contract_call: false },
+                LocalTx {
+                    src: 0,
+                    dst: 1,
+                    value: 3.0,
+                    timestamp: 0,
+                    fee: 0.0,
+                    contract_call: false,
+                },
+                LocalTx {
+                    src: 0,
+                    dst: 1,
+                    value: 1.0,
+                    timestamp: 10,
+                    fee: 0.0,
+                    contract_call: false,
+                },
+                LocalTx {
+                    src: 2,
+                    dst: 0,
+                    value: 2.0,
+                    timestamp: 20,
+                    fee: 0.0,
+                    contract_call: false,
+                },
             ],
             label: Some(1),
         }

@@ -5,7 +5,7 @@
 use crate::graphdata::GraphTensors;
 use nn::{Activation, Ctx, Linear, ParamId, ParamStore};
 use rand::Rng;
-use std::rc::Rc;
+use std::sync::Arc;
 use tensor::{Tape, Tensor, Var};
 
 use crate::layers::GatLayer;
@@ -33,7 +33,15 @@ pub struct GsgConfig {
 
 impl Default for GsgConfig {
     fn default() -> Self {
-        Self { d_in: 15, hidden: 64, layers: 2, heads: 2, d_out: 32, n_classes: 2, use_center: true }
+        Self {
+            d_in: 15,
+            hidden: 64,
+            layers: 2,
+            heads: 2,
+            d_out: 32,
+            n_classes: 2,
+            use_center: true,
+        }
     }
 }
 
@@ -65,7 +73,7 @@ pub struct GsgOutput {
 
 impl GsgEncoder {
     pub fn new(store: &mut ParamStore, rng: &mut impl Rng, config: GsgConfig) -> Self {
-        assert!(config.hidden % config.heads == 0, "hidden must divide by heads");
+        assert!(config.hidden.is_multiple_of(config.heads), "hidden must divide by heads");
         let per_head = config.hidden / config.heads;
         let align = Linear::new(
             store,
@@ -77,13 +85,21 @@ impl GsgEncoder {
         );
         let gats = (0..config.layers)
             .map(|l| {
-                GatLayer::new(store, rng, &format!("gsg.gat{l}"), config.hidden, per_head, config.heads)
+                GatLayer::new(
+                    store,
+                    rng,
+                    &format!("gsg.gat{l}"),
+                    config.hidden,
+                    per_head,
+                    config.heads,
+                )
             })
             .collect();
         let s_attn = store.xavier("gsg.s_attn", 2 * config.hidden, 1, rng);
         let theta_g = store.xavier("gsg.theta_g", config.hidden, config.d_out, rng);
         let emb_width = if config.use_center { 2 * config.d_out } else { config.d_out };
-        let head = Linear::new(store, rng, "gsg.head", emb_width, config.n_classes, Activation::None);
+        let head =
+            Linear::new(store, rng, "gsg.head", emb_width, config.n_classes, Activation::None);
         let proj = Linear::new(store, rng, "gsg.proj", emb_width, config.d_out, Activation::None);
         Self { config, align, gats, s_attn, theta_g, head, proj }
     }
@@ -98,8 +114,8 @@ impl GsgEncoder {
         store: &ParamStore,
         n: usize,
         x: &Tensor,
-        src: &Rc<Vec<usize>>,
-        dst: &Rc<Vec<usize>>,
+        src: &Arc<Vec<usize>>,
+        dst: &Arc<Vec<usize>>,
         edge_feat: &Tensor,
     ) -> GsgOutput {
         let xv = tape.leaf(x.clone());
@@ -127,11 +143,11 @@ impl GsgEncoder {
         // Eqs. 11-12 — graph-level attention over nodes ∪ {c}.
         let s_attn = ctx.var(tape, store, self.s_attn);
         let all = tape.concat_rows(c, h); // row 0 is c
-        let c_rep = tape.gather_rows(all, Rc::new(vec![0; n + 1]));
+        let c_rep = tape.gather_rows(all, Arc::new(vec![0; n + 1]));
         let cat = tape.concat_cols(c_rep, all);
         let scores = tape.matmul(cat, s_attn);
         let scores = tape.leaky_relu(scores, 0.2);
-        let beta = tape.segment_softmax(scores, Rc::new(vec![0; n + 1]));
+        let beta = tape.segment_softmax(scores, Arc::new(vec![0; n + 1]));
 
         // Eq. 13 — g = Elu(βᵀ (all Θg)).
         let theta_g = ctx.var(tape, store, self.theta_g);
@@ -145,7 +161,7 @@ impl GsgEncoder {
         // features of the target node" (Section IV-A2). Classify from the
         // graph embedding concatenated with the centre embedding.
         let combined = if self.config.use_center {
-            let center_h = tape.gather_rows(h, Rc::new(vec![0]));
+            let center_h = tape.gather_rows(h, Arc::new(vec![0]));
             let center_e = tape.matmul(center_h, theta_g);
             let center_e = tape.elu(center_e, 1.0);
             tape.concat_cols(g, center_e)
@@ -166,7 +182,16 @@ impl GsgEncoder {
         store: &ParamStore,
         graph: &GraphTensors,
     ) -> GsgOutput {
-        self.forward_parts(tape, ctx, store, graph.n, &graph.x, &graph.src, &graph.dst, &graph.edge_feat)
+        self.forward_parts(
+            tape,
+            ctx,
+            store,
+            graph.n,
+            &graph.x,
+            &graph.src,
+            &graph.dst,
+            &graph.edge_feat,
+        )
     }
 }
 
@@ -182,10 +207,38 @@ mod tests {
             nodes: vec![0, 1, 2, 3],
             kinds: vec![AccountKind::Eoa; 4],
             txs: vec![
-                LocalTx { src: 0, dst: 1, value: 5.0, timestamp: 10, fee: 0.01, contract_call: false },
-                LocalTx { src: 1, dst: 2, value: 2.0, timestamp: 20, fee: 0.01, contract_call: false },
-                LocalTx { src: 3, dst: 0, value: 9.0, timestamp: 30, fee: 0.02, contract_call: false },
-                LocalTx { src: 2, dst: 0, value: 1.0, timestamp: 45, fee: 0.01, contract_call: true },
+                LocalTx {
+                    src: 0,
+                    dst: 1,
+                    value: 5.0,
+                    timestamp: 10,
+                    fee: 0.01,
+                    contract_call: false,
+                },
+                LocalTx {
+                    src: 1,
+                    dst: 2,
+                    value: 2.0,
+                    timestamp: 20,
+                    fee: 0.01,
+                    contract_call: false,
+                },
+                LocalTx {
+                    src: 3,
+                    dst: 0,
+                    value: 9.0,
+                    timestamp: 30,
+                    fee: 0.02,
+                    contract_call: false,
+                },
+                LocalTx {
+                    src: 2,
+                    dst: 0,
+                    value: 1.0,
+                    timestamp: 45,
+                    fee: 0.01,
+                    contract_call: true,
+                },
             ],
             label: Some(label),
         };
@@ -216,14 +269,12 @@ mod tests {
         let mut tape = Tape::new();
         let mut ctx = Ctx::new(&store);
         let out = enc.forward(&mut tape, &mut ctx, &store, &g);
-        let loss = tape.cross_entropy(out.logits, Rc::new(vec![1]));
+        let loss = tape.cross_entropy(out.logits, Arc::new(vec![1]));
         tape.backward(loss);
         ctx.accumulate_grads(&tape, &mut store);
         // Alignment, attention, pooling and head parameters all get grads.
         for name in ["gsg.align.w", "gsg.gat0.h0.w", "gsg.s_attn", "gsg.theta_g", "gsg.head.w"] {
-            let id = store
-                .find(name)
-                .unwrap_or_else(|| panic!("param {name} not found"));
+            let id = store.find(name).unwrap_or_else(|| panic!("param {name} not found"));
             let norm: f32 = store.grad(id).data().iter().map(|x| x * x).sum();
             assert!(norm > 0.0, "no gradient for {name}");
         }
@@ -263,7 +314,7 @@ mod tests {
             let o1 = enc.forward(&mut tape, &mut ctx, &store, &g1);
             let o0 = enc.forward(&mut tape, &mut ctx, &store, &g0);
             let logits = tape.concat_rows(o1.logits, o0.logits);
-            let loss = tape.cross_entropy(logits, Rc::new(vec![1, 0]));
+            let loss = tape.cross_entropy(logits, Arc::new(vec![1, 0]));
             last = tape.value(loss).item();
             tape.backward(loss);
             ctx.accumulate_grads(&tape, &mut store);

@@ -5,7 +5,7 @@
 
 use nn::{Activation, Ctx, Linear, Mlp, ParamId, ParamStore};
 use rand::Rng;
-use std::rc::Rc;
+use std::sync::Arc;
 use tensor::{Tape, Var};
 
 /// Graph convolution (Kipf & Welling): `act(Â H W + b)` where `Â` is the
@@ -67,6 +67,7 @@ impl GatHead {
     /// `src_h` optionally overrides the per-edge source representations
     /// (used by the alignment layer of Eq. 6 where neighbour features are
     /// fused with edge features); when `None` they are gathered from `h`.
+    #[allow(clippy::too_many_arguments)]
     pub fn forward(
         &self,
         tape: &mut Tape,
@@ -74,8 +75,8 @@ impl GatHead {
         store: &ParamStore,
         h: Var,
         src_h: Option<Var>,
-        src: &Rc<Vec<usize>>,
-        dst: &Rc<Vec<usize>>,
+        src: &Arc<Vec<usize>>,
+        dst: &Arc<Vec<usize>>,
         n: usize,
     ) -> Var {
         let w = ctx.var(tape, store, self.w);
@@ -119,6 +120,7 @@ impl GatLayer {
         Self { heads }
     }
 
+    #[allow(clippy::too_many_arguments)]
     pub fn forward(
         &self,
         tape: &mut Tape,
@@ -126,8 +128,8 @@ impl GatLayer {
         store: &ParamStore,
         h: Var,
         src_h: Option<Var>,
-        src: &Rc<Vec<usize>>,
-        dst: &Rc<Vec<usize>>,
+        src: &Arc<Vec<usize>>,
+        dst: &Arc<Vec<usize>>,
         n: usize,
     ) -> Var {
         let mut out: Option<Var> = None;
@@ -231,12 +233,9 @@ mod tests {
         (ParamStore::new(), StdRng::seed_from_u64(9))
     }
 
-    fn line_graph_edges() -> (Rc<Vec<usize>>, Rc<Vec<usize>>) {
+    fn line_graph_edges() -> (Arc<Vec<usize>>, Arc<Vec<usize>>) {
         // 0 -> 1 -> 2, plus self-loops.
-        (
-            Rc::new(vec![0, 1, 0, 1, 2]),
-            Rc::new(vec![1, 2, 0, 1, 2]),
-        )
+        (Arc::new(vec![0, 1, 0, 1, 2]), Arc::new(vec![1, 2, 0, 1, 2]))
     }
 
     #[test]
@@ -274,8 +273,8 @@ mod tests {
         let layer = GatHead::new(&mut store, &mut rng, "g", 2, 3);
         let mut tape = Tape::new();
         let mut ctx = Ctx::new(&store);
-        let src = Rc::new(vec![0usize, 1]);
-        let dst = Rc::new(vec![0usize, 1]);
+        let src = Arc::new(vec![0usize, 1]);
+        let dst = Arc::new(vec![0usize, 1]);
         let h = tape.leaf(Tensor::from_vec(2, 2, vec![1.0, 2.0, -1.0, 0.5]));
         let out = layer.forward(&mut tape, &mut ctx, &store, h, None, &src, &dst, 2);
         assert!(tape.value(out).all_finite());

@@ -79,14 +79,7 @@ impl Mlp {
         let mut layers = Vec::with_capacity(dims.len() - 1);
         for i in 0..dims.len() - 1 {
             let a = if i + 2 == dims.len() { Activation::None } else { act };
-            layers.push(Linear::new(
-                store,
-                rng,
-                &format!("{name}.{i}"),
-                dims[i],
-                dims[i + 1],
-                a,
-            ));
+            layers.push(Linear::new(store, rng, &format!("{name}.{i}"), dims[i], dims[i + 1], a));
         }
         Self { layers }
     }
@@ -200,7 +193,7 @@ mod tests {
         let mlp = Mlp::new(&mut store, &mut rng, "xor", &[2, 8, 2], Activation::Tanh);
         let mut opt = crate::optim::Adam::new(0.05);
         let xs = Tensor::from_vec(4, 2, vec![0.0, 0.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0]);
-        let targets = std::rc::Rc::new(vec![0usize, 1, 1, 0]);
+        let targets = std::sync::Arc::new(vec![0usize, 1, 1, 0]);
         let mut first = f32::NAN;
         let mut last = f32::NAN;
         for epoch in 0..300 {

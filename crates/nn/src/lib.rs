@@ -11,9 +11,9 @@
 //! * [`metrics`] — precision / recall / F1 / accuracy and ROC-AUC.
 
 mod layers;
-mod persist;
 mod optim;
 mod params;
+mod persist;
 
 pub mod metrics;
 

@@ -103,11 +103,7 @@ impl ParamStore {
 
     /// Global gradient L2 norm (for clipping / diagnostics).
     pub fn grad_norm(&self) -> f32 {
-        self.grads
-            .iter()
-            .map(|g| g.data().iter().map(|&x| x * x).sum::<f32>())
-            .sum::<f32>()
-            .sqrt()
+        self.grads.iter().map(|g| g.data().iter().map(|&x| x * x).sum::<f32>()).sum::<f32>().sqrt()
     }
 
     /// Scale all gradients so the global norm does not exceed `max_norm`.

@@ -1,0 +1,153 @@
+//! Deterministic, rayon-style task-parallel execution layer.
+//!
+//! The DBG4ETH pipeline fans work out at *task* granularity — one graph to
+//! lower, one encoder branch to train, one tree to fit, one dataset to
+//! score. Every task here is a pure function of its index and inputs (any
+//! randomness comes from a per-task seed owned by the task itself), so
+//! running tasks on worker threads and collecting results **in index
+//! order** yields output bit-identical to a serial run, for any thread
+//! count. `rayon` itself is not vendored in this offline build environment;
+//! this crate implements the small deterministic subset the workspace needs
+//! on top of `std::thread::scope`.
+//!
+//! The thread count is resolved from (highest priority first) the
+//! `DBG4ETH_THREADS` environment variable, the caller's requested value,
+//! and finally [`std::thread::available_parallelism`] when the request is
+//! `0` ("auto"). A resolved count of `1` executes on the calling thread
+//! with no pool at all, reproducing the historical serial behaviour
+//! exactly.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Environment variable overriding every requested thread count.
+pub const THREADS_ENV: &str = "DBG4ETH_THREADS";
+
+/// Resolve a requested degree of parallelism (`0` = auto) against the
+/// `DBG4ETH_THREADS` override and the machine's available parallelism.
+#[must_use]
+pub fn resolve_threads(requested: usize) -> usize {
+    let requested = match std::env::var(THREADS_ENV) {
+        Ok(v) => v.trim().parse::<usize>().unwrap_or(requested),
+        Err(_) => requested,
+    };
+    if requested == 0 {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    } else {
+        requested
+    }
+}
+
+/// Map `f` over `0..n`, collecting results in index order.
+///
+/// With `threads <= 1` (after [`resolve_threads`]-style resolution by the
+/// caller) this is a plain serial loop. Otherwise tasks are claimed from a
+/// shared atomic counter by `min(threads, n)` scoped workers; because each
+/// result is keyed by its task index, the output is independent of which
+/// worker ran which task.
+pub fn par_map_indices<R, F>(threads: usize, n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let workers = threads.min(n);
+    if workers <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let next = &next;
+            let f = &f;
+            handles.push(scope.spawn(move || {
+                let mut local: Vec<(usize, R)> = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    local.push((i, f(i)));
+                }
+                local
+            }));
+        }
+        for handle in handles {
+            for (i, r) in handle.join().expect("par worker panicked") {
+                slots[i] = Some(r);
+            }
+        }
+    });
+    slots.into_iter().map(|s| s.expect("par task not executed")).collect()
+}
+
+/// Map `f` over a slice, collecting results in input order.
+pub fn par_map<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    par_map_indices(threads, items.len(), |i| f(&items[i]))
+}
+
+/// Run two independent closures, concurrently when `threads > 1`.
+pub fn join<RA, RB, FA, FB>(threads: usize, fa: FA, fb: FB) -> (RA, RB)
+where
+    RA: Send,
+    RB: Send,
+    FA: FnOnce() -> RA + Send,
+    FB: FnOnce() -> RB + Send,
+{
+    if threads <= 1 {
+        let a = fa();
+        let b = fb();
+        return (a, b);
+    }
+    std::thread::scope(|scope| {
+        let hb = scope.spawn(fb);
+        let a = fa();
+        let b = hb.join().expect("par join worker panicked");
+        (a, b)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_matches_serial_for_any_thread_count() {
+        let items: Vec<u64> = (0..103).collect();
+        let serial = par_map(1, &items, |&x| x * x + 1);
+        for threads in [2, 3, 8, 64] {
+            assert_eq!(par_map(threads, &items, |&x| x * x + 1), serial);
+        }
+    }
+
+    #[test]
+    fn par_map_indices_preserves_order() {
+        let out = par_map_indices(4, 50, |i| i);
+        assert_eq!(out, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        assert_eq!(par_map_indices(8, 0, |i| i), Vec::<usize>::new());
+        assert_eq!(par_map_indices(8, 1, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        for threads in [1, 4] {
+            let (a, b) = join(threads, || 2 + 2, || "ok");
+            assert_eq!((a, b), (4, "ok"));
+        }
+    }
+
+    #[test]
+    fn resolve_threads_auto_is_positive() {
+        assert!(resolve_threads(0) >= 1);
+        assert_eq!(resolve_threads(3), 3);
+    }
+}

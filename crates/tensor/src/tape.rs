@@ -12,7 +12,7 @@
 //! finite differences in `tests/gradcheck.rs`.
 
 use crate::tensor::Tensor;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Handle to a node on a [`Tape`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -38,15 +38,15 @@ enum Op {
     Transpose(usize),
     ConcatCols(usize, usize),
     ConcatRows(usize, usize),
-    GatherRows(usize, Rc<Vec<usize>>),
-    ScatterAddRows(usize, Rc<Vec<usize>>),
-    SegmentSoftmax(usize, Rc<Vec<usize>>),
+    GatherRows(usize, Arc<Vec<usize>>),
+    ScatterAddRows(usize, Arc<Vec<usize>>),
+    SegmentSoftmax(usize, Arc<Vec<usize>>),
     MaxPoolRows(usize),
     MeanPoolRows(usize),
     SumAll(usize),
     MeanAll(usize),
     L2NormalizeRows(usize, f32),
-    CrossEntropy(usize, Rc<Vec<usize>>),
+    CrossEntropy(usize, Arc<Vec<usize>>),
 }
 
 struct Node {
@@ -236,14 +236,14 @@ impl Tape {
 
     /// Select rows of `a` by `idx` (indices may repeat — e.g. the source node
     /// of each edge in a message-passing step).
-    pub fn gather_rows(&mut self, a: Var, idx: Rc<Vec<usize>>) -> Var {
+    pub fn gather_rows(&mut self, a: Var, idx: Arc<Vec<usize>>) -> Var {
         let v = self.value(a).gather_rows(&idx);
         self.push(v, Op::GatherRows(a.0, idx))
     }
 
     /// `out[idx[r]] += a[r]` for every row `r`; `out` has `n_out` rows.
     /// This is the aggregation step of message passing.
-    pub fn scatter_add_rows(&mut self, a: Var, idx: Rc<Vec<usize>>, n_out: usize) -> Var {
+    pub fn scatter_add_rows(&mut self, a: Var, idx: Arc<Vec<usize>>, n_out: usize) -> Var {
         let x = self.value(a);
         let (n, d) = x.shape();
         assert_eq!(idx.len(), n, "scatter_add_rows index length");
@@ -261,7 +261,7 @@ impl Tape {
     /// Softmax over groups of rows of a column vector `a: (e, 1)`. Rows with
     /// equal `seg[r]` form one group. This normalises GAT attention scores
     /// over the in-neighbourhood of each destination node (Eq. 8).
-    pub fn segment_softmax(&mut self, a: Var, seg: Rc<Vec<usize>>) -> Var {
+    pub fn segment_softmax(&mut self, a: Var, seg: Arc<Vec<usize>>) -> Var {
         let x = self.value(a);
         assert_eq!(x.cols(), 1, "segment_softmax expects a column vector");
         assert_eq!(seg.len(), x.rows(), "segment length mismatch");
@@ -341,7 +341,7 @@ impl Tape {
     }
 
     /// Mean cross-entropy between row logits and integer targets -> scalar.
-    pub fn cross_entropy(&mut self, logits: Var, targets: Rc<Vec<usize>>) -> Var {
+    pub fn cross_entropy(&mut self, logits: Var, targets: Arc<Vec<usize>>) -> Var {
         let x = self.value(logits);
         let (n, d) = x.shape();
         assert_eq!(targets.len(), n, "cross_entropy target length");
@@ -382,11 +382,7 @@ impl Tape {
     /// Calling `backward` a second time on the same tape re-propagates the
     /// existing gradients and produces meaningless sums.
     pub fn backward(&mut self, v: Var) {
-        assert_eq!(
-            self.nodes[v.0].value.shape(),
-            (1, 1),
-            "backward requires a scalar output"
-        );
+        assert_eq!(self.nodes[v.0].value.shape(), (1, 1), "backward requires a scalar output");
         self.nodes[v.0].grad = Some(Tensor::scalar(1.0));
         for i in (0..=v.0).rev() {
             let g = match &self.nodes[i].grad {
@@ -448,13 +444,8 @@ impl Tape {
                 Op::Scale(a, c) => self.acc_grad(a, g.map(|x| c * x)),
                 Op::AddScalar(a) => self.acc_grad(a, g),
                 Op::LeakyRelu(a, slope) => {
-                    let ga = g.zip(&self.nodes[a].value, |gv, x| {
-                        if x > 0.0 {
-                            gv
-                        } else {
-                            gv * slope
-                        }
-                    });
+                    let ga =
+                        g.zip(&self.nodes[a].value, |gv, x| if x > 0.0 { gv } else { gv * slope });
                     self.acc_grad(a, ga);
                 }
                 Op::Elu(a, alpha) => {
@@ -462,9 +453,7 @@ impl Tape {
                     let x = &self.nodes[a].value;
                     let y = &self.nodes[i].value;
                     let mut ga = g.clone();
-                    for ((gv, &xv), &yv) in
-                        ga.data_mut().iter_mut().zip(x.data()).zip(y.data())
-                    {
+                    for ((gv, &xv), &yv) in ga.data_mut().iter_mut().zip(x.data()).zip(y.data()) {
                         if xv <= 0.0 {
                             *gv *= yv + alpha;
                         }
@@ -590,8 +579,7 @@ impl Tape {
                     let (n, d) = x.shape();
                     let mut ga = Tensor::zeros(n, d);
                     for r in 0..n {
-                        let norm =
-                            x.row(r).iter().map(|&t| t * t).sum::<f32>().sqrt().max(eps);
+                        let norm = x.row(r).iter().map(|&t| t * t).sum::<f32>().sqrt().max(eps);
                         let dot: f32 =
                             g.row(r).iter().zip(y.row(r)).map(|(&gv, &yv)| gv * yv).sum();
                         for c in 0..d {
@@ -670,7 +658,7 @@ mod tests {
     fn segment_softmax_normalises_within_segments() {
         let mut t = Tape::new();
         let a = t.leaf(Tensor::from_vec(5, 1, vec![1.0, 2.0, 3.0, 0.5, 0.5]));
-        let seg = Rc::new(vec![0usize, 0, 1, 1, 1]);
+        let seg = Arc::new(vec![0usize, 0, 1, 1, 1]);
         let s = t.segment_softmax(a, seg);
         let v = t.value(s);
         assert!((v.get(0, 0) + v.get(1, 0) - 1.0).abs() < 1e-6);
@@ -681,7 +669,7 @@ mod tests {
     fn cross_entropy_perfect_prediction_is_near_zero() {
         let mut t = Tape::new();
         let a = t.leaf(Tensor::from_vec(2, 2, vec![20.0, -20.0, -20.0, 20.0]));
-        let loss = t.cross_entropy(a, Rc::new(vec![0, 1]));
+        let loss = t.cross_entropy(a, Arc::new(vec![0, 1]));
         assert!(t.value(loss).item() < 1e-5);
     }
 
@@ -689,7 +677,7 @@ mod tests {
     fn cross_entropy_uniform_is_log_c() {
         let mut t = Tape::new();
         let a = t.leaf(Tensor::zeros(3, 4));
-        let loss = t.cross_entropy(a, Rc::new(vec![0, 1, 2]));
+        let loss = t.cross_entropy(a, Arc::new(vec![0, 1, 2]));
         assert!((t.value(loss).item() - 4.0f32.ln()).abs() < 1e-5);
     }
 
@@ -699,7 +687,7 @@ mod tests {
         // times; its gradient w.r.t. x should reflect multiplicity.
         let mut t = Tape::new();
         let x = t.leaf(Tensor::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]));
-        let idx = Rc::new(vec![0usize, 0, 2]);
+        let idx = Arc::new(vec![0usize, 0, 2]);
         let gathered = t.gather_rows(x, idx.clone());
         let scattered = t.scatter_add_rows(gathered, idx, 3);
         let loss = t.sum_all(scattered);
@@ -728,9 +716,6 @@ mod tests {
         assert_eq!(t.value(p).data(), &[5.0, 9.0]);
         let loss = t.sum_all(p);
         t.backward(loss);
-        assert_eq!(
-            t.grad(x).unwrap().data(),
-            &[0.0, 1.0, 1.0, 0.0, 0.0, 0.0]
-        );
+        assert_eq!(t.grad(x).unwrap().data(), &[0.0, 1.0, 1.0, 0.0, 0.0, 0.0]);
     }
 }

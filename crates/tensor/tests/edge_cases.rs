@@ -1,7 +1,7 @@
 //! Edge-case behaviour of the tape: diamond-shaped reuse, repeated
 //! backward-relevant nodes, degenerate shapes and numerical extremes.
 
-use std::rc::Rc;
+use std::sync::Arc;
 use tensor::{Tape, Tensor};
 
 #[test]
@@ -57,7 +57,7 @@ fn softmax_extreme_logits_stable() {
 fn cross_entropy_extreme_logits_stable() {
     let mut t = Tape::new();
     let x = t.leaf(Tensor::from_vec(2, 2, vec![500.0, -500.0, -500.0, 500.0]));
-    let loss = t.cross_entropy(x, Rc::new(vec![1, 0]));
+    let loss = t.cross_entropy(x, Arc::new(vec![1, 0]));
     assert!(t.value(loss).item().is_finite());
     assert!(t.value(loss).item() >= 999.0, "loss should be ~1000 nats");
     t.backward(loss);
@@ -95,7 +95,7 @@ fn single_element_everything() {
 fn gather_empty_index_list() {
     let mut t = Tape::new();
     let x = t.leaf(Tensor::from_vec(3, 2, vec![1.0; 6]));
-    let g = t.gather_rows(x, Rc::new(Vec::new()));
+    let g = t.gather_rows(x, Arc::new(Vec::new()));
     assert_eq!(t.value(g).shape(), (0, 2));
 }
 

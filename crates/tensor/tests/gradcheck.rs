@@ -5,7 +5,7 @@
 //! against the central difference. f32 arithmetic limits precision, so the
 //! comparison uses a mixed absolute/relative tolerance.
 
-use std::rc::Rc;
+use std::sync::Arc;
 use tensor::{Tape, Tensor, Var};
 
 const EPS: f32 = 3e-3;
@@ -161,13 +161,13 @@ fn grad_transpose_concat() {
 
 #[test]
 fn grad_gather_scatter() {
-    let idx = Rc::new(vec![2usize, 0, 2, 1]);
+    let idx = Arc::new(vec![2usize, 0, 2, 1]);
     gradcheck(&[pseudo(3, 2, 17)], |t, v| {
         let g = t.gather_rows(v[0], idx.clone());
         let s = t.tanh(g);
         t.sum_all(s)
     });
-    let idx2 = Rc::new(vec![1usize, 1, 0, 2]);
+    let idx2 = Arc::new(vec![1usize, 1, 0, 2]);
     gradcheck(&[pseudo(4, 2, 18)], |t, v| {
         let s = t.scatter_add_rows(v[0], idx2.clone(), 3);
         let a = t.sigmoid(s);
@@ -177,7 +177,7 @@ fn grad_gather_scatter() {
 
 #[test]
 fn grad_segment_softmax() {
-    let seg = Rc::new(vec![0usize, 0, 1, 1, 1, 2]);
+    let seg = Arc::new(vec![0usize, 0, 1, 1, 1, 2]);
     gradcheck(&[pseudo(6, 1, 19), pseudo(6, 1, 20)], |t, v| {
         let s = t.segment_softmax(v[0], seg.clone());
         let m = t.mul(s, v[1]);
@@ -210,7 +210,7 @@ fn grad_l2_normalize() {
 
 #[test]
 fn grad_cross_entropy() {
-    let targets = Rc::new(vec![0usize, 2, 1]);
+    let targets = Arc::new(vec![0usize, 2, 1]);
     gradcheck(&[pseudo(3, 3, 25)], |t, v| t.cross_entropy(v[0], targets.clone()));
 }
 
@@ -218,8 +218,8 @@ fn grad_cross_entropy() {
 fn grad_composite_gat_like_step() {
     // A miniature GAT step: gather src/dst, score, segment softmax, weight
     // messages, scatter, activation. Exercises op composition end-to-end.
-    let src = Rc::new(vec![0usize, 1, 2, 0]);
-    let dst = Rc::new(vec![1usize, 2, 0, 2]);
+    let src = Arc::new(vec![0usize, 1, 2, 0]);
+    let dst = Arc::new(vec![1usize, 2, 0, 2]);
     gradcheck(&[pseudo(3, 3, 26), pseudo(3, 2, 27), pseudo(4, 1, 28)], |t, v| {
         let h = t.matmul(v[0], v[1]); // (3,2)
         let hs = t.gather_rows(h, src.clone());

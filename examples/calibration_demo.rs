@@ -41,5 +41,8 @@ fn main() {
     for (m, w) in ada.method_weights() {
         println!("  {:<14} {:+.3}", m.name(), w);
     }
-    println!("\nA 0.95 report now maps to {:.3} — close to the true 0.75 hit rate.", ada.calibrate(0.95));
+    println!(
+        "\nA 0.95 report now maps to {:.3} — close to the true 0.75 hit rate.",
+        ada.calibrate(0.95)
+    );
 }

@@ -14,13 +14,9 @@ use eth_graph::SamplerConfig;
 use eth_sim::{AccountClass, Benchmark, DatasetScale};
 
 fn main() {
-    let bench = Benchmark::generate(
-        DatasetScale::small(),
-        SamplerConfig { top_k: 2000, hops: 2 },
-        33,
-    );
-    let mut cfg = Dbg4EthConfig::default();
-    cfg.epochs = 10;
+    let bench =
+        Benchmark::generate(DatasetScale::small(), SamplerConfig { top_k: 2000, hops: 2 }, 33);
+    let cfg = Dbg4EthConfig { epochs: 10, ..Default::default() };
 
     println!("== account compliance monitor: one detector per category ==");
     println!(
@@ -40,7 +36,7 @@ fn main() {
             out.metrics.accuracy,
             ece
         );
-        if worst.map_or(true, |(_, f1)| out.metrics.f1 < f1) {
+        if worst.is_none_or(|(_, f1)| out.metrics.f1 < f1) {
             worst = Some((class, out.metrics.f1));
         }
     }

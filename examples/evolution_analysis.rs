@@ -15,13 +15,9 @@ use eth_sim::{AccountClass, Benchmark, DatasetScale, POSITIVE};
 use gnn::GraphTensors;
 
 fn main() {
-    let bench = Benchmark::generate(
-        DatasetScale::small(),
-        SamplerConfig { top_k: 2000, hops: 2 },
-        11,
-    );
-    let mut cfg = Dbg4EthConfig::default();
-    cfg.epochs = 10;
+    let bench =
+        Benchmark::generate(DatasetScale::small(), SamplerConfig { top_k: 2000, hops: 2 }, 11);
+    let cfg = Dbg4EthConfig { epochs: 10, ..Default::default() };
 
     println!("learned time-slice attention α_t (Eq. 22), per account type:");
     println!("(T = {} slices over each account's normalised lifetime)\n", cfg.t_slices);
@@ -36,10 +32,7 @@ fn main() {
         let refs: Vec<&GraphTensors> = graphs.iter().collect();
         let trained = train_ldg(&refs, &cfg);
         // The attention logits are a trained parameter; softmax them.
-        let id = trained
-            .store
-            .find("ldg.time_attn")
-            .expect("attention parameter");
+        let id = trained.store.find("ldg.time_attn").expect("attention parameter");
         let logits = trained.store.value(id);
         let max = logits.max();
         let exps: Vec<f32> = logits.data().iter().map(|&x| (x - max).exp()).collect();

@@ -14,16 +14,10 @@ use eth_graph::SamplerConfig;
 use eth_sim::{AccountClass, Benchmark, DatasetScale};
 
 fn main() {
-    let bench = Benchmark::generate(
-        DatasetScale::small(),
-        SamplerConfig { top_k: 2000, hops: 2 },
-        21,
-    );
+    let bench =
+        Benchmark::generate(DatasetScale::small(), SamplerConfig { top_k: 2000, hops: 2 }, 21);
     let dataset = bench.dataset(AccountClass::PhishHack);
-    println!(
-        "phish/hack dataset: {} graphs, training on 80%...",
-        dataset.graphs.len()
-    );
+    println!("phish/hack dataset: {} graphs, training on 80%...", dataset.graphs.len());
     let out = run(dataset, 0.8, &Dbg4EthConfig::default());
     println!(
         "test metrics: P {:.1}% R {:.1}% F1 {:.1}% Acc {:.1}%\n",

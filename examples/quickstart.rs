@@ -12,11 +12,8 @@ use eth_sim::{AccountClass, Benchmark, DatasetScale};
 fn main() {
     // 1. A synthetic Ethereum world with labelled accounts of six types
     //    (the substitution for the paper's on-chain data; see DESIGN.md).
-    let bench = Benchmark::generate(
-        DatasetScale::small(),
-        SamplerConfig { top_k: 2000, hops: 2 },
-        7,
-    );
+    let bench =
+        Benchmark::generate(DatasetScale::small(), SamplerConfig { top_k: 2000, hops: 2 }, 7);
 
     // 2. Pick a dataset: exchange-vs-rest binary graph classification.
     let dataset = bench.dataset(AccountClass::Exchange);
@@ -36,15 +33,9 @@ fn main() {
         out.metrics.precision, out.metrics.recall, out.metrics.f1, out.metrics.accuracy
     );
     if let Some(gsg) = &out.gsg {
-        println!(
-            "GSG branch calibration: ECE {:.3} -> {:.3}",
-            gsg.base_ece, gsg.calibrated_ece
-        );
+        println!("GSG branch calibration: ECE {:.3} -> {:.3}", gsg.base_ece, gsg.calibrated_ece);
     }
     if let Some(ldg) = &out.ldg {
-        println!(
-            "LDG branch calibration: ECE {:.3} -> {:.3}",
-            ldg.base_ece, ldg.calibrated_ece
-        );
+        println!("LDG branch calibration: ECE {:.3} -> {:.3}", ldg.base_ece, ldg.calibrated_ece);
     }
 }

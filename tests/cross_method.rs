@@ -7,14 +7,8 @@ use eth_graph::SamplerConfig;
 use eth_sim::{AccountClass, Benchmark, DatasetScale};
 
 fn tiny() -> Benchmark {
-    let scale = DatasetScale {
-        exchange: 14,
-        ico_wallet: 0,
-        mining: 0,
-        phish_hack: 0,
-        bridge: 0,
-        defi: 0,
-    };
+    let scale =
+        DatasetScale { exchange: 14, ico_wallet: 0, mining: 0, phish_hack: 0, bridge: 0, defi: 0 };
     Benchmark::generate(scale, SamplerConfig { top_k: 15, hops: 2 }, 8)
 }
 

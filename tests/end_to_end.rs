@@ -8,14 +8,7 @@ use eth_sim::{AccountClass, Benchmark, DatasetScale, World, WorldConfig, POSITIV
 use gnn::GraphTensors;
 
 fn tiny_scale() -> DatasetScale {
-    DatasetScale {
-        exchange: 12,
-        ico_wallet: 0,
-        mining: 0,
-        phish_hack: 12,
-        bridge: 0,
-        defi: 0,
-    }
+    DatasetScale { exchange: 12, ico_wallet: 0, mining: 0, phish_hack: 12, bridge: 0, defi: 0 }
 }
 
 fn tiny_config() -> Dbg4EthConfig {
@@ -53,11 +46,8 @@ fn world_to_subgraph_to_tensors_round_trip() {
         assert_eq!(t.gsg_adj.shape(), (sg.n(), sg.n()));
         // Value conservation: sum of slice edge mass equals merged mass.
         let merged_total: f64 = sg.merged_edges().iter().map(|e| e.total_value).sum();
-        let slices_total: f64 = sg
-            .time_slices(6)
-            .iter()
-            .flat_map(|s| s.edges.iter().map(|e| e.2))
-            .sum();
+        let slices_total: f64 =
+            sg.time_slices(6).iter().flat_map(|s| s.edges.iter().map(|e| e.2)).sum();
         assert!((merged_total - slices_total).abs() < 1e-6 * merged_total.max(1.0));
     }
 }
@@ -68,11 +58,7 @@ fn pipeline_beats_chance_on_separable_data() {
     let out = run(bench.dataset(AccountClass::Exchange), 0.7, &tiny_config());
     // With 12+12 graphs the tiny config will not be perfect, but it must be
     // far above coin-flipping.
-    assert!(
-        out.metrics.accuracy > 60.0,
-        "accuracy barely above chance: {:?}",
-        out.metrics
-    );
+    assert!(out.metrics.accuracy > 60.0, "accuracy barely above chance: {:?}", out.metrics);
     assert!(out.test_scores.iter().all(|p| (0.0..=1.0).contains(p)));
 }
 

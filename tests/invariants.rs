@@ -2,20 +2,14 @@
 //! transaction sets must always produce valid graphs, features, slices and
 //! calibrated probabilities.
 
-use calib::{ece, AdaptiveCalibrator, Calibrator, CalibMethod, ConfidenceScaler, MethodSubset};
+use calib::{ece, AdaptiveCalibrator, CalibMethod, Calibrator, ConfidenceScaler, MethodSubset};
 use eth_graph::{sample_subgraph, AccountKind, SamplerConfig, Subgraph, TxGraph, TxRecord};
 use eth_graph::{LocalTx, MergedEdge};
 use proptest::prelude::*;
 
 fn arbitrary_txs(n_accounts: usize) -> impl Strategy<Value = Vec<TxRecord>> {
     prop::collection::vec(
-        (
-            0..n_accounts,
-            0..n_accounts,
-            0.001f64..100.0,
-            0u64..1_000_000,
-            any::<bool>(),
-        ),
+        (0..n_accounts, 0..n_accounts, 0.001f64..100.0, 0u64..1_000_000, any::<bool>()),
         1..60,
     )
     .prop_map(|raw| {
