@@ -148,8 +148,21 @@ pub fn run_baseline(
     train_frac: f64,
     config: &BaselineConfig,
 ) -> Metrics {
+    let _span = obs::span("baseline.run");
+    obs::info!("baseline", "{} on {}: starting", baseline.name(), dataset.class.name());
     let (scores, labels) = baseline_scores(baseline, dataset, train_frac, config);
-    score_metrics(&scores, &labels)
+    let metrics = score_metrics(&scores, &labels);
+    obs::counter_add("baseline.runs", 1);
+    obs::info!(
+        "baseline",
+        "{} on {}: F1 {:.2} (P {:.2} R {:.2})",
+        baseline.name(),
+        dataset.class.name(),
+        metrics.f1,
+        metrics.precision,
+        metrics.recall
+    );
+    metrics
 }
 
 /// Run one baseline; returns `(test_scores, test_labels)`.

@@ -56,4 +56,5 @@ fn main() {
     }
     println!("\nexpected shape: absolute-scale features and centre concatenation both");
     println!("contribute; z-scoring erases cross-graph scale and costs F1.");
+    bench::emit_report("ext_design");
 }

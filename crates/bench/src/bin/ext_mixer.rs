@@ -51,4 +51,5 @@ fn main() {
     );
     println!("retraining on mixed data recovers part of the loss. This quantifies the");
     println!("open problem the paper lists as future work.");
+    bench::emit_report("ext_mixer");
 }

@@ -38,4 +38,5 @@ fn main() {
         result.accuracy,
         100.0 / 7.0
     );
+    bench::emit_report("ext_multiclass");
 }

@@ -55,4 +55,5 @@ fn main() {
         }
     }
     println!("feature pairs with |r| > 0.98: {perfect} (paper: none redundant)");
+    bench::emit_report("fig4");
 }

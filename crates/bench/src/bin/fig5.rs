@@ -45,4 +45,5 @@ fn main() {
     println!("Distinct per-type patterns (the figure's point): e.g. mining has low RAF");
     println!("(few incoming txs), phish/hack has high RAF vs SAF, defi/bridge dominate CF.");
     let _ = FeatureCategory::ALL; // column order documented in features crate
+    bench::emit_report("fig5");
 }

@@ -44,4 +44,5 @@ fn main() {
         "negative weights observed: {} (paper: parametric methods sometimes go negative)",
         if any_negative { "yes" } else { "no" }
     );
+    bench::emit_report("fig6");
 }

@@ -46,4 +46,5 @@ fn main() {
     }
     println!();
     println!("LightGBM best-or-tied on {lightgbm_wins}/4 account types (paper: best on all 4)");
+    bench::emit_report("fig7");
 }

@@ -42,4 +42,5 @@ fn main() {
             plateau * 100.0
         );
     }
+    bench::emit_report("fig8");
 }

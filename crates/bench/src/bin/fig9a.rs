@@ -46,4 +46,5 @@ fn main() {
         mean(&low_zone),
         mean(&high_zone)
     );
+    bench::emit_report("fig9a");
 }

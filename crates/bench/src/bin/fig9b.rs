@@ -39,4 +39,5 @@ fn main() {
         "spread across layer counts: {spread:.2} F1 points \
          (paper: small impact overall, 2 layers best)"
     );
+    bench::emit_report("fig9b");
 }

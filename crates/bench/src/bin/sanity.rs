@@ -25,6 +25,7 @@ fn main() {
         AccountClass::IcoWallet,
     ] {
         let d = bench.dataset(class);
+        obs::info!("sanity", "running {} ({} graphs)", class.name(), d.graphs.len());
         let t = Instant::now();
         let out = run(d, 0.8, &cfg);
         let col = |k: usize| out.test_features.iter().map(|r| r[k]).collect::<Vec<_>>();
@@ -42,4 +43,5 @@ fn main() {
             t.elapsed()
         );
     }
+    bench::emit_report_with("sanity", DatasetScale::small(), 7);
 }

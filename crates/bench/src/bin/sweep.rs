@@ -53,4 +53,5 @@ fn main() {
         }
         println!("{:>8.2}", sum / 4.0);
     }
+    bench::emit_report("sweep");
 }

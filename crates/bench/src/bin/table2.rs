@@ -45,4 +45,5 @@ fn main() {
     println!();
     println!("note: positive counts follow the configured scale (DBG4ETH_FULL=1 for");
     println!("paper-scale counts); node/edge averages come from the synthetic world.");
+    bench::emit_report("table2");
 }

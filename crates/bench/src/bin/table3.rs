@@ -134,4 +134,5 @@ fn main() {
         mean(&featureful_f1),
         mean(&featureless_f1)
     );
+    bench::emit_report("table3");
 }

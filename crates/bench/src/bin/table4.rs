@@ -100,7 +100,7 @@ fn main() {
 
     // Encode each dataset once; the four datasets are independent tasks.
     let encoded = par::par_map(bench::threads(), &bench::MAIN_CLASSES, |&class| {
-        eprintln!("encoding {} ...", class.name());
+        obs::info!("bench", "encoding {} ...", class.name());
         encode(bench.dataset(class), 0.8, &base)
     });
 
@@ -138,4 +138,5 @@ fn main() {
             full_f1[k] - single_branch_max[k]
         );
     }
+    bench::emit_report("table4");
 }

@@ -45,4 +45,5 @@ fn main() {
             out.metrics.f1 - best_baseline
         );
     }
+    bench::emit_report("table5_6");
 }

@@ -71,6 +71,37 @@ pub fn baseline_config() -> baselines::BaselineConfig {
     baselines::BaselineConfig::default()
 }
 
+/// Write the accumulated run-report for an experiment binary, if
+/// `DBG4ETH_METRICS` names a path. Called last from every `main`, so the
+/// file on disk holds the complete multi-run report with the experiment's
+/// dataset scale and seed attached. No-op when metrics are disabled.
+pub fn emit_report_with(name: &str, scale: DatasetScale, seed: u64) {
+    if !obs::metrics_enabled() {
+        return;
+    }
+    let mut report = dbg4eth::report::build_report(name);
+    let mut ds = obs::Json::obj();
+    ds.set("exchange", scale.exchange);
+    ds.set("ico_wallet", scale.ico_wallet);
+    ds.set("mining", scale.mining);
+    ds.set("phish_hack", scale.phish_hack);
+    ds.set("bridge", scale.bridge);
+    ds.set("defi", scale.defi);
+    report.set("dataset_scale", ds);
+    report.set("world_seed", seed);
+    report.set("threads", threads());
+    match report.write_if_requested() {
+        Ok(Some(path)) => obs::info!("bench", "run-report written to {}", path.display()),
+        Ok(None) => {}
+        Err(e) => obs::warn!("bench", "failed to write run-report: {e}"),
+    }
+}
+
+/// [`emit_report_with`] using the env-selected scale and seed.
+pub fn emit_report(name: &str) {
+    emit_report_with(name, scale(), seed());
+}
+
 /// Print a metrics row in the paper's table format, next to the paper's
 /// reported F1 when available.
 pub fn print_row(name: &str, m: &nn::metrics::Metrics, paper_f1: Option<f64>) {

@@ -56,6 +56,7 @@ pub struct Gbdt {
 impl Gbdt {
     /// Fit with logistic loss: per round, `g = p − y`, `h = p (1 − p)`.
     pub fn fit(x: &[Vec<f64>], y: &[bool], config: GbdtConfig) -> Self {
+        let _span = obs::span("boost.gbdt.fit");
         assert_eq!(x.len(), y.len());
         let n = x.len();
         let pos = y.iter().filter(|&&v| v).count() as f64;
@@ -81,6 +82,9 @@ impl Gbdt {
             }
             trees.push(tree);
         }
+        obs::counter_add("boost.gbdt.fits", 1);
+        obs::counter_add("boost.gbdt.trees", config.n_trees as u64);
+        obs::debug!("boost", "gbdt fit: {} rows, {} trees", n, config.n_trees);
         Self { config, base_score, trees }
     }
 
@@ -100,6 +104,7 @@ impl Gbdt {
 
     /// P(positive) for a batch (row-parallel when configured).
     pub fn predict_proba_all(&self, x: &[Vec<f64>]) -> Vec<f64> {
+        let _span = obs::span("boost.gbdt.predict");
         par::par_map(self.config.parallelism, x, |r| self.predict_proba(r))
     }
 

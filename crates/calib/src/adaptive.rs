@@ -45,6 +45,8 @@ impl AdaptiveCalibrator {
     /// ΔECE weights. If `adaptive` is false, methods are weighted uniformly
     /// (the "w/o Ada." ablations).
     pub fn fit(scores: &[f64], labels: &[bool], subset: MethodSubset, adaptive: bool) -> Self {
+        let _span = obs::span("calib.adaptive.fit");
+        obs::counter_add("calib.fits", 1);
         let base_ece = ece(scores, labels, ECE_BINS);
         let mut methods = Vec::new();
         let mut deltas = Vec::new();
@@ -55,6 +57,12 @@ impl AdaptiveCalibrator {
             }
             let cal = Calibrator::fit(m, scores, labels);
             let e = ece(&cal.apply_all(scores), labels, ECE_BINS);
+            obs::debug!(
+                "calib",
+                "{}: ECE {base_ece:.4} -> {e:.4} (ΔECE {:+.4})",
+                m.name(),
+                base_ece - e
+            );
             deltas.push(base_ece - e);
             method_ece.push(e);
             methods.push((m, cal));
@@ -75,6 +83,13 @@ impl AdaptiveCalibrator {
     /// The fitted methods and their adaptive weights (Fig. 6's bars).
     pub fn method_weights(&self) -> Vec<(CalibMethod, f64)> {
         self.methods.iter().zip(&self.weights).map(|((m, _), &w)| (*m, w)).collect()
+    }
+
+    /// Each fitted method's individual post-calibration ECE on the
+    /// calibration split, aligned with [`Self::method_weights`];
+    /// `base_ece - ece` is the method's ΔECE from Eq. 25.
+    pub fn method_eces(&self) -> Vec<(CalibMethod, f64)> {
+        self.methods.iter().zip(&self.method_ece).map(|((m, _), &e)| (*m, e)).collect()
     }
 
     /// Eq. 24: the weighted calibrated probability of one raw score,

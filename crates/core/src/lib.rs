@@ -27,11 +27,13 @@
 mod config;
 mod multiclass;
 mod pipeline;
+pub mod report;
 mod trainer;
 
 pub use config::{CalibrationConfig, ClassifierKind, Dbg4EthConfig, FeatureMode};
 pub use multiclass::{run_multiclass, MultiClassResult};
 pub use pipeline::{
-    encode, finish, fit_predict_classifier, run, BranchDiagnostics, EncodedDataset, RunOutput,
+    encode, finish, fit_predict_classifier, run, BranchDiagnostics, BranchEncoding, EncodedDataset,
+    RunOutput,
 };
-pub use trainer::{train_gsg, train_ldg, EpochStats, TrainedGsg, TrainedLdg};
+pub use trainer::{train_gsg, train_ldg, BranchScorer, EpochStats, TrainedGsg, TrainedLdg};

@@ -61,6 +61,7 @@ pub fn run_multiclass(
     config: &Dbg4EthConfig,
 ) -> MultiClassResult {
     assert!(n_classes >= 2);
+    let _span = obs::span("pipeline.multiclass");
     let mut cfg = *config;
     cfg.gsg.n_classes = n_classes;
     cfg.ldg.n_classes = n_classes;

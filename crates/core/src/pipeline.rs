@@ -2,7 +2,7 @@
 //! confidence generation → adaptive calibration → account classification.
 
 use crate::config::{ClassifierKind, Dbg4EthConfig, FeatureMode};
-use crate::trainer::{train_gsg, train_ldg, BranchScorer};
+use crate::trainer::{train_gsg, train_ldg, BranchScorer, EpochStats};
 use boost::{
     AdaBoost, AdaBoostConfig, ForestConfig, Gbdt, GbdtConfig, MlpClassifier, MlpClassifierConfig,
     RandomForest,
@@ -14,15 +14,22 @@ use nn::metrics::Metrics;
 use rand::rngs::StdRng;
 use rand::{seq::SliceRandom, SeedableRng};
 
-/// Per-branch calibration diagnostics (feeding Fig. 6 and EXPERIMENTS.md).
+/// Per-branch training and calibration diagnostics (feeding Fig. 6, the
+/// run-report and EXPERIMENTS.md).
 #[derive(Clone, Debug)]
 pub struct BranchDiagnostics {
     /// Adaptive weight of each calibration method (Eq. 25).
     pub weights: Vec<(CalibMethod, f64)>,
+    /// Holdout ECE of each individual method after calibration, aligned
+    /// with `weights`; `base_ece - method_ece` is the ΔECE of Eq. 25.
+    pub method_ece: Vec<(CalibMethod, f64)>,
     /// ECE of the scaled-but-uncalibrated scores on the holdout.
     pub base_ece: f64,
     /// ECE of the weighted calibrated scores on the holdout.
     pub calibrated_ece: f64,
+    /// Per-epoch training statistics of the branch encoder (the full-split
+    /// encoder when cross-fitting).
+    pub epochs: Vec<EpochStats>,
 }
 
 /// Result of one DBG4ETH run on one dataset.
@@ -92,19 +99,19 @@ struct Branch {
 /// Scale raw scores into confidences, calibrate them adaptively, and report
 /// diagnostics. `holdout` fits the scaler and calibrators; `test` is mapped.
 fn calibrate_branch(
-    holdout_raw: &[f64],
-    test_raw: &[f64],
+    encoding: &BranchEncoding,
     holdout_labels: &[bool],
     config: &Dbg4EthConfig,
 ) -> Branch {
+    let _span = obs::span("pipeline.calibrate");
     // Stage 1 — confidence generation: "scale the predicted values
     // according to their mean and standard deviation" (Section IV-C1).
     // Each batch is scaled by its *own* statistics: the encoder's raw
     // log-odds are systematically larger on data it was fitted on, so
     // z-scoring per batch is what makes train-fitted calibrators transfer
     // to the test distribution.
-    let holdout_s = ConfidenceScaler::fit(holdout_raw).scale_all(holdout_raw);
-    let test_s = ConfidenceScaler::fit(test_raw).scale_all(test_raw);
+    let holdout_s = ConfidenceScaler::fit(&encoding.holdout_raw).scale_all(&encoding.holdout_raw);
+    let test_s = ConfidenceScaler::fit(&encoding.test_raw).scale_all(&encoding.test_raw);
     let base_ece = ece(&holdout_s, holdout_labels, ECE_BINS);
 
     if !config.calibration.enabled {
@@ -113,8 +120,10 @@ fn calibrate_branch(
             test_p: test_s,
             diagnostics: BranchDiagnostics {
                 weights: Vec::new(),
+                method_ece: Vec::new(),
                 base_ece,
                 calibrated_ece: base_ece,
+                epochs: encoding.epochs.clone(),
             },
         };
     }
@@ -129,10 +138,17 @@ fn calibrate_branch(
     let holdout_p = cal.calibrate_all(&holdout_s);
     let test_p = cal.calibrate_all(&test_s);
     let calibrated_ece = ece(&holdout_p, holdout_labels, ECE_BINS);
+    obs::debug!("pipeline.calibrate", "holdout ECE {base_ece:.4} -> {calibrated_ece:.4}");
     Branch {
         holdout_p,
         test_p,
-        diagnostics: BranchDiagnostics { weights: cal.method_weights(), base_ece, calibrated_ece },
+        diagnostics: BranchDiagnostics {
+            weights: cal.method_weights(),
+            method_ece: cal.method_eces(),
+            base_ece,
+            calibrated_ece,
+            epochs: encoding.epochs.clone(),
+        },
     }
 }
 
@@ -142,12 +158,22 @@ fn calibrate_branch(
 /// calibration/classifier ablations reuse one (expensive) encoder training.
 #[derive(Clone, Debug)]
 pub struct EncodedDataset {
-    /// `(holdout_raw, test_raw)` log-odds from the GSG branch.
-    pub gsg: Option<(Vec<f64>, Vec<f64>)>,
-    /// `(holdout_raw, test_raw)` log-odds from the LDG branch.
-    pub ldg: Option<(Vec<f64>, Vec<f64>)>,
+    /// Raw log-odds and training history from the GSG branch.
+    pub gsg: Option<BranchEncoding>,
+    /// Raw log-odds and training history from the LDG branch.
+    pub ldg: Option<BranchEncoding>,
     pub holdout_labels: Vec<bool>,
     pub test_labels: Vec<bool>,
+}
+
+/// One encoder branch's raw output on the calibration holdout and the test
+/// split, plus its per-epoch training curve (the full-split encoder's when
+/// cross-fitting).
+#[derive(Clone, Debug)]
+pub struct BranchEncoding {
+    pub holdout_raw: Vec<f64>,
+    pub test_raw: Vec<f64>,
+    pub epochs: Vec<EpochStats>,
 }
 
 /// Stages 2-4 of the pipeline: confidence generation, adaptive calibration
@@ -155,18 +181,19 @@ pub struct EncodedDataset {
 /// calibration switches of `config` select the Table IV ablations; branches
 /// absent from `encoded` are ignored.
 pub fn finish(encoded: &EncodedDataset, config: &Dbg4EthConfig) -> RunOutput {
+    let _span = obs::span("pipeline.finish");
     let mut branches: Vec<Branch> = Vec::new();
     let mut gsg_diag = None;
     let mut ldg_diag = None;
     if config.use_gsg {
-        let (holdout_raw, test_raw) = encoded.gsg.as_ref().expect("GSG branch not encoded");
-        let branch = calibrate_branch(holdout_raw, test_raw, &encoded.holdout_labels, config);
+        let encoding = encoded.gsg.as_ref().expect("GSG branch not encoded");
+        let branch = calibrate_branch(encoding, &encoded.holdout_labels, config);
         gsg_diag = Some(branch.diagnostics.clone());
         branches.push(branch);
     }
     if config.use_ldg {
-        let (holdout_raw, test_raw) = encoded.ldg.as_ref().expect("LDG branch not encoded");
-        let branch = calibrate_branch(holdout_raw, test_raw, &encoded.holdout_labels, config);
+        let encoding = encoded.ldg.as_ref().expect("LDG branch not encoded");
+        let branch = calibrate_branch(encoding, &encoded.holdout_labels, config);
         ldg_diag = Some(branch.diagnostics.clone());
         branches.push(branch);
     }
@@ -178,14 +205,25 @@ pub fn finish(encoded: &EncodedDataset, config: &Dbg4EthConfig) -> RunOutput {
     let train_features = stack(&|b| &b.holdout_p, encoded.holdout_labels.len());
     let test_features = stack(&|b| &b.test_p, encoded.test_labels.len());
 
-    let test_scores = fit_predict_classifier_par(
-        config.classifier,
-        &train_features,
-        &encoded.holdout_labels,
-        &test_features,
-        config.threads(),
-    );
+    let test_scores = {
+        let _span = obs::span("pipeline.classify");
+        fit_predict_classifier_par(
+            config.classifier,
+            &train_features,
+            &encoded.holdout_labels,
+            &test_features,
+            config.threads(),
+        )
+    };
     let metrics = Metrics::from_scores(&test_scores, &encoded.test_labels, 0.5);
+    obs::info!(
+        "pipeline",
+        "classified {} test rows: P {:.2} R {:.2} F1 {:.2}",
+        test_scores.len(),
+        metrics.precision,
+        metrics.recall,
+        metrics.f1
+    );
 
     RunOutput {
         metrics,
@@ -200,20 +238,46 @@ pub fn finish(encoded: &EncodedDataset, config: &Dbg4EthConfig) -> RunOutput {
 }
 
 /// Run DBG4ETH on one dataset with the given train fraction.
+///
+/// When `DBG4ETH_METRICS` is set, the run's diagnostics are recorded with
+/// the report collector and a run-report is written to the named path (the
+/// experiment binaries overwrite it at exit with the full multi-run
+/// report).
 pub fn run(dataset: &GraphDataset, train_frac: f64, config: &Dbg4EthConfig) -> RunOutput {
-    finish(&encode(dataset, train_frac, config), config)
+    let out = {
+        let _span = obs::span("pipeline.run");
+        finish(&encode(dataset, train_frac, config), config)
+    };
+    if obs::metrics_enabled() {
+        crate::report::record_run(dataset.class.name(), config, &out);
+        if let Err(e) = crate::report::write_report("pipeline") {
+            obs::warn!("pipeline", "failed to write run-report: {e}");
+        }
+    }
+    out
 }
 
 /// Stage 1-2 of the pipeline: lower the graphs, split, train the enabled
 /// branches and compute their raw prediction values.
 pub fn encode(dataset: &GraphDataset, train_frac: f64, config: &Dbg4EthConfig) -> EncodedDataset {
     assert!(config.use_gsg || config.use_ldg, "at least one branch required");
+    let _span = obs::span("pipeline.encode");
     let threads = config.threads();
+    obs::gauge_set("pipeline.threads", threads as f64);
+    obs::counter_add("pipeline.encodes", 1);
+    obs::info!(
+        "pipeline",
+        "encoding {} ({} graphs, {} threads)",
+        dataset.class.name(),
+        dataset.graphs.len(),
+        threads
+    );
     let (train_idx, test_idx) = dataset.split(train_frac, config.seed);
 
     // Lower every graph once, honouring the feature mode. Lowering is a
     // pure per-graph function, so the fan-out is trivially deterministic.
-    let tensors: Vec<GraphTensors> =
+    let tensors: Vec<GraphTensors> = {
+        let _span = obs::span("pipeline.encode.lower");
         par::par_map(threads, &dataset.graphs, |g| match config.features {
             FeatureMode::LogAbsolute => GraphTensors::from_subgraph(g, config.t_slices),
             FeatureMode::ZScored => {
@@ -222,7 +286,8 @@ pub fn encode(dataset: &GraphDataset, train_frac: f64, config: &Dbg4EthConfig) -
                 GraphTensors::new(g, x, config.t_slices)
             }
             FeatureMode::None => GraphTensors::without_node_features(g, config.t_slices),
-        });
+        })
+    };
     let labels: Vec<bool> = dataset.graphs.iter().map(|g| g.label == Some(POSITIVE)).collect();
 
     // Holdout construction for fitting the calibrators and the stacked
@@ -294,24 +359,30 @@ pub fn encode(dataset: &GraphDataset, train_frac: f64, config: &Dbg4EthConfig) -
         if cross_fitting {
             // Task 0 scores the test split with the full-split encoder;
             // tasks 1 and 2 score each fold with the encoder trained on
-            // the other fold.
+            // the other fold. The full-split encoder's training curve is
+            // the one surfaced in the diagnostics.
             let mut outs = par::par_map_indices(threads, 3, |task| match task {
-                0 => train(&fit_graphs).raw_scores(&test_graphs),
-                1 => train(&fold_b_graphs).raw_scores(&fold_a_graphs),
-                _ => train(&fold_a_graphs).raw_scores(&fold_b_graphs),
+                0 => {
+                    let scorer = train(&fit_graphs);
+                    let epochs = scorer.history().to_vec();
+                    (scorer.raw_scores(&test_graphs), epochs)
+                }
+                1 => (train(&fold_b_graphs).raw_scores(&fold_a_graphs), Vec::new()),
+                _ => (train(&fold_a_graphs).raw_scores(&fold_b_graphs), Vec::new()),
             });
-            let test_raw = std::mem::take(&mut outs[0]);
-            let mut holdout_raw = std::mem::take(&mut outs[1]);
-            holdout_raw.append(&mut outs[2]);
-            (holdout_raw, test_raw)
+            let (test_raw, epochs) = std::mem::take(&mut outs[0]);
+            let (mut holdout_raw, _) = std::mem::take(&mut outs[1]);
+            holdout_raw.append(&mut outs[2].0);
+            BranchEncoding { holdout_raw, test_raw, epochs }
         } else {
             let scorer = train(&fit_graphs);
+            let epochs = scorer.history().to_vec();
             let (holdout_raw, test_raw) = par::join(
                 threads,
                 || scorer.raw_scores(&holdout_graphs),
                 || scorer.raw_scores_par(&test_graphs, threads),
             );
-            (holdout_raw, test_raw)
+            BranchEncoding { holdout_raw, test_raw, epochs }
         }
     };
 

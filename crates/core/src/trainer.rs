@@ -38,13 +38,14 @@ fn batches(n: usize, batch_size: usize, rng: &mut StdRng) -> Vec<Vec<usize>> {
 /// Train the global static encoder with cross-entropy plus the contrastive
 /// objective over two adaptively augmented views (Section IV-A3).
 pub fn train_gsg(graphs: &[&GraphTensors], config: &Dbg4EthConfig) -> TrainedGsg {
+    let _span = obs::span("train.gsg");
     let mut rng = StdRng::seed_from_u64(config.seed ^ 0x65C6);
     let mut store = ParamStore::new();
     let encoder = GsgEncoder::new(&mut store, &mut rng, config.gsg);
     let mut opt = Adam::new(config.lr);
     let mut history = Vec::with_capacity(config.epochs);
 
-    for _epoch in 0..config.epochs {
+    for epoch in 0..config.epochs {
         let mut epoch_loss = 0.0f32;
         let mut epoch_con = 0.0f32;
         let mut n_batches = 0;
@@ -114,16 +115,28 @@ pub fn train_gsg(graphs: &[&GraphTensors], config: &Dbg4EthConfig) -> TrainedGsg
             store.clip_grad_norm(5.0);
             opt.step(&mut store);
         }
-        history.push(EpochStats {
+        let stats = EpochStats {
             loss: epoch_loss / n_batches.max(1) as f32,
             contrastive: epoch_con / n_batches.max(1) as f32,
-        });
+        };
+        obs::debug!(
+            "train.gsg",
+            "epoch {}/{}: loss {:.4} contrastive {:.4}",
+            epoch + 1,
+            config.epochs,
+            stats.loss,
+            stats.contrastive
+        );
+        history.push(stats);
     }
+    obs::counter_add("train.gsg.fits", 1);
+    obs::counter_add("train.gsg.epochs", config.epochs as u64);
     TrainedGsg { store, encoder, history }
 }
 
 /// Train the local dynamic encoder with cross-entropy.
 pub fn train_ldg(graphs: &[&GraphTensors], config: &Dbg4EthConfig) -> TrainedLdg {
+    let _span = obs::span("train.ldg");
     let mut rng = StdRng::seed_from_u64(config.seed ^ 0x1D6);
     let mut store = ParamStore::new();
     let mut ldg_cfg = config.ldg;
@@ -132,7 +145,7 @@ pub fn train_ldg(graphs: &[&GraphTensors], config: &Dbg4EthConfig) -> TrainedLdg
     let mut opt = Adam::new(config.lr);
     let mut history = Vec::with_capacity(config.epochs);
 
-    for _epoch in 0..config.epochs {
+    for epoch in 0..config.epochs {
         let mut epoch_loss = 0.0f32;
         let mut n_batches = 0;
         for batch in batches(graphs.len(), config.batch_size, &mut rng) {
@@ -158,8 +171,12 @@ pub fn train_ldg(graphs: &[&GraphTensors], config: &Dbg4EthConfig) -> TrainedLdg
             store.clip_grad_norm(5.0);
             opt.step(&mut store);
         }
-        history.push(EpochStats { loss: epoch_loss / n_batches.max(1) as f32, contrastive: 0.0 });
+        let stats = EpochStats { loss: epoch_loss / n_batches.max(1) as f32, contrastive: 0.0 };
+        obs::debug!("train.ldg", "epoch {}/{}: loss {:.4}", epoch + 1, config.epochs, stats.loss);
+        history.push(stats);
     }
+    obs::counter_add("train.ldg.fits", 1);
+    obs::counter_add("train.ldg.epochs", config.epochs as u64);
     TrainedLdg { store, encoder, history }
 }
 
@@ -170,6 +187,12 @@ pub fn train_ldg(graphs: &[&GraphTensors], config: &Dbg4EthConfig) -> TrainedLdg
 pub trait BranchScorer: Sync {
     /// Raw prediction value (positive-class log-odds) for one graph.
     fn raw_score(&self, graph: &GraphTensors) -> f64;
+
+    /// Per-epoch training statistics of this encoder (empty when the
+    /// scorer has no training loop).
+    fn history(&self) -> &[EpochStats] {
+        &[]
+    }
 
     /// Raw prediction values for each graph, serially.
     fn raw_scores(&self, graphs: &[&GraphTensors]) -> Vec<f64> {
@@ -197,6 +220,10 @@ impl BranchScorer for TrainedGsg {
             self.encoder.forward(tape, ctx, &self.store, graph).logits
         })
     }
+
+    fn history(&self) -> &[EpochStats] {
+        &self.history
+    }
 }
 
 impl BranchScorer for TrainedLdg {
@@ -204,5 +231,9 @@ impl BranchScorer for TrainedLdg {
         forward_log_odds(&self.store, |tape, ctx| {
             self.encoder.forward(tape, ctx, &self.store, graph).logits
         })
+    }
+
+    fn history(&self) -> &[EpochStats] {
+        &self.history
     }
 }

@@ -10,6 +10,11 @@ use crate::subgraph::{LocalTx, Subgraph};
 use crate::txgraph::TxGraph;
 use std::collections::HashMap;
 
+/// Fixed bucket edges for the sampled-subgraph size histograms — constant
+/// so reports are comparable across runs and machines.
+const SUBGRAPH_NODE_EDGES: &[f64] = &[8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0];
+const SUBGRAPH_TX_EDGES: &[f64] = &[16.0, 64.0, 256.0, 1024.0, 4096.0, 16384.0];
+
 /// Parameters of the subgraph sampler.
 #[derive(Clone, Copy, Debug)]
 pub struct SamplerConfig {
@@ -106,6 +111,9 @@ pub fn sample_subgraph(
     }
     txs.sort_by_key(|t| (t.timestamp, t.src, t.dst));
 
+    obs::counter_add("graph.subgraphs", 1);
+    obs::observe("graph.subgraph_nodes", SUBGRAPH_NODE_EDGES, selected.len() as f64);
+    obs::observe("graph.subgraph_txs", SUBGRAPH_TX_EDGES, txs.len() as f64);
     let kinds = selected.iter().map(|&a| graph.kind(a)).collect();
     Subgraph { nodes: selected, kinds, txs, label }
 }

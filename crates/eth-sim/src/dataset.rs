@@ -147,6 +147,7 @@ impl Benchmark {
     /// shared across datasets exactly as unlabelled accounts are in the
     /// paper's pipeline.
     pub fn generate(scale: DatasetScale, sampler: SamplerConfig, seed: u64) -> Self {
+        let _span = obs::span("sim.generate");
         let mut spec: Vec<(AccountClass, usize)> =
             AccountClass::LABELLED.iter().map(|&c| (c, scale.of(c))).collect();
         let max_class = AccountClass::LABELLED.iter().map(|&c| scale.of(c)).max().unwrap_or(0);
@@ -156,7 +157,7 @@ impl Benchmark {
         let normals = world.centers_of(AccountClass::Normal);
         let mut rng = StdRng::seed_from_u64(seed ^ 0xD1CE);
 
-        let datasets = AccountClass::LABELLED
+        let datasets: Vec<GraphDataset> = AccountClass::LABELLED
             .iter()
             .filter(|&&c| scale.of(c) > 0)
             .map(|&class| {
@@ -195,6 +196,13 @@ impl Benchmark {
                 GraphDataset { class, graphs }
             })
             .collect();
+        obs::counter_add("sim.benchmarks", 1);
+        obs::info!(
+            "sim",
+            "benchmark seed {seed}: {} datasets, {} graphs",
+            datasets.len(),
+            datasets.iter().map(|d| d.graphs.len()).sum::<usize>()
+        );
         Self { world, datasets }
     }
 

@@ -55,7 +55,9 @@ impl World {
     /// Generate a world containing `spec` centres per class (plus background
     /// accounts). `Normal` entries in `spec` become negative-example centres.
     pub fn generate(config: WorldConfig, spec: &[(AccountClass, usize)]) -> Self {
-        let mut rng = StdRng::seed_from_u64(config.seed);
+        let _span = obs::span("sim.world");
+        let seed = config.seed;
+        let mut rng = StdRng::seed_from_u64(seed);
         let mut w = WorldBuilder::new(config, &mut rng);
         w.generate_background(&mut rng);
         for &(class, count) in spec {
@@ -63,7 +65,19 @@ impl World {
                 w.generate_center(class, &mut rng);
             }
         }
-        w.finish()
+        let world = w.finish();
+        obs::counter_add("sim.worlds", 1);
+        obs::gauge_set("sim.world.accounts", world.n_accounts() as f64);
+        obs::gauge_set("sim.world.txs", world.txs.len() as f64);
+        obs::info!(
+            "sim",
+            "world seed {}: {} accounts, {} txs, {} centres",
+            seed,
+            world.n_accounts(),
+            world.txs.len(),
+            world.centers.len()
+        );
+        world
     }
 
     pub fn n_accounts(&self) -> usize {

@@ -98,6 +98,8 @@ fn interval_min_max(timestamps: &mut [u64]) -> (f64, f64) {
 /// Raw (untransformed) 15-dim features for every node in a subgraph,
 /// computed from the transactions inside the subgraph.
 pub fn raw_features(graph: &Subgraph) -> Tensor {
+    let _span = obs::span("features.raw");
+    obs::counter_add("features.extractions", 1);
     let n = graph.n();
     let mut f = Tensor::zeros(n, N_FEATURES);
     let mut sent_ts: Vec<Vec<u64>> = vec![Vec::new(); n];

@@ -1,0 +1,40 @@
+//! # obs — dependency-free observability for the DBG4ETH pipeline
+//!
+//! Three cooperating facilities, all thread-safe and all **off by default**
+//! so instrumented hot paths pay one relaxed atomic load and nothing else:
+//!
+//! * **Structured events** — the [`error!`]..[`trace!`] macros, gated by a
+//!   level parsed once from `DBG4ETH_LOG`. Disabled levels skip argument
+//!   formatting entirely. Events go to *stderr*, so stdout stays
+//!   machine-readable (tables only) for every experiment binary.
+//! * **Metrics registry** — counters, gauges, histograms with fixed bucket
+//!   edges, and span timers with RAII guards ([`span`]). Collection is
+//!   switched on by the presence of `DBG4ETH_METRICS` (or by
+//!   [`set_metrics_enabled`] from tests and harnesses).
+//! * **JSON run-reports** — a versioned, serde-free [`Json`] value
+//!   ([`Report`]) assembled from a registry snapshot plus caller-provided
+//!   sections, written to the path named by `DBG4ETH_METRICS`.
+//!
+//! Determinism contract: nothing in this crate feeds back into the
+//! computation it observes, and every aggregation is keyed by a stable
+//! static name and combined order-independently (integer adds, min/max), so
+//! enabling observability never changes pipeline outputs and report
+//! *structure* is identical at any `DBG4ETH_THREADS` (timing values
+//! naturally vary run to run). Span hierarchy is encoded in the dotted span
+//! names themselves — never in wall-clock interleaving — so fan-out onto
+//! worker threads cannot reshape the report.
+
+mod json;
+mod log;
+mod registry;
+mod report;
+mod span;
+
+pub use json::Json;
+pub use log::{emit, log_enabled, log_level, set_log_level, Level, LOG_ENV};
+pub use registry::{
+    counter_add, gauge_set, metrics_enabled, metrics_path, observe, reset, set_metrics_enabled,
+    snapshot, Histogram, Snapshot, SpanStat, METRICS_ENV,
+};
+pub use report::{snapshot_json, Report, REPORT_SCHEMA, REPORT_VERSION};
+pub use span::{span, span_depth, span_path, Span};

@@ -1,0 +1,170 @@
+//! Levelled structured events, gated by `DBG4ETH_LOG`.
+//!
+//! The level is parsed from the environment exactly once; the
+//! [`log_enabled`] check the macros compile to is a single relaxed atomic
+//! load, and arguments of disabled events are never formatted. Events are
+//! written to **stderr** (one line each, `[elapsed level target] message`)
+//! so experiment binaries keep stdout machine-readable.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Environment variable selecting the event level (default `off`).
+pub const LOG_ENV: &str = "DBG4ETH_LOG";
+
+/// Event severity. `Off` disables everything (the default).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    Off = 0,
+    Error = 1,
+    Warn = 2,
+    Info = 3,
+    Debug = 4,
+    Trace = 5,
+}
+
+impl Level {
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Level::Off => "off",
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+
+    fn from_u8(v: u8) -> Level {
+        match v {
+            1 => Level::Error,
+            2 => Level::Warn,
+            3 => Level::Info,
+            4 => Level::Debug,
+            5 => Level::Trace,
+            _ => Level::Off,
+        }
+    }
+
+    /// Parse an environment value; unknown non-empty values mean `Info` so
+    /// a typo still shows progress rather than silently disabling it.
+    #[must_use]
+    pub fn parse(text: &str) -> Level {
+        match text.trim().to_ascii_lowercase().as_str() {
+            "" | "off" | "0" | "false" | "none" => Level::Off,
+            "error" | "1" => Level::Error,
+            "warn" | "warning" | "2" => Level::Warn,
+            "info" | "3" => Level::Info,
+            "debug" | "4" => Level::Debug,
+            "trace" | "5" => Level::Trace,
+            _ => Level::Info,
+        }
+    }
+}
+
+const LEVEL_UNSET: u8 = u8::MAX;
+static LEVEL: AtomicU8 = AtomicU8::new(LEVEL_UNSET);
+
+/// The active level, initialised from `DBG4ETH_LOG` on first use.
+pub fn log_level() -> Level {
+    match LEVEL.load(Ordering::Relaxed) {
+        LEVEL_UNSET => {
+            let level = std::env::var(LOG_ENV).map_or(Level::Off, |v| Level::parse(&v));
+            LEVEL.store(level as u8, Ordering::Relaxed);
+            level
+        }
+        v => Level::from_u8(v),
+    }
+}
+
+/// Override the level programmatically (tests, harnesses).
+pub fn set_log_level(level: Level) {
+    LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// Whether events at `level` are emitted. Inlined into the macros.
+#[inline]
+#[must_use]
+pub fn log_enabled(level: Level) -> bool {
+    level != Level::Off && level <= log_level()
+}
+
+fn start() -> Instant {
+    static START: OnceLock<Instant> = OnceLock::new();
+    *START.get_or_init(Instant::now)
+}
+
+/// Write one event line. Callers go through the macros, which check
+/// [`log_enabled`] before formatting.
+pub fn emit(level: Level, target: &str, args: std::fmt::Arguments<'_>) {
+    let elapsed = start().elapsed().as_secs_f64();
+    eprintln!("[{elapsed:9.3}s {:5} {target}] {args}", level.name());
+}
+
+/// Emit an event at an explicit level: `obs::event!(Level::Info, "target", "x = {x}")`.
+#[macro_export]
+macro_rules! event {
+    ($level:expr, $target:expr, $($arg:tt)+) => {
+        if $crate::log_enabled($level) {
+            $crate::emit($level, $target, format_args!($($arg)+));
+        }
+    };
+}
+
+/// Emit an error-level event.
+#[macro_export]
+macro_rules! error {
+    ($target:expr, $($arg:tt)+) => { $crate::event!($crate::Level::Error, $target, $($arg)+) };
+}
+
+/// Emit a warn-level event.
+#[macro_export]
+macro_rules! warn {
+    ($target:expr, $($arg:tt)+) => { $crate::event!($crate::Level::Warn, $target, $($arg)+) };
+}
+
+/// Emit an info-level event.
+#[macro_export]
+macro_rules! info {
+    ($target:expr, $($arg:tt)+) => { $crate::event!($crate::Level::Info, $target, $($arg)+) };
+}
+
+/// Emit a debug-level event.
+#[macro_export]
+macro_rules! debug {
+    ($target:expr, $($arg:tt)+) => { $crate::event!($crate::Level::Debug, $target, $($arg)+) };
+}
+
+/// Emit a trace-level event.
+#[macro_export]
+macro_rules! trace {
+    ($target:expr, $($arg:tt)+) => { $crate::event!($crate::Level::Trace, $target, $($arg)+) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_parsing_covers_aliases_and_typos() {
+        assert_eq!(Level::parse("off"), Level::Off);
+        assert_eq!(Level::parse("0"), Level::Off);
+        assert_eq!(Level::parse(" INFO "), Level::Info);
+        assert_eq!(Level::parse("debug"), Level::Debug);
+        assert_eq!(Level::parse("5"), Level::Trace);
+        assert_eq!(Level::parse("verbose"), Level::Info);
+    }
+
+    #[test]
+    fn levels_order_and_gate() {
+        set_log_level(Level::Warn);
+        assert!(log_enabled(Level::Error));
+        assert!(log_enabled(Level::Warn));
+        assert!(!log_enabled(Level::Info));
+        set_log_level(Level::Off);
+        assert!(!log_enabled(Level::Error));
+    }
+}

@@ -1,0 +1,254 @@
+//! The global metrics registry: counters, gauges, histograms with fixed
+//! bucket edges, and span statistics.
+//!
+//! Collection is enabled by the presence of `DBG4ETH_METRICS` (checked once,
+//! cached in an atomic) or by [`set_metrics_enabled`]. When disabled every
+//! mutator returns after one relaxed atomic load. All aggregation is
+//! order-independent — integer adds and min/max — so the registry's contents
+//! are identical for any thread count modulo the timing *values* themselves.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Duration;
+
+/// Environment variable: when set, metrics collection is enabled and the
+/// value names the run-report output path.
+pub const METRICS_ENV: &str = "DBG4ETH_METRICS";
+
+const STATE_UNSET: u8 = u8::MAX;
+static ENABLED: AtomicU8 = AtomicU8::new(STATE_UNSET);
+
+/// Whether the registry is collecting, initialised from `DBG4ETH_METRICS`
+/// on first use. One relaxed load on the hot path.
+#[inline]
+#[must_use]
+pub fn metrics_enabled() -> bool {
+    match ENABLED.load(Ordering::Relaxed) {
+        0 => false,
+        STATE_UNSET => {
+            let on = std::env::var_os(METRICS_ENV).is_some_and(|v| !v.is_empty());
+            ENABLED.store(u8::from(on), Ordering::Relaxed);
+            on
+        }
+        _ => true,
+    }
+}
+
+/// Force collection on or off (tests and harnesses).
+pub fn set_metrics_enabled(on: bool) {
+    ENABLED.store(u8::from(on), Ordering::Relaxed);
+}
+
+/// The run-report output path from `DBG4ETH_METRICS`, if any.
+#[must_use]
+pub fn metrics_path() -> Option<PathBuf> {
+    std::env::var_os(METRICS_ENV).filter(|v| !v.is_empty()).map(PathBuf::from)
+}
+
+/// Aggregated timings of one span name.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SpanStat {
+    pub count: u64,
+    pub total_ns: u128,
+    pub max_ns: u128,
+}
+
+impl SpanStat {
+    fn record(&mut self, dur: Duration) {
+        self.count += 1;
+        self.total_ns += dur.as_nanos();
+        self.max_ns = self.max_ns.max(dur.as_nanos());
+    }
+}
+
+/// A histogram over fixed, caller-supplied bucket edges. Bucket `i` counts
+/// observations `<= edges[i]`; the last bucket counts the overflow. Only
+/// integer counts and min/max are kept — no floating-point sums — so the
+/// contents are exactly order- and thread-count-independent for a given
+/// multiset of observations.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Histogram {
+    pub edges: Vec<f64>,
+    /// `edges.len() + 1` counts; the last is the overflow bucket.
+    pub buckets: Vec<u64>,
+    pub count: u64,
+    pub min: f64,
+    pub max: f64,
+}
+
+impl Histogram {
+    fn new(edges: &[f64]) -> Self {
+        Self {
+            edges: edges.to_vec(),
+            buckets: vec![0; edges.len() + 1],
+            count: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    fn observe(&mut self, v: f64) {
+        let i = self.edges.iter().position(|&e| v <= e).unwrap_or(self.edges.len());
+        self.buckets[i] += 1;
+        self.count += 1;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+}
+
+/// A point-in-time copy of the registry (also its storage representation).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Snapshot {
+    pub counters: BTreeMap<String, u64>,
+    pub gauges: BTreeMap<String, f64>,
+    pub histograms: BTreeMap<String, Histogram>,
+    pub spans: BTreeMap<String, SpanStat>,
+}
+
+fn registry() -> &'static Mutex<Snapshot> {
+    static REGISTRY: OnceLock<Mutex<Snapshot>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Snapshot::default()))
+}
+
+fn lock() -> std::sync::MutexGuard<'static, Snapshot> {
+    // Observability must never take the pipeline down with it: a panic
+    // while holding the registry lock only poisons observation state.
+    registry().lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Add `n` to a counter.
+pub fn counter_add(name: &str, n: u64) {
+    if !metrics_enabled() {
+        return;
+    }
+    let mut r = lock();
+    match r.counters.get_mut(name) {
+        Some(c) => *c += n,
+        None => {
+            r.counters.insert(name.to_string(), n);
+        }
+    }
+}
+
+/// Set a gauge to its latest value. Gauges are last-write-wins; only use
+/// them for values every writer agrees on (thread count, dataset size).
+pub fn gauge_set(name: &str, v: f64) {
+    if !metrics_enabled() {
+        return;
+    }
+    lock().gauges.insert(name.to_string(), v);
+}
+
+/// Observe `v` in the named histogram. `edges` fixes the bucket layout on
+/// first use; later calls must pass the same edges (debug-asserted).
+pub fn observe(name: &str, edges: &[f64], v: f64) {
+    if !metrics_enabled() {
+        return;
+    }
+    let mut r = lock();
+    let h = match r.histograms.get_mut(name) {
+        Some(h) => h,
+        None => {
+            r.histograms.insert(name.to_string(), Histogram::new(edges));
+            r.histograms.get_mut(name).unwrap()
+        }
+    };
+    debug_assert_eq!(h.edges, edges, "histogram {name} re-registered with different edges");
+    h.observe(v);
+}
+
+pub(crate) fn span_record(name: &str, dur: Duration) {
+    if !metrics_enabled() {
+        return;
+    }
+    let mut r = lock();
+    match r.spans.get_mut(name) {
+        Some(s) => s.record(dur),
+        None => {
+            let mut s = SpanStat::default();
+            s.record(dur);
+            r.spans.insert(name.to_string(), s);
+        }
+    }
+}
+
+/// Copy the registry's current contents.
+#[must_use]
+pub fn snapshot() -> Snapshot {
+    lock().clone()
+}
+
+/// Clear every metric (tests; harnesses that emit several reports).
+pub fn reset() {
+    *lock() = Snapshot::default();
+}
+
+/// Serialises tests that toggle the global enable flag or assert on
+/// absolute registry contents.
+#[cfg(test)]
+pub(crate) fn test_guard() -> std::sync::MutexGuard<'static, ()> {
+    static GUARD: Mutex<()> = Mutex::new(());
+    GUARD.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_accumulate() {
+        let _g = test_guard();
+        set_metrics_enabled(true);
+        counter_add("test.reg.counter", 2);
+        counter_add("test.reg.counter", 3);
+        gauge_set("test.reg.gauge", 1.5);
+        gauge_set("test.reg.gauge", 2.5);
+        let s = snapshot();
+        assert_eq!(s.counters["test.reg.counter"], 5);
+        assert_eq!(s.gauges["test.reg.gauge"], 2.5);
+    }
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let _g = test_guard();
+        set_metrics_enabled(false);
+        counter_add("test.reg.off", 1);
+        observe("test.reg.off_hist", &[1.0], 0.5);
+        assert!(!snapshot().counters.contains_key("test.reg.off"));
+        assert!(!snapshot().histograms.contains_key("test.reg.off_hist"));
+        set_metrics_enabled(true);
+    }
+
+    #[test]
+    fn histogram_contents_are_order_and_thread_independent() {
+        let _g = test_guard();
+        set_metrics_enabled(true);
+        let edges = [1.0, 2.0, 4.0, 8.0];
+        let values: Vec<f64> = (0..200).map(|i| f64::from(i) * 0.05).collect();
+        // Serial ascending.
+        for &v in &values {
+            observe("test.reg.hist_serial", &edges, v);
+        }
+        // Reversed, interleaved from 8 threads.
+        std::thread::scope(|scope| {
+            for chunk in values.rchunks(25) {
+                scope.spawn(move || {
+                    for &v in chunk.iter().rev() {
+                        observe("test.reg.hist_threads", &edges, v);
+                    }
+                });
+            }
+        });
+        let s = snapshot();
+        assert_eq!(s.histograms["test.reg.hist_serial"], s.histograms["test.reg.hist_threads"]);
+        let h = &s.histograms["test.reg.hist_serial"];
+        assert_eq!(h.count, 200);
+        assert_eq!(h.buckets.iter().sum::<u64>(), 200);
+        assert_eq!(h.min, 0.0);
+        assert_eq!(h.max, 199.0 * 0.05);
+        // Overflow bucket counts values above the last edge.
+        assert_eq!(h.buckets[4], values.iter().filter(|&&v| v > 8.0).count() as u64);
+    }
+}

@@ -1,0 +1,176 @@
+//! Versioned JSON run-reports.
+//!
+//! A [`Report`] is an ordered JSON object seeded with the schema name,
+//! schema version and a report name; callers attach arbitrary sections
+//! ([`Report::set`]) and a registry snapshot ([`Report::attach_registry`]),
+//! then write it to the path named by `DBG4ETH_METRICS`
+//! ([`Report::write_if_requested`]). Consumers dispatch on `schema` +
+//! `version` before reading anything else; additive changes keep the
+//! version, field removals or renames bump it.
+
+use crate::json::Json;
+use crate::registry::{metrics_path, snapshot, Snapshot};
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Identifies the report format, independent of what produced it.
+pub const REPORT_SCHEMA: &str = "dbg4eth.run-report";
+
+/// Current schema version.
+pub const REPORT_VERSION: u64 = 1;
+
+/// A run-report under construction.
+pub struct Report {
+    root: Json,
+}
+
+impl Report {
+    /// Start a report named after the producing binary or stage.
+    #[must_use]
+    pub fn new(name: &str) -> Self {
+        let mut root = Json::obj();
+        root.set("schema", REPORT_SCHEMA);
+        root.set("version", REPORT_VERSION);
+        root.set("name", name);
+        Self { root }
+    }
+
+    /// Attach (or replace) a top-level section.
+    pub fn set(&mut self, key: &str, value: impl Into<Json>) -> &mut Self {
+        self.root.set(key, value);
+        self
+    }
+
+    /// Attach the registry's current spans, counters, gauges and
+    /// histograms.
+    pub fn attach_registry(&mut self) -> &mut Self {
+        let json = snapshot_json(&snapshot());
+        for key in ["spans", "counters", "gauges", "histograms"] {
+            self.root.set(key, json.get(key).cloned().unwrap_or(Json::Null));
+        }
+        self
+    }
+
+    #[must_use]
+    pub fn as_json(&self) -> &Json {
+        &self.root
+    }
+
+    #[must_use]
+    pub fn into_json(self) -> Json {
+        self.root
+    }
+
+    /// Pretty-rendered JSON document.
+    #[must_use]
+    pub fn render(&self) -> String {
+        self.root.render_pretty()
+    }
+
+    /// Write the report to `path`.
+    pub fn write_to(&self, path: &Path) -> io::Result<()> {
+        std::fs::write(path, self.render())
+    }
+
+    /// Write the report to the `DBG4ETH_METRICS` path, if one is set.
+    /// Returns the path written.
+    pub fn write_if_requested(&self) -> io::Result<Option<PathBuf>> {
+        match metrics_path() {
+            Some(path) => {
+                self.write_to(&path)?;
+                Ok(Some(path))
+            }
+            None => Ok(None),
+        }
+    }
+}
+
+/// Convert a registry snapshot into its JSON form: span timings in
+/// milliseconds, plus raw counters, gauges and histogram buckets.
+#[must_use]
+pub fn snapshot_json(s: &Snapshot) -> Json {
+    let mut spans = Json::obj();
+    for (name, stat) in &s.spans {
+        let mut o = Json::obj();
+        o.set("count", stat.count);
+        o.set("total_ms", stat.total_ns as f64 / 1e6);
+        o.set("max_ms", stat.max_ns as f64 / 1e6);
+        spans.set(name, o);
+    }
+    let mut counters = Json::obj();
+    for (name, &v) in &s.counters {
+        counters.set(name, v);
+    }
+    let mut gauges = Json::obj();
+    for (name, &v) in &s.gauges {
+        gauges.set(name, v);
+    }
+    let mut histograms = Json::obj();
+    for (name, h) in &s.histograms {
+        let mut o = Json::obj();
+        o.set("edges", h.edges.clone());
+        o.set("buckets", Json::Arr(h.buckets.iter().map(|&b| Json::from(b)).collect()));
+        o.set("count", h.count);
+        // Empty histograms have min = +inf / max = -inf, which From<f64>
+        // normalises to null.
+        o.set("min", h.min);
+        o.set("max", h.max);
+        histograms.set(name, o);
+    }
+    let mut out = Json::obj();
+    out.set("spans", spans);
+    out.set("counters", counters);
+    out.set("gauges", gauges);
+    out.set("histograms", histograms);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{counter_add, gauge_set, observe, set_metrics_enabled, test_guard};
+    use crate::span::span;
+
+    #[test]
+    fn report_round_trips_through_render_and_parse() {
+        let _g = test_guard();
+        set_metrics_enabled(true);
+        {
+            let _s = span("test.report.stage");
+        }
+        counter_add("test.report.items", 7);
+        gauge_set("test.report.threads", 4.0);
+        observe("test.report.sizes", &[10.0, 100.0], 42.0);
+
+        let mut report = Report::new("unit-test");
+        report.set("seed", 42u64);
+        report.set("labels", vec![1.0, 2.0]);
+        report.attach_registry();
+
+        let text = report.render();
+        let parsed = Json::parse(&text).expect("report must parse");
+        assert_eq!(&parsed, report.as_json());
+        assert_eq!(parsed.get("schema").unwrap().as_str(), Some(REPORT_SCHEMA));
+        assert_eq!(parsed.get("version").unwrap().as_f64(), Some(REPORT_VERSION as f64));
+        let spans = parsed.get("spans").unwrap();
+        assert!(
+            spans.get("test.report.stage").unwrap().get("count").unwrap().as_f64() >= Some(1.0)
+        );
+        let hist = parsed.get("histograms").unwrap().get("test.report.sizes").unwrap();
+        assert_eq!(hist.get("count").unwrap().as_f64(), Some(1.0));
+    }
+
+    #[test]
+    fn write_to_then_read_back() {
+        let _g = test_guard();
+        set_metrics_enabled(true);
+        let mut report = Report::new("disk-test");
+        report.set("answer", 42u64);
+        let path = std::env::temp_dir().join("dbg4eth_obs_report_test.json");
+        report.write_to(&path).expect("write report");
+        let text = std::fs::read_to_string(&path).expect("read report");
+        let parsed = Json::parse(&text).expect("parse report");
+        assert_eq!(parsed.get("answer").unwrap().as_f64(), Some(42.0));
+        let _ = std::fs::remove_file(&path);
+    }
+}

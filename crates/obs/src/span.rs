@@ -1,0 +1,148 @@
+//! Span timers: RAII guards that time a stage and record into the registry.
+//!
+//! Spans nest: each thread keeps a stack of active span names, visible via
+//! [`span_path`] / [`span_depth`] and used to indent trace-level events.
+//! Aggregation, however, is keyed by the span's *declared* name alone —
+//! hierarchy is encoded in the dotted names chosen at the call site
+//! (`"pipeline.encode.lower"`), never derived from the runtime stack. A
+//! task fanned out to a worker thread therefore lands in exactly the same
+//! report key as when it runs inline, which is what keeps report structure
+//! independent of `DBG4ETH_THREADS`.
+
+use crate::log::{log_enabled, Level};
+use crate::registry::{metrics_enabled, span_record};
+use std::cell::RefCell;
+use std::marker::PhantomData;
+use std::time::Instant;
+
+thread_local! {
+    static STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// An active span; records its duration when dropped. Created by [`span`].
+pub struct Span {
+    name: &'static str,
+    start: Option<Instant>,
+    // Guards must drop on the thread that created them (the nesting stack
+    // is thread-local), so keep the type !Send.
+    _pin: PhantomData<*const ()>,
+}
+
+/// Start a span. Inert (no clock read, no allocation) unless metrics
+/// collection or trace-level events are enabled.
+#[must_use]
+pub fn span(name: &'static str) -> Span {
+    if !metrics_enabled() && !log_enabled(Level::Trace) {
+        return Span { name, start: None, _pin: PhantomData };
+    }
+    let depth = STACK.with(|s| {
+        let mut s = s.borrow_mut();
+        s.push(name);
+        s.len() - 1
+    });
+    if log_enabled(Level::Trace) {
+        crate::emit(
+            Level::Trace,
+            "span",
+            format_args!("{:depth$}-> {name}", "", depth = depth * 2),
+        );
+    }
+    Span { name, start: Some(Instant::now()), _pin: PhantomData }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(start) = self.start else { return };
+        let dur = start.elapsed();
+        let depth = STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            debug_assert_eq!(s.last(), Some(&self.name), "span guards must drop LIFO");
+            s.pop();
+            s.len()
+        });
+        span_record(self.name, dur);
+        if log_enabled(Level::Trace) {
+            crate::emit(
+                Level::Trace,
+                "span",
+                format_args!(
+                    "{:depth$}<- {} ({:.3} ms)",
+                    "",
+                    self.name,
+                    dur.as_secs_f64() * 1e3,
+                    depth = depth * 2
+                ),
+            );
+        }
+    }
+}
+
+/// Number of active spans on the current thread.
+#[must_use]
+pub fn span_depth() -> usize {
+    STACK.with(|s| s.borrow().len())
+}
+
+/// The current thread's span stack, dot-joined (empty when no span is
+/// active). Diagnostic only — aggregation never uses it.
+#[must_use]
+pub fn span_path() -> String {
+    STACK.with(|s| s.borrow().join("."))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{set_metrics_enabled, snapshot, test_guard};
+
+    #[test]
+    fn spans_nest_and_unwind_lifo() {
+        let _g = test_guard();
+        set_metrics_enabled(true);
+        assert_eq!(span_depth(), 0);
+        {
+            let _outer = span("test.span.outer");
+            assert_eq!(span_depth(), 1);
+            assert_eq!(span_path(), "test.span.outer");
+            {
+                let _inner = span("test.span.inner");
+                assert_eq!(span_depth(), 2);
+                assert_eq!(span_path(), "test.span.outer.test.span.inner");
+            }
+            assert_eq!(span_depth(), 1);
+        }
+        assert_eq!(span_depth(), 0);
+        let s = snapshot();
+        assert_eq!(s.spans["test.span.outer"].count, 1);
+        assert_eq!(s.spans["test.span.inner"].count, 1);
+        // The outer span was open for at least as long as the inner one.
+        assert!(s.spans["test.span.outer"].total_ns >= s.spans["test.span.inner"].total_ns);
+    }
+
+    #[test]
+    fn span_keys_do_not_depend_on_the_calling_thread() {
+        let _g = test_guard();
+        set_metrics_enabled(true);
+        let run = || {
+            let _s = span("test.span.worker");
+        };
+        run();
+        std::thread::scope(|scope| {
+            scope.spawn(run);
+            scope.spawn(run);
+        });
+        assert_eq!(snapshot().spans["test.span.worker"].count, 3);
+    }
+
+    #[test]
+    fn disabled_spans_are_inert() {
+        let _g = test_guard();
+        set_metrics_enabled(false);
+        {
+            let _s = span("test.span.disabled");
+            assert_eq!(span_depth(), 0, "inert span must not touch the stack");
+        }
+        set_metrics_enabled(true);
+        assert!(!snapshot().spans.contains_key("test.span.disabled"));
+    }
+}

@@ -18,9 +18,16 @@
 //! exactly.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
 
 /// Environment variable overriding every requested thread count.
 pub const THREADS_ENV: &str = "DBG4ETH_THREADS";
+
+/// Bucket edges of the `par.tasks_per_worker` histogram.
+const TASKS_EDGES: [f64; 8] = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0];
+/// Bucket edges of the `par.worker_utilisation` histogram (busy fraction of
+/// the fan-out's wall time each worker spends inside task bodies).
+const UTIL_EDGES: [f64; 9] = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9];
 
 /// Resolve a requested degree of parallelism (`0` = auto) against the
 /// `DBG4ETH_THREADS` override and the machine's available parallelism.
@@ -50,9 +57,20 @@ where
     F: Fn(usize) -> R + Sync,
 {
     let workers = threads.min(n);
+    // Observation only: counters/histograms feed the run-report and never
+    // influence scheduling, so outputs stay bit-identical with metrics on.
+    let observed = obs::metrics_enabled();
+    if observed {
+        obs::counter_add("par.dispatches", 1);
+        obs::counter_add("par.tasks", n as u64);
+    }
     if workers <= 1 {
+        if observed && n > 0 {
+            obs::observe("par.tasks_per_worker", &TASKS_EDGES, n as f64);
+        }
         return (0..n).map(f).collect();
     }
+    let start = Instant::now();
     let next = AtomicUsize::new(0);
     let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
     std::thread::scope(|scope| {
@@ -62,18 +80,34 @@ where
             let f = &f;
             handles.push(scope.spawn(move || {
                 let mut local: Vec<(usize, R)> = Vec::new();
+                let mut busy = Duration::ZERO;
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= n {
                         break;
                     }
-                    local.push((i, f(i)));
+                    if observed {
+                        let t = Instant::now();
+                        local.push((i, f(i)));
+                        busy += t.elapsed();
+                    } else {
+                        local.push((i, f(i)));
+                    }
                 }
-                local
+                (local, busy)
             }));
         }
         for handle in handles {
-            for (i, r) in handle.join().expect("par worker panicked") {
+            let (local, busy) = handle.join().expect("par worker panicked");
+            if observed {
+                obs::observe("par.tasks_per_worker", &TASKS_EDGES, local.len() as f64);
+                let wall = start.elapsed().as_secs_f64();
+                if wall > 0.0 {
+                    let util = (busy.as_secs_f64() / wall).min(1.0);
+                    obs::observe("par.worker_utilisation", &UTIL_EDGES, util);
+                }
+            }
+            for (i, r) in local {
                 slots[i] = Some(r);
             }
         }
@@ -99,6 +133,7 @@ where
     FA: FnOnce() -> RA + Send,
     FB: FnOnce() -> RB + Send,
 {
+    obs::counter_add("par.joins", 1);
     if threads <= 1 {
         let a = fa();
         let b = fb();
@@ -143,6 +178,20 @@ mod tests {
             let (a, b) = join(threads, || 2 + 2, || "ok");
             assert_eq!((a, b), (4, "ok"));
         }
+    }
+
+    #[test]
+    fn metrics_collection_does_not_change_results() {
+        obs::set_metrics_enabled(true);
+        let items: Vec<u64> = (0..57).collect();
+        let expect: Vec<u64> = items.iter().map(|&x| x * 3 + 1).collect();
+        for threads in [1, 4] {
+            assert_eq!(par_map(threads, &items, |&x| x * 3 + 1), expect);
+        }
+        let snap = obs::snapshot();
+        // Both dispatches above were recorded (other tests may add more).
+        assert!(snap.counters.get("par.tasks").copied().unwrap_or(0) >= 114);
+        assert!(snap.histograms.contains_key("par.tasks_per_worker"));
     }
 
     #[test]

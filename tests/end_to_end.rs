@@ -85,3 +85,48 @@ fn branch_features_match_split_sizes() {
     assert_eq!(out.test_features.len(), test_idx.len());
     assert_eq!(out.test_scores.len(), test_idx.len());
 }
+
+/// Enabling metrics must not perturb predictions (at any thread count),
+/// and the emitted run-report must round-trip through the JSON parser.
+#[test]
+fn observability_is_invisible_to_predictions_and_reports_round_trip() {
+    let bench = Benchmark::generate(tiny_scale(), SamplerConfig { top_k: 15, hops: 2 }, 4);
+    let dataset = bench.dataset(AccountClass::Exchange);
+    let mut cfg = tiny_config();
+    cfg.parallelism = 1;
+    let baseline = run(dataset, 0.7, &cfg);
+
+    obs::set_metrics_enabled(true);
+    dbg4eth::report::clear_runs();
+    let serial = run(dataset, 0.7, &cfg);
+    cfg.parallelism = 4;
+    let parallel = run(dataset, 0.7, &cfg);
+    let report = dbg4eth::report::build_report("end_to_end");
+    obs::set_metrics_enabled(false);
+    dbg4eth::report::clear_runs();
+
+    // Observability is pure observation: byte-identical scores with metrics
+    // off, on at 1 thread, and on at 4 threads.
+    assert_eq!(baseline.test_scores, serial.test_scores);
+    assert_eq!(serial.test_scores, parallel.test_scores);
+    assert_eq!(baseline.metrics.f1, parallel.metrics.f1);
+
+    // The report parses back to the same document (round-trip identity).
+    let text = report.render();
+    let parsed = obs::Json::parse(&text).expect("report parses");
+    assert_eq!(parsed.render(), report.as_json().render(), "parse → render identity");
+    assert_eq!(parsed.get("schema").and_then(obs::Json::as_str), Some(obs::REPORT_SCHEMA));
+    assert_eq!(parsed.get("version").and_then(obs::Json::as_f64), Some(1.0));
+    let runs = parsed.get("runs").and_then(obs::Json::as_arr).expect("runs array");
+    assert_eq!(runs.len(), 2, "one recorded run per metrics-enabled run()");
+    let gsg = runs[0].get("branches").and_then(|b| b.get("gsg")).expect("gsg branch");
+    let calibrators = gsg.get("calibrators").and_then(obs::Json::as_arr).expect("calibrators");
+    assert_eq!(calibrators.len(), 6, "all six calibration methods reported");
+    for c in calibrators {
+        assert!(c.get("weight").and_then(obs::Json::as_f64).is_some());
+        assert!(c.get("delta_ece").and_then(obs::Json::as_f64).is_some());
+    }
+    let losses = gsg.get("epoch_loss").and_then(obs::Json::as_arr).expect("epoch_loss");
+    assert_eq!(losses.len(), cfg.epochs, "one loss per training epoch");
+    assert!(parsed.get("spans").and_then(|s| s.get("pipeline.run")).is_some());
+}
