@@ -1,0 +1,38 @@
+//! Reload a persisted model in a fresh process and score accounts.
+//!
+//! The inference half of the train/serve split: loads the `DBGM` container
+//! written by `train`, regenerates the same benchmark world, and scores the
+//! held-out test accounts through `dbg4eth::infer`. The printed
+//! `scores-digest` must equal the one `train` printed — the model file, not
+//! process memory, carries everything the serving path needs.
+//!
+//! Usage: `predict [MODEL_PATH] [CLASS]` (defaults: `model.dbgm`,
+//! `exchange`).
+
+use dbg4eth::{infer, TrainedModel};
+use eth_graph::Subgraph;
+use std::time::Instant;
+
+fn main() {
+    let path = std::env::args().nth(1).unwrap_or_else(|| "model.dbgm".to_string());
+    let class = bench::class_arg(std::env::args().nth(2).as_deref());
+    let t = Instant::now();
+    let model = TrainedModel::load(&path).expect("load model");
+    obs::info!("predict", "loaded {path} in {:?}", t.elapsed());
+
+    // The same deterministic world `train` saw; the split seed travels
+    // inside the model's config.
+    let benchmark = bench::benchmark();
+    let dataset = benchmark.dataset(class);
+    let (_, test_idx) = dataset.split(0.8, model.config.seed);
+    let accounts: Vec<Subgraph> = test_idx.iter().map(|&i| dataset.graphs[i].clone()).collect();
+
+    let t = Instant::now();
+    let probs = infer(&model, &accounts);
+    println!("scored {} accounts in {:?}", probs.len(), t.elapsed());
+    for (i, p) in probs.iter().enumerate().take(5) {
+        println!("  account {:3}: P({}) = {p:.4}", test_idx[i], class.name());
+    }
+    println!("scores-digest: {:016x}", bench::f64_bits_digest(&probs));
+    bench::emit_report_with("predict", bench::scale(), bench::seed());
+}

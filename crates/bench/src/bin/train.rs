@@ -1,0 +1,47 @@
+//! Train the pipeline once and persist the fitted model.
+//!
+//! The serving half of the train/serve split: this binary trains on the
+//! shared benchmark world, reports the usual run metrics, and writes the
+//! `DBGM` model container to disk. `predict` (a separate process) reloads
+//! it and must reproduce the same score bits — both binaries print a
+//! `scores-digest` line so the round trip can be checked from a shell:
+//!
+//! ```text
+//! cargo run --release -p bench --bin train -- model.dbgm exchange
+//! cargo run --release -p bench --bin predict -- model.dbgm exchange
+//! ```
+//!
+//! Usage: `train [MODEL_PATH] [CLASS]` (defaults: `model.dbgm`, `exchange`).
+
+use dbg4eth::train;
+use std::time::Instant;
+
+fn main() {
+    let path = std::env::args().nth(1).unwrap_or_else(|| "model.dbgm".to_string());
+    let class = bench::class_arg(std::env::args().nth(2).as_deref());
+    let benchmark = bench::benchmark();
+    let dataset = benchmark.dataset(class);
+    let mut cfg = bench::dbg4eth_config();
+    if let Some(epochs) = std::env::var("EPOCHS").ok().and_then(|v| v.parse().ok()) {
+        cfg.epochs = epochs;
+    }
+
+    obs::info!("train", "training {} ({} graphs)", class.name(), dataset.graphs.len());
+    let t = Instant::now();
+    let out = train(dataset, 0.8, &cfg);
+    println!(
+        "{:12} P {:6.2} R {:6.2} F1 {:6.2} Acc {:6.2} ({:?})",
+        class.name(),
+        out.run.metrics.precision,
+        out.run.metrics.recall,
+        out.run.metrics.f1,
+        out.run.metrics.accuracy,
+        t.elapsed()
+    );
+
+    out.model.save(&path).expect("save model");
+    let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+    println!("model: {path} ({bytes} bytes)");
+    println!("scores-digest: {:016x}", bench::f64_bits_digest(&out.run.test_scores));
+    bench::emit_report_with("train", bench::scale(), bench::seed());
+}

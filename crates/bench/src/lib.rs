@@ -42,6 +42,32 @@ pub fn seed() -> u64 {
     std::env::var("DBG4ETH_SEED").ok().and_then(|v| v.parse().ok()).unwrap_or(7)
 }
 
+/// Resolve a CLI class name (`exchange`, `phish-hack`, ...) against the six
+/// labelled categories; `None` defaults to exchange.
+pub fn class_arg(name: Option<&str>) -> AccountClass {
+    let Some(name) = name else { return AccountClass::Exchange };
+    let norm = |s: &str| s.replace(['/', '_', ' '], "-").to_lowercase();
+    AccountClass::LABELLED.into_iter().find(|c| norm(c.name()) == norm(name)).unwrap_or_else(|| {
+        let known: Vec<String> = AccountClass::LABELLED.iter().map(|c| norm(c.name())).collect();
+        panic!("unknown class {name:?}; expected one of {known:?}")
+    })
+}
+
+/// Order-sensitive FNV-1a digest of exact probability bit patterns, for
+/// comparing predictions across processes from a shell (`train` and
+/// `predict` both print it).
+#[must_use]
+pub fn f64_bits_digest(probs: &[f64]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for p in probs {
+        for b in p.to_bits().to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
 /// Worker threads for the experiment binaries' outer loops: auto-detected,
 /// overridable with `DBG4ETH_THREADS` (1 = serial). Results are identical
 /// for every value; only wall-clock time changes.

@@ -49,8 +49,8 @@ impl GbdtConfig {
 /// A fitted binary GBDT classifier.
 pub struct Gbdt {
     pub config: GbdtConfig,
-    base_score: f64,
-    trees: Vec<RegressionTree>,
+    pub(crate) base_score: f64,
+    pub(crate) trees: Vec<RegressionTree>,
 }
 
 impl Gbdt {

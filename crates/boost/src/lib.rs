@@ -13,6 +13,7 @@
 mod forest;
 mod gbdt;
 mod mlp;
+mod persist;
 mod tree;
 
 pub use forest::{AdaBoost, AdaBoostConfig, ForestConfig, RandomForest};

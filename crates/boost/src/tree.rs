@@ -38,7 +38,7 @@ impl Default for TreeConfig {
 }
 
 #[derive(Clone, Debug)]
-enum Node {
+pub(crate) enum Node {
     Leaf { value: f64 },
     Split { feature: usize, threshold: f64, gain: f64, left: usize, right: usize },
 }
@@ -46,7 +46,7 @@ enum Node {
 /// A fitted regression tree.
 #[derive(Clone, Debug)]
 pub struct RegressionTree {
-    nodes: Vec<Node>,
+    pub(crate) nodes: Vec<Node>,
 }
 
 struct Candidate {

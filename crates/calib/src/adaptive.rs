@@ -13,8 +13,8 @@ pub const ECE_BINS: usize = 10;
 
 /// A fitted adaptive calibration ensemble.
 pub struct AdaptiveCalibrator {
-    methods: Vec<(CalibMethod, Calibrator)>,
-    weights: Vec<f64>,
+    pub(crate) methods: Vec<(CalibMethod, Calibrator)>,
+    pub(crate) weights: Vec<f64>,
     /// ECE of the raw scores on the calibration split.
     pub base_ece: f64,
     /// Per-method ECE after calibration, aligned with `methods`.

@@ -11,6 +11,7 @@ mod adaptive;
 mod ece;
 mod extra_metrics;
 mod methods;
+mod persist;
 
 pub use adaptive::{AdaptiveCalibrator, ConfidenceScaler, MethodSubset, ECE_BINS};
 pub use ece::{ece, reliability_diagram, ReliabilityBin};

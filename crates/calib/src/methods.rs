@@ -163,7 +163,13 @@ impl Calibrator {
     }
 }
 
-/// Golden-section search for the temperature minimising NLL.
+/// Golden-section search for the temperature minimising NLL, with a
+/// do-no-harm guard: if the NLL-optimal temperature leaves the fit split
+/// with a *worse* expected calibration error than the identity map (which
+/// sampling noise can produce — NLL and binned ECE are different
+/// objectives), fall back to `t = 1`. The guard makes "temperature scaling
+/// never increases ECE on its own fit split" an invariant rather than a
+/// tendency.
 fn fit_temperature(scores: &[f64], labels: &[bool]) -> Calibrator {
     let logits: Vec<f64> = scores.iter().map(|&p| logit(p)).collect();
     let loss = |t: f64| {
@@ -181,7 +187,15 @@ fn fit_temperature(scores: &[f64], labels: &[bool]) -> Calibrator {
             lo = m1;
         }
     }
-    Calibrator::Temperature { t: (lo + hi) / 2.0 }
+    let fitted = Calibrator::Temperature { t: (lo + hi) / 2.0 };
+    let identity = Calibrator::Temperature { t: 1.0 };
+    let bins = crate::ECE_BINS;
+    if crate::ece(&fitted.apply_all(scores), labels, bins)
+        > crate::ece(&identity.apply_all(scores), labels, bins)
+    {
+        return identity;
+    }
+    fitted
 }
 
 /// Gradient descent on the 2-parameter Platt map `σ(a·logit(p) + b)`.

@@ -1,0 +1,272 @@
+//! `model-io` (de)serialisation for fitted calibrators.
+//!
+//! Everything travels as IEEE-754 bit patterns, so a saved
+//! [`AdaptiveCalibrator`] reproduces its in-memory twin's outputs exactly —
+//! the byte-identity contract of `dbg4eth::infer` flows through here.
+//! Malformed payloads surface as typed [`ModelIoError`]s, never panics.
+
+use crate::adaptive::AdaptiveCalibrator;
+use crate::methods::{CalibMethod, Calibrator};
+use model_io::{ModelIoError, SectionReader, SectionWriter};
+
+impl CalibMethod {
+    /// Stable on-disk tag (presentation order of Section IV-C2).
+    pub fn tag(self) -> u8 {
+        match self {
+            CalibMethod::TemperatureScaling => 0,
+            CalibMethod::BetaCalibration => 1,
+            CalibMethod::LogisticCalibration => 2,
+            CalibMethod::HistogramBinning => 3,
+            CalibMethod::IsotonicRegression => 4,
+            CalibMethod::Bbq => 5,
+        }
+    }
+
+    pub fn from_tag(tag: u8) -> Result<Self, ModelIoError> {
+        Ok(match tag {
+            0 => CalibMethod::TemperatureScaling,
+            1 => CalibMethod::BetaCalibration,
+            2 => CalibMethod::LogisticCalibration,
+            3 => CalibMethod::HistogramBinning,
+            4 => CalibMethod::IsotonicRegression,
+            5 => CalibMethod::Bbq,
+            v => {
+                return Err(ModelIoError::Corrupt {
+                    context: format!("unknown calibration method tag {v}"),
+                })
+            }
+        })
+    }
+}
+
+impl Calibrator {
+    /// Append this fitted map to a section (variant tag, then parameters).
+    pub fn write(&self, s: &mut SectionWriter) {
+        match self {
+            Calibrator::Temperature { t } => {
+                s.put_u8(0);
+                s.put_f64(*t);
+            }
+            Calibrator::Beta { a, b, c } => {
+                s.put_u8(1);
+                s.put_f64(*a);
+                s.put_f64(*b);
+                s.put_f64(*c);
+            }
+            Calibrator::Logistic { a, b } => {
+                s.put_u8(2);
+                s.put_f64(*a);
+                s.put_f64(*b);
+            }
+            Calibrator::Histogram { edges, values } => {
+                s.put_u8(3);
+                s.put_f64s(edges);
+                s.put_f64s(values);
+            }
+            Calibrator::Isotonic { xs, ys } => {
+                s.put_u8(4);
+                s.put_f64s(xs);
+                s.put_f64s(ys);
+            }
+            Calibrator::Bbq { models, weights } => {
+                s.put_u8(5);
+                s.put_usize(models.len());
+                for (edges, values) in models {
+                    s.put_f64s(edges);
+                    s.put_f64s(values);
+                }
+                s.put_f64s(weights);
+            }
+        }
+    }
+
+    /// Read a map written by [`Calibrator::write`].
+    pub fn read(s: &mut SectionReader) -> Result<Self, ModelIoError> {
+        Ok(match s.get_u8()? {
+            0 => Calibrator::Temperature { t: s.get_f64()? },
+            1 => Calibrator::Beta { a: s.get_f64()?, b: s.get_f64()?, c: s.get_f64()? },
+            2 => Calibrator::Logistic { a: s.get_f64()?, b: s.get_f64()? },
+            3 => {
+                let cal = Calibrator::Histogram { edges: s.get_f64s()?, values: s.get_f64s()? };
+                check_binning(&cal)?;
+                cal
+            }
+            4 => {
+                let (xs, ys) = (s.get_f64s()?, s.get_f64s()?);
+                if xs.len() != ys.len() {
+                    return Err(ModelIoError::Corrupt {
+                        context: format!(
+                            "isotonic map has {} knots but {} values",
+                            xs.len(),
+                            ys.len()
+                        ),
+                    });
+                }
+                Calibrator::Isotonic { xs, ys }
+            }
+            5 => {
+                let n = s.get_usize()?;
+                if n > s.remaining() {
+                    return Err(ModelIoError::Truncated { context: "BBQ model count" });
+                }
+                let mut models = Vec::with_capacity(n);
+                for _ in 0..n {
+                    models.push((s.get_f64s()?, s.get_f64s()?));
+                }
+                let weights = s.get_f64s()?;
+                if weights.len() != models.len() {
+                    return Err(ModelIoError::Corrupt {
+                        context: format!(
+                            "BBQ has {} models but {} weights",
+                            models.len(),
+                            weights.len()
+                        ),
+                    });
+                }
+                let cal = Calibrator::Bbq { models, weights };
+                check_binning(&cal)?;
+                cal
+            }
+            v => {
+                return Err(ModelIoError::Corrupt {
+                    context: format!("unknown calibrator variant tag {v}"),
+                })
+            }
+        })
+    }
+}
+
+/// Binning calibrators index `values[bin]` from `edges`; an empty `values`
+/// or mismatched edge count would panic in `apply`, so reject it at load.
+fn check_binning(cal: &Calibrator) -> Result<(), ModelIoError> {
+    let check = |edges: &[f64], values: &[f64], what: &str| {
+        if values.is_empty() || edges.len() != values.len() + 1 {
+            return Err(ModelIoError::Corrupt {
+                context: format!("{what} has {} edges for {} bins", edges.len(), values.len()),
+            });
+        }
+        Ok(())
+    };
+    match cal {
+        Calibrator::Histogram { edges, values } => check(edges, values, "histogram"),
+        Calibrator::Bbq { models, .. } => {
+            models.iter().try_for_each(|(edges, values)| check(edges, values, "BBQ model"))
+        }
+        _ => Ok(()),
+    }
+}
+
+impl AdaptiveCalibrator {
+    /// Append the full fitted ensemble: every method with its ΔECE weight
+    /// and calibration-split ECE, plus the split's base ECE.
+    pub fn write(&self, s: &mut SectionWriter) {
+        s.put_f64(self.base_ece);
+        s.put_u32(self.methods.len() as u32);
+        for (((m, cal), &w), &e) in self.methods.iter().zip(&self.weights).zip(&self.method_ece) {
+            s.put_u8(m.tag());
+            s.put_f64(w);
+            s.put_f64(e);
+            cal.write(s);
+        }
+    }
+
+    /// Read an ensemble written by [`AdaptiveCalibrator::write`].
+    pub fn read(s: &mut SectionReader) -> Result<Self, ModelIoError> {
+        let base_ece = s.get_f64()?;
+        let n = s.get_u32()? as usize;
+        let mut methods = Vec::with_capacity(n.min(CalibMethod::ALL.len()));
+        let mut weights = Vec::new();
+        let mut method_ece = Vec::new();
+        for _ in 0..n {
+            let m = CalibMethod::from_tag(s.get_u8()?)?;
+            weights.push(s.get_f64()?);
+            method_ece.push(s.get_f64()?);
+            methods.push((m, Calibrator::read(s)?));
+        }
+        Ok(Self { methods, weights, base_ece, method_ece })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MethodSubset;
+    use model_io::{ModelReader, ModelWriter};
+
+    fn fixture() -> (Vec<f64>, Vec<bool>) {
+        let mut s = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..240 {
+            s.push(0.88);
+            y.push(i % 10 < 6);
+            s.push(0.12);
+            y.push(i % 10 < 4);
+        }
+        (s, y)
+    }
+
+    fn round_trip(cal: &AdaptiveCalibrator) -> AdaptiveCalibrator {
+        let mut w = ModelWriter::new();
+        let mut sec = SectionWriter::new();
+        cal.write(&mut sec);
+        w.push("calib", sec);
+        let r = ModelReader::from_bytes(&w.to_bytes()).unwrap();
+        let mut sec = r.section("calib").unwrap();
+        let loaded = AdaptiveCalibrator::read(&mut sec).unwrap();
+        sec.expect_end("calib").unwrap();
+        loaded
+    }
+
+    #[test]
+    fn adaptive_ensemble_round_trips_bit_exactly() {
+        let (s, y) = fixture();
+        for subset in
+            [MethodSubset::All, MethodSubset::ParametricOnly, MethodSubset::NonParametricOnly]
+        {
+            let cal = AdaptiveCalibrator::fit(&s, &y, subset, true);
+            let loaded = round_trip(&cal);
+            assert_eq!(loaded.base_ece.to_bits(), cal.base_ece.to_bits());
+            assert_eq!(loaded.method_weights(), cal.method_weights());
+            assert_eq!(loaded.method_eces(), cal.method_eces());
+            for p in [0.0, 0.07, 0.12, 0.5, 0.88, 0.93, 1.0] {
+                assert_eq!(loaded.calibrate(p).to_bits(), cal.calibrate(p).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn method_tags_round_trip() {
+        for m in CalibMethod::ALL {
+            assert_eq!(CalibMethod::from_tag(m.tag()).unwrap(), m);
+        }
+        assert!(CalibMethod::from_tag(6).is_err());
+    }
+
+    #[test]
+    fn bad_variant_tag_is_typed_error() {
+        let mut sec = SectionWriter::new();
+        sec.put_u8(99);
+        let mut w = ModelWriter::new();
+        w.push("c", sec);
+        let r = ModelReader::from_bytes(&w.to_bytes()).unwrap();
+        match Calibrator::read(&mut r.section("c").unwrap()) {
+            Err(ModelIoError::Corrupt { context }) => assert!(context.contains("99")),
+            other => panic!("expected Corrupt, got {:?}", other.map(|_| ())),
+        }
+    }
+
+    #[test]
+    fn histogram_bin_mismatch_is_typed_error() {
+        let mut sec = SectionWriter::new();
+        sec.put_u8(3);
+        sec.put_f64s(&[0.0, 0.5, 1.0]); // 3 edges...
+        sec.put_f64s(&[0.3, 0.6, 0.9]); // ...but 3 values (needs 2)
+        let mut w = ModelWriter::new();
+        w.push("c", sec);
+        let r = ModelReader::from_bytes(&w.to_bytes()).unwrap();
+        assert!(matches!(
+            Calibrator::read(&mut r.section("c").unwrap()),
+            Err(ModelIoError::Corrupt { .. })
+        ));
+    }
+}

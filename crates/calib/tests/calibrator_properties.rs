@@ -1,0 +1,77 @@
+//! Property tests for the calibration stack (satellite of the train/serve
+//! split): structural guarantees every serving path leans on, checked over
+//! arbitrary fit sets rather than hand-picked examples.
+
+use calib::{ece, CalibMethod, Calibrator};
+use proptest::prelude::*;
+
+/// `(score, label)` fit sets. Labels are drawn through a monotone
+/// miscalibration of the score (a ground-truth temperature `t_true` plus a
+/// uniform draw), the regime calibration methods are designed for.
+fn fit_sets() -> impl Strategy<Value = (Vec<f64>, Vec<bool>)> {
+    (prop::collection::vec((0.02f64..0.98, 0.0f64..1.0), 20..120), 0.25f64..4.0).prop_map(
+        |(raw, t_true)| {
+            let scores: Vec<f64> = raw.iter().map(|(s, _)| *s).collect();
+            let labels: Vec<bool> = raw
+                .iter()
+                .map(|&(s, u)| {
+                    let z = (s / (1.0 - s)).ln();
+                    u < 1.0 / (1.0 + (-z * t_true).exp())
+                })
+                .collect();
+            (scores, labels)
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Isotonic regression is monotone: a higher raw score never maps to a
+    /// lower calibrated probability.
+    #[test]
+    fn isotonic_is_monotone(
+        (scores, labels) in fit_sets(),
+        queries in prop::collection::vec(0.0f64..1.0, 2..40),
+    ) {
+        let cal = Calibrator::fit(CalibMethod::IsotonicRegression, &scores, &labels);
+        let mut sorted = queries;
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let out: Vec<f64> = sorted.iter().map(|&q| cal.apply(q)).collect();
+        for w in out.windows(2) {
+            prop_assert!(w[1] >= w[0] - 1e-12, "isotonic not monotone: {} -> {}", w[0], w[1]);
+        }
+    }
+
+    /// Histogram binning and BBQ always emit probabilities, for any query —
+    /// including the exact bin edges 0 and 1.
+    #[test]
+    fn binned_methods_stay_in_unit_interval(
+        (scores, labels) in fit_sets(),
+        queries in prop::collection::vec(0.0f64..1.0, 1..40),
+    ) {
+        for method in [CalibMethod::HistogramBinning, CalibMethod::Bbq] {
+            let cal = Calibrator::fit(method, &scores, &labels);
+            for q in queries.iter().copied().chain([0.0, 0.5, 1.0]) {
+                let p = cal.apply(q);
+                prop_assert!(
+                    (0.0..=1.0).contains(&p),
+                    "{}({q}) = {p} outside [0, 1]", method.name()
+                );
+            }
+        }
+    }
+
+    /// Temperature scaling never increases the expected calibration error
+    /// on the very split it was fitted on.
+    #[test]
+    fn temperature_never_hurts_ece_on_fit_split((scores, labels) in fit_sets()) {
+        let cal = Calibrator::fit(CalibMethod::TemperatureScaling, &scores, &labels);
+        let before = ece(&scores, &labels, 10);
+        let after = ece(&cal.apply_all(&scores), &labels, 10);
+        prop_assert!(
+            after <= before + 1e-9,
+            "temperature raised ECE on its own fit split: {before} -> {after}"
+        );
+    }
+}

@@ -25,12 +25,15 @@
 //! ```
 
 mod config;
+mod model;
 mod multiclass;
 mod pipeline;
 pub mod report;
 mod trainer;
 
 pub use config::{CalibrationConfig, ClassifierKind, Dbg4EthConfig, FeatureMode};
+pub use model::{infer, train, TrainOutput, TrainedBranch, TrainedModel};
+pub use model_io::ModelIoError;
 pub use multiclass::{run_multiclass, MultiClassResult};
 pub use pipeline::{
     encode, finish, fit_predict_classifier, run, BranchDiagnostics, BranchEncoding, EncodedDataset,

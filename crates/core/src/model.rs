@@ -1,0 +1,609 @@
+//! Train/serve split: train once, persist the fitted model, score new
+//! accounts in a fresh process.
+//!
+//! [`train`] runs the same pipeline as [`crate::run`] but keeps every
+//! fitted stage — the full-split GSG and LDG encoders, their adaptive
+//! calibration ensembles and the stacked GBDT — inside a [`TrainedModel`].
+//! [`TrainedModel::save`]/[`TrainedModel::load`] move it through the
+//! versioned, checksummed `model-io` container, and [`infer`] scores
+//! unlabelled account subgraphs through the identical feature → encoder →
+//! calibration → classifier path.
+//!
+//! The contract, enforced by the tier-1 persistence suite: for the test
+//! split of the training dataset, `infer(&model, test_graphs)` equals
+//! `run(..).test_scores` **bit for bit**, before and after a save → load
+//! round trip, at any thread count. Corrupted or version-mismatched files
+//! are rejected with a typed [`ModelIoError`]; loading never panics.
+
+use crate::config::{CalibrationConfig, ClassifierKind, Dbg4EthConfig, FeatureMode};
+use crate::pipeline::{
+    assemble_output, calibrate_branches, encode_with_models, lower_graphs, RunOutput,
+};
+use crate::trainer::{BranchScorer, EpochStats, TrainedGsg, TrainedLdg};
+use boost::{Gbdt, GbdtConfig};
+use calib::{AdaptiveCalibrator, ConfidenceScaler, MethodSubset};
+use eth_graph::centrality::CentralityMeasure;
+use eth_graph::Subgraph;
+use eth_sim::GraphDataset;
+use gnn::{AugmentConfig, GraphTensors, GsgConfig, GsgEncoder, LdgEncoder};
+use model_io::{ModelIoError, ModelReader, ModelWriter, SectionReader, SectionWriter};
+use nn::ParamStore;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::Path;
+
+/// One trained encoder branch plus its fitted calibration ensemble
+/// (`None` when the run was configured without calibration).
+pub struct TrainedBranch<S> {
+    pub scorer: S,
+    pub calibrator: Option<AdaptiveCalibrator>,
+}
+
+/// Every fitted stage of one DBG4ETH run, ready to serve.
+pub struct TrainedModel {
+    /// The configuration the model was trained under. Drives encoder
+    /// reconstruction at load time and the serving-path feature mode.
+    pub config: Dbg4EthConfig,
+    pub gsg: Option<TrainedBranch<TrainedGsg>>,
+    pub ldg: Option<TrainedBranch<TrainedLdg>>,
+    /// The stacked classifier over the calibrated branch probabilities.
+    pub classifier: Gbdt,
+}
+
+/// Result of [`train`]: the persistable model and the usual run output
+/// (metrics, diagnostics, test-split scores) for reporting.
+pub struct TrainOutput {
+    pub model: TrainedModel,
+    pub run: RunOutput,
+}
+
+/// The GBDT configuration for a persistable classifier. Only the two GBDT
+/// kinds can be saved; the Fig. 7 comparison classifiers (random forest,
+/// AdaBoost, MLP) remain available through [`crate::run`].
+fn classifier_config(config: &Dbg4EthConfig) -> GbdtConfig {
+    let threads = config.threads();
+    match config.classifier {
+        ClassifierKind::LightGbm => GbdtConfig { parallelism: threads, ..GbdtConfig::lightgbm() },
+        ClassifierKind::XgBoost => GbdtConfig { parallelism: threads, ..GbdtConfig::xgboost() },
+        other => panic!(
+            "train() supports the persistable GBDT classifiers (LightGBM, XGBoost), not {}",
+            other.name()
+        ),
+    }
+}
+
+/// Train the full pipeline on `dataset` and keep every fitted stage.
+///
+/// The training computation is shared with [`crate::run`]: the returned
+/// `run.test_scores` are bit-identical to what `run` would produce for the
+/// same inputs, and `infer(&model, test_graphs)` reproduces them.
+pub fn train(dataset: &GraphDataset, train_frac: f64, config: &Dbg4EthConfig) -> TrainOutput {
+    let _span = obs::span("model.train");
+    obs::counter_add("model.trains", 1);
+    let gbdt_config = classifier_config(config);
+    let encoded = encode_with_models(dataset, train_frac, config);
+    let mut cal = calibrate_branches(&encoded.encoded, config);
+    let classifier = {
+        let _span = obs::span("pipeline.classify");
+        Gbdt::fit(&cal.train_features, &encoded.encoded.holdout_labels, gbdt_config)
+    };
+    let test_scores = classifier.predict_proba_all(&cal.test_features);
+
+    // Pull the fitted calibrators out of the branch list; it holds the
+    // enabled branches in GSG-then-LDG order, matching the scorers.
+    let mut calibrators: Vec<Option<AdaptiveCalibrator>> =
+        cal.branches.iter_mut().map(|b| b.calibrator.take()).collect();
+    calibrators.reverse();
+    let gsg = encoded.gsg.map(|scorer| TrainedBranch {
+        scorer,
+        calibrator: calibrators.pop().expect("one branch per enabled scorer"),
+    });
+    let ldg = encoded.ldg.map(|scorer| TrainedBranch {
+        scorer,
+        calibrator: calibrators.pop().expect("one branch per enabled scorer"),
+    });
+
+    let run = assemble_output(&cal, &encoded.encoded, test_scores);
+    TrainOutput { model: TrainedModel { config: *config, gsg, ldg, classifier }, run }
+}
+
+/// Score unlabelled account subgraphs with a trained model.
+///
+/// Mirrors the pipeline's test path exactly: lower per the configured
+/// feature mode, raw log-odds from each enabled encoder (fanned out over
+/// the configured worker threads), per-batch confidence scaling, the saved
+/// adaptive calibrators, then the stacked GBDT. Returns `P(positive)` per
+/// account, in input order.
+pub fn infer(model: &TrainedModel, accounts: &[Subgraph]) -> Vec<f64> {
+    let _span = obs::span("model.infer");
+    obs::counter_add("model.infers", 1);
+    obs::counter_add("model.infer.accounts", accounts.len() as u64);
+    if accounts.is_empty() {
+        return Vec::new();
+    }
+    let threads = model.config.threads();
+    let tensors = lower_graphs(accounts, &model.config, threads);
+    let refs: Vec<&GraphTensors> = tensors.iter().collect();
+
+    // The two branches are independent read-only scorers — run them
+    // concurrently, like the training-side encode does.
+    let (gsg_p, ldg_p) = par::join(
+        threads,
+        || model.gsg.as_ref().map(|b| branch_confidences(&b.scorer, &b.calibrator, &refs, threads)),
+        || model.ldg.as_ref().map(|b| branch_confidences(&b.scorer, &b.calibrator, &refs, threads)),
+    );
+    let columns: Vec<Vec<f64>> = [gsg_p, ldg_p].into_iter().flatten().collect();
+    assert!(!columns.is_empty(), "model has no encoder branch");
+    let rows: Vec<Vec<f64>> =
+        (0..accounts.len()).map(|r| columns.iter().map(|c| c[r]).collect()).collect();
+    model.classifier.predict_proba_all(&rows)
+}
+
+/// One branch of the serving path: raw scores → per-batch confidence
+/// scaling (the pipeline's convention — each batch is z-scored by its own
+/// statistics, which is what makes train-fitted calibrators transfer) →
+/// the saved adaptive ensemble.
+fn branch_confidences<S: BranchScorer>(
+    scorer: &S,
+    calibrator: &Option<AdaptiveCalibrator>,
+    graphs: &[&GraphTensors],
+    threads: usize,
+) -> Vec<f64> {
+    let raw = scorer.raw_scores_par(graphs, threads);
+    let scaled = ConfidenceScaler::fit(&raw).scale_all(&raw);
+    match calibrator {
+        Some(cal) => cal.calibrate_all(&scaled),
+        None => scaled,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Persistence
+// ---------------------------------------------------------------------------
+
+const SEC_CONFIG: &str = "config";
+const SEC_GSG: &str = "gsg";
+const SEC_LDG: &str = "ldg";
+const SEC_CLASSIFIER: &str = "classifier";
+
+impl TrainedModel {
+    /// Serialise into a `DBGM` container (in memory).
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        self.writer().to_bytes()
+    }
+
+    /// Save to a file.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), ModelIoError> {
+        let _span = obs::span("model.save");
+        self.writer().write_to(path)
+    }
+
+    fn writer(&self) -> ModelWriter {
+        let mut w = ModelWriter::new();
+        let mut s = SectionWriter::new();
+        write_config(&self.config, &mut s);
+        w.push(SEC_CONFIG, s);
+        if let Some(b) = &self.gsg {
+            let mut s = SectionWriter::new();
+            write_branch(&b.scorer.store, &b.calibrator, &b.scorer.history, &mut s);
+            w.push(SEC_GSG, s);
+        }
+        if let Some(b) = &self.ldg {
+            let mut s = SectionWriter::new();
+            write_branch(&b.scorer.store, &b.calibrator, &b.scorer.history, &mut s);
+            w.push(SEC_LDG, s);
+        }
+        let mut s = SectionWriter::new();
+        self.classifier.write(&mut s);
+        w.push(SEC_CLASSIFIER, s);
+        w
+    }
+
+    /// Load from a file, validating magic, format version and every section
+    /// checksum before reconstruction. All failure modes are typed
+    /// [`ModelIoError`]s — corrupted input never panics.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, ModelIoError> {
+        let _span = obs::span("model.load");
+        Self::from_bytes(&std::fs::read(path)?)
+    }
+
+    /// [`TrainedModel::load`] from an in-memory container.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, ModelIoError> {
+        let r = ModelReader::from_bytes(bytes)?;
+        let mut s = r.section(SEC_CONFIG)?;
+        let config = read_config(&mut s)?;
+        s.expect_end(SEC_CONFIG)?;
+
+        let gsg = if config.use_gsg {
+            let mut s = r.section(SEC_GSG)?;
+            let (store, calibrator, history) = read_branch(&mut s)?;
+            s.expect_end(SEC_GSG)?;
+            let scorer = rebuild_gsg(&config, &store, history)?;
+            Some(TrainedBranch { scorer, calibrator })
+        } else {
+            None
+        };
+        let ldg = if config.use_ldg {
+            let mut s = r.section(SEC_LDG)?;
+            let (store, calibrator, history) = read_branch(&mut s)?;
+            s.expect_end(SEC_LDG)?;
+            let scorer = rebuild_ldg(&config, &store, history)?;
+            Some(TrainedBranch { scorer, calibrator })
+        } else {
+            None
+        };
+
+        let mut s = r.section(SEC_CLASSIFIER)?;
+        let classifier = Gbdt::read(&mut s)?;
+        s.expect_end(SEC_CLASSIFIER)?;
+        Ok(Self { config, gsg, ldg, classifier })
+    }
+}
+
+fn write_branch(
+    store: &ParamStore,
+    calibrator: &Option<AdaptiveCalibrator>,
+    history: &[EpochStats],
+    s: &mut SectionWriter,
+) {
+    store.write_section(s);
+    match calibrator {
+        Some(cal) => {
+            s.put_bool(true);
+            cal.write(s);
+        }
+        None => s.put_bool(false),
+    }
+    s.put_usize(history.len());
+    for e in history {
+        s.put_f32(e.loss);
+        s.put_f32(e.contrastive);
+    }
+}
+
+type BranchParts = (ParamStore, Option<AdaptiveCalibrator>, Vec<EpochStats>);
+
+fn read_branch(s: &mut SectionReader) -> Result<BranchParts, ModelIoError> {
+    let store = ParamStore::read_section(s)?;
+    let calibrator = if s.get_bool()? { Some(AdaptiveCalibrator::read(s)?) } else { None };
+    let n = s.get_usize()?;
+    if n.saturating_mul(8) > s.remaining() {
+        return Err(ModelIoError::Truncated { context: "epoch history" });
+    }
+    let mut history = Vec::with_capacity(n);
+    for _ in 0..n {
+        history.push(EpochStats { loss: s.get_f32()?, contrastive: s.get_f32()? });
+    }
+    Ok((store, calibrator, history))
+}
+
+/// Rebuild an encoder from saved weights: construct a fresh architecture
+/// from the saved configuration (the throwaway RNG only sets initial values
+/// that are then overwritten) and restore every parameter by name and
+/// shape. Anything short of a complete restoration means weights and
+/// configuration disagree — a typed error, not a silently wrong model.
+fn rebuild_gsg(
+    config: &Dbg4EthConfig,
+    loaded: &ParamStore,
+    history: Vec<EpochStats>,
+) -> Result<TrainedGsg, ModelIoError> {
+    let mut store = ParamStore::new();
+    let encoder = GsgEncoder::new(&mut store, &mut StdRng::seed_from_u64(0), config.gsg);
+    check_restore("GSG", store.restore_from(loaded), store.len(), loaded.len())?;
+    Ok(TrainedGsg { store, encoder, history })
+}
+
+fn rebuild_ldg(
+    config: &Dbg4EthConfig,
+    loaded: &ParamStore,
+    history: Vec<EpochStats>,
+) -> Result<TrainedLdg, ModelIoError> {
+    let mut store = ParamStore::new();
+    let mut ldg_cfg = config.ldg;
+    ldg_cfg.t_slices = config.t_slices;
+    let encoder = LdgEncoder::new(&mut store, &mut StdRng::seed_from_u64(0), ldg_cfg);
+    check_restore("LDG", store.restore_from(loaded), store.len(), loaded.len())?;
+    Ok(TrainedLdg { store, encoder, history })
+}
+
+fn check_restore(
+    branch: &str,
+    restored: usize,
+    expected: usize,
+    saved: usize,
+) -> Result<(), ModelIoError> {
+    if restored != expected || saved != expected {
+        return Err(ModelIoError::Corrupt {
+            context: format!(
+                "{branch} weights do not match the saved configuration \
+                 ({restored}/{expected} parameters restored, {saved} saved)"
+            ),
+        });
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Config (de)serialisation
+// ---------------------------------------------------------------------------
+
+fn measure_tag(m: CentralityMeasure) -> u8 {
+    match m {
+        CentralityMeasure::Degree => 0,
+        CentralityMeasure::Eigenvector => 1,
+        CentralityMeasure::PageRank => 2,
+    }
+}
+
+fn measure_from_tag(tag: u8) -> Result<CentralityMeasure, ModelIoError> {
+    Ok(match tag {
+        0 => CentralityMeasure::Degree,
+        1 => CentralityMeasure::Eigenvector,
+        2 => CentralityMeasure::PageRank,
+        v => {
+            return Err(ModelIoError::Corrupt {
+                context: format!("unknown centrality measure tag {v}"),
+            })
+        }
+    })
+}
+
+fn classifier_tag(k: ClassifierKind) -> u8 {
+    match k {
+        ClassifierKind::LightGbm => 0,
+        ClassifierKind::XgBoost => 1,
+        ClassifierKind::RandomForest => 2,
+        ClassifierKind::AdaBoost => 3,
+        ClassifierKind::Mlp => 4,
+    }
+}
+
+fn classifier_from_tag(tag: u8) -> Result<ClassifierKind, ModelIoError> {
+    Ok(match tag {
+        0 => ClassifierKind::LightGbm,
+        1 => ClassifierKind::XgBoost,
+        2 => ClassifierKind::RandomForest,
+        3 => ClassifierKind::AdaBoost,
+        4 => ClassifierKind::Mlp,
+        v => return Err(ModelIoError::Corrupt { context: format!("unknown classifier tag {v}") }),
+    })
+}
+
+fn feature_tag(f: FeatureMode) -> u8 {
+    match f {
+        FeatureMode::LogAbsolute => 0,
+        FeatureMode::ZScored => 1,
+        FeatureMode::None => 2,
+    }
+}
+
+fn feature_from_tag(tag: u8) -> Result<FeatureMode, ModelIoError> {
+    Ok(match tag {
+        0 => FeatureMode::LogAbsolute,
+        1 => FeatureMode::ZScored,
+        2 => FeatureMode::None,
+        v => {
+            return Err(ModelIoError::Corrupt { context: format!("unknown feature mode tag {v}") })
+        }
+    })
+}
+
+fn subset_tag(m: MethodSubset) -> u8 {
+    match m {
+        MethodSubset::All => 0,
+        MethodSubset::ParametricOnly => 1,
+        MethodSubset::NonParametricOnly => 2,
+    }
+}
+
+fn subset_from_tag(tag: u8) -> Result<MethodSubset, ModelIoError> {
+    Ok(match tag {
+        0 => MethodSubset::All,
+        1 => MethodSubset::ParametricOnly,
+        2 => MethodSubset::NonParametricOnly,
+        v => {
+            return Err(ModelIoError::Corrupt { context: format!("unknown method subset tag {v}") })
+        }
+    })
+}
+
+fn write_augment(a: &AugmentConfig, s: &mut SectionWriter) {
+    s.put_f64(a.p_edge);
+    s.put_f64(a.p_feat);
+    s.put_f64(a.p_tau);
+    s.put_u8(measure_tag(a.measure));
+}
+
+fn read_augment(s: &mut SectionReader) -> Result<AugmentConfig, ModelIoError> {
+    Ok(AugmentConfig {
+        p_edge: s.get_f64()?,
+        p_feat: s.get_f64()?,
+        p_tau: s.get_f64()?,
+        measure: measure_from_tag(s.get_u8()?)?,
+    })
+}
+
+pub(crate) fn write_config(c: &Dbg4EthConfig, s: &mut SectionWriter) {
+    s.put_usize(c.gsg.d_in);
+    s.put_usize(c.gsg.hidden);
+    s.put_usize(c.gsg.layers);
+    s.put_usize(c.gsg.heads);
+    s.put_usize(c.gsg.d_out);
+    s.put_usize(c.gsg.n_classes);
+    s.put_bool(c.gsg.use_center);
+    s.put_usize(c.ldg.d_in);
+    s.put_usize(c.ldg.hidden);
+    s.put_usize(c.ldg.t_slices);
+    for k in c.ldg.pool_clusters {
+        s.put_usize(k);
+    }
+    s.put_usize(c.ldg.pool_layers);
+    s.put_usize(c.ldg.d_out);
+    s.put_usize(c.ldg.n_classes);
+    s.put_bool(c.ldg.use_center);
+    s.put_bool(c.use_gsg);
+    s.put_bool(c.use_ldg);
+    s.put_f32(c.contrastive_weight);
+    write_augment(&c.aug1, s);
+    write_augment(&c.aug2, s);
+    s.put_usize(c.t_slices);
+    s.put_usize(c.epochs);
+    s.put_usize(c.batch_size);
+    s.put_f32(c.lr);
+    s.put_bool(c.calibration.enabled);
+    s.put_u8(subset_tag(c.calibration.subset));
+    s.put_bool(c.calibration.adaptive);
+    s.put_u8(classifier_tag(c.classifier));
+    s.put_u8(feature_tag(c.features));
+    s.put_f64(c.holdout_frac);
+    s.put_bool(c.cross_fit);
+    s.put_usize(c.parallelism);
+    s.put_u64(c.seed);
+}
+
+pub(crate) fn read_config(s: &mut SectionReader) -> Result<Dbg4EthConfig, ModelIoError> {
+    let gsg = GsgConfig {
+        d_in: s.get_usize()?,
+        hidden: s.get_usize()?,
+        layers: s.get_usize()?,
+        heads: s.get_usize()?,
+        d_out: s.get_usize()?,
+        n_classes: s.get_usize()?,
+        use_center: s.get_bool()?,
+    };
+    let ldg = gnn::LdgConfig {
+        d_in: s.get_usize()?,
+        hidden: s.get_usize()?,
+        t_slices: s.get_usize()?,
+        pool_clusters: [s.get_usize()?, s.get_usize()?, s.get_usize()?],
+        pool_layers: s.get_usize()?,
+        d_out: s.get_usize()?,
+        n_classes: s.get_usize()?,
+        use_center: s.get_bool()?,
+    };
+    let config = Dbg4EthConfig {
+        gsg,
+        ldg,
+        use_gsg: s.get_bool()?,
+        use_ldg: s.get_bool()?,
+        contrastive_weight: s.get_f32()?,
+        aug1: read_augment(s)?,
+        aug2: read_augment(s)?,
+        t_slices: s.get_usize()?,
+        epochs: s.get_usize()?,
+        batch_size: s.get_usize()?,
+        lr: s.get_f32()?,
+        calibration: CalibrationConfig {
+            enabled: s.get_bool()?,
+            subset: subset_from_tag(s.get_u8()?)?,
+            adaptive: s.get_bool()?,
+        },
+        classifier: classifier_from_tag(s.get_u8()?)?,
+        features: feature_from_tag(s.get_u8()?)?,
+        holdout_frac: s.get_f64()?,
+        cross_fit: s.get_bool()?,
+        parallelism: s.get_usize()?,
+        seed: s.get_u64()?,
+    };
+    validate_config(&config)?;
+    Ok(config)
+}
+
+/// Reject configurations the encoder constructors would assert on — a
+/// tampered-but-checksummed file must fail with a typed error, not a panic
+/// deep inside `GsgEncoder::new`.
+fn validate_config(c: &Dbg4EthConfig) -> Result<(), ModelIoError> {
+    let bad = |context: String| Err(ModelIoError::Corrupt { context });
+    if !c.use_gsg && !c.use_ldg {
+        return bad("config enables no encoder branch".to_string());
+    }
+    if c.use_gsg {
+        let g = &c.gsg;
+        if g.d_in == 0 || g.hidden == 0 || g.layers == 0 || g.d_out == 0 {
+            return bad(format!(
+                "GSG dimensions must be positive (d_in {}, hidden {}, layers {}, d_out {})",
+                g.d_in, g.hidden, g.layers, g.d_out
+            ));
+        }
+        if g.heads == 0 || !g.hidden.is_multiple_of(g.heads) {
+            return bad(format!("GSG hidden {} not divisible by heads {}", g.hidden, g.heads));
+        }
+        if g.n_classes < 2 {
+            return bad(format!("GSG n_classes {} < 2", g.n_classes));
+        }
+    }
+    if c.use_ldg {
+        let l = &c.ldg;
+        if l.d_in == 0 || l.hidden == 0 || l.d_out == 0 || c.t_slices == 0 {
+            return bad(format!(
+                "LDG dimensions must be positive (d_in {}, hidden {}, d_out {}, t_slices {})",
+                l.d_in, l.hidden, l.d_out, c.t_slices
+            ));
+        }
+        if !(1..=l.pool_clusters.len()).contains(&l.pool_layers) {
+            return bad(format!(
+                "LDG pool_layers {} outside 1..={}",
+                l.pool_layers,
+                l.pool_clusters.len()
+            ));
+        }
+        if l.pool_clusters.contains(&0) {
+            return bad(format!("LDG pool_clusters {:?} contain zero", l.pool_clusters));
+        }
+        if l.n_classes < 2 {
+            return bad(format!("LDG n_classes {} < 2", l.n_classes));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use model_io::ModelWriter;
+
+    fn round_trip_config(c: &Dbg4EthConfig) -> Result<Dbg4EthConfig, ModelIoError> {
+        let mut w = ModelWriter::new();
+        let mut s = SectionWriter::new();
+        write_config(c, &mut s);
+        w.push("config", s);
+        let r = ModelReader::from_bytes(&w.to_bytes())?;
+        let mut s = r.section("config")?;
+        let loaded = read_config(&mut s)?;
+        s.expect_end("config")?;
+        Ok(loaded)
+    }
+
+    #[test]
+    fn config_round_trips_exactly() {
+        for c in [Dbg4EthConfig::default(), Dbg4EthConfig::fast()] {
+            let loaded = round_trip_config(&c).unwrap();
+            assert_eq!(format!("{c:?}"), format!("{loaded:?}"));
+        }
+    }
+
+    #[test]
+    fn invalid_configs_are_typed_errors() {
+        let mut c = Dbg4EthConfig::fast();
+        c.gsg.heads = 3; // 32 % 3 != 0
+        assert!(matches!(round_trip_config(&c), Err(ModelIoError::Corrupt { .. })));
+
+        let mut c = Dbg4EthConfig::fast();
+        c.use_gsg = false;
+        c.use_ldg = false;
+        assert!(matches!(round_trip_config(&c), Err(ModelIoError::Corrupt { .. })));
+
+        let mut c = Dbg4EthConfig::fast();
+        c.ldg.pool_layers = 0;
+        assert!(matches!(round_trip_config(&c), Err(ModelIoError::Corrupt { .. })));
+    }
+
+    #[test]
+    #[should_panic(expected = "persistable GBDT classifiers")]
+    fn non_gbdt_classifier_is_rejected_at_train() {
+        let mut c = Dbg4EthConfig::fast();
+        c.classifier = ClassifierKind::Mlp;
+        classifier_config(&c);
+    }
+}

@@ -9,7 +9,7 @@
 //! as future work, mirroring the paper's binary-only calibration).
 
 use crate::config::Dbg4EthConfig;
-use crate::trainer::{train_gsg, train_ldg};
+use crate::trainer::{train_gsg, train_ldg, TrainedGsg, TrainedLdg};
 use eth_graph::Subgraph;
 use gnn::GraphTensors;
 use nn::Ctx;
@@ -68,44 +68,57 @@ pub fn run_multiclass(
     let labels: Vec<usize> = graphs.iter().map(|g| g.label.expect("labelled graph")).collect();
     assert!(labels.iter().all(|&l| l < n_classes), "label out of range");
 
+    let threads = cfg.threads();
     let tensors: Vec<GraphTensors> =
-        graphs.iter().map(|g| GraphTensors::from_subgraph(g, cfg.t_slices)).collect();
+        par::par_map(threads, graphs, |g| GraphTensors::from_subgraph(g, cfg.t_slices));
     let (train_idx, test_idx) = split(&labels, n_classes, train_frac, cfg.seed);
     let train_graphs: Vec<&GraphTensors> = train_idx.iter().map(|&i| &tensors[i]).collect();
     let test_graphs: Vec<&GraphTensors> = test_idx.iter().map(|&i| &tensors[i]).collect();
 
-    // Train both branches; collect per-branch softmax distributions.
-    let mut dists: Vec<Vec<Vec<f32>>> = Vec::new();
-    if cfg.use_gsg {
-        let trained = train_gsg(&train_graphs, &cfg);
-        dists.push(
-            test_graphs
-                .iter()
-                .map(|g| {
-                    let mut tape = Tape::new();
-                    let mut ctx = Ctx::new(&trained.store);
-                    let out = trained.encoder.forward(&mut tape, &mut ctx, &trained.store, g);
-                    let probs = tape.softmax_rows(out.logits);
-                    tape.value(probs).row(0).to_vec()
-                })
-                .collect(),
-        );
+    // Train both branches concurrently; each branch then scores the test
+    // graphs with an index-ordered parallel map. Training and scoring are
+    // deterministic per task, so the result is bit-identical at any
+    // `DBG4ETH_THREADS` setting.
+    fn softmax_dists(
+        store: &nn::ParamStore,
+        forward: impl Fn(&mut Tape, &mut Ctx, &GraphTensors) -> tensor::Var + Sync,
+        test_graphs: &[&GraphTensors],
+        threads: usize,
+    ) -> Vec<Vec<f32>> {
+        par::par_map(threads, test_graphs, |g| {
+            let mut tape = Tape::new();
+            let mut ctx = Ctx::new(store);
+            let logits = forward(&mut tape, &mut ctx, g);
+            let probs = tape.softmax_rows(logits);
+            tape.value(probs).row(0).to_vec()
+        })
     }
-    if cfg.use_ldg {
-        let trained = train_ldg(&train_graphs, &cfg);
-        dists.push(
-            test_graphs
-                .iter()
-                .map(|g| {
-                    let mut tape = Tape::new();
-                    let mut ctx = Ctx::new(&trained.store);
-                    let out = trained.encoder.forward(&mut tape, &mut ctx, &trained.store, g);
-                    let probs = tape.softmax_rows(out.logits);
-                    tape.value(probs).row(0).to_vec()
-                })
-                .collect(),
-        );
-    }
+    let (gsg_dists, ldg_dists) = par::join(
+        threads,
+        || {
+            cfg.use_gsg.then(|| {
+                let trained: TrainedGsg = train_gsg(&train_graphs, &cfg);
+                softmax_dists(
+                    &trained.store,
+                    |tape, ctx, g| trained.encoder.forward(tape, ctx, &trained.store, g).logits,
+                    &test_graphs,
+                    threads,
+                )
+            })
+        },
+        || {
+            cfg.use_ldg.then(|| {
+                let trained: TrainedLdg = train_ldg(&train_graphs, &cfg);
+                softmax_dists(
+                    &trained.store,
+                    |tape, ctx, g| trained.encoder.forward(tape, ctx, &trained.store, g).logits,
+                    &test_graphs,
+                    threads,
+                )
+            })
+        },
+    );
+    let dists: Vec<Vec<Vec<f32>>> = [gsg_dists, ldg_dists].into_iter().flatten().collect();
     assert!(!dists.is_empty(), "at least one branch required");
 
     // Average branch distributions and take the argmax.
@@ -185,6 +198,36 @@ mod tests {
         // Confusion rows for absent classes are empty, F1 NaN.
         assert!(result.per_class_f1[1].is_nan(), "ico-wallet absent");
         assert!(!result.per_class_f1[0].is_nan(), "exchange present");
+    }
+
+    /// Like the binary pipeline, multiclass output is a function of the
+    /// config alone — worker-thread count never changes a single bit.
+    #[test]
+    fn multiclass_is_thread_invariant() {
+        let world = World::generate(
+            WorldConfig { n_background: 400, seed: 3, ..Default::default() },
+            &[(AccountClass::Exchange, 8), (AccountClass::Mining, 8), (AccountClass::Normal, 8)],
+        );
+        let graphs = multiclass_graphs(&world, SamplerConfig { top_k: 12, hops: 2 });
+        let mut cfg = Dbg4EthConfig::fast();
+        cfg.epochs = 6;
+        cfg.gsg.hidden = 16;
+        cfg.gsg.d_out = 8;
+        cfg.ldg.hidden = 16;
+        cfg.ldg.d_out = 8;
+        cfg.ldg.pool_clusters = [6, 3, 1];
+        cfg.t_slices = 4;
+        cfg.parallelism = 1;
+        let serial = run_multiclass(&graphs, 7, 0.7, &cfg);
+        for threads in [2, 8] {
+            cfg.parallelism = threads;
+            let parallel = run_multiclass(&graphs, 7, 0.7, &cfg);
+            assert_eq!(parallel.confusion, serial.confusion, "{threads} threads");
+            assert_eq!(parallel.accuracy.to_bits(), serial.accuracy.to_bits());
+            assert_eq!(parallel.macro_f1.to_bits(), serial.macro_f1.to_bits());
+            let bits = |v: &[f64]| v.iter().map(|p| p.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&parallel.per_class_f1), bits(&serial.per_class_f1));
+        }
     }
 
     #[test]

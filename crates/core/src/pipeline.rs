@@ -90,10 +90,13 @@ pub fn fit_predict_classifier_par(
     }
 }
 
-struct Branch {
-    holdout_p: Vec<f64>,
-    test_p: Vec<f64>,
-    diagnostics: BranchDiagnostics,
+pub(crate) struct Branch {
+    pub(crate) holdout_p: Vec<f64>,
+    pub(crate) test_p: Vec<f64>,
+    /// The fitted adaptive ensemble (`None` when calibration is disabled),
+    /// kept so [`crate::train`] can persist it for the serving path.
+    pub(crate) calibrator: Option<AdaptiveCalibrator>,
+    pub(crate) diagnostics: BranchDiagnostics,
 }
 
 /// Scale raw scores into confidences, calibrate them adaptively, and report
@@ -118,6 +121,7 @@ fn calibrate_branch(
         return Branch {
             holdout_p: holdout_s.clone(),
             test_p: test_s,
+            calibrator: None,
             diagnostics: BranchDiagnostics {
                 weights: Vec::new(),
                 method_ece: Vec::new(),
@@ -139,17 +143,14 @@ fn calibrate_branch(
     let test_p = cal.calibrate_all(&test_s);
     let calibrated_ece = ece(&holdout_p, holdout_labels, ECE_BINS);
     obs::debug!("pipeline.calibrate", "holdout ECE {base_ece:.4} -> {calibrated_ece:.4}");
-    Branch {
-        holdout_p,
-        test_p,
-        diagnostics: BranchDiagnostics {
-            weights: cal.method_weights(),
-            method_ece: cal.method_eces(),
-            base_ece,
-            calibrated_ece,
-            epochs: encoding.epochs.clone(),
-        },
-    }
+    let diagnostics = BranchDiagnostics {
+        weights: cal.method_weights(),
+        method_ece: cal.method_eces(),
+        base_ece,
+        calibrated_ece,
+        epochs: encoding.epochs.clone(),
+    };
+    Branch { holdout_p, test_p, calibrator: Some(cal), diagnostics }
 }
 
 /// Encoder-stage output: raw prediction values per branch, before the
@@ -176,12 +177,22 @@ pub struct BranchEncoding {
     pub epochs: Vec<EpochStats>,
 }
 
-/// Stages 2-4 of the pipeline: confidence generation, adaptive calibration
-/// and classification, applied to precomputed raw scores. The branch and
-/// calibration switches of `config` select the Table IV ablations; branches
-/// absent from `encoded` are ignored.
-pub fn finish(encoded: &EncodedDataset, config: &Dbg4EthConfig) -> RunOutput {
-    let _span = obs::span("pipeline.finish");
+/// Stages 2-3 applied to every enabled branch: calibrated probabilities on
+/// the holdout and test splits, stacked into classifier feature rows.
+/// Shared by [`finish`] (fit-and-predict in one go) and [`crate::train`]
+/// (which additionally keeps the fitted calibrators and classifier).
+pub(crate) struct CalibratedBranches {
+    pub(crate) branches: Vec<Branch>,
+    pub(crate) gsg: Option<BranchDiagnostics>,
+    pub(crate) ldg: Option<BranchDiagnostics>,
+    pub(crate) train_features: Vec<Vec<f64>>,
+    pub(crate) test_features: Vec<Vec<f64>>,
+}
+
+pub(crate) fn calibrate_branches(
+    encoded: &EncodedDataset,
+    config: &Dbg4EthConfig,
+) -> CalibratedBranches {
     let mut branches: Vec<Branch> = Vec::new();
     let mut gsg_diag = None;
     let mut ldg_diag = None;
@@ -204,17 +215,16 @@ pub fn finish(encoded: &EncodedDataset, config: &Dbg4EthConfig) -> RunOutput {
     };
     let train_features = stack(&|b| &b.holdout_p, encoded.holdout_labels.len());
     let test_features = stack(&|b| &b.test_p, encoded.test_labels.len());
+    CalibratedBranches { branches, gsg: gsg_diag, ldg: ldg_diag, train_features, test_features }
+}
 
-    let test_scores = {
-        let _span = obs::span("pipeline.classify");
-        fit_predict_classifier_par(
-            config.classifier,
-            &train_features,
-            &encoded.holdout_labels,
-            &test_features,
-            config.threads(),
-        )
-    };
+/// Package classifier scores plus the calibration-stage artefacts into the
+/// user-facing [`RunOutput`], logging the headline metrics.
+pub(crate) fn assemble_output(
+    cal: &CalibratedBranches,
+    encoded: &EncodedDataset,
+    test_scores: Vec<f64>,
+) -> RunOutput {
     let metrics = Metrics::from_scores(&test_scores, &encoded.test_labels, 0.5);
     obs::info!(
         "pipeline",
@@ -224,17 +234,36 @@ pub fn finish(encoded: &EncodedDataset, config: &Dbg4EthConfig) -> RunOutput {
         metrics.recall,
         metrics.f1
     );
-
     RunOutput {
         metrics,
         test_scores,
         test_labels: encoded.test_labels.clone(),
-        gsg: gsg_diag,
-        ldg: ldg_diag,
-        train_features,
+        gsg: cal.gsg.clone(),
+        ldg: cal.ldg.clone(),
+        train_features: cal.train_features.clone(),
         train_labels: encoded.holdout_labels.clone(),
-        test_features,
+        test_features: cal.test_features.clone(),
     }
+}
+
+/// Stages 2-4 of the pipeline: confidence generation, adaptive calibration
+/// and classification, applied to precomputed raw scores. The branch and
+/// calibration switches of `config` select the Table IV ablations; branches
+/// absent from `encoded` are ignored.
+pub fn finish(encoded: &EncodedDataset, config: &Dbg4EthConfig) -> RunOutput {
+    let _span = obs::span("pipeline.finish");
+    let cal = calibrate_branches(encoded, config);
+    let test_scores = {
+        let _span = obs::span("pipeline.classify");
+        fit_predict_classifier_par(
+            config.classifier,
+            &cal.train_features,
+            &encoded.holdout_labels,
+            &cal.test_features,
+            config.threads(),
+        )
+    };
+    assemble_output(&cal, encoded, test_scores)
 }
 
 /// Run DBG4ETH on one dataset with the given train fraction.
@@ -257,9 +286,102 @@ pub fn run(dataset: &GraphDataset, train_frac: f64, config: &Dbg4EthConfig) -> R
     out
 }
 
+/// Lower account subgraphs into tensors, honouring the configured feature
+/// mode. Pure per-graph work fanned out over `threads`; shared by the
+/// training pipeline and the [`crate::infer`] serving path so both score
+/// accounts through byte-identical features.
+pub(crate) fn lower_graphs(
+    graphs: &[eth_graph::Subgraph],
+    config: &Dbg4EthConfig,
+    threads: usize,
+) -> Vec<GraphTensors> {
+    let _span = obs::span("pipeline.encode.lower");
+    par::par_map(threads, graphs, |g| match config.features {
+        FeatureMode::LogAbsolute => GraphTensors::from_subgraph(g, config.t_slices),
+        FeatureMode::ZScored => {
+            let mut x = features::log_compress(&features::raw_features(g));
+            features::standardize_columns(&mut x);
+            GraphTensors::new(g, x, config.t_slices)
+        }
+        FeatureMode::None => GraphTensors::without_node_features(g, config.t_slices),
+    })
+}
+
+/// Everything [`encode`] computes plus the trained full-split encoders,
+/// which [`crate::train`] packages into a persistable [`crate::TrainedModel`].
+pub(crate) struct EncodeOutput {
+    pub(crate) encoded: EncodedDataset,
+    pub(crate) gsg: Option<crate::trainer::TrainedGsg>,
+    pub(crate) ldg: Option<crate::trainer::TrainedLdg>,
+}
+
+/// Shared per-branch context for [`run_branch`].
+struct BranchCtx<'a> {
+    threads: usize,
+    cross_fitting: bool,
+    fit_graphs: &'a [&'a GraphTensors],
+    test_graphs: &'a [&'a GraphTensors],
+    holdout_graphs: &'a [&'a GraphTensors],
+    fold_a_graphs: &'a [&'a GraphTensors],
+    fold_b_graphs: &'a [&'a GraphTensors],
+}
+
+/// Train one branch and produce `(holdout_raw, test_raw)`, cross-fitting
+/// the holdout scores when enabled, plus the full-split scorer itself. Each
+/// training task builds its own seeded `StdRng` from `config.seed`, so the
+/// three cross-fit fits (full, fold A, fold B) are independent tasks whose
+/// results do not depend on the thread count; only their collection order
+/// matters, and that is fixed by task index.
+fn run_branch<S: BranchScorer + Send>(
+    ctx: &BranchCtx<'_>,
+    train: impl Fn(&[&GraphTensors]) -> S + Sync,
+) -> (BranchEncoding, S) {
+    if ctx.cross_fitting {
+        // Task 0 scores the test split with the full-split encoder; tasks
+        // 1 and 2 score each fold with the encoder trained on the other
+        // fold. The full-split encoder's training curve is the one
+        // surfaced in the diagnostics.
+        let outs = par::par_map_indices(ctx.threads, 3, |task| match task {
+            0 => {
+                let scorer = train(ctx.fit_graphs);
+                let epochs = scorer.history().to_vec();
+                let test_raw = scorer.raw_scores(ctx.test_graphs);
+                (test_raw, epochs, Some(scorer))
+            }
+            1 => (train(ctx.fold_b_graphs).raw_scores(ctx.fold_a_graphs), Vec::new(), None),
+            _ => (train(ctx.fold_a_graphs).raw_scores(ctx.fold_b_graphs), Vec::new(), None),
+        });
+        let mut outs = outs.into_iter();
+        let (test_raw, epochs, scorer) = outs.next().expect("task 0");
+        let (mut holdout_raw, _, _) = outs.next().expect("task 1");
+        let (mut fold_b_raw, _, _) = outs.next().expect("task 2");
+        holdout_raw.append(&mut fold_b_raw);
+        let scorer = scorer.expect("task 0 carries the full-split scorer");
+        (BranchEncoding { holdout_raw, test_raw, epochs }, scorer)
+    } else {
+        let scorer = train(ctx.fit_graphs);
+        let epochs = scorer.history().to_vec();
+        let (holdout_raw, test_raw) = par::join(
+            ctx.threads,
+            || scorer.raw_scores(ctx.holdout_graphs),
+            || scorer.raw_scores_par(ctx.test_graphs, ctx.threads),
+        );
+        (BranchEncoding { holdout_raw, test_raw, epochs }, scorer)
+    }
+}
+
 /// Stage 1-2 of the pipeline: lower the graphs, split, train the enabled
 /// branches and compute their raw prediction values.
 pub fn encode(dataset: &GraphDataset, train_frac: f64, config: &Dbg4EthConfig) -> EncodedDataset {
+    encode_with_models(dataset, train_frac, config).encoded
+}
+
+/// [`encode`], additionally returning the trained full-split encoders.
+pub(crate) fn encode_with_models(
+    dataset: &GraphDataset,
+    train_frac: f64,
+    config: &Dbg4EthConfig,
+) -> EncodeOutput {
     assert!(config.use_gsg || config.use_ldg, "at least one branch required");
     let _span = obs::span("pipeline.encode");
     let threads = config.threads();
@@ -276,18 +398,7 @@ pub fn encode(dataset: &GraphDataset, train_frac: f64, config: &Dbg4EthConfig) -
 
     // Lower every graph once, honouring the feature mode. Lowering is a
     // pure per-graph function, so the fan-out is trivially deterministic.
-    let tensors: Vec<GraphTensors> = {
-        let _span = obs::span("pipeline.encode.lower");
-        par::par_map(threads, &dataset.graphs, |g| match config.features {
-            FeatureMode::LogAbsolute => GraphTensors::from_subgraph(g, config.t_slices),
-            FeatureMode::ZScored => {
-                let mut x = features::log_compress(&features::raw_features(g));
-                features::standardize_columns(&mut x);
-                GraphTensors::new(g, x, config.t_slices)
-            }
-            FeatureMode::None => GraphTensors::without_node_features(g, config.t_slices),
-        })
-    };
+    let tensors: Vec<GraphTensors> = lower_graphs(&dataset.graphs, config, threads);
     let labels: Vec<bool> = dataset.graphs.iter().map(|g| g.label == Some(POSITIVE)).collect();
 
     // Holdout construction for fitting the calibrators and the stacked
@@ -344,68 +455,38 @@ pub fn encode(dataset: &GraphDataset, train_frac: f64, config: &Dbg4EthConfig) -
     let holdout_labels: Vec<bool> = holdout_idx.iter().map(|&i| labels[i]).collect();
     let test_labels: Vec<bool> = test_idx.iter().map(|&i| labels[i]).collect();
 
-    // Train a branch and produce (holdout_raw, test_raw), cross-fitting the
-    // holdout scores when enabled. Each training task builds its own
-    // seeded `StdRng` from `config.seed`, so the three cross-fit fits (full,
-    // fold A, fold B) are independent tasks whose results do not depend on
-    // the thread count; only their collection order matters, and that is
-    // fixed by task index.
     let holdout_graphs = graphs_of(&holdout_idx);
     let fold_a_graphs = graphs_of(&fold_a);
     let fold_b_graphs = graphs_of(&fold_b);
-    let cross_fitting = cross_fit && !fold_a.is_empty() && !fold_b.is_empty();
-
-    let run_branch = |train: &(dyn Fn(&[&GraphTensors]) -> Box<dyn BranchScorer + Send> + Sync)| {
-        if cross_fitting {
-            // Task 0 scores the test split with the full-split encoder;
-            // tasks 1 and 2 score each fold with the encoder trained on
-            // the other fold. The full-split encoder's training curve is
-            // the one surfaced in the diagnostics.
-            let mut outs = par::par_map_indices(threads, 3, |task| match task {
-                0 => {
-                    let scorer = train(&fit_graphs);
-                    let epochs = scorer.history().to_vec();
-                    (scorer.raw_scores(&test_graphs), epochs)
-                }
-                1 => (train(&fold_b_graphs).raw_scores(&fold_a_graphs), Vec::new()),
-                _ => (train(&fold_a_graphs).raw_scores(&fold_b_graphs), Vec::new()),
-            });
-            let (test_raw, epochs) = std::mem::take(&mut outs[0]);
-            let (mut holdout_raw, _) = std::mem::take(&mut outs[1]);
-            holdout_raw.append(&mut outs[2].0);
-            BranchEncoding { holdout_raw, test_raw, epochs }
-        } else {
-            let scorer = train(&fit_graphs);
-            let epochs = scorer.history().to_vec();
-            let (holdout_raw, test_raw) = par::join(
-                threads,
-                || scorer.raw_scores(&holdout_graphs),
-                || scorer.raw_scores_par(&test_graphs, threads),
-            );
-            BranchEncoding { holdout_raw, test_raw, epochs }
-        }
+    let ctx = BranchCtx {
+        threads,
+        cross_fitting: cross_fit && !fold_a.is_empty() && !fold_b.is_empty(),
+        fit_graphs: &fit_graphs,
+        test_graphs: &test_graphs,
+        holdout_graphs: &holdout_graphs,
+        fold_a_graphs: &fold_a_graphs,
+        fold_b_graphs: &fold_b_graphs,
     };
 
     // The two encoder branches are fully independent (separate parameter
     // stores, separate seed streams) — run them concurrently.
     let (gsg, ldg) = par::join(
         threads,
-        || {
-            config.use_gsg.then(|| {
-                run_branch(&|graphs: &[&GraphTensors]| {
-                    Box::new(train_gsg(graphs, config)) as Box<dyn BranchScorer + Send>
-                })
-            })
-        },
-        || {
-            config.use_ldg.then(|| {
-                run_branch(&|graphs: &[&GraphTensors]| {
-                    Box::new(train_ldg(graphs, config)) as Box<dyn BranchScorer + Send>
-                })
-            })
-        },
+        || config.use_gsg.then(|| run_branch(&ctx, |graphs| train_gsg(graphs, config))),
+        || config.use_ldg.then(|| run_branch(&ctx, |graphs| train_ldg(graphs, config))),
     );
-    EncodedDataset { gsg, ldg, holdout_labels, test_labels }
+    let (gsg_encoding, gsg_model) = gsg.map_or((None, None), |(e, s)| (Some(e), Some(s)));
+    let (ldg_encoding, ldg_model) = ldg.map_or((None, None), |(e, s)| (Some(e), Some(s)));
+    EncodeOutput {
+        encoded: EncodedDataset {
+            gsg: gsg_encoding,
+            ldg: ldg_encoding,
+            holdout_labels,
+            test_labels,
+        },
+        gsg: gsg_model,
+        ldg: ldg_model,
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,62 @@
+//! IEEE CRC-32 (the polynomial used by zip/png), table-driven.
+
+/// The 256-entry lookup table for the reflected polynomial `0xEDB88320`,
+/// built once at first use.
+fn table() -> &'static [u32; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, slot) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            }
+            *slot = c;
+        }
+        t
+    })
+}
+
+/// CRC-32 of `bytes` (IEEE, init `!0`, final xor `!0`).
+#[must_use]
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let t = table();
+    let mut c = !0u32;
+    for &b in bytes {
+        c = t[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+/// Incremental variant: continue a checksum across several slices.
+#[must_use]
+pub fn crc32_concat(parts: &[&[u8]]) -> u32 {
+    let t = table();
+    let mut c = !0u32;
+    for part in parts {
+        for &b in *part {
+            c = t[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+        }
+    }
+    !c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn concat_matches_single_pass() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        assert_eq!(crc32(data), crc32_concat(&[&data[..9], &data[9..]]));
+    }
+
+    #[test]
+    fn single_bit_flip_changes_crc() {
+        let a = vec![0u8; 64];
+        let mut b = a.clone();
+        b[17] ^= 0x04;
+        assert_ne!(crc32(&a), crc32(&b));
+    }
+}

@@ -1,0 +1,62 @@
+//! The typed failure modes of model persistence.
+
+use std::fmt;
+
+/// Everything that can go wrong saving or loading a model file. Corrupted
+/// or mismatched inputs must map onto one of these variants — panicking on
+/// untrusted bytes (or silently loading garbage) is a bug, and the
+/// `model-io` property tests enforce that.
+#[derive(Debug)]
+pub enum ModelIoError {
+    /// Underlying filesystem failure.
+    Io(std::io::Error),
+    /// The file does not start with the `DBGM` magic.
+    BadMagic { found: [u8; 4] },
+    /// The container was written by an incompatible format version.
+    UnsupportedVersion { found: u32, supported: u32 },
+    /// The byte stream ended before a declared length was satisfied.
+    Truncated { context: &'static str },
+    /// A section's stored CRC-32 does not match its content.
+    ChecksumMismatch { section: String, stored: u32, computed: u32 },
+    /// A section the loader requires is absent.
+    MissingSection { name: String },
+    /// Structurally invalid content (bad enum tag, impossible length,
+    /// non-UTF-8 name, model/config mismatch, …).
+    Corrupt { context: String },
+}
+
+impl fmt::Display for ModelIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelIoError::Io(e) => write!(f, "i/o error: {e}"),
+            ModelIoError::BadMagic { found } => {
+                write!(f, "bad magic {found:02x?} (expected \"DBGM\")")
+            }
+            ModelIoError::UnsupportedVersion { found, supported } => {
+                write!(f, "unsupported format version {found} (this build reads {supported})")
+            }
+            ModelIoError::Truncated { context } => write!(f, "truncated file while reading {context}"),
+            ModelIoError::ChecksumMismatch { section, stored, computed } => write!(
+                f,
+                "checksum mismatch in section '{section}': stored {stored:08x}, computed {computed:08x}"
+            ),
+            ModelIoError::MissingSection { name } => write!(f, "missing section '{name}'"),
+            ModelIoError::Corrupt { context } => write!(f, "corrupt model file: {context}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelIoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ModelIoError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ModelIoError {
+    fn from(e: std::io::Error) -> Self {
+        ModelIoError::Io(e)
+    }
+}

@@ -1,0 +1,116 @@
+//! # model-io — the on-disk format of trained DBG4ETH models
+//!
+//! A versioned, dependency-free binary container for everything the serving
+//! path needs: encoder weights, fitted calibrators, and the GBDT forest.
+//! The container is deliberately dumb — it knows nothing about tensors or
+//! trees, only about named, checksummed byte sections — so every crate
+//! serialises its own types with the primitives here and the format cannot
+//! drift when model internals change.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic "DBGM" | format_version u32 | n_sections u32 |
+//!   per section: name_len u32 | name utf-8 | payload_len u64 |
+//!                payload bytes | crc32(name ++ payload) u32
+//! ```
+//!
+//! Every multi-byte value inside a payload is written by [`SectionWriter`]
+//! and read back by [`SectionReader`]; floats travel as IEEE-754 bit
+//! patterns (`to_bits`/`from_bits`), so a round-trip is exact — the
+//! load→infer byte-identity contract of `dbg4eth::infer` rests on this.
+//!
+//! Failure behaviour is part of the API: a truncated, bit-flipped or
+//! version-skewed file must surface as a typed [`ModelIoError`], never a
+//! panic and never a silently misloaded model. The property tests in
+//! `tests/properties.rs` pin this down.
+
+mod crc;
+mod error;
+mod reader;
+mod writer;
+
+pub use crc::crc32;
+pub use error::ModelIoError;
+pub use reader::{ModelReader, SectionReader};
+pub use writer::{ModelWriter, SectionWriter};
+
+/// File magic, first four bytes of every model file.
+pub const MAGIC: [u8; 4] = *b"DBGM";
+
+/// Current schema version of the container format.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Hard cap on a section name, so a corrupted length field cannot trigger
+/// a pathological allocation before the checksum is ever consulted.
+pub(crate) const MAX_NAME_LEN: usize = 4096;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_container_round_trips() {
+        let bytes = ModelWriter::new().to_bytes();
+        let r = ModelReader::from_bytes(&bytes).unwrap();
+        assert!(r.section_names().next().is_none());
+    }
+
+    #[test]
+    fn sections_round_trip_in_order() {
+        let mut w = ModelWriter::new();
+        let mut a = SectionWriter::new();
+        a.put_u32(7);
+        w.push("alpha", a);
+        let mut b = SectionWriter::new();
+        b.put_str("hello");
+        w.push("beta", b);
+        let bytes = w.to_bytes();
+
+        let r = ModelReader::from_bytes(&bytes).unwrap();
+        let names: Vec<&str> = r.section_names().collect();
+        assert_eq!(names, ["alpha", "beta"]);
+        assert_eq!(r.section("alpha").unwrap().get_u32().unwrap(), 7);
+        assert_eq!(r.section("beta").unwrap().get_str().unwrap(), "hello");
+    }
+
+    #[test]
+    fn missing_section_is_typed() {
+        let bytes = ModelWriter::new().to_bytes();
+        let r = ModelReader::from_bytes(&bytes).unwrap();
+        match r.section("nope") {
+            Err(ModelIoError::MissingSection { name }) => assert_eq!(name, "nope"),
+            other => panic!("expected MissingSection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_magic_is_typed() {
+        let mut bytes = ModelWriter::new().to_bytes();
+        bytes[0] = b'X';
+        match ModelReader::from_bytes(&bytes) {
+            Err(ModelIoError::BadMagic { .. }) => {}
+            other => panic!("expected BadMagic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn future_version_is_typed() {
+        let mut bytes = ModelWriter::new().to_bytes();
+        bytes[4] = 0xFF; // bump the version field
+        match ModelReader::from_bytes(&bytes) {
+            Err(ModelIoError::UnsupportedVersion { found, supported }) => {
+                assert_eq!(supported, FORMAT_VERSION);
+                assert_ne!(found, FORMAT_VERSION);
+            }
+            other => panic!("expected UnsupportedVersion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // The canonical IEEE CRC-32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+}

@@ -1,0 +1,223 @@
+//! Parsing and validating a model container.
+//!
+//! All structural validation happens up front in [`ModelReader::from_bytes`]:
+//! magic, version, section framing and every section checksum. By the time a
+//! caller holds a [`SectionReader`], the bytes it walks are known-intact, so
+//! any remaining failure (bad enum tag, short payload) is a logic-level
+//! [`ModelIoError::Corrupt`]/[`ModelIoError::Truncated`] — still typed,
+//! still no panic.
+
+use crate::crc::crc32_concat;
+use crate::{ModelIoError, FORMAT_VERSION, MAGIC, MAX_NAME_LEN};
+use std::path::Path;
+
+/// A validated model container, indexing sections by name.
+#[derive(Debug)]
+pub struct ModelReader {
+    sections: Vec<(String, Vec<u8>)>,
+}
+
+/// Cursor over one section's payload.
+#[derive(Debug)]
+pub struct SectionReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl ModelReader {
+    /// Read and validate a container from a file.
+    pub fn read_from(path: impl AsRef<Path>) -> Result<Self, ModelIoError> {
+        Self::from_bytes(&std::fs::read(path)?)
+    }
+
+    /// Validate magic, version, framing and all checksums.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, ModelIoError> {
+        let mut cur = Cursor { buf: bytes, pos: 0 };
+        let magic = cur.take(4, "magic")?;
+        if magic != MAGIC {
+            return Err(ModelIoError::BadMagic { found: [magic[0], magic[1], magic[2], magic[3]] });
+        }
+        let version = cur.u32("format version")?;
+        if version != FORMAT_VERSION {
+            return Err(ModelIoError::UnsupportedVersion {
+                found: version,
+                supported: FORMAT_VERSION,
+            });
+        }
+        let n_sections = cur.u32("section count")? as usize;
+        let mut sections = Vec::new();
+        for _ in 0..n_sections {
+            let name_len = cur.u32("section name length")? as usize;
+            if name_len > MAX_NAME_LEN {
+                return Err(ModelIoError::Corrupt {
+                    context: format!("section name length {name_len} exceeds {MAX_NAME_LEN}"),
+                });
+            }
+            let name_bytes = cur.take(name_len, "section name")?;
+            let name = std::str::from_utf8(name_bytes)
+                .map_err(|_| ModelIoError::Corrupt {
+                    context: "section name is not UTF-8".to_string(),
+                })?
+                .to_string();
+            let payload_len = cur.u64("section payload length")? as usize;
+            let payload = cur.take(payload_len, "section payload")?;
+            let stored = cur.u32("section checksum")?;
+            let computed = crc32_concat(&[name.as_bytes(), payload]);
+            if stored != computed {
+                return Err(ModelIoError::ChecksumMismatch { section: name, stored, computed });
+            }
+            sections.push((name, payload.to_vec()));
+        }
+        if cur.pos != bytes.len() {
+            return Err(ModelIoError::Corrupt {
+                context: format!("{} trailing bytes after the last section", bytes.len() - cur.pos),
+            });
+        }
+        Ok(Self { sections })
+    }
+
+    /// Names of all sections, in file order.
+    pub fn section_names(&self) -> impl Iterator<Item = &str> {
+        self.sections.iter().map(|(n, _)| n.as_str())
+    }
+
+    /// Whether a section is present.
+    #[must_use]
+    pub fn has_section(&self, name: &str) -> bool {
+        self.sections.iter().any(|(n, _)| n == name)
+    }
+
+    /// A cursor over the named section's (checksum-verified) payload.
+    pub fn section(&self, name: &str) -> Result<SectionReader<'_>, ModelIoError> {
+        self.sections
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, payload)| SectionReader { buf: payload, pos: 0 })
+            .ok_or_else(|| ModelIoError::MissingSection { name: name.to_string() })
+    }
+}
+
+/// Minimal bounds-checked byte cursor shared by the header parser.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize, context: &'static str) -> Result<&'a [u8], ModelIoError> {
+        if self.buf.len() - self.pos < n {
+            return Err(ModelIoError::Truncated { context });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn u32(&mut self, context: &'static str) -> Result<u32, ModelIoError> {
+        let b = self.take(4, context)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self, context: &'static str) -> Result<u64, ModelIoError> {
+        let b = self.take(8, context)?;
+        Ok(u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+    }
+}
+
+impl SectionReader<'_> {
+    fn take(&mut self, n: usize, context: &'static str) -> Result<&[u8], ModelIoError> {
+        if self.buf.len() - self.pos < n {
+            return Err(ModelIoError::Truncated { context });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    pub fn get_u8(&mut self) -> Result<u8, ModelIoError> {
+        Ok(self.take(1, "u8")?[0])
+    }
+
+    pub fn get_bool(&mut self) -> Result<bool, ModelIoError> {
+        match self.get_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            v => Err(ModelIoError::Corrupt { context: format!("invalid bool byte {v}") }),
+        }
+    }
+
+    pub fn get_u32(&mut self) -> Result<u32, ModelIoError> {
+        let b = self.take(4, "u32")?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    pub fn get_u64(&mut self) -> Result<u64, ModelIoError> {
+        let b = self.take(8, "u64")?;
+        Ok(u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+    }
+
+    pub fn get_usize(&mut self) -> Result<usize, ModelIoError> {
+        Ok(self.get_u64()? as usize)
+    }
+
+    pub fn get_f32(&mut self) -> Result<f32, ModelIoError> {
+        Ok(f32::from_bits(self.get_u32()?))
+    }
+
+    pub fn get_f64(&mut self) -> Result<f64, ModelIoError> {
+        Ok(f64::from_bits(self.get_u64()?))
+    }
+
+    pub fn get_str(&mut self) -> Result<String, ModelIoError> {
+        let len = self.get_u32()? as usize;
+        let bytes = self.take(len, "string")?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| ModelIoError::Corrupt { context: "string is not UTF-8".to_string() })
+    }
+
+    /// Read a length-prefixed count, bounded by the bytes actually left in
+    /// the section, so a corrupted length can never trigger a pathological
+    /// allocation.
+    fn get_len(&mut self, elem_bytes: usize) -> Result<usize, ModelIoError> {
+        let n = self.get_usize()?;
+        if n.saturating_mul(elem_bytes) > self.buf.len() - self.pos {
+            return Err(ModelIoError::Truncated { context: "length-prefixed array" });
+        }
+        Ok(n)
+    }
+
+    pub fn get_f64s(&mut self) -> Result<Vec<f64>, ModelIoError> {
+        let n = self.get_len(8)?;
+        (0..n).map(|_| self.get_f64()).collect()
+    }
+
+    pub fn get_f32s(&mut self) -> Result<Vec<f32>, ModelIoError> {
+        let n = self.get_len(4)?;
+        (0..n).map(|_| self.get_f32()).collect()
+    }
+
+    pub fn get_usizes(&mut self) -> Result<Vec<usize>, ModelIoError> {
+        let n = self.get_len(8)?;
+        (0..n).map(|_| self.get_usize()).collect()
+    }
+
+    /// Bytes not yet consumed.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Assert the whole payload was consumed — catches schema drift where a
+    /// writer appends fields an older reader does not know about.
+    pub fn expect_end(&self, section: &str) -> Result<(), ModelIoError> {
+        if self.remaining() != 0 {
+            return Err(ModelIoError::Corrupt {
+                context: format!(
+                    "{} unread bytes at the end of section '{section}'",
+                    self.remaining()
+                ),
+            });
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,150 @@
+//! Property tests of the model container: arbitrary payloads round-trip
+//! exactly, and *any* truncation or bit flip surfaces as a typed
+//! [`ModelIoError`] — never a panic, never a silently different payload.
+
+use model_io::{ModelIoError, ModelReader, ModelWriter, SectionWriter};
+use proptest::prelude::*;
+
+/// An arbitrary section payload: a name and a mix of typed values.
+#[derive(Clone, Debug, PartialEq)]
+struct Payload {
+    name: String,
+    floats: Vec<f64>,
+    singles: Vec<f32>,
+    words: Vec<usize>,
+    text: String,
+    flag: bool,
+}
+
+fn payloads() -> impl Strategy<Value = Vec<Payload>> {
+    prop::collection::vec(
+        (
+            0usize..6,
+            prop::collection::vec(-1e12f64..1e12, 0..40),
+            prop::collection::vec(-1e6f32..1e6, 0..40),
+            (0usize..20, any::<bool>()),
+        ),
+        1..5,
+    )
+    .prop_map(|raw| {
+        raw.into_iter()
+            .enumerate()
+            .map(|(i, (name_idx, floats, singles, (n_words, flag)))| Payload {
+                // Unique per-section names (duplicates are a writer bug, not
+                // a format feature).
+                name: format!("sec{i}.{}", ["a", "b", "c", "d", "e", "f"][name_idx]),
+                floats,
+                singles,
+                words: (0..n_words).map(|w| w * 7 + 1).collect(),
+                text: format!("t{n_words}"),
+                flag,
+            })
+            .collect()
+    })
+}
+
+fn encode(sections: &[Payload]) -> Vec<u8> {
+    let mut w = ModelWriter::new();
+    for p in sections {
+        let mut s = SectionWriter::new();
+        s.put_f64s(&p.floats);
+        s.put_f32s(&p.singles);
+        s.put_usizes(&p.words);
+        s.put_str(&p.text);
+        s.put_bool(p.flag);
+        w.push(&p.name, s);
+    }
+    w.to_bytes()
+}
+
+fn decode(bytes: &[u8], sections: &[Payload]) -> Result<Vec<Payload>, ModelIoError> {
+    let r = ModelReader::from_bytes(bytes)?;
+    sections
+        .iter()
+        .map(|p| {
+            let mut s = r.section(&p.name)?;
+            let out = Payload {
+                name: p.name.clone(),
+                floats: s.get_f64s()?,
+                singles: s.get_f32s()?,
+                words: s.get_usizes()?,
+                text: s.get_str()?,
+                flag: s.get_bool()?,
+            };
+            s.expect_end(&p.name)?;
+            Ok(out)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Save → load is the identity on every section, bit for bit.
+    #[test]
+    fn arbitrary_payloads_round_trip(sections in payloads()) {
+        let bytes = encode(&sections);
+        let loaded = decode(&bytes, &sections).expect("intact container loads");
+        prop_assert_eq!(loaded.len(), sections.len());
+        for (a, b) in loaded.iter().zip(&sections) {
+            // Compare float bit patterns: NaN-safe and rounding-free.
+            let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            prop_assert_eq!(bits(&a.floats), bits(&b.floats));
+            let sbits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            prop_assert_eq!(sbits(&a.singles), sbits(&b.singles));
+            prop_assert_eq!(&a.words, &b.words);
+            prop_assert_eq!(&a.text, &b.text);
+            prop_assert_eq!(a.flag, b.flag);
+        }
+    }
+
+    /// Every strict prefix of a container fails to load with a typed error.
+    #[test]
+    fn truncation_is_always_detected(sections in payloads(), cut in 0.0f64..1.0) {
+        let bytes = encode(&sections);
+        prop_assume!(bytes.len() > 12);
+        let keep = (cut * (bytes.len() - 1) as f64) as usize;
+        let truncated = &bytes[..keep];
+        match decode(truncated, &sections) {
+            Ok(_) => prop_assert!(false, "truncated container at {keep}/{} loaded", bytes.len()),
+            Err(e) => {
+                // Force the Display path too: a typed error must format.
+                let _ = e.to_string();
+            }
+        }
+    }
+
+    /// Flipping any single bit anywhere in the container is detected: the
+    /// checksum (or framing validation) rejects the file with a typed error.
+    #[test]
+    fn bit_flips_are_always_detected(
+        sections in payloads(),
+        pos in 0.0f64..1.0,
+        bit in 0u32..8,
+    ) {
+        let mut bytes = encode(&sections);
+        let i = (pos * (bytes.len() - 1) as f64) as usize;
+        bytes[i] ^= 1 << bit;
+        match decode(&bytes, &sections) {
+            Ok(_) => prop_assert!(false, "bit flip at byte {i} bit {bit} went undetected"),
+            Err(e) => { let _ = e.to_string(); }
+        }
+    }
+}
+
+#[test]
+fn checksum_mismatch_names_the_section() {
+    let mut w = ModelWriter::new();
+    let mut s = SectionWriter::new();
+    s.put_f64s(&[1.0, 2.0, 3.0]);
+    w.push("gbdt", s);
+    let mut bytes = w.to_bytes();
+    // Flip a payload byte: past magic(4) + version(4) + count(4) +
+    // name_len(4) + "gbdt"(4) + payload_len(8), inside the payload.
+    let n = bytes.len();
+    bytes[n - 6] ^= 0x10;
+    match ModelReader::from_bytes(&bytes) {
+        Err(ModelIoError::ChecksumMismatch { section, .. }) => assert_eq!(section, "gbdt"),
+        other => panic!("expected ChecksumMismatch, got {other:?}"),
+    }
+}

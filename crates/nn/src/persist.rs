@@ -8,6 +8,7 @@
 //! ```
 
 use crate::params::{ParamId, ParamStore};
+use model_io::{ModelIoError, SectionReader, SectionWriter};
 use std::io::{self, Read, Write};
 use std::path::Path;
 use tensor::Tensor;
@@ -97,6 +98,52 @@ impl ParamStore {
     /// Load from a file.
     pub fn load_from(path: impl AsRef<Path>) -> io::Result<Self> {
         Self::load(&mut io::BufReader::new(std::fs::File::open(path)?))
+    }
+
+    /// Serialise all parameters into a checksummed `model-io` section:
+    /// `n_params u32 | per param: name | rows u32 | cols u32 | f32 bits`.
+    /// Weights travel as IEEE-754 bit patterns, so a save→load round trip
+    /// reproduces every value exactly (the byte-identity contract of
+    /// `dbg4eth::infer` depends on this).
+    pub fn write_section(&self, s: &mut SectionWriter) {
+        s.put_u32(self.len() as u32);
+        for id in self.ids() {
+            s.put_str(self.name(id));
+            let t = self.value(id);
+            s.put_u32(t.rows() as u32);
+            s.put_u32(t.cols() as u32);
+            s.put_usize(t.len());
+            for b in t.to_bits_vec() {
+                s.put_u32(b);
+            }
+        }
+    }
+
+    /// Rebuild a store from a section written by
+    /// [`ParamStore::write_section`]. Structural damage surfaces as a typed
+    /// [`ModelIoError`]; this never panics on corrupt input.
+    pub fn read_section(s: &mut SectionReader) -> Result<Self, ModelIoError> {
+        let n = s.get_u32()? as usize;
+        let mut store = ParamStore::new();
+        for _ in 0..n {
+            let name = s.get_str()?;
+            let rows = s.get_u32()? as usize;
+            let cols = s.get_u32()? as usize;
+            let len = s.get_usize()?;
+            if len != rows.saturating_mul(cols) || len.saturating_mul(4) > s.remaining() {
+                return Err(ModelIoError::Corrupt {
+                    context: format!(
+                        "parameter '{name}' claims shape ({rows}, {cols}) with {len} values"
+                    ),
+                });
+            }
+            let mut bits = Vec::with_capacity(len);
+            for _ in 0..len {
+                bits.push(s.get_u32()?);
+            }
+            store.add(name, Tensor::from_bits_vec(rows, cols, &bits));
+        }
+        Ok(store)
     }
 
     /// Copy values from `other` by matching parameter names. Returns the

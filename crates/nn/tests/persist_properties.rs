@@ -1,0 +1,113 @@
+//! Property tests for trained-model tensor persistence: arbitrary
+//! `ParamStore`s round-trip through the `model-io` container bit-exactly,
+//! and damaged containers fail with a typed error instead of panicking or
+//! silently misloading.
+
+use model_io::{ModelIoError, ModelReader, ModelWriter, SectionWriter};
+use nn::ParamStore;
+use proptest::prelude::*;
+use tensor::Tensor;
+
+/// Arbitrary parameter tensors, including awkward values (±0.0, subnormals,
+/// infinities) that a decimal round-trip would corrupt.
+fn stores() -> impl Strategy<Value = ParamStore> {
+    prop::collection::vec(
+        (1usize..6, 1usize..6, prop::collection::vec(-1e30f32..1e30, 36..37), 0u32..4),
+        0..6,
+    )
+    .prop_map(|specs| {
+        let mut store = ParamStore::new();
+        for (i, (rows, cols, mut data, special)) in specs.into_iter().enumerate() {
+            data.truncate(rows * cols);
+            // Splice in special values that must survive bit-exactly.
+            if let Some(x) = data.first_mut() {
+                *x = match special {
+                    0 => -0.0,
+                    1 => f32::INFINITY,
+                    2 => f32::MIN_POSITIVE / 2.0, // subnormal
+                    _ => *x,
+                };
+            }
+            store.add(format!("layer{i}.w"), Tensor::from_vec(rows, cols, data));
+        }
+        store
+    })
+}
+
+fn save(store: &ParamStore) -> Vec<u8> {
+    let mut w = ModelWriter::new();
+    let mut s = SectionWriter::new();
+    store.write_section(&mut s);
+    w.push("params", s);
+    w.to_bytes()
+}
+
+fn load(bytes: &[u8]) -> Result<ParamStore, ModelIoError> {
+    let r = ModelReader::from_bytes(bytes)?;
+    let mut s = r.section("params")?;
+    let store = ParamStore::read_section(&mut s)?;
+    s.expect_end("params")?;
+    Ok(store)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// save → load reproduces every name, shape and weight bit pattern.
+    #[test]
+    fn param_stores_round_trip_exactly(store in stores()) {
+        let loaded = load(&save(&store)).expect("intact container loads");
+        prop_assert_eq!(loaded.len(), store.len());
+        for (a, b) in store.ids().zip(loaded.ids()) {
+            prop_assert_eq!(store.name(a), loaded.name(b));
+            prop_assert_eq!(store.value(a).shape(), loaded.value(b).shape());
+            prop_assert_eq!(store.value(a).to_bits_vec(), loaded.value(b).to_bits_vec());
+        }
+    }
+
+    /// Any strict prefix of a saved store is rejected with a typed error.
+    #[test]
+    fn truncated_stores_are_rejected(store in stores(), cut in 0.0f64..1.0) {
+        let bytes = save(&store);
+        let keep = (cut * (bytes.len() - 1) as f64) as usize;
+        match load(&bytes[..keep]) {
+            Ok(_) => prop_assert!(false, "truncated store at {keep}/{} loaded", bytes.len()),
+            Err(e) => { let _ = e.to_string(); }
+        }
+    }
+
+    /// Any single bit flip in a saved store is rejected with a typed error.
+    #[test]
+    fn bit_flipped_stores_are_rejected(store in stores(), pos in 0.0f64..1.0, bit in 0u32..8) {
+        let mut bytes = save(&store);
+        let i = (pos * (bytes.len() - 1) as f64) as usize;
+        bytes[i] ^= 1 << bit;
+        match load(&bytes) {
+            Ok(_) => prop_assert!(false, "bit flip at byte {i} bit {bit} went undetected"),
+            Err(e) => { let _ = e.to_string(); }
+        }
+    }
+}
+
+/// A structurally valid section whose declared shape disagrees with its
+/// value count must be rejected by the `ParamStore` reader itself (the
+/// container checksum cannot catch writer-level bugs).
+#[test]
+fn shape_value_count_mismatch_is_corrupt() {
+    let mut w = ModelWriter::new();
+    let mut s = SectionWriter::new();
+    s.put_u32(1); // one parameter
+    s.put_str("w");
+    s.put_u32(2); // rows
+    s.put_u32(3); // cols
+    s.put_usize(5); // ...but only five values claimed
+    for b in 0..5u32 {
+        s.put_u32(b);
+    }
+    w.push("params", s);
+    match load(&w.to_bytes()) {
+        Err(ModelIoError::Corrupt { context }) => assert!(context.contains("'w'"), "{context}"),
+        Err(other) => panic!("expected Corrupt, got {other:?}"),
+        Ok(_) => panic!("mismatched shape loaded"),
+    }
+}

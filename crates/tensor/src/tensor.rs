@@ -103,6 +103,20 @@ impl Tensor {
         self.data
     }
 
+    /// The IEEE-754 bit pattern of every element, row-major. The lossless
+    /// dual of [`Tensor::from_bits_vec`], used by model persistence so
+    /// saved weights reload bit-identically (including NaN payloads and
+    /// signed zeros that a decimal round-trip would mangle).
+    pub fn to_bits_vec(&self) -> Vec<u32> {
+        self.data.iter().map(|x| x.to_bits()).collect()
+    }
+
+    /// Rebuild a tensor from bit patterns produced by
+    /// [`Tensor::to_bits_vec`]. Panics if `bits.len() != rows * cols`.
+    pub fn from_bits_vec(rows: usize, cols: usize, bits: &[u32]) -> Self {
+        Self::from_vec(rows, cols, bits.iter().map(|&b| f32::from_bits(b)).collect())
+    }
+
     #[inline]
     pub fn get(&self, r: usize, c: usize) -> f32 {
         debug_assert!(r < self.rows && c < self.cols);

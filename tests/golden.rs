@@ -1,0 +1,243 @@
+//! Golden-trace regression test.
+//!
+//! A small fixture dataset is committed under `tests/golden/` as plain text
+//! (every float stored as an exact hex bit pattern), together with the
+//! per-account probabilities the full train → save → load → infer pipeline
+//! must produce for it — also as bit patterns. The test fails on **any**
+//! numeric drift, however small: a change that alters a single mantissa bit
+//! anywhere in features, encoders, calibration or boosting shows up here.
+//!
+//! When a change is *supposed* to move the numbers (a new default, a fixed
+//! formula), regenerate the expectations and commit the diff:
+//!
+//! ```text
+//! DBG4ETH_REGEN_GOLDEN=1 cargo test -p dbg4eth --test golden
+//! ```
+//!
+//! The fixture itself (`fixture.txt`) is never regenerated automatically —
+//! it is the frozen input that makes traces comparable across PRs.
+
+use dbg4eth::{infer, train, Dbg4EthConfig, TrainedModel};
+use eth_graph::{AccountKind, LocalTx, Subgraph};
+use eth_sim::{AccountClass, GraphDataset};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden")
+}
+
+/// The pinned configuration of the golden trace. Changing it is a golden
+/// change like any other: regenerate and commit.
+fn golden_config() -> Dbg4EthConfig {
+    let mut cfg = Dbg4EthConfig::fast();
+    cfg.epochs = 4;
+    cfg.gsg.hidden = 16;
+    cfg.gsg.d_out = 8;
+    cfg.ldg.hidden = 16;
+    cfg.ldg.d_out = 8;
+    cfg.ldg.pool_clusters = [6, 3, 1];
+    cfg.t_slices = 4;
+    cfg.parallelism = 1;
+    cfg
+}
+
+// --- fixture text format ---------------------------------------------------
+//
+// graph <label>
+// node <id> <kind: eoa|contract>        (first node is the centre)
+// tx <src> <dst> <value:hex-f64-bits> <timestamp> <fee:hex-f64-bits> <call:0|1>
+// end
+
+fn parse_fixture(text: &str) -> Vec<Subgraph> {
+    let mut graphs = Vec::new();
+    let mut current: Option<Subgraph> = None;
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let word = it.next().unwrap();
+        let ctx = || format!("fixture line {}: {line}", lineno + 1);
+        let f64_bits = |tok: Option<&str>| {
+            f64::from_bits(u64::from_str_radix(tok.expect("hex f64"), 16).expect("hex f64"))
+        };
+        match word {
+            "graph" => {
+                assert!(current.is_none(), "unterminated graph before {}", ctx());
+                let label = it.next().and_then(|l| l.parse().ok()).expect("graph label");
+                current = Some(Subgraph {
+                    nodes: Vec::new(),
+                    kinds: Vec::new(),
+                    txs: Vec::new(),
+                    label: Some(label),
+                });
+            }
+            "node" => {
+                let g = current.as_mut().unwrap_or_else(|| panic!("node outside graph: {}", ctx()));
+                g.nodes.push(it.next().and_then(|t| t.parse().ok()).expect("node id"));
+                g.kinds.push(match it.next() {
+                    Some("eoa") => AccountKind::Eoa,
+                    Some("contract") => AccountKind::Contract,
+                    other => panic!("bad kind {other:?} at {}", ctx()),
+                });
+            }
+            "tx" => {
+                let g = current.as_mut().unwrap_or_else(|| panic!("tx outside graph: {}", ctx()));
+                g.txs.push(LocalTx {
+                    src: it.next().and_then(|t| t.parse().ok()).expect("src"),
+                    dst: it.next().and_then(|t| t.parse().ok()).expect("dst"),
+                    value: f64_bits(it.next()),
+                    timestamp: it.next().and_then(|t| t.parse().ok()).expect("timestamp"),
+                    fee: f64_bits(it.next()),
+                    contract_call: it.next() == Some("1"),
+                });
+            }
+            "end" => graphs.push(current.take().unwrap_or_else(|| panic!("stray end: {}", ctx()))),
+            other => panic!("unknown directive {other:?} at {}", ctx()),
+        }
+    }
+    assert!(current.is_none(), "fixture ends inside a graph");
+    graphs
+}
+
+fn render_fixture(graphs: &[Subgraph]) -> String {
+    let mut out =
+        String::from("# Frozen golden-trace input. Do not regenerate; see tests/golden.rs.\n");
+    for g in graphs {
+        writeln!(out, "graph {}", g.label.expect("labelled")).unwrap();
+        for (&id, &kind) in g.nodes.iter().zip(&g.kinds) {
+            let kind = match kind {
+                AccountKind::Eoa => "eoa",
+                AccountKind::Contract => "contract",
+            };
+            writeln!(out, "node {id} {kind}").unwrap();
+        }
+        for t in &g.txs {
+            writeln!(
+                out,
+                "tx {} {} {:016x} {} {:016x} {}",
+                t.src,
+                t.dst,
+                t.value.to_bits(),
+                t.timestamp,
+                t.fee.to_bits(),
+                u8::from(t.contract_call)
+            )
+            .unwrap();
+        }
+        out.push_str("end\n");
+    }
+    out
+}
+
+fn render_expected(probs: &[f64]) -> String {
+    let mut out = String::from(
+        "# Expected infer() bit patterns for fixture.txt. Regenerate with\n\
+         # DBG4ETH_REGEN_GOLDEN=1 cargo test -p dbg4eth --test golden\n",
+    );
+    for p in probs {
+        writeln!(out, "{:016x} # {p:.6}", p.to_bits()).unwrap();
+    }
+    out
+}
+
+fn parse_expected(text: &str) -> Vec<u64> {
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(|l| {
+            let tok = l.split_whitespace().next().unwrap();
+            u64::from_str_radix(tok, 16).expect("hex f64 bits")
+        })
+        .collect()
+}
+
+/// Build the fixture once from the simulator. Only used when the committed
+/// fixture is absent (first creation); after that the text file is the
+/// source of truth and simulator changes cannot move the golden trace.
+fn generate_fixture() -> Vec<Subgraph> {
+    use eth_graph::SamplerConfig;
+    use eth_sim::{Benchmark, DatasetScale};
+    let scale =
+        DatasetScale { exchange: 8, ico_wallet: 0, mining: 0, phish_hack: 0, bridge: 0, defi: 0 };
+    let bench = Benchmark::generate(scale, SamplerConfig { top_k: 10, hops: 2 }, 20);
+    bench.dataset(AccountClass::Exchange).graphs.clone()
+}
+
+#[test]
+fn golden_trace_is_bit_stable() {
+    let dir = golden_dir();
+    let fixture_path = dir.join("fixture.txt");
+    let expected_path = dir.join("expected.txt");
+    let regen = std::env::var("DBG4ETH_REGEN_GOLDEN").is_ok_and(|v| !v.is_empty() && v != "0");
+
+    let graphs = if fixture_path.exists() {
+        parse_fixture(&std::fs::read_to_string(&fixture_path).expect("read fixture"))
+    } else {
+        assert!(regen, "tests/golden/fixture.txt is missing; restore it from git");
+        let graphs = generate_fixture();
+        std::fs::create_dir_all(&dir).expect("golden dir");
+        std::fs::write(&fixture_path, render_fixture(&graphs)).expect("write fixture");
+        graphs
+    };
+
+    // Fixture text round-trips exactly — parse(render(g)) == g, so the file
+    // really does pin every input bit.
+    let reparsed = parse_fixture(&render_fixture(&graphs));
+    assert_eq!(reparsed.len(), graphs.len());
+    for (a, b) in graphs.iter().zip(&reparsed) {
+        assert_eq!(a.nodes, b.nodes);
+        assert_eq!(a.kinds, b.kinds);
+        assert_eq!(a.label, b.label);
+        assert_eq!(a.txs.len(), b.txs.len());
+        for (x, y) in a.txs.iter().zip(&b.txs) {
+            assert_eq!(
+                (x.src, x.dst, x.timestamp, x.contract_call),
+                (y.src, y.dst, y.timestamp, y.contract_call)
+            );
+            assert_eq!(x.value.to_bits(), y.value.to_bits());
+            assert_eq!(x.fee.to_bits(), y.fee.to_bits());
+        }
+    }
+
+    // Full pipeline, through the persistence layer: train, round-trip the
+    // model container, serve the test split.
+    let dataset = GraphDataset { class: AccountClass::Exchange, graphs };
+    let cfg = golden_config();
+    let out = train(&dataset, 0.7, &cfg);
+    let model = TrainedModel::from_bytes(&out.model.to_bytes()).expect("container round trip");
+    let (_, test_idx) = dataset.split(0.7, cfg.seed);
+    let accounts: Vec<Subgraph> = test_idx.iter().map(|&i| dataset.graphs[i].clone()).collect();
+    let probs = infer(&model, &accounts);
+    assert!(!probs.is_empty());
+    let got: Vec<u64> = probs.iter().map(|p| p.to_bits()).collect();
+
+    if regen {
+        std::fs::write(&expected_path, render_expected(&probs)).expect("write expected");
+        eprintln!("regenerated {}", expected_path.display());
+        return;
+    }
+    let expected = parse_expected(&std::fs::read_to_string(&expected_path).unwrap_or_else(|_| {
+        panic!(
+            "{} is missing; run DBG4ETH_REGEN_GOLDEN=1 cargo test -p dbg4eth --test golden",
+            expected_path.display()
+        )
+    }));
+    assert_eq!(
+        got.len(),
+        expected.len(),
+        "test split size changed — regenerate the golden expectations if intended"
+    );
+    for (i, (g, e)) in got.iter().zip(&expected).enumerate() {
+        assert_eq!(
+            g,
+            e,
+            "account {i}: got {:.12} ({g:016x}), expected {:.12} ({e:016x}) — \
+             numeric drift; if intended, regenerate with DBG4ETH_REGEN_GOLDEN=1",
+            f64::from_bits(*g),
+            f64::from_bits(*e),
+        );
+    }
+}

@@ -1,0 +1,175 @@
+//! Tier-1 train/serve persistence suite.
+//!
+//! The contract under test: a model trained once, saved, and reloaded (as a
+//! fresh process would) produces **byte-identical** predictions to the
+//! in-memory model, for every account category and at any worker-thread
+//! count — and a damaged model file is always a typed error, never a panic.
+
+use dbg4eth::{infer, run, train, Dbg4EthConfig, ModelIoError, TrainedModel};
+use eth_graph::{SamplerConfig, Subgraph};
+use eth_sim::{AccountClass, Benchmark, DatasetScale, GraphDataset};
+use std::path::PathBuf;
+
+fn tiny_config() -> Dbg4EthConfig {
+    let mut cfg = Dbg4EthConfig::fast();
+    cfg.epochs = 4;
+    cfg.gsg.hidden = 16;
+    cfg.gsg.d_out = 8;
+    cfg.ldg.hidden = 16;
+    cfg.ldg.d_out = 8;
+    cfg.ldg.pool_clusters = [6, 3, 1];
+    cfg.t_slices = 4;
+    cfg.parallelism = 1;
+    cfg
+}
+
+fn all_category_bench(seed: u64) -> Benchmark {
+    let scale = DatasetScale {
+        exchange: 10,
+        ico_wallet: 10,
+        mining: 10,
+        phish_hack: 10,
+        bridge: 10,
+        defi: 10,
+    };
+    Benchmark::generate(scale, SamplerConfig { top_k: 12, hops: 2 }, seed)
+}
+
+fn test_split_graphs(dataset: &GraphDataset, train_frac: f64, seed: u64) -> Vec<Subgraph> {
+    let (_, test_idx) = dataset.split(train_frac, seed);
+    test_idx.iter().map(|&i| dataset.graphs[i].clone()).collect()
+}
+
+fn bits(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|p| p.to_bits()).collect()
+}
+
+fn scratch_path(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dbg4eth-persistence-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir.join(name)
+}
+
+/// The core acceptance criterion: for **all six** account categories,
+/// train → save → load → infer equals in-memory inference bit for bit, and
+/// the serving path reproduces the training run's own test scores — at one
+/// worker thread and at eight.
+#[test]
+fn saved_models_serve_byte_identical_predictions_for_all_categories() {
+    let bench = all_category_bench(11);
+    for class in AccountClass::LABELLED {
+        let dataset = bench.dataset(class);
+        let cfg = tiny_config();
+        let out = train(dataset, 0.7, &cfg);
+        let accounts = test_split_graphs(dataset, 0.7, cfg.seed);
+
+        // The serving path retraces the pipeline's test path exactly.
+        let in_memory = infer(&out.model, &accounts);
+        assert_eq!(
+            bits(&in_memory),
+            bits(&out.run.test_scores),
+            "{} infer() diverged from the training run",
+            class.name()
+        );
+
+        // Disk round trip, then serve again — same bits.
+        let path = scratch_path(&format!("{}.dbgm", class.name().replace('/', "-")));
+        out.model.save(&path).expect("save");
+        let mut loaded = TrainedModel::load(&path).expect("load");
+        assert_eq!(
+            bits(&infer(&loaded, &accounts)),
+            bits(&in_memory),
+            "{} reloaded model diverged",
+            class.name()
+        );
+
+        // Thread count is a performance knob, never a numerics knob.
+        for threads in [2, 8] {
+            loaded.config.parallelism = threads;
+            assert_eq!(
+                bits(&infer(&loaded, &accounts)),
+                bits(&in_memory),
+                "{} diverged at {threads} threads",
+                class.name()
+            );
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+/// `train` is `run` plus model capture: its reported run must match a plain
+/// `run` bit for bit, and the container must round-trip through memory too.
+#[test]
+fn train_matches_run_and_containers_round_trip_in_memory() {
+    let bench = all_category_bench(12);
+    let dataset = bench.dataset(AccountClass::Exchange);
+    let cfg = tiny_config();
+    let plain = run(dataset, 0.7, &cfg);
+    let out = train(dataset, 0.7, &cfg);
+    assert_eq!(bits(&plain.test_scores), bits(&out.run.test_scores));
+    assert_eq!(plain.metrics.f1, out.run.metrics.f1);
+
+    let bytes = out.model.to_bytes();
+    let loaded = TrainedModel::from_bytes(&bytes).expect("in-memory round trip");
+    let accounts = test_split_graphs(dataset, 0.7, cfg.seed);
+    assert_eq!(bits(&infer(&loaded, &accounts)), bits(&out.run.test_scores));
+    // Serialisation is deterministic: same model, same bytes.
+    assert_eq!(bytes, loaded.to_bytes());
+}
+
+/// An empty account batch is a no-op, not an error.
+#[test]
+fn infer_on_empty_batch_returns_empty() {
+    let bench = all_category_bench(13);
+    let out = train(bench.dataset(AccountClass::Mining), 0.7, &tiny_config());
+    assert!(infer(&out.model, &[]).is_empty());
+}
+
+/// Every way a model file can be damaged — wrong magic, unsupported
+/// version, truncation at any point, any single flipped bit, or a missing
+/// section — must surface as a typed [`ModelIoError`]. Loading never
+/// panics and never silently yields a model.
+#[test]
+fn corrupted_model_files_fail_with_typed_errors() {
+    let bench = all_category_bench(14);
+    let mut cfg = tiny_config();
+    cfg.epochs = 2;
+    cfg.use_ldg = false; // smallest trainable model
+    let bytes = train(bench.dataset(AccountClass::Defi), 0.7, &cfg).model.to_bytes();
+    assert!(TrainedModel::from_bytes(&bytes).is_ok(), "pristine bytes load");
+
+    // Wrong magic.
+    let mut bad = bytes.clone();
+    bad[0] ^= 0xFF;
+    assert!(matches!(TrainedModel::from_bytes(&bad), Err(ModelIoError::BadMagic { .. })));
+
+    // Future format version.
+    let mut bad = bytes.clone();
+    bad[4..8].copy_from_slice(&99u32.to_le_bytes());
+    assert!(matches!(
+        TrainedModel::from_bytes(&bad),
+        Err(ModelIoError::UnsupportedVersion { found: 99, .. })
+    ));
+
+    // Truncation at a spread of cut points, including the empty file.
+    for keep in (0..bytes.len()).step_by(41) {
+        let err = TrainedModel::from_bytes(&bytes[..keep])
+            .err()
+            .unwrap_or_else(|| panic!("prefix of {keep}/{} bytes loaded", bytes.len()));
+        let _ = err.to_string(); // Display works for every variant
+    }
+
+    // A single flipped bit anywhere is caught (checksums cover payloads,
+    // framing validation covers the header).
+    for i in (0..bytes.len()).step_by(37) {
+        let mut bad = bytes.clone();
+        bad[i] ^= 1 << (i % 8);
+        assert!(TrainedModel::from_bytes(&bad).is_err(), "bit flip at byte {i} went undetected");
+    }
+
+    // A structurally valid container missing the model sections.
+    assert!(matches!(
+        TrainedModel::from_bytes(&model_io::ModelWriter::new().to_bytes()),
+        Err(ModelIoError::MissingSection { .. })
+    ));
+}
