@@ -2,14 +2,21 @@
 //!
 //! The inference half of the train/serve split: loads the `DBGM` container
 //! written by `train`, regenerates the same benchmark world, and scores the
-//! held-out test accounts through `dbg4eth::infer`. The printed
+//! held-out test accounts through `dbg4eth::infer_detailed`. The printed
 //! `scores-digest` must equal the one `train` printed — the model file, not
 //! process memory, carries everything the serving path needs.
+//!
+//! Serving is load-bearing, so it degrades instead of dying: damaged model
+//! sections are dropped at load (`TrainedModel::load_degraded`), bad
+//! accounts are quarantined with typed errors, and every fallback is
+//! counted in the run-report (`infer.degraded`, `infer.quarantined`,
+//! `model.load.lost_sections`). On a pristine model and clean inputs the
+//! output is bit-identical to strict serving.
 //!
 //! Usage: `predict [MODEL_PATH] [CLASS]` (defaults: `model.dbgm`,
 //! `exchange`).
 
-use dbg4eth::{infer, TrainedModel};
+use dbg4eth::{infer_detailed, TrainedModel};
 use eth_graph::Subgraph;
 use std::time::Instant;
 
@@ -17,8 +24,11 @@ fn main() {
     let path = std::env::args().nth(1).unwrap_or_else(|| "model.dbgm".to_string());
     let class = bench::class_arg(std::env::args().nth(2).as_deref());
     let t = Instant::now();
-    let model = TrainedModel::load(&path).expect("load model");
+    let (model, damage) = TrainedModel::load_degraded(&path).expect("load model");
     obs::info!("predict", "loaded {path} in {:?}", t.elapsed());
+    if !damage.is_clean() {
+        println!("degraded load: lost sections {:?}", damage.lost_sections);
+    }
 
     // The same deterministic world `train` saw; the split seed travels
     // inside the model's config.
@@ -28,11 +38,25 @@ fn main() {
     let accounts: Vec<Subgraph> = test_idx.iter().map(|&i| dataset.graphs[i].clone()).collect();
 
     let t = Instant::now();
-    let probs = infer(&model, &accounts);
-    println!("scored {} accounts in {:?}", probs.len(), t.elapsed());
-    for (i, p) in probs.iter().enumerate().take(5) {
+    let report = infer_detailed(&model, &accounts);
+    let scored = report.ok_scores();
+    println!(
+        "scored {}/{} accounts in {:?} ({} quarantined, {} degraded)",
+        scored.len(),
+        accounts.len(),
+        t.elapsed(),
+        report.quarantined,
+        report.degraded,
+    );
+    for &(i, p) in scored.iter().take(5) {
         println!("  account {:3}: P({}) = {p:.4}", test_idx[i], class.name());
     }
+    for (i, r) in report.scores.iter().enumerate() {
+        if let Err(e) = r {
+            println!("  account {:3}: unscorable: {e}", test_idx[i]);
+        }
+    }
+    let probs: Vec<f64> = scored.iter().map(|&(_, p)| p).collect();
     println!("scores-digest: {:016x}", bench::f64_bits_digest(&probs));
     bench::emit_report_with("predict", bench::scale(), bench::seed());
 }

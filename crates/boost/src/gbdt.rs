@@ -105,7 +105,12 @@ impl Gbdt {
     /// P(positive) for a batch (row-parallel when configured).
     pub fn predict_proba_all(&self, x: &[Vec<f64>]) -> Vec<f64> {
         let _span = obs::span("boost.gbdt.predict");
-        par::par_map(self.config.parallelism, x, |r| self.predict_proba(r))
+        par::par_map_indices(self.config.parallelism, x.len(), |i| {
+            // `panic@boost.predict:<row>` injection point — exercised
+            // through the classifier's per-row fallback in `infer`.
+            faults::maybe_panic("boost.predict", Some(i));
+            self.predict_proba(&x[i])
+        })
     }
 
     /// Hard predictions at threshold 0.5.

@@ -27,6 +27,17 @@ fn write_tree_config(cfg: &TreeConfig, s: &mut SectionWriter) {
     s.put_f64(cfg.min_gain);
 }
 
+/// Every stored float multiplies into (or gates) a margin sum; a NaN or
+/// infinity loaded from a damaged payload must be a typed error, not a
+/// silently poisoned classifier.
+fn check_finite(v: f64, what: &str) -> Result<(), ModelIoError> {
+    if v.is_finite() {
+        Ok(())
+    } else {
+        Err(ModelIoError::Corrupt { context: format!("{what} is non-finite ({v})") })
+    }
+}
+
 fn read_tree_config(s: &mut SectionReader) -> Result<TreeConfig, ModelIoError> {
     let growth = match s.get_u8()? {
         0 => Growth::LeafWise { max_leaves: s.get_usize()? },
@@ -35,12 +46,15 @@ fn read_tree_config(s: &mut SectionReader) -> Result<TreeConfig, ModelIoError> {
             return Err(ModelIoError::Corrupt { context: format!("unknown growth policy tag {v}") })
         }
     };
-    Ok(TreeConfig {
+    let cfg = TreeConfig {
         growth,
         min_samples_leaf: s.get_usize()?,
         lambda: s.get_f64()?,
         min_gain: s.get_f64()?,
-    })
+    };
+    check_finite(cfg.lambda, "tree lambda")?;
+    check_finite(cfg.min_gain, "tree min_gain")?;
+    Ok(cfg)
 }
 
 impl RegressionTree {
@@ -81,11 +95,20 @@ impl RegressionTree {
         let mut nodes = Vec::with_capacity(n);
         for i in 0..n {
             nodes.push(match s.get_u8()? {
-                0 => Node::Leaf { value: s.get_f64()? },
+                0 => {
+                    let value = s.get_f64()?;
+                    check_finite(value, "leaf value")?;
+                    Node::Leaf { value }
+                }
                 1 => {
                     let feature = s.get_usize()?;
                     let threshold = s.get_f64()?;
                     let gain = s.get_f64()?;
+                    // A NaN threshold silently routes every row right
+                    // (NaN comparisons are false); a NaN leaf or gain
+                    // poisons margins and importances. Reject them all.
+                    check_finite(threshold, "split threshold")?;
+                    check_finite(gain, "split gain")?;
                     let (left, right) = (s.get_usize()?, s.get_usize()?);
                     if left <= i || right <= i || left >= n || right >= n {
                         return Err(ModelIoError::Corrupt {
@@ -126,10 +149,12 @@ impl Gbdt {
     pub fn read(s: &mut SectionReader) -> Result<Self, ModelIoError> {
         let n_trees = s.get_usize()?;
         let learning_rate = s.get_f64()?;
+        check_finite(learning_rate, "learning rate")?;
         let tree = read_tree_config(s)?;
         let parallelism = s.get_usize()?;
         let config = GbdtConfig { n_trees, learning_rate, tree, parallelism };
         let base_score = s.get_f64()?;
+        check_finite(base_score, "base score")?;
         let count = s.get_usize()?;
         if count > s.remaining() {
             return Err(ModelIoError::Truncated { context: "forest tree count" });
@@ -206,6 +231,59 @@ mod tests {
             RegressionTree::read(&mut r.section("t").unwrap()),
             Err(ModelIoError::Corrupt { .. })
         ));
+    }
+
+    #[test]
+    fn non_finite_tree_floats_are_rejected() {
+        let tree = |leaf: f64, threshold: f64| {
+            let mut sec = SectionWriter::new();
+            sec.put_usize(3);
+            sec.put_u8(1);
+            sec.put_usize(0);
+            sec.put_f64(threshold);
+            sec.put_f64(1.0);
+            sec.put_usize(1);
+            sec.put_usize(2);
+            sec.put_u8(0);
+            sec.put_f64(leaf);
+            sec.put_u8(0);
+            sec.put_f64(0.2);
+            let mut w = ModelWriter::new();
+            w.push("t", sec);
+            let bytes = w.to_bytes();
+            let r = ModelReader::from_bytes(&bytes).unwrap();
+            RegressionTree::read(&mut r.section("t").unwrap()).map(|_| ())
+        };
+        assert!(tree(0.1, 0.5).is_ok(), "the all-finite control tree must load");
+        // A NaN threshold routes every row right (NaN comparisons are
+        // false) — silent misclassification, so it must be typed.
+        assert!(matches!(tree(0.1, f64::NAN), Err(ModelIoError::Corrupt { .. })));
+        assert!(matches!(tree(f64::INFINITY, 0.5), Err(ModelIoError::Corrupt { .. })));
+    }
+
+    #[test]
+    fn non_finite_forest_scalars_are_rejected() {
+        let (_, model) = xor_model(GbdtConfig { n_trees: 2, ..GbdtConfig::lightgbm() });
+        let serialise = |lr: f64, base: f64| {
+            let mut sec = SectionWriter::new();
+            sec.put_usize(model.config.n_trees);
+            sec.put_f64(lr);
+            write_tree_config(&model.config.tree, &mut sec);
+            sec.put_usize(model.config.parallelism);
+            sec.put_f64(base);
+            sec.put_usize(model.trees.len());
+            for tree in &model.trees {
+                tree.write(&mut sec);
+            }
+            let mut w = ModelWriter::new();
+            w.push("g", sec);
+            let bytes = w.to_bytes();
+            let r = ModelReader::from_bytes(&bytes).unwrap();
+            Gbdt::read(&mut r.section("g").unwrap()).map(|_| ())
+        };
+        assert!(serialise(0.1, 0.0).is_ok());
+        assert!(matches!(serialise(f64::NAN, 0.0), Err(ModelIoError::Corrupt { .. })));
+        assert!(matches!(serialise(0.1, f64::NEG_INFINITY), Err(ModelIoError::Corrupt { .. })));
     }
 
     #[test]

@@ -103,6 +103,9 @@ impl AdaptiveCalibrator {
     }
 
     pub fn calibrate_all(&self, scores: &[f64]) -> Vec<f64> {
+        // `panic@calib.apply` injection point: the whole ensemble blows up
+        // mid-batch, exercising the branch-level uncalibrated fallback.
+        faults::maybe_panic("calib.apply", None);
         scores.iter().map(|&p| self.calibrate(p)).collect()
     }
 }
@@ -136,6 +139,16 @@ impl ConfidenceScaler {
     }
 
     pub fn scale_all(&self, raw: &[f64]) -> Vec<f64> {
+        if faults::active() {
+            // `nan@calib.scale:<pos>` injection point: one scaled
+            // confidence turns NaN after batch statistics were already
+            // fitted — the hardest position in the ladder to contain.
+            return raw
+                .iter()
+                .enumerate()
+                .map(|(i, &x)| faults::poison_f64("calib.scale", Some(i), self.scale(x)))
+                .collect();
+        }
         raw.iter().map(|&x| self.scale(x)).collect()
     }
 }

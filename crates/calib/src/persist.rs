@@ -83,9 +83,29 @@ impl Calibrator {
     /// Read a map written by [`Calibrator::write`].
     pub fn read(s: &mut SectionReader) -> Result<Self, ModelIoError> {
         Ok(match s.get_u8()? {
-            0 => Calibrator::Temperature { t: s.get_f64()? },
-            1 => Calibrator::Beta { a: s.get_f64()?, b: s.get_f64()?, c: s.get_f64()? },
-            2 => Calibrator::Logistic { a: s.get_f64()?, b: s.get_f64()? },
+            0 => {
+                let t = s.get_f64()?;
+                // `apply` divides the logit by `t`: a non-finite or
+                // non-positive temperature poisons (or inverts) every score.
+                if !t.is_finite() || t <= 0.0 {
+                    return Err(ModelIoError::Corrupt {
+                        context: format!("temperature scaling with invalid t = {t}"),
+                    });
+                }
+                Calibrator::Temperature { t }
+            }
+            1 => {
+                let cal = Calibrator::Beta { a: s.get_f64()?, b: s.get_f64()?, c: s.get_f64()? };
+                if let Calibrator::Beta { a, b, c } = cal {
+                    check_finite(&[a, b, c], "beta calibration parameters")?;
+                }
+                cal
+            }
+            2 => {
+                let (a, b) = (s.get_f64()?, s.get_f64()?);
+                check_finite(&[a, b], "logistic calibration parameters")?;
+                Calibrator::Logistic { a, b }
+            }
             3 => {
                 let cal = Calibrator::Histogram { edges: s.get_f64s()?, values: s.get_f64s()? };
                 check_binning(&cal)?;
@@ -93,7 +113,7 @@ impl Calibrator {
             }
             4 => {
                 let (xs, ys) = (s.get_f64s()?, s.get_f64s()?);
-                if xs.len() != ys.len() {
+                if xs.len() != ys.len() || xs.is_empty() {
                     return Err(ModelIoError::Corrupt {
                         context: format!(
                             "isotonic map has {} knots but {} values",
@@ -102,6 +122,11 @@ impl Calibrator {
                         ),
                     });
                 }
+                // A NaN knot would panic inside `apply`'s binary search
+                // (`partial_cmp(..).unwrap()`), so finiteness is a load-time
+                // invariant, not just a quality concern.
+                check_finite(&xs, "isotonic knots")?;
+                check_finite(&ys, "isotonic values")?;
                 Calibrator::Isotonic { xs, ys }
             }
             5 => {
@@ -123,6 +148,7 @@ impl Calibrator {
                         ),
                     });
                 }
+                check_finite(&weights, "BBQ weights")?;
                 let cal = Calibrator::Bbq { models, weights };
                 check_binning(&cal)?;
                 cal
@@ -136,6 +162,18 @@ impl Calibrator {
     }
 }
 
+/// Reject non-finite floats on a load path: a NaN smuggled in through a
+/// damaged payload would silently poison every downstream score (or panic
+/// in an `apply`-time comparison) instead of surfacing as a typed error.
+fn check_finite(values: &[f64], what: &str) -> Result<(), ModelIoError> {
+    match values.iter().find(|v| !v.is_finite()) {
+        Some(v) => {
+            Err(ModelIoError::Corrupt { context: format!("{what} contain non-finite value {v}") })
+        }
+        None => Ok(()),
+    }
+}
+
 /// Binning calibrators index `values[bin]` from `edges`; an empty `values`
 /// or mismatched edge count would panic in `apply`, so reject it at load.
 fn check_binning(cal: &Calibrator) -> Result<(), ModelIoError> {
@@ -145,6 +183,8 @@ fn check_binning(cal: &Calibrator) -> Result<(), ModelIoError> {
                 context: format!("{what} has {} edges for {} bins", edges.len(), values.len()),
             });
         }
+        check_finite(edges, what)?;
+        check_finite(values, what)?;
         Ok(())
     };
     match cal {
@@ -173,6 +213,7 @@ impl AdaptiveCalibrator {
     /// Read an ensemble written by [`AdaptiveCalibrator::write`].
     pub fn read(s: &mut SectionReader) -> Result<Self, ModelIoError> {
         let base_ece = s.get_f64()?;
+        check_finite(&[base_ece], "ensemble base ECE")?;
         let n = s.get_u32()? as usize;
         let mut methods = Vec::with_capacity(n.min(CalibMethod::ALL.len()));
         let mut weights = Vec::new();
@@ -183,6 +224,10 @@ impl AdaptiveCalibrator {
             method_ece.push(s.get_f64()?);
             methods.push((m, Calibrator::read(s)?));
         }
+        // Weights multiply every calibrated score (Eq. 24); one NaN weight
+        // poisons the whole ensemble output.
+        check_finite(&weights, "ensemble method weights")?;
+        check_finite(&method_ece, "ensemble method ECEs")?;
         Ok(Self { methods, weights, base_ece, method_ece })
     }
 }
@@ -251,6 +296,85 @@ mod tests {
         let r = ModelReader::from_bytes(&w.to_bytes()).unwrap();
         match Calibrator::read(&mut r.section("c").unwrap()) {
             Err(ModelIoError::Corrupt { context }) => assert!(context.contains("99")),
+            other => panic!("expected Corrupt, got {:?}", other.map(|_| ())),
+        }
+    }
+
+    fn read_back(sec: SectionWriter) -> Result<Calibrator, ModelIoError> {
+        let mut w = ModelWriter::new();
+        w.push("c", sec);
+        let r = ModelReader::from_bytes(&w.to_bytes()).unwrap();
+        Calibrator::read(&mut r.section("c").unwrap())
+    }
+
+    #[test]
+    fn non_finite_parameters_are_typed_errors() {
+        // Temperature: NaN, infinite, zero and negative all divide (or
+        // invert) the logit into garbage.
+        for t in [f64::NAN, f64::INFINITY, 0.0, -2.0] {
+            let mut sec = SectionWriter::new();
+            sec.put_u8(0);
+            sec.put_f64(t);
+            assert!(
+                matches!(read_back(sec), Err(ModelIoError::Corrupt { .. })),
+                "temperature t = {t} must be rejected"
+            );
+        }
+        // Beta with a NaN coefficient.
+        let mut sec = SectionWriter::new();
+        sec.put_u8(1);
+        sec.put_f64(1.0);
+        sec.put_f64(f64::NAN);
+        sec.put_f64(0.0);
+        assert!(matches!(read_back(sec), Err(ModelIoError::Corrupt { .. })));
+        // Logistic with an infinite slope.
+        let mut sec = SectionWriter::new();
+        sec.put_u8(2);
+        sec.put_f64(f64::NEG_INFINITY);
+        sec.put_f64(0.0);
+        assert!(matches!(read_back(sec), Err(ModelIoError::Corrupt { .. })));
+    }
+
+    #[test]
+    fn nan_isotonic_knot_is_rejected_not_deferred_to_apply() {
+        // A NaN knot would reach `partial_cmp(..).unwrap()` inside the
+        // apply-time binary search — the load path must refuse it.
+        let mut sec = SectionWriter::new();
+        sec.put_u8(4);
+        sec.put_f64s(&[0.1, f64::NAN, 0.9]);
+        sec.put_f64s(&[0.2, 0.5, 0.8]);
+        match read_back(sec) {
+            Err(ModelIoError::Corrupt { context }) => assert!(context.contains("isotonic")),
+            other => panic!("expected Corrupt, got {:?}", other.map(|_| ())),
+        }
+        // Empty maps have no knot to look up at all.
+        let mut sec = SectionWriter::new();
+        sec.put_u8(4);
+        sec.put_f64s(&[]);
+        sec.put_f64s(&[]);
+        assert!(matches!(read_back(sec), Err(ModelIoError::Corrupt { .. })));
+    }
+
+    #[test]
+    fn non_finite_ensemble_weights_are_rejected() {
+        let (s, y) = fixture();
+        let cal = AdaptiveCalibrator::fit(&s, &y, MethodSubset::ParametricOnly, true);
+        let mut sec = SectionWriter::new();
+        sec.put_f64(cal.base_ece);
+        sec.put_u32(cal.methods.len() as u32);
+        for (i, (((m, c), &w), &e)) in
+            cal.methods.iter().zip(&cal.weights).zip(&cal.method_ece).enumerate()
+        {
+            sec.put_u8(m.tag());
+            sec.put_f64(if i == 1 { f64::NAN } else { w });
+            sec.put_f64(e);
+            c.write(&mut sec);
+        }
+        let mut w = ModelWriter::new();
+        w.push("c", sec);
+        let r = ModelReader::from_bytes(&w.to_bytes()).unwrap();
+        match AdaptiveCalibrator::read(&mut r.section("c").unwrap()) {
+            Err(ModelIoError::Corrupt { context }) => assert!(context.contains("weights")),
             other => panic!("expected Corrupt, got {:?}", other.map(|_| ())),
         }
     }

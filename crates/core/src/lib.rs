@@ -32,7 +32,10 @@ pub mod report;
 mod trainer;
 
 pub use config::{CalibrationConfig, ClassifierKind, Dbg4EthConfig, FeatureMode};
-pub use model::{infer, train, TrainOutput, TrainedBranch, TrainedModel};
+pub use model::{
+    infer, infer_detailed, train, AccountScore, DegradedLoad, InferReport, ScoreError, TrainOutput,
+    TrainedBranch, TrainedModel,
+};
 pub use model_io::ModelIoError;
 pub use multiclass::{run_multiclass, MultiClassResult};
 pub use pipeline::{

@@ -17,7 +17,7 @@
 
 use crate::config::{CalibrationConfig, ClassifierKind, Dbg4EthConfig, FeatureMode};
 use crate::pipeline::{
-    assemble_output, calibrate_branches, encode_with_models, lower_graphs, RunOutput,
+    assemble_output, calibrate_branches, encode_with_models, lower_one, RunOutput,
 };
 use crate::trainer::{BranchScorer, EpochStats, TrainedGsg, TrainedLdg};
 use boost::{Gbdt, GbdtConfig};
@@ -37,6 +37,93 @@ use std::path::Path;
 pub struct TrainedBranch<S> {
     pub scorer: S,
     pub calibrator: Option<AdaptiveCalibrator>,
+    /// `true` when the calibrator was trained but could not be recovered
+    /// from the container (damaged `gsg.cal`/`ldg.cal` section): the branch
+    /// serves uncalibrated confidences and every score it contributes to is
+    /// flagged degraded. Distinguishes "calibration disabled by config"
+    /// (`calibrator: None`, not degraded) from "calibrator lost".
+    pub calibrator_lost: bool,
+}
+
+/// Why one account could not be scored. Quarantine is per-account: a bad
+/// subgraph (or an injected fault) never takes down the batch around it.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ScoreError {
+    /// The subgraph failed up-front validation (see
+    /// [`eth_graph::SubgraphError`]) and was quarantined before lowering.
+    Invalid(eth_graph::SubgraphError),
+    /// Dropped by an injected `drop@account:<i>` fault.
+    Dropped,
+    /// A pipeline stage panicked while scoring this account; the panic was
+    /// contained to the account.
+    Panicked { stage: &'static str, message: String },
+    /// Every enabled branch failed to produce a usable confidence for this
+    /// account, so there is nothing to fall back on.
+    NoUsableBranch,
+}
+
+impl std::fmt::Display for ScoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScoreError::Invalid(e) => write!(f, "invalid subgraph: {e}"),
+            ScoreError::Dropped => write!(f, "dropped by fault injection"),
+            ScoreError::Panicked { stage, message } => {
+                write!(f, "stage {stage} panicked: {message}")
+            }
+            ScoreError::NoUsableBranch => write!(f, "no branch produced a usable confidence"),
+        }
+    }
+}
+
+impl std::error::Error for ScoreError {}
+
+/// One account's serving result: `P(positive)` plus whether any fallback
+/// was taken on the way (lost branch, uncalibrated confidences, per-row
+/// classifier fallback). A non-degraded score is bit-identical to what the
+/// clean pipeline produces.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AccountScore {
+    pub score: f64,
+    pub degraded: bool,
+}
+
+/// Everything [`infer_detailed`] knows about a batch: one entry per input
+/// account (in input order) plus the degradation tallies that feed the
+/// obs counters and the JSON run-report.
+#[derive(Clone, Debug)]
+pub struct InferReport {
+    pub scores: Vec<Result<AccountScore, ScoreError>>,
+    /// Accounts rejected before scoring (validation failures and drops).
+    pub quarantined: usize,
+    /// Accounts scored through at least one fallback.
+    pub degraded: usize,
+}
+
+impl InferReport {
+    /// The scores of every successfully scored account, keyed by input
+    /// position.
+    pub fn ok_scores(&self) -> Vec<(usize, f64)> {
+        self.scores
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| r.as_ref().ok().map(|s| (i, s.score)))
+            .collect()
+    }
+}
+
+/// What a lenient [`TrainedModel::load_degraded`] had to give up on:
+/// the names of the sections it could not recover. Empty means the load
+/// was byte-perfect.
+#[derive(Clone, Debug, Default)]
+pub struct DegradedLoad {
+    pub lost_sections: Vec<String>,
+}
+
+impl DegradedLoad {
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.lost_sections.is_empty()
+    }
 }
 
 /// Every fitted stage of one DBG4ETH run, ready to serve.
@@ -97,10 +184,12 @@ pub fn train(dataset: &GraphDataset, train_frac: f64, config: &Dbg4EthConfig) ->
     let gsg = encoded.gsg.map(|scorer| TrainedBranch {
         scorer,
         calibrator: calibrators.pop().expect("one branch per enabled scorer"),
+        calibrator_lost: false,
     });
     let ldg = encoded.ldg.map(|scorer| TrainedBranch {
         scorer,
         calibrator: calibrators.pop().expect("one branch per enabled scorer"),
+        calibrator_lost: false,
     });
 
     let run = assemble_output(&cal, &encoded.encoded, test_scores);
@@ -114,47 +203,265 @@ pub fn train(dataset: &GraphDataset, train_frac: f64, config: &Dbg4EthConfig) ->
 /// the configured worker threads), per-batch confidence scaling, the saved
 /// adaptive calibrators, then the stacked GBDT. Returns `P(positive)` per
 /// account, in input order.
+///
+/// This is the strict wrapper over [`infer_detailed`]: an account that
+/// cannot be scored at all (invalid subgraph, contained panic with no
+/// fallback) panics with the typed reason. On valid inputs with no fault
+/// plan the output is bit-identical to the degradation-free pipeline.
 pub fn infer(model: &TrainedModel, accounts: &[Subgraph]) -> Vec<f64> {
+    infer_detailed(model, accounts)
+        .scores
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| match r {
+            Ok(s) => s.score,
+            Err(e) => panic!("account {i} unscorable: {e}"),
+        })
+        .collect()
+}
+
+/// Score accounts with per-account containment and graceful degradation.
+///
+/// The ladder, applied independently per account so damage never spreads:
+///
+/// 1. **Quarantine** — the subgraph is validated up front
+///    ([`Subgraph::validate`]); invalid or fault-dropped accounts get a
+///    typed [`ScoreError`] and never touch the pipeline.
+/// 2. **Contained lowering** — each account lowers in its own panic
+///    boundary; a lowering panic fails only that account.
+/// 3. **Branch scoring** — each enabled branch scores survivors in
+///    parallel with per-task isolation. A panicking or non-finite raw
+///    score fails the (account, branch) pair, not the batch; the
+///    confidence scaler is fitted on the finite survivors.
+/// 4. **Calibrator fallback** — a panicking or lost calibrator downgrades
+///    its branch to uncalibrated scaled confidences (`degraded: true`).
+/// 5. **Classifier** — per-row prediction in a panic boundary; a failing
+///    row falls back to the mean of the branch confidences.
+/// 6. **Surviving branch** — an account with one usable branch confidence
+///    is scored from it directly (`degraded: true`); with none, it gets
+///    [`ScoreError::NoUsableBranch`].
+///
+/// Every degradation is counted in the obs registry (`infer.quarantined`,
+/// `infer.degraded`, `infer.branch_failures`, `infer.calibrator_fallbacks`,
+/// `infer.classifier_fallbacks`) and lands in the JSON run-report.
+pub fn infer_detailed(model: &TrainedModel, accounts: &[Subgraph]) -> InferReport {
     let _span = obs::span("model.infer");
     obs::counter_add("model.infers", 1);
     obs::counter_add("model.infer.accounts", accounts.len() as u64);
-    if accounts.is_empty() {
-        return Vec::new();
-    }
     let threads = model.config.threads();
-    let tensors = lower_graphs(accounts, &model.config, threads);
-    let refs: Vec<&GraphTensors> = tensors.iter().collect();
+    let mut results: Vec<Option<Result<AccountScore, ScoreError>>> = vec![None; accounts.len()];
 
-    // The two branches are independent read-only scorers — run them
-    // concurrently, like the training-side encode does.
-    let (gsg_p, ldg_p) = par::join(
-        threads,
-        || model.gsg.as_ref().map(|b| branch_confidences(&b.scorer, &b.calibrator, &refs, threads)),
-        || model.ldg.as_ref().map(|b| branch_confidences(&b.scorer, &b.calibrator, &refs, threads)),
-    );
-    let columns: Vec<Vec<f64>> = [gsg_p, ldg_p].into_iter().flatten().collect();
-    assert!(!columns.is_empty(), "model has no encoder branch");
-    let rows: Vec<Vec<f64>> =
-        (0..accounts.len()).map(|r| columns.iter().map(|c| c[r]).collect()).collect();
-    model.classifier.predict_proba_all(&rows)
+    // Rung 1: validation + drop quarantine.
+    let mut survivors: Vec<usize> = Vec::with_capacity(accounts.len());
+    for (i, account) in accounts.iter().enumerate() {
+        if faults::drops("account", Some(i)) {
+            results[i] = Some(Err(ScoreError::Dropped));
+        } else if let Err(e) = account.validate() {
+            obs::warn!("model.infer", "account {i} quarantined: {e}");
+            results[i] = Some(Err(ScoreError::Invalid(e)));
+        } else {
+            survivors.push(i);
+        }
+    }
+    let quarantined = accounts.len() - survivors.len();
+    obs::counter_add("infer.quarantined", quarantined as u64);
+
+    // Rung 2: contained lowering — a panic costs one account.
+    let lowered = par::try_par_map_indices(threads, survivors.len(), |k| {
+        lower_one(&accounts[survivors[k]], &model.config)
+    });
+    let mut tensors: Vec<GraphTensors> = Vec::with_capacity(survivors.len());
+    let mut kept: Vec<usize> = Vec::with_capacity(survivors.len());
+    for (k, r) in lowered.into_iter().enumerate() {
+        match r {
+            Ok(t) => {
+                tensors.push(t);
+                kept.push(survivors[k]);
+            }
+            Err(p) => {
+                obs::counter_add("infer.branch_failures", 1);
+                results[survivors[k]] =
+                    Some(Err(ScoreError::Panicked { stage: "lower", message: p.message }));
+            }
+        }
+    }
+
+    // Rungs 3-4: score each present branch with containment.
+    let trained_branches = usize::from(model.config.use_gsg) + usize::from(model.config.use_ldg);
+    let mut outcomes: Vec<BranchOutcome> = Vec::new();
+    if model.config.use_gsg {
+        if let Some(b) = &model.gsg {
+            outcomes.push(score_branch(b, "gsg.encode", &tensors, &kept, threads));
+        } else {
+            obs::warn!("model.infer", "GSG branch unavailable; serving from survivors");
+        }
+    }
+    if model.config.use_ldg {
+        if let Some(b) = &model.ldg {
+            outcomes.push(score_branch(b, "ldg.encode", &tensors, &kept, threads));
+        } else {
+            obs::warn!("model.infer", "LDG branch unavailable; serving from survivors");
+        }
+    }
+    // A branch lost at load degrades every score: the classifier was
+    // trained on feature rows the surviving branches alone cannot rebuild.
+    let branch_lost = outcomes.len() < trained_branches;
+    let branch_degraded = branch_lost || outcomes.iter().any(|o| o.uncalibrated);
+
+    // Rungs 5-6: classify per row inside a panic boundary, falling back to
+    // the branch confidences themselves.
+    for (k, &orig) in kept.iter().enumerate() {
+        let confs: Vec<f64> = outcomes.iter().filter_map(|o| o.conf[k]).collect();
+        if confs.is_empty() {
+            let panicked = outcomes.iter().find_map(|o| o.fail[k].clone());
+            results[orig] = Some(Err(match panicked {
+                Some((stage, message)) => ScoreError::Panicked { stage, message },
+                None => ScoreError::NoUsableBranch,
+            }));
+            continue;
+        }
+        let row_complete = confs.len() == trained_branches;
+        let score = if row_complete {
+            let row = confs.clone();
+            let classifier = &model.classifier;
+            let predicted = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                // `panic@boost.predict:<account>` injection point, keyed by
+                // the account's position in the input batch.
+                faults::maybe_panic("boost.predict", Some(orig));
+                classifier.predict_proba(&row)
+            }));
+            match predicted {
+                Ok(p) if p.is_finite() => Some(p),
+                _ => None,
+            }
+        } else {
+            None
+        };
+        let (score, fell_back) = match score {
+            Some(p) => (p, false),
+            None => (confs.iter().sum::<f64>() / confs.len() as f64, true),
+        };
+        if fell_back && row_complete {
+            obs::counter_add("infer.classifier_fallbacks", 1);
+            obs::warn!("model.infer", "classifier fell back to branch mean for account {orig}");
+        }
+        if !row_complete {
+            obs::counter_add("infer.branch_failures", 1);
+        }
+        let degraded = branch_degraded || fell_back || !row_complete;
+        results[orig] = Some(Ok(AccountScore { score, degraded }));
+    }
+
+    let scores: Vec<Result<AccountScore, ScoreError>> =
+        results.into_iter().map(|r| r.expect("every account resolved")).collect();
+    let degraded = scores.iter().filter(|r| matches!(r, Ok(s) if s.degraded)).count();
+    obs::counter_add("infer.degraded", degraded as u64);
+    if degraded > 0 {
+        obs::warn!("model.infer", "{degraded} of {} accounts served degraded", accounts.len());
+    }
+    InferReport { scores, quarantined, degraded }
 }
 
-/// One branch of the serving path: raw scores → per-batch confidence
-/// scaling (the pipeline's convention — each batch is z-scored by its own
-/// statistics, which is what makes train-fitted calibrators transfer) →
-/// the saved adaptive ensemble.
-fn branch_confidences<S: BranchScorer>(
-    scorer: &S,
-    calibrator: &Option<AdaptiveCalibrator>,
-    graphs: &[&GraphTensors],
+/// One branch's contained serving pass over the surviving accounts.
+struct BranchOutcome {
+    /// Per-survivor confidence; `None` when this branch failed the account.
+    conf: Vec<Option<f64>>,
+    /// Per-survivor contained-panic evidence (stage, message).
+    fail: Vec<Option<(&'static str, String)>>,
+    /// The calibrator was lost or panicked: confidences are uncalibrated.
+    uncalibrated: bool,
+}
+
+/// Rung 3-4 of the serving ladder for one branch: isolated raw scoring,
+/// scaler fitted on the finite survivors, calibration with uncalibrated
+/// fallback. On a clean run this computes exactly what the degradation-free
+/// path did: the scaler sees every raw score and the calibrator maps the
+/// whole batch.
+fn score_branch<S: BranchScorer>(
+    branch: &TrainedBranch<S>,
+    encode_site: &'static str,
+    tensors: &[GraphTensors],
+    kept: &[usize],
     threads: usize,
-) -> Vec<f64> {
-    let raw = scorer.raw_scores_par(graphs, threads);
-    let scaled = ConfidenceScaler::fit(&raw).scale_all(&raw);
-    match calibrator {
-        Some(cal) => cal.calibrate_all(&scaled),
-        None => scaled,
+) -> BranchOutcome {
+    let m = tensors.len();
+    let raw = par::try_par_map_indices(threads, m, |k| {
+        // `nan@gsg.encode:<account>` / `nan@ldg.encode:<account>` injection
+        // point, keyed by input-batch position so the blast radius is one
+        // (account, branch) pair regardless of thread count.
+        faults::poison_f64(encode_site, Some(kept[k]), branch.scorer.raw_score(&tensors[k]))
+    });
+    let mut conf: Vec<Option<f64>> = vec![None; m];
+    let mut fail: Vec<Option<(&'static str, String)>> = vec![None; m];
+    let mut finite_ks: Vec<usize> = Vec::with_capacity(m);
+    let mut finite_raw: Vec<f64> = Vec::with_capacity(m);
+    for (k, r) in raw.into_iter().enumerate() {
+        match r {
+            Ok(v) if v.is_finite() => {
+                finite_ks.push(k);
+                finite_raw.push(v);
+            }
+            Ok(v) => {
+                obs::counter_add("infer.branch_failures", 1);
+                obs::warn!("model.infer", "{encode_site} produced {v} for account {}", kept[k]);
+            }
+            Err(p) => {
+                obs::counter_add("infer.branch_failures", 1);
+                fail[k] = Some((encode_site, p.message));
+            }
+        }
     }
+    if finite_raw.is_empty() {
+        return BranchOutcome { conf, fail, uncalibrated: branch.calibrator_lost };
+    }
+
+    let scaled = ConfidenceScaler::fit(&finite_raw).scale_all(&finite_raw);
+    let calibrated = match (&branch.calibrator, branch.calibrator_lost) {
+        (Some(cal), _) => {
+            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                cal.calibrate_all(&scaled)
+            })) {
+                Ok(p) => Some(p),
+                Err(_) => {
+                    obs::counter_add("infer.calibrator_fallbacks", 1);
+                    obs::warn!(
+                        "model.infer",
+                        "{encode_site} calibrator panicked; serving uncalibrated confidences"
+                    );
+                    None
+                }
+            }
+        }
+        (None, true) => {
+            obs::counter_add("infer.calibrator_fallbacks", 1);
+            None
+        }
+        // Calibration disabled by configuration: scaled confidences are the
+        // branch's normal output, not a degradation.
+        (None, false) => Some(scaled.clone()),
+    };
+    let uncalibrated = calibrated.is_none();
+    for (j, &k) in finite_ks.iter().enumerate() {
+        let v = match &calibrated {
+            Some(c) if c[j].is_finite() => Some(c[j]),
+            // A non-finite calibrated value (or no calibrator) falls back
+            // to the scaled confidence if that is still usable.
+            _ if scaled[j].is_finite() => Some(scaled[j]),
+            _ => None,
+        };
+        match v {
+            Some(p) => conf[k] = Some(p),
+            None => {
+                obs::counter_add("infer.branch_failures", 1);
+                obs::warn!(
+                    "model.infer",
+                    "{encode_site} confidence unusable for account {}",
+                    kept[k]
+                );
+            }
+        }
+    }
+    BranchOutcome { conf, fail, uncalibrated }
 }
 
 // ---------------------------------------------------------------------------
@@ -164,18 +471,48 @@ fn branch_confidences<S: BranchScorer>(
 const SEC_CONFIG: &str = "config";
 const SEC_GSG: &str = "gsg";
 const SEC_LDG: &str = "ldg";
+const SEC_GSG_CAL: &str = "gsg.cal";
+const SEC_LDG_CAL: &str = "ldg.cal";
 const SEC_CLASSIFIER: &str = "classifier";
+
+/// Every section a container may carry, for the save-time fault walk.
+const ALL_SECTIONS: [&str; 6] =
+    [SEC_CONFIG, SEC_GSG, SEC_LDG, SEC_GSG_CAL, SEC_LDG_CAL, SEC_CLASSIFIER];
+
+/// Apply any `corrupt@model.<section>` faults to serialised container
+/// bytes. `corrupt@model.calib` is an alias hitting both calibrator
+/// sections — the CI chaos job's train → corrupt → degraded-predict drill.
+fn apply_save_faults(bytes: &mut [u8]) {
+    if !faults::active() {
+        return;
+    }
+    for name in ALL_SECTIONS {
+        let hit = faults::corrupts(&format!("model.{name}"))
+            || (name.ends_with(".cal") && faults::corrupts("model.calib"));
+        if hit {
+            model_io::corrupt_section(bytes, name);
+        }
+    }
+}
 
 impl TrainedModel {
     /// Serialise into a `DBGM` container (in memory).
     #[must_use]
     pub fn to_bytes(&self) -> Vec<u8> {
-        self.writer().to_bytes()
+        let mut bytes = self.writer().to_bytes();
+        apply_save_faults(&mut bytes);
+        bytes
     }
 
     /// Save to a file.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), ModelIoError> {
         let _span = obs::span("model.save");
+        if faults::active() {
+            // Route through the byte path so `corrupt@model.*` faults can
+            // damage the serialised container before it hits disk.
+            std::fs::write(path, self.to_bytes())?;
+            return Ok(());
+        }
         self.writer().write_to(path)
     }
 
@@ -184,15 +521,28 @@ impl TrainedModel {
         let mut s = SectionWriter::new();
         write_config(&self.config, &mut s);
         w.push(SEC_CONFIG, s);
+        // Calibrators live in their own sections (format version 2) so a
+        // damaged ensemble can be detected — and degraded around — without
+        // sacrificing the encoder weights stored beside it.
         if let Some(b) = &self.gsg {
             let mut s = SectionWriter::new();
-            write_branch(&b.scorer.store, &b.calibrator, &b.scorer.history, &mut s);
+            write_branch(&b.scorer.store, b.calibrator.is_some(), &b.scorer.history, &mut s);
             w.push(SEC_GSG, s);
+            if let Some(cal) = &b.calibrator {
+                let mut s = SectionWriter::new();
+                cal.write(&mut s);
+                w.push(SEC_GSG_CAL, s);
+            }
         }
         if let Some(b) = &self.ldg {
             let mut s = SectionWriter::new();
-            write_branch(&b.scorer.store, &b.calibrator, &b.scorer.history, &mut s);
+            write_branch(&b.scorer.store, b.calibrator.is_some(), &b.scorer.history, &mut s);
             w.push(SEC_LDG, s);
+            if let Some(cal) = &b.calibrator {
+                let mut s = SectionWriter::new();
+                cal.write(&mut s);
+                w.push(SEC_LDG_CAL, s);
+            }
         }
         let mut s = SectionWriter::new();
         self.classifier.write(&mut s);
@@ -211,50 +561,150 @@ impl TrainedModel {
     /// [`TrainedModel::load`] from an in-memory container.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, ModelIoError> {
         let r = ModelReader::from_bytes(bytes)?;
+        Self::from_reader(&r, true).map(|(model, _)| model)
+    }
+
+    /// Load a model file, salvaging what single-section damage allows.
+    ///
+    /// The config and classifier sections (and at least one enabled branch)
+    /// are load-bearing: if any of them is unusable this is still a typed
+    /// error. A damaged calibrator section costs only calibration
+    /// (`calibrator_lost`, served uncalibrated); a damaged branch section
+    /// costs that branch (served from the survivor, `degraded: true`).
+    /// Everything given up on is named in the returned [`DegradedLoad`] and
+    /// counted under `model.load.lost_sections`.
+    pub fn load_degraded(path: impl AsRef<Path>) -> Result<(Self, DegradedLoad), ModelIoError> {
+        let _span = obs::span("model.load");
+        Self::from_bytes_degraded(&std::fs::read(path)?)
+    }
+
+    /// [`TrainedModel::load_degraded`] from an in-memory container.
+    pub fn from_bytes_degraded(bytes: &[u8]) -> Result<(Self, DegradedLoad), ModelIoError> {
+        let (r, damaged) = ModelReader::from_bytes_lenient(bytes)?;
+        for d in &damaged {
+            obs::warn!(
+                "model.load",
+                "section '{}' failed its checksum (stored {:08x}, computed {:08x})",
+                d.name,
+                d.stored,
+                d.computed
+            );
+        }
+        let (model, degraded) = Self::from_reader(&r, false)?;
+        obs::counter_add("model.load.lost_sections", degraded.lost_sections.len() as u64);
+        Ok((model, degraded))
+    }
+
+    /// Shared reconstruction. `strict` propagates every section failure;
+    /// lenient mode records recoverable losses in the returned
+    /// [`DegradedLoad`] instead. (In strict mode the reader has already
+    /// rejected checksum mismatches wholesale, so a "missing" section here
+    /// covers both absent and damaged.)
+    fn from_reader(r: &ModelReader, strict: bool) -> Result<(Self, DegradedLoad), ModelIoError> {
         let mut s = r.section(SEC_CONFIG)?;
         let config = read_config(&mut s)?;
         s.expect_end(SEC_CONFIG)?;
 
-        let gsg = if config.use_gsg {
-            let mut s = r.section(SEC_GSG)?;
-            let (store, calibrator, history) = read_branch(&mut s)?;
-            s.expect_end(SEC_GSG)?;
-            let scorer = rebuild_gsg(&config, &store, history)?;
-            Some(TrainedBranch { scorer, calibrator })
-        } else {
-            None
+        let mut lost: Vec<String> = Vec::new();
+        let load_branch = |enabled: bool,
+                           sec: &str,
+                           cal_sec: &str,
+                           lost: &mut Vec<String>|
+         -> Result<Option<BranchParts>, ModelIoError> {
+            if !enabled {
+                return Ok(None);
+            }
+            let branch = (|| -> Result<(ParamStore, bool, Vec<EpochStats>), ModelIoError> {
+                let mut s = r.section(sec)?;
+                let parts = read_branch(&mut s)?;
+                s.expect_end(sec)?;
+                Ok(parts)
+            })();
+            let (store, has_calibrator, history) = match branch {
+                Ok(parts) => parts,
+                Err(e) if strict => return Err(e),
+                Err(_) => {
+                    lost.push(sec.to_string());
+                    return Ok(None);
+                }
+            };
+            let (calibrator, calibrator_lost) = if !has_calibrator {
+                // Trained without calibration: nothing to recover.
+                (None, false)
+            } else {
+                let read = (|| -> Result<AdaptiveCalibrator, ModelIoError> {
+                    let mut s = r.section(cal_sec)?;
+                    let cal = AdaptiveCalibrator::read(&mut s)?;
+                    s.expect_end(cal_sec)?;
+                    Ok(cal)
+                })();
+                match read {
+                    Ok(cal) => (Some(cal), false),
+                    // Strictly loading a file whose calibrator section is
+                    // missing or malformed fails like any other damage.
+                    Err(e) if strict => return Err(e),
+                    Err(_) => {
+                        lost.push(cal_sec.to_string());
+                        (None, true)
+                    }
+                }
+            };
+            Ok(Some((store, history, calibrator, calibrator_lost)))
         };
-        let ldg = if config.use_ldg {
-            let mut s = r.section(SEC_LDG)?;
-            let (store, calibrator, history) = read_branch(&mut s)?;
-            s.expect_end(SEC_LDG)?;
-            let scorer = rebuild_ldg(&config, &store, history)?;
-            Some(TrainedBranch { scorer, calibrator })
-        } else {
-            None
+
+        let gsg_parts = load_branch(config.use_gsg, SEC_GSG, SEC_GSG_CAL, &mut lost)?;
+        let ldg_parts = load_branch(config.use_ldg, SEC_LDG, SEC_LDG_CAL, &mut lost)?;
+
+        let gsg = match gsg_parts {
+            Some((store, history, calibrator, calibrator_lost)) => {
+                match rebuild_gsg(&config, &store, history) {
+                    Ok(scorer) => Some(TrainedBranch { scorer, calibrator, calibrator_lost }),
+                    Err(e) if strict => return Err(e),
+                    Err(_) => {
+                        lost.push(SEC_GSG.to_string());
+                        None
+                    }
+                }
+            }
+            None => None,
         };
+        let ldg = match ldg_parts {
+            Some((store, history, calibrator, calibrator_lost)) => {
+                match rebuild_ldg(&config, &store, history) {
+                    Ok(scorer) => Some(TrainedBranch { scorer, calibrator, calibrator_lost }),
+                    Err(e) if strict => return Err(e),
+                    Err(_) => {
+                        lost.push(SEC_LDG.to_string());
+                        None
+                    }
+                }
+            }
+            None => None,
+        };
+        if (config.use_gsg || config.use_ldg) && gsg.is_none() && ldg.is_none() {
+            return Err(ModelIoError::Corrupt {
+                context: "every encoder branch is unusable".to_string(),
+            });
+        }
 
         let mut s = r.section(SEC_CLASSIFIER)?;
         let classifier = Gbdt::read(&mut s)?;
         s.expect_end(SEC_CLASSIFIER)?;
-        Ok(Self { config, gsg, ldg, classifier })
+        Ok((Self { config, gsg, ldg, classifier }, DegradedLoad { lost_sections: lost }))
     }
 }
 
 fn write_branch(
     store: &ParamStore,
-    calibrator: &Option<AdaptiveCalibrator>,
+    has_calibrator: bool,
     history: &[EpochStats],
     s: &mut SectionWriter,
 ) {
     store.write_section(s);
-    match calibrator {
-        Some(cal) => {
-            s.put_bool(true);
-            cal.write(s);
-        }
-        None => s.put_bool(false),
-    }
+    // Records whether a calibrator section accompanies this branch, so a
+    // lenient load can tell "trained without calibration" apart from
+    // "calibrator section dropped as damaged".
+    s.put_bool(has_calibrator);
     s.put_usize(history.len());
     for e in history {
         s.put_f32(e.loss);
@@ -262,11 +712,11 @@ fn write_branch(
     }
 }
 
-type BranchParts = (ParamStore, Option<AdaptiveCalibrator>, Vec<EpochStats>);
+type BranchParts = (ParamStore, Vec<EpochStats>, Option<AdaptiveCalibrator>, bool);
 
-fn read_branch(s: &mut SectionReader) -> Result<BranchParts, ModelIoError> {
+fn read_branch(s: &mut SectionReader) -> Result<(ParamStore, bool, Vec<EpochStats>), ModelIoError> {
     let store = ParamStore::read_section(s)?;
-    let calibrator = if s.get_bool()? { Some(AdaptiveCalibrator::read(s)?) } else { None };
+    let has_calibrator = s.get_bool()?;
     let n = s.get_usize()?;
     if n.saturating_mul(8) > s.remaining() {
         return Err(ModelIoError::Truncated { context: "epoch history" });
@@ -275,7 +725,7 @@ fn read_branch(s: &mut SectionReader) -> Result<BranchParts, ModelIoError> {
     for _ in 0..n {
         history.push(EpochStats { loss: s.get_f32()?, contrastive: s.get_f32()? });
     }
-    Ok((store, calibrator, history))
+    Ok((store, has_calibrator, history))
 }
 
 /// Rebuild an encoder from saved weights: construct a fresh architecture

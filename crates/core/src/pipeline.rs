@@ -296,7 +296,14 @@ pub(crate) fn lower_graphs(
     threads: usize,
 ) -> Vec<GraphTensors> {
     let _span = obs::span("pipeline.encode.lower");
-    par::par_map(threads, graphs, |g| match config.features {
+    par::par_map(threads, graphs, |g| lower_one(g, config))
+}
+
+/// Lower a single subgraph — the per-graph body of [`lower_graphs`], also
+/// called directly by the quarantining serving path so a lowering panic can
+/// be contained to the one account that caused it.
+pub(crate) fn lower_one(g: &eth_graph::Subgraph, config: &Dbg4EthConfig) -> GraphTensors {
+    match config.features {
         FeatureMode::LogAbsolute => GraphTensors::from_subgraph(g, config.t_slices),
         FeatureMode::ZScored => {
             let mut x = features::log_compress(&features::raw_features(g));
@@ -304,7 +311,7 @@ pub(crate) fn lower_graphs(
             GraphTensors::new(g, x, config.t_slices)
         }
         FeatureMode::None => GraphTensors::without_node_features(g, config.t_slices),
-    })
+    }
 }
 
 /// Everything [`encode`] computes plus the trained full-split encoders,

@@ -20,6 +20,6 @@ mod tx;
 mod txgraph;
 
 pub use sampling::{sample_subgraph, SamplerConfig};
-pub use subgraph::{LocalTx, MergedEdge, Subgraph, TimeSlice};
+pub use subgraph::{LocalTx, MergedEdge, Subgraph, SubgraphError, TimeSlice};
 pub use tx::{filter_submitted, AccountKind, TxRecord};
 pub use txgraph::{PairStats, TxGraph};

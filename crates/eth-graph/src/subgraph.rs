@@ -11,6 +11,59 @@
 
 use crate::tx::AccountKind;
 
+/// A typed subgraph-validation failure. One variant per invariant the
+/// scoring path relies on; `infer`'s quarantine reuses these verbatim so a
+/// bad account's `ScoreError` names the exact malformed transaction.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SubgraphError {
+    /// No transactions at all — neither view has a single edge.
+    NoEdges,
+    /// `nodes` and `kinds` disagree in length.
+    KindsMismatch { nodes: usize, kinds: usize },
+    /// A transaction endpoint is not a local node index.
+    EdgeOutOfRange { tx: usize, endpoint: usize, n: usize },
+    /// A self-loop `src == dst` (never produced by sampling; always data
+    /// corruption).
+    SelfLoop { tx: usize, node: usize },
+    /// Two byte-identical transactions (same endpoints, value, timestamp,
+    /// fee and call flag) — a double-ingested record.
+    DuplicateTx { tx: usize, first: usize },
+    /// A NaN or infinite transaction value or fee.
+    NonFinite { tx: usize, field: &'static str, value: f64 },
+    /// Timestamps decrease — sampling always emits txs sorted by
+    /// `(timestamp, src, dst)`, so disorder means the subgraph was not
+    /// produced (or was mangled) by the pipeline.
+    UnsortedTimestamps { tx: usize },
+}
+
+impl std::fmt::Display for SubgraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubgraphError::NoEdges => write!(f, "subgraph has no transactions"),
+            SubgraphError::KindsMismatch { nodes, kinds } => {
+                write!(f, "{nodes} nodes but {kinds} account kinds")
+            }
+            SubgraphError::EdgeOutOfRange { tx, endpoint, n } => {
+                write!(f, "tx {tx} references node {endpoint} outside 0..{n}")
+            }
+            SubgraphError::SelfLoop { tx, node } => {
+                write!(f, "tx {tx} is a self-loop on node {node}")
+            }
+            SubgraphError::DuplicateTx { tx, first } => {
+                write!(f, "tx {tx} duplicates tx {first}")
+            }
+            SubgraphError::NonFinite { tx, field, value } => {
+                write!(f, "tx {tx} has non-finite {field} ({value})")
+            }
+            SubgraphError::UnsortedTimestamps { tx } => {
+                write!(f, "tx {tx} breaks the non-decreasing timestamp order")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SubgraphError {}
+
 /// A transaction re-indexed into subgraph-local node ids.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct LocalTx {
@@ -60,6 +113,59 @@ impl Subgraph {
 
     /// Local index of the centre account.
     pub const CENTER: usize = 0;
+
+    /// Check every invariant the scoring path relies on, returning the
+    /// first violation in transaction order (deterministic, so the same
+    /// bad subgraph always quarantines with the same error).
+    ///
+    /// [`sample_subgraph`](crate::sample_subgraph) produces subgraphs that
+    /// satisfy all of these by construction — non-empty whenever the
+    /// centre has any activity, finite simulated values, txs sorted by
+    /// `(timestamp, src, dst)` — so validation only rejects inputs that
+    /// did not come intact out of the sampler.
+    pub fn validate(&self) -> Result<(), SubgraphError> {
+        if self.kinds.len() != self.nodes.len() {
+            return Err(SubgraphError::KindsMismatch {
+                nodes: self.nodes.len(),
+                kinds: self.kinds.len(),
+            });
+        }
+        if self.txs.is_empty() {
+            return Err(SubgraphError::NoEdges);
+        }
+        let n = self.n();
+        let mut prev_ts = 0u64;
+        let mut seen =
+            std::collections::HashMap::<(usize, usize, u64, u64, u64, bool), usize>::new();
+        for (i, t) in self.txs.iter().enumerate() {
+            for endpoint in [t.src, t.dst] {
+                if endpoint >= n {
+                    return Err(SubgraphError::EdgeOutOfRange { tx: i, endpoint, n });
+                }
+            }
+            if t.src == t.dst {
+                return Err(SubgraphError::SelfLoop { tx: i, node: t.src });
+            }
+            for (field, value) in [("value", t.value), ("fee", t.fee)] {
+                if !value.is_finite() {
+                    return Err(SubgraphError::NonFinite { tx: i, field, value });
+                }
+            }
+            if t.timestamp < prev_ts {
+                return Err(SubgraphError::UnsortedTimestamps { tx: i });
+            }
+            prev_ts = t.timestamp;
+            // Bit-exact duplicate detection: key on the raw f64 bits so NaN
+            // never sneaks past (it is already rejected above anyway).
+            let key =
+                (t.src, t.dst, t.timestamp, t.value.to_bits(), t.fee.to_bits(), t.contract_call);
+            if let Some(&first) = seen.get(&key) {
+                return Err(SubgraphError::DuplicateTx { tx: i, first });
+            }
+            seen.insert(key, i);
+        }
+        Ok(())
+    }
 
     /// Merge transactions per ordered pair into GSG edges (Section III-B3).
     /// Edges are returned sorted by `(src, dst)` for determinism.
@@ -211,6 +317,61 @@ mod tests {
                 .iter()
                 .any(|&(s, d, w)| s == e.src && d == e.dst && (w - e.total_value).abs() < 1e-12));
         }
+    }
+
+    #[test]
+    fn validate_accepts_well_formed_subgraphs() {
+        assert_eq!(sample().validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_each_invariant_violation() {
+        let mut g = sample();
+        g.txs.clear();
+        assert_eq!(g.validate(), Err(SubgraphError::NoEdges));
+
+        let mut g = sample();
+        g.kinds.pop();
+        assert_eq!(g.validate(), Err(SubgraphError::KindsMismatch { nodes: 3, kinds: 2 }));
+
+        let mut g = sample();
+        g.txs[1].dst = 9;
+        assert_eq!(g.validate(), Err(SubgraphError::EdgeOutOfRange { tx: 1, endpoint: 9, n: 3 }));
+
+        let mut g = sample();
+        g.txs[2].dst = g.txs[2].src;
+        assert_eq!(g.validate(), Err(SubgraphError::SelfLoop { tx: 2, node: 1 }));
+
+        let mut g = sample();
+        g.txs[3] = g.txs[2];
+        assert_eq!(g.validate(), Err(SubgraphError::DuplicateTx { tx: 3, first: 2 }));
+
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let mut g = sample();
+            g.txs[0].value = bad;
+            assert!(matches!(
+                g.validate(),
+                Err(SubgraphError::NonFinite { tx: 0, field: "value", .. })
+            ));
+            let mut g = sample();
+            g.txs[1].fee = bad;
+            assert!(matches!(
+                g.validate(),
+                Err(SubgraphError::NonFinite { tx: 1, field: "fee", .. })
+            ));
+        }
+
+        let mut g = sample();
+        g.txs[2].timestamp = 10; // earlier than tx 1's 50
+        assert_eq!(g.validate(), Err(SubgraphError::UnsortedTimestamps { tx: 2 }));
+    }
+
+    #[test]
+    fn validate_reports_first_violation_in_tx_order() {
+        let mut g = sample();
+        g.txs[1].value = f64::NAN; // tx 1
+        g.txs[2].dst = g.txs[2].src; // tx 2 — later, must not win
+        assert!(matches!(g.validate(), Err(SubgraphError::NonFinite { tx: 1, .. })));
     }
 
     #[test]

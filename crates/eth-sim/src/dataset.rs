@@ -121,6 +121,18 @@ pub fn multiclass_names() -> Vec<&'static str> {
     names
 }
 
+/// `nan@sim.tx:<graph_i>` injection point: poison the first transaction of
+/// the `graph_i`-th sampled subgraph, simulating a corrupt upstream record
+/// arriving from ingestion. Inert (one atomic load) without a fault plan.
+fn inject_sampled(g: &mut Subgraph, graph_i: usize) {
+    if !faults::active() {
+        return;
+    }
+    if let Some(tx) = g.txs.first_mut() {
+        tx.value = faults::poison_f64("sim.tx", Some(graph_i), tx.value);
+    }
+}
+
 /// Assemble a single 7-way multiclass dataset: every centre account of the
 /// world becomes one subgraph whose label is its class index.
 pub fn multiclass_graphs(world: &World, sampler: SamplerConfig) -> Vec<Subgraph> {
@@ -128,8 +140,11 @@ pub fn multiclass_graphs(world: &World, sampler: SamplerConfig) -> Vec<Subgraph>
     world
         .centers
         .iter()
-        .map(|&(center, class)| {
-            sample_subgraph(&graph, center, sampler, Some(multiclass_label(class)))
+        .enumerate()
+        .map(|(i, &(center, class))| {
+            let mut g = sample_subgraph(&graph, center, sampler, Some(multiclass_label(class)));
+            inject_sampled(&mut g, i);
+            g
         })
         .collect()
 }
@@ -157,13 +172,22 @@ impl Benchmark {
         let normals = world.centers_of(AccountClass::Normal);
         let mut rng = StdRng::seed_from_u64(seed ^ 0xD1CE);
 
+        // Global index of the next sampled subgraph, across every dataset
+        // in generation order — the logical index `nan@sim.tx:<i>` pins to.
+        let mut graph_i = 0usize;
+        let mut sample = |center: usize, label: usize| {
+            let mut g = sample_subgraph(&graph, center, sampler, Some(label));
+            inject_sampled(&mut g, graph_i);
+            graph_i += 1;
+            g
+        };
         let datasets: Vec<GraphDataset> = AccountClass::LABELLED
             .iter()
             .filter(|&&c| scale.of(c) > 0)
             .map(|&class| {
                 let mut graphs = Vec::new();
                 for center in world.centers_of(class) {
-                    graphs.push(sample_subgraph(&graph, center, sampler, Some(POSITIVE)));
+                    graphs.push(sample(center, POSITIVE));
                 }
                 // One negative per positive. Negatives mix ordinary accounts
                 // with *other* labelled categories (hard negatives): asking
@@ -191,7 +215,7 @@ impl Benchmark {
                     }
                 }
                 for center in pool {
-                    graphs.push(sample_subgraph(&graph, center, sampler, Some(NEGATIVE)));
+                    graphs.push(sample(center, NEGATIVE));
                 }
                 GraphDataset { class, graphs }
             })
@@ -244,6 +268,19 @@ mod tests {
             let s = d.stats();
             assert!(s.avg_nodes > 5.0, "{}: avg nodes {}", d.class.name(), s.avg_nodes);
             assert!(s.avg_edges > 5.0, "{}: avg edges {}", d.class.name(), s.avg_edges);
+        }
+    }
+
+    #[test]
+    fn every_sampled_subgraph_validates() {
+        // infer's quarantine runs Subgraph::validate on every account; the
+        // sampler must never produce a subgraph that fails it, or clean
+        // batches would lose accounts.
+        let b = tiny();
+        for d in &b.datasets {
+            for (i, g) in d.graphs.iter().enumerate() {
+                assert_eq!(g.validate(), Ok(()), "{} graph {i}", d.class.name());
+            }
         }
     }
 

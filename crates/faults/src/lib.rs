@@ -1,0 +1,443 @@
+//! # faults — deterministic fault injection for the DBG4ETH pipeline
+//!
+//! A fault *plan* is a comma-separated list of `kind@site[:index]` specs,
+//! parsed once from the `DBG4ETH_FAULTS` environment variable (or installed
+//! programmatically with [`set_plan`] from tests and harnesses):
+//!
+//! ```text
+//! DBG4ETH_FAULTS=nan@gsg.encode:3,panic@par.task:7,corrupt@model.gsg.cal,drop@account:12
+//! ```
+//!
+//! Injection points across the workspace (`par`, `eth-sim`, `features`,
+//! `gnn`, `calib`, `boost`, `dbg4eth`) ask the plan whether a fault
+//! [`fires`] at their *site* (a stable dotted name) and *logical index*
+//! (task index, account index, …). Because matching is keyed on logical
+//! indices — never on wall-clock order or which worker thread happened to
+//! run a task — every failure mode is bit-for-bit reproducible at any
+//! `DBG4ETH_THREADS`, which is what lets the chaos suite assert that
+//! degradation touches exactly the targeted accounts.
+//!
+//! With no plan installed every probe is a single relaxed atomic load and
+//! injection is provably inert: the helpers return their inputs unchanged.
+//! Every fault that actually fires is recorded as an `obs` warning event
+//! plus `faults.fired` / `faults.fired.<site>` counters, so injected chaos
+//! is visible in the JSON run-report next to the degradations it caused.
+//!
+//! The four kinds and the degradation they exercise (see DESIGN.md,
+//! "Failure modes & degradation"):
+//!
+//! | kind      | helper                      | typical site                |
+//! |-----------|-----------------------------|-----------------------------|
+//! | `nan`     | [`poison_f64`]              | `gsg.encode:3`, `sim.tx:0`  |
+//! | `panic`   | [`maybe_panic`]             | `par.task:7`, `calib.apply` |
+//! | `corrupt` | [`corrupts`] (byte flips)   | `model.gsg.cal`             |
+//! | `drop`    | [`drops`]                   | `account:12`                |
+
+use std::fmt;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Environment variable holding the fault plan for this process.
+pub const FAULTS_ENV: &str = "DBG4ETH_FAULTS";
+
+/// The four injectable failure modes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Replace a produced value with `f64::NAN` ([`poison_f64`]).
+    Nan,
+    /// Panic at the injection point ([`maybe_panic`]).
+    Panic,
+    /// Flip bytes in a serialised artefact ([`corrupts`]).
+    Corrupt,
+    /// Drop the indexed item before it is processed ([`drops`]).
+    Drop,
+}
+
+impl FaultKind {
+    pub const ALL: [FaultKind; 4] =
+        [FaultKind::Nan, FaultKind::Panic, FaultKind::Corrupt, FaultKind::Drop];
+
+    /// The spec keyword (`nan`, `panic`, `corrupt`, `drop`).
+    #[must_use]
+    pub fn keyword(self) -> &'static str {
+        match self {
+            FaultKind::Nan => "nan",
+            FaultKind::Panic => "panic",
+            FaultKind::Corrupt => "corrupt",
+            FaultKind::Drop => "drop",
+        }
+    }
+
+    fn from_keyword(word: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|k| k.keyword() == word)
+    }
+}
+
+/// One parsed `kind@site[:index]` spec.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Fault {
+    pub kind: FaultKind,
+    /// Dotted injection-site name, e.g. `gsg.encode` or `model.gsg.cal`.
+    pub site: String,
+    /// Logical index the fault is pinned to; `None` matches every index.
+    pub index: Option<usize>,
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}", self.kind.keyword(), self.site)?;
+        match self.index {
+            Some(i) => write!(f, ":{i}"),
+            None => Ok(()),
+        }
+    }
+}
+
+/// A typed fault-spec parse failure. Parsing never panics: a malformed
+/// `DBG4ETH_FAULTS` surfaces as one loud warning and an empty plan, so a
+/// typo in a chaos run can never silently become a clean run *crash*.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FaultSpecError {
+    /// A spec with no `@` separator.
+    MissingSite { spec: String },
+    /// An unknown fault keyword before the `@`.
+    UnknownKind { kind: String },
+    /// An empty or whitespace site name.
+    EmptySite { spec: String },
+    /// A `:index` suffix that is not a non-negative integer.
+    BadIndex { spec: String, index: String },
+}
+
+impl fmt::Display for FaultSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultSpecError::MissingSite { spec } => {
+                write!(f, "fault spec '{spec}' has no '@site' part (expected kind@site[:index])")
+            }
+            FaultSpecError::UnknownKind { kind } => {
+                write!(f, "unknown fault kind '{kind}' (expected nan, panic, corrupt or drop)")
+            }
+            FaultSpecError::EmptySite { spec } => {
+                write!(f, "fault spec '{spec}' has an empty site name")
+            }
+            FaultSpecError::BadIndex { spec, index } => {
+                write!(f, "fault spec '{spec}' has a non-integer index '{index}'")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultSpecError {}
+
+/// A parsed, immutable fault plan.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// Parse a comma-separated `kind@site[:index]` list. Whitespace around
+    /// specs and empty items are ignored, so trailing commas are harmless.
+    pub fn parse(spec: &str) -> Result<Self, FaultSpecError> {
+        let mut faults = Vec::new();
+        for item in spec.split(',') {
+            let item = item.trim();
+            if item.is_empty() {
+                continue;
+            }
+            let (kind, rest) = item
+                .split_once('@')
+                .ok_or_else(|| FaultSpecError::MissingSite { spec: item.to_string() })?;
+            let kind = FaultKind::from_keyword(kind.trim())
+                .ok_or_else(|| FaultSpecError::UnknownKind { kind: kind.trim().to_string() })?;
+            let (site, index) = match rest.split_once(':') {
+                Some((site, idx)) => {
+                    let parsed =
+                        idx.trim().parse::<usize>().map_err(|_| FaultSpecError::BadIndex {
+                            spec: item.to_string(),
+                            index: idx.trim().to_string(),
+                        })?;
+                    (site.trim(), Some(parsed))
+                }
+                None => (rest.trim(), None),
+            };
+            if site.is_empty() {
+                return Err(FaultSpecError::EmptySite { spec: item.to_string() });
+            }
+            faults.push(Fault { kind, site: site.to_string(), index });
+        }
+        Ok(Self { faults })
+    }
+
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// The parsed specs, in spec order.
+    #[must_use]
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// Does this plan contain a fault matching `(kind, site, index)`?
+    /// A spec without an index matches every index probed at its site.
+    #[must_use]
+    pub fn matches(&self, kind: FaultKind, site: &str, index: Option<usize>) -> bool {
+        self.faults
+            .iter()
+            .any(|f| f.kind == kind && f.site == site && (f.index.is_none() || f.index == index))
+    }
+}
+
+// --- the installed plan -----------------------------------------------------
+
+const STATE_UNSET: u8 = u8::MAX;
+const STATE_OFF: u8 = 0;
+const STATE_ON: u8 = 1;
+
+/// One relaxed load on the hot path; `STATE_UNSET` until the env var has
+/// been consulted once.
+static ACTIVE: AtomicU8 = AtomicU8::new(STATE_UNSET);
+
+fn plan_slot() -> &'static Mutex<FaultPlan> {
+    static PLAN: OnceLock<Mutex<FaultPlan>> = OnceLock::new();
+    PLAN.get_or_init(|| Mutex::new(FaultPlan::default()))
+}
+
+fn init_from_env() -> bool {
+    let plan = match std::env::var(FAULTS_ENV) {
+        Ok(spec) if !spec.trim().is_empty() => match FaultPlan::parse(&spec) {
+            Ok(plan) => plan,
+            Err(e) => {
+                obs::warn!("faults", "ignoring malformed {FAULTS_ENV}='{spec}': {e}");
+                FaultPlan::default()
+            }
+        },
+        _ => FaultPlan::default(),
+    };
+    let on = !plan.is_empty();
+    *plan_slot().lock().unwrap_or_else(std::sync::PoisonError::into_inner) = plan;
+    ACTIVE.store(if on { STATE_ON } else { STATE_OFF }, Ordering::Release);
+    on
+}
+
+/// Whether any fault plan is installed. The no-plan fast path every
+/// injection point pays: one relaxed atomic load.
+#[inline]
+#[must_use]
+pub fn active() -> bool {
+    match ACTIVE.load(Ordering::Relaxed) {
+        STATE_OFF => false,
+        STATE_UNSET => init_from_env(),
+        _ => true,
+    }
+}
+
+/// Install (or with `None` clear) the process-wide fault plan, overriding
+/// `DBG4ETH_FAULTS`. Tests and harnesses drive the chaos matrix through
+/// this; clearing restores the fault-free fast path.
+pub fn set_plan(plan: Option<FaultPlan>) {
+    let plan = plan.unwrap_or_default();
+    let on = !plan.is_empty();
+    *plan_slot().lock().unwrap_or_else(std::sync::PoisonError::into_inner) = plan;
+    ACTIVE.store(if on { STATE_ON } else { STATE_OFF }, Ordering::Release);
+}
+
+/// A copy of the currently installed plan (empty when faults are inert).
+#[must_use]
+pub fn plan() -> FaultPlan {
+    if !active() {
+        return FaultPlan::default();
+    }
+    plan_slot().lock().unwrap_or_else(std::sync::PoisonError::into_inner).clone()
+}
+
+fn record_fired(kind: FaultKind, site: &str, index: Option<usize>) {
+    obs::counter_add("faults.fired", 1);
+    // Per-site counters let the run-report attribute degradation to the
+    // exact injection point that caused it.
+    obs::counter_add(&format!("faults.fired.{site}"), 1);
+    match index {
+        Some(i) => obs::warn!("faults", "injected {}@{site}:{i}", kind.keyword()),
+        None => obs::warn!("faults", "injected {}@{site}", kind.keyword()),
+    }
+}
+
+/// Does a fault of `kind` fire at `(site, index)` under the installed plan?
+/// Fired faults are counted and logged; with no plan this is one atomic
+/// load and `false`.
+#[must_use]
+pub fn fires(kind: FaultKind, site: &str, index: Option<usize>) -> bool {
+    if !active() {
+        return false;
+    }
+    let hit = plan_slot()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .matches(kind, site, index);
+    if hit {
+        record_fired(kind, site, index);
+    }
+    hit
+}
+
+/// Pass `value` through, replaced by `f64::NAN` when a `nan` fault fires.
+#[inline]
+#[must_use]
+pub fn poison_f64(site: &str, index: Option<usize>, value: f64) -> f64 {
+    if fires(FaultKind::Nan, site, index) {
+        f64::NAN
+    } else {
+        value
+    }
+}
+
+/// [`poison_f64`] for `f32` values (node features travel as `f32`).
+#[inline]
+#[must_use]
+pub fn poison_f32(site: &str, index: Option<usize>, value: f32) -> f32 {
+    if fires(FaultKind::Nan, site, index) {
+        f32::NAN
+    } else {
+        value
+    }
+}
+
+/// Panic with a recognisable `injected fault:` message when a `panic`
+/// fault fires. Callers that isolate panics (`par::try_par_map_indices`)
+/// surface the message in their typed `TaskPanicked` errors.
+pub fn maybe_panic(site: &str, index: Option<usize>) {
+    if fires(FaultKind::Panic, site, index) {
+        match index {
+            Some(i) => panic!("injected fault: panic@{site}:{i}"),
+            None => panic!("injected fault: panic@{site}"),
+        }
+    }
+}
+
+/// Should the item at `(site, index)` be dropped before processing?
+#[inline]
+#[must_use]
+pub fn drops(site: &str, index: Option<usize>) -> bool {
+    fires(FaultKind::Drop, site, index)
+}
+
+/// Does a `corrupt` fault target `site`? The caller owns the byte flipping
+/// (e.g. `model_io::corrupt_section`), since only it knows the artefact's
+/// framing.
+#[inline]
+#[must_use]
+pub fn corrupts(site: &str) -> bool {
+    fires(FaultKind::Corrupt, site, None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The plan is process-global and cargo runs tests concurrently, so
+    /// every test that installs or asserts on the live plan serializes
+    /// through this lock. Pure parsing tests don't need it.
+    fn global_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    #[test]
+    fn parses_the_readme_example() {
+        let plan = FaultPlan::parse(
+            "nan@gsg.encode:3,panic@par.task:7,corrupt@model.gsg.cal,drop@account:12",
+        )
+        .unwrap();
+        assert_eq!(plan.faults().len(), 4);
+        assert!(plan.matches(FaultKind::Nan, "gsg.encode", Some(3)));
+        assert!(!plan.matches(FaultKind::Nan, "gsg.encode", Some(4)));
+        assert!(plan.matches(FaultKind::Panic, "par.task", Some(7)));
+        assert!(plan.matches(FaultKind::Corrupt, "model.gsg.cal", None));
+        assert!(plan.matches(FaultKind::Drop, "account", Some(12)));
+    }
+
+    #[test]
+    fn indexless_spec_matches_every_index() {
+        let plan = FaultPlan::parse("nan@calib.scale").unwrap();
+        assert!(plan.matches(FaultKind::Nan, "calib.scale", Some(0)));
+        assert!(plan.matches(FaultKind::Nan, "calib.scale", Some(999)));
+        assert!(plan.matches(FaultKind::Nan, "calib.scale", None));
+        // Indexed specs do not match indexless probes.
+        let plan = FaultPlan::parse("nan@calib.scale:2").unwrap();
+        assert!(!plan.matches(FaultKind::Nan, "calib.scale", None));
+    }
+
+    #[test]
+    fn whitespace_and_trailing_commas_are_tolerated() {
+        let plan = FaultPlan::parse(" drop@account:1 , panic@par.task ,, ").unwrap();
+        assert_eq!(plan.faults().len(), 2);
+    }
+
+    #[test]
+    fn empty_spec_is_an_empty_plan() {
+        assert!(FaultPlan::parse("").unwrap().is_empty());
+        assert!(FaultPlan::parse("  ").unwrap().is_empty());
+    }
+
+    #[test]
+    fn malformed_specs_are_typed_errors() {
+        assert!(matches!(
+            FaultPlan::parse("nan-gsg.encode"),
+            Err(FaultSpecError::MissingSite { .. })
+        ));
+        assert!(matches!(
+            FaultPlan::parse("explode@par.task"),
+            Err(FaultSpecError::UnknownKind { .. })
+        ));
+        assert!(matches!(FaultPlan::parse("nan@"), Err(FaultSpecError::EmptySite { .. })));
+        assert!(matches!(FaultPlan::parse("nan@x:alpha"), Err(FaultSpecError::BadIndex { .. })));
+        // Errors render.
+        let e = FaultPlan::parse("explode@x").unwrap_err();
+        assert!(e.to_string().contains("explode"));
+    }
+
+    #[test]
+    fn specs_round_trip_through_display() {
+        for spec in ["nan@gsg.encode:3", "corrupt@model.gsg.cal", "drop@account:12"] {
+            let plan = FaultPlan::parse(spec).unwrap();
+            assert_eq!(plan.faults()[0].to_string(), spec);
+        }
+    }
+
+    #[test]
+    fn helpers_are_inert_without_a_plan() {
+        let _guard = global_lock();
+        set_plan(None);
+        assert!(!active());
+        assert_eq!(poison_f64("gsg.encode", Some(0), 1.5), 1.5);
+        assert_eq!(poison_f32("features.deep", None, 2.5), 2.5);
+        assert!(!drops("account", Some(0)));
+        assert!(!corrupts("model.gsg.cal"));
+        maybe_panic("par.task", Some(0)); // must not panic
+    }
+
+    #[test]
+    fn installed_plan_fires_and_clears() {
+        let _guard = global_lock();
+        set_plan(Some(FaultPlan::parse("nan@site.a:1,drop@site.b").unwrap()));
+        assert!(active());
+        assert!(poison_f64("site.a", Some(1), 0.0).is_nan());
+        assert_eq!(poison_f64("site.a", Some(2), 0.25), 0.25);
+        assert!(drops("site.b", Some(7)));
+        set_plan(None);
+        assert!(!active());
+        assert_eq!(poison_f64("site.a", Some(1), 0.0), 0.0);
+    }
+
+    #[test]
+    fn injected_panic_carries_the_site() {
+        let _guard = global_lock();
+        set_plan(Some(FaultPlan::parse("panic@par.task:3").unwrap()));
+        let err = std::panic::catch_unwind(|| maybe_panic("par.task", Some(3))).unwrap_err();
+        set_plan(None);
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert_eq!(msg, "injected fault: panic@par.task:3");
+    }
+}

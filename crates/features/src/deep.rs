@@ -139,6 +139,13 @@ pub fn raw_features(graph: &Subgraph) -> Tensor {
         f.set(v, idx::MIN_RTI, rmin as f32);
         f.set(v, idx::MAX_RTI, rmax as f32);
     }
+    // `nan@features.deep` injection point: poison the centre node's first
+    // feature, simulating an extraction bug that slips past the subgraph
+    // validator (the value is computed, not ingested).
+    if faults::active() && n > 0 {
+        let v = f.get(0, 0);
+        f.set(0, 0, faults::poison_f32("features.deep", None, v));
+    }
     f
 }
 

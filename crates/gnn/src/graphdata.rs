@@ -75,6 +75,14 @@ impl GraphTensors {
     pub fn new(graph: &Subgraph, x: Tensor, t_slices: usize) -> Self {
         let n = graph.n();
         assert_eq!(x.rows(), n, "feature rows must match node count");
+        // `nan@gnn.lower` injection point: poison the lowered feature
+        // matrix, simulating tensor conversion going wrong after the
+        // subgraph itself validated clean.
+        let mut x = x;
+        if faults::active() && n > 0 {
+            let v = x.get(0, 0);
+            x.set(0, 0, faults::poison_f32("gnn.lower", None, v));
+        }
         let merged = graph.merged_edges();
         let mut src = Vec::with_capacity(merged.len() + n);
         let mut dst = Vec::with_capacity(merged.len() + n);

@@ -32,18 +32,67 @@ mod writer;
 
 pub use crc::crc32;
 pub use error::ModelIoError;
-pub use reader::{ModelReader, SectionReader};
+pub use reader::{DamagedSection, ModelReader, SectionReader};
 pub use writer::{ModelWriter, SectionWriter};
 
 /// File magic, first four bytes of every model file.
 pub const MAGIC: [u8; 4] = *b"DBGM";
 
-/// Current schema version of the container format.
-pub const FORMAT_VERSION: u32 = 1;
+/// Current schema version of the container format. Version 2 split the
+/// calibration ensembles out of the encoder-branch sections into their own
+/// `gsg.cal`/`ldg.cal` sections, so a damaged calibrator can be detected —
+/// and degraded around — without losing the encoder weights beside it.
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Hard cap on a section name, so a corrupted length field cannot trigger
 /// a pathological allocation before the checksum is ever consulted.
 pub(crate) const MAX_NAME_LEN: usize = 4096;
+
+/// Flip one payload byte of the named section in a serialised container,
+/// leaving its stored CRC-32 untouched, so loading it yields a
+/// [`ModelIoError::ChecksumMismatch`] for exactly that section. Returns
+/// `false` (touching nothing) when the section is absent or the bytes do
+/// not parse as a container.
+///
+/// This is the write half of the `corrupt@model.<section>` fault: chaos
+/// tests and the fault-injected save path use it to manufacture
+/// single-section damage that the degraded load path must contain.
+pub fn corrupt_section(bytes: &mut [u8], name: &str) -> bool {
+    fn u32_at(b: &[u8], pos: usize) -> Option<u32> {
+        Some(u32::from_le_bytes(b.get(pos..pos + 4)?.try_into().ok()?))
+    }
+    fn u64_at(b: &[u8], pos: usize) -> Option<u64> {
+        Some(u64::from_le_bytes(b.get(pos..pos + 8)?.try_into().ok()?))
+    }
+    let mut pos = MAGIC.len() + 4; // magic + format version
+    let Some(n_sections) = u32_at(bytes, pos) else { return false };
+    let n_sections = n_sections as usize;
+    pos += 4;
+    for _ in 0..n_sections {
+        let Some(name_len) = u32_at(bytes, pos) else { return false };
+        let name_len = name_len as usize;
+        pos += 4;
+        let Some(section_name) = bytes.get(pos..pos + name_len) else { return false };
+        let hit = section_name == name.as_bytes();
+        pos += name_len;
+        let Some(payload_len) = u64_at(bytes, pos) else { return false };
+        let payload_len = payload_len as usize;
+        pos += 8;
+        if bytes.len() < pos + payload_len + 4 {
+            return false;
+        }
+        if hit {
+            // Flip a byte in the middle of the payload; an empty payload
+            // gets its checksum flipped instead — either way the stored
+            // and computed CRCs now disagree.
+            let target = if payload_len > 0 { pos + payload_len / 2 } else { pos + payload_len };
+            bytes[target] ^= 0xA5;
+            return true;
+        }
+        pos += payload_len + 4;
+    }
+    false
+}
 
 #[cfg(test)]
 mod tests {
@@ -105,6 +154,66 @@ mod tests {
             }
             other => panic!("expected UnsupportedVersion, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn corrupt_section_hits_exactly_the_named_section() {
+        let mut w = ModelWriter::new();
+        let mut a = SectionWriter::new();
+        a.put_u64(0xDEAD_BEEF);
+        w.push("alpha", a);
+        let mut b = SectionWriter::new();
+        b.put_str("intact");
+        w.push("beta", b);
+        let mut bytes = w.to_bytes();
+
+        assert!(corrupt_section(&mut bytes, "alpha"));
+        match ModelReader::from_bytes(&bytes) {
+            Err(ModelIoError::ChecksumMismatch { section, .. }) => assert_eq!(section, "alpha"),
+            other => panic!("expected ChecksumMismatch on alpha, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupt_section_handles_empty_payloads_and_misses() {
+        let mut w = ModelWriter::new();
+        w.push("empty", SectionWriter::new());
+        let mut bytes = w.to_bytes();
+        assert!(!corrupt_section(&mut bytes, "absent"));
+        assert!(ModelReader::from_bytes(&bytes).is_ok(), "miss must not damage the container");
+        assert!(corrupt_section(&mut bytes, "empty"));
+        assert!(matches!(
+            ModelReader::from_bytes(&bytes),
+            Err(ModelIoError::ChecksumMismatch { .. })
+        ));
+        // Garbage input is a no-op, not a panic.
+        let mut junk = vec![1u8, 2, 3];
+        assert!(!corrupt_section(&mut junk, "x"));
+    }
+
+    #[test]
+    fn lenient_parse_keeps_intact_sections_and_reports_damage() {
+        let mut w = ModelWriter::new();
+        let mut a = SectionWriter::new();
+        a.put_u64(1);
+        w.push("alpha", a);
+        let mut b = SectionWriter::new();
+        b.put_u64(2);
+        w.push("beta", b);
+        let mut bytes = w.to_bytes();
+        assert!(corrupt_section(&mut bytes, "alpha"));
+
+        let (r, damaged) = ModelReader::from_bytes_lenient(&bytes).unwrap();
+        assert_eq!(damaged.len(), 1);
+        assert_eq!(damaged[0].name, "alpha");
+        assert_ne!(damaged[0].stored, damaged[0].computed);
+        // The damaged section is gone, the intact one still reads.
+        assert!(matches!(r.section("alpha"), Err(ModelIoError::MissingSection { .. })));
+        assert_eq!(r.section("beta").unwrap().get_u64().unwrap(), 2);
+        // Structural damage is still fatal even leniently.
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert!(ModelReader::from_bytes_lenient(&bad).is_err());
     }
 
     #[test]

@@ -17,6 +17,15 @@ pub struct ModelReader {
     sections: Vec<(String, Vec<u8>)>,
 }
 
+/// A section whose stored checksum disagreed with its payload during a
+/// lenient parse — the payload is withheld, only the evidence is kept.
+#[derive(Debug, Clone)]
+pub struct DamagedSection {
+    pub name: String,
+    pub stored: u32,
+    pub computed: u32,
+}
+
 /// Cursor over one section's payload.
 #[derive(Debug)]
 pub struct SectionReader<'a> {
@@ -32,6 +41,30 @@ impl ModelReader {
 
     /// Validate magic, version, framing and all checksums.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, ModelIoError> {
+        let (reader, damaged) = Self::parse(bytes)?;
+        match damaged.into_iter().next() {
+            None => Ok(reader),
+            Some(d) => Err(ModelIoError::ChecksumMismatch {
+                section: d.name,
+                stored: d.stored,
+                computed: d.computed,
+            }),
+        }
+    }
+
+    /// Like [`ModelReader::from_bytes`], but a checksum mismatch drops only
+    /// the damaged section instead of rejecting the whole container: the
+    /// intact sections remain readable and every damaged one is reported.
+    /// Structural damage (bad magic, version skew, broken framing) is still
+    /// a hard error — without intact framing no section can be trusted.
+    ///
+    /// This is the read half of graceful degradation: `dbg4eth`'s degraded
+    /// load path serves whatever branches survived single-section damage.
+    pub fn from_bytes_lenient(bytes: &[u8]) -> Result<(Self, Vec<DamagedSection>), ModelIoError> {
+        Self::parse(bytes)
+    }
+
+    fn parse(bytes: &[u8]) -> Result<(Self, Vec<DamagedSection>), ModelIoError> {
         let mut cur = Cursor { buf: bytes, pos: 0 };
         let magic = cur.take(4, "magic")?;
         if magic != MAGIC {
@@ -46,6 +79,7 @@ impl ModelReader {
         }
         let n_sections = cur.u32("section count")? as usize;
         let mut sections = Vec::new();
+        let mut damaged = Vec::new();
         for _ in 0..n_sections {
             let name_len = cur.u32("section name length")? as usize;
             if name_len > MAX_NAME_LEN {
@@ -64,16 +98,17 @@ impl ModelReader {
             let stored = cur.u32("section checksum")?;
             let computed = crc32_concat(&[name.as_bytes(), payload]);
             if stored != computed {
-                return Err(ModelIoError::ChecksumMismatch { section: name, stored, computed });
+                damaged.push(DamagedSection { name, stored, computed });
+            } else {
+                sections.push((name, payload.to_vec()));
             }
-            sections.push((name, payload.to_vec()));
         }
         if cur.pos != bytes.len() {
             return Err(ModelIoError::Corrupt {
                 context: format!("{} trailing bytes after the last section", bytes.len() - cur.pos),
             });
         }
-        Ok(Self { sections })
+        Ok((Self { sections }, damaged))
     }
 
     /// Names of all sections, in file order.

@@ -17,11 +17,61 @@
 //! with no pool at all, reproducing the historical serial behaviour
 //! exactly.
 
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 /// Environment variable overriding every requested thread count.
 pub const THREADS_ENV: &str = "DBG4ETH_THREADS";
+
+/// A task body panicked. Each task runs under `catch_unwind`, so one
+/// panicking task becomes one typed error keyed by its *logical index* —
+/// never a torn-down thread pool — and the error set is identical at any
+/// thread count. The fallible entry points ([`try_par_map_indices`],
+/// [`try_join`]) return these per slot; the infallible ones re-raise the
+/// lowest-index panic after every task has run, so even the propagated
+/// panic is deterministic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TaskPanicked {
+    /// Index of the task that panicked.
+    pub index: usize,
+    /// Stringified panic payload (`&str`/`String` payloads verbatim).
+    pub message: String,
+}
+
+impl std::fmt::Display for TaskPanicked {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "task {} panicked: {}", self.index, self.message)
+    }
+}
+
+impl std::error::Error for TaskPanicked {}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Run one task body under `catch_unwind`, mapping a panic (organic or the
+/// injected `panic@par.task:<i>` fault) to a [`TaskPanicked`].
+fn run_caught<R, F>(f: &F, i: usize) -> Result<R, TaskPanicked>
+where
+    F: Fn(usize) -> R + Sync,
+{
+    std::panic::catch_unwind(AssertUnwindSafe(|| {
+        faults::maybe_panic("par.task", Some(i));
+        f(i)
+    }))
+    .map_err(|payload| {
+        obs::counter_add("par.task_panics", 1);
+        TaskPanicked { index: i, message: panic_message(payload.as_ref()) }
+    })
+}
 
 /// Bucket edges of the `par.tasks_per_worker` histogram.
 const TASKS_EDGES: [f64; 8] = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0];
@@ -44,14 +94,17 @@ pub fn resolve_threads(requested: usize) -> usize {
     }
 }
 
-/// Map `f` over `0..n`, collecting results in index order.
+/// Map `f` over `0..n`, collecting per-task results in index order, with
+/// each task isolated under `catch_unwind`.
 ///
 /// With `threads <= 1` (after [`resolve_threads`]-style resolution by the
 /// caller) this is a plain serial loop. Otherwise tasks are claimed from a
 /// shared atomic counter by `min(threads, n)` scoped workers; because each
 /// result is keyed by its task index, the output is independent of which
-/// worker ran which task.
-pub fn par_map_indices<R, F>(threads: usize, n: usize, f: F) -> Vec<R>
+/// worker ran which task. A panicking task yields `Err(TaskPanicked)` in
+/// its own slot and every other task still runs, so the result vector is
+/// identical for any thread count.
+pub fn try_par_map_indices<R, F>(threads: usize, n: usize, f: F) -> Vec<Result<R, TaskPanicked>>
 where
     R: Send,
     F: Fn(usize) -> R + Sync,
@@ -68,18 +121,18 @@ where
         if observed && n > 0 {
             obs::observe("par.tasks_per_worker", &TASKS_EDGES, n as f64);
         }
-        return (0..n).map(f).collect();
+        return (0..n).map(|i| run_caught(&f, i)).collect();
     }
     let start = Instant::now();
     let next = AtomicUsize::new(0);
-    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let mut slots: Vec<Option<Result<R, TaskPanicked>>> = (0..n).map(|_| None).collect();
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(workers);
         for _ in 0..workers {
             let next = &next;
             let f = &f;
             handles.push(scope.spawn(move || {
-                let mut local: Vec<(usize, R)> = Vec::new();
+                let mut local: Vec<(usize, Result<R, TaskPanicked>)> = Vec::new();
                 let mut busy = Duration::ZERO;
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
@@ -88,10 +141,10 @@ where
                     }
                     if observed {
                         let t = Instant::now();
-                        local.push((i, f(i)));
+                        local.push((i, run_caught(f, i)));
                         busy += t.elapsed();
                     } else {
-                        local.push((i, f(i)));
+                        local.push((i, run_caught(f, i)));
                     }
                 }
                 (local, busy)
@@ -115,6 +168,35 @@ where
     slots.into_iter().map(|s| s.expect("par task not executed")).collect()
 }
 
+/// Map `f` over `0..n`, collecting results in index order.
+///
+/// Panics are isolated per task and re-raised only after every task has
+/// completed, always for the **lowest** panicking index — so a panic
+/// propagating out of a fan-out carries the same message at any thread
+/// count, rather than whichever worker happened to die first.
+pub fn par_map_indices<R, F>(threads: usize, n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let mut out = Vec::with_capacity(n);
+    let mut first: Option<TaskPanicked> = None;
+    for r in try_par_map_indices(threads, n, f) {
+        match r {
+            Ok(v) => out.push(v),
+            Err(e) => {
+                if first.is_none() {
+                    first = Some(e);
+                }
+            }
+        }
+    }
+    if let Some(e) = first {
+        panic!("{e}");
+    }
+    out
+}
+
 /// Map `f` over a slice, collecting results in input order.
 pub fn par_map<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
 where
@@ -123,6 +205,17 @@ where
     F: Fn(&T) -> R + Sync,
 {
     par_map_indices(threads, items.len(), |i| f(&items[i]))
+}
+
+/// [`par_map`] with per-item panic isolation: a panicking item yields
+/// `Err(TaskPanicked)` in its slot, every other item still runs.
+pub fn try_par_map<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<Result<R, TaskPanicked>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    try_par_map_indices(threads, items.len(), |i| f(&items[i]))
 }
 
 /// Run two independent closures, concurrently when `threads > 1`.
@@ -147,12 +240,44 @@ where
     })
 }
 
+/// [`join`] with panic isolation: each side runs under `catch_unwind`
+/// (slot indices 0 and 1), so one panicking branch cannot take down the
+/// other's result. Both sides always run to completion.
+pub fn try_join<RA, RB, FA, FB>(
+    threads: usize,
+    fa: FA,
+    fb: FB,
+) -> (Result<RA, TaskPanicked>, Result<RB, TaskPanicked>)
+where
+    RA: Send,
+    RB: Send,
+    FA: FnOnce() -> RA + Send,
+    FB: FnOnce() -> RB + Send,
+{
+    fn caught<R, F: FnOnce() -> R>(index: usize, f: F) -> Result<R, TaskPanicked> {
+        std::panic::catch_unwind(AssertUnwindSafe(f)).map_err(|payload| {
+            obs::counter_add("par.task_panics", 1);
+            TaskPanicked { index, message: panic_message(payload.as_ref()) }
+        })
+    }
+    join(threads, || caught(0, fa), || caught(1, fb))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    use std::sync::RwLock;
+
+    /// The fault plan is process-global: the injection test takes the
+    /// write lock while every other test (whose fan-outs also probe
+    /// `par.task`) takes the read lock, so a plan installed by one test
+    /// can never fire inside another.
+    static FAULT_PLAN: RwLock<()> = RwLock::new(());
+
     #[test]
     fn par_map_matches_serial_for_any_thread_count() {
+        let _plan = FAULT_PLAN.read().unwrap_or_else(std::sync::PoisonError::into_inner);
         let items: Vec<u64> = (0..103).collect();
         let serial = par_map(1, &items, |&x| x * x + 1);
         for threads in [2, 3, 8, 64] {
@@ -162,18 +287,21 @@ mod tests {
 
     #[test]
     fn par_map_indices_preserves_order() {
+        let _plan = FAULT_PLAN.read().unwrap_or_else(std::sync::PoisonError::into_inner);
         let out = par_map_indices(4, 50, |i| i);
         assert_eq!(out, (0..50).collect::<Vec<_>>());
     }
 
     #[test]
     fn empty_and_singleton_inputs() {
+        let _plan = FAULT_PLAN.read().unwrap_or_else(std::sync::PoisonError::into_inner);
         assert_eq!(par_map_indices(8, 0, |i| i), Vec::<usize>::new());
         assert_eq!(par_map_indices(8, 1, |i| i + 7), vec![7]);
     }
 
     #[test]
     fn join_returns_both_results() {
+        let _plan = FAULT_PLAN.read().unwrap_or_else(std::sync::PoisonError::into_inner);
         for threads in [1, 4] {
             let (a, b) = join(threads, || 2 + 2, || "ok");
             assert_eq!((a, b), (4, "ok"));
@@ -182,6 +310,7 @@ mod tests {
 
     #[test]
     fn metrics_collection_does_not_change_results() {
+        let _plan = FAULT_PLAN.read().unwrap_or_else(std::sync::PoisonError::into_inner);
         obs::set_metrics_enabled(true);
         let items: Vec<u64> = (0..57).collect();
         let expect: Vec<u64> = items.iter().map(|&x| x * 3 + 1).collect();
@@ -198,5 +327,75 @@ mod tests {
     fn resolve_threads_auto_is_positive() {
         assert!(resolve_threads(0) >= 1);
         assert_eq!(resolve_threads(3), 3);
+    }
+
+    #[test]
+    fn try_par_map_isolates_panicking_tasks() {
+        let _plan = FAULT_PLAN.read().unwrap_or_else(std::sync::PoisonError::into_inner);
+        for threads in [1, 4] {
+            let results = try_par_map_indices(threads, 20, |i| {
+                if i == 5 || i == 11 {
+                    panic!("boom {i}");
+                }
+                i * 2
+            });
+            assert_eq!(results.len(), 20);
+            for (i, r) in results.iter().enumerate() {
+                if i == 5 || i == 11 {
+                    let e = r.as_ref().unwrap_err();
+                    assert_eq!(e.index, i);
+                    assert_eq!(e.message, format!("boom {i}"));
+                } else {
+                    assert_eq!(*r.as_ref().unwrap(), i * 2);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn par_map_indices_propagates_lowest_panicking_index() {
+        let _plan = FAULT_PLAN.read().unwrap_or_else(std::sync::PoisonError::into_inner);
+        for threads in [1, 8] {
+            let caught = std::panic::catch_unwind(|| {
+                par_map_indices(threads, 30, |i| {
+                    if i >= 12 {
+                        panic!("boom {i}");
+                    }
+                    i
+                })
+            })
+            .unwrap_err();
+            let msg = caught.downcast_ref::<String>().unwrap();
+            assert_eq!(msg, "task 12 panicked: boom 12");
+        }
+    }
+
+    #[test]
+    fn injected_par_task_panic_is_typed_and_indexed() {
+        let _plan = FAULT_PLAN.write().unwrap_or_else(std::sync::PoisonError::into_inner);
+        faults::set_plan(Some(faults::FaultPlan::parse("panic@par.task:3").unwrap()));
+        let results = try_par_map_indices(4, 6, |i| i);
+        faults::set_plan(None);
+        for (i, r) in results.iter().enumerate() {
+            if i == 3 {
+                let e = r.as_ref().unwrap_err();
+                assert_eq!(e.index, 3);
+                assert!(e.message.contains("injected fault: panic@par.task:3"));
+            } else {
+                assert_eq!(*r.as_ref().unwrap(), i);
+            }
+        }
+    }
+
+    #[test]
+    fn try_join_isolates_each_side() {
+        let _plan = FAULT_PLAN.read().unwrap_or_else(std::sync::PoisonError::into_inner);
+        for threads in [1, 4] {
+            let (a, b) = try_join(threads, || 41, || -> i32 { panic!("right side") });
+            assert_eq!(a.unwrap(), 41);
+            let e = b.unwrap_err();
+            assert_eq!(e.index, 1);
+            assert_eq!(e.message, "right side");
+        }
     }
 }

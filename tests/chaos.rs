@@ -1,0 +1,312 @@
+//! Chaos suite: deterministic fault injection across the serving pipeline.
+//!
+//! Every test installs a fault plan (the in-process equivalent of setting
+//! `DBG4ETH_FAULTS`), drives `infer_detailed` through it, and asserts the
+//! blast radius: targeted accounts get typed errors or degraded scores,
+//! unaffected accounts are byte-identical at one worker thread and at
+//! eight, and the test process itself never panics.
+//!
+//! The fault plan is process-global, so all tests here serialise on one
+//! mutex. In-crate tests elsewhere never install plans; this file is the
+//! only place plans are active while the full pipeline runs.
+
+use dbg4eth::{infer, infer_detailed, train, Dbg4EthConfig, InferReport, ScoreError, TrainedModel};
+use eth_graph::{AccountKind, LocalTx, SamplerConfig, Subgraph};
+use eth_sim::{AccountClass, Benchmark, DatasetScale};
+use faults::FaultPlan;
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+static PLAN_LOCK: Mutex<()> = Mutex::new(());
+
+/// Serialise tests and guarantee the plan is cleared afterwards even if an
+/// assertion fails while it is installed.
+fn with_plan<T>(spec: &str, f: impl FnOnce() -> T) -> T {
+    let _guard: MutexGuard<'_, ()> = PLAN_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    struct Clear;
+    impl Drop for Clear {
+        fn drop(&mut self) {
+            faults::set_plan(None);
+        }
+    }
+    let _clear = Clear;
+    faults::set_plan(Some(FaultPlan::parse(spec).expect("test plan parses")));
+    f()
+}
+
+struct Fixture {
+    model: Mutex<TrainedModel>,
+    accounts: Vec<Subgraph>,
+    /// Clean-serve bit patterns at train time, the baseline every blast
+    /// radius is measured against.
+    clean: Vec<u64>,
+}
+
+fn fixture() -> &'static Fixture {
+    static F: OnceLock<Fixture> = OnceLock::new();
+    F.get_or_init(|| {
+        let scale = DatasetScale {
+            exchange: 14,
+            ico_wallet: 0,
+            mining: 0,
+            phish_hack: 0,
+            bridge: 0,
+            defi: 0,
+        };
+        let bench = Benchmark::generate(scale, SamplerConfig { top_k: 12, hops: 2 }, 21);
+        let dataset = bench.dataset(AccountClass::Exchange);
+        let mut cfg = Dbg4EthConfig::fast();
+        cfg.epochs = 4;
+        cfg.gsg.hidden = 16;
+        cfg.gsg.d_out = 8;
+        cfg.ldg.hidden = 16;
+        cfg.ldg.d_out = 8;
+        cfg.ldg.pool_clusters = [4, 2, 1];
+        cfg.t_slices = 3;
+        cfg.parallelism = 1;
+        let out = train(dataset, 0.7, &cfg);
+        let (_, test_idx) = dataset.split(0.7, cfg.seed);
+        let accounts: Vec<Subgraph> = test_idx.iter().map(|&i| dataset.graphs[i].clone()).collect();
+        let clean = out.run.test_scores.iter().map(|p| p.to_bits()).collect();
+        Fixture { model: Mutex::new(out.model), accounts, clean }
+    })
+}
+
+/// Bitwise-comparable shape of a full report.
+fn report_bits(r: &InferReport) -> Vec<Result<(u64, bool), String>> {
+    r.scores
+        .iter()
+        .map(|s| match s {
+            Ok(a) => Ok((a.score.to_bits(), a.degraded)),
+            Err(e) => Err(format!("{e:?}")),
+        })
+        .collect()
+}
+
+/// Run the same plan at one and eight worker threads and assert the entire
+/// report — scores, degraded flags and typed errors — is identical.
+fn thread_invariant_report(spec: &str, accounts: &[Subgraph]) -> InferReport {
+    with_plan(spec, || {
+        let fx = fixture();
+        let mut model = fx.model.lock().unwrap();
+        model.config.parallelism = 1;
+        let serial = infer_detailed(&model, accounts);
+        model.config.parallelism = 8;
+        let parallel = infer_detailed(&model, accounts);
+        model.config.parallelism = 1;
+        assert_eq!(
+            report_bits(&serial),
+            report_bits(&parallel),
+            "plan '{spec}' is not thread-count invariant"
+        );
+        serial
+    })
+}
+
+#[test]
+fn no_plan_is_a_bitwise_noop() {
+    let fx = fixture();
+    let report = thread_invariant_report("", &fx.accounts);
+    assert_eq!(report.quarantined, 0);
+    assert_eq!(report.degraded, 0);
+    let bits: Vec<u64> =
+        report.scores.iter().map(|r| r.as_ref().unwrap().score.to_bits()).collect();
+    assert_eq!(bits, fx.clean, "fault-free serve diverged from the training run");
+    assert!(report.scores.iter().all(|r| !r.as_ref().unwrap().degraded));
+}
+
+#[test]
+fn dropped_accounts_leave_survivors_byte_identical_to_the_smaller_batch() {
+    let fx = fixture();
+    let dropped = [1usize, 3];
+    let subset: Vec<Subgraph> = fx
+        .accounts
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !dropped.contains(i))
+        .map(|(_, g)| g.clone())
+        .collect();
+    // The quarantine removes accounts *before* any batch statistics are
+    // fitted, so survivors must score exactly as if the batch had never
+    // contained the dropped accounts.
+    let clean_subset: Vec<u64> = with_plan("", || {
+        infer(&fixture().model.lock().unwrap(), &subset).iter().map(|p| p.to_bits()).collect()
+    });
+    let report = thread_invariant_report("drop@account:1, drop@account:3", &fx.accounts);
+    assert_eq!(report.quarantined, dropped.len());
+    let mut survivors = Vec::new();
+    for (i, r) in report.scores.iter().enumerate() {
+        if dropped.contains(&i) {
+            assert_eq!(r, &Err(ScoreError::Dropped), "account {i}");
+        } else {
+            let s = r.as_ref().expect("survivor scored");
+            assert!(!s.degraded, "survivor {i} flagged degraded");
+            survivors.push(s.score.to_bits());
+        }
+    }
+    assert_eq!(survivors, clean_subset, "survivors diverged from the clean smaller batch");
+}
+
+#[test]
+fn invalid_subgraphs_are_quarantined_without_touching_the_rest() {
+    let fx = fixture();
+    // A self-loop transaction fails `Subgraph::validate`.
+    let bad = Subgraph {
+        nodes: vec![900_000, 900_001],
+        kinds: vec![AccountKind::Eoa; 2],
+        txs: vec![LocalTx {
+            src: 1,
+            dst: 1,
+            value: 5.0,
+            timestamp: 3,
+            fee: 0.001,
+            contract_call: false,
+        }],
+        label: None,
+    };
+    let mut accounts = fx.accounts.clone();
+    accounts.push(bad);
+    let report = thread_invariant_report("", &accounts);
+    assert_eq!(report.quarantined, 1);
+    assert!(
+        matches!(report.scores.last(), Some(Err(ScoreError::Invalid(_)))),
+        "malformed subgraph was not quarantined: {:?}",
+        report.scores.last()
+    );
+    // The quarantine happens before lowering, so the valid accounts score
+    // exactly as they did without the bad neighbour in the batch.
+    let bits: Vec<u64> = report.scores[..fx.accounts.len()]
+        .iter()
+        .map(|r| r.as_ref().unwrap().score.to_bits())
+        .collect();
+    assert_eq!(bits, fx.clean);
+}
+
+#[test]
+fn nan_in_either_encoder_degrades_only_the_targeted_account() {
+    let fx = fixture();
+    for site in ["gsg.encode", "ldg.encode"] {
+        let report = thread_invariant_report(&format!("nan@{site}:2"), &fx.accounts);
+        assert_eq!(report.quarantined, 0);
+        for (i, r) in report.scores.iter().enumerate() {
+            let s = r.as_ref().unwrap_or_else(|e| panic!("{site}: account {i} errored: {e}"));
+            assert!(s.score.is_finite() && (0.0..=1.0).contains(&s.score));
+            if i == 2 {
+                // The poisoned branch failed; the survivor branch carried
+                // the account alone.
+                assert!(s.degraded, "{site}: target account not degraded");
+            } else {
+                assert!(!s.degraded, "{site}: blast radius spread to account {i}");
+            }
+        }
+        assert_eq!(report.degraded, 1);
+    }
+}
+
+#[test]
+fn panics_in_parallel_stages_are_contained_per_account() {
+    let fx = fixture();
+    // `par.task:0` fires in task 0 of *every* parallel fan-out: lowering
+    // loses the account at position 0, and each later fan-out loses its
+    // own first task. The point under test is containment and determinism,
+    // not a minimal blast radius.
+    let report = thread_invariant_report("panic@par.task:0", &fx.accounts);
+    assert!(
+        report.scores.iter().any(|r| matches!(r, Err(ScoreError::Panicked { .. }))),
+        "injected panic vanished"
+    );
+    // Never the whole batch: containment means most accounts still score.
+    let ok = report.scores.iter().filter(|r| r.is_ok()).count();
+    assert!(ok >= fx.accounts.len() - 3, "only {ok}/{} accounts survived", fx.accounts.len());
+
+    // A panic inside the whole-ensemble calibrator downgrades every score
+    // to uncalibrated confidences instead of killing the batch.
+    let report = thread_invariant_report("panic@calib.apply", &fx.accounts);
+    assert!(report.scores.iter().all(|r| r.is_ok()), "calibrator panic killed accounts");
+    assert_eq!(report.degraded, fx.accounts.len());
+
+    // A per-row classifier panic falls back to the mean branch confidence
+    // for that row only.
+    let report = thread_invariant_report("panic@boost.predict:1", &fx.accounts);
+    for (i, r) in report.scores.iter().enumerate() {
+        let s = r.as_ref().unwrap();
+        assert_eq!(s.degraded, i == 1, "classifier fallback leaked to account {i}");
+        if i != 1 {
+            assert_eq!(s.score.to_bits(), fx.clean[i]);
+        }
+    }
+}
+
+#[test]
+fn corrupted_calibrator_sections_serve_uncalibrated_but_degraded() {
+    let fx = fixture();
+    // `corrupt@model.calib` damages both calibrator sections at save time.
+    let bytes = with_plan("corrupt@model.calib", || fx.model.lock().unwrap().to_bytes());
+    // Strict load refuses the damage outright…
+    assert!(TrainedModel::from_bytes(&bytes).is_err(), "strict load accepted damaged bytes");
+    // …the degraded load serves around it.
+    let (model, degraded) = with_plan("", || TrainedModel::from_bytes_degraded(&bytes))
+        .expect("calibrator damage is survivable");
+    let mut lost = degraded.lost_sections.clone();
+    lost.sort();
+    assert_eq!(lost, ["gsg.cal", "ldg.cal"]);
+    let report = with_plan("", || infer_detailed(&model, &fx.accounts));
+    assert!(report.scores.iter().all(|r| r.is_ok()));
+    assert_eq!(report.degraded, fx.accounts.len(), "uncalibrated scores must be flagged");
+}
+
+#[test]
+fn corrupted_branch_sections_fall_back_to_the_surviving_branch() {
+    let fx = fixture();
+    for (section, surviving) in [("gsg", "ldg"), ("ldg", "gsg")] {
+        let bytes =
+            with_plan(&format!("corrupt@model.{section}"), || fx.model.lock().unwrap().to_bytes());
+        assert!(TrainedModel::from_bytes(&bytes).is_err());
+        let (model, degraded) = with_plan("", || TrainedModel::from_bytes_degraded(&bytes))
+            .unwrap_or_else(|e| panic!("losing {section} must be survivable: {e}"));
+        assert!(
+            degraded.lost_sections.contains(&section.to_string()),
+            "{section} not reported lost: {:?}",
+            degraded.lost_sections
+        );
+        match surviving {
+            "gsg" => assert!(model.gsg.is_some() && model.ldg.is_none()),
+            _ => assert!(model.ldg.is_some() && model.gsg.is_none()),
+        }
+        let report = with_plan("", || infer_detailed(&model, &fx.accounts));
+        assert!(report.scores.iter().all(|r| r.is_ok()), "surviving {surviving} branch failed");
+        assert_eq!(report.degraded, fx.accounts.len());
+    }
+}
+
+#[test]
+fn load_bearing_sections_stay_fatal_and_total_loss_is_typed() {
+    let fx = fixture();
+    for section in ["config", "classifier"] {
+        let bytes =
+            with_plan(&format!("corrupt@model.{section}"), || fx.model.lock().unwrap().to_bytes());
+        assert!(
+            with_plan("", || TrainedModel::from_bytes_degraded(&bytes)).is_err(),
+            "damaged {section} must not be survivable"
+        );
+    }
+    // Both branches gone leaves nothing to serve from.
+    let bytes =
+        with_plan("corrupt@model.gsg, corrupt@model.ldg", || fx.model.lock().unwrap().to_bytes());
+    match with_plan("", || TrainedModel::from_bytes_degraded(&bytes)) {
+        Err(e) => assert!(e.to_string().contains("branch"), "untyped total loss: {e}"),
+        Ok(_) => panic!("model with no usable branch loaded"),
+    }
+}
+
+#[test]
+fn fault_free_save_load_is_unaffected_by_the_framework() {
+    // The degraded loader on pristine bytes is exactly the strict loader.
+    let fx = fixture();
+    let bytes = with_plan("", || fx.model.lock().unwrap().to_bytes());
+    let (model, degraded) = TrainedModel::from_bytes_degraded(&bytes).expect("pristine load");
+    assert!(degraded.is_clean());
+    let report = with_plan("", || infer_detailed(&model, &fx.accounts));
+    let bits: Vec<u64> =
+        report.scores.iter().map(|r| r.as_ref().unwrap().score.to_bits()).collect();
+    assert_eq!(bits, fx.clean);
+}
