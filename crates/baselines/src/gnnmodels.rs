@@ -66,8 +66,8 @@ impl GcnBaseline {
 
 impl GraphModel for GcnBaseline {
     fn forward(&self, tape: &mut Tape, ctx: &mut Ctx, store: &ParamStore, g: &GraphTensors) -> Var {
-        let adj = tape.leaf(g.gsg_adj.clone());
-        let x = tape.leaf(g.x.clone());
+        let adj = tape.constant(g.gsg_adj.clone());
+        let x = tape.constant(g.x.clone());
         let h = self.l1.forward(tape, ctx, store, adj, x);
         let h = self.l2.forward(tape, ctx, store, adj, h);
         mean_pool_head(tape, ctx, store, &self.head, h)
@@ -102,7 +102,7 @@ impl GatBaseline {
 
 impl GraphModel for GatBaseline {
     fn forward(&self, tape: &mut Tape, ctx: &mut Ctx, store: &ParamStore, g: &GraphTensors) -> Var {
-        let x = tape.leaf(g.x.clone());
+        let x = tape.constant(g.x.clone());
         let h = self.proj.forward(tape, ctx, store, x);
         let h = self.l1.forward(tape, ctx, store, h, None, &g.src, &g.dst, g.n);
         let h = self.l2.forward(tape, ctx, store, h, None, &g.src, &g.dst, g.n);
@@ -129,8 +129,8 @@ impl GinBaseline {
 
 impl GraphModel for GinBaseline {
     fn forward(&self, tape: &mut Tape, ctx: &mut Ctx, store: &ParamStore, g: &GraphTensors) -> Var {
-        let adj = tape.leaf(binary_adjacency(g));
-        let x = tape.leaf(g.x.clone());
+        let adj = tape.constant(binary_adjacency(g));
+        let x = tape.constant(g.x.clone());
         let h = self.l1.forward(tape, ctx, store, adj, x);
         let h = self.l2.forward(tape, ctx, store, adj, h);
         mean_pool_head(tape, ctx, store, &self.head, h)
@@ -156,8 +156,8 @@ impl SageBaseline {
 
 impl GraphModel for SageBaseline {
     fn forward(&self, tape: &mut Tape, ctx: &mut Ctx, store: &ParamStore, g: &GraphTensors) -> Var {
-        let adj = tape.leaf(mean_adjacency(g));
-        let x = tape.leaf(g.x.clone());
+        let adj = tape.constant(mean_adjacency(g));
+        let x = tape.constant(g.x.clone());
         let h = self.l1.forward(tape, ctx, store, adj, x);
         let h = self.l2.forward(tape, ctx, store, adj, h);
         mean_pool_head(tape, ctx, store, &self.head, h)
@@ -185,9 +185,9 @@ impl AppnpBaseline {
 
 impl GraphModel for AppnpBaseline {
     fn forward(&self, tape: &mut Tape, ctx: &mut Ctx, store: &ParamStore, g: &GraphTensors) -> Var {
-        let x = tape.leaf(g.x.clone());
+        let x = tape.constant(g.x.clone());
         let z0 = self.mlp.forward(tape, ctx, store, x);
-        let adj = tape.leaf(g.gsg_adj.clone());
+        let adj = tape.constant(g.gsg_adj.clone());
         let z = appnp_propagate(tape, adj, z0, self.alpha, self.k);
         mean_pool_head(tape, ctx, store, &self.head, z)
     }
@@ -213,8 +213,8 @@ impl I2BgnnBaseline {
 
 impl GraphModel for I2BgnnBaseline {
     fn forward(&self, tape: &mut Tape, ctx: &mut Ctx, store: &ParamStore, g: &GraphTensors) -> Var {
-        let adj = tape.leaf(g.gsg_adj.clone());
-        let x = tape.leaf(g.x.clone());
+        let adj = tape.constant(g.gsg_adj.clone());
+        let x = tape.constant(g.x.clone());
         let h = self.l1.forward(tape, ctx, store, adj, x);
         let h = self.l2.forward(tape, ctx, store, adj, h);
         let pooled = tape.max_pool_rows(h);

@@ -68,8 +68,8 @@ impl TsgnBaseline {
 impl GraphModel for TsgnBaseline {
     fn forward(&self, tape: &mut Tape, ctx: &mut Ctx, store: &ParamStore, g: &GraphTensors) -> Var {
         let (adj_t, feat_t) = Self::line_graph(g);
-        let adj = tape.leaf(adj_t);
-        let x = tape.leaf(feat_t);
+        let adj = tape.constant(adj_t);
+        let x = tape.constant(feat_t);
         let h = self.l1.forward(tape, ctx, store, adj, x);
         let h = self.l2.forward(tape, ctx, store, adj, h);
         let pooled = tape.mean_pool_rows(h);
@@ -129,7 +129,7 @@ impl TegDetectorBaseline {
 
 impl GraphModel for TegDetectorBaseline {
     fn forward(&self, tape: &mut Tape, ctx: &mut Ctx, store: &ParamStore, g: &GraphTensors) -> Var {
-        let x = tape.leaf(g.x.clone());
+        let x = tape.constant(g.x.clone());
         let node_h = self.input_proj.forward(tape, ctx, store, x);
         // Per-slice graph embedding: GCN then mean pool, evolved by a GRU
         // over the (1, hidden) slice summaries.
@@ -137,7 +137,7 @@ impl GraphModel for TegDetectorBaseline {
         let mut state: Option<Var> = None;
         for t in 0..self.t_slices {
             let adj_tensor = g.slice_adj.get(t).unwrap_or_else(|| g.slice_adj.last().unwrap());
-            let adj = tape.leaf(adj_tensor.clone());
+            let adj = tape.constant(adj_tensor.clone());
             let u = self.gcn.forward(tape, ctx, store, adj, node_h);
             let pooled = tape.mean_pool_rows(u);
             let new_state = match state {

@@ -94,14 +94,14 @@ impl GraphModel for GritBaseline {
             deg[v] += 1.0;
         }
         let deg_col = Tensor::from_fn(g.n, 1, |r, _| (1.0 + deg[r]).ln() * 0.2);
-        let x = tape.leaf(g.x.concat_cols(&deg_col));
+        let x = tape.constant(g.x.concat_cols(&deg_col));
         let h0 = self.embed.forward(tape, ctx, store, x);
 
         // Additive structural bias: b · Â (learned scalar times normalised
         // adjacency).
-        let adj = tape.leaf(g.gsg_adj.clone());
+        let adj = tape.constant(g.gsg_adj.clone());
         let b = ctx.var(tape, store, self.adj_bias);
-        let ones = tape.leaf(Tensor::ones(g.n, 1));
+        let ones = tape.constant(Tensor::ones(g.n, 1));
         let b_col = tape.matmul(ones, b); // (n, 1) of b
         let bias = tape.mul_col_broadcast(adj, b_col);
 
@@ -153,9 +153,9 @@ impl Bert4EthBaseline {
 
 impl GraphModel for Bert4EthBaseline {
     fn forward(&self, tape: &mut Tape, ctx: &mut Ctx, store: &ParamStore, g: &GraphTensors) -> Var {
-        let seq = tape.leaf(g.center_seq.clone());
+        let seq = tape.constant(g.center_seq.clone());
         let mut h = self.embed.forward(tape, ctx, store, seq);
-        let pe = tape.leaf(positional_encoding(g.center_seq.rows(), self.hidden));
+        let pe = tape.constant(positional_encoding(g.center_seq.rows(), self.hidden));
         h = tape.add(h, pe);
         for block in &self.blocks {
             h = block.forward(tape, ctx, store, h, None);

@@ -1,0 +1,117 @@
+//! Criterion micro-benchmarks of the sparse message-passing kernels against
+//! the dense zero-skipping matmul they replace, at subgraph-shaped sizes.
+//!
+//! Node counts span the `graph.subgraph_nodes` histogram of the sanity
+//! benchmark (min 11, max 183 nodes); adjacency density mimics the top-K
+//! sampler's output (a few neighbours per node, hub rows heavier). Both the
+//! raw kernels (forward SpMM, transposed backward SpMM) and the full tape
+//! round trip (forward + backward through `Tape::spmm` vs `Tape::matmul`)
+//! are timed — the pair must stay bit-identical, so any gap here is pure
+//! performance headroom.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use tensor::{Csr, Tape, Tensor};
+
+/// Node counts across the sanity run's subgraph-size histogram (11-183).
+const SIZES: [usize; 5] = [11, 32, 64, 128, 183];
+
+/// Feature width matched to the encoder hidden width at bench scale.
+const D: usize = 16;
+
+/// A hub-and-spokes adjacency like the top-K sampler produces: every node
+/// keeps a handful of neighbours, the centre row is dense-ish.
+fn subgraph_like_adjacency(n: usize, rng: &mut StdRng) -> Tensor {
+    let mut a = Tensor::zeros(n, n);
+    for r in 0..n {
+        let degree = if r == 0 { n / 2 } else { 3 + rng.gen_range(0usize..3) };
+        for _ in 0..degree {
+            let c = rng.gen_range(0..n);
+            if c != r {
+                a.set(r, c, rng.gen_range(0.1f32..1.0));
+            }
+        }
+    }
+    a
+}
+
+fn random_features(n: usize, d: usize, rng: &mut StdRng) -> Tensor {
+    Tensor::from_vec(n, d, (0..n * d).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+}
+
+/// Forward kernel only: `A @ H` sparse vs dense.
+fn bench_forward_kernels(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(17);
+    for n in SIZES {
+        let a = subgraph_like_adjacency(n, &mut rng);
+        let csr = Csr::from_dense(&a);
+        let h = random_features(n, D, &mut rng);
+        let mut out = Tensor::zeros(n, D);
+        c.bench_function(&format!("spmm/forward/csr/n{n:03}"), |b| {
+            b.iter(|| csr.matmul_dense_into(black_box(&h), &mut out))
+        });
+        c.bench_function(&format!("spmm/forward/dense/n{n:03}"), |b| {
+            b.iter(|| black_box(&a).matmul(black_box(&h)))
+        });
+    }
+}
+
+/// Backward kernel only: `Aᵀ @ G` sparse vs an explicit dense transpose.
+fn bench_backward_kernels(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(18);
+    for n in SIZES {
+        let a = subgraph_like_adjacency(n, &mut rng);
+        let csr = Csr::from_dense(&a);
+        let g = random_features(n, D, &mut rng);
+        let mut out = Tensor::zeros(n, D);
+        c.bench_function(&format!("spmm/backward/csr/n{n:03}"), |b| {
+            b.iter(|| csr.transpose_matmul_dense_into(black_box(&g), &mut out))
+        });
+        c.bench_function(&format!("spmm/backward/dense/n{n:03}"), |b| {
+            b.iter(|| black_box(&a).transpose().matmul(black_box(&g)))
+        });
+    }
+}
+
+/// Full autodiff round trip: `sum(A @ H)` forward + backward through the
+/// tape, sparse (`Tape::spmm`) vs dense (`Tape::matmul` with `A` a leaf).
+fn bench_tape_round_trip(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(19);
+    for n in SIZES {
+        let a = subgraph_like_adjacency(n, &mut rng);
+        let csr = Arc::new(Csr::from_dense(&a));
+        let h = random_features(n, D, &mut rng);
+        c.bench_function(&format!("spmm/tape/csr/n{n:03}"), |b| {
+            b.iter(|| {
+                let mut tape = Tape::new();
+                let hv = tape.leaf(h.clone());
+                let out = tape.spmm(&csr, hv);
+                let loss = tape.sum_all(out);
+                tape.backward(loss);
+                black_box(tape.grad(hv).is_some())
+            })
+        });
+        c.bench_function(&format!("spmm/tape/dense/n{n:03}"), |b| {
+            b.iter(|| {
+                let mut tape = Tape::new();
+                let av = tape.leaf(a.clone());
+                let hv = tape.leaf(h.clone());
+                let out = tape.matmul(av, hv);
+                let loss = tape.sum_all(out);
+                tape.backward(loss);
+                black_box(tape.grad(hv).is_some())
+            })
+        });
+    }
+}
+
+criterion_group! {
+    name = spmm;
+    config = Criterion::default().sample_size(20);
+    targets = bench_forward_kernels, bench_backward_kernels, bench_tape_round_trip
+}
+criterion_main!(spmm);

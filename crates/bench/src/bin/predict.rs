@@ -2,12 +2,12 @@
 //!
 //! The inference half of the train/serve split: loads the `DBGM` container
 //! written by `train`, regenerates the same benchmark world, and scores the
-//! held-out test accounts through `dbg4eth::infer_detailed`. The printed
+//! held-out test accounts through `Session::score`. The printed
 //! `scores-digest` must equal the one `train` printed — the model file, not
 //! process memory, carries everything the serving path needs.
 //!
 //! Serving is load-bearing, so it degrades instead of dying: damaged model
-//! sections are dropped at load (`TrainedModel::load_degraded`), bad
+//! sections are dropped at load (`Session::open_lenient`), bad
 //! accounts are quarantined with typed errors, and every fallback is
 //! counted in the run-report (`infer.degraded`, `infer.quarantined`,
 //! `model.load.lost_sections`). On a pristine model and clean inputs the
@@ -16,7 +16,7 @@
 //! Usage: `predict [MODEL_PATH] [CLASS]` (defaults: `model.dbgm`,
 //! `exchange`).
 
-use dbg4eth::{infer_detailed, TrainedModel};
+use dbg4eth::Session;
 use eth_graph::Subgraph;
 use std::time::Instant;
 
@@ -24,8 +24,9 @@ fn main() {
     let path = std::env::args().nth(1).unwrap_or_else(|| "model.dbgm".to_string());
     let class = bench::class_arg(std::env::args().nth(2).as_deref());
     let t = Instant::now();
-    let (model, damage) = TrainedModel::load_degraded(&path).expect("load model");
+    let session = Session::open_lenient(&path).expect("load model");
     obs::info!("predict", "loaded {path} in {:?}", t.elapsed());
+    let damage = session.degradation();
     if !damage.is_clean() {
         println!("degraded load: lost sections {:?}", damage.lost_sections);
     }
@@ -34,11 +35,11 @@ fn main() {
     // inside the model's config.
     let benchmark = bench::benchmark();
     let dataset = benchmark.dataset(class);
-    let (_, test_idx) = dataset.split(0.8, model.config.seed);
+    let (_, test_idx) = dataset.split(0.8, session.model().config.seed);
     let accounts: Vec<Subgraph> = test_idx.iter().map(|&i| dataset.graphs[i].clone()).collect();
 
     let t = Instant::now();
-    let report = infer_detailed(&model, &accounts);
+    let report = session.score(&accounts);
     let scored = report.ok_scores();
     println!(
         "scored {}/{} accounts in {:?} ({} quarantined, {} degraded)",

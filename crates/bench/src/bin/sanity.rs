@@ -10,14 +10,14 @@ fn env(k: &str, d: f64) -> f64 {
 
 fn main() {
     let bench = Benchmark::generate(DatasetScale::small(), SamplerConfig { top_k: 30, hops: 2 }, 7);
-    let cfg = Dbg4EthConfig {
-        epochs: env("EPOCHS", 12.0) as usize,
-        lr: env("LR", 0.005) as f32,
-        contrastive_weight: env("CW", 0.2) as f32,
-        holdout_frac: env("HOLD", 0.35),
-        t_slices: env("T", 10.0) as usize,
-        ..Default::default()
-    };
+    let cfg = Dbg4EthConfig::builder()
+        .epochs(env("EPOCHS", 12.0) as usize)
+        .lr(env("LR", 0.005) as f32)
+        .contrastive_weight(env("CW", 0.2) as f32)
+        .holdout_frac(env("HOLD", 0.35))
+        .t_slices(env("T", 10.0) as usize)
+        .build()
+        .expect("valid sanity configuration");
     for class in [
         AccountClass::Exchange,
         AccountClass::PhishHack,

@@ -13,7 +13,7 @@
 //!
 //! Usage: `train [MODEL_PATH] [CLASS]` (defaults: `model.dbgm`, `exchange`).
 
-use dbg4eth::train;
+use dbg4eth::Session;
 use std::time::Instant;
 
 fn main() {
@@ -28,20 +28,20 @@ fn main() {
 
     obs::info!("train", "training {} ({} graphs)", class.name(), dataset.graphs.len());
     let t = Instant::now();
-    let out = train(dataset, 0.8, &cfg);
+    let (session, run) = Session::train(dataset, 0.8, &cfg).expect("train");
     println!(
         "{:12} P {:6.2} R {:6.2} F1 {:6.2} Acc {:6.2} ({:?})",
         class.name(),
-        out.run.metrics.precision,
-        out.run.metrics.recall,
-        out.run.metrics.f1,
-        out.run.metrics.accuracy,
+        run.metrics.precision,
+        run.metrics.recall,
+        run.metrics.f1,
+        run.metrics.accuracy,
         t.elapsed()
     );
 
-    out.model.save(&path).expect("save model");
+    session.save(&path).expect("save model");
     let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
     println!("model: {path} ({bytes} bytes)");
-    println!("scores-digest: {:016x}", bench::f64_bits_digest(&out.run.test_scores));
+    println!("scores-digest: {:016x}", bench::f64_bits_digest(&run.test_scores));
     bench::emit_report_with("train", bench::scale(), bench::seed());
 }

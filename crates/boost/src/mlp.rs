@@ -49,7 +49,7 @@ impl MlpClassifier {
             store.zero_grad();
             let mut tape = Tape::new();
             let mut ctx = Ctx::new(&store);
-            let input = tape.leaf(xt.clone());
+            let input = tape.constant(xt.clone());
             let logits = mlp.forward(&mut tape, &mut ctx, &store, input);
             let loss = tape.cross_entropy(logits, targets.clone());
             tape.backward(loss);
@@ -66,7 +66,7 @@ impl MlpClassifier {
         }
         let mut tape = Tape::new();
         let mut ctx = Ctx::new(&self.store);
-        let input = tape.leaf(to_tensor(x));
+        let input = tape.constant(to_tensor(x));
         let logits = self.mlp.forward(&mut tape, &mut ctx, &self.store, input);
         let probs = tape.softmax_rows(logits);
         let v = tape.value(probs);

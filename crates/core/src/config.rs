@@ -49,7 +49,12 @@ pub enum FeatureMode {
 }
 
 /// Calibration-stage configuration, including the Table IV ablations.
+///
+/// `#[non_exhaustive]`: construct via [`Default`] and mutate fields, or let
+/// [`Dbg4EthConfig::builder`] carry it — new knobs can then be added without
+/// breaking downstream crates.
 #[derive(Clone, Copy, Debug)]
+#[non_exhaustive]
 pub struct CalibrationConfig {
     /// Apply calibration at all (`false` = "w/o calibration").
     pub enabled: bool,
@@ -66,7 +71,12 @@ impl Default for CalibrationConfig {
 }
 
 /// Full pipeline configuration.
+///
+/// `#[non_exhaustive]`: outside this crate, build one with
+/// [`Dbg4EthConfig::builder`] (validated) or start from
+/// [`Dbg4EthConfig::default`] / [`Dbg4EthConfig::fast`] and mutate fields.
 #[derive(Clone, Copy, Debug)]
+#[non_exhaustive]
 pub struct Dbg4EthConfig {
     pub gsg: GsgConfig,
     pub ldg: LdgConfig,
@@ -133,11 +143,219 @@ impl Default for Dbg4EthConfig {
     }
 }
 
+/// Why a configuration (or a training fraction) was rejected. Every range
+/// the encoder constructors would otherwise assert on is checked up front,
+/// so a bad configuration is a typed error instead of a panic deep inside
+/// `GsgEncoder::new`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ConfigError {
+    /// `epochs` must be at least 1.
+    Epochs(usize),
+    /// `batch_size` must be at least 1.
+    BatchSize(usize),
+    /// `lr` must be finite and positive.
+    LearningRate(f32),
+    /// `contrastive_weight` must be finite and non-negative.
+    ContrastiveWeight(f32),
+    /// `holdout_frac` must lie in `[0, 1)`.
+    HoldoutFrac(f64),
+    /// A training fraction must lie strictly between 0 and 1.
+    TrainFrac(f64),
+    /// Both encoder branches are disabled.
+    NoBranch,
+    /// The GSG sub-configuration is out of range.
+    Gsg(String),
+    /// The LDG sub-configuration is out of range.
+    Ldg(String),
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::Epochs(v) => write!(f, "epochs must be >= 1 (got {v})"),
+            ConfigError::BatchSize(v) => write!(f, "batch_size must be >= 1 (got {v})"),
+            ConfigError::LearningRate(v) => {
+                write!(f, "lr must be finite and positive (got {v})")
+            }
+            ConfigError::ContrastiveWeight(v) => {
+                write!(f, "contrastive_weight must be finite and non-negative (got {v})")
+            }
+            ConfigError::HoldoutFrac(v) => {
+                write!(f, "holdout_frac must lie in [0, 1) (got {v})")
+            }
+            ConfigError::TrainFrac(v) => {
+                write!(f, "train_frac must lie strictly between 0 and 1 (got {v})")
+            }
+            ConfigError::NoBranch => write!(f, "config enables no encoder branch"),
+            ConfigError::Gsg(m) => write!(f, "GSG {m}"),
+            ConfigError::Ldg(m) => write!(f, "LDG {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Validating builder for [`Dbg4EthConfig`].
+///
+/// ```no_run
+/// use dbg4eth::{ClassifierKind, Dbg4EthConfig};
+/// let cfg = Dbg4EthConfig::builder()
+///     .epochs(12)
+///     .classifier(ClassifierKind::LightGbm)
+///     .build()
+///     .expect("valid configuration");
+/// ```
+#[derive(Clone, Debug)]
+pub struct Dbg4EthConfigBuilder {
+    config: Dbg4EthConfig,
+}
+
+macro_rules! builder_setters {
+    ($($(#[$doc:meta])* $field:ident: $ty:ty),* $(,)?) => {
+        $(
+            $(#[$doc])*
+            #[must_use]
+            pub fn $field(mut self, $field: $ty) -> Self {
+                self.config.$field = $field;
+                self
+            }
+        )*
+    };
+}
+
+impl Dbg4EthConfigBuilder {
+    builder_setters! {
+        /// GSG encoder sub-configuration.
+        gsg: GsgConfig,
+        /// LDG encoder sub-configuration.
+        ldg: LdgConfig,
+        /// Enable the global static branch (`false` = "w/o GSG").
+        use_gsg: bool,
+        /// Enable the local dynamic branch (`false` = "w/o LDG").
+        use_ldg: bool,
+        /// Contrastive-regularisation weight on the GSG branch.
+        contrastive_weight: f32,
+        /// Augmentation settings of the first contrastive view.
+        aug1: AugmentConfig,
+        /// Augmentation settings of the second contrastive view.
+        aug2: AugmentConfig,
+        /// Number of LDG time slices `T`.
+        t_slices: usize,
+        /// Training epochs per encoder branch.
+        epochs: usize,
+        /// Mini-batch size.
+        batch_size: usize,
+        /// Adam learning rate.
+        lr: f32,
+        /// Calibration-stage configuration.
+        calibration: CalibrationConfig,
+        /// Which tabular classifier consumes the calibrated probabilities.
+        classifier: ClassifierKind,
+        /// Node-feature construction mode.
+        features: FeatureMode,
+        /// Fraction of the training split held out for calibration.
+        holdout_frac: f64,
+        /// Cross-fit the training-split scores.
+        cross_fit: bool,
+        /// Degree of task parallelism (0 = auto-detect).
+        parallelism: usize,
+        /// Seed of every random stage.
+        seed: u64,
+    }
+
+    /// Validate the accumulated configuration and return it.
+    pub fn build(self) -> Result<Dbg4EthConfig, ConfigError> {
+        self.config.validate()?;
+        Ok(self.config)
+    }
+}
+
 impl Dbg4EthConfig {
     /// The resolved worker-thread count for this run: `parallelism`
     /// after applying the `DBG4ETH_THREADS` override and auto-detection.
     pub fn threads(&self) -> usize {
         par::resolve_threads(self.parallelism)
+    }
+
+    /// A validating builder starting from [`Dbg4EthConfig::default`].
+    #[must_use]
+    pub fn builder() -> Dbg4EthConfigBuilder {
+        Dbg4EthConfigBuilder { config: Self::default() }
+    }
+
+    /// Continue building from this configuration (e.g. from
+    /// [`Dbg4EthConfig::fast`]).
+    #[must_use]
+    pub fn to_builder(self) -> Dbg4EthConfigBuilder {
+        Dbg4EthConfigBuilder { config: self }
+    }
+
+    /// Reject out-of-range settings with a typed [`ConfigError`]. Called by
+    /// [`Dbg4EthConfigBuilder::build`] and when a persisted configuration is
+    /// reloaded.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.epochs == 0 {
+            return Err(ConfigError::Epochs(self.epochs));
+        }
+        if self.batch_size == 0 {
+            return Err(ConfigError::BatchSize(self.batch_size));
+        }
+        if !self.lr.is_finite() || self.lr <= 0.0 {
+            return Err(ConfigError::LearningRate(self.lr));
+        }
+        if !self.contrastive_weight.is_finite() || self.contrastive_weight < 0.0 {
+            return Err(ConfigError::ContrastiveWeight(self.contrastive_weight));
+        }
+        if !(0.0..1.0).contains(&self.holdout_frac) {
+            return Err(ConfigError::HoldoutFrac(self.holdout_frac));
+        }
+        if !self.use_gsg && !self.use_ldg {
+            return Err(ConfigError::NoBranch);
+        }
+        if self.use_gsg {
+            let g = &self.gsg;
+            if g.d_in == 0 || g.hidden == 0 || g.layers == 0 || g.d_out == 0 {
+                return Err(ConfigError::Gsg(format!(
+                    "dimensions must be positive (d_in {}, hidden {}, layers {}, d_out {})",
+                    g.d_in, g.hidden, g.layers, g.d_out
+                )));
+            }
+            if g.heads == 0 || !g.hidden.is_multiple_of(g.heads) {
+                return Err(ConfigError::Gsg(format!(
+                    "hidden {} not divisible by heads {}",
+                    g.hidden, g.heads
+                )));
+            }
+            if g.n_classes < 2 {
+                return Err(ConfigError::Gsg(format!("n_classes {} < 2", g.n_classes)));
+            }
+        }
+        if self.use_ldg {
+            let l = &self.ldg;
+            if l.d_in == 0 || l.hidden == 0 || l.d_out == 0 || self.t_slices == 0 {
+                return Err(ConfigError::Ldg(format!(
+                    "dimensions must be positive (d_in {}, hidden {}, d_out {}, t_slices {})",
+                    l.d_in, l.hidden, l.d_out, self.t_slices
+                )));
+            }
+            if !(1..=l.pool_clusters.len()).contains(&l.pool_layers) {
+                return Err(ConfigError::Ldg(format!(
+                    "pool_layers {} outside 1..={}",
+                    l.pool_layers,
+                    l.pool_clusters.len()
+                )));
+            }
+            if l.pool_clusters.contains(&0) {
+                return Err(ConfigError::Ldg(format!(
+                    "pool_clusters {:?} contain zero",
+                    l.pool_clusters
+                )));
+            }
+            if l.n_classes < 2 {
+                return Err(ConfigError::Ldg(format!("n_classes {} < 2", l.n_classes)));
+            }
+        }
+        Ok(())
     }
 
     /// A fast, reduced configuration for tests and CI.
@@ -156,5 +374,76 @@ impl Dbg4EthConfig {
             contrastive_weight: 0.1,
             ..Self::default()
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults_match_default_config() {
+        let built = Dbg4EthConfig::builder().build().unwrap();
+        assert_eq!(format!("{built:?}"), format!("{:?}", Dbg4EthConfig::default()));
+    }
+
+    #[test]
+    fn builder_applies_every_setter_it_is_given() {
+        let cfg = Dbg4EthConfig::builder()
+            .epochs(12)
+            .batch_size(4)
+            .lr(0.01)
+            .t_slices(6)
+            .classifier(ClassifierKind::XgBoost)
+            .holdout_frac(0.25)
+            .cross_fit(false)
+            .parallelism(2)
+            .seed(9)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.epochs, 12);
+        assert_eq!(cfg.batch_size, 4);
+        assert_eq!(cfg.lr, 0.01);
+        assert_eq!(cfg.t_slices, 6);
+        assert_eq!(cfg.classifier, ClassifierKind::XgBoost);
+        assert_eq!(cfg.holdout_frac, 0.25);
+        assert!(!cfg.cross_fit);
+        assert_eq!(cfg.parallelism, 2);
+        assert_eq!(cfg.seed, 9);
+    }
+
+    #[test]
+    fn builder_rejects_out_of_range_settings() {
+        assert!(matches!(Dbg4EthConfig::builder().epochs(0).build(), Err(ConfigError::Epochs(0))));
+        assert!(matches!(
+            Dbg4EthConfig::builder().batch_size(0).build(),
+            Err(ConfigError::BatchSize(0))
+        ));
+        assert!(matches!(
+            Dbg4EthConfig::builder().lr(-0.5).build(),
+            Err(ConfigError::LearningRate(_))
+        ));
+        assert!(matches!(
+            Dbg4EthConfig::builder().holdout_frac(1.0).build(),
+            Err(ConfigError::HoldoutFrac(_))
+        ));
+        assert!(matches!(
+            Dbg4EthConfig::builder().use_gsg(false).use_ldg(false).build(),
+            Err(ConfigError::NoBranch)
+        ));
+        let bad_heads = GsgConfig { hidden: 32, heads: 3, ..GsgConfig::default() };
+        assert!(matches!(
+            Dbg4EthConfig::builder().gsg(bad_heads).build(),
+            Err(ConfigError::Gsg(_))
+        ));
+        let bad_pool = LdgConfig { pool_layers: 0, ..LdgConfig::default() };
+        assert!(matches!(Dbg4EthConfig::builder().ldg(bad_pool).build(), Err(ConfigError::Ldg(_))));
+    }
+
+    #[test]
+    fn to_builder_continues_from_an_existing_config() {
+        let cfg = Dbg4EthConfig::fast().to_builder().epochs(3).build().unwrap();
+        assert_eq!(cfg.epochs, 3);
+        assert_eq!(cfg.t_slices, Dbg4EthConfig::fast().t_slices);
     }
 }

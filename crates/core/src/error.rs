@@ -1,0 +1,82 @@
+//! The crate-wide error surface.
+//!
+//! Every fallible entry point of the [`crate::Session`] API returns
+//! [`enum@Error`], which wraps the three underlying error families —
+//! container I/O ([`ModelIoError`]), per-account scoring
+//! ([`ScoreError`]) and configuration validation ([`ConfigError`]) — so
+//! downstream binaries match on one type instead of three crates' worth.
+
+use crate::config::ConfigError;
+use crate::model::ScoreError;
+use model_io::ModelIoError;
+
+/// Any failure the dbg4eth pipeline can report.
+#[derive(Debug)]
+pub enum Error {
+    /// Reading or writing a model container failed.
+    Io(ModelIoError),
+    /// An account could not be scored under strict options.
+    Score(ScoreError),
+    /// A configuration (or training fraction) was out of range.
+    Config(ConfigError),
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::Io(e) => write!(f, "model io: {e}"),
+            Error::Score(e) => write!(f, "scoring: {e}"),
+            Error::Config(e) => write!(f, "config: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            Error::Score(e) => Some(e),
+            Error::Config(e) => Some(e),
+        }
+    }
+}
+
+impl From<ModelIoError> for Error {
+    fn from(e: ModelIoError) -> Self {
+        Error::Io(e)
+    }
+}
+
+impl From<ScoreError> for Error {
+    fn from(e: ScoreError) -> Self {
+        Error::Score(e)
+    }
+}
+
+impl From<ConfigError> for Error {
+    fn from(e: ConfigError) -> Self {
+        Error::Config(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_impls_preserve_the_variant() {
+        let e: Error = ConfigError::Epochs(0).into();
+        assert!(matches!(e, Error::Config(ConfigError::Epochs(0))));
+        let e: Error = ScoreError::Dropped.into();
+        assert!(matches!(e, Error::Score(ScoreError::Dropped)));
+        let e: Error = ModelIoError::Corrupt { context: "x".into() }.into();
+        assert!(matches!(e, Error::Io(ModelIoError::Corrupt { .. })));
+    }
+
+    #[test]
+    fn display_names_the_family_and_sources_chain() {
+        let e: Error = ConfigError::NoBranch.into();
+        assert!(e.to_string().starts_with("config: "));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -25,16 +25,23 @@
 //! ```
 
 mod config;
+mod error;
 mod model;
 mod multiclass;
 mod pipeline;
 pub mod report;
+mod session;
 mod trainer;
 
-pub use config::{CalibrationConfig, ClassifierKind, Dbg4EthConfig, FeatureMode};
+pub use config::{
+    CalibrationConfig, ClassifierKind, ConfigError, Dbg4EthConfig, Dbg4EthConfigBuilder,
+    FeatureMode,
+};
+pub use error::Error;
+#[allow(deprecated)] // re-exported for one release; Session replaces them
+pub use model::{infer, infer_detailed, train};
 pub use model::{
-    infer, infer_detailed, train, AccountScore, DegradedLoad, InferReport, ScoreError, TrainOutput,
-    TrainedBranch, TrainedModel,
+    AccountScore, DegradedLoad, InferReport, ScoreError, TrainOutput, TrainedBranch, TrainedModel,
 };
 pub use model_io::ModelIoError;
 pub use multiclass::{run_multiclass, MultiClassResult};
@@ -42,4 +49,5 @@ pub use pipeline::{
     encode, finish, fit_predict_classifier, run, BranchDiagnostics, BranchEncoding, EncodedDataset,
     RunOutput,
 };
+pub use session::{InferOptions, Session};
 pub use trainer::{train_gsg, train_ldg, BranchScorer, EpochStats, TrainedGsg, TrainedLdg};

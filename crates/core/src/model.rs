@@ -163,8 +163,19 @@ fn classifier_config(config: &Dbg4EthConfig) -> GbdtConfig {
 ///
 /// The training computation is shared with [`crate::run`]: the returned
 /// `run.test_scores` are bit-identical to what `run` would produce for the
-/// same inputs, and `infer(&model, test_graphs)` reproduces them.
+/// same inputs, and scoring the test graphs through the model reproduces
+/// them.
+#[deprecated(note = "use dbg4eth::Session::train")]
 pub fn train(dataset: &GraphDataset, train_frac: f64, config: &Dbg4EthConfig) -> TrainOutput {
+    train_impl(dataset, train_frac, config)
+}
+
+/// Shared training body behind [`train`] and [`crate::Session::train`].
+pub(crate) fn train_impl(
+    dataset: &GraphDataset,
+    train_frac: f64,
+    config: &Dbg4EthConfig,
+) -> TrainOutput {
     let _span = obs::span("model.train");
     obs::counter_add("model.trains", 1);
     let gbdt_config = classifier_config(config);
@@ -208,8 +219,9 @@ pub fn train(dataset: &GraphDataset, train_frac: f64, config: &Dbg4EthConfig) ->
 /// cannot be scored at all (invalid subgraph, contained panic with no
 /// fallback) panics with the typed reason. On valid inputs with no fault
 /// plan the output is bit-identical to the degradation-free pipeline.
+#[deprecated(note = "use dbg4eth::Session::score_with with InferOptions { strict: true, .. }")]
 pub fn infer(model: &TrainedModel, accounts: &[Subgraph]) -> Vec<f64> {
-    infer_detailed(model, accounts)
+    infer_impl(model, accounts, model.config.threads())
         .scores
         .into_iter()
         .enumerate()
@@ -244,11 +256,22 @@ pub fn infer(model: &TrainedModel, accounts: &[Subgraph]) -> Vec<f64> {
 /// Every degradation is counted in the obs registry (`infer.quarantined`,
 /// `infer.degraded`, `infer.branch_failures`, `infer.calibrator_fallbacks`,
 /// `infer.classifier_fallbacks`) and lands in the JSON run-report.
+#[deprecated(note = "use dbg4eth::Session::score / Session::score_with")]
 pub fn infer_detailed(model: &TrainedModel, accounts: &[Subgraph]) -> InferReport {
+    infer_impl(model, accounts, model.config.threads())
+}
+
+/// Shared serving body behind [`infer`], [`infer_detailed`] and
+/// [`crate::Session::score_with`]. `threads` is the already-resolved worker
+/// count; every setting produces bit-identical scores.
+pub(crate) fn infer_impl(
+    model: &TrainedModel,
+    accounts: &[Subgraph],
+    threads: usize,
+) -> InferReport {
     let _span = obs::span("model.infer");
     obs::counter_add("model.infers", 1);
     obs::counter_add("model.infer.accounts", accounts.len() as u64);
-    let threads = model.config.threads();
     let mut results: Vec<Option<Result<AccountScore, ScoreError>>> = vec![None; accounts.len()];
 
     // Rung 1: validation + drop quarantine.
@@ -962,50 +985,10 @@ pub(crate) fn read_config(s: &mut SectionReader) -> Result<Dbg4EthConfig, ModelI
 
 /// Reject configurations the encoder constructors would assert on — a
 /// tampered-but-checksummed file must fail with a typed error, not a panic
-/// deep inside `GsgEncoder::new`.
+/// deep inside `GsgEncoder::new`. The range checks themselves live on
+/// [`Dbg4EthConfig::validate`], shared with the builder.
 fn validate_config(c: &Dbg4EthConfig) -> Result<(), ModelIoError> {
-    let bad = |context: String| Err(ModelIoError::Corrupt { context });
-    if !c.use_gsg && !c.use_ldg {
-        return bad("config enables no encoder branch".to_string());
-    }
-    if c.use_gsg {
-        let g = &c.gsg;
-        if g.d_in == 0 || g.hidden == 0 || g.layers == 0 || g.d_out == 0 {
-            return bad(format!(
-                "GSG dimensions must be positive (d_in {}, hidden {}, layers {}, d_out {})",
-                g.d_in, g.hidden, g.layers, g.d_out
-            ));
-        }
-        if g.heads == 0 || !g.hidden.is_multiple_of(g.heads) {
-            return bad(format!("GSG hidden {} not divisible by heads {}", g.hidden, g.heads));
-        }
-        if g.n_classes < 2 {
-            return bad(format!("GSG n_classes {} < 2", g.n_classes));
-        }
-    }
-    if c.use_ldg {
-        let l = &c.ldg;
-        if l.d_in == 0 || l.hidden == 0 || l.d_out == 0 || c.t_slices == 0 {
-            return bad(format!(
-                "LDG dimensions must be positive (d_in {}, hidden {}, d_out {}, t_slices {})",
-                l.d_in, l.hidden, l.d_out, c.t_slices
-            ));
-        }
-        if !(1..=l.pool_clusters.len()).contains(&l.pool_layers) {
-            return bad(format!(
-                "LDG pool_layers {} outside 1..={}",
-                l.pool_layers,
-                l.pool_clusters.len()
-            ));
-        }
-        if l.pool_clusters.contains(&0) {
-            return bad(format!("LDG pool_clusters {:?} contain zero", l.pool_clusters));
-        }
-        if l.n_classes < 2 {
-            return bad(format!("LDG n_classes {} < 2", l.n_classes));
-        }
-    }
-    Ok(())
+    c.validate().map_err(|e| ModelIoError::Corrupt { context: e.to_string() })
 }
 
 #[cfg(test)]

@@ -5,8 +5,9 @@ use gnn::{augment, nt_xent, GraphTensors, GsgEncoder, LdgEncoder};
 use nn::{Adam, Ctx, ParamStore};
 use rand::rngs::StdRng;
 use rand::{seq::SliceRandom, SeedableRng};
+use std::cell::RefCell;
 use std::sync::Arc;
-use tensor::{Tape, Var};
+use tensor::{BufferPool, Tape, Var};
 
 /// Per-epoch training statistics.
 #[derive(Clone, Copy, Debug)]
@@ -44,6 +45,9 @@ pub fn train_gsg(graphs: &[&GraphTensors], config: &Dbg4EthConfig) -> TrainedGsg
     let encoder = GsgEncoder::new(&mut store, &mut rng, config.gsg);
     let mut opt = Adam::new(config.lr);
     let mut history = Vec::with_capacity(config.epochs);
+    // Forward values and gradients reuse freed buffers across batches and
+    // epochs instead of allocating per tape node.
+    let mut pool = BufferPool::new();
 
     for epoch in 0..config.epochs {
         let mut epoch_loss = 0.0f32;
@@ -51,7 +55,7 @@ pub fn train_gsg(graphs: &[&GraphTensors], config: &Dbg4EthConfig) -> TrainedGsg
         let mut n_batches = 0;
         for batch in batches(graphs.len(), config.batch_size, &mut rng) {
             store.zero_grad();
-            let mut tape = Tape::new();
+            let mut tape = Tape::with_pool(std::mem::take(&mut pool));
             let mut ctx = Ctx::new(&store);
             let mut logits: Option<Var> = None;
             let mut proj1: Option<Var> = None;
@@ -114,6 +118,7 @@ pub fn train_gsg(graphs: &[&GraphTensors], config: &Dbg4EthConfig) -> TrainedGsg
             ctx.accumulate_grads(&tape, &mut store);
             store.clip_grad_norm(5.0);
             opt.step(&mut store);
+            pool = tape.into_pool();
         }
         let stats = EpochStats {
             loss: epoch_loss / n_batches.max(1) as f32,
@@ -144,13 +149,14 @@ pub fn train_ldg(graphs: &[&GraphTensors], config: &Dbg4EthConfig) -> TrainedLdg
     let encoder = LdgEncoder::new(&mut store, &mut rng, ldg_cfg);
     let mut opt = Adam::new(config.lr);
     let mut history = Vec::with_capacity(config.epochs);
+    let mut pool = BufferPool::new();
 
     for epoch in 0..config.epochs {
         let mut epoch_loss = 0.0f32;
         let mut n_batches = 0;
         for batch in batches(graphs.len(), config.batch_size, &mut rng) {
             store.zero_grad();
-            let mut tape = Tape::new();
+            let mut tape = Tape::with_pool(std::mem::take(&mut pool));
             let mut ctx = Ctx::new(&store);
             let mut logits: Option<Var> = None;
             let mut targets = Vec::with_capacity(batch.len());
@@ -170,6 +176,7 @@ pub fn train_ldg(graphs: &[&GraphTensors], config: &Dbg4EthConfig) -> TrainedLdg
             ctx.accumulate_grads(&tape, &mut store);
             store.clip_grad_norm(5.0);
             opt.step(&mut store);
+            pool = tape.into_pool();
         }
         let stats = EpochStats { loss: epoch_loss / n_batches.max(1) as f32, contrastive: 0.0 };
         obs::debug!("train.ldg", "epoch {}/{}: loss {:.4}", epoch + 1, config.epochs, stats.loss);
@@ -207,11 +214,20 @@ pub trait BranchScorer: Sync {
 }
 
 fn forward_log_odds(store: &ParamStore, forward: impl Fn(&mut Tape, &mut Ctx) -> Var) -> f64 {
-    let mut tape = Tape::new();
-    let mut ctx = Ctx::new(store);
-    let logits = forward(&mut tape, &mut ctx);
-    let v = tape.value(logits);
-    (v.get(0, 1) - v.get(0, 0)) as f64
+    // Each scoring worker thread keeps its own buffer pool, so parallel
+    // inference reuses allocations without sharing state across threads.
+    thread_local! {
+        static SCORE_POOL: RefCell<BufferPool> = RefCell::new(BufferPool::new());
+    }
+    SCORE_POOL.with(|pool| {
+        let mut tape = Tape::with_pool(std::mem::take(&mut *pool.borrow_mut()));
+        let mut ctx = Ctx::new(store);
+        let logits = forward(&mut tape, &mut ctx);
+        let v = tape.value(logits);
+        let odds = (v.get(0, 1) - v.get(0, 0)) as f64;
+        *pool.borrow_mut() = tape.into_pool();
+        odds
+    })
 }
 
 impl BranchScorer for TrainedGsg {

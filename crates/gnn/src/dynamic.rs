@@ -7,7 +7,8 @@ use crate::graphdata::GraphTensors;
 use crate::layers::GcnLayer;
 use nn::{Activation, Ctx, GruCell, Linear, ParamId, ParamStore};
 use rand::Rng;
-use tensor::{Tape, Var};
+use std::sync::Arc;
+use tensor::{Csr, Tape, Var};
 
 /// Configuration of the LDG encoder.
 #[derive(Clone, Copy, Debug)]
@@ -110,18 +111,29 @@ impl LdgEncoder {
         tape: &mut Tape,
         ctx: &mut Ctx,
         store: &ParamStore,
-        mut adj: Var,
+        adj_csr: &Arc<Csr>,
         mut h: Var,
     ) -> Var {
+        // Stage 0 consumes the slice's constant CSR adjacency (the `A` side
+        // of Eq. 21's Mᵀ A M goes through the sparse kernel). Coarsened
+        // stages operate on small dense adjacencies that carry gradients
+        // through M, so they stay on the dense tape path.
+        let mut adj: Option<Var> = None;
         for stage in &self.assign {
             // Eq. 19: M_t = softmax(GNN(A_t, h_t)).
-            let scores = stage.forward(tape, ctx, store, adj, h);
+            let scores = match adj {
+                None => stage.forward_csr(tape, ctx, store, adj_csr, h),
+                Some(a) => stage.forward(tape, ctx, store, a, h),
+            };
             let m = tape.softmax_rows(scores);
             let mt = tape.transpose(m);
             // Eq. 20: h_pool = Mᵀ h. Eq. 21: A_pool = Mᵀ A M.
             h = tape.matmul(mt, h);
-            let am = tape.matmul(adj, m);
-            adj = tape.matmul(mt, am);
+            let am = match adj {
+                None => tape.spmm(adj_csr, m),
+                Some(a) => tape.matmul(a, m),
+            };
+            adj = Some(tape.matmul(mt, am));
         }
         tape.mean_pool_rows(h)
     }
@@ -136,21 +148,20 @@ impl LdgEncoder {
         store: &ParamStore,
         graph: &GraphTensors,
     ) -> LdgOutput {
-        assert!(!graph.slice_adj.is_empty(), "LDG needs time slices");
-        let x = tape.leaf(graph.x.clone());
+        assert!(!graph.slice_adj_csr.is_empty(), "LDG needs time slices");
+        let x = tape.constant_copy(&graph.x);
         let mut h = self.input_proj.forward(tape, ctx, store, x);
 
         let mut pooled: Option<Var> = None;
         for t in 0..self.config.t_slices {
-            let adj_tensor =
-                graph.slice_adj.get(t).unwrap_or_else(|| graph.slice_adj.last().unwrap());
-            let adj = tape.leaf(adj_tensor.clone());
+            let adj_csr =
+                graph.slice_adj_csr.get(t).unwrap_or_else(|| graph.slice_adj_csr.last().unwrap());
             // Eq. 14: topological features from the previous evolutionary
             // state. Eqs. 15-18: GRU update.
-            let u_t = self.gcn.forward(tape, ctx, store, adj, h);
+            let u_t = self.gcn.forward_csr(tape, ctx, store, adj_csr, h);
             h = self.gru.forward(tape, ctx, store, u_t, h);
             // Eqs. 19-21: per-slice hierarchical pooling.
-            let p = self.pool_slice(tape, ctx, store, adj, h);
+            let p = self.pool_slice(tape, ctx, store, adj_csr, h);
             pooled = Some(match pooled {
                 None => p,
                 Some(acc) => tape.concat_rows(acc, p),

@@ -3,7 +3,7 @@
 use eth_graph::adj::{gcn_norm_adjacency, log_scale_weight};
 use eth_graph::Subgraph;
 use std::sync::Arc;
-use tensor::Tensor;
+use tensor::{Csr, Tensor};
 
 /// A subgraph lowered to tensors.
 ///
@@ -23,6 +23,11 @@ pub struct GraphTensors {
     pub edge_feat: Tensor,
     pub gsg_adj: Tensor,
     pub slice_adj: Vec<Tensor>,
+    /// CSR view of `gsg_adj`, built once at lowering for sparse message
+    /// passing; the dense sibling is kept for baselines that consume it.
+    pub gsg_adj_csr: Arc<Csr>,
+    /// CSR views of `slice_adj`, one per time slice (the LDG hot path).
+    pub slice_adj_csr: Vec<Arc<Csr>>,
     /// The centre account's transaction sequence, time-ordered and capped at
     /// [`CENTER_SEQ_LEN`] rows of `[log-value, direction, log-fee,
     /// normalised time, is-contract-call]` — consumed by sequence models
@@ -102,7 +107,7 @@ impl GraphTensors {
             dst.push(v);
         }
         let gsg_adj = gcn_norm_adjacency(n, &weighted);
-        let slice_adj = graph
+        let slice_adj: Vec<Tensor> = graph
             .time_slices(t_slices)
             .into_iter()
             .map(|s| {
@@ -111,6 +116,8 @@ impl GraphTensors {
                 gcn_norm_adjacency(n, &edges)
             })
             .collect();
+        let gsg_adj_csr = Arc::new(Csr::from_dense(&gsg_adj));
+        let slice_adj_csr = slice_adj.iter().map(|a| Arc::new(Csr::from_dense(a))).collect();
         Self {
             n,
             x,
@@ -119,6 +126,8 @@ impl GraphTensors {
             edge_feat,
             gsg_adj,
             slice_adj,
+            gsg_adj_csr,
+            slice_adj_csr,
             center_seq: build_center_seq(graph),
             label: graph.label,
         }
@@ -234,6 +243,17 @@ mod tests {
         assert_eq!(t.center_seq.get(2, 1), -1.0);
         // Normalised time is monotone.
         assert!(t.center_seq.get(0, 3) <= t.center_seq.get(2, 3));
+    }
+
+    #[test]
+    fn csr_views_match_dense_adjacencies_bitwise() {
+        let g = graph();
+        let t = GraphTensors::from_subgraph(&g, 4);
+        assert_eq!(t.gsg_adj_csr.to_dense().to_bits_vec(), t.gsg_adj.to_bits_vec());
+        assert_eq!(t.slice_adj_csr.len(), t.slice_adj.len());
+        for (c, d) in t.slice_adj_csr.iter().zip(&t.slice_adj) {
+            assert_eq!(c.to_dense().to_bits_vec(), d.to_bits_vec());
+        }
     }
 
     #[test]

@@ -118,15 +118,15 @@ impl GsgEncoder {
         dst: &Arc<Vec<usize>>,
         edge_feat: &Tensor,
     ) -> GsgOutput {
-        let xv = tape.leaf(x.clone());
-        let ef = tape.leaf(edge_feat.clone());
+        let xv = tape.constant_copy(x);
+        let ef = tape.constant_copy(edge_feat);
 
         // Eq. 6 — alignment. Per-edge source features fused with the edge
         // features; per-node self representations fused with zeros.
         let x_src = tape.gather_rows(xv, src.clone());
         let edge_in = tape.concat_cols(x_src, ef);
         let aligned_edges = self.align.forward(tape, ctx, store, edge_in);
-        let zeros = tape.leaf(Tensor::zeros(n, 2));
+        let zeros = tape.constant(Tensor::zeros(n, 2));
         let node_in = tape.concat_cols(xv, zeros);
         let mut h = self.align.forward(tape, ctx, store, node_in);
 

@@ -145,7 +145,7 @@ impl Ctx {
         if let Some(v) = self.vars[id.0] {
             return v;
         }
-        let v = tape.leaf(store.values_slice()[id.0].clone());
+        let v = tape.leaf_copy(&store.values_slice()[id.0]);
         self.vars[id.0] = Some(v);
         v
     }

@@ -1,6 +1,7 @@
 //! Offline mini property-testing harness exposing the subset of the
-//! `proptest` API this workspace uses: [`Strategy`] with `prop_map`, range
-//! and tuple strategies, `prop::collection::vec`, [`any`], the
+//! `proptest` API this workspace uses: [`Strategy`] with `prop_map` and
+//! `prop_flat_map`, range and tuple strategies, [`Just`],
+//! `prop::collection::vec`, [`any`], the
 //! [`proptest!`]/[`prop_assert!`]/[`prop_assert_eq!`]/[`prop_assume!`]
 //! macros and [`ProptestConfig::with_cases`].
 //!
@@ -41,6 +42,25 @@ pub trait Strategy {
     {
         Map { inner: self, f }
     }
+
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// A strategy that always yields (a clone of) the same value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
 }
 
 /// The result of [`Strategy::prop_map`].
@@ -54,6 +74,21 @@ impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
 
     fn sample(&self, rng: &mut StdRng) -> U {
         (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// The result of [`Strategy::prop_flat_map`]: a strategy whose shape depends
+/// on a first-stage sample (e.g. a vector length drawn before its elements).
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+
+    fn sample(&self, rng: &mut StdRng) -> S2::Value {
+        (self.f)(self.inner.sample(rng)).sample(rng)
     }
 }
 
@@ -76,7 +111,7 @@ macro_rules! range_strategy {
     )*};
 }
 
-range_strategy!(usize, u64, u32, i64, i32);
+range_strategy!(usize, u64, u32, u16, u8, i64, i32, i16, i8);
 
 macro_rules! float_range_strategy {
     ($($t:ty),*) => {$(
@@ -215,8 +250,8 @@ pub mod prop {
 /// The usual glob-import surface.
 pub mod prelude {
     pub use crate::{
-        any, prop, prop_assert, prop_assert_eq, prop_assume, proptest, Arbitrary, ProptestConfig,
-        Strategy,
+        any, prop, prop_assert, prop_assert_eq, prop_assume, proptest, Arbitrary, Just,
+        ProptestConfig, Strategy,
     };
 }
 
@@ -313,6 +348,14 @@ mod tests {
         fn mapping_and_assume(v in prop::collection::vec(0u64..100, 0..6).prop_map(|v| v.len())) {
             prop_assume!(v > 0);
             prop_assert!(v < 6);
+        }
+
+        #[test]
+        fn flat_map_ties_dependent_dimensions(
+            (n, v) in (1usize..8).prop_flat_map(|n| (Just(n), prop::collection::vec(0usize..n, n))),
+        ) {
+            prop_assert_eq!(v.len(), n);
+            prop_assert!(v.iter().all(|&x| x < n));
         }
     }
 

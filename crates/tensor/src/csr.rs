@@ -1,0 +1,344 @@
+//! Compressed sparse row adjacency matrices and SpMM kernels.
+//!
+//! The encoder hot path multiplies graph adjacencies — overwhelmingly sparse
+//! (the sampled subgraphs have 11–183 nodes and 11–813 transactions) — with
+//! dense feature matrices. [`Csr`] stores only the nonzero entries, and its
+//! kernels are written so the result is **bit-identical** to the dense
+//! [`Tensor::matmul`] path:
+//!
+//! * `Tensor::matmul` is an ikj loop that skips entries with `a == 0.0`
+//!   (which also skips `-0.0`) and accumulates `out[i] += a * b[p]` for `p`
+//!   ascending. A CSR built by [`Csr::from_dense`] keeps exactly the entries
+//!   with `v != 0.0` in ascending column order, so [`Csr::matmul_dense`]
+//!   performs the *same* additions in the *same* order.
+//! * The backward product `Aᵀ @ g` is served by a transpose (CSC) index
+//!   built at construction, whose per-column entries are ordered by ascending
+//!   row — again matching `A.transpose().matmul(&g)` addition-for-addition.
+//!
+//! Float addition is not associative, so this ordering contract is what lets
+//! the sparse path slot under the golden-trace regression test without
+//! changing a single bit of the model outputs.
+
+use crate::tensor::Tensor;
+
+/// A sparse matrix in compressed sparse row form, with a precomputed
+/// transpose index for the backward pass.
+///
+/// Invariants (enforced by the constructors):
+/// * `row_ptr` has `rows + 1` entries, is non-decreasing, starts at 0 and
+///   ends at `nnz`,
+/// * column indices within each row are strictly ascending (no duplicates),
+/// * every column index is `< cols`.
+///
+/// Stored values may include explicit zeros (e.g. from
+/// [`Csr::from_triplets`]); the kernels re-apply the dense loop's
+/// `a == 0.0` skip so such entries still contribute nothing, exactly like
+/// the dense path.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Csr {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    vals: Vec<f32>,
+    /// Transpose (CSC) index: `t_row_ptr[j]..t_row_ptr[j + 1]` spans column
+    /// `j`'s entries, listing original row indices in ascending order.
+    t_row_ptr: Vec<usize>,
+    t_row_idx: Vec<usize>,
+    t_vals: Vec<f32>,
+}
+
+impl Csr {
+    /// Build from a dense matrix, keeping entries with `v != 0.0` — the
+    /// exact complement of the dense matmul's zero skip, so `-0.0` entries
+    /// are dropped while subnormals and NaNs are kept.
+    pub fn from_dense(a: &Tensor) -> Self {
+        let (rows, cols) = a.shape();
+        let mut row_ptr = Vec::with_capacity(rows + 1);
+        row_ptr.push(0);
+        let mut col_idx = Vec::new();
+        let mut vals = Vec::new();
+        for i in 0..rows {
+            for (j, &v) in a.row(i).iter().enumerate() {
+                if v != 0.0 {
+                    col_idx.push(j);
+                    vals.push(v);
+                }
+            }
+            row_ptr.push(col_idx.len());
+        }
+        Self::from_parts(rows, cols, row_ptr, col_idx, vals)
+    }
+
+    /// Build from `(row, col, value)` triplets in any order. Panics on
+    /// out-of-bounds indices or duplicate `(row, col)` pairs.
+    pub fn from_triplets(rows: usize, cols: usize, entries: &[(usize, usize, f32)]) -> Self {
+        let mut sorted: Vec<(usize, usize, f32)> = entries.to_vec();
+        sorted.sort_by_key(|&(r, c, _)| (r, c));
+        let mut row_ptr = Vec::with_capacity(rows + 1);
+        row_ptr.push(0);
+        let mut col_idx = Vec::with_capacity(sorted.len());
+        let mut vals = Vec::with_capacity(sorted.len());
+        let mut cursor = 0;
+        for i in 0..rows {
+            while cursor < sorted.len() && sorted[cursor].0 == i {
+                let (_, c, v) = sorted[cursor];
+                assert!(
+                    col_idx.len() == row_ptr[i] || *col_idx.last().unwrap() != c,
+                    "duplicate entry at ({i}, {c})"
+                );
+                col_idx.push(c);
+                vals.push(v);
+                cursor += 1;
+            }
+            row_ptr.push(col_idx.len());
+        }
+        assert_eq!(cursor, sorted.len(), "triplet row index out of bounds {rows}");
+        Self::from_parts(rows, cols, row_ptr, col_idx, vals)
+    }
+
+    fn from_parts(
+        rows: usize,
+        cols: usize,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<usize>,
+        vals: Vec<f32>,
+    ) -> Self {
+        assert_eq!(row_ptr.len(), rows + 1, "row_ptr length");
+        assert_eq!(col_idx.len(), vals.len(), "col_idx/vals length");
+        assert_eq!(*row_ptr.last().unwrap(), col_idx.len(), "row_ptr end");
+        for i in 0..rows {
+            assert!(row_ptr[i] <= row_ptr[i + 1], "row_ptr must be non-decreasing");
+            let cs = &col_idx[row_ptr[i]..row_ptr[i + 1]];
+            for w in cs.windows(2) {
+                assert!(w[0] < w[1], "columns must be strictly ascending in row {i}");
+            }
+            if let Some(&last) = cs.last() {
+                assert!(last < cols, "column {last} out of bounds {cols}");
+            }
+        }
+
+        // Transpose index. Scattering row-by-row in ascending `i` leaves
+        // each column's entries ordered by ascending row — the order
+        // `A.transpose().matmul(&g)` visits them in.
+        let nnz = vals.len();
+        let mut counts = vec![0usize; cols];
+        for &c in &col_idx {
+            counts[c] += 1;
+        }
+        let mut t_row_ptr = Vec::with_capacity(cols + 1);
+        t_row_ptr.push(0);
+        for c in 0..cols {
+            t_row_ptr.push(t_row_ptr[c] + counts[c]);
+        }
+        let mut next = t_row_ptr[..cols].to_vec();
+        let mut t_row_idx = vec![0usize; nnz];
+        let mut t_vals = vec![0.0f32; nnz];
+        for i in 0..rows {
+            for e in row_ptr[i]..row_ptr[i + 1] {
+                let c = col_idx[e];
+                let slot = next[c];
+                t_row_idx[slot] = i;
+                t_vals[slot] = vals[e];
+                next[c] += 1;
+            }
+        }
+
+        Self { rows, cols, row_ptr, col_idx, vals, t_row_ptr, t_row_idx, t_vals }
+    }
+
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Fraction of stored entries (0.0 for an empty matrix).
+    pub fn density(&self) -> f64 {
+        if self.rows * self.cols == 0 {
+            0.0
+        } else {
+            self.nnz() as f64 / (self.rows * self.cols) as f64
+        }
+    }
+
+    /// Materialise as a dense [`Tensor`].
+    pub fn to_dense(&self) -> Tensor {
+        let mut out = Tensor::zeros(self.rows, self.cols);
+        for i in 0..self.rows {
+            for e in self.row_ptr[i]..self.row_ptr[i + 1] {
+                out.set(i, self.col_idx[e], self.vals[e]);
+            }
+        }
+        out
+    }
+
+    /// `self @ b`, bit-identical to `self.to_dense().matmul(b)`.
+    pub fn matmul_dense(&self, b: &Tensor) -> Tensor {
+        let mut out = Tensor::zeros(self.rows, b.cols());
+        self.matmul_dense_into(b, &mut out);
+        out
+    }
+
+    /// `self @ b` written into `out` (shape `(self.rows, b.cols)`; prior
+    /// contents are overwritten).
+    pub fn matmul_dense_into(&self, b: &Tensor, out: &mut Tensor) {
+        assert_eq!(
+            self.cols,
+            b.rows(),
+            "spmm shape mismatch: ({}, {}) @ ({}, {})",
+            self.rows,
+            self.cols,
+            b.rows(),
+            b.cols()
+        );
+        assert_eq!(out.shape(), (self.rows, b.cols()), "spmm output shape");
+        for i in 0..self.rows {
+            let out_row = out.row_mut(i);
+            out_row.fill(0.0);
+            for e in self.row_ptr[i]..self.row_ptr[i + 1] {
+                let a = self.vals[e];
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = b.row(self.col_idx[e]);
+                for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += a * bv;
+                }
+            }
+        }
+    }
+
+    /// `selfᵀ @ g`, bit-identical to `self.to_dense().transpose().matmul(g)`
+    /// — the backward product of an SpMM with respect to its dense operand.
+    pub fn transpose_matmul_dense(&self, g: &Tensor) -> Tensor {
+        let mut out = Tensor::zeros(self.cols, g.cols());
+        self.transpose_matmul_dense_into(g, &mut out);
+        out
+    }
+
+    /// `selfᵀ @ g` written into `out` (shape `(self.cols, g.cols)`; prior
+    /// contents are overwritten).
+    pub fn transpose_matmul_dense_into(&self, g: &Tensor, out: &mut Tensor) {
+        assert_eq!(
+            self.rows,
+            g.rows(),
+            "spmm^T shape mismatch: ({}, {})^T @ ({}, {})",
+            self.rows,
+            self.cols,
+            g.rows(),
+            g.cols()
+        );
+        assert_eq!(out.shape(), (self.cols, g.cols()), "spmm^T output shape");
+        for j in 0..self.cols {
+            let out_row = out.row_mut(j);
+            out_row.fill(0.0);
+            for e in self.t_row_ptr[j]..self.t_row_ptr[j + 1] {
+                let a = self.t_vals[e];
+                if a == 0.0 {
+                    continue;
+                }
+                let g_row = g.row(self.t_row_idx[e]);
+                for (o, &gv) in out_row.iter_mut().zip(g_row.iter()) {
+                    *o += a * gv;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dense_fixture() -> Tensor {
+        Tensor::from_vec(3, 4, vec![0.0, 2.0, 0.0, -1.0, 0.0, 0.0, 0.0, 0.0, 3.5, 0.0, 0.25, 0.0])
+    }
+
+    #[test]
+    fn from_dense_roundtrip_and_nnz() {
+        let d = dense_fixture();
+        let s = Csr::from_dense(&d);
+        assert_eq!(s.shape(), (3, 4));
+        assert_eq!(s.nnz(), 4);
+        assert_eq!(s.to_dense(), d);
+    }
+
+    #[test]
+    fn spmm_matches_dense_matmul_bitwise() {
+        let d = dense_fixture();
+        let s = Csr::from_dense(&d);
+        let b = Tensor::from_fn(4, 3, |r, c| (r as f32 - 1.5) * 0.3 + c as f32 * 0.7);
+        let dense = d.matmul(&b);
+        let sparse = s.matmul_dense(&b);
+        assert_eq!(dense.to_bits_vec(), sparse.to_bits_vec());
+    }
+
+    #[test]
+    fn transpose_spmm_matches_dense_bitwise() {
+        let d = dense_fixture();
+        let s = Csr::from_dense(&d);
+        let g = Tensor::from_fn(3, 5, |r, c| (r * 5 + c) as f32 * 0.11 - 0.6);
+        let dense = d.transpose().matmul(&g);
+        let sparse = s.transpose_matmul_dense(&g);
+        assert_eq!(dense.to_bits_vec(), sparse.to_bits_vec());
+    }
+
+    #[test]
+    fn negative_zero_subnormal_and_min_positive_pin_bit_identity() {
+        // The dense loop's `a == 0.0` skip also skips `-0.0`; CSR
+        // construction must mirror that exactly, while keeping subnormals
+        // and f32::MIN_POSITIVE, whose products still accumulate.
+        let sub = f32::from_bits(1); // smallest positive subnormal
+        let d = Tensor::from_vec(2, 3, vec![-0.0, f32::MIN_POSITIVE, sub, 0.0, -sub, -0.0]);
+        let s = Csr::from_dense(&d);
+        // Only the two -0.0 and the one +0.0 entries are dropped.
+        assert_eq!(s.nnz(), 3);
+        let b = Tensor::from_fn(3, 2, |r, c| (r + c) as f32 * 0.5 - 0.25);
+        assert_eq!(d.matmul(&b).to_bits_vec(), s.matmul_dense(&b).to_bits_vec());
+        let g = Tensor::from_fn(2, 2, |r, c| 1.0 + (r * 2 + c) as f32);
+        assert_eq!(
+            d.transpose().matmul(&g).to_bits_vec(),
+            s.transpose_matmul_dense(&g).to_bits_vec()
+        );
+    }
+
+    #[test]
+    fn empty_rows_and_columns_are_fine() {
+        let d = Tensor::zeros(4, 4);
+        let s = Csr::from_dense(&d);
+        assert_eq!(s.nnz(), 0);
+        let b = Tensor::ones(4, 2);
+        assert_eq!(s.matmul_dense(&b).to_bits_vec(), d.matmul(&b).to_bits_vec());
+        assert_eq!(
+            s.transpose_matmul_dense(&b).to_bits_vec(),
+            d.transpose().matmul(&b).to_bits_vec()
+        );
+    }
+
+    #[test]
+    fn from_triplets_matches_from_dense() {
+        let d = dense_fixture();
+        let trips = vec![(2usize, 2usize, 0.25f32), (0, 1, 2.0), (2, 0, 3.5), (0, 3, -1.0)];
+        let s = Csr::from_triplets(3, 4, &trips);
+        assert_eq!(s, Csr::from_dense(&d));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate entry")]
+    fn duplicate_triplets_panic() {
+        let _ = Csr::from_triplets(2, 2, &[(0, 0, 1.0), (0, 0, 2.0)]);
+    }
+}

@@ -23,8 +23,10 @@
 //! assert_eq!(tape.grad(w).unwrap().data(), &[2.0, -3.0]);
 //! ```
 
+mod csr;
 mod tape;
 mod tensor;
 
-pub use tape::{Tape, Var};
+pub use csr::Csr;
+pub use tape::{BufferPool, Tape, Var};
 pub use tensor::Tensor;

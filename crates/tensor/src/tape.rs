@@ -2,26 +2,178 @@
 //!
 //! A [`Tape`] records every primitive operation performed on [`Var`]s during a
 //! forward pass (define-by-run, like PyTorch). [`Tape::backward`] then walks
-//! the tape in reverse, accumulating gradients for every node.
+//! the tape in reverse, accumulating gradients into the leaves. Two
+//! pruning rules keep the walk lean without changing a single surviving
+//! bit: subtrees rooted only in constants ([`Tape::constant`]) are skipped
+//! outright, and interior gradients are moved (transformed in place) or
+//! recycled as soon as they have been propagated.
 //!
 //! The op set is deliberately small but covers everything the paper's models
-//! need: dense linear algebra, pointwise activations, row gather / scatter-add
-//! (message passing), per-segment softmax (GAT attention normalisation),
+//! need: dense linear algebra, sparse-times-dense message passing
+//! ([`Tape::spmm`] over a [`Csr`] adjacency), pointwise activations, row
+//! gather / scatter-add, per-segment softmax (GAT attention normalisation),
 //! pooling, and two fused losses (cross-entropy, NT-Xent is composed from
 //! primitives in `gnn`). Every op's gradient is verified against central
 //! finite differences in `tests/gradcheck.rs`.
+//!
+//! ## Buffer pool
+//!
+//! Every op output and every backward temporary is drawn from a
+//! [`BufferPool`] — a free list of `Vec<f32>` buffers keyed by length.
+//! Shapes repeat heavily across batches and epochs, so a tape constructed
+//! with [`Tape::with_pool`] and recycled with [`Tape::into_pool`] serves
+//! nearly all allocations from the pool after the first pass. Pooling is
+//! invisible to the numerics: a reused buffer is either fully zeroed or
+//! fully overwritten before use, so values are bit-identical to a
+//! fresh-allocation run.
 
+use crate::csr::Csr;
 use crate::tensor::Tensor;
+use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Handle to a node on a [`Tape`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Var(pub(crate) usize);
 
+/// Trivial hasher for the pool's `usize` length keys. The pool is consulted
+/// for every op output and backward temporary, at which rate the default
+/// SipHash is measurable in profiles; a Fibonacci multiply spreads the
+/// (highly regular) buffer lengths across the map's buckets just as well.
+#[derive(Default)]
+struct LenHasher(u64);
+
+impl std::hash::Hasher for LenHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, _bytes: &[u8]) {
+        unreachable!("pool keys hash through write_usize");
+    }
+
+    fn write_usize(&mut self, n: usize) {
+        self.0 = (n as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+}
+
+type LenMap = HashMap<usize, Vec<Vec<f32>>, std::hash::BuildHasherDefault<LenHasher>>;
+
+/// A free list of `f32` buffers, keyed by exact length.
+///
+/// [`Tape`] draws all forward values and gradients from a pool and
+/// [`Tape::into_pool`] returns every buffer for the next pass. The pool
+/// never shrinks; its footprint is bounded by the distinct tensor shapes of
+/// one forward+backward pass.
+#[derive(Default)]
+pub struct BufferPool {
+    free: LenMap,
+}
+
+impl BufferPool {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of buffers currently parked in the pool.
+    pub fn buffers(&self) -> usize {
+        self.free.values().map(Vec::len).sum()
+    }
+
+    /// A zero-filled buffer of length `len` (for accumulation kernels).
+    fn take_zeroed(&mut self, len: usize) -> Vec<f32> {
+        match self.free.get_mut(&len).and_then(Vec::pop) {
+            Some(mut buf) => {
+                buf.iter_mut().for_each(|x| *x = 0.0);
+                buf
+            }
+            None => vec![0.0; len],
+        }
+    }
+
+    /// A buffer of length `len` with unspecified contents; the caller must
+    /// overwrite every element.
+    fn take_any(&mut self, len: usize) -> Vec<f32> {
+        match self.free.get_mut(&len).and_then(Vec::pop) {
+            Some(buf) => buf,
+            None => vec![0.0; len],
+        }
+    }
+
+    fn give(&mut self, buf: Vec<f32>) {
+        if !buf.is_empty() {
+            self.free.entry(buf.len()).or_default().push(buf);
+        }
+    }
+}
+
+fn pooled_uninit(pool: &mut BufferPool, rows: usize, cols: usize) -> Tensor {
+    Tensor::from_vec(rows, cols, pool.take_any(rows * cols))
+}
+
+fn pooled_zeros(pool: &mut BufferPool, rows: usize, cols: usize) -> Tensor {
+    Tensor::from_vec(rows, cols, pool.take_zeroed(rows * cols))
+}
+
+fn pooled_full(pool: &mut BufferPool, rows: usize, cols: usize, value: f32) -> Tensor {
+    let mut t = pooled_uninit(pool, rows, cols);
+    t.data_mut().fill(value);
+    t
+}
+
+fn pooled_copy(pool: &mut BufferPool, src: &Tensor) -> Tensor {
+    let (r, c) = src.shape();
+    let mut t = pooled_uninit(pool, r, c);
+    t.data_mut().copy_from_slice(src.data());
+    t
+}
+
+fn pooled_map(pool: &mut BufferPool, src: &Tensor, f: impl Fn(f32) -> f32) -> Tensor {
+    let (r, c) = src.shape();
+    let mut t = pooled_uninit(pool, r, c);
+    for (o, &x) in t.data_mut().iter_mut().zip(src.data()) {
+        *o = f(x);
+    }
+    t
+}
+
+fn pooled_zip(
+    pool: &mut BufferPool,
+    x: &Tensor,
+    y: &Tensor,
+    f: impl Fn(f32, f32) -> f32,
+) -> Tensor {
+    assert_eq!(x.shape(), y.shape(), "zip shape mismatch");
+    let (r, c) = x.shape();
+    let mut t = pooled_uninit(pool, r, c);
+    for ((o, &a), &b) in t.data_mut().iter_mut().zip(x.data()).zip(y.data()) {
+        *o = f(a, b);
+    }
+    t
+}
+
+fn pooled_transpose(pool: &mut BufferPool, src: &Tensor) -> Tensor {
+    let (r, c) = src.shape();
+    let mut t = pooled_uninit(pool, c, r);
+    let out = t.data_mut();
+    for i in 0..r {
+        for (j, &v) in src.row(i).iter().enumerate() {
+            out[j * r + i] = v;
+        }
+    }
+    t
+}
+
 #[derive(Clone)]
 enum Op {
     Leaf,
     Matmul(usize, usize),
+    /// `csr @ dense`, with the adjacency held as a constant outside the
+    /// tape. Backward only propagates to the dense operand: the dense path
+    /// would compute an `(n, n)` gradient for the adjacency leaf too, but
+    /// adjacencies are inputs, never parameters, so that gradient is never
+    /// read and the sparse path skips it entirely.
+    Spmm(Arc<Csr>, usize),
     Add(usize, usize),
     Sub(usize, usize),
     Mul(usize, usize),
@@ -53,17 +205,43 @@ struct Node {
     value: Tensor,
     grad: Option<Tensor>,
     op: Op,
+    /// Whether any trainable leaf feeds this node. Backward skips gradient
+    /// computation into subtrees where this is `false` (see
+    /// [`Tape::constant`]); for nodes where it is `true` the accumulated
+    /// gradients are bit-identical with or without the pruning, because a
+    /// pruned branch only ever *receives* gradient, never contributes any.
+    requires: bool,
 }
 
 /// A record of a forward computation, enabling reverse-mode differentiation.
 #[derive(Default)]
 pub struct Tape {
     nodes: Vec<Node>,
+    pool: BufferPool,
 }
 
 impl Tape {
     pub fn new() -> Self {
-        Self { nodes: Vec::new() }
+        Self::default()
+    }
+
+    /// A tape that serves allocations from `pool`. Recycle with
+    /// [`Tape::into_pool`] once gradients have been consumed.
+    pub fn with_pool(pool: BufferPool) -> Self {
+        Self { nodes: Vec::new(), pool }
+    }
+
+    /// Tear the tape down, returning every value and gradient buffer to the
+    /// pool for the next pass.
+    pub fn into_pool(self) -> BufferPool {
+        let Tape { nodes, mut pool } = self;
+        for node in nodes {
+            pool.give(node.value.into_vec());
+            if let Some(g) = node.grad {
+                pool.give(g.into_vec());
+            }
+        }
+        pool
     }
 
     /// Number of recorded nodes.
@@ -76,8 +254,43 @@ impl Tape {
     }
 
     fn push(&mut self, value: Tensor, op: Op) -> Var {
-        self.nodes.push(Node { value, grad: None, op });
+        let requires = self.requires_of(&op);
+        self.nodes.push(Node { value, grad: None, op, requires });
         Var(self.nodes.len() - 1)
+    }
+
+    /// Whether a node recorded with `op` depends on any trainable leaf.
+    fn requires_of(&self, op: &Op) -> bool {
+        match op {
+            Op::Leaf => true,
+            Op::Spmm(_, a)
+            | Op::Scale(a, _)
+            | Op::AddScalar(a)
+            | Op::LeakyRelu(a, _)
+            | Op::Elu(a, _)
+            | Op::Relu(a)
+            | Op::Tanh(a)
+            | Op::Sigmoid(a)
+            | Op::SoftmaxRows(a)
+            | Op::Transpose(a)
+            | Op::GatherRows(a, _)
+            | Op::ScatterAddRows(a, _)
+            | Op::SegmentSoftmax(a, _)
+            | Op::MaxPoolRows(a)
+            | Op::MeanPoolRows(a)
+            | Op::SumAll(a)
+            | Op::MeanAll(a)
+            | Op::L2NormalizeRows(a, _)
+            | Op::CrossEntropy(a, _) => self.nodes[*a].requires,
+            Op::Matmul(a, b)
+            | Op::Add(a, b)
+            | Op::Sub(a, b)
+            | Op::Mul(a, b)
+            | Op::AddRowBroadcast(a, b)
+            | Op::MulColBroadcast(a, b)
+            | Op::ConcatCols(a, b)
+            | Op::ConcatRows(a, b) => self.nodes[*a].requires || self.nodes[*b].requires,
+        }
     }
 
     /// Insert a tensor as a leaf node (an input or parameter).
@@ -85,12 +298,44 @@ impl Tape {
         self.push(value, Op::Leaf)
     }
 
+    /// Insert a copy of `value` as a leaf, drawing the copy from the buffer
+    /// pool. Prefer this over `leaf(t.clone())` on hot paths.
+    pub fn leaf_copy(&mut self, value: &Tensor) -> Var {
+        let v = pooled_copy(&mut self.pool, value);
+        self.push(v, Op::Leaf)
+    }
+
+    /// Insert a tensor as a constant leaf: a model *input* (features,
+    /// adjacency rows, positional encodings) rather than a parameter.
+    ///
+    /// [`Tape::backward`] never materialises gradients for a constant or for
+    /// any node all of whose ancestors are constants, so [`Tape::grad`]
+    /// returns `None` for them. Gradients of every other node are
+    /// bit-identical to what [`Tape::leaf`] would have produced — the pruned
+    /// branches only ever receive gradient, never contribute to one.
+    pub fn constant(&mut self, value: Tensor) -> Var {
+        self.nodes.push(Node { value, grad: None, op: Op::Leaf, requires: false });
+        Var(self.nodes.len() - 1)
+    }
+
+    /// Insert a copy of `value` as a constant leaf, drawing the copy from
+    /// the buffer pool. The constant analogue of [`Tape::leaf_copy`].
+    pub fn constant_copy(&mut self, value: &Tensor) -> Var {
+        let v = pooled_copy(&mut self.pool, value);
+        self.nodes.push(Node { value: v, grad: None, op: Op::Leaf, requires: false });
+        Var(self.nodes.len() - 1)
+    }
+
     /// Borrow the value of a node.
     pub fn value(&self, v: Var) -> &Tensor {
         &self.nodes[v.0].value
     }
 
-    /// Borrow the gradient of a node, if `backward` reached it.
+    /// Borrow the gradient of a node, if [`Tape::backward`] reached it.
+    ///
+    /// After `backward`, only leaf nodes hold gradients: interior nodes'
+    /// gradient buffers are recycled into the pool as soon as they have been
+    /// propagated, and constants ([`Tape::constant`]) never receive one.
     pub fn grad(&self, v: Var) -> Option<&Tensor> {
         self.nodes[v.0].grad.as_ref()
     }
@@ -110,38 +355,61 @@ impl Tape {
 
     /// Matrix product `a @ b`.
     pub fn matmul(&mut self, a: Var, b: Var) -> Var {
-        let v = self.value(a).matmul(self.value(b));
-        self.push(v, Op::Matmul(a.0, b.0))
+        let (n, m) = (self.nodes[a.0].value.rows(), self.nodes[b.0].value.cols());
+        let mut out = pooled_uninit(&mut self.pool, n, m);
+        self.nodes[a.0].value.matmul_into(&self.nodes[b.0].value, &mut out);
+        self.push(out, Op::Matmul(a.0, b.0))
+    }
+
+    /// Sparse-times-dense product `adj @ h` with a constant CSR adjacency.
+    ///
+    /// Bit-identical to `matmul(leaf(adj.to_dense()), h)` — see the ordering
+    /// contract on [`Csr`] — but skips the adjacency's never-read gradient
+    /// and never materialises the `(n, n)` matrix on the tape.
+    pub fn spmm(&mut self, adj: &Arc<Csr>, h: Var) -> Var {
+        let mut out = pooled_uninit(&mut self.pool, adj.rows(), self.nodes[h.0].value.cols());
+        adj.matmul_dense_into(&self.nodes[h.0].value, &mut out);
+        self.push(out, Op::Spmm(Arc::clone(adj), h.0))
     }
 
     /// Elementwise `a + b` (same shape).
     pub fn add(&mut self, a: Var, b: Var) -> Var {
-        let v = self.value(a).zip(self.value(b), |x, y| x + y);
+        let v =
+            pooled_zip(&mut self.pool, &self.nodes[a.0].value, &self.nodes[b.0].value, |x, y| {
+                x + y
+            });
         self.push(v, Op::Add(a.0, b.0))
     }
 
     /// Elementwise `a - b` (same shape).
     pub fn sub(&mut self, a: Var, b: Var) -> Var {
-        let v = self.value(a).zip(self.value(b), |x, y| x - y);
+        let v =
+            pooled_zip(&mut self.pool, &self.nodes[a.0].value, &self.nodes[b.0].value, |x, y| {
+                x - y
+            });
         self.push(v, Op::Sub(a.0, b.0))
     }
 
     /// Elementwise (Hadamard) product `a ⊙ b` (same shape).
     pub fn mul(&mut self, a: Var, b: Var) -> Var {
-        let v = self.value(a).zip(self.value(b), |x, y| x * y);
+        let v =
+            pooled_zip(&mut self.pool, &self.nodes[a.0].value, &self.nodes[b.0].value, |x, y| {
+                x * y
+            });
         self.push(v, Op::Mul(a.0, b.0))
     }
 
     /// `a + b` where `a: (n, d)` and `b: (1, d)` is broadcast over rows
     /// (bias addition).
     pub fn add_row_broadcast(&mut self, a: Var, b: Var) -> Var {
-        let (n, d) = self.value(a).shape();
-        assert_eq!(self.value(b).shape(), (1, d), "add_row_broadcast shape");
-        let bt = self.value(b).clone();
-        let mut v = self.value(a).clone();
+        let (n, d) = self.nodes[a.0].value.shape();
+        assert_eq!(self.nodes[b.0].value.shape(), (1, d), "add_row_broadcast shape");
+        let mut v = pooled_uninit(&mut self.pool, n, d);
+        let at = &self.nodes[a.0].value;
+        let bt = &self.nodes[b.0].value;
         for r in 0..n {
-            for (x, &y) in v.row_mut(r).iter_mut().zip(bt.row(0)) {
-                *x += y;
+            for ((o, &x), &y) in v.row_mut(r).iter_mut().zip(at.row(r)).zip(bt.row(0)) {
+                *o = x + y;
             }
         }
         self.push(v, Op::AddRowBroadcast(a.0, b.0))
@@ -150,14 +418,15 @@ impl Tape {
     /// `a * b` where `a: (n, d)` and `b: (n, 1)` scales each row (attention
     /// coefficients applied to messages).
     pub fn mul_col_broadcast(&mut self, a: Var, b: Var) -> Var {
-        let (n, _d) = self.value(a).shape();
-        assert_eq!(self.value(b).shape(), (n, 1), "mul_col_broadcast shape");
-        let bt = self.value(b).clone();
-        let mut v = self.value(a).clone();
+        let (n, d) = self.nodes[a.0].value.shape();
+        assert_eq!(self.nodes[b.0].value.shape(), (n, 1), "mul_col_broadcast shape");
+        let mut v = pooled_uninit(&mut self.pool, n, d);
+        let at = &self.nodes[a.0].value;
+        let bt = &self.nodes[b.0].value;
         for r in 0..n {
             let s = bt.get(r, 0);
-            for x in v.row_mut(r) {
-                *x *= s;
+            for (o, &x) in v.row_mut(r).iter_mut().zip(at.row(r)) {
+                *o = x * s;
             }
         }
         self.push(v, Op::MulColBroadcast(a.0, b.0))
@@ -165,13 +434,13 @@ impl Tape {
 
     /// `c * a` for a constant scalar `c`.
     pub fn scale(&mut self, a: Var, c: f32) -> Var {
-        let v = self.value(a).map(|x| c * x);
+        let v = pooled_map(&mut self.pool, &self.nodes[a.0].value, |x| c * x);
         self.push(v, Op::Scale(a.0, c))
     }
 
     /// `a + c` for a constant scalar `c`.
     pub fn add_scalar(&mut self, a: Var, c: f32) -> Var {
-        let v = self.value(a).map(|x| x + c);
+        let v = pooled_map(&mut self.pool, &self.nodes[a.0].value, |x| x + c);
         self.push(v, Op::AddScalar(a.0))
     }
 
@@ -182,35 +451,52 @@ impl Tape {
     }
 
     pub fn leaky_relu(&mut self, a: Var, slope: f32) -> Var {
-        let v = self.value(a).map(|x| if x > 0.0 { x } else { slope * x });
+        let v =
+            pooled_map(
+                &mut self.pool,
+                &self.nodes[a.0].value,
+                |x| {
+                    if x > 0.0 {
+                        x
+                    } else {
+                        slope * x
+                    }
+                },
+            );
         self.push(v, Op::LeakyRelu(a.0, slope))
     }
 
     pub fn elu(&mut self, a: Var, alpha: f32) -> Var {
-        let v = self.value(a).map(|x| if x > 0.0 { x } else { alpha * (x.exp() - 1.0) });
+        let v = pooled_map(&mut self.pool, &self.nodes[a.0].value, |x| {
+            if x > 0.0 {
+                x
+            } else {
+                alpha * (x.exp() - 1.0)
+            }
+        });
         self.push(v, Op::Elu(a.0, alpha))
     }
 
     pub fn relu(&mut self, a: Var) -> Var {
-        let v = self.value(a).map(|x| x.max(0.0));
+        let v = pooled_map(&mut self.pool, &self.nodes[a.0].value, |x| x.max(0.0));
         self.push(v, Op::Relu(a.0))
     }
 
     pub fn tanh(&mut self, a: Var) -> Var {
-        let v = self.value(a).map(f32::tanh);
+        let v = pooled_map(&mut self.pool, &self.nodes[a.0].value, f32::tanh);
         self.push(v, Op::Tanh(a.0))
     }
 
     pub fn sigmoid(&mut self, a: Var) -> Var {
-        let v = self.value(a).map(|x| 1.0 / (1.0 + (-x).exp()));
+        let v = pooled_map(&mut self.pool, &self.nodes[a.0].value, |x| 1.0 / (1.0 + (-x).exp()));
         self.push(v, Op::Sigmoid(a.0))
     }
 
     /// Numerically stable softmax over each row.
     pub fn softmax_rows(&mut self, a: Var) -> Var {
-        let x = self.value(a);
-        let (n, d) = x.shape();
-        let mut v = Tensor::zeros(n, d);
+        let (n, d) = self.nodes[a.0].value.shape();
+        let mut v = pooled_uninit(&mut self.pool, n, d);
+        let x = &self.nodes[a.0].value;
         for r in 0..n {
             softmax_into(x.row(r), v.row_mut(r));
         }
@@ -218,36 +504,55 @@ impl Tape {
     }
 
     pub fn transpose(&mut self, a: Var) -> Var {
-        let v = self.value(a).transpose();
+        let v = pooled_transpose(&mut self.pool, &self.nodes[a.0].value);
         self.push(v, Op::Transpose(a.0))
     }
 
     /// Concatenate along columns: `(n, p) || (n, q) -> (n, p + q)`.
     pub fn concat_cols(&mut self, a: Var, b: Var) -> Var {
-        let v = self.value(a).concat_cols(self.value(b));
+        let (n, p) = self.nodes[a.0].value.shape();
+        let q = self.nodes[b.0].value.cols();
+        assert_eq!(self.nodes[b.0].value.rows(), n, "concat_cols row mismatch");
+        let mut v = pooled_uninit(&mut self.pool, n, p + q);
+        let (x, y) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
+        for r in 0..n {
+            v.row_mut(r)[..p].copy_from_slice(x.row(r));
+            v.row_mut(r)[p..].copy_from_slice(y.row(r));
+        }
         self.push(v, Op::ConcatCols(a.0, b.0))
     }
 
     /// Stack along rows: `(p, d)` over `(q, d)` -> `(p + q, d)`.
     pub fn concat_rows(&mut self, a: Var, b: Var) -> Var {
-        let v = self.value(a).concat_rows(self.value(b));
+        let (p, d) = self.nodes[a.0].value.shape();
+        let q = self.nodes[b.0].value.rows();
+        assert_eq!(self.nodes[b.0].value.cols(), d, "concat_rows col mismatch");
+        let mut v = pooled_uninit(&mut self.pool, p + q, d);
+        let (x, y) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
+        v.data_mut()[..p * d].copy_from_slice(x.data());
+        v.data_mut()[p * d..].copy_from_slice(y.data());
         self.push(v, Op::ConcatRows(a.0, b.0))
     }
 
     /// Select rows of `a` by `idx` (indices may repeat — e.g. the source node
     /// of each edge in a message-passing step).
     pub fn gather_rows(&mut self, a: Var, idx: Arc<Vec<usize>>) -> Var {
-        let v = self.value(a).gather_rows(&idx);
+        let d = self.nodes[a.0].value.cols();
+        let mut v = pooled_uninit(&mut self.pool, idx.len(), d);
+        let x = &self.nodes[a.0].value;
+        for (r, &i) in idx.iter().enumerate() {
+            v.row_mut(r).copy_from_slice(x.row(i));
+        }
         self.push(v, Op::GatherRows(a.0, idx))
     }
 
     /// `out[idx[r]] += a[r]` for every row `r`; `out` has `n_out` rows.
     /// This is the aggregation step of message passing.
     pub fn scatter_add_rows(&mut self, a: Var, idx: Arc<Vec<usize>>, n_out: usize) -> Var {
-        let x = self.value(a);
-        let (n, d) = x.shape();
+        let (n, d) = self.nodes[a.0].value.shape();
         assert_eq!(idx.len(), n, "scatter_add_rows index length");
-        let mut v = Tensor::zeros(n_out, d);
+        let mut v = pooled_zeros(&mut self.pool, n_out, d);
+        let x = &self.nodes[a.0].value;
         for r in 0..n {
             let dst = idx[r];
             assert!(dst < n_out, "scatter index {dst} out of bounds {n_out}");
@@ -262,16 +567,17 @@ impl Tape {
     /// equal `seg[r]` form one group. This normalises GAT attention scores
     /// over the in-neighbourhood of each destination node (Eq. 8).
     pub fn segment_softmax(&mut self, a: Var, seg: Arc<Vec<usize>>) -> Var {
-        let x = self.value(a);
-        assert_eq!(x.cols(), 1, "segment_softmax expects a column vector");
-        assert_eq!(seg.len(), x.rows(), "segment length mismatch");
+        let rows = self.nodes[a.0].value.rows();
+        assert_eq!(self.nodes[a.0].value.cols(), 1, "segment_softmax expects a column vector");
+        assert_eq!(seg.len(), rows, "segment length mismatch");
+        let mut v = pooled_uninit(&mut self.pool, rows, 1);
+        let x = &self.nodes[a.0].value;
         let n_seg = seg.iter().copied().max().map_or(0, |m| m + 1);
         let mut max = vec![f32::NEG_INFINITY; n_seg];
         for (r, &s) in seg.iter().enumerate() {
             max[s] = max[s].max(x.get(r, 0));
         }
         let mut denom = vec![0.0f32; n_seg];
-        let mut v = Tensor::zeros(x.rows(), 1);
         for (r, &s) in seg.iter().enumerate() {
             let e = (x.get(r, 0) - max[s]).exp();
             v.set(r, 0, e);
@@ -286,10 +592,10 @@ impl Tape {
     /// Column-wise max over rows: `(n, d) -> (1, d)` (global max pooling,
     /// Eq. 10). Ties break toward the lowest row index in both directions.
     pub fn max_pool_rows(&mut self, a: Var) -> Var {
-        let x = self.value(a);
-        let (n, d) = x.shape();
+        let (n, d) = self.nodes[a.0].value.shape();
         assert!(n > 0, "max_pool_rows on empty tensor");
-        let mut v = Tensor::full(1, d, f32::NEG_INFINITY);
+        let mut v = pooled_full(&mut self.pool, 1, d, f32::NEG_INFINITY);
+        let x = &self.nodes[a.0].value;
         for r in 0..n {
             for c in 0..d {
                 if x.get(r, c) > v.get(0, c) {
@@ -302,10 +608,10 @@ impl Tape {
 
     /// Column-wise mean over rows: `(n, d) -> (1, d)`.
     pub fn mean_pool_rows(&mut self, a: Var) -> Var {
-        let x = self.value(a);
-        let (n, d) = x.shape();
+        let (n, d) = self.nodes[a.0].value.shape();
         assert!(n > 0, "mean_pool_rows on empty tensor");
-        let mut v = Tensor::zeros(1, d);
+        let mut v = pooled_zeros(&mut self.pool, 1, d);
+        let x = &self.nodes[a.0].value;
         for r in 0..n {
             for c in 0..d {
                 v.set(0, c, v.get(0, c) + x.get(r, c) / n as f32);
@@ -316,21 +622,21 @@ impl Tape {
 
     /// Sum of all elements -> scalar.
     pub fn sum_all(&mut self, a: Var) -> Var {
-        let v = Tensor::scalar(self.value(a).sum());
+        let v = pooled_full(&mut self.pool, 1, 1, self.nodes[a.0].value.sum());
         self.push(v, Op::SumAll(a.0))
     }
 
     /// Mean of all elements -> scalar.
     pub fn mean_all(&mut self, a: Var) -> Var {
-        let v = Tensor::scalar(self.value(a).mean());
+        let v = pooled_full(&mut self.pool, 1, 1, self.nodes[a.0].value.mean());
         self.push(v, Op::MeanAll(a.0))
     }
 
     /// L2-normalise each row (used by the contrastive objective).
     pub fn l2_normalize_rows(&mut self, a: Var, eps: f32) -> Var {
-        let x = self.value(a);
-        let (n, d) = x.shape();
-        let mut v = Tensor::zeros(n, d);
+        let (n, d) = self.nodes[a.0].value.shape();
+        let mut v = pooled_uninit(&mut self.pool, n, d);
+        let x = &self.nodes[a.0].value;
         for r in 0..n {
             let norm = x.row(r).iter().map(|&t| t * t).sum::<f32>().sqrt().max(eps);
             for (o, &t) in v.row_mut(r).iter_mut().zip(x.row(r)) {
@@ -342,7 +648,7 @@ impl Tape {
 
     /// Mean cross-entropy between row logits and integer targets -> scalar.
     pub fn cross_entropy(&mut self, logits: Var, targets: Arc<Vec<usize>>) -> Var {
-        let x = self.value(logits);
+        let x = &self.nodes[logits.0].value;
         let (n, d) = x.shape();
         assert_eq!(targets.len(), n, "cross_entropy target length");
         let mut loss = 0.0f32;
@@ -353,7 +659,7 @@ impl Tape {
             let lse = m + row.iter().map(|&v| (v - m).exp()).sum::<f32>().ln();
             loss += lse - row[t];
         }
-        let v = Tensor::scalar(loss / n as f32);
+        let v = pooled_full(&mut self.pool, 1, 1, loss / n as f32);
         self.push(v, Op::CrossEntropy(logits.0, targets))
     }
 
@@ -368,14 +674,29 @@ impl Tape {
     // ---- backward -------------------------------------------------------
 
     fn acc_grad(&mut self, idx: usize, g: Tensor) {
+        if !self.nodes[idx].requires {
+            self.pool.give(g.into_vec());
+            return;
+        }
         match &mut self.nodes[idx].grad {
-            Some(existing) => existing.add_assign(&g),
+            Some(existing) => {
+                existing.add_assign(&g);
+                self.pool.give(g.into_vec());
+            }
             slot @ None => *slot = Some(g),
         }
     }
 
-    /// Backpropagate from scalar node `v`, filling gradients for every node
-    /// that participated in its computation.
+    /// Backpropagate from scalar node `v`, filling gradients for the leaf
+    /// nodes that participated in its computation.
+    ///
+    /// Only leaves retain their gradients ([`Tape::grad`] on an interior
+    /// node returns `None` afterwards): once an interior node's gradient has
+    /// been propagated to its inputs, its buffer is recycled into the pool —
+    /// and wherever an input's gradient is the incoming gradient up to an
+    /// elementwise transform, the buffer is transformed in place and *moved*
+    /// rather than copied. Neither recycling nor moving changes any
+    /// surviving value.
     ///
     /// Single-shot per tape: to differentiate several heads, combine them
     /// into one scalar (e.g. with [`Tape::add`]) before calling this.
@@ -385,223 +706,340 @@ impl Tape {
         assert_eq!(self.nodes[v.0].value.shape(), (1, 1), "backward requires a scalar output");
         self.nodes[v.0].grad = Some(Tensor::scalar(1.0));
         for i in (0..=v.0).rev() {
-            let g = match &self.nodes[i].grad {
-                Some(g) => g.clone(),
+            // Take the gradient out of its slot; every arm below consumes it
+            // (leaves put it back, interior nodes move or recycle it).
+            let mut g = match self.nodes[i].grad.take() {
+                Some(g) => g,
                 None => continue,
             };
             let op = self.nodes[i].op.clone();
             match op {
-                Op::Leaf => {}
+                Op::Leaf => {
+                    self.nodes[i].grad = Some(g);
+                }
                 Op::Matmul(a, b) => {
-                    let ga = g.matmul(&self.nodes[b].value.transpose());
-                    let gb = self.nodes[a].value.transpose().matmul(&g);
-                    self.acc_grad(a, ga);
-                    self.acc_grad(b, gb);
+                    if self.nodes[a].requires {
+                        let bt = pooled_transpose(&mut self.pool, &self.nodes[b].value);
+                        let mut ga = pooled_uninit(&mut self.pool, g.rows(), bt.cols());
+                        g.matmul_into(&bt, &mut ga);
+                        self.pool.give(bt.into_vec());
+                        self.acc_grad(a, ga);
+                    }
+                    if self.nodes[b].requires {
+                        // gb = aᵀ @ g without materialising the transpose of
+                        // the (tall) activation matrix.
+                        let mut gb =
+                            pooled_uninit(&mut self.pool, self.nodes[a].value.cols(), g.cols());
+                        self.nodes[a].value.matmul_tn_into(&g, &mut gb);
+                        self.acc_grad(b, gb);
+                    }
+                    self.pool.give(g.into_vec());
+                }
+                Op::Spmm(csr, h) => {
+                    // gh = adjᵀ @ g via the precomputed transpose index;
+                    // bit-identical to the dense Matmul backward's
+                    // `a.transpose().matmul(&g)`. The adjacency itself gets
+                    // no gradient (it is a constant, not a tape node).
+                    if self.nodes[h].requires {
+                        let mut gh = pooled_uninit(&mut self.pool, csr.cols(), g.cols());
+                        csr.transpose_matmul_dense_into(&g, &mut gh);
+                        self.acc_grad(h, gh);
+                    }
+                    self.pool.give(g.into_vec());
                 }
                 Op::Add(a, b) => {
-                    self.acc_grad(a, g.clone());
-                    self.acc_grad(b, g);
-                }
-                Op::Sub(a, b) => {
-                    self.acc_grad(a, g.clone());
-                    self.acc_grad(b, g.map(|x| -x));
-                }
-                Op::Mul(a, b) => {
-                    let ga = g.zip(&self.nodes[b].value, |x, y| x * y);
-                    let gb = g.zip(&self.nodes[a].value, |x, y| x * y);
-                    self.acc_grad(a, ga);
-                    self.acc_grad(b, gb);
-                }
-                Op::AddRowBroadcast(a, b) => {
-                    let (n, d) = g.shape();
-                    let mut gb = Tensor::zeros(1, d);
-                    for r in 0..n {
-                        for c in 0..d {
-                            gb.set(0, c, gb.get(0, c) + g.get(r, c));
-                        }
+                    if self.nodes[b].requires {
+                        let gb = pooled_copy(&mut self.pool, &g);
+                        self.acc_grad(b, gb);
                     }
                     self.acc_grad(a, g);
-                    self.acc_grad(b, gb);
+                }
+                Op::Sub(a, b) => {
+                    if self.nodes[b].requires {
+                        let gb = pooled_map(&mut self.pool, &g, |x| -x);
+                        self.acc_grad(b, gb);
+                    }
+                    self.acc_grad(a, g);
+                }
+                Op::Mul(a, b) => {
+                    if self.nodes[a].requires {
+                        let ga = pooled_zip(&mut self.pool, &g, &self.nodes[b].value, |x, y| x * y);
+                        self.acc_grad(a, ga);
+                    }
+                    if self.nodes[b].requires {
+                        g.zip_assign(&self.nodes[a].value, |x, y| x * y);
+                    }
+                    self.acc_grad(b, g);
+                }
+                Op::AddRowBroadcast(a, b) => {
+                    if self.nodes[b].requires {
+                        let (n, d) = g.shape();
+                        let mut gb = pooled_zeros(&mut self.pool, 1, d);
+                        for r in 0..n {
+                            for c in 0..d {
+                                gb.set(0, c, gb.get(0, c) + g.get(r, c));
+                            }
+                        }
+                        self.acc_grad(b, gb);
+                    }
+                    self.acc_grad(a, g);
                 }
                 Op::MulColBroadcast(a, b) => {
                     let (n, d) = g.shape();
-                    let bv = self.nodes[b].value.clone();
-                    let av = self.nodes[a].value.clone();
-                    let mut ga = Tensor::zeros(n, d);
-                    let mut gb = Tensor::zeros(n, 1);
-                    for r in 0..n {
-                        let s = bv.get(r, 0);
-                        let mut dot = 0.0;
-                        for c in 0..d {
-                            ga.set(r, c, g.get(r, c) * s);
-                            dot += g.get(r, c) * av.get(r, c);
+                    if self.nodes[b].requires {
+                        let mut gb = pooled_uninit(&mut self.pool, n, 1);
+                        let av = &self.nodes[a].value;
+                        for r in 0..n {
+                            let mut dot = 0.0;
+                            for c in 0..d {
+                                dot += g.get(r, c) * av.get(r, c);
+                            }
+                            gb.set(r, 0, dot);
                         }
-                        gb.set(r, 0, dot);
+                        self.acc_grad(b, gb);
                     }
-                    self.acc_grad(a, ga);
-                    self.acc_grad(b, gb);
+                    if self.nodes[a].requires {
+                        let bv = &self.nodes[b].value;
+                        for r in 0..n {
+                            let s = bv.get(r, 0);
+                            for x in g.row_mut(r) {
+                                *x *= s;
+                            }
+                        }
+                    }
+                    self.acc_grad(a, g);
                 }
-                Op::Scale(a, c) => self.acc_grad(a, g.map(|x| c * x)),
-                Op::AddScalar(a) => self.acc_grad(a, g),
+                Op::Scale(a, c) => {
+                    if self.nodes[a].requires {
+                        g.map_assign(|x| c * x);
+                    }
+                    self.acc_grad(a, g);
+                }
+                Op::AddScalar(a) => {
+                    self.acc_grad(a, g);
+                }
                 Op::LeakyRelu(a, slope) => {
-                    let ga =
-                        g.zip(&self.nodes[a].value, |gv, x| if x > 0.0 { gv } else { gv * slope });
-                    self.acc_grad(a, ga);
+                    if self.nodes[a].requires {
+                        g.zip_assign(
+                            &self.nodes[a].value,
+                            |gv, x| {
+                                if x > 0.0 {
+                                    gv
+                                } else {
+                                    gv * slope
+                                }
+                            },
+                        );
+                    }
+                    self.acc_grad(a, g);
                 }
                 Op::Elu(a, alpha) => {
                     // dy/dx = 1 for x > 0, else y + alpha (since y = α(eˣ−1)).
-                    let x = &self.nodes[a].value;
-                    let y = &self.nodes[i].value;
-                    let mut ga = g.clone();
-                    for ((gv, &xv), &yv) in ga.data_mut().iter_mut().zip(x.data()).zip(y.data()) {
-                        if xv <= 0.0 {
-                            *gv *= yv + alpha;
+                    if self.nodes[a].requires {
+                        let x = &self.nodes[a].value;
+                        let y = &self.nodes[i].value;
+                        for ((gv, &xv), &yv) in g.data_mut().iter_mut().zip(x.data()).zip(y.data())
+                        {
+                            if xv <= 0.0 {
+                                *gv *= yv + alpha;
+                            }
                         }
                     }
-                    self.acc_grad(a, ga);
+                    self.acc_grad(a, g);
                 }
                 Op::Relu(a) => {
-                    let ga = g.zip(&self.nodes[a].value, |gv, x| if x > 0.0 { gv } else { 0.0 });
-                    self.acc_grad(a, ga);
+                    if self.nodes[a].requires {
+                        g.zip_assign(&self.nodes[a].value, |gv, x| if x > 0.0 { gv } else { 0.0 });
+                    }
+                    self.acc_grad(a, g);
                 }
                 Op::Tanh(a) => {
-                    let ga = g.zip(&self.nodes[i].value, |gv, y| gv * (1.0 - y * y));
-                    self.acc_grad(a, ga);
+                    if self.nodes[a].requires {
+                        g.zip_assign(&self.nodes[i].value, |gv, y| gv * (1.0 - y * y));
+                    }
+                    self.acc_grad(a, g);
                 }
                 Op::Sigmoid(a) => {
-                    let ga = g.zip(&self.nodes[i].value, |gv, y| gv * y * (1.0 - y));
-                    self.acc_grad(a, ga);
+                    if self.nodes[a].requires {
+                        g.zip_assign(&self.nodes[i].value, |gv, y| gv * y * (1.0 - y));
+                    }
+                    self.acc_grad(a, g);
                 }
                 Op::SoftmaxRows(a) => {
-                    let y = self.nodes[i].value.clone();
-                    let (n, d) = y.shape();
-                    let mut ga = Tensor::zeros(n, d);
-                    for r in 0..n {
-                        let dot: f32 =
-                            g.row(r).iter().zip(y.row(r)).map(|(&gv, &yv)| gv * yv).sum();
-                        for c in 0..d {
-                            ga.set(r, c, y.get(r, c) * (g.get(r, c) - dot));
+                    if self.nodes[a].requires {
+                        let n = g.rows();
+                        let y = &self.nodes[i].value;
+                        for r in 0..n {
+                            let dot: f32 =
+                                g.row(r).iter().zip(y.row(r)).map(|(&gv, &yv)| gv * yv).sum();
+                            for (x, &yv) in g.row_mut(r).iter_mut().zip(y.row(r)) {
+                                *x = yv * (*x - dot);
+                            }
                         }
                     }
-                    self.acc_grad(a, ga);
+                    self.acc_grad(a, g);
                 }
-                Op::Transpose(a) => self.acc_grad(a, g.transpose()),
+                Op::Transpose(a) => {
+                    if self.nodes[a].requires {
+                        let ga = pooled_transpose(&mut self.pool, &g);
+                        self.acc_grad(a, ga);
+                    }
+                    self.pool.give(g.into_vec());
+                }
                 Op::ConcatCols(a, b) => {
                     let ca = self.nodes[a].value.cols();
                     let (n, d) = g.shape();
-                    let mut ga = Tensor::zeros(n, ca);
-                    let mut gb = Tensor::zeros(n, d - ca);
-                    for r in 0..n {
-                        ga.row_mut(r).copy_from_slice(&g.row(r)[..ca]);
-                        gb.row_mut(r).copy_from_slice(&g.row(r)[ca..]);
+                    if self.nodes[a].requires {
+                        let mut ga = pooled_uninit(&mut self.pool, n, ca);
+                        for r in 0..n {
+                            ga.row_mut(r).copy_from_slice(&g.row(r)[..ca]);
+                        }
+                        self.acc_grad(a, ga);
                     }
-                    self.acc_grad(a, ga);
-                    self.acc_grad(b, gb);
+                    if self.nodes[b].requires {
+                        let mut gb = pooled_uninit(&mut self.pool, n, d - ca);
+                        for r in 0..n {
+                            gb.row_mut(r).copy_from_slice(&g.row(r)[ca..]);
+                        }
+                        self.acc_grad(b, gb);
+                    }
+                    self.pool.give(g.into_vec());
                 }
                 Op::ConcatRows(a, b) => {
                     let ra = self.nodes[a].value.rows();
                     let (n, d) = g.shape();
-                    let mut ga = Tensor::zeros(ra, d);
-                    let mut gb = Tensor::zeros(n - ra, d);
-                    for r in 0..ra {
-                        ga.row_mut(r).copy_from_slice(g.row(r));
+                    if self.nodes[a].requires {
+                        let mut ga = pooled_uninit(&mut self.pool, ra, d);
+                        ga.data_mut().copy_from_slice(&g.data()[..ra * d]);
+                        self.acc_grad(a, ga);
                     }
-                    for r in ra..n {
-                        gb.row_mut(r - ra).copy_from_slice(g.row(r));
+                    if self.nodes[b].requires {
+                        let mut gb = pooled_uninit(&mut self.pool, n - ra, d);
+                        gb.data_mut().copy_from_slice(&g.data()[ra * d..]);
+                        self.acc_grad(b, gb);
                     }
-                    self.acc_grad(a, ga);
-                    self.acc_grad(b, gb);
+                    self.pool.give(g.into_vec());
                 }
                 Op::GatherRows(a, idx) => {
-                    let (ra, ca) = self.nodes[a].value.shape();
-                    let mut ga = Tensor::zeros(ra, ca);
-                    for (r, &src) in idx.iter().enumerate() {
-                        for (o, &gv) in ga.row_mut(src).iter_mut().zip(g.row(r)) {
-                            *o += gv;
-                        }
-                    }
-                    self.acc_grad(a, ga);
-                }
-                Op::ScatterAddRows(a, idx) => {
-                    let ga = g.gather_rows(&idx);
-                    self.acc_grad(a, ga);
-                }
-                Op::SegmentSoftmax(a, seg) => {
-                    let y = self.nodes[i].value.clone();
-                    let n_seg = seg.iter().copied().max().map_or(0, |m| m + 1);
-                    let mut dot = vec![0.0f32; n_seg];
-                    for (r, &s) in seg.iter().enumerate() {
-                        dot[s] += g.get(r, 0) * y.get(r, 0);
-                    }
-                    let mut ga = Tensor::zeros(y.rows(), 1);
-                    for (r, &s) in seg.iter().enumerate() {
-                        ga.set(r, 0, y.get(r, 0) * (g.get(r, 0) - dot[s]));
-                    }
-                    self.acc_grad(a, ga);
-                }
-                Op::MaxPoolRows(a) => {
-                    let x = self.nodes[a].value.clone();
-                    let (n, d) = x.shape();
-                    let mut ga = Tensor::zeros(n, d);
-                    for c in 0..d {
-                        let mut best = 0usize;
-                        for r in 1..n {
-                            if x.get(r, c) > x.get(best, c) {
-                                best = r;
+                    if self.nodes[a].requires {
+                        let (ra, ca) = self.nodes[a].value.shape();
+                        let mut ga = pooled_zeros(&mut self.pool, ra, ca);
+                        for (r, &src) in idx.iter().enumerate() {
+                            for (o, &gv) in ga.row_mut(src).iter_mut().zip(g.row(r)) {
+                                *o += gv;
                             }
                         }
-                        ga.set(best, c, g.get(0, c));
+                        self.acc_grad(a, ga);
                     }
-                    self.acc_grad(a, ga);
+                    self.pool.give(g.into_vec());
+                }
+                Op::ScatterAddRows(a, idx) => {
+                    if self.nodes[a].requires {
+                        let d = g.cols();
+                        let mut ga = pooled_uninit(&mut self.pool, idx.len(), d);
+                        for (r, &src) in idx.iter().enumerate() {
+                            ga.row_mut(r).copy_from_slice(g.row(src));
+                        }
+                        self.acc_grad(a, ga);
+                    }
+                    self.pool.give(g.into_vec());
+                }
+                Op::SegmentSoftmax(a, seg) => {
+                    if self.nodes[a].requires {
+                        let y = &self.nodes[i].value;
+                        let n_seg = seg.iter().copied().max().map_or(0, |m| m + 1);
+                        let mut dot = vec![0.0f32; n_seg];
+                        for (r, &s) in seg.iter().enumerate() {
+                            dot[s] += g.get(r, 0) * y.get(r, 0);
+                        }
+                        for (r, &s) in seg.iter().enumerate() {
+                            let gv = g.get(r, 0);
+                            g.set(r, 0, y.get(r, 0) * (gv - dot[s]));
+                        }
+                    }
+                    self.acc_grad(a, g);
+                }
+                Op::MaxPoolRows(a) => {
+                    if self.nodes[a].requires {
+                        let (n, d) = self.nodes[a].value.shape();
+                        let mut ga = pooled_zeros(&mut self.pool, n, d);
+                        let x = &self.nodes[a].value;
+                        for c in 0..d {
+                            let mut best = 0usize;
+                            for r in 1..n {
+                                if x.get(r, c) > x.get(best, c) {
+                                    best = r;
+                                }
+                            }
+                            ga.set(best, c, g.get(0, c));
+                        }
+                        self.acc_grad(a, ga);
+                    }
+                    self.pool.give(g.into_vec());
                 }
                 Op::MeanPoolRows(a) => {
-                    let (n, d) = self.nodes[a].value.shape();
-                    let mut ga = Tensor::zeros(n, d);
-                    for r in 0..n {
-                        for c in 0..d {
-                            ga.set(r, c, g.get(0, c) / n as f32);
+                    if self.nodes[a].requires {
+                        let (n, d) = self.nodes[a].value.shape();
+                        let mut ga = pooled_uninit(&mut self.pool, n, d);
+                        for r in 0..n {
+                            for c in 0..d {
+                                ga.set(r, c, g.get(0, c) / n as f32);
+                            }
                         }
+                        self.acc_grad(a, ga);
                     }
-                    self.acc_grad(a, ga);
+                    self.pool.give(g.into_vec());
                 }
                 Op::SumAll(a) => {
-                    let (n, d) = self.nodes[a].value.shape();
-                    self.acc_grad(a, Tensor::full(n, d, g.item()));
+                    if self.nodes[a].requires {
+                        let (n, d) = self.nodes[a].value.shape();
+                        let ga = pooled_full(&mut self.pool, n, d, g.item());
+                        self.acc_grad(a, ga);
+                    }
+                    self.pool.give(g.into_vec());
                 }
                 Op::MeanAll(a) => {
-                    let (n, d) = self.nodes[a].value.shape();
-                    let scale = g.item() / (n * d) as f32;
-                    self.acc_grad(a, Tensor::full(n, d, scale));
+                    if self.nodes[a].requires {
+                        let (n, d) = self.nodes[a].value.shape();
+                        let scale = g.item() / (n * d) as f32;
+                        let ga = pooled_full(&mut self.pool, n, d, scale);
+                        self.acc_grad(a, ga);
+                    }
+                    self.pool.give(g.into_vec());
                 }
                 Op::L2NormalizeRows(a, eps) => {
-                    let x = self.nodes[a].value.clone();
-                    let y = self.nodes[i].value.clone();
-                    let (n, d) = x.shape();
-                    let mut ga = Tensor::zeros(n, d);
-                    for r in 0..n {
-                        let norm = x.row(r).iter().map(|&t| t * t).sum::<f32>().sqrt().max(eps);
-                        let dot: f32 =
-                            g.row(r).iter().zip(y.row(r)).map(|(&gv, &yv)| gv * yv).sum();
-                        for c in 0..d {
-                            ga.set(r, c, (g.get(r, c) - y.get(r, c) * dot) / norm);
+                    if self.nodes[a].requires {
+                        let (n, _d) = g.shape();
+                        let x = &self.nodes[a].value;
+                        let y = &self.nodes[i].value;
+                        for r in 0..n {
+                            let norm = x.row(r).iter().map(|&t| t * t).sum::<f32>().sqrt().max(eps);
+                            let dot: f32 =
+                                g.row(r).iter().zip(y.row(r)).map(|(&gv, &yv)| gv * yv).sum();
+                            for (o, &yv) in g.row_mut(r).iter_mut().zip(y.row(r)) {
+                                *o = (*o - yv * dot) / norm;
+                            }
                         }
                     }
-                    self.acc_grad(a, ga);
+                    self.acc_grad(a, g);
                 }
                 Op::CrossEntropy(a, targets) => {
-                    let x = self.nodes[a].value.clone();
-                    let (n, d) = x.shape();
-                    let scale = g.item() / n as f32;
-                    let mut ga = Tensor::zeros(n, d);
-                    for (r, &t) in targets.iter().enumerate() {
-                        softmax_into(x.row(r), ga.row_mut(r));
-                        for c in 0..d {
-                            let p = ga.get(r, c);
-                            let onehot = if c == t { 1.0 } else { 0.0 };
-                            ga.set(r, c, (p - onehot) * scale);
+                    if self.nodes[a].requires {
+                        let (n, d) = self.nodes[a].value.shape();
+                        let scale = g.item() / n as f32;
+                        let mut ga = pooled_uninit(&mut self.pool, n, d);
+                        let x = &self.nodes[a].value;
+                        for (r, &t) in targets.iter().enumerate() {
+                            softmax_into(x.row(r), ga.row_mut(r));
+                            for c in 0..d {
+                                let p = ga.get(r, c);
+                                let onehot = if c == t { 1.0 } else { 0.0 };
+                                ga.set(r, c, (p - onehot) * scale);
+                            }
                         }
+                        self.acc_grad(a, ga);
                     }
-                    self.acc_grad(a, ga);
+                    self.pool.give(g.into_vec());
                 }
             }
         }
@@ -641,6 +1079,61 @@ mod tests {
         let gb = t.grad(b).unwrap();
         // A^T @ 1s: rows [1+3, ...] = [[4,4],[6,6]]
         assert_eq!(gb.data(), &[4.0, 4.0, 6.0, 6.0]);
+    }
+
+    #[test]
+    fn spmm_matches_dense_matmul_and_backward() {
+        let adj_dense = Tensor::from_vec(3, 3, vec![0.5, 0.0, 0.2, 0.0, 1.0, 0.0, 0.3, 0.0, 0.4]);
+        let h_init = Tensor::from_fn(3, 2, |r, c| (r * 2 + c) as f32 * 0.25 - 0.5);
+
+        // Dense reference: adjacency as a constant leaf.
+        let mut td = Tape::new();
+        let adj_leaf = td.leaf(adj_dense.clone());
+        let hd = td.leaf(h_init.clone());
+        let outd = td.matmul(adj_leaf, hd);
+        let lossd = td.sum_all(outd);
+        td.backward(lossd);
+
+        // Sparse path.
+        let csr = Arc::new(Csr::from_dense(&adj_dense));
+        let mut ts = Tape::new();
+        let hs = ts.leaf(h_init.clone());
+        let outs = ts.spmm(&csr, hs);
+        let losss = ts.sum_all(outs);
+        ts.backward(losss);
+
+        assert_eq!(td.value(outd).to_bits_vec(), ts.value(outs).to_bits_vec());
+        assert_eq!(td.grad(hd).unwrap().to_bits_vec(), ts.grad(hs).unwrap().to_bits_vec());
+    }
+
+    #[test]
+    fn pool_reuse_keeps_values_bit_identical() {
+        // Three generations of tape reuse through the same pool must
+        // produce exactly the same forward values and gradients as a fresh
+        // tape — reused buffers are fully overwritten or zeroed.
+        let x0 = Tensor::from_fn(4, 3, |r, c| (r as f32 - 1.0) * 0.7 + c as f32 * 0.3);
+        let w0 = Tensor::from_fn(3, 2, |r, c| 0.1 * (r * 2 + c) as f32 - 0.2);
+        let run = |tape: &mut Tape| -> (Vec<u32>, Vec<u32>) {
+            let x = tape.leaf_copy(&x0);
+            let w = tape.leaf_copy(&w0);
+            let h = tape.matmul(x, w);
+            let h = tape.tanh(h);
+            let s = tape.softmax_rows(h);
+            let p = tape.mean_pool_rows(s);
+            let loss = tape.sum_all(p);
+            tape.backward(loss);
+            (tape.value(s).to_bits_vec(), tape.grad(w).unwrap().to_bits_vec())
+        };
+        let mut fresh = Tape::new();
+        let expected = run(&mut fresh);
+        let mut pool = BufferPool::new();
+        for generation in 0..3 {
+            let mut tape = Tape::with_pool(pool);
+            let got = run(&mut tape);
+            assert_eq!(got, expected, "value drift in pool generation {generation}");
+            pool = tape.into_pool();
+            assert!(pool.buffers() > 0, "pool should retain buffers");
+        }
     }
 
     #[test]

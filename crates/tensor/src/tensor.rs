@@ -152,16 +152,31 @@ impl Tensor {
     /// Matrix product `self @ other`. Naive ikj loop; fast enough for the
     /// small graphs (≲ a few thousand nodes) this workspace trains on.
     pub fn matmul(&self, other: &Tensor) -> Tensor {
+        let mut out = Tensor::zeros(self.rows, other.cols);
+        self.matmul_into(other, &mut out);
+        out
+    }
+
+    /// `self @ other` written into `out`, which must have shape
+    /// `(self.rows, other.cols)`; prior contents are overwritten. The
+    /// allocation-free kernel behind [`Tensor::matmul`]; the tape calls it
+    /// with pooled buffers that need no zeroing pass.
+    ///
+    /// Accumulation order is the ikj loop with the inner dimension ascending
+    /// and exact zeros of `self` skipped — the ordering contract every other
+    /// matmul kernel in this crate (CSR SpMM, [`Tensor::matmul_tn_into`])
+    /// reproduces bit-for-bit.
+    pub fn matmul_into(&self, other: &Tensor, out: &mut Tensor) {
         assert_eq!(
             self.cols, other.rows,
             "matmul shape mismatch: ({}, {}) @ ({}, {})",
             self.rows, self.cols, other.rows, other.cols
         );
-        let (n, m) = (self.rows, other.cols);
-        let mut out = Tensor::zeros(n, m);
-        for i in 0..n {
+        assert_eq!(out.shape(), (self.rows, other.cols), "matmul output shape");
+        for i in 0..self.rows {
             let a_row = self.row(i);
             let out_row = out.row_mut(i);
+            out_row.fill(0.0);
             for (p, &a) in a_row.iter().enumerate() {
                 if a == 0.0 {
                     continue;
@@ -172,7 +187,39 @@ impl Tensor {
                 }
             }
         }
-        out
+    }
+
+    /// `selfᵀ @ other` written into `out` (shape `(self.cols, other.cols)`;
+    /// prior contents are overwritten) without materialising the transpose.
+    ///
+    /// Bit-identical to `self.transpose().matmul(other)`: for each output
+    /// row `i` the contributions `self[p][i] * other[p][..]` arrive with `p`
+    /// ascending — exactly the ikj order of [`Tensor::matmul_into`] on the
+    /// transposed operand — and exact zeros of `self` are skipped the same
+    /// way. Used by the tape's Matmul backward for `gb = aᵀ @ g`, where the
+    /// explicit transpose of the (tall) activation matrix would cost a
+    /// strided copy per step.
+    pub fn matmul_tn_into(&self, other: &Tensor, out: &mut Tensor) {
+        assert_eq!(
+            self.rows, other.rows,
+            "matmul_tn shape mismatch: ({}, {})^T @ ({}, {})",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        assert_eq!(out.shape(), (self.cols, other.cols), "matmul_tn output shape");
+        out.data.fill(0.0);
+        for p in 0..self.rows {
+            let a_row = self.row(p);
+            let b_row = other.row(p);
+            for (i, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = out.row_mut(i);
+                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += a * b;
+                }
+            }
+        }
     }
 
     /// Transpose.
@@ -198,6 +245,23 @@ impl Tensor {
             rows: self.rows,
             cols: self.cols,
             data: self.data.iter().zip(other.data.iter()).map(|(&a, &b)| f(a, b)).collect(),
+        }
+    }
+
+    /// In-place elementwise map: `self[i] = f(self[i])`. The allocation-free
+    /// variant of [`Tensor::map`] for hot elementwise ops.
+    pub fn map_assign(&mut self, f: impl Fn(f32) -> f32) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// In-place elementwise combine: `self[i] = f(self[i], other[i])`. The
+    /// allocation-free variant of [`Tensor::zip`].
+    pub fn zip_assign(&mut self, other: &Tensor, f: impl Fn(f32, f32) -> f32) {
+        assert_eq!(self.shape(), other.shape(), "zip_assign shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a = f(*a, b);
         }
     }
 

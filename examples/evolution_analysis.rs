@@ -17,7 +17,7 @@ use gnn::GraphTensors;
 fn main() {
     let bench =
         Benchmark::generate(DatasetScale::small(), SamplerConfig { top_k: 2000, hops: 2 }, 11);
-    let cfg = Dbg4EthConfig { epochs: 10, ..Default::default() };
+    let cfg = Dbg4EthConfig::builder().epochs(10).build().expect("valid configuration");
 
     println!("learned time-slice attention α_t (Eq. 22), per account type:");
     println!("(T = {} slices over each account's normalised lifetime)\n", cfg.t_slices);

@@ -10,6 +10,10 @@
 //! mutex. In-crate tests elsewhere never install plans; this file is the
 //! only place plans are active while the full pipeline runs.
 
+// This suite deliberately keeps exercising the deprecated free functions:
+// they must stay bit-identical to the Session API they now wrap.
+#![allow(deprecated)]
+
 use dbg4eth::{infer, infer_detailed, train, Dbg4EthConfig, InferReport, ScoreError, TrainedModel};
 use eth_graph::{AccountKind, LocalTx, SamplerConfig, Subgraph};
 use eth_sim::{AccountClass, Benchmark, DatasetScale};

@@ -17,6 +17,10 @@
 //! The fixture itself (`fixture.txt`) is never regenerated automatically —
 //! it is the frozen input that makes traces comparable across PRs.
 
+// The golden trace deliberately stays on the deprecated free functions:
+// they must remain bit-identical to the Session API they now wrap.
+#![allow(deprecated)]
+
 use dbg4eth::{infer, train, Dbg4EthConfig, TrainedModel};
 use eth_graph::{AccountKind, LocalTx, Subgraph};
 use eth_sim::{AccountClass, GraphDataset};

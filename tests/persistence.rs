@@ -5,6 +5,10 @@
 //! in-memory model, for every account category and at any worker-thread
 //! count — and a damaged model file is always a typed error, never a panic.
 
+// Deliberately keeps exercising the deprecated free functions: they must
+// stay bit-identical to the Session API they now wrap.
+#![allow(deprecated)]
+
 use dbg4eth::{infer, run, train, Dbg4EthConfig, ModelIoError, TrainedModel};
 use eth_graph::{SamplerConfig, Subgraph};
 use eth_sim::{AccountClass, Benchmark, DatasetScale, GraphDataset};

@@ -1,0 +1,115 @@
+//! Property-based tests of the sparse execution layer: for any random
+//! sparse adjacency shaped like what `Subgraph` lowering produces
+//! (self-loop-free off-diagonal structure allowed, duplicate-free, rows may
+//! be empty), the CSR forward and backward SpMM kernels must be **bit
+//! identical** to the dense zero-skipping matmul path — serially and fanned
+//! out over 8 worker threads.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use tensor::{Csr, Tape, Tensor};
+
+/// A random `(n, n)` sparse adjacency as duplicate-free, self-loop-free
+/// triplets, plus a dense feature matrix `(n, d)`. Entry values include
+/// negatives and sub-unit magnitudes; roughly a third of candidate slots
+/// are dropped entirely so some rows end up empty.
+#[allow(clippy::type_complexity)]
+fn arbitrary_case() -> impl Strategy<Value = (usize, usize, Vec<(usize, usize, f32)>, Vec<f32>)> {
+    (2usize..10, 1usize..6).prop_flat_map(|(n, d)| {
+        let entries =
+            prop::collection::vec((0..n, 0..n, -2.0f32..2.0, 0u8..3), 0..30).prop_map(move |raw| {
+                let mut seen = std::collections::HashSet::new();
+                raw.into_iter()
+                    .filter(|&(r, c, _, keep)| keep > 0 && r != c && seen.insert((r, c)))
+                    // Exact zeros are a lowering-time concern (`from_dense`
+                    // filters them; the -0.0 pin test in the tensor crate
+                    // covers that corner) — keep structural entries nonzero
+                    // so both constructions agree on nnz.
+                    .map(|(r, c, v, _)| (r, c, if v == 0.0 { 0.5 } else { v }))
+                    .collect::<Vec<_>>()
+            });
+        let feats = prop::collection::vec(-3.0f32..3.0, n * d);
+        (Just(n), Just(d), entries, feats)
+    })
+}
+
+fn dense_from_triplets(n: usize, entries: &[(usize, usize, f32)]) -> Tensor {
+    let mut a = Tensor::zeros(n, n);
+    for &(r, c, v) in entries {
+        a.set(r, c, v);
+    }
+    a
+}
+
+/// Forward + backward bits for the dense tape path: `A` as a constant leaf,
+/// `loss = sum(A @ H)`, returns `(forward bits, dH bits)`.
+fn dense_bits(a: &Tensor, h: &Tensor) -> (Vec<u32>, Vec<u32>) {
+    let mut tape = Tape::new();
+    let av = tape.leaf(a.clone());
+    let hv = tape.leaf(h.clone());
+    let out = tape.matmul(av, hv);
+    let fwd = tape.value(out).to_bits_vec();
+    let loss = tape.sum_all(out);
+    tape.backward(loss);
+    let gh = tape.grad(hv).expect("dense dH").to_bits_vec();
+    (fwd, gh)
+}
+
+/// Same computation through the sparse kernel (`tape.spmm`).
+fn sparse_bits(csr: &Arc<Csr>, h: &Tensor) -> (Vec<u32>, Vec<u32>) {
+    let mut tape = Tape::new();
+    let hv = tape.leaf(h.clone());
+    let out = tape.spmm(csr, hv);
+    let fwd = tape.value(out).to_bits_vec();
+    let loss = tape.sum_all(out);
+    tape.backward(loss);
+    let gh = tape.grad(hv).expect("sparse dH").to_bits_vec();
+    (fwd, gh)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// CSR construction from triplets and from the dense matrix agree, and
+    /// both round-trip to the exact dense bits.
+    #[test]
+    fn csr_construction_round_trips((n, _d, entries, _feats) in arbitrary_case()) {
+        let dense = dense_from_triplets(n, &entries);
+        let from_triplets = Csr::from_triplets(n, n, &entries);
+        let from_dense = Csr::from_dense(&dense);
+        prop_assert_eq!(from_triplets.to_dense().to_bits_vec(), dense.to_bits_vec());
+        prop_assert_eq!(from_dense.to_dense().to_bits_vec(), dense.to_bits_vec());
+        prop_assert_eq!(from_triplets.nnz(), from_dense.nnz());
+    }
+
+    /// Forward and backward SpMM are bit-equal to the dense path.
+    #[test]
+    fn spmm_bit_equals_dense_forward_and_backward((n, d, entries, feats) in arbitrary_case()) {
+        let dense = dense_from_triplets(n, &entries);
+        let h = Tensor::from_vec(n, d, feats);
+        let csr = Arc::new(Csr::from_dense(&dense));
+        let (df, dg) = dense_bits(&dense, &h);
+        let (sf, sg) = sparse_bits(&csr, &h);
+        prop_assert_eq!(df, sf);
+        prop_assert_eq!(dg, sg);
+    }
+
+    /// The sparse kernels stay bit-identical when the same batch is fanned
+    /// out over 8 worker threads (per-task tapes, index-ordered collection).
+    #[test]
+    fn spmm_bit_identical_at_one_and_eight_threads(
+        cases in prop::collection::vec(arbitrary_case(), 1..6),
+    ) {
+        let prepared: Vec<(Arc<Csr>, Tensor)> = cases
+            .iter()
+            .map(|(n, d, entries, feats)| {
+                let dense = dense_from_triplets(*n, entries);
+                (Arc::new(Csr::from_dense(&dense)), Tensor::from_vec(*n, *d, feats.clone()))
+            })
+            .collect();
+        let run = |threads: usize| -> Vec<(Vec<u32>, Vec<u32>)> {
+            par::par_map(threads, &prepared, |(csr, h)| sparse_bits(csr, h))
+        };
+        prop_assert_eq!(run(1), run(8));
+    }
+}
