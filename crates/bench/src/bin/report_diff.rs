@@ -1,0 +1,96 @@
+//! `report-diff` — compare two run-reports and gate on perf regressions.
+//!
+//! ```text
+//! report-diff <baseline.json> <current.json> \
+//!     [--span pipeline.encode]... [--threshold 15] [--min-ms 1]
+//! ```
+//!
+//! Prints a per-span delta table and exits:
+//! * `0` — no gated span regressed,
+//! * `1` — a gated span regressed past the threshold (CI should fail),
+//! * `2` — usage error, unreadable/unparseable report, or a gate span
+//!   missing from either report (a renamed stage must not silently pass).
+//!
+//! A span regresses only when it is listed via `--span`, grows more than
+//! `--threshold` percent, **and** grows more than `--min-ms` absolute —
+//! sub-millisecond stages cannot fail CI on scheduler noise. Speed-ups
+//! never fail. Works on any run-report version ≥ 1.
+
+use obs::{diff_reports, DiffConfig, Json};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: report-diff <baseline.json> <current.json> \
+         [--span NAME]... [--threshold PCT] [--min-ms MS]"
+    );
+    ExitCode::from(2)
+}
+
+fn load(path: &str) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    Json::parse(&text).map_err(|e| format!("parse {path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths: Vec<&str> = Vec::new();
+    let mut config = DiffConfig::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--span" => match it.next() {
+                Some(v) => config.gate_spans.push(v.clone()),
+                None => return usage(),
+            },
+            "--threshold" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => config.threshold_pct = v,
+                None => return usage(),
+            },
+            "--min-ms" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => config.min_ms = v,
+                None => return usage(),
+            },
+            "--help" | "-h" => {
+                return usage();
+            }
+            other if other.starts_with('-') => {
+                eprintln!("unknown flag {other:?}");
+                return usage();
+            }
+            path => paths.push(path),
+        }
+    }
+    let [baseline_path, current_path] = paths.as_slice() else {
+        return usage();
+    };
+
+    let (baseline, current) = match (load(baseline_path), load(current_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("report-diff: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let diff = diff_reports(&baseline, &current, &config);
+    print!("{}", diff.render_table());
+
+    if !diff.missing_gates.is_empty() {
+        eprintln!(
+            "report-diff: gate span(s) missing from a report: {} \
+             (renamed stage? fix --span or the baseline)",
+            diff.missing_gates.join(", ")
+        );
+        return ExitCode::from(2);
+    }
+    if diff.regressed() {
+        eprintln!(
+            "report-diff: performance regression past {}% (+{} ms floor)",
+            config.threshold_pct, config.min_ms
+        );
+        return ExitCode::from(1);
+    }
+    println!("report-diff: ok (no gated span regressed)");
+    ExitCode::SUCCESS
+}

@@ -103,6 +103,12 @@ pub fn baseline_config() -> baselines::BaselineConfig {
 /// dataset scale and seed attached. No-op when metrics are disabled.
 pub fn emit_report_with(name: &str, scale: DatasetScale, seed: u64) {
     if !obs::metrics_enabled() {
+        // A timeline trace can be requested on its own, without metrics.
+        match obs::write_trace_if_requested() {
+            Ok(Some(path)) => obs::info!("bench", "timeline trace written to {}", path.display()),
+            Ok(None) => {}
+            Err(e) => obs::warn!("bench", "failed to write timeline trace: {e}"),
+        }
         return;
     }
     let mut report = dbg4eth::report::build_report(name);

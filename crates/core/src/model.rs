@@ -31,6 +31,17 @@ use nn::ParamStore;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Bucket edges of the `infer.account_latency_ms` histogram: log-spaced
+/// from 10µs to 10s, cached because [`obs::observe`] requires identical
+/// edges at every call.
+fn account_latency_edges() -> &'static [f64] {
+    static EDGES: OnceLock<Vec<f64>> = OnceLock::new();
+    EDGES.get_or_init(|| obs::log_edges(0.01, 10_000.0, 25))
+}
 
 /// One trained encoder branch plus its fitted calibration ensemble
 /// (`None` when the run was configured without calibration).
@@ -272,6 +283,18 @@ pub(crate) fn infer_impl(
     let _span = obs::span("model.infer");
     obs::counter_add("model.infers", 1);
     obs::counter_add("model.infer.accounts", accounts.len() as u64);
+    // Per-account latency accumulators: lowering plus every branch's raw
+    // scoring, summed per account across stages. Relaxed adds into
+    // per-account slots are order-independent, so the histogram's *count*
+    // and structure are identical at any thread count (the timing values
+    // themselves naturally vary run to run). Empty when metrics are off —
+    // the hot closures then skip the clock reads entirely.
+    let observed = obs::metrics_enabled();
+    let latency_ns: Vec<AtomicU64> = if observed {
+        (0..accounts.len()).map(|_| AtomicU64::new(0)).collect()
+    } else {
+        Vec::new()
+    };
     let mut results: Vec<Option<Result<AccountScore, ScoreError>>> = vec![None; accounts.len()];
 
     // Rung 1: validation + drop quarantine.
@@ -291,7 +314,13 @@ pub(crate) fn infer_impl(
 
     // Rung 2: contained lowering — a panic costs one account.
     let lowered = par::try_par_map_indices(threads, survivors.len(), |k| {
-        lower_one(&accounts[survivors[k]], &model.config)
+        let started = observed.then(Instant::now);
+        let out = lower_one(&accounts[survivors[k]], &model.config);
+        if let Some(t) = started {
+            let ns = u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            latency_ns[survivors[k]].fetch_add(ns, Ordering::Relaxed);
+        }
+        out
     });
     let mut tensors: Vec<GraphTensors> = Vec::with_capacity(survivors.len());
     let mut kept: Vec<usize> = Vec::with_capacity(survivors.len());
@@ -314,14 +343,14 @@ pub(crate) fn infer_impl(
     let mut outcomes: Vec<BranchOutcome> = Vec::new();
     if model.config.use_gsg {
         if let Some(b) = &model.gsg {
-            outcomes.push(score_branch(b, "gsg.encode", &tensors, &kept, threads));
+            outcomes.push(score_branch(b, "gsg.encode", &tensors, &kept, threads, &latency_ns));
         } else {
             obs::warn!("model.infer", "GSG branch unavailable; serving from survivors");
         }
     }
     if model.config.use_ldg {
         if let Some(b) = &model.ldg {
-            outcomes.push(score_branch(b, "ldg.encode", &tensors, &kept, threads));
+            outcomes.push(score_branch(b, "ldg.encode", &tensors, &kept, threads, &latency_ns));
         } else {
             obs::warn!("model.infer", "LDG branch unavailable; serving from survivors");
         }
@@ -375,6 +404,17 @@ pub(crate) fn infer_impl(
         results[orig] = Some(Ok(AccountScore { score, degraded }));
     }
 
+    // One histogram observation per account that reached the pipeline
+    // (quarantined accounts have no timed stage and are skipped).
+    if observed {
+        for slot in &latency_ns {
+            let ns = slot.load(Ordering::Relaxed);
+            if ns > 0 {
+                obs::observe("infer.account_latency_ms", account_latency_edges(), ns as f64 / 1e6);
+            }
+        }
+    }
+
     let scores: Vec<Result<AccountScore, ScoreError>> =
         results.into_iter().map(|r| r.expect("every account resolved")).collect();
     let degraded = scores.iter().filter(|r| matches!(r, Ok(s) if s.degraded)).count();
@@ -406,13 +446,21 @@ fn score_branch<S: BranchScorer>(
     tensors: &[GraphTensors],
     kept: &[usize],
     threads: usize,
+    latency_ns: &[AtomicU64],
 ) -> BranchOutcome {
     let m = tensors.len();
     let raw = par::try_par_map_indices(threads, m, |k| {
+        let started = (!latency_ns.is_empty()).then(Instant::now);
         // `nan@gsg.encode:<account>` / `nan@ldg.encode:<account>` injection
         // point, keyed by input-batch position so the blast radius is one
         // (account, branch) pair regardless of thread count.
-        faults::poison_f64(encode_site, Some(kept[k]), branch.scorer.raw_score(&tensors[k]))
+        let raw =
+            faults::poison_f64(encode_site, Some(kept[k]), branch.scorer.raw_score(&tensors[k]));
+        if let Some(t) = started {
+            let ns = u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            latency_ns[kept[k]].fetch_add(ns, Ordering::Relaxed);
+        }
+        raw
     });
     let mut conf: Vec<Option<f64>> = vec![None; m];
     let mut fail: Vec<Option<(&'static str, String)>> = vec![None; m];

@@ -348,15 +348,19 @@ fn run_branch<S: BranchScorer + Send>(
         // 1 and 2 score each fold with the encoder trained on the other
         // fold. The full-split encoder's training curve is the one
         // surfaced in the diagnostics.
+        let score = |scorer: &S, graphs: &[&GraphTensors]| {
+            let _span = obs::span("pipeline.encode.score");
+            scorer.raw_scores(graphs)
+        };
         let outs = par::par_map_indices(ctx.threads, 3, |task| match task {
             0 => {
                 let scorer = train(ctx.fit_graphs);
                 let epochs = scorer.history().to_vec();
-                let test_raw = scorer.raw_scores(ctx.test_graphs);
+                let test_raw = score(&scorer, ctx.test_graphs);
                 (test_raw, epochs, Some(scorer))
             }
-            1 => (train(ctx.fold_b_graphs).raw_scores(ctx.fold_a_graphs), Vec::new(), None),
-            _ => (train(ctx.fold_a_graphs).raw_scores(ctx.fold_b_graphs), Vec::new(), None),
+            1 => (score(&train(ctx.fold_b_graphs), ctx.fold_a_graphs), Vec::new(), None),
+            _ => (score(&train(ctx.fold_a_graphs), ctx.fold_b_graphs), Vec::new(), None),
         });
         let mut outs = outs.into_iter();
         let (test_raw, epochs, scorer) = outs.next().expect("task 0");
@@ -370,8 +374,14 @@ fn run_branch<S: BranchScorer + Send>(
         let epochs = scorer.history().to_vec();
         let (holdout_raw, test_raw) = par::join(
             ctx.threads,
-            || scorer.raw_scores(ctx.holdout_graphs),
-            || scorer.raw_scores_par(ctx.test_graphs, ctx.threads),
+            || {
+                let _span = obs::span("pipeline.encode.score");
+                scorer.raw_scores(ctx.holdout_graphs)
+            },
+            || {
+                let _span = obs::span("pipeline.encode.score");
+                scorer.raw_scores_par(ctx.test_graphs, ctx.threads)
+            },
         );
         (BranchEncoding { holdout_raw, test_raw, epochs }, scorer)
     }
@@ -406,6 +416,16 @@ pub(crate) fn encode_with_models(
     // Lower every graph once, honouring the feature mode. Lowering is a
     // pure per-graph function, so the fan-out is trivially deterministic.
     let tensors: Vec<GraphTensors> = lower_graphs(&dataset.graphs, config, threads);
+    if obs::metrics_enabled() {
+        // Sparse-workload gauges: how much adjacency the CSR kernels chew
+        // through per encode. Sums over the whole dataset, so the values
+        // are thread-count independent.
+        let gsg_nnz: usize = tensors.iter().map(|t| t.gsg_adj_csr.nnz()).sum();
+        let ldg_nnz: usize = tensors.iter().flat_map(|t| &t.slice_adj_csr).map(|c| c.nnz()).sum();
+        obs::gauge_set("pipeline.encode.graphs", tensors.len() as f64);
+        obs::gauge_set("pipeline.encode.gsg_nnz", gsg_nnz as f64);
+        obs::gauge_set("pipeline.encode.ldg_nnz", ldg_nnz as f64);
+    }
     let labels: Vec<bool> = dataset.graphs.iter().map(|g| g.label == Some(POSITIVE)).collect();
 
     // Holdout construction for fitting the calibrators and the stacked

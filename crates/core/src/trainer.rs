@@ -36,6 +36,21 @@ fn batches(n: usize, batch_size: usize, rng: &mut StdRng) -> Vec<Vec<usize>> {
     idx.chunks(batch_size.max(1)).map(<[usize]>::to_vec).collect()
 }
 
+/// Flush a buffer pool's lifetime counters into the run-report under
+/// `<prefix>.pool.*` / `<prefix>.tape_ops`. Counter adds and the gauge max
+/// are order-independent, so concurrent branch trainings (separate pools)
+/// report the same totals at any thread count.
+pub(crate) fn flush_pool_stats(prefix: &str, stats: tensor::PoolStats) {
+    if !obs::metrics_enabled() {
+        return;
+    }
+    obs::counter_add(&format!("{prefix}.pool.hits"), stats.hits);
+    obs::counter_add(&format!("{prefix}.pool.misses"), stats.misses);
+    obs::counter_add(&format!("{prefix}.pool.allocated_bytes"), stats.allocated_bytes);
+    obs::counter_add(&format!("{prefix}.tape_ops"), stats.tape_ops);
+    obs::gauge_max(&format!("{prefix}.pool.high_water_buffers"), stats.high_water_buffers as f64);
+}
+
 /// Train the global static encoder with cross-entropy plus the contrastive
 /// objective over two adaptively augmented views (Section IV-A3).
 pub fn train_gsg(graphs: &[&GraphTensors], config: &Dbg4EthConfig) -> TrainedGsg {
@@ -50,6 +65,7 @@ pub fn train_gsg(graphs: &[&GraphTensors], config: &Dbg4EthConfig) -> TrainedGsg
     let mut pool = BufferPool::new();
 
     for epoch in 0..config.epochs {
+        let _epoch_span = obs::span("train.gsg.epoch");
         let mut epoch_loss = 0.0f32;
         let mut epoch_con = 0.0f32;
         let mut n_batches = 0;
@@ -57,6 +73,7 @@ pub fn train_gsg(graphs: &[&GraphTensors], config: &Dbg4EthConfig) -> TrainedGsg
             store.zero_grad();
             let mut tape = Tape::with_pool(std::mem::take(&mut pool));
             let mut ctx = Ctx::new(&store);
+            let fwd_span = obs::span("train.gsg.forward");
             let mut logits: Option<Var> = None;
             let mut proj1: Option<Var> = None;
             let mut proj2: Option<Var> = None;
@@ -114,10 +131,17 @@ pub fn train_gsg(graphs: &[&GraphTensors], config: &Dbg4EthConfig) -> TrainedGsg
             epoch_loss += tape.value(loss).item();
             epoch_con += con_val;
             n_batches += 1;
-            tape.backward(loss);
-            ctx.accumulate_grads(&tape, &mut store);
-            store.clip_grad_norm(5.0);
-            opt.step(&mut store);
+            drop(fwd_span);
+            {
+                let _s = obs::span("train.gsg.backward");
+                tape.backward(loss);
+                ctx.accumulate_grads(&tape, &mut store);
+            }
+            {
+                let _s = obs::span("train.gsg.step");
+                store.clip_grad_norm(5.0);
+                opt.step(&mut store);
+            }
             pool = tape.into_pool();
         }
         let stats = EpochStats {
@@ -136,6 +160,7 @@ pub fn train_gsg(graphs: &[&GraphTensors], config: &Dbg4EthConfig) -> TrainedGsg
     }
     obs::counter_add("train.gsg.fits", 1);
     obs::counter_add("train.gsg.epochs", config.epochs as u64);
+    flush_pool_stats("train.gsg", pool.stats());
     TrainedGsg { store, encoder, history }
 }
 
@@ -152,12 +177,14 @@ pub fn train_ldg(graphs: &[&GraphTensors], config: &Dbg4EthConfig) -> TrainedLdg
     let mut pool = BufferPool::new();
 
     for epoch in 0..config.epochs {
+        let _epoch_span = obs::span("train.ldg.epoch");
         let mut epoch_loss = 0.0f32;
         let mut n_batches = 0;
         for batch in batches(graphs.len(), config.batch_size, &mut rng) {
             store.zero_grad();
             let mut tape = Tape::with_pool(std::mem::take(&mut pool));
             let mut ctx = Ctx::new(&store);
+            let fwd_span = obs::span("train.ldg.forward");
             let mut logits: Option<Var> = None;
             let mut targets = Vec::with_capacity(batch.len());
             for &gi in &batch {
@@ -172,10 +199,17 @@ pub fn train_ldg(graphs: &[&GraphTensors], config: &Dbg4EthConfig) -> TrainedLdg
             let loss = tape.cross_entropy(logits.expect("non-empty batch"), Arc::new(targets));
             epoch_loss += tape.value(loss).item();
             n_batches += 1;
-            tape.backward(loss);
-            ctx.accumulate_grads(&tape, &mut store);
-            store.clip_grad_norm(5.0);
-            opt.step(&mut store);
+            drop(fwd_span);
+            {
+                let _s = obs::span("train.ldg.backward");
+                tape.backward(loss);
+                ctx.accumulate_grads(&tape, &mut store);
+            }
+            {
+                let _s = obs::span("train.ldg.step");
+                store.clip_grad_norm(5.0);
+                opt.step(&mut store);
+            }
             pool = tape.into_pool();
         }
         let stats = EpochStats { loss: epoch_loss / n_batches.max(1) as f32, contrastive: 0.0 };
@@ -184,6 +218,7 @@ pub fn train_ldg(graphs: &[&GraphTensors], config: &Dbg4EthConfig) -> TrainedLdg
     }
     obs::counter_add("train.ldg.fits", 1);
     obs::counter_add("train.ldg.epochs", config.epochs as u64);
+    flush_pool_stats("train.ldg", pool.stats());
     TrainedLdg { store, encoder, history }
 }
 

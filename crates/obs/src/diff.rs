@@ -1,0 +1,309 @@
+//! Run-report comparison: the engine behind the `report-diff` bench binary
+//! and the CI perf-regression gate.
+//!
+//! [`diff_reports`] compares two `dbg4eth.run-report` documents span by
+//! span (inclusive wall time) and counter by counter, producing a
+//! [`ReportDiff`] of per-key deltas. Spans named in
+//! [`DiffConfig::gate_spans`] *gate*: a gated span whose wall time grew by
+//! more than [`DiffConfig::threshold_pct`] (and by more than
+//! [`DiffConfig::min_ms`], to keep sub-millisecond noise from failing
+//! builds) marks the diff as a regression, which the binary turns into a
+//! non-zero exit code. A self-diff is always clean.
+
+use crate::json::Json;
+
+/// What to compare and when to fail.
+#[derive(Clone, Debug)]
+pub struct DiffConfig {
+    /// Span names whose inclusive wall-time growth gates the diff. Empty
+    /// means nothing gates (the diff is informational only).
+    pub gate_spans: Vec<String>,
+    /// Relative growth, in percent, above which a gated span regresses.
+    pub threshold_pct: f64,
+    /// Absolute growth floor in milliseconds: a gated span must grow by
+    /// more than this *and* the relative threshold to count as a
+    /// regression, so tiny spans cannot fail a build on scheduler noise.
+    pub min_ms: f64,
+}
+
+impl Default for DiffConfig {
+    fn default() -> Self {
+        Self { gate_spans: Vec::new(), threshold_pct: 15.0, min_ms: 1.0 }
+    }
+}
+
+/// One compared span.
+#[derive(Clone, Debug)]
+pub struct SpanDelta {
+    pub name: String,
+    /// Inclusive wall time in the baseline report, milliseconds.
+    pub baseline_ms: f64,
+    /// Inclusive wall time in the current report, milliseconds.
+    pub current_ms: f64,
+    /// Relative change in percent (`+` = slower). `None` when the span is
+    /// missing from either side or the baseline is zero.
+    pub delta_pct: Option<f64>,
+    /// Whether this span was named in [`DiffConfig::gate_spans`].
+    pub gated: bool,
+    /// Gated, present on both sides, and past both thresholds.
+    pub regressed: bool,
+}
+
+/// One compared counter.
+#[derive(Clone, Debug)]
+pub struct CounterDelta {
+    pub name: String,
+    pub baseline: Option<f64>,
+    pub current: Option<f64>,
+}
+
+/// The outcome of comparing two run-reports.
+#[derive(Clone, Debug, Default)]
+pub struct ReportDiff {
+    /// Every span present in either report, baseline order first.
+    pub spans: Vec<SpanDelta>,
+    /// Counters whose value changed or that exist on only one side.
+    pub counters: Vec<CounterDelta>,
+    /// Gate spans listed in the config but absent from one of the reports
+    /// — surfaced loudly, because a silently missing gate span would turn
+    /// the regression gate into a no-op.
+    pub missing_gates: Vec<String>,
+}
+
+impl ReportDiff {
+    /// Whether any gated span regressed past the thresholds.
+    #[must_use]
+    pub fn regressed(&self) -> bool {
+        self.spans.iter().any(|s| s.regressed)
+    }
+
+    /// Human-readable table of the diff, one span per line, regressions
+    /// flagged; suitable for CI logs.
+    #[must_use]
+    pub fn render_table(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<40} {:>12} {:>12} {:>9}",
+            "span", "baseline ms", "current ms", "delta"
+        );
+        for s in &self.spans {
+            let delta = match s.delta_pct {
+                Some(d) => format!("{d:+.1}%"),
+                None => "n/a".to_string(),
+            };
+            let marks = match (s.regressed, s.gated) {
+                (true, _) => "  REGRESSED",
+                (false, true) => "  [gate]",
+                (false, false) => "",
+            };
+            let _ = writeln!(
+                out,
+                "{:<40} {:>12.3} {:>12.3} {:>9}{}",
+                s.name, s.baseline_ms, s.current_ms, delta, marks
+            );
+        }
+        for name in &self.missing_gates {
+            let _ = writeln!(out, "{name:<40} missing from one report  GATE NOT CHECKED");
+        }
+        if !self.counters.is_empty() {
+            let _ = writeln!(out, "\n{:<40} {:>12} {:>12}", "counter", "baseline", "current");
+            for c in &self.counters {
+                let fmt = |v: Option<f64>| v.map_or("-".to_string(), |v| format!("{v}"));
+                let _ =
+                    writeln!(out, "{:<40} {:>12} {:>12}", c.name, fmt(c.baseline), fmt(c.current));
+            }
+        }
+        out
+    }
+}
+
+fn span_total_ms(report: &Json, name: &str) -> Option<f64> {
+    report.get("spans")?.get(name)?.get("total_ms")?.as_f64()
+}
+
+fn number_map(report: &Json, section: &str) -> Vec<(String, f64)> {
+    let Some(Json::Obj(fields)) = report.get(section) else { return Vec::new() };
+    fields.iter().filter_map(|(k, v)| v.as_f64().map(|v| (k.clone(), v))).collect()
+}
+
+fn span_names(report: &Json) -> Vec<String> {
+    let Some(Json::Obj(fields)) = report.get("spans") else { return Vec::new() };
+    fields.iter().map(|(k, _)| k.clone()).collect()
+}
+
+/// Compare two parsed run-reports. Only the `spans` and `counters`
+/// sections are consulted, so any report version ≥ 1 diffs cleanly.
+#[must_use]
+pub fn diff_reports(baseline: &Json, current: &Json, config: &DiffConfig) -> ReportDiff {
+    let mut names = span_names(baseline);
+    for n in span_names(current) {
+        if !names.contains(&n) {
+            names.push(n);
+        }
+    }
+    let gated = |name: &str| config.gate_spans.iter().any(|g| g == name);
+
+    let mut spans = Vec::with_capacity(names.len());
+    let mut missing_gates = Vec::new();
+    for name in names {
+        let b = span_total_ms(baseline, &name);
+        let c = span_total_ms(current, &name);
+        let delta_pct = match (b, c) {
+            (Some(b), Some(c)) if b > 0.0 => Some((c - b) / b * 100.0),
+            _ => None,
+        };
+        let is_gate = gated(&name);
+        if is_gate && (b.is_none() || c.is_none()) {
+            missing_gates.push(name.clone());
+        }
+        let regressed = is_gate
+            && match (b, c, delta_pct) {
+                (Some(b), Some(c), Some(d)) => d > config.threshold_pct && c - b > config.min_ms,
+                _ => false,
+            };
+        spans.push(SpanDelta {
+            name,
+            baseline_ms: b.unwrap_or(0.0),
+            current_ms: c.unwrap_or(0.0),
+            delta_pct,
+            gated: is_gate,
+            regressed,
+        });
+    }
+    // A configured gate span absent from *both* reports is also a broken
+    // gate (e.g. a renamed stage) — it never entered the name union above.
+    for g in &config.gate_spans {
+        if !spans.iter().any(|s| &s.name == g) {
+            missing_gates.push(g.clone());
+        }
+    }
+
+    let b_counters = number_map(baseline, "counters");
+    let c_counters = number_map(current, "counters");
+    let mut counter_names: Vec<&String> = b_counters.iter().map(|(k, _)| k).collect();
+    for (k, _) in &c_counters {
+        if !counter_names.contains(&k) {
+            counter_names.push(k);
+        }
+    }
+    let lookup = |m: &[(String, f64)], k: &str| m.iter().find(|(n, _)| n == k).map(|(_, v)| *v);
+    let counters = counter_names
+        .into_iter()
+        .filter_map(|name| {
+            let b = lookup(&b_counters, name);
+            let c = lookup(&c_counters, name);
+            (b != c).then(|| CounterDelta { name: name.clone(), baseline: b, current: c })
+        })
+        .collect();
+
+    ReportDiff { spans, counters, missing_gates }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report_with_span(name: &str, total_ms: f64) -> Json {
+        let mut spans = Json::obj();
+        let mut s = Json::obj();
+        s.set("count", 1u64);
+        s.set("total_ms", total_ms);
+        s.set("max_ms", total_ms);
+        s.set("self_ms", total_ms);
+        spans.set(name, s);
+        let mut counters = Json::obj();
+        counters.set("par.tasks", 10u64);
+        let mut r = Json::obj();
+        r.set("schema", "dbg4eth.run-report");
+        r.set("version", 2u64);
+        r.set("spans", spans);
+        r.set("counters", counters);
+        r
+    }
+
+    fn gate(name: &str) -> DiffConfig {
+        DiffConfig { gate_spans: vec![name.to_string()], ..DiffConfig::default() }
+    }
+
+    #[test]
+    fn self_diff_is_clean() {
+        let r = report_with_span("pipeline.encode", 1000.0);
+        let d = diff_reports(&r, &r, &gate("pipeline.encode"));
+        assert!(!d.regressed());
+        assert!(d.missing_gates.is_empty());
+        assert!(d.counters.is_empty());
+        assert_eq!(d.spans.len(), 1);
+        assert_eq!(d.spans[0].delta_pct, Some(0.0));
+    }
+
+    #[test]
+    fn regression_past_threshold_fails_the_gate() {
+        let base = report_with_span("pipeline.encode", 1000.0);
+        let slow = report_with_span("pipeline.encode", 1200.0);
+        let d = diff_reports(&base, &slow, &gate("pipeline.encode"));
+        assert!(d.regressed());
+        assert!(d.spans[0].regressed);
+        assert_eq!(d.spans[0].delta_pct, Some(20.0));
+        // The same 20% on an ungated span does not fail.
+        let d = diff_reports(&base, &slow, &DiffConfig::default());
+        assert!(!d.regressed());
+        // A speed-up never fails.
+        let d = diff_reports(&slow, &base, &gate("pipeline.encode"));
+        assert!(!d.regressed());
+    }
+
+    #[test]
+    fn growth_within_threshold_passes() {
+        let base = report_with_span("pipeline.encode", 1000.0);
+        let ok = report_with_span("pipeline.encode", 1100.0);
+        let d = diff_reports(&base, &ok, &gate("pipeline.encode"));
+        assert!(!d.regressed());
+        let delta = d.spans[0].delta_pct.expect("both sides present");
+        assert!((delta - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tiny_spans_cannot_regress_on_noise() {
+        // 0.1ms -> 0.5ms is +400% but under the 1ms absolute floor.
+        let base = report_with_span("pipeline.tiny", 0.1);
+        let noisy = report_with_span("pipeline.tiny", 0.5);
+        let d = diff_reports(&base, &noisy, &gate("pipeline.tiny"));
+        assert!(!d.regressed());
+        // Past the floor it fails again.
+        let slow = report_with_span("pipeline.tiny", 5.0);
+        let d = diff_reports(&base, &slow, &gate("pipeline.tiny"));
+        assert!(d.regressed());
+    }
+
+    #[test]
+    fn missing_gate_spans_are_surfaced_not_silently_passed() {
+        let base = report_with_span("pipeline.encode", 1000.0);
+        let other = report_with_span("pipeline.other", 1000.0);
+        let d = diff_reports(&base, &other, &gate("pipeline.encode"));
+        assert!(!d.regressed(), "missing data is not a timing regression");
+        assert_eq!(d.missing_gates, vec!["pipeline.encode".to_string()]);
+        // A gate span in neither report is also surfaced.
+        let d = diff_reports(&other, &other, &gate("pipeline.encode"));
+        assert_eq!(d.missing_gates, vec!["pipeline.encode".to_string()]);
+    }
+
+    #[test]
+    fn changed_counters_are_listed() {
+        let base = report_with_span("s", 1.0);
+        let mut cur = report_with_span("s", 1.0);
+        let mut counters = Json::obj();
+        counters.set("par.tasks", 12u64);
+        counters.set("infer.degraded", 3u64);
+        cur.set("counters", counters);
+        let d = diff_reports(&base, &cur, &DiffConfig::default());
+        assert_eq!(d.counters.len(), 2);
+        let tasks = d.counters.iter().find(|c| c.name == "par.tasks").unwrap();
+        assert_eq!((tasks.baseline, tasks.current), (Some(10.0), Some(12.0)));
+        let degraded = d.counters.iter().find(|c| c.name == "infer.degraded").unwrap();
+        assert_eq!((degraded.baseline, degraded.current), (None, Some(3.0)));
+        let table = d.render_table();
+        assert!(table.contains("par.tasks"));
+    }
+}

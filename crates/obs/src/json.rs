@@ -439,4 +439,111 @@ mod tests {
         o.set("k", 1.0).set("k", 2.0);
         assert_eq!(o.get("k").unwrap().as_f64(), Some(2.0));
     }
+
+    #[test]
+    fn every_control_character_escapes_and_round_trips() {
+        // All of C0, the two writer-escaped specials, and multi-byte UTF-8
+        // (2-, 3- and 4-byte sequences) both as values and as object keys.
+        let mut hostile = String::from("\"\\/ é 漢 💸 ");
+        for c in 0u32..0x20 {
+            hostile.push(char::from_u32(c).unwrap());
+        }
+        let mut doc = Json::obj();
+        doc.set("value", hostile.as_str());
+        doc.set(&hostile, "key side");
+        for text in [doc.render(), doc.render_pretty()] {
+            let back = Json::parse(&text).unwrap();
+            assert_eq!(back, doc, "hostile string mangled in {text:?}");
+            assert_eq!(back.get("value").and_then(Json::as_str), Some(hostile.as_str()));
+        }
+        // The compact rendering of a control character is the \uXXXX form.
+        assert!(Json::from("\u{1}").render().contains("\\u0001"));
+    }
+
+    #[test]
+    fn deeply_nested_documents_round_trip() {
+        // 256 levels of arrays-in-arrays and objects-in-objects: deep
+        // enough to catch accidental recursion limits or stack abuse in
+        // either the writer or the parser, shallow enough to stay well
+        // inside a test thread's stack.
+        let mut arr = Json::from(vec![1.0]);
+        let mut obj = Json::from("leaf");
+        for _ in 0..256 {
+            arr = Json::Arr(vec![arr]);
+            let mut wrap = Json::obj();
+            wrap.set("next", obj);
+            obj = wrap;
+        }
+        let mut doc = Json::obj();
+        doc.set("arr", arr);
+        doc.set("obj", obj);
+        for text in [doc.render(), doc.render_pretty()] {
+            assert_eq!(Json::parse(&text).unwrap(), doc);
+        }
+    }
+
+    /// Seeded structural fuzz: random documents survive render → parse and
+    /// render_pretty → parse bit-for-bit (numbers use shortest round-trip
+    /// formatting, so equality is exact).
+    #[test]
+    fn seeded_random_documents_round_trip() {
+        struct XorShift(u64);
+        impl XorShift {
+            fn next(&mut self) -> u64 {
+                let mut x = self.0;
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                self.0 = x;
+                x
+            }
+        }
+        fn rand_string(rng: &mut XorShift) -> String {
+            let len = (rng.next() % 8) as usize;
+            (0..len)
+                .map(|_| {
+                    // Bias towards characters the writer must escape.
+                    match rng.next() % 6 {
+                        0 => '"',
+                        1 => '\\',
+                        2 => char::from_u32((rng.next() % 0x20) as u32).unwrap(),
+                        3 => '💸',
+                        _ => char::from_u32(0x20 + (rng.next() % 0x5e) as u32).unwrap(),
+                    }
+                })
+                .collect()
+        }
+        fn rand_value(rng: &mut XorShift, depth: usize) -> Json {
+            match rng.next() % if depth >= 4 { 4 } else { 6 } {
+                0 => Json::Null,
+                1 => Json::Bool(rng.next().is_multiple_of(2)),
+                2 => {
+                    // Random finite f64: mantissa/exponent soup, not just
+                    // round numbers. From<f64> maps non-finite to Null.
+                    let bits = rng.next();
+                    let v = f64::from_bits(bits);
+                    Json::from(if v.is_finite() { v } else { bits as f64 / 3.0 })
+                }
+                3 => Json::from(rand_string(rng)),
+                4 => Json::Arr((0..rng.next() % 4).map(|_| rand_value(rng, depth + 1)).collect()),
+                _ => {
+                    let mut o = Json::obj();
+                    for _ in 0..rng.next() % 4 {
+                        o.set(&rand_string(rng), rand_value(rng, depth + 1));
+                    }
+                    o
+                }
+            }
+        }
+        let mut rng = XorShift(0x9e37_79b9_7f4a_7c15);
+        for case in 0..200 {
+            let doc = rand_value(&mut rng, 0);
+            for text in [doc.render(), doc.render_pretty()] {
+                match Json::parse(&text) {
+                    Ok(back) => assert_eq!(back, doc, "case {case}: {text}"),
+                    Err(e) => panic!("case {case}: {e}: {text}"),
+                }
+            }
+        }
+    }
 }

@@ -14,6 +14,12 @@
 //! * **JSON run-reports** — a versioned, serde-free [`Json`] value
 //!   ([`Report`]) assembled from a registry snapshot plus caller-provided
 //!   sections, written to the path named by `DBG4ETH_METRICS`.
+//! * **Timeline tracing** — per-thread ring buffers of span begin/end
+//!   events, switched on by `DBG4ETH_TRACE` and exported as Chrome
+//!   `trace_event` JSON loadable in Perfetto (see [`mod@trace`] docs).
+//! * **Report diffing** — [`diff_reports`] compares two run-reports span
+//!   by span; the `report-diff` bench binary turns a past-threshold
+//!   regression on a gated span into a non-zero exit for CI.
 //!
 //! Determinism contract: nothing in this crate feeds back into the
 //! computation it observes, and every aggregation is keyed by a stable
@@ -24,17 +30,24 @@
 //! names themselves — never in wall-clock interleaving — so fan-out onto
 //! worker threads cannot reshape the report.
 
+mod diff;
 mod json;
 mod log;
 mod registry;
 mod report;
 mod span;
+pub mod trace;
 
+pub use diff::{diff_reports, CounterDelta, DiffConfig, ReportDiff, SpanDelta};
 pub use json::Json;
 pub use log::{emit, log_enabled, log_level, set_log_level, Level, LOG_ENV};
 pub use registry::{
-    counter_add, gauge_set, metrics_enabled, metrics_path, observe, reset, set_metrics_enabled,
-    snapshot, Histogram, Snapshot, SpanStat, METRICS_ENV,
+    counter_add, gauge_max, gauge_set, log_edges, metrics_enabled, metrics_path, observe, reset,
+    set_metrics_enabled, snapshot, Histogram, Snapshot, SpanStat, METRICS_ENV,
 };
-pub use report::{snapshot_json, Report, REPORT_SCHEMA, REPORT_VERSION};
+pub use report::{self_time_table, snapshot_json, Report, REPORT_SCHEMA, REPORT_VERSION};
 pub use span::{span, span_depth, span_path, Span};
+pub use trace::{
+    current_task_index, export_trace_json, reset_trace, set_task_index, set_trace_enabled,
+    trace_enabled, trace_path, write_trace_if_requested, TRACE_BUF_ENV, TRACE_ENV,
+};

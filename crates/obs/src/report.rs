@@ -16,8 +16,11 @@ use std::path::{Path, PathBuf};
 /// Identifies the report format, independent of what produced it.
 pub const REPORT_SCHEMA: &str = "dbg4eth.run-report";
 
-/// Current schema version.
-pub const REPORT_VERSION: u64 = 1;
+/// Current schema version. Version 2 added per-span exclusive times
+/// (`spans.*.self_ms`), the ranked `self_time` table, and histogram
+/// quantile estimates (`histograms.*.{p50,p90,p99}`); every version-1
+/// field is preserved unchanged.
+pub const REPORT_VERSION: u64 = 2;
 
 /// A run-report under construction.
 pub struct Report {
@@ -41,11 +44,11 @@ impl Report {
         self
     }
 
-    /// Attach the registry's current spans, counters, gauges and
-    /// histograms.
+    /// Attach the registry's current spans, counters, gauges, histograms
+    /// and the ranked self-time table.
     pub fn attach_registry(&mut self) -> &mut Self {
         let json = snapshot_json(&snapshot());
-        for key in ["spans", "counters", "gauges", "histograms"] {
+        for key in ["spans", "self_time", "counters", "gauges", "histograms"] {
             self.root.set(key, json.get(key).cloned().unwrap_or(Json::Null));
         }
         self
@@ -67,14 +70,19 @@ impl Report {
         self.root.render_pretty()
     }
 
-    /// Write the report to `path`.
+    /// Write the report to `path` — to a temporary sibling first, then an
+    /// atomic rename, so a crash mid-write can never leave a truncated
+    /// `report.json` for CI to choke on.
     pub fn write_to(&self, path: &Path) -> io::Result<()> {
-        std::fs::write(path, self.render())
+        write_atomically(path, &self.render())
     }
 
-    /// Write the report to the `DBG4ETH_METRICS` path, if one is set.
-    /// Returns the path written.
+    /// Write the report to the `DBG4ETH_METRICS` path, if one is set, and
+    /// export the timeline trace to the `DBG4ETH_TRACE` path, if tracing
+    /// is on — the one exit hook every harness already calls. Returns the
+    /// report path written.
     pub fn write_if_requested(&self) -> io::Result<Option<PathBuf>> {
+        crate::trace::write_trace_if_requested()?;
         match metrics_path() {
             Some(path) => {
                 self.write_to(&path)?;
@@ -85,8 +93,26 @@ impl Report {
     }
 }
 
+/// Write `contents` to a `.tmp` sibling of `path` and atomically rename it
+/// into place. The sibling lives in the target's directory, so the rename
+/// never crosses filesystems; a crash leaves at worst a stale `.tmp` file,
+/// never a truncated target.
+pub(crate) fn write_atomically(path: &Path, contents: &str) -> io::Result<()> {
+    let mut name = path
+        .file_name()
+        .map_or_else(|| std::ffi::OsString::from("report"), std::ffi::OsStr::to_os_string);
+    name.push(".tmp");
+    let tmp = path.with_file_name(name);
+    std::fs::write(&tmp, contents)?;
+    std::fs::rename(&tmp, path).inspect_err(|_| {
+        let _ = std::fs::remove_file(&tmp);
+    })
+}
+
 /// Convert a registry snapshot into its JSON form: span timings in
-/// milliseconds, plus raw counters, gauges and histogram buckets.
+/// milliseconds (inclusive and exclusive), the ranked self-time table,
+/// plus raw counters, gauges and histogram buckets with their p50/p90/p99
+/// estimates.
 #[must_use]
 pub fn snapshot_json(s: &Snapshot) -> Json {
     let mut spans = Json::obj();
@@ -95,6 +121,7 @@ pub fn snapshot_json(s: &Snapshot) -> Json {
         o.set("count", stat.count);
         o.set("total_ms", stat.total_ns as f64 / 1e6);
         o.set("max_ms", stat.max_ns as f64 / 1e6);
+        o.set("self_ms", stat.self_ns as f64 / 1e6);
         spans.set(name, o);
     }
     let mut counters = Json::obj();
@@ -112,17 +139,48 @@ pub fn snapshot_json(s: &Snapshot) -> Json {
         o.set("buckets", Json::Arr(h.buckets.iter().map(|&b| Json::from(b)).collect()));
         o.set("count", h.count);
         // Empty histograms have min = +inf / max = -inf, which From<f64>
-        // normalises to null.
+        // normalises to null — same for the quantiles' NaN.
         o.set("min", h.min);
         o.set("max", h.max);
+        let [p50, p90, p99] = h.percentiles();
+        o.set("p50", p50);
+        o.set("p90", p90);
+        o.set("p99", p99);
         histograms.set(name, o);
     }
     let mut out = Json::obj();
     out.set("spans", spans);
+    out.set("self_time", self_time_table(s));
     out.set("counters", counters);
     out.set("gauges", gauges);
     out.set("histograms", histograms);
     out
+}
+
+/// The self-time profile: every span ranked by exclusive wall time,
+/// descending — the flamegraph's flat view, answering "where does the time
+/// actually go?" without tracing. Ties (and zero rows) break by name so
+/// the table is deterministic.
+#[must_use]
+pub fn self_time_table(s: &Snapshot) -> Json {
+    let total: u128 = s.spans.values().map(|st| st.self_ns).sum();
+    let mut rows: Vec<(&String, &crate::registry::SpanStat)> = s.spans.iter().collect();
+    rows.sort_by(|(an, a), (bn, b)| b.self_ns.cmp(&a.self_ns).then_with(|| an.cmp(bn)));
+    Json::Arr(
+        rows.into_iter()
+            .map(|(name, stat)| {
+                let mut o = Json::obj();
+                o.set("name", name.as_str());
+                o.set("self_ms", stat.self_ns as f64 / 1e6);
+                o.set("total_ms", stat.total_ns as f64 / 1e6);
+                o.set("count", stat.count);
+                if total > 0 {
+                    o.set("self_pct", stat.self_ns as f64 / total as f64 * 100.0);
+                }
+                o
+            })
+            .collect(),
+    )
 }
 
 #[cfg(test)]
@@ -171,6 +229,52 @@ mod tests {
         let text = std::fs::read_to_string(&path).expect("read report");
         let parsed = Json::parse(&text).expect("parse report");
         assert_eq!(parsed.get("answer").unwrap().as_f64(), Some(42.0));
+        // The atomic-rename protocol leaves no temporary sibling behind.
+        assert!(!path.with_file_name("dbg4eth_obs_report_test.json.tmp").exists());
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn write_to_replaces_an_existing_file_atomically() {
+        let _g = test_guard();
+        let path = std::env::temp_dir().join("dbg4eth_obs_report_atomic_test.json");
+        std::fs::write(&path, "not json at all").expect("seed stale file");
+        let mut report = Report::new("atomic-test");
+        report.set("fresh", true);
+        report.write_to(&path).expect("overwrite report");
+        let parsed = Json::parse(&std::fs::read_to_string(&path).unwrap()).expect("parse");
+        assert_eq!(parsed.get("fresh"), Some(&Json::Bool(true)));
+        assert!(!path.with_file_name("dbg4eth_obs_report_atomic_test.json.tmp").exists());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn self_time_table_is_ranked_and_consistent_with_spans() {
+        let _g = test_guard();
+        set_metrics_enabled(true);
+        {
+            let _outer = span("test.report.selftime.outer");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            let _inner = span("test.report.selftime.inner");
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let mut report = Report::new("self-time-test");
+        report.attach_registry();
+        let json = report.as_json();
+        let table = json.get("self_time").and_then(Json::as_arr).expect("self_time array");
+        assert!(!table.is_empty());
+        let mut last = f64::INFINITY;
+        for row in table {
+            let name = row.get("name").and_then(Json::as_str).expect("name");
+            let self_ms = row.get("self_ms").and_then(Json::as_f64).expect("self_ms");
+            let total_ms = row.get("total_ms").and_then(Json::as_f64).expect("total_ms");
+            assert!(self_ms <= last, "table must be ranked by self_ms desc");
+            assert!(self_ms <= total_ms + 1e-9, "exclusive <= inclusive for {name}");
+            last = self_ms;
+            // Every table row mirrors the span map's self_ms.
+            let span_self =
+                json.get("spans").unwrap().get(name).unwrap().get("self_ms").unwrap().as_f64();
+            assert_eq!(span_self, Some(self_ms));
+        }
     }
 }

@@ -1,6 +1,6 @@
 //! Span timers: RAII guards that time a stage and record into the registry.
 //!
-//! Spans nest: each thread keeps a stack of active span names, visible via
+//! Spans nest: each thread keeps a stack of active span frames, visible via
 //! [`span_path`] / [`span_depth`] and used to indent trace-level events.
 //! Aggregation, however, is keyed by the span's *declared* name alone —
 //! hierarchy is encoded in the dotted names chosen at the call site
@@ -8,15 +8,38 @@
 //! task fanned out to a worker thread therefore lands in exactly the same
 //! report key as when it runs inline, which is what keeps report structure
 //! independent of `DBG4ETH_THREADS`.
+//!
+//! The stack *is* used for two per-thread derived signals that never change
+//! report structure:
+//!
+//! * **Self-time** — when a span closes, its duration is charged to the
+//!   enclosing frame's child-time, so each span's **exclusive** time
+//!   (`total - time spent in nested spans on the same thread`) accumulates
+//!   into [`crate::SpanStat::self_ns`]. A worker-thread span with no
+//!   enclosing frame is its own root: its time stays attributed to itself,
+//!   not to the fan-out span on the dispatching thread.
+//! * **Timeline events** — with `DBG4ETH_TRACE` set, every span records a
+//!   begin/end pair into the per-thread trace ring (see [`crate::trace`]),
+//!   tagged with the logical `par` task index when inside a worker task.
 
 use crate::log::{log_enabled, Level};
 use crate::registry::{metrics_enabled, span_record};
+use crate::trace::{current_task_index, record, trace_enabled, Phase};
 use std::cell::RefCell;
 use std::marker::PhantomData;
 use std::time::Instant;
 
+/// One active span on the current thread's stack.
+struct Frame {
+    name: &'static str,
+    /// Nanoseconds spent in already-closed spans nested inside this one
+    /// (on this thread). Subtracted from the span's own duration at close
+    /// to yield its exclusive self-time.
+    child_ns: u128,
+}
+
 thread_local! {
-    static STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+    static STACK: RefCell<Vec<Frame>> = const { RefCell::new(Vec::new()) };
 }
 
 /// An active span; records its duration when dropped. Created by [`span`].
@@ -29,24 +52,32 @@ pub struct Span {
 }
 
 /// Start a span. Inert (no clock read, no allocation) unless metrics
-/// collection or trace-level events are enabled.
+/// collection, timeline tracing or trace-level events are enabled.
 #[must_use]
 pub fn span(name: &'static str) -> Span {
-    if !metrics_enabled() && !log_enabled(Level::Trace) {
+    if !metrics_enabled() && !trace_enabled() && !log_enabled(Level::Trace) {
         return Span { name, start: None, _pin: PhantomData };
     }
     let depth = STACK.with(|s| {
         let mut s = s.borrow_mut();
-        s.push(name);
+        s.push(Frame { name, child_ns: 0 });
         s.len() - 1
     });
     if log_enabled(Level::Trace) {
-        crate::emit(
-            Level::Trace,
-            "span",
-            format_args!("{:depth$}-> {name}", "", depth = depth * 2),
-        );
+        match current_task_index() {
+            Some(task) => crate::emit(
+                Level::Trace,
+                "span",
+                format_args!("{:depth$}-> {name} [task {task}]", "", depth = depth * 2),
+            ),
+            None => crate::emit(
+                Level::Trace,
+                "span",
+                format_args!("{:depth$}-> {name}", "", depth = depth * 2),
+            ),
+        }
     }
+    record(name, Phase::Begin);
     Span { name, start: Some(Instant::now()), _pin: PhantomData }
 }
 
@@ -54,13 +85,25 @@ impl Drop for Span {
     fn drop(&mut self) {
         let Some(start) = self.start else { return };
         let dur = start.elapsed();
-        let depth = STACK.with(|s| {
+        record(self.name, Phase::End);
+        let dur_ns = dur.as_nanos();
+        let (depth, self_ns) = STACK.with(|s| {
             let mut s = s.borrow_mut();
-            debug_assert_eq!(s.last(), Some(&self.name), "span guards must drop LIFO");
-            s.pop();
-            s.len()
+            debug_assert_eq!(
+                s.last().map(|f| f.name),
+                Some(self.name),
+                "span guards must drop LIFO"
+            );
+            let frame = s.pop();
+            let child_ns = frame.map_or(0, |f| f.child_ns);
+            // Charge this span's full duration to the enclosing frame, so
+            // the parent's self-time excludes it.
+            if let Some(parent) = s.last_mut() {
+                parent.child_ns += dur_ns;
+            }
+            (s.len(), dur_ns.saturating_sub(child_ns))
         });
-        span_record(self.name, dur);
+        span_record(self.name, dur, self_ns);
         if log_enabled(Level::Trace) {
             crate::emit(
                 Level::Trace,
@@ -87,7 +130,7 @@ pub fn span_depth() -> usize {
 /// active). Diagnostic only — aggregation never uses it.
 #[must_use]
 pub fn span_path() -> String {
-    STACK.with(|s| s.borrow().join("."))
+    STACK.with(|s| s.borrow().iter().map(|f| f.name).collect::<Vec<_>>().join("."))
 }
 
 #[cfg(test)]
@@ -144,5 +187,65 @@ mod tests {
         }
         set_metrics_enabled(true);
         assert!(!snapshot().spans.contains_key("test.span.disabled"));
+    }
+
+    #[test]
+    fn self_time_is_total_minus_nested_children_exactly() {
+        let _g = test_guard();
+        set_metrics_enabled(true);
+        {
+            let _outer = span("test.self.outer");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            {
+                let _a = span("test.self.a");
+                std::thread::sleep(std::time::Duration::from_millis(2));
+                {
+                    let _aa = span("test.self.aa");
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+            }
+            {
+                let _b = span("test.self.b");
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+        }
+        let s = snapshot();
+        let outer = &s.spans["test.self.outer"];
+        let a = &s.spans["test.self.a"];
+        let aa = &s.spans["test.self.aa"];
+        let b = &s.spans["test.self.b"];
+        // Exact arithmetic identities: the parent's self-time is its own
+        // measured duration minus its *direct* children's measured
+        // durations (grandchildren are charged to their parent, not here).
+        assert_eq!(outer.self_ns, outer.total_ns - a.total_ns - b.total_ns);
+        assert_eq!(a.self_ns, a.total_ns - aa.total_ns);
+        assert_eq!(aa.self_ns, aa.total_ns);
+        assert_eq!(b.self_ns, b.total_ns);
+        for span in [outer, a, aa, b] {
+            assert!(span.self_ns <= span.total_ns);
+        }
+    }
+
+    #[test]
+    fn worker_thread_spans_are_their_own_roots() {
+        let _g = test_guard();
+        set_metrics_enabled(true);
+        {
+            let _outer = span("test.selfroot.outer");
+            std::thread::scope(|scope| {
+                scope.spawn(|| {
+                    let _w = span("test.selfroot.worker");
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                });
+            });
+        }
+        let s = snapshot();
+        let worker = &s.spans["test.selfroot.worker"];
+        // The worker span had no enclosing frame on its own thread, so all
+        // of its time is self-time and none of it was charged to the outer
+        // span's children.
+        assert_eq!(worker.self_ns, worker.total_ns);
+        let outer = &s.spans["test.selfroot.outer"];
+        assert_eq!(outer.self_ns, outer.total_ns);
     }
 }

@@ -63,14 +63,25 @@ fn run_caught<R, F>(f: &F, i: usize) -> Result<R, TaskPanicked>
 where
     F: Fn(usize) -> R + Sync,
 {
-    std::panic::catch_unwind(AssertUnwindSafe(|| {
+    // Tag the worker thread with the logical task index while the body
+    // runs, so timeline trace events and trace-level span logs attribute
+    // work to tasks rather than to anonymous threads. Installed only when
+    // something is observing — the off path stays a pair of atomic loads —
+    // and restored even when the body panics (catch_unwind runs first).
+    let tagged = obs::trace_enabled() || obs::log_enabled(obs::Level::Trace);
+    let prev = if tagged { obs::set_task_index(Some(i)) } else { None };
+    let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
         faults::maybe_panic("par.task", Some(i));
         f(i)
     }))
     .map_err(|payload| {
         obs::counter_add("par.task_panics", 1);
         TaskPanicked { index: i, message: panic_message(payload.as_ref()) }
-    })
+    });
+    if tagged {
+        obs::set_task_index(prev);
+    }
+    result
 }
 
 /// Bucket edges of the `par.tasks_per_worker` histogram.
@@ -326,7 +337,12 @@ mod tests {
     #[test]
     fn resolve_threads_auto_is_positive() {
         assert!(resolve_threads(0) >= 1);
-        assert_eq!(resolve_threads(3), 3);
+        // DBG4ETH_THREADS wins over the explicit request (the CI matrix
+        // pins it), so only assert the pass-through when it is unset.
+        match std::env::var(THREADS_ENV) {
+            Ok(v) => assert_eq!(resolve_threads(3), v.trim().parse().unwrap_or(3)),
+            Err(_) => assert_eq!(resolve_threads(3), 3),
+        }
     }
 
     #[test]
@@ -385,6 +401,21 @@ mod tests {
                 assert_eq!(*r.as_ref().unwrap(), i);
             }
         }
+    }
+
+    #[test]
+    fn tasks_see_their_logical_index_when_tracing() {
+        let _plan = FAULT_PLAN.read().unwrap_or_else(std::sync::PoisonError::into_inner);
+        obs::set_trace_enabled(true);
+        let seen = try_par_map_indices(4, 16, |i| (i, obs::current_task_index()));
+        obs::set_trace_enabled(false);
+        for (i, r) in seen.into_iter().enumerate() {
+            let (task, index) = r.expect("no panics");
+            assert_eq!(task, i);
+            assert_eq!(index, Some(i), "task body must see its own logical index");
+        }
+        // Outside any task the index is cleared again.
+        assert_eq!(obs::current_task_index(), None);
     }
 
     #[test]

@@ -28,5 +28,5 @@ mod tape;
 mod tensor;
 
 pub use csr::Csr;
-pub use tape::{BufferPool, Tape, Var};
+pub use tape::{BufferPool, PoolStats, Tape, Var};
 pub use tensor::Tensor;

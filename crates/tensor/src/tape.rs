@@ -59,6 +59,26 @@ impl std::hash::Hasher for LenHasher {
 
 type LenMap = HashMap<usize, Vec<Vec<f32>>, std::hash::BuildHasherDefault<LenHasher>>;
 
+/// Lifetime counters of a [`BufferPool`], for resource telemetry in the
+/// run-report. Plain integers on the (single-owner) pool — no atomics, no
+/// dependencies — so the pool is exactly as deterministic with or without
+/// anyone reading them; harnesses flush them into `obs` counters at
+/// reporting time.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Buffer requests served from the free list.
+    pub hits: u64,
+    /// Buffer requests that fell through to a fresh allocation.
+    pub misses: u64,
+    /// Bytes of fresh buffer allocations (misses only — reuse is free).
+    pub allocated_bytes: u64,
+    /// Most buffers ever parked in the free list at once.
+    pub high_water_buffers: u64,
+    /// Tape nodes recorded by every tape recycled into this pool
+    /// ([`Tape::into_pool`]) — the op-count of the work the pool served.
+    pub tape_ops: u64,
+}
+
 /// A free list of `f32` buffers, keyed by exact length.
 ///
 /// [`Tape`] draws all forward values and gradients from a pool and
@@ -68,6 +88,10 @@ type LenMap = HashMap<usize, Vec<Vec<f32>>, std::hash::BuildHasherDefault<LenHas
 #[derive(Default)]
 pub struct BufferPool {
     free: LenMap,
+    /// Buffers currently parked, mirrored from `free` so the high-water
+    /// mark updates in O(1) per give.
+    parked: u64,
+    stats: PoolStats,
 }
 
 impl BufferPool {
@@ -80,14 +104,24 @@ impl BufferPool {
         self.free.values().map(Vec::len).sum()
     }
 
+    /// Lifetime hit/miss/allocation counters.
+    #[must_use]
+    pub fn stats(&self) -> PoolStats {
+        self.stats
+    }
+
     /// A zero-filled buffer of length `len` (for accumulation kernels).
     fn take_zeroed(&mut self, len: usize) -> Vec<f32> {
         match self.free.get_mut(&len).and_then(Vec::pop) {
             Some(mut buf) => {
+                self.note_hit();
                 buf.iter_mut().for_each(|x| *x = 0.0);
                 buf
             }
-            None => vec![0.0; len],
+            None => {
+                self.note_miss(len);
+                vec![0.0; len]
+            }
         }
     }
 
@@ -95,14 +129,32 @@ impl BufferPool {
     /// overwrite every element.
     fn take_any(&mut self, len: usize) -> Vec<f32> {
         match self.free.get_mut(&len).and_then(Vec::pop) {
-            Some(buf) => buf,
-            None => vec![0.0; len],
+            Some(buf) => {
+                self.note_hit();
+                buf
+            }
+            None => {
+                self.note_miss(len);
+                vec![0.0; len]
+            }
         }
+    }
+
+    fn note_hit(&mut self) {
+        self.stats.hits += 1;
+        self.parked = self.parked.saturating_sub(1);
+    }
+
+    fn note_miss(&mut self, len: usize) {
+        self.stats.misses += 1;
+        self.stats.allocated_bytes += (len * size_of::<f32>()) as u64;
     }
 
     fn give(&mut self, buf: Vec<f32>) {
         if !buf.is_empty() {
             self.free.entry(buf.len()).or_default().push(buf);
+            self.parked += 1;
+            self.stats.high_water_buffers = self.stats.high_water_buffers.max(self.parked);
         }
     }
 }
@@ -235,6 +287,7 @@ impl Tape {
     /// pool for the next pass.
     pub fn into_pool(self) -> BufferPool {
         let Tape { nodes, mut pool } = self;
+        pool.stats.tape_ops += nodes.len() as u64;
         for node in nodes {
             pool.give(node.value.into_vec());
             if let Some(g) = node.grad {
@@ -1134,6 +1187,42 @@ mod tests {
             pool = tape.into_pool();
             assert!(pool.buffers() > 0, "pool should retain buffers");
         }
+    }
+
+    #[test]
+    fn pool_stats_track_hits_misses_and_tape_ops() {
+        let x0 = Tensor::from_fn(4, 3, |r, c| (r + c) as f32 * 0.5);
+        let w0 = Tensor::from_fn(3, 2, |r, c| (r * 2 + c) as f32 * 0.1);
+        let run = |tape: &mut Tape| {
+            let x = tape.leaf_copy(&x0);
+            let w = tape.leaf_copy(&w0);
+            let h = tape.matmul(x, w);
+            let h = tape.tanh(h);
+            let loss = tape.sum_all(h);
+            tape.backward(loss);
+        };
+        let mut tape = Tape::with_pool(BufferPool::new());
+        run(&mut tape);
+        let ops = tape.len() as u64;
+        let pool = tape.into_pool();
+        let first = pool.stats();
+        // A cold pool misses on every forward take (backward recycles
+        // interior gradients mid-pass, so some hits appear even here).
+        assert!(first.misses > 0);
+        assert!(first.allocated_bytes >= first.misses * size_of::<f32>() as u64);
+        assert_eq!(first.tape_ops, ops);
+        assert!(first.high_water_buffers > 0);
+
+        // A second identical pass over the recycled pool is served from it.
+        let mut tape = Tape::with_pool(pool);
+        run(&mut tape);
+        let pool = tape.into_pool();
+        let second = pool.stats();
+        assert!(second.hits > 0, "warm pool must serve hits");
+        assert_eq!(second.misses, first.misses, "warm pass allocates nothing new");
+        assert_eq!(second.allocated_bytes, first.allocated_bytes);
+        assert_eq!(second.tape_ops, 2 * ops);
+        assert!(second.high_water_buffers >= first.high_water_buffers);
     }
 
     #[test]

@@ -116,7 +116,7 @@ fn observability_is_invisible_to_predictions_and_reports_round_trip() {
     let parsed = obs::Json::parse(&text).expect("report parses");
     assert_eq!(parsed.render(), report.as_json().render(), "parse → render identity");
     assert_eq!(parsed.get("schema").and_then(obs::Json::as_str), Some(obs::REPORT_SCHEMA));
-    assert_eq!(parsed.get("version").and_then(obs::Json::as_f64), Some(1.0));
+    assert_eq!(parsed.get("version").and_then(obs::Json::as_f64), Some(2.0));
     let runs = parsed.get("runs").and_then(obs::Json::as_arr).expect("runs array");
     assert_eq!(runs.len(), 2, "one recorded run per metrics-enabled run()");
     let gsg = runs[0].get("branches").and_then(|b| b.get("gsg")).expect("gsg branch");
@@ -129,4 +129,16 @@ fn observability_is_invisible_to_predictions_and_reports_round_trip() {
     let losses = gsg.get("epoch_loss").and_then(obs::Json::as_arr).expect("epoch_loss");
     assert_eq!(losses.len(), cfg.epochs, "one loss per training epoch");
     assert!(parsed.get("spans").and_then(|s| s.get("pipeline.run")).is_some());
+
+    // Schema v2: spans carry exclusive self-time, the report carries a
+    // ranked self-time table, and per-account inference latency quantiles.
+    let run_span = parsed.get("spans").and_then(|s| s.get("pipeline.run")).unwrap();
+    let total = run_span.get("total_ms").and_then(obs::Json::as_f64).expect("total_ms");
+    let own = run_span.get("self_ms").and_then(obs::Json::as_f64).expect("self_ms");
+    assert!(own >= 0.0 && own <= total + 1e-9, "self {own}ms exceeds total {total}ms");
+    let table = parsed.get("self_time").and_then(obs::Json::as_arr).expect("self_time table");
+    assert!(!table.is_empty(), "self-time table is empty");
+    let ranked: Vec<f64> =
+        table.iter().map(|r| r.get("self_ms").and_then(obs::Json::as_f64).unwrap()).collect();
+    assert!(ranked.windows(2).all(|w| w[0] >= w[1]), "self-time table not ranked: {ranked:?}");
 }
