@@ -9,7 +9,7 @@
 //! are timed — the pair must stay bit-identical, so any gap here is pure
 //! performance headroom.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, Criterion};
 use std::hint::black_box;
 
 use rand::rngs::StdRng;
@@ -114,4 +114,19 @@ criterion_group! {
     config = Criterion::default().sample_size(20);
     targets = bench_forward_kernels, bench_backward_kernels, bench_tape_round_trip
 }
-criterion_main!(spmm);
+
+// Not `criterion_main!`: after the group runs, the best-of-samples results
+// are flushed into the metrics registry (`spmm.<group>.<variant>.<size>` in
+// microseconds) so `DBG4ETH_METRICS=BENCH_spmm.json` writes the same
+// versioned run-report every experiment binary emits, instead of the old
+// ad-hoc text dump.
+fn main() {
+    spmm();
+    if obs::metrics_enabled() {
+        for (name, best) in criterion::take_results() {
+            let gauge = format!("{}.best_us", name.replace('/', "."));
+            obs::gauge_set(&gauge, best.as_secs_f64() * 1e6);
+        }
+    }
+    bench::emit_report("spmm");
+}

@@ -34,6 +34,7 @@ use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;
 use std::time::Instant;
+use tensor::NumericsProfile;
 
 /// Bucket edges of the `infer.account_latency_ms` histogram: log-spaced
 /// from 10µs to 10s, cached because [`obs::observe`] requires identical
@@ -812,7 +813,9 @@ fn rebuild_gsg(
     let mut store = ParamStore::new();
     let encoder = GsgEncoder::new(&mut store, &mut StdRng::seed_from_u64(0), config.gsg);
     check_restore("GSG", store.restore_from(loaded), store.len(), loaded.len())?;
-    Ok(TrainedGsg { store, encoder, history })
+    // Scoring honours the run-time profile resolution (DBG4ETH_NUMERICS
+    // overrides whatever profile the container was trained under).
+    Ok(TrainedGsg { store, encoder, history, numerics: config.numerics_profile() })
 }
 
 fn rebuild_ldg(
@@ -825,7 +828,7 @@ fn rebuild_ldg(
     ldg_cfg.t_slices = config.t_slices;
     let encoder = LdgEncoder::new(&mut store, &mut StdRng::seed_from_u64(0), ldg_cfg);
     check_restore("LDG", store.restore_from(loaded), store.len(), loaded.len())?;
-    Ok(TrainedLdg { store, encoder, history })
+    Ok(TrainedLdg { store, encoder, history, numerics: config.numerics_profile() })
 }
 
 fn check_restore(
@@ -891,6 +894,21 @@ fn classifier_from_tag(tag: u8) -> Result<ClassifierKind, ModelIoError> {
     })
 }
 
+fn numerics_tag(p: NumericsProfile) -> u8 {
+    match p {
+        NumericsProfile::Strict => 0,
+        NumericsProfile::Fast => 1,
+    }
+}
+
+fn numerics_from_tag(tag: u8) -> Result<NumericsProfile, ModelIoError> {
+    Ok(match tag {
+        0 => NumericsProfile::Strict,
+        1 => NumericsProfile::Fast,
+        v => return Err(ModelIoError::Corrupt { context: format!("unknown numerics tag {v}") }),
+    })
+}
+
 fn feature_tag(f: FeatureMode) -> u8 {
     match f {
         FeatureMode::LogAbsolute => 0,
@@ -946,6 +964,16 @@ fn read_augment(s: &mut SectionReader) -> Result<AugmentConfig, ModelIoError> {
 }
 
 pub(crate) fn write_config(c: &Dbg4EthConfig, s: &mut SectionWriter) {
+    write_config_pre_numerics(c, s);
+    // Appended last so containers written before the numerics profile
+    // existed still load (readers default the missing byte to Strict).
+    s.put_u8(numerics_tag(c.numerics));
+}
+
+/// Every config field up to (and excluding) the trailing numerics byte —
+/// the exact layout older containers carry. Split out so the compatibility
+/// test can write a byte-faithful legacy section.
+fn write_config_pre_numerics(c: &Dbg4EthConfig, s: &mut SectionWriter) {
     s.put_usize(c.gsg.d_in);
     s.put_usize(c.gsg.hidden);
     s.put_usize(c.gsg.layers);
@@ -1026,6 +1054,14 @@ pub(crate) fn read_config(s: &mut SectionReader) -> Result<Dbg4EthConfig, ModelI
         cross_fit: s.get_bool()?,
         parallelism: s.get_usize()?,
         seed: s.get_u64()?,
+        // Absent in containers from before the numerics profile existed:
+        // those were written (and trained) under the only profile of the
+        // time, which is exactly today's Strict.
+        numerics: if s.remaining() > 0 {
+            numerics_from_tag(s.get_u8()?)?
+        } else {
+            NumericsProfile::Strict
+        },
     };
     validate_config(&config)?;
     Ok(config)
@@ -1058,10 +1094,39 @@ mod tests {
 
     #[test]
     fn config_round_trips_exactly() {
-        for c in [Dbg4EthConfig::default(), Dbg4EthConfig::fast()] {
+        let mut fast_numerics = Dbg4EthConfig::fast();
+        fast_numerics.numerics = NumericsProfile::Fast;
+        for c in [Dbg4EthConfig::default(), Dbg4EthConfig::fast(), fast_numerics] {
             let loaded = round_trip_config(&c).unwrap();
             assert_eq!(format!("{c:?}"), format!("{loaded:?}"));
         }
+    }
+
+    #[test]
+    fn legacy_config_without_numerics_byte_loads_as_strict() {
+        let c = Dbg4EthConfig::fast();
+        let mut w = ModelWriter::new();
+        let mut s = SectionWriter::new();
+        write_config_pre_numerics(&c, &mut s); // pre-profile container layout
+        w.push("config", s);
+        let r = ModelReader::from_bytes(&w.to_bytes()).unwrap();
+        let mut s = r.section("config").unwrap();
+        let loaded = read_config(&mut s).unwrap();
+        s.expect_end("config").unwrap();
+        assert_eq!(loaded.numerics, NumericsProfile::Strict);
+    }
+
+    #[test]
+    fn unknown_numerics_tag_is_a_typed_error() {
+        let c = Dbg4EthConfig::fast();
+        let mut w = ModelWriter::new();
+        let mut s = SectionWriter::new();
+        write_config_pre_numerics(&c, &mut s);
+        s.put_u8(9); // not a known profile tag
+        w.push("config", s);
+        let r = ModelReader::from_bytes(&w.to_bytes()).unwrap();
+        let mut s = r.section("config").unwrap();
+        assert!(matches!(read_config(&mut s), Err(ModelIoError::Corrupt { .. })));
     }
 
     #[test]

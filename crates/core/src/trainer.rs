@@ -1,13 +1,16 @@
 //! Training loops for the two encoder branches.
 
 use crate::config::Dbg4EthConfig;
-use gnn::{augment, nt_xent, GraphTensors, GsgEncoder, LdgEncoder};
+use gnn::{
+    augment, nt_xent, AugmentedView, GraphTensors, GsgBatch, GsgEncoder, GsgItem, LdgBatch,
+    LdgEncoder,
+};
 use nn::{Adam, Ctx, ParamStore};
 use rand::rngs::StdRng;
 use rand::{seq::SliceRandom, SeedableRng};
 use std::cell::RefCell;
 use std::sync::Arc;
-use tensor::{BufferPool, Tape, Var};
+use tensor::{BufferPool, NumericsProfile, Tape, Var};
 
 /// Per-epoch training statistics.
 #[derive(Clone, Copy, Debug)]
@@ -21,6 +24,9 @@ pub struct TrainedGsg {
     pub store: ParamStore,
     pub encoder: GsgEncoder,
     pub history: Vec<EpochStats>,
+    /// Numerics profile scoring tapes run under (resolved at training or
+    /// load time).
+    pub numerics: NumericsProfile,
 }
 
 /// A trained LDG branch.
@@ -28,6 +34,8 @@ pub struct TrainedLdg {
     pub store: ParamStore,
     pub encoder: LdgEncoder,
     pub history: Vec<EpochStats>,
+    /// Numerics profile scoring tapes run under.
+    pub numerics: NumericsProfile,
 }
 
 fn batches(n: usize, batch_size: usize, rng: &mut StdRng) -> Vec<Vec<usize>> {
@@ -55,6 +63,7 @@ pub(crate) fn flush_pool_stats(prefix: &str, stats: tensor::PoolStats) {
 /// objective over two adaptively augmented views (Section IV-A3).
 pub fn train_gsg(graphs: &[&GraphTensors], config: &Dbg4EthConfig) -> TrainedGsg {
     let _span = obs::span("train.gsg");
+    let numerics = config.numerics_profile();
     let mut rng = StdRng::seed_from_u64(config.seed ^ 0x65C6);
     let mut store = ParamStore::new();
     let encoder = GsgEncoder::new(&mut store, &mut rng, config.gsg);
@@ -71,57 +80,48 @@ pub fn train_gsg(graphs: &[&GraphTensors], config: &Dbg4EthConfig) -> TrainedGsg
         let mut n_batches = 0;
         for batch in batches(graphs.len(), config.batch_size, &mut rng) {
             store.zero_grad();
-            let mut tape = Tape::with_pool(std::mem::take(&mut pool));
+            let mut tape = Tape::with_pool_and_profile(std::mem::take(&mut pool), numerics);
             let mut ctx = Ctx::new(&store);
             let fwd_span = obs::span("train.gsg.forward");
-            let mut logits: Option<Var> = None;
-            let mut proj1: Option<Var> = None;
-            let mut proj2: Option<Var> = None;
-            let mut targets = Vec::with_capacity(batch.len());
-            for &gi in &batch {
-                let g = graphs[gi];
-                let out = encoder.forward(&mut tape, &mut ctx, &store, g);
-                logits = Some(match logits {
-                    None => out.logits,
-                    Some(acc) => tape.concat_rows(acc, out.logits),
+            let targets: Vec<usize> = batch
+                .iter()
+                .map(|&gi| graphs[gi].label.expect("training graph must be labelled"))
+                .collect();
+            // Augmentation draws stay per graph (v1 then v2, in batch
+            // order), exactly as the per-account loop consumed the RNG.
+            let views: Option<Vec<(AugmentedView, AugmentedView)>> =
+                (config.contrastive_weight > 0.0).then(|| {
+                    batch
+                        .iter()
+                        .map(|&gi| {
+                            let g = graphs[gi];
+                            let v1 = augment(g, config.aug1, &mut rng);
+                            let v2 = augment(g, config.aug2, &mut rng);
+                            (v1, v2)
+                        })
+                        .collect()
                 });
-                targets.push(g.label.expect("training graph must be labelled"));
-                if config.contrastive_weight > 0.0 {
-                    let v1 = augment(g, config.aug1, &mut rng);
-                    let o1 = encoder.forward_parts(
-                        &mut tape,
-                        &mut ctx,
-                        &store,
-                        v1.n,
-                        &v1.x,
-                        &v1.src,
-                        &v1.dst,
-                        &v1.edge_feat,
-                    );
-                    let v2 = augment(g, config.aug2, &mut rng);
-                    let o2 = encoder.forward_parts(
-                        &mut tape,
-                        &mut ctx,
-                        &store,
-                        v2.n,
-                        &v2.x,
-                        &v2.src,
-                        &v2.dst,
-                        &v2.edge_feat,
-                    );
-                    proj1 = Some(match proj1 {
-                        None => o1.projection,
-                        Some(acc) => tape.concat_rows(acc, o1.projection),
-                    });
-                    proj2 = Some(match proj2 {
-                        None => o2.projection,
-                        Some(acc) => tape.concat_rows(acc, o2.projection),
-                    });
-                }
+            // One block-diagonal pack + fused forward per mini-batch (and
+            // per augmented view) instead of one tape walk per account.
+            let enc_span = obs::span("encode.batch");
+            let packed = GsgBatch::pack(batch.iter().map(|&gi| GsgItem::from(graphs[gi])));
+            if obs::metrics_enabled() {
+                obs::gauge_max("encode.batch.nodes", packed.n_total() as f64);
+                obs::counter_add("encode.batch.edges", packed.e_total() as u64);
             }
-            let ce = tape.cross_entropy(logits.expect("non-empty batch"), Arc::new(targets));
-            let (loss, con_val) = match (proj1, proj2) {
-                (Some(z1), Some(z2)) if batch.len() > 1 => {
+            let out = encoder.forward_batch(&mut tape, &mut ctx, &store, &packed);
+            let logits = out.logits;
+            let projs: Option<(Var, Var)> = views.as_ref().map(|vs| {
+                let b1 = GsgBatch::pack(vs.iter().map(|(v1, _)| GsgItem::from(v1)));
+                let o1 = encoder.forward_batch(&mut tape, &mut ctx, &store, &b1);
+                let b2 = GsgBatch::pack(vs.iter().map(|(_, v2)| GsgItem::from(v2)));
+                let o2 = encoder.forward_batch(&mut tape, &mut ctx, &store, &b2);
+                (o1.projection, o2.projection)
+            });
+            drop(enc_span);
+            let ce = tape.cross_entropy(logits, Arc::new(targets));
+            let (loss, con_val) = match projs {
+                Some((z1, z2)) if batch.len() > 1 => {
                     let con = nt_xent(&mut tape, z1, z2, 0.5);
                     let weighted = tape.scale(con, config.contrastive_weight);
                     (tape.add(ce, weighted), tape.value(con).item())
@@ -161,12 +161,13 @@ pub fn train_gsg(graphs: &[&GraphTensors], config: &Dbg4EthConfig) -> TrainedGsg
     obs::counter_add("train.gsg.fits", 1);
     obs::counter_add("train.gsg.epochs", config.epochs as u64);
     flush_pool_stats("train.gsg", pool.stats());
-    TrainedGsg { store, encoder, history }
+    TrainedGsg { store, encoder, history, numerics }
 }
 
 /// Train the local dynamic encoder with cross-entropy.
 pub fn train_ldg(graphs: &[&GraphTensors], config: &Dbg4EthConfig) -> TrainedLdg {
     let _span = obs::span("train.ldg");
+    let numerics = config.numerics_profile();
     let mut rng = StdRng::seed_from_u64(config.seed ^ 0x1D6);
     let mut store = ParamStore::new();
     let mut ldg_cfg = config.ldg;
@@ -182,21 +183,25 @@ pub fn train_ldg(graphs: &[&GraphTensors], config: &Dbg4EthConfig) -> TrainedLdg
         let mut n_batches = 0;
         for batch in batches(graphs.len(), config.batch_size, &mut rng) {
             store.zero_grad();
-            let mut tape = Tape::with_pool(std::mem::take(&mut pool));
+            let mut tape = Tape::with_pool_and_profile(std::mem::take(&mut pool), numerics);
             let mut ctx = Ctx::new(&store);
             let fwd_span = obs::span("train.ldg.forward");
-            let mut logits: Option<Var> = None;
-            let mut targets = Vec::with_capacity(batch.len());
-            for &gi in &batch {
-                let g = graphs[gi];
-                let out = encoder.forward(&mut tape, &mut ctx, &store, g);
-                logits = Some(match logits {
-                    None => out.logits,
-                    Some(acc) => tape.concat_rows(acc, out.logits),
-                });
-                targets.push(g.label.expect("training graph must be labelled"));
+            let targets: Vec<usize> = batch
+                .iter()
+                .map(|&gi| graphs[gi].label.expect("training graph must be labelled"))
+                .collect();
+            // One block-diagonal pack (every time slice) + fused forward per
+            // mini-batch instead of one tape walk per account.
+            let enc_span = obs::span("encode.batch");
+            let refs: Vec<&GraphTensors> = batch.iter().map(|&gi| graphs[gi]).collect();
+            let packed = LdgBatch::pack(&refs, config.t_slices);
+            if obs::metrics_enabled() {
+                obs::gauge_max("encode.batch.nodes", packed.n_total() as f64);
+                obs::counter_add("encode.batch.nnz", packed.nnz_total as u64);
             }
-            let loss = tape.cross_entropy(logits.expect("non-empty batch"), Arc::new(targets));
+            let out = encoder.forward_batch(&mut tape, &mut ctx, &store, &packed);
+            drop(enc_span);
+            let loss = tape.cross_entropy(out.logits, Arc::new(targets));
             epoch_loss += tape.value(loss).item();
             n_batches += 1;
             drop(fwd_span);
@@ -219,7 +224,7 @@ pub fn train_ldg(graphs: &[&GraphTensors], config: &Dbg4EthConfig) -> TrainedLdg
     obs::counter_add("train.ldg.fits", 1);
     obs::counter_add("train.ldg.epochs", config.epochs as u64);
     flush_pool_stats("train.ldg", pool.stats());
-    TrainedLdg { store, encoder, history }
+    TrainedLdg { store, encoder, history, numerics }
 }
 
 /// A trained encoder branch that can score graphs. Inference builds a
@@ -248,14 +253,19 @@ pub trait BranchScorer: Sync {
     }
 }
 
-fn forward_log_odds(store: &ParamStore, forward: impl Fn(&mut Tape, &mut Ctx) -> Var) -> f64 {
+fn forward_log_odds(
+    store: &ParamStore,
+    numerics: NumericsProfile,
+    forward: impl Fn(&mut Tape, &mut Ctx) -> Var,
+) -> f64 {
     // Each scoring worker thread keeps its own buffer pool, so parallel
     // inference reuses allocations without sharing state across threads.
     thread_local! {
         static SCORE_POOL: RefCell<BufferPool> = RefCell::new(BufferPool::new());
     }
     SCORE_POOL.with(|pool| {
-        let mut tape = Tape::with_pool(std::mem::take(&mut *pool.borrow_mut()));
+        let mut tape =
+            Tape::with_pool_and_profile(std::mem::take(&mut *pool.borrow_mut()), numerics);
         let mut ctx = Ctx::new(store);
         let logits = forward(&mut tape, &mut ctx);
         let v = tape.value(logits);
@@ -267,7 +277,7 @@ fn forward_log_odds(store: &ParamStore, forward: impl Fn(&mut Tape, &mut Ctx) ->
 
 impl BranchScorer for TrainedGsg {
     fn raw_score(&self, graph: &GraphTensors) -> f64 {
-        forward_log_odds(&self.store, |tape, ctx| {
+        forward_log_odds(&self.store, self.numerics, |tape, ctx| {
             self.encoder.forward(tape, ctx, &self.store, graph).logits
         })
     }
@@ -279,7 +289,7 @@ impl BranchScorer for TrainedGsg {
 
 impl BranchScorer for TrainedLdg {
     fn raw_score(&self, graph: &GraphTensors) -> f64 {
-        forward_log_odds(&self.store, |tape, ctx| {
+        forward_log_odds(&self.store, self.numerics, |tape, ctx| {
             self.encoder.forward(tape, ctx, &self.store, graph).logits
         })
     }

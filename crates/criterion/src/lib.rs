@@ -7,7 +7,19 @@
 //! stdout — enough to compare kernels on one machine, with none of
 //! criterion's statistics.
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// Best-of-samples results of every `bench_function` run so far, in run
+/// order. Benches that want to persist a machine-readable report (e.g.
+/// through `bench::emit_report`) drain this after running their groups.
+static RESULTS: Mutex<Vec<(String, Duration)>> = Mutex::new(Vec::new());
+
+/// Drain the accumulated `(name, best)` results recorded by
+/// [`Criterion::bench_function`] since the last call.
+pub fn take_results() -> Vec<(String, Duration)> {
+    std::mem::take(&mut RESULTS.lock().expect("results lock"))
+}
 
 /// Runs one benchmark body repeatedly.
 pub struct Bencher {
@@ -58,6 +70,7 @@ impl Criterion {
             }
         }
         println!("{name}: best {best:?} over {} samples", self.sample_size);
+        RESULTS.lock().expect("results lock").push((name.to_string(), best));
         self
     }
 }

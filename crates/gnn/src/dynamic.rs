@@ -3,6 +3,7 @@
 //! DiffPool hierarchical coarsening (Eqs. 19-21) and attention read-out over
 //! time slices (Eq. 22) feeding the LDG prediction head (Eq. 23).
 
+use crate::batch::LdgBatch;
 use crate::graphdata::GraphTensors;
 use crate::layers::GcnLayer;
 use nn::{Activation, Ctx, GruCell, Linear, ParamId, ParamStore};
@@ -148,8 +149,22 @@ impl LdgEncoder {
         store: &ParamStore,
         graph: &GraphTensors,
     ) -> LdgOutput {
-        assert!(!graph.slice_adj_csr.is_empty(), "LDG needs time slices");
         let x = tape.constant_copy(&graph.x);
+        self.forward_with_x(tape, ctx, store, graph, x)
+    }
+
+    /// [`LdgEncoder::forward`] with the node features already on the tape;
+    /// a gradient-carrying leaf lets callers differentiate with respect to
+    /// the inputs (used by the batch-equivalence tests).
+    pub fn forward_with_x(
+        &self,
+        tape: &mut Tape,
+        ctx: &mut Ctx,
+        store: &ParamStore,
+        graph: &GraphTensors,
+        x: Var,
+    ) -> LdgOutput {
+        assert!(!graph.slice_adj_csr.is_empty(), "LDG needs time slices");
         let mut h = self.input_proj.forward(tape, ctx, store, x);
 
         let mut pooled: Option<Var> = None;
@@ -185,6 +200,125 @@ impl LdgEncoder {
         };
 
         // Eq. 23: l = ReLU(Θg γ), then the logits head.
+        let embedding = self.theta_g.forward(tape, ctx, store, gamma);
+        let logits = self.head.forward(tape, ctx, store, embedding);
+        LdgOutput { embedding, logits }
+    }
+
+    /// Batched [`LdgEncoder::pool_slice`]: `adj_csr` is the slice's
+    /// block-diagonal adjacency over the packed node rows, `offsets` the
+    /// per-graph node segments. Returns `(B, hidden)`.
+    ///
+    /// Mirrors the per-graph chain op for op. The `gather_rows` identity copy
+    /// of `M` stands in for the per-graph `transpose`: both give `M`'s
+    /// gradient the same two-level accumulation tree (`h`-product and
+    /// `A`-product contributions summed in a side buffer, then folded into
+    /// the softmax output's gradient after the `Â M` contribution), which
+    /// keeps the backward pass bit-identical — a flat three-way accumulation
+    /// would associate the same sums differently.
+    #[allow(clippy::too_many_arguments)]
+    fn pool_slice_batch(
+        &self,
+        tape: &mut Tape,
+        ctx: &mut Ctx,
+        store: &ParamStore,
+        adj_csr: &Arc<Csr>,
+        mut h: Var,
+        node_offsets: &Arc<Vec<usize>>,
+        b: usize,
+    ) -> Var {
+        let mut adj: Option<Var> = None;
+        let mut offsets = node_offsets.clone();
+        for (i, stage) in self.assign.iter().enumerate() {
+            // Eq. 19: M_t = softmax(GNN(A_t, h_t)), per graph.
+            let scores = match adj {
+                None => stage.forward_csr(tape, ctx, store, adj_csr, h),
+                Some(a) => stage.forward_blocked(tape, ctx, store, a, h),
+            };
+            let m = tape.softmax_rows(scores);
+            let rows = *offsets.last().unwrap();
+            let m2 = tape.gather_rows(m, Arc::new((0..rows).collect()));
+            // Eq. 20: h_pool = Mᵀ h. Eq. 21: A_pool = Mᵀ A M, per segment.
+            h = tape.seg_matmul_tn(m2, h, offsets.clone());
+            let am = match adj {
+                None => tape.spmm(adj_csr, m),
+                Some(a) => tape.seg_block_matmul(a, m),
+            };
+            adj = Some(tape.seg_matmul_tn(m2, am, offsets.clone()));
+            let c = self.config.pool_clusters[i];
+            offsets = Arc::new((0..=b).map(|g| g * c).collect());
+        }
+        tape.segment_mean_pool_rows(h, offsets)
+    }
+
+    /// Encode a packed mini-batch in one pass: row `g` of every output is
+    /// bit-identical to what [`LdgEncoder::forward`] produces for graph `g`
+    /// alone (under the Strict numerics profile — Fast relaxes the dense
+    /// GEMMs).
+    pub fn forward_batch(
+        &self,
+        tape: &mut Tape,
+        ctx: &mut Ctx,
+        store: &ParamStore,
+        batch: &LdgBatch,
+    ) -> LdgOutput {
+        let x = tape.constant_copy(&batch.x);
+        self.forward_batch_with_x(tape, ctx, store, batch, x)
+    }
+
+    /// [`LdgEncoder::forward_batch`] with the packed node features already on
+    /// the tape (gradient-carrying when the caller needs input gradients).
+    pub fn forward_batch_with_x(
+        &self,
+        tape: &mut Tape,
+        ctx: &mut Ctx,
+        store: &ParamStore,
+        batch: &LdgBatch,
+        x: Var,
+    ) -> LdgOutput {
+        assert!(!batch.slice_csr.is_empty(), "LDG needs time slices");
+        let b = batch.len();
+        let mut h = self.input_proj.forward(tape, ctx, store, x);
+
+        let mut pooled: Option<Var> = None;
+        for t in 0..self.config.t_slices {
+            let adj_csr = batch.slice_csr.get(t).unwrap_or_else(|| batch.slice_csr.last().unwrap());
+            // Eq. 14: topological features. Eqs. 15-18: GRU update. Both are
+            // row-local (SpMM never crosses block-diagonal boundaries), so
+            // the per-graph layers run unchanged on the packed rows.
+            let u_t = self.gcn.forward_csr(tape, ctx, store, adj_csr, h);
+            h = self.gru.forward(tape, ctx, store, u_t, h);
+            // Eqs. 19-21: per-slice hierarchical pooling, `(B, hidden)`.
+            let p = self.pool_slice_batch(tape, ctx, store, adj_csr, h, &batch.offsets, b);
+            pooled = Some(match pooled {
+                None => p,
+                Some(acc) => tape.concat_rows(acc, p),
+            });
+        }
+        // Slice-major `(T·B, hidden)` → graph-major `(B·T, hidden)` so each
+        // graph's stack is one contiguous segment.
+        let stack_tb = pooled.expect("at least one slice");
+        let stack = tape.gather_rows(stack_tb, batch.stack_perm.clone());
+
+        // Eq. 22: γ_g = α stack_g. The attention row is shared across the
+        // batch (it depends only on the learned logits), so it is tiled down
+        // the graph-major stack and contracted per segment — `seg_matmul_tn`
+        // with a single-column left operand replays each graph's
+        // `matmul(alpha, stack)` bit for bit.
+        let attn_logits = ctx.var(tape, store, self.time_attn);
+        let alpha = tape.softmax_rows(attn_logits); // (1, T)
+        let alpha_col = tape.transpose(alpha); // (T, 1)
+        let alpha_rep = tape.gather_rows(alpha_col, batch.alpha_tile.clone()); // (B·T, 1)
+        let gamma = tape.seg_matmul_tn(alpha_rep, stack, batch.time_offsets.clone());
+
+        let gamma = if self.config.use_center {
+            let center = tape.gather_rows(h, batch.center_rows.clone());
+            tape.concat_cols(gamma, center)
+        } else {
+            gamma
+        };
+
+        // Eq. 23: l = ReLU(Θg γ), then the logits head — row-independent.
         let embedding = self.theta_g.forward(tape, ctx, store, gamma);
         let logits = self.head.forward(tape, ctx, store, embedding);
         LdgOutput { embedding, logits }

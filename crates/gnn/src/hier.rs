@@ -2,6 +2,7 @@
 //! node feature alignment (Eq. 6), a stack of node-level graph attention
 //! layers (Eqs. 7-9) and graph-level attention pooling (Eqs. 10-13).
 
+use crate::batch::GsgBatch;
 use crate::graphdata::GraphTensors;
 use nn::{Activation, Ctx, Linear, ParamId, ParamStore};
 use rand::Rng;
@@ -119,6 +120,25 @@ impl GsgEncoder {
         edge_feat: &Tensor,
     ) -> GsgOutput {
         let xv = tape.constant_copy(x);
+        self.forward_parts_with_x(tape, ctx, store, n, xv, src, dst, edge_feat)
+    }
+
+    /// [`GsgEncoder::forward_parts`] with the node features already on the
+    /// tape. Passing a gradient-carrying leaf instead of a constant lets
+    /// callers (e.g. the batch-equivalence tests) differentiate with respect
+    /// to the inputs.
+    #[allow(clippy::too_many_arguments)]
+    pub fn forward_parts_with_x(
+        &self,
+        tape: &mut Tape,
+        ctx: &mut Ctx,
+        store: &ParamStore,
+        n: usize,
+        xv: Var,
+        src: &Arc<Vec<usize>>,
+        dst: &Arc<Vec<usize>>,
+        edge_feat: &Tensor,
+    ) -> GsgOutput {
         let ef = tape.constant_copy(edge_feat);
 
         // Eq. 6 — alignment. Per-edge source features fused with the edge
@@ -192,6 +212,92 @@ impl GsgEncoder {
             &graph.dst,
             &graph.edge_feat,
         )
+    }
+
+    /// Encode a packed mini-batch in one pass: row `g` of every output is
+    /// bit-identical to what [`GsgEncoder::forward`] produces for graph `g`
+    /// alone (under the Strict numerics profile — Fast relaxes the dense
+    /// GEMMs).
+    pub fn forward_batch(
+        &self,
+        tape: &mut Tape,
+        ctx: &mut Ctx,
+        store: &ParamStore,
+        batch: &GsgBatch,
+    ) -> GsgOutput {
+        let xv = tape.constant_copy(&batch.x);
+        self.forward_batch_with_x(tape, ctx, store, batch, xv)
+    }
+
+    /// [`GsgEncoder::forward_batch`] with the packed node features already on
+    /// the tape (gradient-carrying when the caller needs input gradients).
+    ///
+    /// Every step mirrors [`GsgEncoder::forward_parts_with_x`] op for op:
+    /// dense layers are row-independent, message passing uses the pre-shifted
+    /// global edge lists, and the per-graph reductions become segment ops
+    /// (each pinned bit-identical to the per-graph chain it fuses — see the
+    /// op docs on `Tape`).
+    pub fn forward_batch_with_x(
+        &self,
+        tape: &mut Tape,
+        ctx: &mut Ctx,
+        store: &ParamStore,
+        batch: &GsgBatch,
+        xv: Var,
+    ) -> GsgOutput {
+        let n_total = batch.n_total();
+        let ef = tape.constant_copy(&batch.edge_feat);
+
+        // Eq. 6 — alignment, fused across the whole batch.
+        let x_src = tape.gather_rows(xv, batch.src.clone());
+        let edge_in = tape.concat_cols(x_src, ef);
+        let aligned_edges = self.align.forward(tape, ctx, store, edge_in);
+        let zeros = tape.constant(Tensor::zeros(n_total, 2));
+        let node_in = tape.concat_cols(xv, zeros);
+        let mut h = self.align.forward(tape, ctx, store, node_in);
+
+        // Eqs. 7-9 — the per-graph GAT code runs unchanged on the global
+        // edge lists: destinations never cross graph boundaries, so each
+        // softmax segment and scatter row matches the per-graph pass.
+        for (l, gat) in self.gats.iter().enumerate() {
+            let src_h = if l == 0 { Some(aligned_edges) } else { None };
+            h = gat.forward(tape, ctx, store, h, src_h, &batch.src, &batch.dst, n_total);
+        }
+
+        // Eq. 10 — per-graph global max pooling, `(B, hidden)`.
+        let c = tape.segment_max_pool_rows(h, batch.offsets.clone());
+
+        // Eqs. 11-12 — graph-level attention. `all` interleaves each graph's
+        // pooled row with its node rows (graph g's c_g at `all_offsets[g]`),
+        // reproducing the per-graph `concat_rows(c, h)` layout.
+        let s_attn = ctx.var(tape, store, self.s_attn);
+        let stacked = tape.concat_rows(c, h);
+        let all = tape.gather_rows(stacked, batch.all_perm.clone());
+        let c_rep = tape.gather_rows(all, batch.c_rep_idx.clone());
+        let cat = tape.concat_cols(c_rep, all);
+        let scores = tape.matmul(cat, s_attn);
+        let scores = tape.leaky_relu(scores, 0.2);
+        let beta = tape.segment_softmax(scores, batch.all_seg.clone());
+
+        // Eq. 13 — g = Elu(βᵀ (all Θg)) per graph; `seg_matmul_tn` replays
+        // the per-graph transpose + matmul bit for bit.
+        let theta_g = ctx.var(tape, store, self.theta_g);
+        let transformed = tape.matmul(all, theta_g);
+        let g = tape.seg_matmul_tn(beta, transformed, batch.all_offsets.clone());
+        let g = tape.elu(g, 1.0);
+
+        let combined = if self.config.use_center {
+            let center_h = tape.gather_rows(h, batch.center_rows.clone());
+            let center_e = tape.matmul(center_h, theta_g);
+            let center_e = tape.elu(center_e, 1.0);
+            tape.concat_cols(g, center_e)
+        } else {
+            g
+        };
+
+        let logits = self.head.forward(tape, ctx, store, combined);
+        let projection = self.proj.forward(tape, ctx, store, combined);
+        GsgOutput { embedding: combined, logits, projection }
     }
 }
 

@@ -54,6 +54,23 @@ impl GcnLayer {
         let agg = tape.spmm(adj, h);
         self.linear.forward(tape, ctx, store, agg)
     }
+
+    /// Batched variant of [`GcnLayer::forward`] for a stack of `B` dense
+    /// square adjacencies: `adj` is `(B·c, c)` with block `s` in rows
+    /// `s·c..(s+1)·c`, and `h` is `(B·c, d)`. Each block's product is
+    /// bit-identical to the per-graph dense path (see
+    /// `Tape::seg_block_matmul`).
+    pub fn forward_blocked(
+        &self,
+        tape: &mut Tape,
+        ctx: &mut Ctx,
+        store: &ParamStore,
+        adj: Var,
+        h: Var,
+    ) -> Var {
+        let agg = tape.seg_block_matmul(adj, h);
+        self.linear.forward(tape, ctx, store, agg)
+    }
 }
 
 /// One single-head graph attention layer (Velickovic et al.), matching

@@ -11,9 +11,13 @@
 //! * [`LdgEncoder`] — the local dynamic encoder: GCN + GRU evolution
 //!   (Eqs. 14-18), DiffPool (Eqs. 19-21), time-slice read-out (Eqs. 22-23),
 //! * [`augment`] / [`nt_xent`] — adaptive augmentation and the contrastive
-//!   objective (Section IV-A3).
+//!   objective (Section IV-A3),
+//! * [`GsgBatch`] / [`LdgBatch`] — block-diagonal mini-batch packing feeding
+//!   the encoders' `forward_batch` paths (bit-identical per account to the
+//!   per-account paths under the Strict numerics profile).
 
 mod augment;
+mod batch;
 mod contrast;
 mod dynamic;
 mod graphdata;
@@ -21,6 +25,7 @@ mod hier;
 pub mod layers;
 
 pub use augment::{augment, edge_drop_probs, AugmentConfig, AugmentedView};
+pub use batch::{GsgBatch, GsgItem, LdgBatch};
 pub use contrast::nt_xent;
 pub use dynamic::{LdgConfig, LdgEncoder, LdgOutput};
 pub use graphdata::{GraphTensors, CENTER_SEQ_LEN};

@@ -24,9 +24,11 @@
 //! ```
 
 mod csr;
+mod profile;
 mod tape;
 mod tensor;
 
 pub use csr::Csr;
+pub use profile::NumericsProfile;
 pub use tape::{BufferPool, PoolStats, Tape, Var};
 pub use tensor::Tensor;

@@ -28,6 +28,7 @@
 //! fresh-allocation run.
 
 use crate::csr::Csr;
+use crate::profile::NumericsProfile;
 use crate::tensor::Tensor;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -79,12 +80,19 @@ pub struct PoolStats {
     pub tape_ops: u64,
 }
 
-/// A free list of `f32` buffers, keyed by exact length.
+/// A free list of `f32` buffers, bucketed by power-of-two size class.
 ///
 /// [`Tape`] draws all forward values and gradients from a pool and
-/// [`Tape::into_pool`] returns every buffer for the next pass. The pool
-/// never shrinks; its footprint is bounded by the distinct tensor shapes of
-/// one forward+backward pass.
+/// [`Tape::into_pool`] returns every buffer for the next pass. A request for
+/// `len` elements takes from the `len.next_power_of_two()` bucket and trims
+/// (or zero-extends) the buffer to the exact length; a returned buffer parks
+/// under the largest class its capacity covers. Bucketing by class rather
+/// than exact length is what lets the batched encode reuse buffers: packed
+/// mini-batches have a different total row count every shuffle, so an
+/// exact-length free list would miss (and allocate afresh) on every batch
+/// while the stale sizes pile up unreclaimed. The pool never shrinks; its
+/// footprint is bounded by the distinct size classes (not shapes) of one
+/// forward+backward pass.
 #[derive(Default)]
 pub struct BufferPool {
     free: LenMap,
@@ -92,6 +100,12 @@ pub struct BufferPool {
     /// mark updates in O(1) per give.
     parked: u64,
     stats: PoolStats,
+}
+
+/// Largest power of two `<= cap` (the bucket a capacity can serve).
+fn capacity_class(cap: usize) -> usize {
+    debug_assert!(cap > 0);
+    1 << (usize::BITS - 1 - cap.leading_zeros())
 }
 
 impl BufferPool {
@@ -112,30 +126,30 @@ impl BufferPool {
 
     /// A zero-filled buffer of length `len` (for accumulation kernels).
     fn take_zeroed(&mut self, len: usize) -> Vec<f32> {
-        match self.free.get_mut(&len).and_then(Vec::pop) {
-            Some(mut buf) => {
-                self.note_hit();
-                buf.iter_mut().for_each(|x| *x = 0.0);
-                buf
-            }
-            None => {
-                self.note_miss(len);
-                vec![0.0; len]
-            }
-        }
+        let mut buf = self.take_any(len);
+        buf.fill(0.0);
+        buf
     }
 
     /// A buffer of length `len` with unspecified contents; the caller must
     /// overwrite every element.
     fn take_any(&mut self, len: usize) -> Vec<f32> {
-        match self.free.get_mut(&len).and_then(Vec::pop) {
-            Some(buf) => {
+        let class = len.next_power_of_two();
+        match self.free.get_mut(&class).and_then(Vec::pop) {
+            Some(mut buf) => {
                 self.note_hit();
+                if buf.len() < len {
+                    buf.resize(len, 0.0);
+                } else {
+                    buf.truncate(len);
+                }
                 buf
             }
             None => {
-                self.note_miss(len);
-                vec![0.0; len]
+                self.note_miss(class);
+                let mut buf = Vec::with_capacity(class);
+                buf.resize(len, 0.0);
+                buf
             }
         }
     }
@@ -151,8 +165,8 @@ impl BufferPool {
     }
 
     fn give(&mut self, buf: Vec<f32>) {
-        if !buf.is_empty() {
-            self.free.entry(buf.len()).or_default().push(buf);
+        if buf.capacity() > 0 {
+            self.free.entry(capacity_class(buf.capacity())).or_default().push(buf);
             self.parked += 1;
             self.stats.high_water_buffers = self.stats.high_water_buffers.max(self.parked);
         }
@@ -247,6 +261,21 @@ enum Op {
     SegmentSoftmax(usize, Arc<Vec<usize>>),
     MaxPoolRows(usize),
     MeanPoolRows(usize),
+    /// Per-segment column-wise max: `(Σn, d)` with row offsets -> `(B, d)`.
+    /// Segment `s` of the output is bit-identical to [`Op::MaxPoolRows`]
+    /// over rows `offsets[s]..offsets[s + 1]` alone.
+    SegmentMaxPoolRows(usize, Arc<Vec<usize>>),
+    /// Per-segment column-wise mean, the batched [`Op::MeanPoolRows`].
+    SegmentMeanPoolRows(usize, Arc<Vec<usize>>),
+    /// Per-segment `mᵀ @ x` for row-aligned `m: (Σn, c)`, `x: (Σn, d)`,
+    /// stacking the `(c, d)` products -> `(B·c, d)`. The batched DiffPool
+    /// assignment product; bit-identical per segment to
+    /// `transpose(m_s)` followed by `Op::Matmul` under Strict.
+    SegMatmulTn(usize, usize, Arc<Vec<usize>>),
+    /// Block-wise `a_s @ h_s` for uniform square blocks: `a: (B·c, c)`
+    /// stacks `(c, c)` blocks, `h: (B·c, d)` stacks their right operands.
+    /// Bit-identical per block to [`Op::Matmul`] under Strict.
+    SegBlockMatmul(usize, usize),
     SumAll(usize),
     MeanAll(usize),
     L2NormalizeRows(usize, f32),
@@ -270,6 +299,10 @@ struct Node {
 pub struct Tape {
     nodes: Vec<Node>,
     pool: BufferPool,
+    /// Accumulation contract for the dense matmul ops ([`Tape::matmul`]
+    /// forward and backward). Strict by default; see [`NumericsProfile`].
+    /// Sparse and segment ops stay strict under both profiles.
+    profile: NumericsProfile,
 }
 
 impl Tape {
@@ -280,13 +313,29 @@ impl Tape {
     /// A tape that serves allocations from `pool`. Recycle with
     /// [`Tape::into_pool`] once gradients have been consumed.
     pub fn with_pool(pool: BufferPool) -> Self {
-        Self { nodes: Vec::new(), pool }
+        Self { nodes: Vec::new(), pool, profile: NumericsProfile::Strict }
+    }
+
+    /// A pooled tape whose dense matmuls follow `profile`.
+    pub fn with_pool_and_profile(pool: BufferPool, profile: NumericsProfile) -> Self {
+        Self { nodes: Vec::new(), pool, profile }
+    }
+
+    /// The numerics profile this tape's dense matmuls follow.
+    pub fn profile(&self) -> NumericsProfile {
+        self.profile
+    }
+
+    /// Switch the numerics profile. Only affects ops recorded (and
+    /// backward passes run) after the call; set it before the forward pass.
+    pub fn set_profile(&mut self, profile: NumericsProfile) {
+        self.profile = profile;
     }
 
     /// Tear the tape down, returning every value and gradient buffer to the
     /// pool for the next pass.
     pub fn into_pool(self) -> BufferPool {
-        let Tape { nodes, mut pool } = self;
+        let Tape { nodes, mut pool, profile: _ } = self;
         pool.stats.tape_ops += nodes.len() as u64;
         for node in nodes {
             pool.give(node.value.into_vec());
@@ -331,6 +380,8 @@ impl Tape {
             | Op::SegmentSoftmax(a, _)
             | Op::MaxPoolRows(a)
             | Op::MeanPoolRows(a)
+            | Op::SegmentMaxPoolRows(a, _)
+            | Op::SegmentMeanPoolRows(a, _)
             | Op::SumAll(a)
             | Op::MeanAll(a)
             | Op::L2NormalizeRows(a, _)
@@ -342,7 +393,9 @@ impl Tape {
             | Op::AddRowBroadcast(a, b)
             | Op::MulColBroadcast(a, b)
             | Op::ConcatCols(a, b)
-            | Op::ConcatRows(a, b) => self.nodes[*a].requires || self.nodes[*b].requires,
+            | Op::ConcatRows(a, b)
+            | Op::SegMatmulTn(a, b, _)
+            | Op::SegBlockMatmul(a, b) => self.nodes[*a].requires || self.nodes[*b].requires,
         }
     }
 
@@ -410,7 +463,7 @@ impl Tape {
     pub fn matmul(&mut self, a: Var, b: Var) -> Var {
         let (n, m) = (self.nodes[a.0].value.rows(), self.nodes[b.0].value.cols());
         let mut out = pooled_uninit(&mut self.pool, n, m);
-        self.nodes[a.0].value.matmul_into(&self.nodes[b.0].value, &mut out);
+        self.nodes[a.0].value.matmul_into_profiled(&self.nodes[b.0].value, &mut out, self.profile);
         self.push(out, Op::Matmul(a.0, b.0))
     }
 
@@ -520,13 +573,25 @@ impl Tape {
     }
 
     pub fn elu(&mut self, a: Var, alpha: f32) -> Var {
-        let v = pooled_map(&mut self.pool, &self.nodes[a.0].value, |x| {
-            if x > 0.0 {
-                x
-            } else {
-                alpha * (x.exp() - 1.0)
-            }
-        });
+        // The backward pass reconstructs the slope from the stored output
+        // (`y + α`), so the Fast approximation stays self-consistent.
+        let v = if self.profile.is_fast() {
+            pooled_map(&mut self.pool, &self.nodes[a.0].value, |x| {
+                if x > 0.0 {
+                    x
+                } else {
+                    alpha * (crate::profile::fast_exp(x) - 1.0)
+                }
+            })
+        } else {
+            pooled_map(&mut self.pool, &self.nodes[a.0].value, |x| {
+                if x > 0.0 {
+                    x
+                } else {
+                    alpha * (x.exp() - 1.0)
+                }
+            })
+        };
         self.push(v, Op::Elu(a.0, alpha))
     }
 
@@ -536,12 +601,25 @@ impl Tape {
     }
 
     pub fn tanh(&mut self, a: Var) -> Var {
-        let v = pooled_map(&mut self.pool, &self.nodes[a.0].value, f32::tanh);
+        // Strict keeps libm's tanh bit-for-bit; Fast swaps in the
+        // vectorizable exp2-polynomial approximation (the tolerance harness
+        // bounds the end-to-end drift). Backward uses the stored output in
+        // both cases, so gradients stay consistent with whichever forward
+        // produced them.
+        let v = if self.profile.is_fast() {
+            pooled_map(&mut self.pool, &self.nodes[a.0].value, crate::profile::fast_tanh)
+        } else {
+            pooled_map(&mut self.pool, &self.nodes[a.0].value, f32::tanh)
+        };
         self.push(v, Op::Tanh(a.0))
     }
 
     pub fn sigmoid(&mut self, a: Var) -> Var {
-        let v = pooled_map(&mut self.pool, &self.nodes[a.0].value, |x| 1.0 / (1.0 + (-x).exp()));
+        let v = if self.profile.is_fast() {
+            pooled_map(&mut self.pool, &self.nodes[a.0].value, crate::profile::fast_sigmoid)
+        } else {
+            pooled_map(&mut self.pool, &self.nodes[a.0].value, |x| 1.0 / (1.0 + (-x).exp()))
+        };
         self.push(v, Op::Sigmoid(a.0))
     }
 
@@ -673,6 +751,116 @@ impl Tape {
         self.push(v, Op::MeanPoolRows(a.0))
     }
 
+    /// Per-segment column-wise max: rows `offsets[s]..offsets[s + 1]` of
+    /// `a: (Σn, d)` pool to output row `s`, giving `(B, d)`. Output row `s`
+    /// is bit-identical to [`Tape::max_pool_rows`] over that row range alone
+    /// — the batched readout of the per-graph pooling.
+    pub fn segment_max_pool_rows(&mut self, a: Var, offsets: Arc<Vec<usize>>) -> Var {
+        let (n, d) = self.nodes[a.0].value.shape();
+        check_offsets(&offsets, n);
+        let b = offsets.len() - 1;
+        let mut v = pooled_full(&mut self.pool, b, d, f32::NEG_INFINITY);
+        let x = &self.nodes[a.0].value;
+        for s in 0..b {
+            for r in offsets[s]..offsets[s + 1] {
+                for c in 0..d {
+                    if x.get(r, c) > v.get(s, c) {
+                        v.set(s, c, x.get(r, c));
+                    }
+                }
+            }
+        }
+        self.push(v, Op::SegmentMaxPoolRows(a.0, offsets))
+    }
+
+    /// Per-segment column-wise mean: the batched [`Tape::mean_pool_rows`],
+    /// bit-identical per segment (each row contributes `x / n_s` with rows
+    /// ascending, exactly the per-graph accumulation).
+    pub fn segment_mean_pool_rows(&mut self, a: Var, offsets: Arc<Vec<usize>>) -> Var {
+        let (n, d) = self.nodes[a.0].value.shape();
+        check_offsets(&offsets, n);
+        let b = offsets.len() - 1;
+        let mut v = pooled_zeros(&mut self.pool, b, d);
+        let x = &self.nodes[a.0].value;
+        for s in 0..b {
+            let len = (offsets[s + 1] - offsets[s]) as f32;
+            for r in offsets[s]..offsets[s + 1] {
+                for c in 0..d {
+                    v.set(s, c, v.get(s, c) + x.get(r, c) / len);
+                }
+            }
+        }
+        self.push(v, Op::SegmentMeanPoolRows(a.0, offsets))
+    }
+
+    /// Per-segment `m_sᵀ @ x_s` for row-aligned `m: (Σn, c)`, `x: (Σn, d)`,
+    /// the `(c, d)` products stacked into `(B·c, d)`. This is the batched
+    /// DiffPool assignment product: segment `s` of the output is
+    /// bit-identical to `matmul(transpose(m_s), x_s)` on a per-graph tape
+    /// (same zero skips, same ascending accumulation), forward and backward.
+    /// Always strict — the blocks are tiny and the order is the contract.
+    pub fn seg_matmul_tn(&mut self, m: Var, x: Var, offsets: Arc<Vec<usize>>) -> Var {
+        let (n, c) = self.nodes[m.0].value.shape();
+        let (nx, d) = self.nodes[x.0].value.shape();
+        assert_eq!(n, nx, "seg_matmul_tn row mismatch: m has {n}, x has {nx}");
+        check_offsets(&offsets, n);
+        let b = offsets.len() - 1;
+        let mut v = pooled_zeros(&mut self.pool, b * c, d);
+        let mv = &self.nodes[m.0].value;
+        let xv = &self.nodes[x.0].value;
+        for s in 0..b {
+            for p in offsets[s]..offsets[s + 1] {
+                let m_row = mv.row(p);
+                let x_row = xv.row(p);
+                for (i, &a) in m_row.iter().enumerate() {
+                    if a == 0.0 {
+                        continue;
+                    }
+                    for (o, &xval) in v.row_mut(s * c + i).iter_mut().zip(x_row.iter()) {
+                        *o += a * xval;
+                    }
+                }
+            }
+        }
+        self.push(v, Op::SegMatmulTn(m.0, x.0, offsets))
+    }
+
+    /// Block-wise `a_s @ h_s` for uniform square blocks: `a: (B·c, c)`
+    /// stacking `(c, c)` blocks and `h: (B·c, d)` stacking their right
+    /// operands gives `(B·c, d)`. The batched coarsened-adjacency product of
+    /// DiffPool's later stages; bit-identical per block to [`Tape::matmul`]
+    /// under Strict, forward and backward. Always strict.
+    pub fn seg_block_matmul(&mut self, a: Var, h: Var) -> Var {
+        let (rows, c) = self.nodes[a.0].value.shape();
+        let (hrows, d) = self.nodes[h.0].value.shape();
+        assert_eq!(rows, hrows, "seg_block_matmul row mismatch: a has {rows}, h has {hrows}");
+        assert!(
+            c > 0 && rows % c == 0,
+            "seg_block_matmul needs (B·{c}, {c}) blocks, got {rows} rows"
+        );
+        let b = rows / c;
+        let mut v = pooled_uninit(&mut self.pool, rows, d);
+        let av = &self.nodes[a.0].value;
+        let hv = &self.nodes[h.0].value;
+        for s in 0..b {
+            for i in 0..c {
+                let out_row = v.row_mut(s * c + i);
+                out_row.fill(0.0);
+                let a_row = av.row(s * c + i);
+                for (p, &x) in a_row.iter().enumerate() {
+                    if x == 0.0 {
+                        continue;
+                    }
+                    let h_row = hv.row(s * c + p);
+                    for (o, &hval) in out_row.iter_mut().zip(h_row.iter()) {
+                        *o += x * hval;
+                    }
+                }
+            }
+        }
+        self.push(v, Op::SegBlockMatmul(a.0, h.0))
+    }
+
     /// Sum of all elements -> scalar.
     pub fn sum_all(&mut self, a: Var) -> Var {
         let v = pooled_full(&mut self.pool, 1, 1, self.nodes[a.0].value.sum());
@@ -774,7 +962,7 @@ impl Tape {
                     if self.nodes[a].requires {
                         let bt = pooled_transpose(&mut self.pool, &self.nodes[b].value);
                         let mut ga = pooled_uninit(&mut self.pool, g.rows(), bt.cols());
-                        g.matmul_into(&bt, &mut ga);
+                        g.matmul_into_profiled(&bt, &mut ga, self.profile);
                         self.pool.give(bt.into_vec());
                         self.acc_grad(a, ga);
                     }
@@ -783,7 +971,7 @@ impl Tape {
                         // the (tall) activation matrix.
                         let mut gb =
                             pooled_uninit(&mut self.pool, self.nodes[a].value.cols(), g.cols());
-                        self.nodes[a].value.matmul_tn_into(&g, &mut gb);
+                        self.nodes[a].value.matmul_tn_into_profiled(&g, &mut gb, self.profile);
                         self.acc_grad(b, gb);
                     }
                     self.pool.give(g.into_vec());
@@ -1043,6 +1231,149 @@ impl Tape {
                     }
                     self.pool.give(g.into_vec());
                 }
+                Op::SegmentMaxPoolRows(a, offsets) => {
+                    if self.nodes[a].requires {
+                        let (n, d) = self.nodes[a].value.shape();
+                        let mut ga = pooled_zeros(&mut self.pool, n, d);
+                        let x = &self.nodes[a].value;
+                        for s in 0..offsets.len() - 1 {
+                            let (lo, hi) = (offsets[s], offsets[s + 1]);
+                            for c in 0..d {
+                                // Argmax rescan with the per-graph tie-break:
+                                // lowest row wins, exactly MaxPoolRows'.
+                                let mut best = lo;
+                                for r in lo + 1..hi {
+                                    if x.get(r, c) > x.get(best, c) {
+                                        best = r;
+                                    }
+                                }
+                                ga.set(best, c, g.get(s, c));
+                            }
+                        }
+                        self.acc_grad(a, ga);
+                    }
+                    self.pool.give(g.into_vec());
+                }
+                Op::SegmentMeanPoolRows(a, offsets) => {
+                    if self.nodes[a].requires {
+                        let (n, d) = self.nodes[a].value.shape();
+                        let mut ga = pooled_uninit(&mut self.pool, n, d);
+                        for s in 0..offsets.len() - 1 {
+                            let len = (offsets[s + 1] - offsets[s]) as f32;
+                            for r in offsets[s]..offsets[s + 1] {
+                                for c in 0..d {
+                                    ga.set(r, c, g.get(s, c) / len);
+                                }
+                            }
+                        }
+                        self.acc_grad(a, ga);
+                    }
+                    self.pool.give(g.into_vec());
+                }
+                Op::SegMatmulTn(m, x, offsets) => {
+                    let c = self.nodes[m].value.cols();
+                    let d = self.nodes[x].value.cols();
+                    if self.nodes[m].requires {
+                        // dm[p][i] = Σ_j g_s[i][j] · x[p][j], j ascending with
+                        // g zeros skipped — the per-graph `g @ x_sᵀ` followed
+                        // by the transpose backward's pure copy.
+                        let n = self.nodes[m].value.rows();
+                        let mut gm = pooled_uninit(&mut self.pool, n, c);
+                        let xv = &self.nodes[x].value;
+                        for s in 0..offsets.len() - 1 {
+                            for p in offsets[s]..offsets[s + 1] {
+                                let x_row = xv.row(p);
+                                for i in 0..c {
+                                    let g_row = g.row(s * c + i);
+                                    let mut acc = 0.0f32;
+                                    for (j, &gv) in g_row.iter().enumerate() {
+                                        if gv == 0.0 {
+                                            continue;
+                                        }
+                                        acc += gv * x_row[j];
+                                    }
+                                    gm.set(p, i, acc);
+                                }
+                            }
+                        }
+                        self.acc_grad(m, gm);
+                    }
+                    if self.nodes[x].requires {
+                        // dx_s = m_s @ g_s: for each x row p the block rows
+                        // arrive ascending with m zeros skipped — exactly
+                        // `matmul_tn_into(mt_s, g_s)` on the per-graph tape.
+                        let n = self.nodes[x].value.rows();
+                        let mut gx = pooled_zeros(&mut self.pool, n, d);
+                        let mv = &self.nodes[m].value;
+                        for s in 0..offsets.len() - 1 {
+                            for p in offsets[s]..offsets[s + 1] {
+                                let m_row = mv.row(p);
+                                for (i, &a) in m_row.iter().enumerate() {
+                                    if a == 0.0 {
+                                        continue;
+                                    }
+                                    let g_row_start = (s * c + i) * d;
+                                    for (jj, o) in gx.row_mut(p).iter_mut().enumerate() {
+                                        *o += a * g.data()[g_row_start + jj];
+                                    }
+                                }
+                            }
+                        }
+                        self.acc_grad(x, gx);
+                    }
+                    self.pool.give(g.into_vec());
+                }
+                Op::SegBlockMatmul(a, h) => {
+                    let c = self.nodes[a].value.cols();
+                    let d = self.nodes[h].value.cols();
+                    let rows = self.nodes[a].value.rows();
+                    let blocks = rows / c;
+                    if self.nodes[a].requires {
+                        // da_s = g_s @ h_sᵀ, zero-skipping g with j ascending
+                        // — the per-graph Matmul backward's left product.
+                        let mut ga = pooled_uninit(&mut self.pool, rows, c);
+                        let hv = &self.nodes[h].value;
+                        for s in 0..blocks {
+                            for i in 0..c {
+                                let g_row = g.row(s * c + i);
+                                for p in 0..c {
+                                    let h_row = hv.row(s * c + p);
+                                    let mut acc = 0.0f32;
+                                    for (j, &gv) in g_row.iter().enumerate() {
+                                        if gv == 0.0 {
+                                            continue;
+                                        }
+                                        acc += gv * h_row[j];
+                                    }
+                                    ga.set(s * c + i, p, acc);
+                                }
+                            }
+                        }
+                        self.acc_grad(a, ga);
+                    }
+                    if self.nodes[h].requires {
+                        // dh_s = a_sᵀ @ g_s via the matmul_tn order: block
+                        // rows p ascending, a zeros skipped.
+                        let mut gh = pooled_zeros(&mut self.pool, rows, d);
+                        let av = &self.nodes[a].value;
+                        for s in 0..blocks {
+                            for p in 0..c {
+                                let a_row = av.row(s * c + p);
+                                let g_row_start = (s * c + p) * d;
+                                for (i, &x) in a_row.iter().enumerate() {
+                                    if x == 0.0 {
+                                        continue;
+                                    }
+                                    for (jj, o) in gh.row_mut(s * c + i).iter_mut().enumerate() {
+                                        *o += x * g.data()[g_row_start + jj];
+                                    }
+                                }
+                            }
+                        }
+                        self.acc_grad(h, gh);
+                    }
+                    self.pool.give(g.into_vec());
+                }
                 Op::SumAll(a) => {
                     if self.nodes[a].requires {
                         let (n, d) = self.nodes[a].value.shape();
@@ -1096,6 +1427,18 @@ impl Tape {
                 }
             }
         }
+    }
+}
+
+/// Validate a segment-offset index: `offsets[0] == 0`, strictly ascending
+/// (every segment non-empty, matching the per-graph pooling ops' non-empty
+/// requirement), ending at `rows`.
+fn check_offsets(offsets: &[usize], rows: usize) {
+    assert!(!offsets.is_empty(), "segment offsets must not be empty");
+    assert_eq!(offsets[0], 0, "segment offsets must start at 0");
+    assert_eq!(*offsets.last().unwrap(), rows, "segment offsets must end at the row count {rows}");
+    for w in offsets.windows(2) {
+        assert!(w[0] < w[1], "segments must be non-empty and ascending");
     }
 }
 
@@ -1288,6 +1631,146 @@ mod tests {
         let loss = t.sum_all(y);
         t.backward(loss);
         assert_eq!(t.grad(x).unwrap().data(), &[-1.0, -1.0]);
+    }
+
+    fn seg_fixture(rows: usize, cols: usize, salt: u32) -> Tensor {
+        Tensor::from_fn(rows, cols, |r, c| {
+            let h = (r as u32)
+                .wrapping_mul(2654435761)
+                .wrapping_add((c as u32).wrapping_mul(40503))
+                .wrapping_add(salt);
+            if h.is_multiple_of(5) {
+                0.0
+            } else {
+                ((h % 1000) as f32 - 500.0) * 1.9e-3
+            }
+        })
+    }
+
+    /// Each segment-aware op must produce, per segment, exactly the bits of
+    /// the per-graph op chain it fuses — that is the whole contract that
+    /// lets the batched encoder replace the per-account tapes under Strict.
+    #[test]
+    fn segment_pools_match_per_segment_pools_bitwise() {
+        let offsets: Vec<usize> = vec![0, 3, 4, 9];
+        let x0 = seg_fixture(9, 4, 7);
+        for mode in ["max", "mean"] {
+            let mut tb = Tape::new();
+            let xb = tb.leaf(x0.clone());
+            let pooled = if mode == "max" {
+                tb.segment_max_pool_rows(xb, Arc::new(offsets.clone()))
+            } else {
+                tb.segment_mean_pool_rows(xb, Arc::new(offsets.clone()))
+            };
+            let lb = tb.sum_all(pooled);
+            tb.backward(lb);
+            for s in 0..offsets.len() - 1 {
+                let (lo, hi) = (offsets[s], offsets[s + 1]);
+                let mut tg = Tape::new();
+                let seg = Tensor::from_fn(hi - lo, 4, |r, c| x0.get(lo + r, c));
+                let xg = tg.leaf(seg);
+                let pg = if mode == "max" { tg.max_pool_rows(xg) } else { tg.mean_pool_rows(xg) };
+                let lg = tg.sum_all(pg);
+                tg.backward(lg);
+                assert_eq!(
+                    tb.value(pooled).row(s).iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    tg.value(pg).row(0).iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    "{mode} forward segment {s}"
+                );
+                let got: Vec<u32> = (lo..hi)
+                    .flat_map(|r| tb.grad(xb).unwrap().row(r).iter().map(|v| v.to_bits()))
+                    .collect();
+                assert_eq!(got, tg.grad(xg).unwrap().to_bits_vec(), "{mode} gradient segment {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn seg_matmul_tn_matches_transpose_matmul_bitwise() {
+        let offsets: Vec<usize> = vec![0, 2, 7, 8];
+        let (c, d) = (3, 4);
+        let m0 = seg_fixture(8, c, 11);
+        let x0 = seg_fixture(8, d, 12);
+        let mut tb = Tape::new();
+        let mb = tb.leaf(m0.clone());
+        let xb = tb.leaf(x0.clone());
+        let out = tb.seg_matmul_tn(mb, xb, Arc::new(offsets.clone()));
+        let lb = tb.sum_all(out);
+        tb.backward(lb);
+        for s in 0..offsets.len() - 1 {
+            let (lo, hi) = (offsets[s], offsets[s + 1]);
+            let mut tg = Tape::new();
+            let ms = tg.leaf(Tensor::from_fn(hi - lo, c, |r, cc| m0.get(lo + r, cc)));
+            let xs = tg.leaf(Tensor::from_fn(hi - lo, d, |r, cc| x0.get(lo + r, cc)));
+            let mt = tg.transpose(ms);
+            let prod = tg.matmul(mt, xs);
+            let lg = tg.sum_all(prod);
+            tg.backward(lg);
+            let got_vals: Vec<u32> = (0..c)
+                .flat_map(|i| tb.value(out).row(s * c + i).iter().map(|v| v.to_bits()))
+                .collect();
+            assert_eq!(got_vals, tg.value(prod).to_bits_vec(), "forward segment {s}");
+            for (leaf_b, leaf_g, what) in [(mb, ms, "m"), (xb, xs, "x")] {
+                let got: Vec<u32> = (lo..hi)
+                    .flat_map(|r| tb.grad(leaf_b).unwrap().row(r).iter().map(|v| v.to_bits()))
+                    .collect();
+                assert_eq!(got, tg.grad(leaf_g).unwrap().to_bits_vec(), "{what} grad segment {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn seg_block_matmul_matches_matmul_bitwise() {
+        let (blocks, c, d) = (3, 4, 5);
+        let a0 = seg_fixture(blocks * c, c, 21);
+        let h0 = seg_fixture(blocks * c, d, 22);
+        let mut tb = Tape::new();
+        let ab = tb.leaf(a0.clone());
+        let hb = tb.leaf(h0.clone());
+        let out = tb.seg_block_matmul(ab, hb);
+        let lb = tb.sum_all(out);
+        tb.backward(lb);
+        for s in 0..blocks {
+            let lo = s * c;
+            let mut tg = Tape::new();
+            let asg = tg.leaf(Tensor::from_fn(c, c, |r, cc| a0.get(lo + r, cc)));
+            let hsg = tg.leaf(Tensor::from_fn(c, d, |r, cc| h0.get(lo + r, cc)));
+            let prod = tg.matmul(asg, hsg);
+            let lg = tg.sum_all(prod);
+            tg.backward(lg);
+            let got_vals: Vec<u32> = (0..c)
+                .flat_map(|i| tb.value(out).row(lo + i).iter().map(|v| v.to_bits()))
+                .collect();
+            assert_eq!(got_vals, tg.value(prod).to_bits_vec(), "forward block {s}");
+            for (leaf_b, leaf_g, what) in [(ab, asg, "a"), (hb, hsg, "h")] {
+                let got: Vec<u32> = (lo..lo + c)
+                    .flat_map(|r| tb.grad(leaf_b).unwrap().row(r).iter().map(|v| v.to_bits()))
+                    .collect();
+                assert_eq!(got, tg.grad(leaf_g).unwrap().to_bits_vec(), "{what} grad block {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn fast_profile_tape_stays_close_to_strict() {
+        let x0 = seg_fixture(8, 6, 31);
+        let w0 = seg_fixture(6, 3, 32);
+        let run = |profile: NumericsProfile| {
+            let mut tape = Tape::with_pool_and_profile(BufferPool::new(), profile);
+            let x = tape.leaf(x0.clone());
+            let w = tape.leaf(w0.clone());
+            let h = tape.matmul(x, w);
+            let h = tape.tanh(h);
+            let loss = tape.mean_all(h);
+            tape.backward(loss);
+            (tape.value(loss).item(), tape.grad(w).unwrap().clone())
+        };
+        let (ls, gs) = run(NumericsProfile::Strict);
+        let (lf, gf) = run(NumericsProfile::Fast);
+        assert!((ls - lf).abs() <= 1e-5 * ls.abs().max(1.0), "loss drift {ls} vs {lf}");
+        for (a, b) in gs.data().iter().zip(gf.data()) {
+            assert!((a - b).abs() <= 1e-4 * a.abs().max(1.0), "grad drift {a} vs {b}");
+        }
     }
 
     #[test]

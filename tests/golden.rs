@@ -172,6 +172,15 @@ fn generate_fixture() -> Vec<Subgraph> {
 
 #[test]
 fn golden_trace_is_bit_stable() {
+    // The golden trace pins the Strict profile's accumulation order. A
+    // run-time override to Fast numerics (the CI fast-profile job runs the
+    // whole suite that way) is *supposed* to drift within the tolerance
+    // harness's bounds, so bit-comparing it here would only re-test the
+    // override plumbing. tests/tolerance.rs owns the Fast contract.
+    if std::env::var("DBG4ETH_NUMERICS").is_ok_and(|v| v.trim().eq_ignore_ascii_case("fast")) {
+        eprintln!("golden: skipped under DBG4ETH_NUMERICS=fast; tolerance.rs covers this profile");
+        return;
+    }
     let dir = golden_dir();
     let fixture_path = dir.join("fixture.txt");
     let expected_path = dir.join("expected.txt");

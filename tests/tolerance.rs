@@ -1,0 +1,279 @@
+//! Statistical-tolerance harness for the Fast numerics profile.
+//!
+//! The Strict profile is pinned bit-for-bit by `tests/golden.rs` and
+//! `tests/batch_equivalence.rs`. Fast trades that guarantee for speed: it
+//! enables FMA and re-associated accumulation in the dense GEMM kernels, so
+//! its outputs may drift in the low mantissa bits. This harness bounds that
+//! drift *statistically* instead of bitwise: over a sweep of seeds (each with
+//! its own simulated world, split and initialisation), a Fast run must stay
+//! within the documented epsilons of the committed Strict-profile metrics:
+//!
+//! - `|Δ f1| ≤ 0.5` percentage points,
+//! - `|Δ ECE| ≤ 0.005`,
+//! - every score decile may move by at most `0.02`.
+//!
+//! The Strict metrics live in `tests/golden/tolerance.txt` as exact bit
+//! patterns; regenerate after an intentional Strict-profile change with
+//!
+//! ```text
+//! DBG4ETH_REGEN_GOLDEN=1 cargo test -p dbg4eth --test tolerance
+//! ```
+//!
+//! When no `DBG4ETH_NUMERICS` override is active the harness also replays the
+//! Strict sweep and requires it to reproduce the fixture exactly, so the
+//! baseline can never drift silently out from under the tolerance bounds.
+
+#![allow(deprecated)] // train/infer free functions wrap the Session API
+
+use calib::ece;
+use dbg4eth::{infer, train, Dbg4EthConfig};
+use eth_graph::{SamplerConfig, Subgraph};
+use eth_sim::{AccountClass, Benchmark, DatasetScale, POSITIVE};
+use nn::metrics::Metrics;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use tensor::NumericsProfile;
+
+/// Seeds of the sweep; each drives the simulated world, the train/test split
+/// and the parameter initialisation.
+const SEEDS: [u64; 5] = [11, 22, 33, 44, 55];
+
+/// Documented tolerance: binary-F1 drift in percentage points.
+const F1_TOL: f64 = 0.5;
+/// Documented tolerance: expected-calibration-error drift.
+const ECE_TOL: f64 = 0.005;
+/// Documented tolerance: per-decile score drift.
+const QUANTILE_TOL: f64 = 0.02;
+/// Number of interior deciles tracked (q10 .. q90).
+const N_QUANTILES: usize = 9;
+
+const ECE_BINS: usize = 5;
+
+fn fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden/tolerance.txt")
+}
+
+#[derive(Clone, Debug)]
+struct SeedMetrics {
+    seed: u64,
+    f1: f64,
+    ece: f64,
+    quantiles: Vec<f64>,
+}
+
+fn tolerance_config(seed: u64, numerics: NumericsProfile) -> Dbg4EthConfig {
+    let mut cfg = Dbg4EthConfig::fast();
+    cfg.epochs = 3;
+    cfg.gsg.hidden = 16;
+    cfg.gsg.d_out = 8;
+    cfg.ldg.hidden = 16;
+    cfg.ldg.d_out = 8;
+    cfg.ldg.pool_clusters = [6, 3, 1];
+    cfg.t_slices = 4;
+    cfg.parallelism = 1;
+    cfg.seed = seed;
+    cfg.numerics = numerics;
+    cfg
+}
+
+/// Deterministic interior deciles of the sorted scores.
+fn deciles(scores: &[f64]) -> Vec<f64> {
+    let mut s = scores.to_vec();
+    s.sort_by(|a, b| a.total_cmp(b));
+    (1..=N_QUANTILES).map(|i| s[((i * s.len()) / 10).min(s.len() - 1)]).collect()
+}
+
+/// Train + serve one seed under the given profile and summarise the test
+/// split: binary F1 at threshold 0.5, ECE, and score deciles.
+fn run_seed(seed: u64, numerics: NumericsProfile) -> SeedMetrics {
+    let scale =
+        DatasetScale { exchange: 8, ico_wallet: 0, mining: 0, phish_hack: 0, bridge: 0, defi: 0 };
+    let bench = Benchmark::generate(scale, SamplerConfig { top_k: 10, hops: 2 }, seed);
+    let dataset = bench.dataset(AccountClass::Exchange);
+    let cfg = tolerance_config(seed, numerics);
+    let out = train(dataset, 0.7, &cfg);
+    let (_, test_idx) = dataset.split(0.7, cfg.seed);
+    let accounts: Vec<Subgraph> = test_idx.iter().map(|&i| dataset.graphs[i].clone()).collect();
+    let labels: Vec<bool> = accounts.iter().map(|g| g.label == Some(POSITIVE)).collect();
+    let probs = infer(&out.model, &accounts);
+    assert!(!probs.is_empty(), "seed {seed}: empty test split");
+    let m = Metrics::from_scores(&probs, &labels, 0.5);
+    SeedMetrics { seed, f1: m.f1, ece: ece(&probs, &labels, ECE_BINS), quantiles: deciles(&probs) }
+}
+
+// --- fixture text format ---------------------------------------------------
+//
+// seed <seed> f1 <hex-f64-bits> ece <hex-f64-bits> q <hex-f64-bits ×9>
+
+fn render_fixture(rows: &[SeedMetrics]) -> String {
+    let mut out = String::from(
+        "# Strict-profile metrics per seed for the Fast-numerics tolerance harness.\n\
+         # Regenerate with DBG4ETH_REGEN_GOLDEN=1 cargo test -p dbg4eth --test tolerance\n",
+    );
+    for r in rows {
+        write!(out, "seed {} f1 {:016x} ece {:016x} q", r.seed, r.f1.to_bits(), r.ece.to_bits())
+            .unwrap();
+        for q in &r.quantiles {
+            write!(out, " {:016x}", q.to_bits()).unwrap();
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn parse_fixture(text: &str) -> Vec<SeedMetrics> {
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(|line| {
+            let mut it = line.split_whitespace();
+            fn expect<'a>(it: &mut impl Iterator<Item = &'a str>, word: &str, line: &str) {
+                assert_eq!(it.next(), Some(word), "malformed tolerance fixture line: {line}");
+            }
+            let bits = |tok: Option<&str>| {
+                f64::from_bits(
+                    u64::from_str_radix(tok.expect("hex f64"), 16).expect("hex f64 bits"),
+                )
+            };
+            expect(&mut it, "seed", line);
+            let seed = it.next().and_then(|t| t.parse().ok()).expect("seed");
+            expect(&mut it, "f1", line);
+            let f1 = bits(it.next());
+            expect(&mut it, "ece", line);
+            let ece = bits(it.next());
+            expect(&mut it, "q", line);
+            let quantiles: Vec<f64> = it.map(|t| bits(Some(t))).collect();
+            assert_eq!(quantiles.len(), N_QUANTILES, "wrong decile count: {line}");
+            SeedMetrics { seed, f1, ece, quantiles }
+        })
+        .collect()
+}
+
+fn numerics_env() -> Option<NumericsProfile> {
+    std::env::var("DBG4ETH_NUMERICS").ok().map(|s| {
+        NumericsProfile::parse(&s).unwrap_or_else(|| panic!("unrecognised DBG4ETH_NUMERICS {s:?}"))
+    })
+}
+
+#[test]
+fn fast_profile_stays_within_tolerance_of_strict() {
+    let path = fixture_path();
+    let regen = std::env::var("DBG4ETH_REGEN_GOLDEN").is_ok_and(|v| !v.is_empty() && v != "0");
+
+    if regen {
+        assert!(
+            numerics_env() != Some(NumericsProfile::Fast),
+            "refusing to regenerate the Strict fixture under DBG4ETH_NUMERICS=fast"
+        );
+        let rows: Vec<SeedMetrics> =
+            SEEDS.iter().map(|&s| run_seed(s, NumericsProfile::Strict)).collect();
+        std::fs::write(&path, render_fixture(&rows)).expect("write tolerance fixture");
+        eprintln!("regenerated {}", path.display());
+        return;
+    }
+
+    let expected = parse_fixture(&std::fs::read_to_string(&path).unwrap_or_else(|_| {
+        panic!(
+            "{} is missing; run DBG4ETH_REGEN_GOLDEN=1 cargo test -p dbg4eth --test tolerance",
+            path.display()
+        )
+    }));
+    assert_eq!(expected.len(), SEEDS.len(), "tolerance fixture covers the wrong seed set");
+
+    // Unless an env override forces every tape onto one profile, first replay
+    // the Strict sweep: the committed baseline must still be exact.
+    if numerics_env().is_none() {
+        for e in &expected {
+            let s = run_seed(e.seed, NumericsProfile::Strict);
+            assert_eq!(
+                s.f1.to_bits(),
+                e.f1.to_bits(),
+                "seed {}: Strict f1 drifted from the committed baseline ({} vs {}); \
+                 if intended, regenerate with DBG4ETH_REGEN_GOLDEN=1",
+                e.seed,
+                s.f1,
+                e.f1,
+            );
+            assert_eq!(
+                s.ece.to_bits(),
+                e.ece.to_bits(),
+                "seed {}: Strict ECE drifted from the committed baseline ({} vs {})",
+                e.seed,
+                s.ece,
+                e.ece,
+            );
+            for (i, (a, b)) in s.quantiles.iter().zip(&e.quantiles).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "seed {}: Strict score decile q{}0 drifted ({} vs {})",
+                    e.seed,
+                    i + 1,
+                    a,
+                    b,
+                );
+            }
+        }
+    }
+
+    // The actual contract: the Fast profile stays within the documented
+    // epsilons of the Strict baseline, for every seed.
+    for e in &expected {
+        let f = run_seed(e.seed, NumericsProfile::Fast);
+        let df1 = (f.f1 - e.f1).abs();
+        assert!(
+            df1 <= F1_TOL,
+            "metric f1, seed {}: Fast drifted {df1:.4}pt from Strict \
+             (strict {:.4}, fast {:.4}, tolerance {F1_TOL}pt)",
+            e.seed,
+            e.f1,
+            f.f1,
+        );
+        let dece = (f.ece - e.ece).abs();
+        assert!(
+            dece <= ECE_TOL,
+            "metric ece, seed {}: Fast drifted {dece:.6} from Strict \
+             (strict {:.6}, fast {:.6}, tolerance {ECE_TOL})",
+            e.seed,
+            e.ece,
+            f.ece,
+        );
+        for (i, (a, b)) in f.quantiles.iter().zip(&e.quantiles).enumerate() {
+            let dq = (a - b).abs();
+            assert!(
+                dq <= QUANTILE_TOL,
+                "metric score-decile q{}0, seed {}: Fast drifted {dq:.6} from Strict \
+                 (strict {:.6}, fast {:.6}, tolerance {QUANTILE_TOL})",
+                i + 1,
+                e.seed,
+                b,
+                a,
+            );
+        }
+    }
+}
+
+/// Fast relaxes accumulation order inside a kernel invocation but never
+/// shards one accumulation across workers, so it stays deterministic in the
+/// worker-thread count: 1 and 8 threads must agree bit-for-bit.
+#[test]
+fn fast_profile_is_thread_count_invariant() {
+    let seed = SEEDS[0];
+    let scale =
+        DatasetScale { exchange: 8, ico_wallet: 0, mining: 0, phish_hack: 0, bridge: 0, defi: 0 };
+    let bench = Benchmark::generate(scale, SamplerConfig { top_k: 10, hops: 2 }, seed);
+    let dataset = bench.dataset(AccountClass::Exchange);
+    let mut probs = Vec::new();
+    for threads in [1usize, 8] {
+        let mut cfg = tolerance_config(seed, NumericsProfile::Fast);
+        cfg.parallelism = threads;
+        let out = train(dataset, 0.7, &cfg);
+        let (_, test_idx) = dataset.split(0.7, cfg.seed);
+        let accounts: Vec<Subgraph> = test_idx.iter().map(|&i| dataset.graphs[i].clone()).collect();
+        probs.push(infer(&out.model, &accounts).iter().map(|p| p.to_bits()).collect::<Vec<u64>>());
+    }
+    assert_eq!(
+        probs[0], probs[1],
+        "Fast profile output depends on the worker-thread count (1 vs 8)"
+    );
+}
