@@ -28,7 +28,8 @@ fn main() {
     obs::info!("predict", "loaded {path} in {:?}", t.elapsed());
     let damage = session.degradation();
     if !damage.is_clean() {
-        println!("degraded load: lost sections {:?}", damage.lost_sections);
+        let lost: Vec<String> = damage.lost_sections.iter().map(ToString::to_string).collect();
+        println!("degraded load: lost sections [{}]", lost.join(", "));
     }
 
     // The same deterministic world `train` saw; the split seed travels

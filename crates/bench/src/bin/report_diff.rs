@@ -2,19 +2,22 @@
 //!
 //! ```text
 //! report-diff <baseline.json> <current.json> \
-//!     [--span pipeline.encode]... [--threshold 15] [--min-ms 1]
+//!     [--span pipeline.encode]... [--hist serve.request_latency_ms]... \
+//!     [--threshold 15] [--min-ms 1]
 //! ```
 //!
-//! Prints a per-span delta table and exits:
-//! * `0` — no gated span regressed,
-//! * `1` — a gated span regressed past the threshold (CI should fail),
-//! * `2` — usage error, unreadable/unparseable report, or a gate span
+//! Prints a per-span (and per-histogram p99) delta table and exits:
+//! * `0` — no gated span or histogram regressed,
+//! * `1` — a gated value regressed past the threshold (CI should fail),
+//! * `2` — usage error, unreadable/unparseable report, or a gate
 //!   missing from either report (a renamed stage must not silently pass).
 //!
 //! A span regresses only when it is listed via `--span`, grows more than
 //! `--threshold` percent, **and** grows more than `--min-ms` absolute —
-//! sub-millisecond stages cannot fail CI on scheduler noise. Speed-ups
-//! never fail. Works on any run-report version ≥ 1.
+//! sub-millisecond stages cannot fail CI on scheduler noise. Histograms
+//! listed via `--hist` gate the same way on their p99 estimate (the
+//! serving-latency tail). Speed-ups never fail. Works on any run-report
+//! version ≥ 1 (histogram quantiles require version ≥ 2).
 
 use obs::{diff_reports, DiffConfig, Json};
 use std::process::ExitCode;
@@ -22,7 +25,7 @@ use std::process::ExitCode;
 fn usage() -> ExitCode {
     eprintln!(
         "usage: report-diff <baseline.json> <current.json> \
-         [--span NAME]... [--threshold PCT] [--min-ms MS]"
+         [--span NAME]... [--hist NAME]... [--threshold PCT] [--min-ms MS]"
     );
     ExitCode::from(2)
 }
@@ -41,6 +44,10 @@ fn main() -> ExitCode {
         match arg.as_str() {
             "--span" => match it.next() {
                 Some(v) => config.gate_spans.push(v.clone()),
+                None => return usage(),
+            },
+            "--hist" => match it.next() {
+                Some(v) => config.gate_hists.push(v.clone()),
                 None => return usage(),
             },
             "--threshold" => match it.next().and_then(|v| v.parse().ok()) {
@@ -78,8 +85,8 @@ fn main() -> ExitCode {
 
     if !diff.missing_gates.is_empty() {
         eprintln!(
-            "report-diff: gate span(s) missing from a report: {} \
-             (renamed stage? fix --span or the baseline)",
+            "report-diff: gate(s) missing from a report: {} \
+             (renamed stage? fix --span/--hist or the baseline)",
             diff.missing_gates.join(", ")
         );
         return ExitCode::from(2);
@@ -91,6 +98,6 @@ fn main() -> ExitCode {
         );
         return ExitCode::from(1);
     }
-    println!("report-diff: ok (no gated span regressed)");
+    println!("report-diff: ok (nothing gated regressed)");
     ExitCode::SUCCESS
 }

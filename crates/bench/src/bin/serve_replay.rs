@@ -1,0 +1,397 @@
+//! `serve-replay` — eth-sim traffic generator for the score service.
+//!
+//! ```text
+//! serve-replay <ADDR> [--clients N] [--requests N] [--batch B]
+//!              [--rate R] [--deadline-ms D] [--retry] [--class NAME]
+//!              [--digest] [--shutdown] [--out PATH]
+//! ```
+//!
+//! Regenerates the deterministic benchmark world (the same accounts
+//! `train` held out), then replays them against a running `serve` daemon:
+//!
+//! * **closed loop** (default) — each client fires its next request the
+//!   moment the previous reply lands; offered load tracks capacity.
+//! * **open loop** (`--rate R`) — requests are launched on a fixed
+//!   schedule of `R` requests/second across all clients regardless of
+//!   completions, which is what actually drives a server into overload.
+//!
+//! Every reply is tallied (ok, degraded, shed, deadline-exceeded, typed
+//! errors, transport drops) and written to `BENCH_serve.json` together
+//! with throughput and exact p50/p99 latency. Request latencies also feed
+//! the `serve.request_latency_ms` histogram, so a run with
+//! `DBG4ETH_METRICS` set leaves a run-report that `report-diff --hist
+//! serve.request_latency_ms` can gate in CI.
+//!
+//! `--digest` switches to verification mode: one warm sequential pass
+//! over every account (batch 1), printing `scores-digest: <hex>` exactly
+//! like `train`/`predict` do. Any non-Ok reply in digest mode is fatal
+//! (exit 3) — identity cannot be asserted over a partial set.
+//!
+//! With `DBG4ETH_FAULTS=stall@serve.client` set in *this* process, every
+//! client wedges mid-frame (slow-loris) to prove the server reaps it.
+
+use eth_graph::Subgraph;
+use serve::{ErrorCode, Reply, ScoreClient, WireResult};
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+#[derive(Clone)]
+struct Args {
+    addr: String,
+    clients: usize,
+    requests: usize,
+    batch: usize,
+    rate: f64,
+    deadline_ms: u64,
+    retry: bool,
+    class: Option<String>,
+    digest: bool,
+    shutdown: bool,
+    out: String,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: serve-replay <ADDR> [--clients N] [--requests N] [--batch B] \
+         [--rate R] [--deadline-ms D] [--retry] [--class NAME] [--digest] \
+         [--shutdown] [--out PATH]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_args() -> Result<Args, ExitCode> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut args = Args {
+        addr: String::new(),
+        clients: 4,
+        requests: 200,
+        batch: 1,
+        rate: 0.0,
+        deadline_ms: 0,
+        retry: false,
+        class: None,
+        digest: false,
+        shutdown: false,
+        out: "BENCH_serve.json".to_string(),
+    };
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        macro_rules! value {
+            () => {
+                match it.next().and_then(|v| v.parse().ok()) {
+                    Some(v) => v,
+                    None => return Err(usage()),
+                }
+            };
+        }
+        match arg.as_str() {
+            "--clients" => args.clients = value!(),
+            "--requests" => args.requests = value!(),
+            "--batch" => args.batch = value!(),
+            "--rate" => args.rate = value!(),
+            "--deadline-ms" => args.deadline_ms = value!(),
+            "--retry" => args.retry = true,
+            "--class" => {
+                args.class = Some(match it.next() {
+                    Some(v) => v.clone(),
+                    None => return Err(usage()),
+                })
+            }
+            "--digest" => args.digest = true,
+            "--shutdown" => args.shutdown = true,
+            "--out" => {
+                args.out = match it.next() {
+                    Some(v) => v.clone(),
+                    None => return Err(usage()),
+                }
+            }
+            "--help" | "-h" => return Err(usage()),
+            other if other.starts_with('-') => {
+                eprintln!("unknown flag {other:?}");
+                return Err(usage());
+            }
+            addr if args.addr.is_empty() => args.addr = addr.to_string(),
+            _ => return Err(usage()),
+        }
+    }
+    if args.addr.is_empty() || args.clients == 0 || args.batch == 0 {
+        return Err(usage());
+    }
+    Ok(args)
+}
+
+/// The deterministic account stream: the same held-out test accounts
+/// `train` digested, in split order.
+fn accounts(class: Option<&str>) -> Vec<Subgraph> {
+    let class = bench::class_arg(class);
+    let benchmark = bench::benchmark();
+    let dataset = benchmark.dataset(class);
+    let (_, test_idx) = dataset.split(0.8, bench::seed());
+    test_idx.iter().map(|&i| dataset.graphs[i].clone()).collect()
+}
+
+#[derive(Default)]
+struct Tally {
+    ok: AtomicU64,
+    degraded: AtomicU64,
+    cached: AtomicU64,
+    shed: AtomicU64,
+    deadline_exceeded: AtomicU64,
+    quarantined: AtomicU64,
+    other_errors: AtomicU64,
+    transport_errors: AtomicU64,
+    protocol_errors: AtomicU64,
+}
+
+fn count_reply(tally: &Tally, reply: &Reply) {
+    match reply {
+        Reply::Scores(rep) => {
+            for r in &rep.results {
+                match r {
+                    WireResult::Ok { degraded, cached, .. } => {
+                        tally.ok.fetch_add(1, Ordering::Relaxed);
+                        if *degraded {
+                            tally.degraded.fetch_add(1, Ordering::Relaxed);
+                        }
+                        if *cached {
+                            tally.cached.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    WireResult::Err { code: ErrorCode::DeadlineExceeded, .. } => {
+                        tally.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+                    }
+                    WireResult::Err { code: ErrorCode::Invalid, .. } => {
+                        tally.quarantined.fetch_add(1, Ordering::Relaxed);
+                    }
+                    WireResult::Err { .. } => {
+                        tally.other_errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+        Reply::Overloaded { .. } => {
+            tally.shed.fetch_add(1, Ordering::Relaxed);
+        }
+        Reply::ProtocolError(_) => {
+            tally.protocol_errors.fetch_add(1, Ordering::Relaxed);
+        }
+        Reply::Stats(_) | Reply::ShutdownAck => {}
+    }
+}
+
+fn percentile(sorted_ms: &[f64], q: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let pos = (q * (sorted_ms.len() - 1) as f64).round() as usize;
+    sorted_ms[pos.min(sorted_ms.len() - 1)]
+}
+
+fn digest_pass(args: &Args, accounts: &[Subgraph]) -> ExitCode {
+    let mut client = match ScoreClient::connect(&args.addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("serve-replay: connect {}: {e}", args.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut probs = Vec::with_capacity(accounts.len());
+    for (i, account) in accounts.iter().enumerate() {
+        match client.score(vec![account.clone()], args.deadline_ms) {
+            Ok(Reply::Scores(rep)) => match rep.results.as_slice() {
+                [WireResult::Ok { score, .. }] => probs.push(*score),
+                [WireResult::Err { code, message }] => {
+                    eprintln!(
+                        "serve-replay: account {i} failed in digest mode: {code:?} {message}"
+                    );
+                    return ExitCode::from(3);
+                }
+                other => {
+                    eprintln!("serve-replay: account {i}: {} results for 1 account", other.len());
+                    return ExitCode::from(3);
+                }
+            },
+            Ok(other) => {
+                eprintln!("serve-replay: account {i}: unexpected reply {other:?} in digest mode");
+                return ExitCode::from(3);
+            }
+            Err(e) => {
+                eprintln!("serve-replay: account {i}: {e}");
+                return ExitCode::from(3);
+            }
+        }
+    }
+    println!("scores-digest: {:016x}", bench::f64_bits_digest(&probs));
+    if args.shutdown {
+        let _ = client.shutdown();
+    }
+    ExitCode::SUCCESS
+}
+
+#[allow(clippy::too_many_lines)]
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(code) => return code,
+    };
+    let accounts = accounts(args.class.as_deref());
+    if accounts.is_empty() {
+        eprintln!("serve-replay: benchmark produced no test accounts");
+        return ExitCode::FAILURE;
+    }
+    if args.digest {
+        return digest_pass(&args, &accounts);
+    }
+
+    let accounts = Arc::new(accounts);
+    let tally = Arc::new(Tally::default());
+    let latencies: Arc<Mutex<Vec<f64>>> = Arc::new(Mutex::new(Vec::new()));
+    let next_request = Arc::new(AtomicUsize::new(0));
+    let edges = obs::log_edges(0.1, 10_000.0, 24);
+    let start = Instant::now();
+
+    let mut handles = Vec::new();
+    for client_idx in 0..args.clients {
+        let args = args.clone();
+        let accounts = Arc::clone(&accounts);
+        let tally = Arc::clone(&tally);
+        let latencies = Arc::clone(&latencies);
+        let next_request = Arc::clone(&next_request);
+        let edges = edges.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut client = match ScoreClient::connect(&args.addr) {
+                Ok(c) => c,
+                Err(_) => {
+                    tally.transport_errors.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+            };
+            client.client_idx = Some(client_idx);
+            loop {
+                let seq = next_request.fetch_add(1, Ordering::Relaxed);
+                if seq >= args.requests {
+                    return;
+                }
+                // Open loop: launch on the global schedule, late or not.
+                if args.rate > 0.0 {
+                    let due = start + Duration::from_secs_f64(seq as f64 / args.rate);
+                    let now = Instant::now();
+                    if due > now {
+                        std::thread::sleep(due - now);
+                    }
+                }
+                let lo = (seq * args.batch) % accounts.len();
+                let batch: Vec<Subgraph> =
+                    (0..args.batch).map(|k| accounts[(lo + k) % accounts.len()].clone()).collect();
+                let t = Instant::now();
+                let mut reply = client.score(batch.clone(), args.deadline_ms);
+                if args.retry {
+                    // Honour the shed hint once: back off, then retry.
+                    if let Ok(Reply::Overloaded { retry_after_ms }) = reply {
+                        tally.shed.fetch_add(1, Ordering::Relaxed);
+                        std::thread::sleep(Duration::from_millis(retry_after_ms));
+                        reply = client.score(batch, args.deadline_ms);
+                    }
+                }
+                let ms = t.elapsed().as_secs_f64() * 1e3;
+                match reply {
+                    Ok(reply) => {
+                        obs::observe("serve.request_latency_ms", &edges, ms);
+                        latencies.lock().expect("latency lock").push(ms);
+                        count_reply(&tally, &reply);
+                    }
+                    Err(_) => {
+                        // Reaped, reset or dropped connection: reconnect
+                        // and carry on — the daemon owes us nothing here.
+                        tally.transport_errors.fetch_add(1, Ordering::Relaxed);
+                        match ScoreClient::connect(&args.addr) {
+                            Ok(c) => {
+                                client = c;
+                                client.client_idx = Some(client_idx);
+                            }
+                            Err(_) => return,
+                        }
+                    }
+                }
+            }
+        }));
+    }
+    for h in handles {
+        let _ = h.join();
+    }
+    let wall = start.elapsed();
+
+    // Server-side counters, as the daemon saw them.
+    let server_stats =
+        ScoreClient::connect(&args.addr).and_then(|mut c| c.stats()).ok().and_then(|r| match r {
+            Reply::Stats(s) => Some(s),
+            _ => None,
+        });
+
+    let mut ms: Vec<f64> = latencies.lock().expect("latency lock").clone();
+    ms.sort_by(f64::total_cmp);
+    let ok = tally.ok.load(Ordering::Relaxed);
+    let scores_per_sec = ok as f64 / wall.as_secs_f64().max(1e-9);
+
+    let mut out = obs::Json::obj();
+    out.set("schema", "dbg4eth.bench.serve");
+    out.set("version", 1u64);
+    out.set("requests", args.requests as u64);
+    out.set("clients", args.clients as u64);
+    out.set("batch", args.batch as u64);
+    out.set("rate", args.rate);
+    out.set("wall_secs", wall.as_secs_f64());
+    out.set("scores_per_sec", scores_per_sec);
+    out.set("latency_p50_ms", percentile(&ms, 0.50));
+    out.set("latency_p99_ms", percentile(&ms, 0.99));
+    out.set("ok", ok);
+    out.set("degraded", tally.degraded.load(Ordering::Relaxed));
+    out.set("cached", tally.cached.load(Ordering::Relaxed));
+    out.set("shed", tally.shed.load(Ordering::Relaxed));
+    out.set("deadline_exceeded", tally.deadline_exceeded.load(Ordering::Relaxed));
+    out.set("quarantined", tally.quarantined.load(Ordering::Relaxed));
+    out.set("other_errors", tally.other_errors.load(Ordering::Relaxed));
+    out.set("transport_errors", tally.transport_errors.load(Ordering::Relaxed));
+    out.set("protocol_errors", tally.protocol_errors.load(Ordering::Relaxed));
+    if let Some(s) = server_stats {
+        let mut sj = obs::Json::obj();
+        sj.set("accepted_conns", s.accepted_conns);
+        sj.set("requests", s.requests);
+        sj.set("completed", s.completed);
+        sj.set("shed", s.shed);
+        sj.set("malformed", s.malformed);
+        sj.set("cache_hits", s.cache_hits);
+        sj.set("cache_misses", s.cache_misses);
+        sj.set("deadline_exceeded", s.deadline_exceeded);
+        sj.set("worker_panics", s.worker_panics);
+        let total = s.cache_hits + s.cache_misses;
+        sj.set("cache_hit_rate", if total > 0 { s.cache_hits as f64 / total as f64 } else { 0.0 });
+        out.set("server", sj);
+    }
+    if let Err(e) = std::fs::write(&args.out, out.render_pretty()) {
+        eprintln!("serve-replay: cannot write {}: {e}", args.out);
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "replayed {} requests ({} clients, batch {}) in {:.2}s: \
+         {ok} ok, {} shed, {} deadline-exceeded, {} transport errors → {}",
+        args.requests,
+        args.clients,
+        args.batch,
+        wall.as_secs_f64(),
+        tally.shed.load(Ordering::Relaxed),
+        tally.deadline_exceeded.load(Ordering::Relaxed),
+        tally.transport_errors.load(Ordering::Relaxed),
+        args.out,
+    );
+
+    if args.shutdown {
+        if let Ok(mut c) = ScoreClient::connect(&args.addr) {
+            let _ = c.shutdown();
+        }
+    }
+    bench::emit_report("serve-replay");
+    ExitCode::SUCCESS
+}

@@ -41,7 +41,8 @@ pub use error::Error;
 #[allow(deprecated)] // re-exported for one release; Session replaces them
 pub use model::{infer, infer_detailed, train};
 pub use model::{
-    AccountScore, DegradedLoad, InferReport, ScoreError, TrainOutput, TrainedBranch, TrainedModel,
+    AccountScore, DegradedLoad, InferReport, LostSection, ScoreError, TrainOutput, TrainedBranch,
+    TrainedModel,
 };
 pub use model_io::ModelIoError;
 pub use multiclass::{run_multiclass, MultiClassResult};

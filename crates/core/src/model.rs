@@ -55,6 +55,12 @@ pub struct TrainedBranch<S> {
     /// flagged degraded. Distinguishes "calibration disabled by config"
     /// (`calibrator: None`, not degraded) from "calibrator lost".
     pub calibrator_lost: bool,
+    /// Confidence scaler fitted at train time on the holdout split's raw
+    /// scores (format v3). Batch inference refits per batch — bit-identical
+    /// to training — but a serving process scoring one account at a time
+    /// must pin the scaler to keep scores independent of batch composition;
+    /// see [`InferOptions::pinned_scaling`](crate::InferOptions).
+    pub scaler: Option<ConfidenceScaler>,
 }
 
 /// Why one account could not be scored. Quarantine is per-account: a bad
@@ -72,6 +78,10 @@ pub enum ScoreError {
     /// Every enabled branch failed to produce a usable confidence for this
     /// account, so there is nothing to fall back on.
     NoUsableBranch,
+    /// The request's deadline expired before this account reached a score.
+    /// Deadline checks sit at stage boundaries, so an account either gets
+    /// its full bit-exact score or this error — never a partial result.
+    DeadlineExceeded,
 }
 
 impl std::fmt::Display for ScoreError {
@@ -83,6 +93,7 @@ impl std::fmt::Display for ScoreError {
                 write!(f, "stage {stage} panicked: {message}")
             }
             ScoreError::NoUsableBranch => write!(f, "no branch produced a usable confidence"),
+            ScoreError::DeadlineExceeded => write!(f, "deadline exceeded before scoring finished"),
         }
     }
 }
@@ -123,18 +134,39 @@ impl InferReport {
     }
 }
 
+/// One section a lenient load gave up on, with the evidence for *why* —
+/// a checksum mismatch carries its stored/computed CRCs, a missing section
+/// says so, a malformed one keeps the parse error.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LostSection {
+    pub name: String,
+    pub reason: String,
+}
+
+impl std::fmt::Display for LostSection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} ({})", self.name, self.reason)
+    }
+}
+
 /// What a lenient [`TrainedModel::load_degraded`] had to give up on:
-/// the names of the sections it could not recover. Empty means the load
-/// was byte-perfect.
+/// the sections it could not recover, each with its failure evidence.
+/// Empty means the load was byte-perfect.
 #[derive(Clone, Debug, Default)]
 pub struct DegradedLoad {
-    pub lost_sections: Vec<String>,
+    pub lost_sections: Vec<LostSection>,
 }
 
 impl DegradedLoad {
     #[must_use]
     pub fn is_clean(&self) -> bool {
         self.lost_sections.is_empty()
+    }
+
+    /// Whether the named section was lost, whatever the reason.
+    #[must_use]
+    pub fn lost(&self, name: &str) -> bool {
+        self.lost_sections.iter().any(|l| l.name == name)
     }
 }
 
@@ -154,6 +186,14 @@ pub struct TrainedModel {
 pub struct TrainOutput {
     pub model: TrainedModel,
     pub run: RunOutput,
+}
+
+/// Fit a confidence scaler the way the serving path does for a request
+/// batch: on the finite raw scores only, so an injected NaN at train time
+/// cannot skew the pinned statistics.
+fn fit_pinned_scaler(raw: &[f64]) -> ConfidenceScaler {
+    let finite: Vec<f64> = raw.iter().copied().filter(|v| v.is_finite()).collect();
+    ConfidenceScaler::fit(&finite)
 }
 
 /// The GBDT configuration for a persistable classifier. Only the two GBDT
@@ -204,15 +244,23 @@ pub(crate) fn train_impl(
     let mut calibrators: Vec<Option<AdaptiveCalibrator>> =
         cal.branches.iter_mut().map(|b| b.calibrator.take()).collect();
     calibrators.reverse();
+    // Pin each branch's confidence scaler to the holdout split it was
+    // calibrated against, so a serving process can scale singleton batches
+    // exactly as training did instead of refitting on whatever happens to
+    // share the request.
+    let gsg_scaler = encoded.encoded.gsg.as_ref().map(|e| fit_pinned_scaler(&e.holdout_raw));
+    let ldg_scaler = encoded.encoded.ldg.as_ref().map(|e| fit_pinned_scaler(&e.holdout_raw));
     let gsg = encoded.gsg.map(|scorer| TrainedBranch {
         scorer,
         calibrator: calibrators.pop().expect("one branch per enabled scorer"),
         calibrator_lost: false,
+        scaler: gsg_scaler,
     });
     let ldg = encoded.ldg.map(|scorer| TrainedBranch {
         scorer,
         calibrator: calibrators.pop().expect("one branch per enabled scorer"),
         calibrator_lost: false,
+        scaler: ldg_scaler,
     });
 
     let run = assemble_output(&cal, &encoded.encoded, test_scores);
@@ -233,7 +281,7 @@ pub(crate) fn train_impl(
 /// plan the output is bit-identical to the degradation-free pipeline.
 #[deprecated(note = "use dbg4eth::Session::score_with with InferOptions { strict: true, .. }")]
 pub fn infer(model: &TrainedModel, accounts: &[Subgraph]) -> Vec<f64> {
-    infer_impl(model, accounts, model.config.threads())
+    infer_impl(model, accounts, model.config.threads(), InferRun::default())
         .scores
         .into_iter()
         .enumerate()
@@ -270,7 +318,22 @@ pub fn infer(model: &TrainedModel, accounts: &[Subgraph]) -> Vec<f64> {
 /// `infer.classifier_fallbacks`) and lands in the JSON run-report.
 #[deprecated(note = "use dbg4eth::Session::score / Session::score_with")]
 pub fn infer_detailed(model: &TrainedModel, accounts: &[Subgraph]) -> InferReport {
-    infer_impl(model, accounts, model.config.threads())
+    infer_impl(model, accounts, model.config.threads(), InferRun::default())
+}
+
+/// Per-call serving controls threaded through [`infer_impl`], beyond the
+/// worker count: the cooperative deadline and the scaling mode.
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct InferRun {
+    /// Cooperative cancellation: checked at stage boundaries (before
+    /// lowering, before each branch, before classification). Once past,
+    /// every unresolved account gets [`ScoreError::DeadlineExceeded`];
+    /// already-resolved accounts keep their bit-exact scores.
+    pub deadline: Option<Instant>,
+    /// Scale confidences with the train-time pinned scaler instead of
+    /// refitting on this batch, making scores independent of batch
+    /// composition (required for the serve cache and singleton batches).
+    pub pinned_scaling: bool,
 }
 
 /// Shared serving body behind [`infer`], [`infer_detailed`] and
@@ -280,6 +343,7 @@ pub(crate) fn infer_impl(
     model: &TrainedModel,
     accounts: &[Subgraph],
     threads: usize,
+    run: InferRun,
 ) -> InferReport {
     let _span = obs::span("model.infer");
     obs::counter_add("model.infers", 1);
@@ -313,96 +377,148 @@ pub(crate) fn infer_impl(
     let quarantined = accounts.len() - survivors.len();
     obs::counter_add("infer.quarantined", quarantined as u64);
 
-    // Rung 2: contained lowering — a panic costs one account.
-    let lowered = par::try_par_map_indices(threads, survivors.len(), |k| {
-        let started = observed.then(Instant::now);
-        let out = lower_one(&accounts[survivors[k]], &model.config);
-        if let Some(t) = started {
-            let ns = u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX);
-            latency_ns[survivors[k]].fetch_add(ns, Ordering::Relaxed);
+    // Cooperative cancellation: stages run to completion between checks,
+    // so an account either receives its full bit-exact score or a typed
+    // deadline error — never a partially-scored (timing-dependent) result.
+    let deadline_ok = || run.deadline.is_none_or(|t| Instant::now() < t);
+
+    'pipeline: {
+        if !deadline_ok() {
+            break 'pipeline;
         }
-        out
-    });
-    let mut tensors: Vec<GraphTensors> = Vec::with_capacity(survivors.len());
-    let mut kept: Vec<usize> = Vec::with_capacity(survivors.len());
-    for (k, r) in lowered.into_iter().enumerate() {
-        match r {
-            Ok(t) => {
-                tensors.push(t);
-                kept.push(survivors[k]);
+
+        // Rung 2: contained lowering — a panic costs one account.
+        let lowered = par::try_par_map_indices(threads, survivors.len(), |k| {
+            let started = observed.then(Instant::now);
+            let out = lower_one(&accounts[survivors[k]], &model.config);
+            if let Some(t) = started {
+                let ns = u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                latency_ns[survivors[k]].fetch_add(ns, Ordering::Relaxed);
             }
-            Err(p) => {
+            out
+        });
+        let mut tensors: Vec<GraphTensors> = Vec::with_capacity(survivors.len());
+        let mut kept: Vec<usize> = Vec::with_capacity(survivors.len());
+        for (k, r) in lowered.into_iter().enumerate() {
+            match r {
+                Ok(t) => {
+                    tensors.push(t);
+                    kept.push(survivors[k]);
+                }
+                Err(p) => {
+                    obs::counter_add("infer.branch_failures", 1);
+                    results[survivors[k]] =
+                        Some(Err(ScoreError::Panicked { stage: "lower", message: p.message }));
+                }
+            }
+        }
+        if !deadline_ok() {
+            break 'pipeline;
+        }
+
+        // Rungs 3-4: score each present branch with containment. A deadline
+        // expiring between branches abandons the whole batch rather than
+        // serving from whichever branch happened to finish first.
+        let trained_branches =
+            usize::from(model.config.use_gsg) + usize::from(model.config.use_ldg);
+        let mut outcomes: Vec<BranchOutcome> = Vec::new();
+        if model.config.use_gsg {
+            if let Some(b) = &model.gsg {
+                outcomes.push(score_branch(
+                    b,
+                    "gsg.encode",
+                    &tensors,
+                    &kept,
+                    threads,
+                    &latency_ns,
+                    run.pinned_scaling,
+                ));
+            } else {
+                obs::warn!("model.infer", "GSG branch unavailable; serving from survivors");
+            }
+            if !deadline_ok() {
+                break 'pipeline;
+            }
+        }
+        if model.config.use_ldg {
+            if let Some(b) = &model.ldg {
+                outcomes.push(score_branch(
+                    b,
+                    "ldg.encode",
+                    &tensors,
+                    &kept,
+                    threads,
+                    &latency_ns,
+                    run.pinned_scaling,
+                ));
+            } else {
+                obs::warn!("model.infer", "LDG branch unavailable; serving from survivors");
+            }
+            if !deadline_ok() {
+                break 'pipeline;
+            }
+        }
+        // A branch lost at load degrades every score: the classifier was
+        // trained on feature rows the surviving branches alone cannot rebuild.
+        let branch_lost = outcomes.len() < trained_branches;
+        let branch_degraded = branch_lost
+            || outcomes.iter().any(|o| o.uncalibrated)
+            || outcomes.iter().any(|o| o.scaler_refit);
+
+        // Rungs 5-6: classify per row inside a panic boundary, falling back
+        // to the branch confidences themselves.
+        for (k, &orig) in kept.iter().enumerate() {
+            let confs: Vec<f64> = outcomes.iter().filter_map(|o| o.conf[k]).collect();
+            if confs.is_empty() {
+                let panicked = outcomes.iter().find_map(|o| o.fail[k].clone());
+                results[orig] = Some(Err(match panicked {
+                    Some((stage, message)) => ScoreError::Panicked { stage, message },
+                    None => ScoreError::NoUsableBranch,
+                }));
+                continue;
+            }
+            let row_complete = confs.len() == trained_branches;
+            let score = if row_complete {
+                let row = confs.clone();
+                let classifier = &model.classifier;
+                let predicted = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    // `panic@boost.predict:<account>` injection point, keyed by
+                    // the account's position in the input batch.
+                    faults::maybe_panic("boost.predict", Some(orig));
+                    classifier.predict_proba(&row)
+                }));
+                match predicted {
+                    Ok(p) if p.is_finite() => Some(p),
+                    _ => None,
+                }
+            } else {
+                None
+            };
+            let (score, fell_back) = match score {
+                Some(p) => (p, false),
+                None => (confs.iter().sum::<f64>() / confs.len() as f64, true),
+            };
+            if fell_back && row_complete {
+                obs::counter_add("infer.classifier_fallbacks", 1);
+                obs::warn!("model.infer", "classifier fell back to branch mean for account {orig}");
+            }
+            if !row_complete {
                 obs::counter_add("infer.branch_failures", 1);
-                results[survivors[k]] =
-                    Some(Err(ScoreError::Panicked { stage: "lower", message: p.message }));
             }
+            let degraded = branch_degraded || fell_back || !row_complete;
+            results[orig] = Some(Ok(AccountScore { score, degraded }));
         }
     }
 
-    // Rungs 3-4: score each present branch with containment.
-    let trained_branches = usize::from(model.config.use_gsg) + usize::from(model.config.use_ldg);
-    let mut outcomes: Vec<BranchOutcome> = Vec::new();
-    if model.config.use_gsg {
-        if let Some(b) = &model.gsg {
-            outcomes.push(score_branch(b, "gsg.encode", &tensors, &kept, threads, &latency_ns));
-        } else {
-            obs::warn!("model.infer", "GSG branch unavailable; serving from survivors");
-        }
+    // Anything still unresolved hit the deadline at a stage boundary.
+    let mut timed_out = 0u64;
+    for slot in results.iter_mut().filter(|r| r.is_none()) {
+        *slot = Some(Err(ScoreError::DeadlineExceeded));
+        timed_out += 1;
     }
-    if model.config.use_ldg {
-        if let Some(b) = &model.ldg {
-            outcomes.push(score_branch(b, "ldg.encode", &tensors, &kept, threads, &latency_ns));
-        } else {
-            obs::warn!("model.infer", "LDG branch unavailable; serving from survivors");
-        }
-    }
-    // A branch lost at load degrades every score: the classifier was
-    // trained on feature rows the surviving branches alone cannot rebuild.
-    let branch_lost = outcomes.len() < trained_branches;
-    let branch_degraded = branch_lost || outcomes.iter().any(|o| o.uncalibrated);
-
-    // Rungs 5-6: classify per row inside a panic boundary, falling back to
-    // the branch confidences themselves.
-    for (k, &orig) in kept.iter().enumerate() {
-        let confs: Vec<f64> = outcomes.iter().filter_map(|o| o.conf[k]).collect();
-        if confs.is_empty() {
-            let panicked = outcomes.iter().find_map(|o| o.fail[k].clone());
-            results[orig] = Some(Err(match panicked {
-                Some((stage, message)) => ScoreError::Panicked { stage, message },
-                None => ScoreError::NoUsableBranch,
-            }));
-            continue;
-        }
-        let row_complete = confs.len() == trained_branches;
-        let score = if row_complete {
-            let row = confs.clone();
-            let classifier = &model.classifier;
-            let predicted = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                // `panic@boost.predict:<account>` injection point, keyed by
-                // the account's position in the input batch.
-                faults::maybe_panic("boost.predict", Some(orig));
-                classifier.predict_proba(&row)
-            }));
-            match predicted {
-                Ok(p) if p.is_finite() => Some(p),
-                _ => None,
-            }
-        } else {
-            None
-        };
-        let (score, fell_back) = match score {
-            Some(p) => (p, false),
-            None => (confs.iter().sum::<f64>() / confs.len() as f64, true),
-        };
-        if fell_back && row_complete {
-            obs::counter_add("infer.classifier_fallbacks", 1);
-            obs::warn!("model.infer", "classifier fell back to branch mean for account {orig}");
-        }
-        if !row_complete {
-            obs::counter_add("infer.branch_failures", 1);
-        }
-        let degraded = branch_degraded || fell_back || !row_complete;
-        results[orig] = Some(Ok(AccountScore { score, degraded }));
+    if timed_out > 0 {
+        obs::counter_add("infer.deadline_exceeded", timed_out);
+        obs::warn!("model.infer", "{timed_out} of {} accounts hit the deadline", accounts.len());
     }
 
     // One histogram observation per account that reached the pipeline
@@ -434,13 +550,19 @@ struct BranchOutcome {
     fail: Vec<Option<(&'static str, String)>>,
     /// The calibrator was lost or panicked: confidences are uncalibrated.
     uncalibrated: bool,
+    /// Pinned scaling was requested but the container carried no scaler
+    /// (pre-v3 model): the branch refitted on the batch, so the scores are
+    /// batch-dependent and flagged degraded.
+    scaler_refit: bool,
 }
 
 /// Rung 3-4 of the serving ladder for one branch: isolated raw scoring,
-/// scaler fitted on the finite survivors, calibration with uncalibrated
-/// fallback. On a clean run this computes exactly what the degradation-free
-/// path did: the scaler sees every raw score and the calibrator maps the
-/// whole batch.
+/// confidence scaling, calibration with uncalibrated fallback. Scaling is
+/// either refitted on the finite survivors of this batch (the training
+/// semantics — bit-identical to the clean pipeline) or, with `pinned`,
+/// taken from the train-time scaler so scores do not depend on what else
+/// shares the batch.
+#[allow(clippy::too_many_arguments)]
 fn score_branch<S: BranchScorer>(
     branch: &TrainedBranch<S>,
     encode_site: &'static str,
@@ -448,6 +570,7 @@ fn score_branch<S: BranchScorer>(
     kept: &[usize],
     threads: usize,
     latency_ns: &[AtomicU64],
+    pinned: bool,
 ) -> BranchOutcome {
     let m = tensors.len();
     let raw = par::try_par_map_indices(threads, m, |k| {
@@ -484,10 +607,26 @@ fn score_branch<S: BranchScorer>(
         }
     }
     if finite_raw.is_empty() {
-        return BranchOutcome { conf, fail, uncalibrated: branch.calibrator_lost };
+        return BranchOutcome {
+            conf,
+            fail,
+            uncalibrated: branch.calibrator_lost,
+            scaler_refit: false,
+        };
     }
 
-    let scaled = ConfidenceScaler::fit(&finite_raw).scale_all(&finite_raw);
+    let (scaled, scaler_refit) = match (pinned, &branch.scaler) {
+        (true, Some(sc)) => (sc.scale_all(&finite_raw), false),
+        (true, None) => {
+            obs::counter_add("infer.scaler_fallbacks", 1);
+            obs::warn!(
+                "model.infer",
+                "{encode_site} has no pinned scaler; refitting on the batch (degraded)"
+            );
+            (ConfidenceScaler::fit(&finite_raw).scale_all(&finite_raw), true)
+        }
+        (false, _) => (ConfidenceScaler::fit(&finite_raw).scale_all(&finite_raw), false),
+    };
     let calibrated = match (&branch.calibrator, branch.calibrator_lost) {
         (Some(cal), _) => {
             match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
@@ -533,7 +672,7 @@ fn score_branch<S: BranchScorer>(
             }
         }
     }
-    BranchOutcome { conf, fail, uncalibrated }
+    BranchOutcome { conf, fail, uncalibrated, scaler_refit }
 }
 
 // ---------------------------------------------------------------------------
@@ -598,7 +737,13 @@ impl TrainedModel {
         // sacrificing the encoder weights stored beside it.
         if let Some(b) = &self.gsg {
             let mut s = SectionWriter::new();
-            write_branch(&b.scorer.store, b.calibrator.is_some(), &b.scorer.history, &mut s);
+            write_branch(
+                &b.scorer.store,
+                b.calibrator.is_some(),
+                &b.scorer.history,
+                b.scaler.as_ref(),
+                &mut s,
+            );
             w.push(SEC_GSG, s);
             if let Some(cal) = &b.calibrator {
                 let mut s = SectionWriter::new();
@@ -608,7 +753,13 @@ impl TrainedModel {
         }
         if let Some(b) = &self.ldg {
             let mut s = SectionWriter::new();
-            write_branch(&b.scorer.store, b.calibrator.is_some(), &b.scorer.history, &mut s);
+            write_branch(
+                &b.scorer.store,
+                b.calibrator.is_some(),
+                &b.scorer.history,
+                b.scaler.as_ref(),
+                &mut s,
+            );
             w.push(SEC_LDG, s);
             if let Some(cal) = &b.calibrator {
                 let mut s = SectionWriter::new();
@@ -633,6 +784,18 @@ impl TrainedModel {
     /// [`TrainedModel::load`] from an in-memory container.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, ModelIoError> {
         let r = ModelReader::from_bytes(bytes)?;
+        Self::from_reader(&r, true).map(|(model, _)| model)
+    }
+
+    /// Load via a read-only memory mapping of the container file, so N
+    /// serving processes opening the same model share its pages. Section
+    /// checksums are verified on first touch (all load-bearing sections are
+    /// touched during reconstruction, so damage still surfaces here as a
+    /// typed error) and the weights are copied out during reconstruction —
+    /// the mapping itself is dropped when this returns.
+    pub fn load_mmap(path: impl AsRef<Path>) -> Result<Self, ModelIoError> {
+        let _span = obs::span("model.load");
+        let r = ModelReader::open_mmap(path)?;
         Self::from_reader(&r, true).map(|(model, _)| model)
     }
 
@@ -677,26 +840,29 @@ impl TrainedModel {
         let config = read_config(&mut s)?;
         s.expect_end(SEC_CONFIG)?;
 
-        let mut lost: Vec<String> = Vec::new();
+        let mut lost: Vec<LostSection> = Vec::new();
         let load_branch = |enabled: bool,
                            sec: &str,
                            cal_sec: &str,
-                           lost: &mut Vec<String>|
+                           lost: &mut Vec<LostSection>|
          -> Result<Option<BranchParts>, ModelIoError> {
             if !enabled {
                 return Ok(None);
             }
-            let branch = (|| -> Result<(ParamStore, bool, Vec<EpochStats>), ModelIoError> {
+            let branch = (|| -> Result<RawBranchParts, ModelIoError> {
                 let mut s = r.section(sec)?;
                 let parts = read_branch(&mut s)?;
                 s.expect_end(sec)?;
                 Ok(parts)
             })();
-            let (store, has_calibrator, history) = match branch {
+            let (store, has_calibrator, history, scaler) = match branch {
                 Ok(parts) => parts,
                 Err(e) if strict => return Err(e),
-                Err(_) => {
-                    lost.push(sec.to_string());
+                // The error itself is the evidence: a ChecksumMismatch
+                // carries the stored/computed CRCs, MissingSection and
+                // Corrupt say what was wrong.
+                Err(e) => {
+                    lost.push(LostSection { name: sec.to_string(), reason: e.to_string() });
                     return Ok(None);
                 }
             };
@@ -715,25 +881,27 @@ impl TrainedModel {
                     // Strictly loading a file whose calibrator section is
                     // missing or malformed fails like any other damage.
                     Err(e) if strict => return Err(e),
-                    Err(_) => {
-                        lost.push(cal_sec.to_string());
+                    Err(e) => {
+                        lost.push(LostSection { name: cal_sec.to_string(), reason: e.to_string() });
                         (None, true)
                     }
                 }
             };
-            Ok(Some((store, history, calibrator, calibrator_lost)))
+            Ok(Some((store, history, calibrator, calibrator_lost, scaler)))
         };
 
         let gsg_parts = load_branch(config.use_gsg, SEC_GSG, SEC_GSG_CAL, &mut lost)?;
         let ldg_parts = load_branch(config.use_ldg, SEC_LDG, SEC_LDG_CAL, &mut lost)?;
 
         let gsg = match gsg_parts {
-            Some((store, history, calibrator, calibrator_lost)) => {
+            Some((store, history, calibrator, calibrator_lost, scaler)) => {
                 match rebuild_gsg(&config, &store, history) {
-                    Ok(scorer) => Some(TrainedBranch { scorer, calibrator, calibrator_lost }),
+                    Ok(scorer) => {
+                        Some(TrainedBranch { scorer, calibrator, calibrator_lost, scaler })
+                    }
                     Err(e) if strict => return Err(e),
-                    Err(_) => {
-                        lost.push(SEC_GSG.to_string());
+                    Err(e) => {
+                        lost.push(LostSection { name: SEC_GSG.to_string(), reason: e.to_string() });
                         None
                     }
                 }
@@ -741,12 +909,14 @@ impl TrainedModel {
             None => None,
         };
         let ldg = match ldg_parts {
-            Some((store, history, calibrator, calibrator_lost)) => {
+            Some((store, history, calibrator, calibrator_lost, scaler)) => {
                 match rebuild_ldg(&config, &store, history) {
-                    Ok(scorer) => Some(TrainedBranch { scorer, calibrator, calibrator_lost }),
+                    Ok(scorer) => {
+                        Some(TrainedBranch { scorer, calibrator, calibrator_lost, scaler })
+                    }
                     Err(e) if strict => return Err(e),
-                    Err(_) => {
-                        lost.push(SEC_LDG.to_string());
+                    Err(e) => {
+                        lost.push(LostSection { name: SEC_LDG.to_string(), reason: e.to_string() });
                         None
                     }
                 }
@@ -770,6 +940,7 @@ fn write_branch(
     store: &ParamStore,
     has_calibrator: bool,
     history: &[EpochStats],
+    scaler: Option<&ConfidenceScaler>,
     s: &mut SectionWriter,
 ) {
     store.write_section(s);
@@ -782,11 +953,21 @@ fn write_branch(
         s.put_f32(e.loss);
         s.put_f32(e.contrastive);
     }
+    // Format v3: the train-time confidence scaler rides with the branch, so
+    // a serving process can pin scaling instead of refitting per batch.
+    s.put_bool(scaler.is_some());
+    if let Some(sc) = scaler {
+        s.put_f64(sc.mean);
+        s.put_f64(sc.std);
+    }
 }
 
-type BranchParts = (ParamStore, Vec<EpochStats>, Option<AdaptiveCalibrator>, bool);
+type BranchParts =
+    (ParamStore, Vec<EpochStats>, Option<AdaptiveCalibrator>, bool, Option<ConfidenceScaler>);
 
-fn read_branch(s: &mut SectionReader) -> Result<(ParamStore, bool, Vec<EpochStats>), ModelIoError> {
+type RawBranchParts = (ParamStore, bool, Vec<EpochStats>, Option<ConfidenceScaler>);
+
+fn read_branch(s: &mut SectionReader) -> Result<RawBranchParts, ModelIoError> {
     let store = ParamStore::read_section(s)?;
     let has_calibrator = s.get_bool()?;
     let n = s.get_usize()?;
@@ -797,7 +978,14 @@ fn read_branch(s: &mut SectionReader) -> Result<(ParamStore, bool, Vec<EpochStat
     for _ in 0..n {
         history.push(EpochStats { loss: s.get_f32()?, contrastive: s.get_f32()? });
     }
-    Ok((store, has_calibrator, history))
+    // Absent only in branch payloads written before v3: such models serve
+    // with batch-refitted scaling and flag pinned-scaling requests degraded.
+    let scaler = if s.remaining() > 0 && s.get_bool()? {
+        Some(ConfidenceScaler { mean: s.get_f64()?, std: s.get_f64()? })
+    } else {
+        None
+    };
+    Ok((store, has_calibrator, history, scaler))
 }
 
 /// Rebuild an encoder from saved weights: construct a fresh architecture

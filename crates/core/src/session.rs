@@ -10,7 +10,7 @@
 //! let session = Session::open_lenient("model.dbgm")?;
 //! let report = session.score(&accounts);
 //! // Or, strict serving on an explicit thread count:
-//! let opts = InferOptions { strict: true, threads: Some(1) };
+//! let opts = InferOptions { strict: true, threads: Some(1), ..InferOptions::default() };
 //! let report = session.score_with(&accounts, &opts)?;
 //! # Ok::<(), dbg4eth::Error>(())
 //! ```
@@ -20,17 +20,18 @@
 
 use crate::config::{ConfigError, Dbg4EthConfig};
 use crate::error::Error;
-use crate::model::{infer_impl, train_impl, DegradedLoad, InferReport, TrainedModel};
+use crate::model::{infer_impl, train_impl, DegradedLoad, InferReport, InferRun, TrainedModel};
 use crate::pipeline::RunOutput;
 use eth_graph::Subgraph;
 use eth_sim::GraphDataset;
 use std::path::Path;
+use std::time::Instant;
 
 /// How [`Session::score_with`] serves a batch.
 ///
-/// The default (`strict: false`, `threads: None`) reproduces
-/// [`Session::score`]: graceful per-account degradation on the model's
-/// configured thread count.
+/// The default (`strict: false`, `threads: None`, no deadline, batch
+/// scaling) reproduces [`Session::score`]: graceful per-account degradation
+/// on the model's configured thread count.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct InferOptions {
     /// Fail the whole batch with the first account's typed
@@ -40,6 +41,18 @@ pub struct InferOptions {
     /// resolved count. Either way `DBG4ETH_THREADS` wins, and the scores
     /// are bit-identical at every setting.
     pub threads: Option<usize>,
+    /// Cooperative per-request deadline, checked at stage boundaries.
+    /// Accounts unresolved when it passes get
+    /// [`crate::ScoreError::DeadlineExceeded`]; resolved accounts keep
+    /// their bit-exact scores. `None` never cancels.
+    pub deadline: Option<Instant>,
+    /// Scale branch confidences with the scaler pinned at train time
+    /// (format v3) instead of refitting on this batch, so an account's
+    /// score does not depend on what else shares the request — the
+    /// invariant the serve cache and singleton batches need. Models saved
+    /// before v3 carry no scaler; they fall back to batch refitting and
+    /// flag the scores degraded (`infer.scaler_fallbacks`).
+    pub pinned_scaling: bool,
 }
 
 /// A trained model ready to score accounts.
@@ -82,6 +95,13 @@ impl Session {
         Ok(Self { model, degradation })
     }
 
+    /// Open a model file through a read-only memory mapping (see
+    /// [`TrainedModel::load_mmap`]): strict validation, section checksums
+    /// verified on first touch, container pages shared across processes.
+    pub fn open_mmap(path: impl AsRef<Path>) -> Result<Self, Error> {
+        Ok(Self::from_model(TrainedModel::load_mmap(path)?))
+    }
+
     /// Wrap an already-loaded model (no degradation).
     #[must_use]
     pub fn from_model(model: TrainedModel) -> Self {
@@ -116,12 +136,14 @@ impl Session {
     /// configured thread count. Equivalent to the deprecated
     /// `infer_detailed`, bit for bit.
     pub fn score(&self, accounts: &[Subgraph]) -> InferReport {
-        infer_impl(&self.model, accounts, self.model.config.threads())
+        infer_impl(&self.model, accounts, self.model.config.threads(), InferRun::default())
     }
 
     /// [`Session::score`] with explicit [`InferOptions`]. With
     /// `strict: true` the first unscorable account fails the batch with its
-    /// typed reason; scores themselves are unchanged by any option.
+    /// typed reason; scores themselves are unchanged by any option (a
+    /// deadline can replace them with typed errors, and `pinned_scaling`
+    /// switches to the batch-independent train-time scaler).
     pub fn score_with(
         &self,
         accounts: &[Subgraph],
@@ -129,7 +151,8 @@ impl Session {
     ) -> Result<InferReport, Error> {
         let threads =
             options.threads.map_or_else(|| self.model.config.threads(), par::resolve_threads);
-        let report = infer_impl(&self.model, accounts, threads);
+        let run = InferRun { deadline: options.deadline, pinned_scaling: options.pinned_scaling };
+        let report = infer_impl(&self.model, accounts, threads, run);
         if options.strict {
             if let Some(e) = report.scores.iter().find_map(|r| r.as_ref().err()) {
                 return Err(e.clone().into());
@@ -194,7 +217,7 @@ mod tests {
         );
 
         // Thread override and strict mode change nothing on clean inputs.
-        let opts = InferOptions { strict: true, threads: Some(8) };
+        let opts = InferOptions { strict: true, threads: Some(8), ..InferOptions::default() };
         let eight = session.score_with(&accounts, &opts).expect("strict clean scoring");
         assert_eq!(bits(&new), bits(&eight));
 

@@ -23,7 +23,7 @@
 //! plus `faults.fired` / `faults.fired.<site>` counters, so injected chaos
 //! is visible in the JSON run-report next to the degradations it caused.
 //!
-//! The four kinds and the degradation they exercise (see DESIGN.md,
+//! The five kinds and the degradation they exercise (see DESIGN.md,
 //! "Failure modes & degradation"):
 //!
 //! | kind      | helper                      | typical site                |
@@ -32,6 +32,11 @@
 //! | `panic`   | [`maybe_panic`]             | `par.task:7`, `calib.apply` |
 //! | `corrupt` | [`corrupts`] (byte flips)   | `model.gsg.cal`             |
 //! | `drop`    | [`drops`]                   | `account:12`                |
+//! | `stall`   | [`stalls`]                  | `serve.client:2`            |
+//!
+//! Every documented injection site is listed by [`sites`], so harnesses
+//! (the `serve` daemon, the traffic replayer) can validate a plan at
+//! startup instead of silently ignoring a typo'd site for a whole run.
 
 use std::fmt;
 use std::sync::atomic::{AtomicU8, Ordering};
@@ -40,7 +45,7 @@ use std::sync::{Mutex, OnceLock};
 /// Environment variable holding the fault plan for this process.
 pub const FAULTS_ENV: &str = "DBG4ETH_FAULTS";
 
-/// The four injectable failure modes.
+/// The five injectable failure modes.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum FaultKind {
     /// Replace a produced value with `f64::NAN` ([`poison_f64`]).
@@ -51,13 +56,15 @@ pub enum FaultKind {
     Corrupt,
     /// Drop the indexed item before it is processed ([`drops`]).
     Drop,
+    /// Stall the indexed actor (slow client, sleeping worker; [`stalls`]).
+    Stall,
 }
 
 impl FaultKind {
-    pub const ALL: [FaultKind; 4] =
-        [FaultKind::Nan, FaultKind::Panic, FaultKind::Corrupt, FaultKind::Drop];
+    pub const ALL: [FaultKind; 5] =
+        [FaultKind::Nan, FaultKind::Panic, FaultKind::Corrupt, FaultKind::Drop, FaultKind::Stall];
 
-    /// The spec keyword (`nan`, `panic`, `corrupt`, `drop`).
+    /// The spec keyword (`nan`, `panic`, `corrupt`, `drop`, `stall`).
     #[must_use]
     pub fn keyword(self) -> &'static str {
         match self {
@@ -65,12 +72,56 @@ impl FaultKind {
             FaultKind::Panic => "panic",
             FaultKind::Corrupt => "corrupt",
             FaultKind::Drop => "drop",
+            FaultKind::Stall => "stall",
         }
     }
 
     fn from_keyword(word: &str) -> Option<Self> {
         Self::ALL.into_iter().find(|k| k.keyword() == word)
     }
+
+    /// All spec keywords, comma-joined — the "expected one of" half of a
+    /// parse error.
+    fn keywords() -> String {
+        let words: Vec<&str> = Self::ALL.iter().map(|k| k.keyword()).collect();
+        words.join(", ")
+    }
+}
+
+/// Every documented injection site in the workspace, in dotted-name order.
+/// `model.*` covers the container sections (`model.config`, `model.gsg`,
+/// `model.ldg`, `model.gsg.cal`, `model.ldg.cal`, `model.classifier`) plus
+/// the `model.calib` alias that hits both calibrator sections at once.
+///
+/// Harnesses that take a plan from the environment ([`FAULTS_ENV`]) should
+/// check each spec's site against this list at startup and refuse unknown
+/// ones loudly — a typo'd site otherwise degrades a chaos run into a clean
+/// run without anyone noticing.
+#[must_use]
+pub fn sites() -> &'static [&'static str] {
+    &[
+        "account",
+        "boost.predict",
+        "calib.apply",
+        "calib.scale",
+        "features.deep",
+        "gnn.lower",
+        "gsg.encode",
+        "ldg.encode",
+        "model.calib",
+        "model.classifier",
+        "model.config",
+        "model.gsg",
+        "model.gsg.cal",
+        "model.ldg",
+        "model.ldg.cal",
+        "par.task",
+        "serve.client",
+        "serve.conn",
+        "serve.frame",
+        "serve.worker",
+        "sim.tx",
+    ]
 }
 
 /// One parsed `kind@site[:index]` spec.
@@ -96,32 +147,60 @@ impl fmt::Display for Fault {
 /// A typed fault-spec parse failure. Parsing never panics: a malformed
 /// `DBG4ETH_FAULTS` surfaces as one loud warning and an empty plan, so a
 /// typo in a chaos run can never silently become a clean run *crash*.
+/// Every variant carries `clause`, the 1-based position of the offending
+/// `kind@site[:index]` item in the comma-separated list, so a long plan's
+/// error message points at exactly the clause to fix.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum FaultSpecError {
     /// A spec with no `@` separator.
-    MissingSite { spec: String },
+    MissingSite { spec: String, clause: usize },
     /// An unknown fault keyword before the `@`.
-    UnknownKind { kind: String },
+    UnknownKind { kind: String, clause: usize },
     /// An empty or whitespace site name.
-    EmptySite { spec: String },
+    EmptySite { spec: String, clause: usize },
     /// A `:index` suffix that is not a non-negative integer.
-    BadIndex { spec: String, index: String },
+    BadIndex { spec: String, index: String, clause: usize },
+}
+
+impl FaultSpecError {
+    /// The 1-based position of the offending clause in the spec list.
+    #[must_use]
+    pub fn clause(&self) -> usize {
+        match self {
+            FaultSpecError::MissingSite { clause, .. }
+            | FaultSpecError::UnknownKind { clause, .. }
+            | FaultSpecError::EmptySite { clause, .. }
+            | FaultSpecError::BadIndex { clause, .. } => *clause,
+        }
+    }
 }
 
 impl fmt::Display for FaultSpecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            FaultSpecError::MissingSite { spec } => {
-                write!(f, "fault spec '{spec}' has no '@site' part (expected kind@site[:index])")
+            FaultSpecError::MissingSite { spec, clause } => {
+                write!(
+                    f,
+                    "clause {clause} '{spec}' has no '@site' part \
+                     (expected kind@site[:index], e.g. nan@gsg.encode:3)"
+                )
             }
-            FaultSpecError::UnknownKind { kind } => {
-                write!(f, "unknown fault kind '{kind}' (expected nan, panic, corrupt or drop)")
+            FaultSpecError::UnknownKind { kind, clause } => {
+                write!(
+                    f,
+                    "clause {clause} has unknown fault kind '{kind}' (expected one of: {})",
+                    FaultKind::keywords()
+                )
             }
-            FaultSpecError::EmptySite { spec } => {
-                write!(f, "fault spec '{spec}' has an empty site name")
+            FaultSpecError::EmptySite { spec, clause } => {
+                write!(
+                    f,
+                    "clause {clause} '{spec}' has an empty site name (known sites: {})",
+                    sites().join(", ")
+                )
             }
-            FaultSpecError::BadIndex { spec, index } => {
-                write!(f, "fault spec '{spec}' has a non-integer index '{index}'")
+            FaultSpecError::BadIndex { spec, index, clause } => {
+                write!(f, "clause {clause} '{spec}' has a non-integer index '{index}'")
             }
         }
     }
@@ -140,33 +219,50 @@ impl FaultPlan {
     /// specs and empty items are ignored, so trailing commas are harmless.
     pub fn parse(spec: &str) -> Result<Self, FaultSpecError> {
         let mut faults = Vec::new();
-        for item in spec.split(',') {
+        for (pos, item) in spec.split(',').enumerate() {
+            let clause = pos + 1;
             let item = item.trim();
             if item.is_empty() {
                 continue;
             }
             let (kind, rest) = item
                 .split_once('@')
-                .ok_or_else(|| FaultSpecError::MissingSite { spec: item.to_string() })?;
-            let kind = FaultKind::from_keyword(kind.trim())
-                .ok_or_else(|| FaultSpecError::UnknownKind { kind: kind.trim().to_string() })?;
+                .ok_or_else(|| FaultSpecError::MissingSite { spec: item.to_string(), clause })?;
+            let kind = FaultKind::from_keyword(kind.trim()).ok_or_else(|| {
+                FaultSpecError::UnknownKind { kind: kind.trim().to_string(), clause }
+            })?;
             let (site, index) = match rest.split_once(':') {
                 Some((site, idx)) => {
                     let parsed =
                         idx.trim().parse::<usize>().map_err(|_| FaultSpecError::BadIndex {
                             spec: item.to_string(),
                             index: idx.trim().to_string(),
+                            clause,
                         })?;
                     (site.trim(), Some(parsed))
                 }
                 None => (rest.trim(), None),
             };
             if site.is_empty() {
-                return Err(FaultSpecError::EmptySite { spec: item.to_string() });
+                return Err(FaultSpecError::EmptySite { spec: item.to_string(), clause });
             }
             faults.push(Fault { kind, site: site.to_string(), index });
         }
         Ok(Self { faults })
+    }
+
+    /// The sites named by this plan that are not in the documented
+    /// [`sites`] list — what a harness should refuse (or at least shout
+    /// about) at startup.
+    #[must_use]
+    pub fn unknown_sites(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::new();
+        for f in &self.faults {
+            if !sites().contains(&f.site.as_str()) && !out.contains(&f.site.as_str()) {
+                out.push(&f.site);
+            }
+        }
+        out
     }
 
     #[must_use]
@@ -332,6 +428,16 @@ pub fn corrupts(site: &str) -> bool {
     fires(FaultKind::Corrupt, site, None)
 }
 
+/// Should the actor at `(site, index)` stall? The caller owns the sleeping
+/// (a replayer client dribbling its frame one byte at a time, a serve
+/// worker holding a request past its deadline) — only it knows what "slow"
+/// means at its site.
+#[inline]
+#[must_use]
+pub fn stalls(site: &str, index: Option<usize>) -> bool {
+    fires(FaultKind::Stall, site, index)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -393,9 +499,43 @@ mod tests {
         ));
         assert!(matches!(FaultPlan::parse("nan@"), Err(FaultSpecError::EmptySite { .. })));
         assert!(matches!(FaultPlan::parse("nan@x:alpha"), Err(FaultSpecError::BadIndex { .. })));
-        // Errors render.
+        // Errors render, name the offending clause, and list the valid kinds.
         let e = FaultPlan::parse("explode@x").unwrap_err();
         assert!(e.to_string().contains("explode"));
+        assert!(e.to_string().contains("clause 1"));
+        assert!(e.to_string().contains("stall"), "valid kinds listed: {e}");
+    }
+
+    #[test]
+    fn parse_errors_point_at_the_offending_clause() {
+        let e = FaultPlan::parse("drop@account:1,nan@gsg.encode,boom@par.task").unwrap_err();
+        assert_eq!(e.clause(), 3);
+        assert!(matches!(e, FaultSpecError::UnknownKind { ref kind, .. } if kind == "boom"));
+        let e = FaultPlan::parse("drop@account:1,nan@x:seven").unwrap_err();
+        assert_eq!(e.clause(), 2);
+        assert!(e.to_string().contains("clause 2"));
+    }
+
+    #[test]
+    fn stall_kind_parses_and_fires() {
+        let _guard = global_lock();
+        let plan = FaultPlan::parse("stall@serve.client:2").unwrap();
+        assert!(plan.matches(FaultKind::Stall, "serve.client", Some(2)));
+        set_plan(Some(plan));
+        assert!(stalls("serve.client", Some(2)));
+        assert!(!stalls("serve.client", Some(1)));
+        set_plan(None);
+        assert!(!stalls("serve.client", Some(2)));
+    }
+
+    #[test]
+    fn sites_cover_the_serving_path_and_flag_unknowns() {
+        for site in ["serve.conn", "serve.frame", "serve.worker", "serve.client", "par.task"] {
+            assert!(sites().contains(&site), "{site} missing from sites()");
+        }
+        let plan = FaultPlan::parse("drop@serve.conn:0,nan@gsg.encod:1,panic@typo.site").unwrap();
+        assert_eq!(plan.unknown_sites(), ["gsg.encod", "typo.site"]);
+        assert!(FaultPlan::parse("drop@serve.conn").unwrap().unknown_sites().is_empty());
     }
 
     #[test]

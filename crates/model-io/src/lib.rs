@@ -27,6 +27,7 @@
 
 mod crc;
 mod error;
+mod mmap;
 mod reader;
 mod writer;
 
@@ -42,7 +43,11 @@ pub const MAGIC: [u8; 4] = *b"DBGM";
 /// calibration ensembles out of the encoder-branch sections into their own
 /// `gsg.cal`/`ldg.cal` sections, so a damaged calibrator can be detected —
 /// and degraded around — without losing the encoder weights beside it.
-pub const FORMAT_VERSION: u32 = 2;
+/// Version 3 appends the train-time confidence scaler (mean/std fitted on
+/// the holdout split) to each encoder-branch section, so a serving process
+/// can score singleton batches without batch-composition-dependent scaling;
+/// v3 is also the first version loadable via [`ModelReader::open_mmap`].
+pub const FORMAT_VERSION: u32 = 3;
 
 /// Hard cap on a section name, so a corrupted length field cannot trigger
 /// a pathological allocation before the checksum is ever consulted.
@@ -207,13 +212,83 @@ mod tests {
         assert_eq!(damaged.len(), 1);
         assert_eq!(damaged[0].name, "alpha");
         assert_ne!(damaged[0].stored, damaged[0].computed);
-        // The damaged section is gone, the intact one still reads.
-        assert!(matches!(r.section("alpha"), Err(ModelIoError::MissingSection { .. })));
+        // The damaged section is quarantined with its evidence; the intact
+        // one still reads.
+        match r.section("alpha") {
+            Err(ModelIoError::ChecksumMismatch { section, stored, computed }) => {
+                assert_eq!(section, "alpha");
+                assert_eq!((stored, computed), (damaged[0].stored, damaged[0].computed));
+            }
+            other => panic!("expected ChecksumMismatch, got {other:?}"),
+        }
         assert_eq!(r.section("beta").unwrap().get_u64().unwrap(), 2);
         // Structural damage is still fatal even leniently.
         let mut bad = bytes.clone();
         bad[0] = b'X';
         assert!(ModelReader::from_bytes_lenient(&bad).is_err());
+    }
+
+    #[test]
+    fn mmap_load_round_trips_and_defers_crc_to_first_touch() {
+        let mut w = ModelWriter::new();
+        let mut a = SectionWriter::new();
+        a.put_f64s(&[1.5, -2.25, f64::NAN]);
+        w.push("alpha", a);
+        let mut b = SectionWriter::new();
+        b.put_str("mapped");
+        w.push("beta", b);
+        let mut bytes = w.to_bytes();
+        assert!(corrupt_section(&mut bytes, "beta"));
+
+        let path = std::env::temp_dir().join(format!("dbg4eth-modelio-{}.bin", std::process::id()));
+        std::fs::write(&path, &bytes).unwrap();
+        // Structure parses even though one checksum is bad — the damage is
+        // only discovered when that section is first touched.
+        let r = ModelReader::open_mmap(&path).unwrap();
+        let names: Vec<&str> = r.section_names().collect();
+        assert_eq!(names, ["alpha", "beta"]);
+        let vals = r.section("alpha").unwrap().get_f64s().unwrap();
+        assert_eq!(vals[0].to_bits(), 1.5f64.to_bits());
+        assert_eq!(vals[2].to_bits(), f64::NAN.to_bits());
+        match r.section("beta") {
+            Err(ModelIoError::ChecksumMismatch { section, stored, computed }) => {
+                assert_eq!(section, "beta");
+                assert_ne!(stored, computed);
+            }
+            other => panic!("expected ChecksumMismatch on first touch, got {other:?}"),
+        }
+        // The verdict is sticky: a second touch fails identically.
+        assert!(matches!(r.section("beta"), Err(ModelIoError::ChecksumMismatch { .. })));
+        drop(r);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mmap_load_rejects_structural_damage_eagerly() {
+        let mut bytes = ModelWriter::new().to_bytes();
+        bytes[0] = b'X';
+        let path =
+            std::env::temp_dir().join(format!("dbg4eth-modelio-bad-{}.bin", std::process::id()));
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(ModelReader::open_mmap(&path), Err(ModelIoError::BadMagic { .. })));
+        std::fs::remove_file(&path).ok();
+        // A missing file is a typed Io error, not a panic.
+        assert!(matches!(
+            ModelReader::open_mmap("/nonexistent/dbg4eth-model.bin"),
+            Err(ModelIoError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn section_reader_new_walks_a_raw_buffer() {
+        let mut w = SectionWriter::new();
+        w.put_u32(9);
+        w.put_str("frame");
+        let bytes = w.into_bytes();
+        let mut r = SectionReader::new(&bytes);
+        assert_eq!(r.get_u32().unwrap(), 9);
+        assert_eq!(r.get_str().unwrap(), "frame");
+        r.expect_end("wire").unwrap();
     }
 
     #[test]

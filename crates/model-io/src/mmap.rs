@@ -1,0 +1,239 @@
+//! Read-only memory mapping without a libc dependency.
+//!
+//! The serving daemon loads one model container per process; mapping the
+//! file read-only instead of heap-copying it lets N server processes share
+//! the same physical pages (the kernel's page cache) and makes startup
+//! O(sections) instead of O(bytes). The workspace builds offline with no
+//! registry access, so there is no `libc`/`memmap2` to lean on — on Linux
+//! (x86_64 / aarch64) the map is made with raw `mmap`/`munmap` syscalls;
+//! everywhere else [`Map::open`] degrades to an ordinary heap read with the
+//! same API, so callers never need to care.
+//!
+//! The mapping is `PROT_READ` + `MAP_PRIVATE`: nothing here can write
+//! through to the file, and the checksum layer above detects on-disk
+//! corruption on first touch. Truncating the file while it is mapped is
+//! undefined behaviour at the OS level (SIGBUS on touch), as with any mmap
+//! consumer; the model container is written atomically (`write → rename`)
+//! precisely so live files are never truncated in place.
+
+use std::path::Path;
+
+#[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
+mod imp {
+    use super::Path;
+    use std::fs::File;
+    use std::io;
+
+    const PROT_READ: usize = 1;
+    const MAP_PRIVATE: usize = 2;
+
+    #[cfg(target_arch = "x86_64")]
+    const SYS_MMAP: usize = 9;
+    #[cfg(target_arch = "x86_64")]
+    const SYS_MUNMAP: usize = 11;
+    #[cfg(target_arch = "aarch64")]
+    const SYS_MMAP: usize = 222;
+    #[cfg(target_arch = "aarch64")]
+    const SYS_MUNMAP: usize = 215;
+
+    /// `mmap(NULL, len, PROT_READ, MAP_PRIVATE, fd, 0)` as a raw syscall.
+    /// Returns the mapped address, or a negative errno in `-4095..0`.
+    unsafe fn sys_mmap(len: usize, fd: i32) -> isize {
+        let ret: isize;
+        #[cfg(target_arch = "x86_64")]
+        std::arch::asm!(
+            "syscall",
+            inlateout("rax") SYS_MMAP as isize => ret,
+            in("rdi") 0usize,
+            in("rsi") len,
+            in("rdx") PROT_READ,
+            in("r10") MAP_PRIVATE,
+            in("r8") fd as isize,
+            in("r9") 0usize,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack),
+        );
+        #[cfg(target_arch = "aarch64")]
+        std::arch::asm!(
+            "svc #0",
+            inlateout("x0") 0usize => ret,
+            in("x1") len,
+            in("x2") PROT_READ,
+            in("x3") MAP_PRIVATE,
+            in("x4") fd as isize,
+            in("x5") 0usize,
+            in("x8") SYS_MMAP,
+            options(nostack),
+        );
+        ret
+    }
+
+    unsafe fn sys_munmap(addr: *const u8, len: usize) -> isize {
+        let ret: isize;
+        #[cfg(target_arch = "x86_64")]
+        std::arch::asm!(
+            "syscall",
+            inlateout("rax") SYS_MUNMAP as isize => ret,
+            in("rdi") addr,
+            in("rsi") len,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack),
+        );
+        #[cfg(target_arch = "aarch64")]
+        std::arch::asm!(
+            "svc #0",
+            inlateout("x0") addr => ret,
+            in("x1") len,
+            in("x8") SYS_MUNMAP,
+            options(nostack),
+        );
+        ret
+    }
+
+    /// A read-only private mapping of a whole file.
+    pub struct Map {
+        ptr: *const u8,
+        len: usize,
+    }
+
+    // The mapping is immutable for its whole lifetime and freed exactly
+    // once in Drop, so sharing it across threads is sound.
+    unsafe impl Send for Map {}
+    unsafe impl Sync for Map {}
+
+    impl Map {
+        pub fn open(path: &Path) -> io::Result<Self> {
+            use std::os::unix::io::AsRawFd;
+            let file = File::open(path)?;
+            let len = usize::try_from(file.metadata()?.len())
+                .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "file too large"))?;
+            if len == 0 {
+                // mmap rejects zero-length maps; an empty file is an empty
+                // slice, no mapping needed.
+                return Ok(Self { ptr: std::ptr::null(), len: 0 });
+            }
+            // The mapping outlives the fd: closing the file after mmap is
+            // fine, the pages stay valid until munmap.
+            let ret = unsafe { sys_mmap(len, file.as_raw_fd()) };
+            if (-4095..0).contains(&ret) {
+                #[allow(clippy::cast_possible_truncation)]
+                return Err(io::Error::from_raw_os_error(-ret as i32));
+            }
+            Ok(Self { ptr: ret as *const u8, len })
+        }
+
+        #[must_use]
+        pub fn bytes(&self) -> &[u8] {
+            if self.len == 0 {
+                return &[];
+            }
+            // Safety: ptr/len describe a live PROT_READ mapping owned by
+            // self; it is unmapped only in Drop.
+            unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+        }
+
+        /// Whether this build actually maps pages (false on the heap-read
+        /// fallback used off Linux).
+        #[must_use]
+        pub fn is_mapped(&self) -> bool {
+            !self.ptr.is_null()
+        }
+    }
+
+    impl Drop for Map {
+        fn drop(&mut self) {
+            if !self.ptr.is_null() {
+                // Failure here is unrecoverable and harmless (the address
+                // range just stays reserved); nothing useful to do with it.
+                let _ = unsafe { sys_munmap(self.ptr, self.len) };
+            }
+        }
+    }
+}
+
+#[cfg(not(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64"))))]
+mod imp {
+    use super::Path;
+    use std::io;
+
+    /// Heap-read fallback with the mapping API: same behaviour, no page
+    /// sharing. Keeps every caller portable without a cfg in sight.
+    pub struct Map {
+        buf: Vec<u8>,
+    }
+
+    impl Map {
+        pub fn open(path: &Path) -> io::Result<Self> {
+            Ok(Self { buf: std::fs::read(path)? })
+        }
+
+        #[must_use]
+        pub fn bytes(&self) -> &[u8] {
+            &self.buf
+        }
+
+        #[must_use]
+        pub fn is_mapped(&self) -> bool {
+            false
+        }
+    }
+}
+
+pub(crate) use imp::Map;
+
+impl std::fmt::Debug for Map {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Map")
+            .field("len", &self.bytes().len())
+            .field("mapped", &self.is_mapped())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_a_file_and_reads_it_back() {
+        let path = std::env::temp_dir().join(format!("dbg4eth-mmap-{}.bin", std::process::id()));
+        let payload: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
+        std::fs::write(&path, &payload).unwrap();
+        let map = Map::open(&path).unwrap();
+        assert_eq!(map.bytes(), &payload[..]);
+        drop(map);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_file_maps_to_an_empty_slice() {
+        let path =
+            std::env::temp_dir().join(format!("dbg4eth-mmap-empty-{}.bin", std::process::id()));
+        std::fs::write(&path, b"").unwrap();
+        let map = Map::open(&path).unwrap();
+        assert!(map.bytes().is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error() {
+        assert!(Map::open(Path::new("/nonexistent/dbg4eth-mmap-test")).is_err());
+    }
+
+    #[test]
+    fn map_is_shareable_across_threads() {
+        let path =
+            std::env::temp_dir().join(format!("dbg4eth-mmap-threads-{}.bin", std::process::id()));
+        std::fs::write(&path, vec![7u8; 4096]).unwrap();
+        let map = std::sync::Arc::new(Map::open(&path).unwrap());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let m = std::sync::Arc::clone(&map);
+                s.spawn(move || assert!(m.bytes().iter().all(|&b| b == 7)));
+            }
+        });
+        std::fs::remove_file(&path).ok();
+    }
+}

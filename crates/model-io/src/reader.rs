@@ -1,24 +1,90 @@
 //! Parsing and validating a model container.
 //!
-//! All structural validation happens up front in [`ModelReader::from_bytes`]:
-//! magic, version, section framing and every section checksum. By the time a
-//! caller holds a [`SectionReader`], the bytes it walks are known-intact, so
-//! any remaining failure (bad enum tag, short payload) is a logic-level
+//! Structural validation (magic, version, section framing) always happens up
+//! front; checksum validation is either eager or lazy depending on how the
+//! container was opened:
+//!
+//! - [`ModelReader::from_bytes`] / [`ModelReader::read_from`] verify every
+//!   section CRC immediately — by the time a caller holds a
+//!   [`SectionReader`], the bytes it walks are known-intact.
+//! - [`ModelReader::from_bytes_lenient`] verifies eagerly too, but a
+//!   mismatch quarantines only that section instead of rejecting the whole
+//!   container.
+//! - [`ModelReader::open_mmap`] memory-maps the file and defers each
+//!   section's CRC to its first [`ModelReader::section`] call, so a serving
+//!   process pays for exactly the sections it touches and N processes share
+//!   the mapped pages.
+//!
+//! In every mode a section whose checksum disagrees is unreadable:
+//! [`ModelReader::section`] returns [`ModelIoError::ChecksumMismatch`] with
+//! the stored/computed evidence. Remaining failures inside a verified
+//! payload (bad enum tag, short payload) are logic-level
 //! [`ModelIoError::Corrupt`]/[`ModelIoError::Truncated`] — still typed,
 //! still no panic.
 
 use crate::crc::crc32_concat;
+use crate::mmap::Map;
 use crate::{ModelIoError, FORMAT_VERSION, MAGIC, MAX_NAME_LEN};
+use std::ops::Range;
 use std::path::Path;
+use std::sync::atomic::{AtomicU8, Ordering};
 
 /// A validated model container, indexing sections by name.
 #[derive(Debug)]
 pub struct ModelReader {
-    sections: Vec<(String, Vec<u8>)>,
+    backing: Backing,
+    sections: Vec<SectionMeta>,
 }
 
-/// A section whose stored checksum disagreed with its payload during a
-/// lenient parse — the payload is withheld, only the evidence is kept.
+/// Where the container's bytes live: an owned heap copy (the classic load
+/// path) or a read-only file mapping shared with other processes.
+#[derive(Debug)]
+enum Backing {
+    Owned(Vec<u8>),
+    Mapped(Map),
+}
+
+impl Backing {
+    fn bytes(&self) -> &[u8] {
+        match self {
+            Backing::Owned(v) => v,
+            Backing::Mapped(m) => m.bytes(),
+        }
+    }
+}
+
+/// CRC state of one section, advanced monotonically on first touch.
+const CRC_UNCHECKED: u8 = 0;
+const CRC_OK: u8 = 1;
+const CRC_BAD: u8 = 2;
+
+#[derive(Debug)]
+struct SectionMeta {
+    name: String,
+    /// Byte range of the payload within the backing buffer.
+    payload: Range<usize>,
+    stored: u32,
+    /// `CRC_UNCHECKED` → `CRC_OK`/`CRC_BAD`. Racing first touches compute
+    /// the same answer over immutable bytes, so relaxed ordering suffices.
+    state: AtomicU8,
+}
+
+impl SectionMeta {
+    fn verify(&self, bytes: &[u8]) -> u8 {
+        match self.state.load(Ordering::Relaxed) {
+            CRC_UNCHECKED => {
+                let computed = crc32_concat(&[self.name.as_bytes(), &bytes[self.payload.clone()]]);
+                let state = if computed == self.stored { CRC_OK } else { CRC_BAD };
+                self.state.store(state, Ordering::Relaxed);
+                state
+            }
+            state => state,
+        }
+    }
+}
+
+/// A section whose stored checksum disagreed with its payload — the payload
+/// is withheld, only the evidence is kept.
 #[derive(Debug, Clone)]
 pub struct DamagedSection {
     pub name: String,
@@ -34,14 +100,24 @@ pub struct SectionReader<'a> {
 }
 
 impl ModelReader {
-    /// Read and validate a container from a file.
+    /// Read a container into memory from a file and validate it eagerly.
     pub fn read_from(path: impl AsRef<Path>) -> Result<Self, ModelIoError> {
         Self::from_bytes(&std::fs::read(path)?)
     }
 
+    /// Memory-map a container file read-only. Structure (magic, version,
+    /// framing) is validated now; each section's checksum is validated
+    /// lazily on its first [`ModelReader::section`] call, so page faults
+    /// and CRC work happen only for sections actually touched.
+    pub fn open_mmap(path: impl AsRef<Path>) -> Result<Self, ModelIoError> {
+        let map = Map::open(path.as_ref())?;
+        let sections = Self::parse_structure(map.bytes())?;
+        Ok(Self { backing: Backing::Mapped(map), sections })
+    }
+
     /// Validate magic, version, framing and all checksums.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, ModelIoError> {
-        let (reader, damaged) = Self::parse(bytes)?;
+        let (reader, damaged) = Self::from_bytes_lenient(bytes)?;
         match damaged.into_iter().next() {
             None => Ok(reader),
             Some(d) => Err(ModelIoError::ChecksumMismatch {
@@ -52,19 +128,34 @@ impl ModelReader {
         }
     }
 
-    /// Like [`ModelReader::from_bytes`], but a checksum mismatch drops only
-    /// the damaged section instead of rejecting the whole container: the
-    /// intact sections remain readable and every damaged one is reported.
+    /// Like [`ModelReader::from_bytes`], but a checksum mismatch quarantines
+    /// only the damaged section instead of rejecting the whole container:
+    /// the intact sections remain readable and every damaged one is
+    /// reported. Reading a quarantined section later yields
+    /// [`ModelIoError::ChecksumMismatch`] with the same evidence.
     /// Structural damage (bad magic, version skew, broken framing) is still
     /// a hard error — without intact framing no section can be trusted.
     ///
     /// This is the read half of graceful degradation: `dbg4eth`'s degraded
     /// load path serves whatever branches survived single-section damage.
     pub fn from_bytes_lenient(bytes: &[u8]) -> Result<(Self, Vec<DamagedSection>), ModelIoError> {
-        Self::parse(bytes)
+        let sections = Self::parse_structure(bytes)?;
+        let mut damaged = Vec::new();
+        for meta in &sections {
+            if meta.verify(bytes) == CRC_BAD {
+                damaged.push(DamagedSection {
+                    name: meta.name.clone(),
+                    stored: meta.stored,
+                    computed: crc32_concat(&[meta.name.as_bytes(), &bytes[meta.payload.clone()]]),
+                });
+            }
+        }
+        Ok((Self { backing: Backing::Owned(bytes.to_vec()), sections }, damaged))
     }
 
-    fn parse(bytes: &[u8]) -> Result<(Self, Vec<DamagedSection>), ModelIoError> {
+    /// Walk the framing and record each section's name, payload range and
+    /// stored checksum — no CRC work, no payload copies.
+    fn parse_structure(bytes: &[u8]) -> Result<Vec<SectionMeta>, ModelIoError> {
         let mut cur = Cursor { buf: bytes, pos: 0 };
         let magic = cur.take(4, "magic")?;
         if magic != MAGIC {
@@ -79,7 +170,6 @@ impl ModelReader {
         }
         let n_sections = cur.u32("section count")? as usize;
         let mut sections = Vec::new();
-        let mut damaged = Vec::new();
         for _ in 0..n_sections {
             let name_len = cur.u32("section name length")? as usize;
             if name_len > MAX_NAME_LEN {
@@ -94,41 +184,56 @@ impl ModelReader {
                 })?
                 .to_string();
             let payload_len = cur.u64("section payload length")? as usize;
-            let payload = cur.take(payload_len, "section payload")?;
+            let start = cur.pos;
+            cur.take(payload_len, "section payload")?;
             let stored = cur.u32("section checksum")?;
-            let computed = crc32_concat(&[name.as_bytes(), payload]);
-            if stored != computed {
-                damaged.push(DamagedSection { name, stored, computed });
-            } else {
-                sections.push((name, payload.to_vec()));
-            }
+            sections.push(SectionMeta {
+                name,
+                payload: start..start + payload_len,
+                stored,
+                state: AtomicU8::new(CRC_UNCHECKED),
+            });
         }
         if cur.pos != bytes.len() {
             return Err(ModelIoError::Corrupt {
                 context: format!("{} trailing bytes after the last section", bytes.len() - cur.pos),
             });
         }
-        Ok((Self { sections }, damaged))
+        Ok(sections)
     }
 
-    /// Names of all sections, in file order.
+    /// Names of all sections, in file order (including any quarantined by a
+    /// lenient parse — they are present, just unreadable).
     pub fn section_names(&self) -> impl Iterator<Item = &str> {
-        self.sections.iter().map(|(n, _)| n.as_str())
+        self.sections.iter().map(|m| m.name.as_str())
     }
 
     /// Whether a section is present.
     #[must_use]
     pub fn has_section(&self, name: &str) -> bool {
-        self.sections.iter().any(|(n, _)| n == name)
+        self.sections.iter().any(|m| m.name == name)
     }
 
-    /// A cursor over the named section's (checksum-verified) payload.
+    /// A cursor over the named section's payload, verifying its checksum on
+    /// first touch. A damaged section yields
+    /// [`ModelIoError::ChecksumMismatch`] on every call.
     pub fn section(&self, name: &str) -> Result<SectionReader<'_>, ModelIoError> {
-        self.sections
+        let bytes = self.backing.bytes();
+        let meta = self
+            .sections
             .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, payload)| SectionReader { buf: payload, pos: 0 })
-            .ok_or_else(|| ModelIoError::MissingSection { name: name.to_string() })
+            .find(|m| m.name == name)
+            .ok_or_else(|| ModelIoError::MissingSection { name: name.to_string() })?;
+        match meta.verify(bytes) {
+            CRC_OK => Ok(SectionReader::new(&bytes[meta.payload.clone()])),
+            _ => Err(ModelIoError::ChecksumMismatch {
+                section: meta.name.clone(),
+                stored: meta.stored,
+                // Recomputed only on this cold error path; keeping the meta
+                // a bare state byte keeps the hot path allocation-free.
+                computed: crc32_concat(&[meta.name.as_bytes(), &bytes[meta.payload.clone()]]),
+            }),
+        }
     }
 }
 
@@ -159,7 +264,15 @@ impl<'a> Cursor<'a> {
     }
 }
 
-impl SectionReader<'_> {
+impl<'a> SectionReader<'a> {
+    /// Wrap a raw payload. Sections handed out by [`ModelReader::section`]
+    /// are checksum-verified; this constructor is also used for wire frames
+    /// (the serve protocol) where integrity comes from the transport.
+    #[must_use]
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
     fn take(&mut self, n: usize, context: &'static str) -> Result<&[u8], ModelIoError> {
         if self.buf.len() - self.pos < n {
             return Err(ModelIoError::Truncated { context });

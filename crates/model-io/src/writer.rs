@@ -85,7 +85,11 @@ impl SectionWriter {
         self.buf.is_empty()
     }
 
-    pub(crate) fn into_bytes(self) -> Vec<u8> {
+    /// Consume the writer and take the raw payload bytes. Besides container
+    /// sections, this backs wire frames (the serve protocol), where the
+    /// same primitives are framed by the transport instead of a CRC.
+    #[must_use]
+    pub fn into_bytes(self) -> Vec<u8> {
         self.buf
     }
 }

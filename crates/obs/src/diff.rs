@@ -2,13 +2,14 @@
 //! and the CI perf-regression gate.
 //!
 //! [`diff_reports`] compares two `dbg4eth.run-report` documents span by
-//! span (inclusive wall time) and counter by counter, producing a
-//! [`ReportDiff`] of per-key deltas. Spans named in
-//! [`DiffConfig::gate_spans`] *gate*: a gated span whose wall time grew by
-//! more than [`DiffConfig::threshold_pct`] (and by more than
-//! [`DiffConfig::min_ms`], to keep sub-millisecond noise from failing
-//! builds) marks the diff as a regression, which the binary turns into a
-//! non-zero exit code. A self-diff is always clean.
+//! span (inclusive wall time), histogram by histogram (p99 estimate) and
+//! counter by counter, producing a [`ReportDiff`] of per-key deltas. Spans
+//! named in [`DiffConfig::gate_spans`] and histograms named in
+//! [`DiffConfig::gate_hists`] *gate*: a gated value that grew by more than
+//! [`DiffConfig::threshold_pct`] (and by more than [`DiffConfig::min_ms`],
+//! to keep sub-millisecond noise from failing builds) marks the diff as a
+//! regression, which the binary turns into a non-zero exit code. A
+//! self-diff is always clean.
 
 use crate::json::Json;
 
@@ -18,6 +19,10 @@ pub struct DiffConfig {
     /// Span names whose inclusive wall-time growth gates the diff. Empty
     /// means nothing gates (the diff is informational only).
     pub gate_spans: Vec<String>,
+    /// Histogram names whose p99 estimate gates the diff — the latency
+    /// gate for serving-path histograms like `serve.request_latency_ms`,
+    /// where tail growth matters more than total time.
+    pub gate_hists: Vec<String>,
     /// Relative growth, in percent, above which a gated span regresses.
     pub threshold_pct: f64,
     /// Absolute growth floor in milliseconds: a gated span must grow by
@@ -28,7 +33,7 @@ pub struct DiffConfig {
 
 impl Default for DiffConfig {
     fn default() -> Self {
-        Self { gate_spans: Vec::new(), threshold_pct: 15.0, min_ms: 1.0 }
+        Self { gate_spans: Vec::new(), gate_hists: Vec::new(), threshold_pct: 15.0, min_ms: 1.0 }
     }
 }
 
@@ -49,6 +54,23 @@ pub struct SpanDelta {
     pub regressed: bool,
 }
 
+/// One compared histogram (p99 estimate).
+#[derive(Clone, Debug)]
+pub struct HistDelta {
+    pub name: String,
+    /// p99 estimate in the baseline report.
+    pub baseline_p99: f64,
+    /// p99 estimate in the current report.
+    pub current_p99: f64,
+    /// Relative change in percent (`+` = slower tail). `None` when the
+    /// histogram is missing from either side or the baseline p99 is zero.
+    pub delta_pct: Option<f64>,
+    /// Whether this histogram was named in [`DiffConfig::gate_hists`].
+    pub gated: bool,
+    /// Gated, present on both sides, and past both thresholds.
+    pub regressed: bool,
+}
+
 /// One compared counter.
 #[derive(Clone, Debug)]
 pub struct CounterDelta {
@@ -62,19 +84,21 @@ pub struct CounterDelta {
 pub struct ReportDiff {
     /// Every span present in either report, baseline order first.
     pub spans: Vec<SpanDelta>,
+    /// Every histogram present in either report, baseline order first.
+    pub hists: Vec<HistDelta>,
     /// Counters whose value changed or that exist on only one side.
     pub counters: Vec<CounterDelta>,
-    /// Gate spans listed in the config but absent from one of the reports
-    /// — surfaced loudly, because a silently missing gate span would turn
-    /// the regression gate into a no-op.
+    /// Gate spans/histograms listed in the config but absent from one of
+    /// the reports — surfaced loudly, because a silently missing gate
+    /// would turn the regression gate into a no-op.
     pub missing_gates: Vec<String>,
 }
 
 impl ReportDiff {
-    /// Whether any gated span regressed past the thresholds.
+    /// Whether any gated span or histogram regressed past the thresholds.
     #[must_use]
     pub fn regressed(&self) -> bool {
-        self.spans.iter().any(|s| s.regressed)
+        self.spans.iter().any(|s| s.regressed) || self.hists.iter().any(|h| h.regressed)
     }
 
     /// Human-readable table of the diff, one span per line, regressions
@@ -104,6 +128,29 @@ impl ReportDiff {
                 s.name, s.baseline_ms, s.current_ms, delta, marks
             );
         }
+        if !self.hists.is_empty() {
+            let _ = writeln!(
+                out,
+                "\n{:<40} {:>12} {:>12} {:>9}",
+                "histogram (p99)", "baseline", "current", "delta"
+            );
+            for h in &self.hists {
+                let delta = match h.delta_pct {
+                    Some(d) => format!("{d:+.1}%"),
+                    None => "n/a".to_string(),
+                };
+                let marks = match (h.regressed, h.gated) {
+                    (true, _) => "  REGRESSED",
+                    (false, true) => "  [gate]",
+                    (false, false) => "",
+                };
+                let _ = writeln!(
+                    out,
+                    "{:<40} {:>12.3} {:>12.3} {:>9}{}",
+                    h.name, h.baseline_p99, h.current_p99, delta, marks
+                );
+            }
+        }
         for name in &self.missing_gates {
             let _ = writeln!(out, "{name:<40} missing from one report  GATE NOT CHECKED");
         }
@@ -121,6 +168,15 @@ impl ReportDiff {
 
 fn span_total_ms(report: &Json, name: &str) -> Option<f64> {
     report.get("spans")?.get(name)?.get("total_ms")?.as_f64()
+}
+
+fn hist_p99(report: &Json, name: &str) -> Option<f64> {
+    report.get("histograms")?.get(name)?.get("p99")?.as_f64()
+}
+
+fn hist_names(report: &Json) -> Vec<String> {
+    let Some(Json::Obj(fields)) = report.get("histograms") else { return Vec::new() };
+    fields.iter().map(|(k, _)| k.clone()).collect()
 }
 
 fn number_map(report: &Json, section: &str) -> Vec<(String, f64)> {
@@ -180,6 +236,46 @@ pub fn diff_reports(baseline: &Json, current: &Json, config: &DiffConfig) -> Rep
         }
     }
 
+    // Histograms gate on their p99 estimate with the same thresholds.
+    let mut hnames = hist_names(baseline);
+    for n in hist_names(current) {
+        if !hnames.contains(&n) {
+            hnames.push(n);
+        }
+    }
+    let hist_gated = |name: &str| config.gate_hists.iter().any(|g| g == name);
+    let mut hists = Vec::with_capacity(hnames.len());
+    for name in hnames {
+        let b = hist_p99(baseline, &name);
+        let c = hist_p99(current, &name);
+        let delta_pct = match (b, c) {
+            (Some(b), Some(c)) if b > 0.0 => Some((c - b) / b * 100.0),
+            _ => None,
+        };
+        let is_gate = hist_gated(&name);
+        if is_gate && (b.is_none() || c.is_none()) {
+            missing_gates.push(name.clone());
+        }
+        let regressed = is_gate
+            && match (b, c, delta_pct) {
+                (Some(b), Some(c), Some(d)) => d > config.threshold_pct && c - b > config.min_ms,
+                _ => false,
+            };
+        hists.push(HistDelta {
+            name,
+            baseline_p99: b.unwrap_or(0.0),
+            current_p99: c.unwrap_or(0.0),
+            delta_pct,
+            gated: is_gate,
+            regressed,
+        });
+    }
+    for g in &config.gate_hists {
+        if !hists.iter().any(|h| &h.name == g) {
+            missing_gates.push(g.clone());
+        }
+    }
+
     let b_counters = number_map(baseline, "counters");
     let c_counters = number_map(current, "counters");
     let mut counter_names: Vec<&String> = b_counters.iter().map(|(k, _)| k).collect();
@@ -198,7 +294,7 @@ pub fn diff_reports(baseline: &Json, current: &Json, config: &DiffConfig) -> Rep
         })
         .collect();
 
-    ReportDiff { spans, counters, missing_gates }
+    ReportDiff { spans, hists, counters, missing_gates }
 }
 
 #[cfg(test)]
@@ -287,6 +383,49 @@ mod tests {
         // A gate span in neither report is also surfaced.
         let d = diff_reports(&other, &other, &gate("pipeline.encode"));
         assert_eq!(d.missing_gates, vec!["pipeline.encode".to_string()]);
+    }
+
+    fn report_with_hist(name: &str, p99: f64) -> Json {
+        let mut hists = Json::obj();
+        let mut h = Json::obj();
+        h.set("count", 100u64);
+        h.set("p50", p99 / 2.0);
+        h.set("p90", p99 * 0.9);
+        h.set("p99", p99);
+        hists.set(name, h);
+        let mut r = report_with_span("pipeline.encode", 1000.0);
+        r.set("histograms", hists);
+        r
+    }
+
+    fn hist_gate(name: &str) -> DiffConfig {
+        DiffConfig { gate_hists: vec![name.to_string()], ..DiffConfig::default() }
+    }
+
+    #[test]
+    fn histogram_p99_growth_fails_the_gate() {
+        let base = report_with_hist("serve.request_latency_ms", 100.0);
+        let slow = report_with_hist("serve.request_latency_ms", 150.0);
+        let d = diff_reports(&base, &slow, &hist_gate("serve.request_latency_ms"));
+        assert!(d.regressed());
+        let h = &d.hists[0];
+        assert!(h.regressed && h.gated);
+        assert_eq!(h.delta_pct, Some(50.0));
+        assert!(d.render_table().contains("serve.request_latency_ms"));
+        // Ungated, the same growth is informational only.
+        assert!(!diff_reports(&base, &slow, &DiffConfig::default()).regressed());
+        // A tail improvement never fails; a self-diff is clean.
+        assert!(!diff_reports(&slow, &base, &hist_gate("serve.request_latency_ms")).regressed());
+        assert!(!diff_reports(&base, &base, &hist_gate("serve.request_latency_ms")).regressed());
+    }
+
+    #[test]
+    fn missing_gate_histograms_are_surfaced() {
+        let with = report_with_hist("serve.request_latency_ms", 100.0);
+        let without = report_with_span("pipeline.encode", 1000.0);
+        let d = diff_reports(&with, &without, &hist_gate("serve.request_latency_ms"));
+        assert!(!d.regressed());
+        assert_eq!(d.missing_gates, vec!["serve.request_latency_ms".to_string()]);
     }
 
     #[test]

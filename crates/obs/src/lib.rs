@@ -38,12 +38,12 @@ mod report;
 mod span;
 pub mod trace;
 
-pub use diff::{diff_reports, CounterDelta, DiffConfig, ReportDiff, SpanDelta};
+pub use diff::{diff_reports, CounterDelta, DiffConfig, HistDelta, ReportDiff, SpanDelta};
 pub use json::Json;
 pub use log::{emit, log_enabled, log_level, set_log_level, Level, LOG_ENV};
 pub use registry::{
     counter_add, gauge_max, gauge_set, log_edges, metrics_enabled, metrics_path, observe, reset,
-    set_metrics_enabled, snapshot, Histogram, Snapshot, SpanStat, METRICS_ENV,
+    set_metrics_enabled, snapshot, span_duration, Histogram, Snapshot, SpanStat, METRICS_ENV,
 };
 pub use report::{self_time_table, snapshot_json, Report, REPORT_SCHEMA, REPORT_VERSION};
 pub use span::{span, span_depth, span_path, Span};

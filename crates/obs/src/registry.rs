@@ -236,6 +236,14 @@ pub fn observe(name: &str, edges: &[f64], v: f64) {
     h.observe(v);
 }
 
+/// Record a completed span measured outside the RAII [`crate::span`] API —
+/// a duration that crosses threads, such as a request's queue wait between
+/// the accepting connection and the worker that drains it. The whole
+/// duration counts as self time (there is no on-thread nesting to deduct).
+pub fn span_duration(name: &str, dur: Duration) {
+    span_record(name, dur, dur.as_nanos());
+}
+
 pub(crate) fn span_record(name: &str, dur: Duration, self_ns: u128) {
     if !metrics_enabled() {
         return;

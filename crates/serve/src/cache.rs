@@ -1,0 +1,249 @@
+//! Subgraph-fingerprint score cache with single-flight deduplication.
+//!
+//! The key is an FNV-1a digest of the subgraph's canonical wire bytes
+//! ([`crate::proto::encode_subgraph`]), so "same account" means
+//! *bit-identical* input — any difference in nodes, kinds, label or
+//! transaction floats keys separately. Because serving always scores with
+//! `pinned_scaling` (the train-time confidence scaler), a cached score is
+//! byte-identical to a fresh one regardless of what else shared the batch,
+//! which is the invariant that makes caching sound at all.
+//!
+//! Single-flight: when several requests race on the same uncached
+//! fingerprint, exactly one becomes the *leader* and scores it; the rest
+//! block on a condvar until the leader publishes. A leader that fails
+//! (panic, deadline, per-account error) retracts its claim and wakes the
+//! waiters, one of whom takes over — a poisoned request never wedges the
+//! fingerprint for everyone else. Only clean, non-degraded scores are
+//! cached; degraded results must not outlive the fault that caused them.
+//!
+//! Eviction is bounded FIFO: the oldest inserted entry leaves first. The
+//! cache stores `f64` scores keyed by `u64`, so memory stays O(capacity).
+
+use dbg4eth::AccountScore;
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+/// FNV-1a over the canonical subgraph bytes.
+#[must_use]
+pub fn fingerprint(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+enum Slot {
+    /// A leader is scoring this fingerprint right now.
+    InFlight,
+    /// A published clean score.
+    Ready(AccountScore),
+}
+
+struct State {
+    slots: HashMap<u64, Slot>,
+    /// Insertion order of Ready entries, for FIFO eviction.
+    order: VecDeque<u64>,
+    hits: u64,
+    misses: u64,
+}
+
+/// What [`ScoreCache::begin`] resolved a fingerprint to.
+pub enum Lease {
+    /// Cached score — use it as-is (bit-identical to a fresh one).
+    Hit(AccountScore),
+    /// This caller is the leader: score it, then call
+    /// [`ScoreCache::fulfil`] exactly once (with `None` on failure).
+    Lead,
+    /// The caller's deadline expired while waiting for another leader.
+    Expired,
+}
+
+/// Bounded, thread-safe score cache (see module docs).
+pub struct ScoreCache {
+    state: Mutex<State>,
+    published: Condvar,
+    capacity: usize,
+}
+
+impl ScoreCache {
+    /// A cache holding at most `capacity` scores. Capacity 0 disables
+    /// caching but keeps single-flight deduplication.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            state: Mutex::new(State {
+                slots: HashMap::new(),
+                order: VecDeque::new(),
+                hits: 0,
+                misses: 0,
+            }),
+            published: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Resolve a fingerprint: a hit, a leadership claim, or deadline
+    /// expiry while waiting on another leader.
+    pub fn begin(&self, fp: u64, deadline: Option<Instant>) -> Lease {
+        let mut state = self.state.lock().expect("cache lock");
+        loop {
+            match state.slots.get(&fp) {
+                Some(Slot::Ready(score)) => {
+                    let score = score.clone();
+                    state.hits += 1;
+                    return Lease::Hit(score);
+                }
+                Some(Slot::InFlight) => {
+                    // Wait for the leader to publish or retract.
+                    match deadline {
+                        Some(t) => {
+                            let now = Instant::now();
+                            if now >= t {
+                                return Lease::Expired;
+                            }
+                            let (s, _) =
+                                self.published.wait_timeout(state, t - now).expect("cache lock");
+                            state = s;
+                        }
+                        None => state = self.published.wait(state).expect("cache lock"),
+                    }
+                }
+                None => {
+                    state.misses += 1;
+                    state.slots.insert(fp, Slot::InFlight);
+                    return Lease::Lead;
+                }
+            }
+        }
+    }
+
+    /// Publish the leader's outcome. `Some(score)` caches a clean score;
+    /// `None` (failure, degraded, deadline) retracts the claim so a waiter
+    /// can take over. Either way every waiter wakes.
+    pub fn fulfil(&self, fp: u64, outcome: Option<AccountScore>) {
+        let mut state = self.state.lock().expect("cache lock");
+        match outcome {
+            Some(score) if self.capacity > 0 => {
+                if let Some(Slot::InFlight) = state.slots.insert(fp, Slot::Ready(score)) {
+                    state.order.push_back(fp);
+                }
+                while state.order.len() > self.capacity {
+                    if let Some(old) = state.order.pop_front() {
+                        state.slots.remove(&old);
+                    }
+                }
+            }
+            _ => {
+                if let Some(Slot::Ready(score)) = state.slots.remove(&fp) {
+                    // Never retract a published score. (Unreachable under
+                    // the begin/fulfil discipline, but cheap insurance
+                    // against double-fulfil bugs.)
+                    state.slots.insert(fp, Slot::Ready(score));
+                }
+            }
+        }
+        drop(state);
+        self.published.notify_all();
+    }
+
+    /// Lifetime `(hits, misses)` counters.
+    pub fn stats(&self) -> (u64, u64) {
+        let state = self.state.lock().expect("cache lock");
+        (state.hits, state.misses)
+    }
+
+    /// Number of cached (Ready) scores.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("cache lock").order.len()
+    }
+
+    /// Whether no scores are cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn fingerprint_is_stable_and_input_sensitive() {
+        assert_eq!(fingerprint(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fingerprint(b"a"), fingerprint(b"a"));
+        assert_ne!(fingerprint(b"a"), fingerprint(b"b"));
+    }
+
+    #[test]
+    fn hit_after_fulfil_and_fifo_eviction() {
+        let cache = ScoreCache::new(2);
+        for fp in [1u64, 2, 3] {
+            assert!(matches!(cache.begin(fp, None), Lease::Lead));
+            cache.fulfil(fp, Some(AccountScore { score: fp as f64, degraded: false }));
+        }
+        // Capacity 2: fp 1 (oldest) evicted, 2 and 3 remain.
+        assert!(matches!(cache.begin(1, None), Lease::Lead));
+        cache.fulfil(1, None); // retract the probe claim
+        let Lease::Hit(s) = cache.begin(2, None) else { panic!("expected hit") };
+        assert_eq!(s.score, 2.0);
+        assert!(matches!(cache.begin(3, None), Lease::Hit(_)));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn failed_leader_hands_off_to_a_waiter() {
+        let cache = Arc::new(ScoreCache::new(8));
+        assert!(matches!(cache.begin(9, None), Lease::Lead));
+        let leaders = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..3 {
+            let cache = Arc::clone(&cache);
+            let leaders = Arc::clone(&leaders);
+            handles.push(std::thread::spawn(move || match cache.begin(9, None) {
+                Lease::Lead => {
+                    leaders.fetch_add(1, Ordering::SeqCst);
+                    cache.fulfil(9, Some(AccountScore { score: 0.5, degraded: false }));
+                    true
+                }
+                Lease::Hit(_) => false,
+                Lease::Expired => panic!("no deadline set"),
+            }));
+        }
+        std::thread::sleep(Duration::from_millis(20));
+        cache.fulfil(9, None); // the original leader fails
+        for h in handles {
+            h.join().expect("waiter");
+        }
+        // Exactly one waiter took over; the rest saw its published score.
+        assert_eq!(leaders.load(Ordering::SeqCst), 1);
+        assert!(matches!(cache.begin(9, None), Lease::Hit(_)));
+    }
+
+    #[test]
+    fn waiting_respects_the_deadline() {
+        let cache = ScoreCache::new(8);
+        assert!(matches!(cache.begin(5, None), Lease::Lead));
+        let deadline = Instant::now() + Duration::from_millis(30);
+        // The leader never publishes; the waiter must give up at deadline.
+        assert!(matches!(cache.begin(5, Some(deadline)), Lease::Expired));
+        cache.fulfil(5, None);
+    }
+
+    #[test]
+    fn degraded_scores_are_never_cached() {
+        let cache = ScoreCache::new(8);
+        assert!(matches!(cache.begin(4, None), Lease::Lead));
+        // The server only fulfils Some(..) for clean scores; a degraded
+        // outcome arrives as None and leaves nothing behind.
+        cache.fulfil(4, None);
+        assert!(matches!(cache.begin(4, None), Lease::Lead));
+        cache.fulfil(4, None);
+        assert!(cache.is_empty());
+    }
+}

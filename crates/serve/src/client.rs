@@ -1,0 +1,90 @@
+//! A small blocking client for the score service.
+//!
+//! One connection, one request in flight at a time — enough for the
+//! chaos tests and the `serve-replay` traffic generator, which get their
+//! concurrency from running many clients. The client honours the
+//! `stall@serve.client` fault site by wedging mid-frame, which is how the
+//! replayer proves the server's slow-loris reaping without a real
+//! misbehaving peer.
+
+use crate::proto::{
+    read_frame, write_frame, ProtoError, Reply, Request, ScoreRequest, MAX_FRAME_LEN,
+};
+use eth_graph::Subgraph;
+use std::io::Write;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Blocking score-service client (see module docs).
+pub struct ScoreClient {
+    stream: TcpStream,
+    /// Fault index used for `stall@serve.client:<i>` selection.
+    pub client_idx: Option<usize>,
+    /// How long a stalled client wedges mid-frame before continuing.
+    pub stall_pause: Duration,
+    next_id: u64,
+}
+
+impl ScoreClient {
+    /// Connect to a running server.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ProtoError> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        Ok(Self { stream, client_idx: None, stall_pause: Duration::from_millis(200), next_id: 0 })
+    }
+
+    /// Bound how long [`ScoreClient::request`] waits for a reply.
+    pub fn set_reply_timeout(&mut self, timeout: Option<Duration>) -> Result<(), ProtoError> {
+        self.stream.set_read_timeout(timeout)?;
+        Ok(())
+    }
+
+    /// Send one request and read its reply.
+    pub fn request(&mut self, request: &Request) -> Result<Reply, ProtoError> {
+        let payload = request.to_payload();
+        if faults::stalls("serve.client", self.client_idx) {
+            // Slow-loris: send the length prefix, wedge longer than the
+            // server's idle timeout, then try to finish the frame. A
+            // vigilant server has reaped the connection by then.
+            let len = u32::try_from(payload.len()).map_err(|_| {
+                ProtoError::Malformed(format!("payload of {} bytes too large", payload.len()))
+            })?;
+            self.stream.write_all(&len.to_le_bytes())?;
+            self.stream.flush()?;
+            std::thread::sleep(self.stall_pause);
+            self.stream.write_all(&payload)?;
+            self.stream.flush()?;
+        } else {
+            write_frame(&mut self.stream, &payload)?;
+        }
+        match read_frame(&mut self.stream, MAX_FRAME_LEN)? {
+            Some(reply) => Reply::from_payload(&reply),
+            None => Err(ProtoError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection before replying",
+            ))),
+        }
+    }
+
+    /// Score a batch of accounts. `deadline_ms` of 0 keeps the server's
+    /// configured default deadline.
+    pub fn score(
+        &mut self,
+        accounts: Vec<Subgraph>,
+        deadline_ms: u64,
+    ) -> Result<Reply, ProtoError> {
+        self.next_id += 1;
+        let id = self.next_id;
+        self.request(&Request::Score(ScoreRequest { id, deadline_ms, accounts }))
+    }
+
+    /// Fetch the server's lifetime counters.
+    pub fn stats(&mut self) -> Result<Reply, ProtoError> {
+        self.request(&Request::Stats)
+    }
+
+    /// Ask the daemon to exit cleanly.
+    pub fn shutdown(&mut self) -> Result<Reply, ProtoError> {
+        self.request(&Request::Shutdown)
+    }
+}

@@ -1,0 +1,593 @@
+//! Wire protocol of the score service: length-prefixed binary frames.
+//!
+//! Every message is one frame: a little-endian `u32` payload length
+//! followed by the payload, whose first byte is the message tag. Payload
+//! bodies reuse the model container's primitive encoding
+//! ([`SectionWriter`] / [`SectionReader`]), so both ends share one
+//! byte-exact codec and floats round-trip as IEEE-754 bit patterns —
+//! the determinism contract ("same account set ⇒ byte-identical scores")
+//! survives the wire.
+//!
+//! Integrity comes from the transport (TCP), not from checksums: a frame
+//! that parses is served, a frame that does not gets a typed
+//! [`Reply::ProtocolError`] and poisons only itself — the connection and
+//! every other request stay up.
+
+use eth_graph::{AccountKind, LocalTx, Subgraph};
+use model_io::{SectionReader, SectionWriter};
+use std::io::{Read, Write};
+
+/// Protocol-level failure: transport I/O or an unparseable frame.
+#[derive(Debug)]
+pub enum ProtoError {
+    /// The underlying stream failed (closed, reset, timed out).
+    Io(std::io::Error),
+    /// The frame violated the wire format; the message names the clause.
+    Malformed(String),
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtoError::Io(e) => write!(f, "transport: {e}"),
+            ProtoError::Malformed(m) => write!(f, "malformed frame: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+impl From<std::io::Error> for ProtoError {
+    fn from(e: std::io::Error) -> Self {
+        ProtoError::Io(e)
+    }
+}
+
+/// Frames larger than this are rejected before allocation — a hostile or
+/// corrupted length prefix must not become an OOM.
+pub const MAX_FRAME_LEN: usize = 64 << 20;
+
+/// Request tags (client → server).
+const TAG_SCORE: u8 = 0x01;
+const TAG_STATS: u8 = 0x02;
+const TAG_SHUTDOWN: u8 = 0x03;
+
+/// Reply tags (server → client).
+const TAG_SCORES: u8 = 0x81;
+const TAG_OVERLOADED: u8 = 0x82;
+const TAG_PROTOCOL_ERROR: u8 = 0x83;
+const TAG_STATS_REPLY: u8 = 0x84;
+const TAG_SHUTDOWN_ACK: u8 = 0x85;
+
+/// A client → server message.
+#[derive(Clone, Debug)]
+pub enum Request {
+    /// Score a batch of account subgraphs.
+    Score(ScoreRequest),
+    /// Ask for the server's lifetime counters.
+    Stats,
+    /// Ask the daemon to stop accepting and exit cleanly (exit code 0).
+    Shutdown,
+}
+
+/// The scoring request body.
+#[derive(Clone, Debug)]
+pub struct ScoreRequest {
+    /// Client-chosen correlation id, echoed in the reply.
+    pub id: u64,
+    /// Per-request deadline override in milliseconds; `0` keeps the
+    /// server's configured default.
+    pub deadline_ms: u64,
+    /// The account-centred subgraphs to score.
+    pub accounts: Vec<Subgraph>,
+}
+
+/// A server → client message.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Reply {
+    /// Per-account scoring results, in request order.
+    Scores(ScoreReply),
+    /// Admission control shed the request; retry after the hinted delay.
+    Overloaded {
+        /// Suggested client backoff before retrying, in milliseconds.
+        retry_after_ms: u64,
+    },
+    /// The request frame was malformed; only this request is poisoned.
+    ProtocolError(String),
+    /// Lifetime counters snapshot.
+    Stats(StatsReply),
+    /// The daemon acknowledged [`Request::Shutdown`] and is exiting.
+    ShutdownAck,
+}
+
+/// One account's wire-level result.
+#[derive(Clone, Debug, PartialEq)]
+pub enum WireResult {
+    /// A score; `cached` marks a fingerprint-cache hit.
+    Ok { score: f64, degraded: bool, cached: bool },
+    /// A typed per-account failure (mirrors `dbg4eth::ScoreError`).
+    Err { code: ErrorCode, message: String },
+}
+
+/// Stable wire codes for per-account failures.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ErrorCode {
+    /// The subgraph failed validation and was quarantined.
+    Invalid = 1,
+    /// Dropped by fault injection.
+    Dropped = 2,
+    /// A pipeline stage panicked; the panic was contained to this account.
+    Panicked = 3,
+    /// No branch produced a usable confidence.
+    NoUsableBranch = 4,
+    /// The request deadline expired before this account was scored.
+    DeadlineExceeded = 5,
+}
+
+impl ErrorCode {
+    fn from_u8(v: u8) -> Option<Self> {
+        Some(match v {
+            1 => ErrorCode::Invalid,
+            2 => ErrorCode::Dropped,
+            3 => ErrorCode::Panicked,
+            4 => ErrorCode::NoUsableBranch,
+            5 => ErrorCode::DeadlineExceeded,
+            _ => return None,
+        })
+    }
+}
+
+/// The scoring reply body.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScoreReply {
+    /// Echo of [`ScoreRequest::id`].
+    pub id: u64,
+    /// One entry per requested account, in request order.
+    pub results: Vec<WireResult>,
+    /// Accounts rejected before scoring.
+    pub quarantined: u64,
+    /// Accounts scored through at least one fallback.
+    pub degraded: u64,
+}
+
+/// Lifetime server counters (see `ServeStats`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StatsReply {
+    pub accepted_conns: u64,
+    pub requests: u64,
+    pub completed: u64,
+    pub shed: u64,
+    pub malformed: u64,
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    pub deadline_exceeded: u64,
+    pub worker_panics: u64,
+}
+
+// ---------------------------------------------------------------------------
+// Subgraph codec
+// ---------------------------------------------------------------------------
+
+/// Append the canonical wire encoding of one subgraph.
+///
+/// This encoding doubles as the cache key: the fingerprint is computed
+/// over exactly these bytes, so two requests carrying the same subgraph
+/// (node ids, kinds, label, transactions — bit-exact floats) share one
+/// cache entry, and any difference, however small, keys separately.
+pub fn encode_subgraph(w: &mut SectionWriter, g: &Subgraph) {
+    w.put_usizes(&g.nodes);
+    w.put_usize(g.kinds.len());
+    for k in &g.kinds {
+        w.put_u8(match k {
+            AccountKind::Eoa => 0,
+            AccountKind::Contract => 1,
+        });
+    }
+    match g.label {
+        Some(l) => {
+            w.put_bool(true);
+            w.put_usize(l);
+        }
+        None => w.put_bool(false),
+    }
+    w.put_usize(g.txs.len());
+    for tx in &g.txs {
+        w.put_usize(tx.src);
+        w.put_usize(tx.dst);
+        w.put_f64(tx.value);
+        w.put_u64(tx.timestamp);
+        w.put_f64(tx.fee);
+        w.put_bool(tx.contract_call);
+    }
+}
+
+fn decode_subgraph(s: &mut SectionReader<'_>) -> Result<Subgraph, ProtoError> {
+    let nodes = s.get_usizes().map_err(|e| bad("nodes", &e))?;
+    let n_kinds = s.get_usize().map_err(|e| bad("kinds len", &e))?;
+    if n_kinds > MAX_FRAME_LEN {
+        return Err(ProtoError::Malformed(format!("kinds length {n_kinds} exceeds frame bound")));
+    }
+    let mut kinds = Vec::with_capacity(n_kinds);
+    for _ in 0..n_kinds {
+        kinds.push(match s.get_u8().map_err(|e| bad("kind", &e))? {
+            0 => AccountKind::Eoa,
+            1 => AccountKind::Contract,
+            other => return Err(ProtoError::Malformed(format!("unknown account kind {other}"))),
+        });
+    }
+    let label = if s.get_bool().map_err(|e| bad("label flag", &e))? {
+        Some(s.get_usize().map_err(|e| bad("label", &e))?)
+    } else {
+        None
+    };
+    let n_txs = s.get_usize().map_err(|e| bad("txs len", &e))?;
+    if n_txs > MAX_FRAME_LEN {
+        return Err(ProtoError::Malformed(format!("txs length {n_txs} exceeds frame bound")));
+    }
+    let mut txs = Vec::with_capacity(n_txs);
+    for _ in 0..n_txs {
+        txs.push(LocalTx {
+            src: s.get_usize().map_err(|e| bad("tx src", &e))?,
+            dst: s.get_usize().map_err(|e| bad("tx dst", &e))?,
+            value: s.get_f64().map_err(|e| bad("tx value", &e))?,
+            timestamp: s.get_u64().map_err(|e| bad("tx timestamp", &e))?,
+            fee: s.get_f64().map_err(|e| bad("tx fee", &e))?,
+            contract_call: s.get_bool().map_err(|e| bad("tx contract_call", &e))?,
+        });
+    }
+    Ok(Subgraph { nodes, kinds, txs, label })
+}
+
+fn bad(what: &str, e: &model_io::ModelIoError) -> ProtoError {
+    ProtoError::Malformed(format!("{what}: {e}"))
+}
+
+// ---------------------------------------------------------------------------
+// Message codecs
+// ---------------------------------------------------------------------------
+
+impl Request {
+    /// Serialize into a tagged frame payload (without the length prefix).
+    #[must_use]
+    pub fn to_payload(&self) -> Vec<u8> {
+        let mut w = SectionWriter::new();
+        match self {
+            Request::Score(req) => {
+                w.put_u8(TAG_SCORE);
+                w.put_u64(req.id);
+                w.put_u64(req.deadline_ms);
+                w.put_usize(req.accounts.len());
+                for g in &req.accounts {
+                    encode_subgraph(&mut w, g);
+                }
+            }
+            Request::Stats => w.put_u8(TAG_STATS),
+            Request::Shutdown => w.put_u8(TAG_SHUTDOWN),
+        }
+        w.into_bytes()
+    }
+
+    /// Parse a frame payload. Errors point at the offending clause.
+    pub fn from_payload(payload: &[u8]) -> Result<Self, ProtoError> {
+        let mut s = SectionReader::new(payload);
+        match s.get_u8().map_err(|e| bad("tag", &e))? {
+            TAG_SCORE => {
+                let id = s.get_u64().map_err(|e| bad("id", &e))?;
+                let deadline_ms = s.get_u64().map_err(|e| bad("deadline_ms", &e))?;
+                let n = s.get_usize().map_err(|e| bad("accounts len", &e))?;
+                if n > MAX_FRAME_LEN {
+                    return Err(ProtoError::Malformed(format!(
+                        "accounts length {n} exceeds frame bound"
+                    )));
+                }
+                let mut accounts = Vec::with_capacity(n);
+                for _ in 0..n {
+                    accounts.push(decode_subgraph(&mut s)?);
+                }
+                expect_drained(&s)?;
+                Ok(Request::Score(ScoreRequest { id, deadline_ms, accounts }))
+            }
+            TAG_STATS => {
+                expect_drained(&s)?;
+                Ok(Request::Stats)
+            }
+            TAG_SHUTDOWN => {
+                expect_drained(&s)?;
+                Ok(Request::Shutdown)
+            }
+            other => Err(ProtoError::Malformed(format!("unknown request tag {other:#04x}"))),
+        }
+    }
+}
+
+impl Reply {
+    /// Serialize into a tagged frame payload (without the length prefix).
+    #[must_use]
+    pub fn to_payload(&self) -> Vec<u8> {
+        let mut w = SectionWriter::new();
+        match self {
+            Reply::Scores(rep) => {
+                w.put_u8(TAG_SCORES);
+                w.put_u64(rep.id);
+                w.put_u64(rep.quarantined);
+                w.put_u64(rep.degraded);
+                w.put_usize(rep.results.len());
+                for r in &rep.results {
+                    match r {
+                        WireResult::Ok { score, degraded, cached } => {
+                            w.put_bool(true);
+                            w.put_f64(*score);
+                            w.put_bool(*degraded);
+                            w.put_bool(*cached);
+                        }
+                        WireResult::Err { code, message } => {
+                            w.put_bool(false);
+                            w.put_u8(*code as u8);
+                            w.put_str(message);
+                        }
+                    }
+                }
+            }
+            Reply::Overloaded { retry_after_ms } => {
+                w.put_u8(TAG_OVERLOADED);
+                w.put_u64(*retry_after_ms);
+            }
+            Reply::ProtocolError(msg) => {
+                w.put_u8(TAG_PROTOCOL_ERROR);
+                w.put_str(msg);
+            }
+            Reply::Stats(s) => {
+                w.put_u8(TAG_STATS_REPLY);
+                for v in [
+                    s.accepted_conns,
+                    s.requests,
+                    s.completed,
+                    s.shed,
+                    s.malformed,
+                    s.cache_hits,
+                    s.cache_misses,
+                    s.deadline_exceeded,
+                    s.worker_panics,
+                ] {
+                    w.put_u64(v);
+                }
+            }
+            Reply::ShutdownAck => w.put_u8(TAG_SHUTDOWN_ACK),
+        }
+        w.into_bytes()
+    }
+
+    /// Parse a frame payload. Errors point at the offending clause.
+    pub fn from_payload(payload: &[u8]) -> Result<Self, ProtoError> {
+        let mut s = SectionReader::new(payload);
+        match s.get_u8().map_err(|e| bad("tag", &e))? {
+            TAG_SCORES => {
+                let id = s.get_u64().map_err(|e| bad("id", &e))?;
+                let quarantined = s.get_u64().map_err(|e| bad("quarantined", &e))?;
+                let degraded = s.get_u64().map_err(|e| bad("degraded", &e))?;
+                let n = s.get_usize().map_err(|e| bad("results len", &e))?;
+                if n > MAX_FRAME_LEN {
+                    return Err(ProtoError::Malformed(format!(
+                        "results length {n} exceeds frame bound"
+                    )));
+                }
+                let mut results = Vec::with_capacity(n);
+                for _ in 0..n {
+                    results.push(if s.get_bool().map_err(|e| bad("ok flag", &e))? {
+                        WireResult::Ok {
+                            score: s.get_f64().map_err(|e| bad("score", &e))?,
+                            degraded: s.get_bool().map_err(|e| bad("degraded flag", &e))?,
+                            cached: s.get_bool().map_err(|e| bad("cached flag", &e))?,
+                        }
+                    } else {
+                        let raw = s.get_u8().map_err(|e| bad("error code", &e))?;
+                        let code = ErrorCode::from_u8(raw).ok_or_else(|| {
+                            ProtoError::Malformed(format!("unknown error code {raw}"))
+                        })?;
+                        let message = s.get_str().map_err(|e| bad("error message", &e))?;
+                        WireResult::Err { code, message }
+                    });
+                }
+                expect_drained(&s)?;
+                Ok(Reply::Scores(ScoreReply { id, results, quarantined, degraded }))
+            }
+            TAG_OVERLOADED => {
+                let retry_after_ms = s.get_u64().map_err(|e| bad("retry_after_ms", &e))?;
+                expect_drained(&s)?;
+                Ok(Reply::Overloaded { retry_after_ms })
+            }
+            TAG_PROTOCOL_ERROR => {
+                let msg = s.get_str().map_err(|e| bad("message", &e))?;
+                expect_drained(&s)?;
+                Ok(Reply::ProtocolError(msg))
+            }
+            TAG_STATS_REPLY => {
+                let mut fields = [0u64; 9];
+                for f in &mut fields {
+                    *f = s.get_u64().map_err(|e| bad("stats", &e))?;
+                }
+                expect_drained(&s)?;
+                Ok(Reply::Stats(StatsReply {
+                    accepted_conns: fields[0],
+                    requests: fields[1],
+                    completed: fields[2],
+                    shed: fields[3],
+                    malformed: fields[4],
+                    cache_hits: fields[5],
+                    cache_misses: fields[6],
+                    deadline_exceeded: fields[7],
+                    worker_panics: fields[8],
+                }))
+            }
+            TAG_SHUTDOWN_ACK => {
+                expect_drained(&s)?;
+                Ok(Reply::ShutdownAck)
+            }
+            other => Err(ProtoError::Malformed(format!("unknown reply tag {other:#04x}"))),
+        }
+    }
+}
+
+fn expect_drained(s: &SectionReader<'_>) -> Result<(), ProtoError> {
+    if s.remaining() == 0 {
+        Ok(())
+    } else {
+        Err(ProtoError::Malformed(format!("{} trailing bytes after message", s.remaining())))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------------
+
+/// Write one frame: `u32` little-endian payload length, then the payload.
+pub fn write_frame(stream: &mut impl Write, payload: &[u8]) -> Result<(), ProtoError> {
+    let len = u32::try_from(payload.len()).map_err(|_| {
+        ProtoError::Malformed(format!("payload of {} bytes too large", payload.len()))
+    })?;
+    stream.write_all(&len.to_le_bytes())?;
+    stream.write_all(payload)?;
+    stream.flush()?;
+    Ok(())
+}
+
+/// Read one frame's payload. `max_len` bounds the allocation; `None` on a
+/// clean EOF at a frame boundary (the peer hung up between requests).
+pub fn read_frame(stream: &mut impl Read, max_len: usize) -> Result<Option<Vec<u8>>, ProtoError> {
+    let mut len_buf = [0u8; 4];
+    match stream.read_exact(&mut len_buf) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e.into()),
+    }
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > max_len {
+        return Err(ProtoError::Malformed(format!(
+            "frame length {len} exceeds the {max_len}-byte bound"
+        )));
+    }
+    let mut payload = vec![0u8; len];
+    stream.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_subgraph() -> Subgraph {
+        Subgraph {
+            nodes: vec![7, 3, 11],
+            kinds: vec![AccountKind::Eoa, AccountKind::Contract, AccountKind::Eoa],
+            txs: vec![
+                LocalTx {
+                    src: 0,
+                    dst: 1,
+                    value: 1.25,
+                    timestamp: 1_700_000_000,
+                    fee: 0.000021,
+                    contract_call: true,
+                },
+                LocalTx {
+                    src: 2,
+                    dst: 0,
+                    value: f64::from_bits(0x3FF0_0000_0000_0001),
+                    timestamp: 1_700_000_100,
+                    fee: 0.0,
+                    contract_call: false,
+                },
+            ],
+            label: Some(4),
+        }
+    }
+
+    #[test]
+    fn score_request_round_trips_bit_exactly() {
+        let req = Request::Score(ScoreRequest {
+            id: 42,
+            deadline_ms: 250,
+            accounts: vec![
+                sample_subgraph(),
+                Subgraph {
+                    nodes: vec![1],
+                    kinds: vec![AccountKind::Contract],
+                    txs: vec![],
+                    label: None,
+                },
+            ],
+        });
+        let payload = req.to_payload();
+        let back = Request::from_payload(&payload).expect("parse");
+        let (Request::Score(a), Request::Score(b)) = (&req, &back) else {
+            panic!("wrong variant");
+        };
+        assert_eq!(a.id, b.id);
+        assert_eq!(a.deadline_ms, b.deadline_ms);
+        assert_eq!(a.accounts.len(), b.accounts.len());
+        for (x, y) in a.accounts.iter().zip(&b.accounts) {
+            assert_eq!(x.nodes, y.nodes);
+            assert_eq!(x.kinds, y.kinds);
+            assert_eq!(x.label, y.label);
+            assert_eq!(x.txs.len(), y.txs.len());
+            for (tx, ty) in x.txs.iter().zip(&y.txs) {
+                assert_eq!(tx.value.to_bits(), ty.value.to_bits());
+                assert_eq!(tx.fee.to_bits(), ty.fee.to_bits());
+                assert_eq!((tx.src, tx.dst, tx.timestamp), (ty.src, ty.dst, ty.timestamp));
+                assert_eq!(tx.contract_call, ty.contract_call);
+            }
+        }
+    }
+
+    #[test]
+    fn replies_round_trip() {
+        let replies = vec![
+            Reply::Scores(ScoreReply {
+                id: 7,
+                quarantined: 1,
+                degraded: 2,
+                results: vec![
+                    WireResult::Ok { score: 0.75, degraded: false, cached: true },
+                    WireResult::Err {
+                        code: ErrorCode::DeadlineExceeded,
+                        message: "deadline exceeded before scoring finished".into(),
+                    },
+                ],
+            }),
+            Reply::Overloaded { retry_after_ms: 35 },
+            Reply::ProtocolError("tag: truncated".into()),
+            Reply::Stats(StatsReply { requests: 9, shed: 3, ..StatsReply::default() }),
+            Reply::ShutdownAck,
+        ];
+        for r in replies {
+            assert_eq!(Reply::from_payload(&r.to_payload()).expect("parse"), r);
+        }
+    }
+
+    #[test]
+    fn malformed_payloads_name_the_clause() {
+        let err = Request::from_payload(&[]).unwrap_err();
+        assert!(err.to_string().contains("tag"), "{err}");
+        let err = Request::from_payload(&[0x55]).unwrap_err();
+        assert!(err.to_string().contains("unknown request tag"), "{err}");
+        // A valid message followed by garbage is rejected, not half-read.
+        let mut payload = Request::Stats.to_payload();
+        payload.push(0xFF);
+        let err = Request::from_payload(&payload).unwrap_err();
+        assert!(err.to_string().contains("trailing"), "{err}");
+    }
+
+    #[test]
+    fn framing_round_trips_and_bounds_length() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").expect("write");
+        let mut cursor = std::io::Cursor::new(&buf);
+        assert_eq!(read_frame(&mut cursor, 1024).expect("read"), Some(b"hello".to_vec()));
+        // EOF at a frame boundary is a clean None.
+        assert_eq!(read_frame(&mut cursor, 1024).expect("eof"), None);
+        // A hostile length prefix is rejected before allocation.
+        let huge = (u32::MAX).to_le_bytes();
+        let mut cursor = std::io::Cursor::new(&huge[..]);
+        assert!(read_frame(&mut cursor, 1024).is_err());
+    }
+}

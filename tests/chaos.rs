@@ -250,9 +250,15 @@ fn corrupted_calibrator_sections_serve_uncalibrated_but_degraded() {
     // …the degraded load serves around it.
     let (model, degraded) = with_plan("", || TrainedModel::from_bytes_degraded(&bytes))
         .expect("calibrator damage is survivable");
-    let mut lost = degraded.lost_sections.clone();
-    lost.sort();
+    let mut lost: Vec<&str> = degraded.lost_sections.iter().map(|l| l.name.as_str()).collect();
+    lost.sort_unstable();
     assert_eq!(lost, ["gsg.cal", "ldg.cal"]);
+    // The evidence names the failed checksum, not just the section.
+    assert!(
+        degraded.lost_sections.iter().all(|l| l.reason.contains("checksum mismatch")),
+        "lost sections must carry CRC evidence: {:?}",
+        degraded.lost_sections
+    );
     let report = with_plan("", || infer_detailed(&model, &fx.accounts));
     assert!(report.scores.iter().all(|r| r.is_ok()));
     assert_eq!(report.degraded, fx.accounts.len(), "uncalibrated scores must be flagged");
@@ -268,7 +274,7 @@ fn corrupted_branch_sections_fall_back_to_the_surviving_branch() {
         let (model, degraded) = with_plan("", || TrainedModel::from_bytes_degraded(&bytes))
             .unwrap_or_else(|e| panic!("losing {section} must be survivable: {e}"));
         assert!(
-            degraded.lost_sections.contains(&section.to_string()),
+            degraded.lost(section),
             "{section} not reported lost: {:?}",
             degraded.lost_sections
         );
