@@ -33,7 +33,11 @@ impl fmt::Display for ModelIoError {
                 write!(f, "bad magic {found:02x?} (expected \"DBGM\")")
             }
             ModelIoError::UnsupportedVersion { found, supported } => {
-                write!(f, "unsupported format version {found} (this build reads {supported})")
+                write!(
+                    f,
+                    "unsupported format version {found} (this build reads {}..={supported})",
+                    crate::MIN_FORMAT_VERSION
+                )
             }
             ModelIoError::Truncated { context } => write!(f, "truncated file while reading {context}"),
             ModelIoError::ChecksumMismatch { section, stored, computed } => write!(

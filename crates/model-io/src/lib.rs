@@ -45,9 +45,16 @@ pub const MAGIC: [u8; 4] = *b"DBGM";
 /// and degraded around — without losing the encoder weights beside it.
 /// Version 3 appends the train-time confidence scaler (mean/std fitted on
 /// the holdout split) to each encoder-branch section, so a serving process
-/// can score singleton batches without batch-composition-dependent scaling;
-/// v3 is also the first version loadable via [`ModelReader::open_mmap`].
+/// can score singleton batches without batch-composition-dependent scaling.
 pub const FORMAT_VERSION: u32 = 3;
+
+/// Oldest container version this build still reads (every load path,
+/// including [`ModelReader::open_mmap`], accepts
+/// `MIN_FORMAT_VERSION..=FORMAT_VERSION`). Version 2 branch sections carry
+/// no confidence scaler; they load fine, and a pinned-scaling request
+/// against them falls back to batch refitting with the scores flagged
+/// degraded (`infer.scaler_fallbacks`).
+pub const MIN_FORMAT_VERSION: u32 = 2;
 
 /// Hard cap on a section name, so a corrupted length field cannot trigger
 /// a pathological allocation before the checksum is ever consulted.
@@ -156,6 +163,29 @@ mod tests {
             Err(ModelIoError::UnsupportedVersion { found, supported }) => {
                 assert_eq!(supported, FORMAT_VERSION);
                 assert_ne!(found, FORMAT_VERSION);
+            }
+            other => panic!("expected UnsupportedVersion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn previous_version_is_still_readable_and_the_floor_is_real() {
+        let mut w = ModelWriter::new();
+        let mut a = SectionWriter::new();
+        a.put_u32(7);
+        w.push("alpha", a);
+        let mut bytes = w.to_bytes();
+        // The version field is outside the section CRCs, so rewriting it
+        // yields exactly what an older writer would have produced.
+        bytes[4..8].copy_from_slice(&MIN_FORMAT_VERSION.to_le_bytes());
+        let r = ModelReader::from_bytes(&bytes).expect("v2 containers must load");
+        assert_eq!(r.section("alpha").unwrap().get_u32().unwrap(), 7);
+        // One below the floor is rejected.
+        bytes[4..8].copy_from_slice(&(MIN_FORMAT_VERSION - 1).to_le_bytes());
+        match ModelReader::from_bytes(&bytes) {
+            Err(ModelIoError::UnsupportedVersion { found, supported }) => {
+                assert_eq!(found, MIN_FORMAT_VERSION - 1);
+                assert_eq!(supported, FORMAT_VERSION);
             }
             other => panic!("expected UnsupportedVersion, got {other:?}"),
         }

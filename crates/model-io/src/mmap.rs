@@ -15,6 +15,16 @@
 //! undefined behaviour at the OS level (SIGBUS on touch), as with any mmap
 //! consumer; the model container is written atomically (`write → rename`)
 //! precisely so live files are never truncated in place.
+//!
+//! That write→rename discipline is the *whole* immutability contract, not
+//! just truncation safety. The mapped bytes are handed out as a long-lived
+//! `&[u8]` (and shared across threads), and the reader above caches each
+//! section's CRC verdict after first touch — so another process rewriting
+//! the live file *in place* (same inode, no truncation) would change bytes
+//! under safe code with nobody re-checking them. Renaming a freshly
+//! written file over the path instead leaves existing mappings pinned to
+//! the old inode, which is why the in-repo writer publishes that way; any
+//! external tooling that updates model files must do the same.
 
 use std::path::Path;
 
@@ -107,8 +117,14 @@ mod imp {
         pub fn open(path: &Path) -> io::Result<Self> {
             use std::os::unix::io::AsRawFd;
             let file = File::open(path)?;
+            // `slice::from_raw_parts` requires the byte length to fit in
+            // `isize`, not just `usize`, so clamp to that bound up front.
             let len = usize::try_from(file.metadata()?.len())
-                .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "file too large"))?;
+                .ok()
+                .filter(|&n| isize::try_from(n).is_ok())
+                .ok_or_else(|| {
+                    io::Error::new(io::ErrorKind::InvalidData, "file too large to map")
+                })?;
             if len == 0 {
                 // mmap rejects zero-length maps; an empty file is an empty
                 // slice, no mapping needed.

@@ -24,7 +24,7 @@
 
 use crate::crc::crc32_concat;
 use crate::mmap::Map;
-use crate::{ModelIoError, FORMAT_VERSION, MAGIC, MAX_NAME_LEN};
+use crate::{ModelIoError, FORMAT_VERSION, MAGIC, MAX_NAME_LEN, MIN_FORMAT_VERSION};
 use std::ops::Range;
 use std::path::Path;
 use std::sync::atomic::{AtomicU8, Ordering};
@@ -162,7 +162,11 @@ impl ModelReader {
             return Err(ModelIoError::BadMagic { found: [magic[0], magic[1], magic[2], magic[3]] });
         }
         let version = cur.u32("format version")?;
-        if version != FORMAT_VERSION {
+        // Older-but-supported versions share this framing; only the section
+        // payloads differ (v2 branch payloads lack the trailing scaler,
+        // which `read_branch` detects by remaining length). Newer versions
+        // are rejected — their payloads could silently misparse.
+        if !(MIN_FORMAT_VERSION..=FORMAT_VERSION).contains(&version) {
             return Err(ModelIoError::UnsupportedVersion {
                 found: version,
                 supported: FORMAT_VERSION,

@@ -1,12 +1,19 @@
 //! Subgraph-fingerprint score cache with single-flight deduplication.
 //!
-//! The key is an FNV-1a digest of the subgraph's canonical wire bytes
+//! The key is a *keyed* digest (SipHash under a per-process random key) of
+//! the subgraph's canonical wire bytes
 //! ([`crate::proto::encode_subgraph`]), so "same account" means
 //! *bit-identical* input — any difference in nodes, kinds, label or
-//! transaction floats keys separately. Because serving always scores with
-//! `pinned_scaling` (the train-time confidence scaler), a cached score is
-//! byte-identical to a fresh one regardless of what else shared the batch,
-//! which is the invariant that makes caching sound at all.
+//! transaction floats keys separately. The key matters because clients
+//! choose the hashed bytes: under an unkeyed hash (FNV et al.) collisions
+//! are craftable offline, letting a malicious client poison the cache so a
+//! bit-different subgraph from another client is served the wrong score.
+//! With the key random per process, fingerprints are stable exactly as
+//! long as the cache that uses them lives, and no longer. Because serving
+//! always scores with `pinned_scaling` (the train-time confidence scaler),
+//! a cached score is byte-identical to a fresh one regardless of what else
+//! shared the batch, which is the invariant that makes caching sound at
+//! all.
 //!
 //! Single-flight: when several requests race on the same uncached
 //! fingerprint, exactly one becomes the *leader* and scores it; the rest
@@ -20,19 +27,22 @@
 //! cache stores `f64` scores keyed by `u64`, so memory stays O(capacity).
 
 use dbg4eth::AccountScore;
+use std::collections::hash_map::RandomState;
 use std::collections::{HashMap, VecDeque};
-use std::sync::{Condvar, Mutex};
+use std::hash::{BuildHasher, Hasher};
+use std::sync::{Condvar, Mutex, OnceLock};
 use std::time::Instant;
 
-/// FNV-1a over the canonical subgraph bytes.
+/// Keyed digest of the canonical subgraph bytes: SipHash under a random
+/// key drawn once per process. Stable within a process (all the cache
+/// needs), deliberately unpredictable across processes so clients cannot
+/// precompute collisions and poison the cache.
 #[must_use]
 pub fn fingerprint(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
+    static KEY: OnceLock<RandomState> = OnceLock::new();
+    let mut h = KEY.get_or_init(RandomState::new).build_hasher();
+    h.write(bytes);
+    h.finish()
 }
 
 enum Slot {
@@ -174,8 +184,10 @@ mod tests {
     use std::time::Duration;
 
     #[test]
-    fn fingerprint_is_stable_and_input_sensitive() {
-        assert_eq!(fingerprint(b""), 0xcbf2_9ce4_8422_2325);
+    fn fingerprint_is_stable_within_a_process_and_input_sensitive() {
+        // No fixed expected values: the digest is keyed per process, so
+        // only same-process stability and sensitivity are contractual.
+        assert_eq!(fingerprint(b""), fingerprint(b""));
         assert_eq!(fingerprint(b"a"), fingerprint(b"a"));
         assert_ne!(fingerprint(b"a"), fingerprint(b"b"));
     }

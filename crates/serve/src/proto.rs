@@ -47,6 +47,31 @@ impl From<std::io::Error> for ProtoError {
 /// corrupted length prefix must not become an OOM.
 pub const MAX_FRAME_LEN: usize = 64 << 20;
 
+/// Minimum encoded sizes, used to bound count prefixes: a claimed element
+/// count is only honoured if the bytes remaining in the frame could carry
+/// that many elements, so a tiny hostile frame cannot make
+/// `Vec::with_capacity` reserve gigabytes before the first element fails
+/// to parse (the in-memory element types are tens of bytes each).
+const MIN_TX_BYTES: usize = 41; // src u64 + dst u64 + value f64 + timestamp u64 + fee f64 + bool
+const MIN_SUBGRAPH_BYTES: usize = 25; // empty nodes vec + kinds count + label flag + txs count
+const MIN_RESULT_BYTES: usize = 6; // err arm: ok flag + code + empty-message length
+
+/// Read a count prefix bounded by what the rest of the frame could hold.
+fn bounded_count(
+    s: &mut SectionReader<'_>,
+    min_elem_bytes: usize,
+    what: &str,
+) -> Result<usize, ProtoError> {
+    let n = s.get_usize().map_err(|e| bad(what, &e))?;
+    if n.saturating_mul(min_elem_bytes) > s.remaining() {
+        return Err(ProtoError::Malformed(format!(
+            "{what} {n} exceeds what the {} remaining frame bytes could carry",
+            s.remaining()
+        )));
+    }
+    Ok(n)
+}
+
 /// Request tags (client → server).
 const TAG_SCORE: u8 = 0x01;
 const TAG_STATS: u8 = 0x02;
@@ -204,10 +229,7 @@ pub fn encode_subgraph(w: &mut SectionWriter, g: &Subgraph) {
 
 fn decode_subgraph(s: &mut SectionReader<'_>) -> Result<Subgraph, ProtoError> {
     let nodes = s.get_usizes().map_err(|e| bad("nodes", &e))?;
-    let n_kinds = s.get_usize().map_err(|e| bad("kinds len", &e))?;
-    if n_kinds > MAX_FRAME_LEN {
-        return Err(ProtoError::Malformed(format!("kinds length {n_kinds} exceeds frame bound")));
-    }
+    let n_kinds = bounded_count(s, 1, "kinds length")?;
     let mut kinds = Vec::with_capacity(n_kinds);
     for _ in 0..n_kinds {
         kinds.push(match s.get_u8().map_err(|e| bad("kind", &e))? {
@@ -221,10 +243,7 @@ fn decode_subgraph(s: &mut SectionReader<'_>) -> Result<Subgraph, ProtoError> {
     } else {
         None
     };
-    let n_txs = s.get_usize().map_err(|e| bad("txs len", &e))?;
-    if n_txs > MAX_FRAME_LEN {
-        return Err(ProtoError::Malformed(format!("txs length {n_txs} exceeds frame bound")));
-    }
+    let n_txs = bounded_count(s, MIN_TX_BYTES, "txs length")?;
     let mut txs = Vec::with_capacity(n_txs);
     for _ in 0..n_txs {
         txs.push(LocalTx {
@@ -275,12 +294,7 @@ impl Request {
             TAG_SCORE => {
                 let id = s.get_u64().map_err(|e| bad("id", &e))?;
                 let deadline_ms = s.get_u64().map_err(|e| bad("deadline_ms", &e))?;
-                let n = s.get_usize().map_err(|e| bad("accounts len", &e))?;
-                if n > MAX_FRAME_LEN {
-                    return Err(ProtoError::Malformed(format!(
-                        "accounts length {n} exceeds frame bound"
-                    )));
-                }
+                let n = bounded_count(&mut s, MIN_SUBGRAPH_BYTES, "accounts length")?;
                 let mut accounts = Vec::with_capacity(n);
                 for _ in 0..n {
                     accounts.push(decode_subgraph(&mut s)?);
@@ -366,12 +380,7 @@ impl Reply {
                 let id = s.get_u64().map_err(|e| bad("id", &e))?;
                 let quarantined = s.get_u64().map_err(|e| bad("quarantined", &e))?;
                 let degraded = s.get_u64().map_err(|e| bad("degraded", &e))?;
-                let n = s.get_usize().map_err(|e| bad("results len", &e))?;
-                if n > MAX_FRAME_LEN {
-                    return Err(ProtoError::Malformed(format!(
-                        "results length {n} exceeds frame bound"
-                    )));
-                }
+                let n = bounded_count(&mut s, MIN_RESULT_BYTES, "results length")?;
                 let mut results = Vec::with_capacity(n);
                 for _ in 0..n {
                     results.push(if s.get_bool().map_err(|e| bad("ok flag", &e))? {
@@ -575,6 +584,42 @@ mod tests {
         payload.push(0xFF);
         let err = Request::from_payload(&payload).unwrap_err();
         assert!(err.to_string().contains("trailing"), "{err}");
+    }
+
+    #[test]
+    fn hostile_count_prefixes_are_rejected_before_allocation() {
+        // A tiny frame claiming millions of accounts: the count is checked
+        // against the bytes actually present, so no pre-reserve happens.
+        let mut w = SectionWriter::new();
+        w.put_u8(0x01); // TAG_SCORE
+        w.put_u64(1); // id
+        w.put_u64(0); // deadline_ms
+        w.put_usize(60 << 20); // hostile accounts count, frame is ~empty
+        let err = Request::from_payload(&w.into_bytes()).unwrap_err();
+        assert!(err.to_string().contains("accounts length"), "{err}");
+
+        // Same for the per-subgraph tx count...
+        let mut w = SectionWriter::new();
+        w.put_u8(0x01);
+        w.put_u64(1);
+        w.put_u64(0);
+        w.put_usize(1); // one account
+        w.put_usizes(&[]); // nodes
+        w.put_usize(0); // kinds
+        w.put_bool(false); // label
+        w.put_usize(60 << 20); // hostile txs count
+        let err = Request::from_payload(&w.into_bytes()).unwrap_err();
+        assert!(err.to_string().contains("txs length"), "{err}");
+
+        // ...and the reply-side results count.
+        let mut w = SectionWriter::new();
+        w.put_u8(0x81); // TAG_SCORES
+        w.put_u64(1); // id
+        w.put_u64(0); // quarantined
+        w.put_u64(0); // degraded
+        w.put_usize(60 << 20); // hostile results count
+        let err = Reply::from_payload(&w.into_bytes()).unwrap_err();
+        assert!(err.to_string().contains("results length"), "{err}");
     }
 
     #[test]

@@ -520,15 +520,30 @@ fn score_request(
         })
         .collect();
     let mut first_idx: HashMap<u64, usize> = HashMap::new();
-
-    let mut slots: Vec<Option<WireResult>> = vec![None; request.accounts.len()];
-    let mut guard = LeaseGuard { cache: &shared.cache, pending: Vec::new() };
-    let mut to_score: Vec<(u64, usize)> = Vec::new(); // (fp, first account idx)
+    let mut unique: Vec<(u64, usize)> = Vec::new(); // (fp, first account idx)
     for (i, &fp) in fps.iter().enumerate() {
         if first_idx.contains_key(&fp) {
             continue; // same subgraph earlier in this request
         }
         first_idx.insert(fp, i);
+        unique.push((fp, i));
+    }
+    // Acquire leases in ascending fingerprint order, NOT request order.
+    // `begin` can block on another request's in-flight fingerprint while
+    // this request still holds unfulfilled leases of its own, and leases
+    // are only fulfilled after scoring — so acquisition order is lock
+    // order. With a global total order, a worker only ever blocks on a
+    // fingerprint strictly greater than every lease it holds, which makes
+    // a wait-for cycle impossible; in request order, two requests sharing
+    // two fingerprints in opposite positions could wedge both workers
+    // forever (no deadline ⇒ unbounded condvar wait ⇒ the conn threads
+    // hang in admit()).
+    let mut acquisition = unique.clone();
+    acquisition.sort_unstable_by_key(|&(fp, _)| fp);
+
+    let mut slots: Vec<Option<WireResult>> = vec![None; request.accounts.len()];
+    let mut guard = LeaseGuard { cache: &shared.cache, pending: Vec::new() };
+    for &(fp, i) in &acquisition {
         match shared.cache.begin(fp, deadline) {
             Lease::Hit(score) => {
                 obs::counter_add("serve.cache_hits", 1);
@@ -541,7 +556,6 @@ fn score_request(
             Lease::Lead => {
                 obs::counter_add("serve.cache_misses", 1);
                 guard.pending.push(fp);
-                to_score.push((fp, i));
             }
             Lease::Expired => {
                 ServeStats::bump(&shared.stats.deadline_exceeded, "serve.deadline_exceeded");
@@ -549,6 +563,14 @@ fn score_request(
             }
         }
     }
+    // The scoring batch keeps first-occurrence request order: only lease
+    // *acquisition* is fingerprint-sorted. Logical-index fault sites
+    // (`drop@account:<i>`, …) and the latency histogram key on batch
+    // position, so that order must stay a deterministic function of the
+    // request, not of per-process fingerprint values. (Scores themselves
+    // are batch-composition-invariant under pinned scaling either way.)
+    let to_score: Vec<(u64, usize)> =
+        unique.iter().copied().filter(|(fp, _)| guard.pending.contains(fp)).collect();
 
     let mut quarantined = 0u64;
     let mut degraded = 0u64;

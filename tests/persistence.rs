@@ -9,7 +9,9 @@
 // stay bit-identical to the Session API they now wrap.
 #![allow(deprecated)]
 
-use dbg4eth::{infer, run, train, Dbg4EthConfig, ModelIoError, TrainedModel};
+use dbg4eth::{
+    infer, run, train, Dbg4EthConfig, InferOptions, ModelIoError, Session, TrainedModel,
+};
 use eth_graph::{SamplerConfig, Subgraph};
 use eth_sim::{AccountClass, Benchmark, DatasetScale, GraphDataset};
 use std::path::PathBuf;
@@ -127,6 +129,74 @@ fn infer_on_empty_batch_returns_empty() {
     let bench = all_category_bench(13);
     let out = train(bench.dataset(AccountClass::Mining), 0.7, &tiny_config());
     assert!(infer(&out.model, &[]).is_empty());
+}
+
+/// Rewrite a v3 container as its faithful v2 equivalent: strip the
+/// trailing confidence scaler from each encoder-branch section and set the
+/// header's version field to 2. The version field sits outside the section
+/// CRCs; the modified branch payloads are re-checksummed by `ModelWriter`.
+fn downgrade_to_v2(v3: &[u8]) -> Vec<u8> {
+    let u32_at = |pos: usize| u32::from_le_bytes(v3[pos..pos + 4].try_into().unwrap());
+    let u64_at = |pos: usize| u64::from_le_bytes(v3[pos..pos + 8].try_into().unwrap());
+    let mut w = model_io::ModelWriter::new();
+    let n_sections = u32_at(8) as usize; // magic (4) + version (4)
+    let mut pos = 12;
+    for _ in 0..n_sections {
+        let name_len = u32_at(pos) as usize;
+        pos += 4;
+        let name = std::str::from_utf8(&v3[pos..pos + name_len]).unwrap().to_string();
+        pos += name_len;
+        let payload_len = u64_at(pos) as usize;
+        pos += 8;
+        let mut payload = v3[pos..pos + payload_len].to_vec();
+        pos += payload_len + 4; // payload + stored CRC
+        if name == "gsg" || name == "ldg" {
+            // v3 appended `present bool + mean f64 + std f64`; a v2 writer
+            // stopped right before it.
+            assert_eq!(payload[payload.len() - 17], 1, "expected a present scaler in {name}");
+            payload.truncate(payload.len() - 17);
+        }
+        let mut sec = model_io::SectionWriter::new();
+        for b in payload {
+            sec.put_u8(b);
+        }
+        w.push(&name, sec);
+    }
+    let mut v2 = w.to_bytes();
+    v2[4..8].copy_from_slice(&2u32.to_le_bytes());
+    v2
+}
+
+/// A pre-v3 container still loads. Plain (batch-refit) scoring never
+/// consulted the stored scaler, so it stays bit-identical to the training
+/// run; a pinned-scaling request has no scaler to pin and must degrade to
+/// batch refitting — served scores flagged degraded, never an error.
+#[test]
+fn v2_containers_load_and_pinned_scaling_degrades_to_refit() {
+    let bench = all_category_bench(15);
+    let dataset = bench.dataset(AccountClass::Exchange);
+    let cfg = tiny_config();
+    let out = train(dataset, 0.7, &cfg);
+    let accounts = test_split_graphs(dataset, 0.7, cfg.seed);
+    let v2 = downgrade_to_v2(&out.model.to_bytes());
+
+    let path = scratch_path("v2-model.dbgm");
+    std::fs::write(&path, &v2).expect("write v2 container");
+    let session = Session::open(&path).expect("v2 container must load strictly");
+
+    let report = session.score(&accounts);
+    let got: Vec<u64> =
+        report.scores.iter().map(|r| r.as_ref().expect("scored").score.to_bits()).collect();
+    assert_eq!(got, bits(&out.run.test_scores), "v2 refit scoring diverged from the training run");
+
+    let opts = InferOptions { pinned_scaling: true, ..InferOptions::default() };
+    let report = session.score_with(&accounts, &opts).expect("degraded, not fatal");
+    for (i, r) in report.scores.iter().enumerate() {
+        let s = r.as_ref().expect("still scored");
+        assert!(s.degraded, "account {i}: pre-v3 pinned scaling must be flagged degraded");
+    }
+    assert_eq!(report.degraded, accounts.len(), "every account rode the scaler-refit fallback");
+    std::fs::remove_file(&path).ok();
 }
 
 /// Every way a model file can be damaged — wrong magic, unsupported

@@ -400,6 +400,49 @@ fn mixed_fault_plan_blast_radius_at_one_and_eight_workers() {
     }
 }
 
+/// Regression guard for the cross-request single-flight deadlock: a
+/// worker used to acquire cache leases in *request* order while blocking
+/// on other requests' in-flight fingerprints — so `[a, b]` racing
+/// `[b, a]` with no deadline could wedge both workers (and their
+/// connection threads) forever. Leases are now acquired in ascending
+/// fingerprint order, so the race below must always drain.
+#[test]
+fn opposite_order_shared_fingerprints_cannot_deadlock() {
+    with_plan("", || {
+        let fx = fixture();
+        // Cache capacity 0: hits never short-circuit `begin`, so the two
+        // workers contend on the same pair of fingerprints every single
+        // iteration — the densest possible race on the lease order.
+        let srv = server(2, 32, Duration::from_millis(2000), 0);
+        let addr = srv.addr();
+        let fwd: Vec<Subgraph> = fx.accounts[..2].to_vec();
+        let rev: Vec<Subgraph> = fwd.iter().rev().cloned().collect();
+        let threads: Vec<_> = [fwd, rev]
+            .into_iter()
+            .map(|batch| {
+                std::thread::spawn(move || {
+                    let mut client = ScoreClient::connect(addr).expect("connect");
+                    for _ in 0..100 {
+                        let reply = client.score(batch.clone(), 0).expect("request");
+                        for r in reply_bits(&reply) {
+                            r.expect("clean score");
+                        }
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().expect("both opposite-order clients drained");
+        }
+        // The surviving server still serves the clean baseline bits.
+        let mut client = ScoreClient::connect(addr).expect("connect");
+        let reply = client.score(fx.accounts[..2].to_vec(), 0).expect("request");
+        let bits: Vec<u64> =
+            reply_bits(&reply).into_iter().map(|r| r.expect("clean score").0).collect();
+        assert_eq!(bits, fx.clean[..2]);
+    });
+}
+
 #[test]
 fn shutdown_drains_and_is_idempotent() {
     with_plan("", || {
