@@ -90,10 +90,10 @@ mod tests {
     use eth_graph::{AccountKind, LocalTx};
 
     fn ring(n: usize, value: f64, label: usize) -> Subgraph {
-        Subgraph {
-            nodes: (0..n).collect(),
-            kinds: vec![AccountKind::Eoa; n],
-            txs: (0..n)
+        Subgraph::from_parts(
+            (0..n).collect(),
+            vec![AccountKind::Eoa; n],
+            (0..n)
                 .map(|i| LocalTx {
                     src: i,
                     dst: (i + 1) % n,
@@ -103,8 +103,8 @@ mod tests {
                     contract_call: false,
                 })
                 .collect(),
-            label: Some(label),
-        }
+            Some(label),
+        )
     }
 
     #[test]

@@ -232,10 +232,10 @@ mod tests {
 
     /// Dense high-value star vs sparse chain: separable by any GNN.
     fn toy_pair() -> (GraphTensors, GraphTensors) {
-        let star = Subgraph {
-            nodes: (0..5).collect(),
-            kinds: vec![AccountKind::Eoa; 5],
-            txs: (1..5)
+        let star = Subgraph::from_parts(
+            (0..5).collect(),
+            vec![AccountKind::Eoa; 5],
+            (1..5)
                 .map(|i| LocalTx {
                     src: 0,
                     dst: i,
@@ -245,12 +245,12 @@ mod tests {
                     contract_call: false,
                 })
                 .collect(),
-            label: Some(1),
-        };
-        let chain = Subgraph {
-            nodes: (0..3).collect(),
-            kinds: vec![AccountKind::Eoa; 3],
-            txs: vec![LocalTx {
+            Some(1),
+        );
+        let chain = Subgraph::from_parts(
+            (0..3).collect(),
+            vec![AccountKind::Eoa; 3],
+            vec![LocalTx {
                 src: 0,
                 dst: 1,
                 value: 0.1,
@@ -258,8 +258,8 @@ mod tests {
                 fee: 0.0,
                 contract_call: false,
             }],
-            label: Some(0),
-        };
+            Some(0),
+        );
         (GraphTensors::from_subgraph(&star, 3), GraphTensors::from_subgraph(&chain, 3))
     }
 

@@ -262,7 +262,7 @@ mod tests {
             bridge: 0,
             defi: 0,
         };
-        let bench = Benchmark::generate(scale, SamplerConfig { top_k: 8, hops: 1 }, 2);
+        let bench = Benchmark::generate(scale, SamplerConfig::new(8, 1), 2);
         let d = bench.dataset(AccountClass::Exchange);
         let mut config = BaselineConfig::default();
         config.train.epochs = 2;

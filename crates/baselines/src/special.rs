@@ -168,10 +168,10 @@ mod tests {
 
     fn toy(label: usize, big: bool) -> GraphTensors {
         let v = if big { 60.0 } else { 0.1 };
-        let g = Subgraph {
-            nodes: (0..4).collect(),
-            kinds: vec![AccountKind::Eoa; 4],
-            txs: (0..6)
+        let g = Subgraph::from_parts(
+            (0..4).collect(),
+            vec![AccountKind::Eoa; 4],
+            (0..6)
                 .map(|i| LocalTx {
                     src: i % 4,
                     dst: (i + 1) % 4,
@@ -181,8 +181,8 @@ mod tests {
                     contract_call: false,
                 })
                 .collect(),
-            label: Some(label),
-        };
+            Some(label),
+        );
         GraphTensors::from_subgraph(&g, 4)
     }
 

@@ -175,10 +175,10 @@ mod tests {
 
     fn toy(label: usize, big: bool) -> GraphTensors {
         let v = if big { 80.0 } else { 0.05 };
-        let g = Subgraph {
-            nodes: (0..4).collect(),
-            kinds: vec![AccountKind::Eoa; 4],
-            txs: (1..4)
+        let g = Subgraph::from_parts(
+            (0..4).collect(),
+            vec![AccountKind::Eoa; 4],
+            (1..4)
                 .map(|i| LocalTx {
                     src: 0,
                     dst: i,
@@ -188,8 +188,8 @@ mod tests {
                     contract_call: false,
                 })
                 .collect(),
-            label: Some(label),
-        };
+            Some(label),
+        );
         GraphTensors::from_subgraph(&g, 3)
     }
 

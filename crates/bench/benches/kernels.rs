@@ -31,7 +31,7 @@ fn small_world() -> (World, TxGraph) {
 fn one_subgraph() -> Subgraph {
     let (world, graph) = small_world();
     let center = world.centers_of(AccountClass::Exchange)[0];
-    sample_subgraph(&graph, center, SamplerConfig { top_k: 2000, hops: 2 }, Some(1))
+    sample_subgraph(&graph, center, SamplerConfig::new(2000, 2), Some(1))
 }
 
 /// Table II kernel: top-K neighbour sampling.
@@ -43,7 +43,7 @@ fn bench_sampling(c: &mut Criterion) {
             black_box(sample_subgraph(
                 &graph,
                 black_box(center),
-                SamplerConfig { top_k: 2000, hops: 2 },
+                SamplerConfig::new(2000, 2),
                 Some(1),
             ))
         })
@@ -169,7 +169,7 @@ fn bench_generation(c: &mut Criterion) {
                 bridge: 0,
                 defi: 0,
             };
-            black_box(Benchmark::generate(scale, SamplerConfig { top_k: 50, hops: 2 }, 9))
+            black_box(Benchmark::generate(scale, SamplerConfig::new(50, 2), 9))
         })
     });
 }

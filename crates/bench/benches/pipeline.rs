@@ -13,7 +13,7 @@ use eth_sim::{AccountClass, Benchmark, DatasetScale};
 fn tiny_benchmark() -> Benchmark {
     let scale =
         DatasetScale { exchange: 10, ico_wallet: 0, mining: 0, phish_hack: 0, bridge: 10, defi: 0 };
-    Benchmark::generate(scale, SamplerConfig { top_k: 20, hops: 2 }, 13)
+    Benchmark::generate(scale, SamplerConfig::new(20, 2), 13)
 }
 
 fn tiny_config() -> Dbg4EthConfig {

@@ -9,7 +9,7 @@ fn env(k: &str, d: f64) -> f64 {
 }
 
 fn main() {
-    let bench = Benchmark::generate(DatasetScale::small(), SamplerConfig { top_k: 30, hops: 2 }, 7);
+    let bench = Benchmark::generate(DatasetScale::small(), SamplerConfig::new(30, 2), 7);
     let cfg = Dbg4EthConfig::builder()
         .epochs(env("EPOCHS", 12.0) as usize)
         .lr(env("LR", 0.005) as f32)

@@ -177,7 +177,9 @@ fn count_reply(tally: &Tally, reply: &Reply) {
         Reply::ProtocolError(_) => {
             tally.protocol_errors.fetch_add(1, Ordering::Relaxed);
         }
-        Reply::Stats(_) | Reply::ShutdownAck => {}
+        // Stats/ShutdownAck/IngestAck (and any future `#[non_exhaustive]`
+        // additions) don't carry per-account outcomes to tally.
+        _ => {}
     }
 }
 

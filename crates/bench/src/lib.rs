@@ -79,7 +79,7 @@ pub fn threads() -> usize {
 /// degrees are ≤ ~130 so K = 2000 keeps every neighbour, exactly like the
 /// paper's effectively-unclipped sampling).
 pub fn sampler() -> SamplerConfig {
-    SamplerConfig { top_k: 2000, hops: 2 }
+    SamplerConfig::new(2000, 2)
 }
 
 /// Generate the shared benchmark world + datasets.

@@ -2,7 +2,7 @@
 //!
 //! Everything travels as IEEE-754 bit patterns, so a saved
 //! [`AdaptiveCalibrator`] reproduces its in-memory twin's outputs exactly —
-//! the byte-identity contract of `dbg4eth::infer` flows through here.
+//! the byte-identity contract of `dbg4eth::Session::score` flows through here.
 //! Malformed payloads surface as typed [`ModelIoError`]s, never panics.
 
 use crate::adaptive::AdaptiveCalibrator;

@@ -11,8 +11,10 @@
 //! 3. scale and adaptively calibrate both branches' confidences (`calib`),
 //! 4. classify the calibrated pair with a LightGBM-style GBDT (`boost`).
 //!
-//! Entry point: [`run`] on an `eth_sim::GraphDataset` with a
-//! [`Dbg4EthConfig`].
+//! Entry points: [`run`] for a one-shot train-and-evaluate on an
+//! `eth_sim::GraphDataset` with a [`Dbg4EthConfig`], and [`Session`] for
+//! the train/persist/serve lifecycle ([`Session::train`],
+//! [`Session::open`], [`Session::score`]).
 //!
 //! ```no_run
 //! use dbg4eth::{run, Dbg4EthConfig};
@@ -38,8 +40,6 @@ pub use config::{
     FeatureMode,
 };
 pub use error::Error;
-#[allow(deprecated)] // re-exported for one release; Session replaces them
-pub use model::{infer, infer_detailed, train};
 pub use model::{
     AccountScore, DegradedLoad, InferReport, LostSection, ScoreError, TrainOutput, TrainedBranch,
     TrainedModel,

@@ -1,19 +1,20 @@
 //! Train/serve split: train once, persist the fitted model, score new
 //! accounts in a fresh process.
 //!
-//! [`train`] runs the same pipeline as [`crate::run`] but keeps every
-//! fitted stage — the full-split GSG and LDG encoders, their adaptive
-//! calibration ensembles and the stacked GBDT — inside a [`TrainedModel`].
-//! [`TrainedModel::save`]/[`TrainedModel::load`] move it through the
-//! versioned, checksummed `model-io` container, and [`infer`] scores
-//! unlabelled account subgraphs through the identical feature → encoder →
-//! calibration → classifier path.
+//! [`crate::Session::train`] runs the same pipeline as [`crate::run`] but
+//! keeps every fitted stage — the full-split GSG and LDG encoders, their
+//! adaptive calibration ensembles and the stacked GBDT — inside a
+//! [`TrainedModel`]. [`TrainedModel::save`]/[`TrainedModel::load`] move it
+//! through the versioned, checksummed `model-io` container, and
+//! [`crate::Session::score`] serves unlabelled account subgraphs through
+//! the identical feature → encoder → calibration → classifier path.
 //!
 //! The contract, enforced by the tier-1 persistence suite: for the test
-//! split of the training dataset, `infer(&model, test_graphs)` equals
-//! `run(..).test_scores` **bit for bit**, before and after a save → load
-//! round trip, at any thread count. Corrupted or version-mismatched files
-//! are rejected with a typed [`ModelIoError`]; loading never panics.
+//! split of the training dataset, scoring `test_graphs` through the
+//! session equals `run(..).test_scores` **bit for bit**, before and after
+//! a save → load round trip, at any thread count. Corrupted or
+//! version-mismatched files are rejected with a typed [`ModelIoError`];
+//! loading never panics.
 
 use crate::config::{CalibrationConfig, ClassifierKind, Dbg4EthConfig, FeatureMode};
 use crate::pipeline::{
@@ -110,7 +111,7 @@ pub struct AccountScore {
     pub degraded: bool,
 }
 
-/// Everything [`infer_detailed`] knows about a batch: one entry per input
+/// Everything [`crate::Session::score`] knows about a batch: one entry per input
 /// account (in input order) plus the degradation tallies that feed the
 /// obs counters and the JSON run-report.
 #[derive(Clone, Debug)]
@@ -181,8 +182,9 @@ pub struct TrainedModel {
     pub classifier: Gbdt,
 }
 
-/// Result of [`train`]: the persistable model and the usual run output
-/// (metrics, diagnostics, test-split scores) for reporting.
+/// Result of training (surfaced through [`crate::Session::train`]): the
+/// persistable model and the usual run output (metrics, diagnostics,
+/// test-split scores) for reporting.
 pub struct TrainOutput {
     pub model: TrainedModel,
     pub run: RunOutput,
@@ -211,18 +213,13 @@ fn classifier_config(config: &Dbg4EthConfig) -> GbdtConfig {
     }
 }
 
-/// Train the full pipeline on `dataset` and keep every fitted stage.
+/// Train the full pipeline on `dataset` and keep every fitted stage — the
+/// training body behind [`crate::Session::train`].
 ///
 /// The training computation is shared with [`crate::run`]: the returned
 /// `run.test_scores` are bit-identical to what `run` would produce for the
 /// same inputs, and scoring the test graphs through the model reproduces
 /// them.
-#[deprecated(note = "use dbg4eth::Session::train")]
-pub fn train(dataset: &GraphDataset, train_frac: f64, config: &Dbg4EthConfig) -> TrainOutput {
-    train_impl(dataset, train_frac, config)
-}
-
-/// Shared training body behind [`train`] and [`crate::Session::train`].
 pub(crate) fn train_impl(
     dataset: &GraphDataset,
     train_frac: f64,
@@ -267,60 +264,6 @@ pub(crate) fn train_impl(
     TrainOutput { model: TrainedModel { config: *config, gsg, ldg, classifier }, run }
 }
 
-/// Score unlabelled account subgraphs with a trained model.
-///
-/// Mirrors the pipeline's test path exactly: lower per the configured
-/// feature mode, raw log-odds from each enabled encoder (fanned out over
-/// the configured worker threads), per-batch confidence scaling, the saved
-/// adaptive calibrators, then the stacked GBDT. Returns `P(positive)` per
-/// account, in input order.
-///
-/// This is the strict wrapper over [`infer_detailed`]: an account that
-/// cannot be scored at all (invalid subgraph, contained panic with no
-/// fallback) panics with the typed reason. On valid inputs with no fault
-/// plan the output is bit-identical to the degradation-free pipeline.
-#[deprecated(note = "use dbg4eth::Session::score_with with InferOptions { strict: true, .. }")]
-pub fn infer(model: &TrainedModel, accounts: &[Subgraph]) -> Vec<f64> {
-    infer_impl(model, accounts, model.config.threads(), InferRun::default())
-        .scores
-        .into_iter()
-        .enumerate()
-        .map(|(i, r)| match r {
-            Ok(s) => s.score,
-            Err(e) => panic!("account {i} unscorable: {e}"),
-        })
-        .collect()
-}
-
-/// Score accounts with per-account containment and graceful degradation.
-///
-/// The ladder, applied independently per account so damage never spreads:
-///
-/// 1. **Quarantine** — the subgraph is validated up front
-///    ([`Subgraph::validate`]); invalid or fault-dropped accounts get a
-///    typed [`ScoreError`] and never touch the pipeline.
-/// 2. **Contained lowering** — each account lowers in its own panic
-///    boundary; a lowering panic fails only that account.
-/// 3. **Branch scoring** — each enabled branch scores survivors in
-///    parallel with per-task isolation. A panicking or non-finite raw
-///    score fails the (account, branch) pair, not the batch; the
-///    confidence scaler is fitted on the finite survivors.
-/// 4. **Calibrator fallback** — a panicking or lost calibrator downgrades
-///    its branch to uncalibrated scaled confidences (`degraded: true`).
-/// 5. **Classifier** — per-row prediction in a panic boundary; a failing
-///    row falls back to the mean of the branch confidences.
-/// 6. **Surviving branch** — an account with one usable branch confidence
-///    is scored from it directly (`degraded: true`); with none, it gets
-///    [`ScoreError::NoUsableBranch`].
-///
-/// Every degradation is counted in the obs registry (`infer.quarantined`,
-/// `infer.degraded`, `infer.branch_failures`, `infer.calibrator_fallbacks`,
-/// `infer.classifier_fallbacks`) and lands in the JSON run-report.
-#[deprecated(note = "use dbg4eth::Session::score / Session::score_with")]
-pub fn infer_detailed(model: &TrainedModel, accounts: &[Subgraph]) -> InferReport {
-    infer_impl(model, accounts, model.config.threads(), InferRun::default())
-}
-
 /// Per-call serving controls threaded through [`infer_impl`], beyond the
 /// worker count: the cooperative deadline and the scaling mode.
 #[derive(Clone, Copy, Debug, Default)]
@@ -336,7 +279,7 @@ pub(crate) struct InferRun {
     pub pinned_scaling: bool,
 }
 
-/// Shared serving body behind [`infer`], [`infer_detailed`] and
+/// Shared serving body behind [`crate::Session::score`] and
 /// [`crate::Session::score_with`]. `threads` is the already-resolved worker
 /// count; every setting produces bit-identical scores.
 pub(crate) fn infer_impl(

@@ -178,7 +178,7 @@ mod tests {
             WorldConfig { n_background: 500, seed: 2, ..Default::default() },
             &[(AccountClass::Exchange, 10), (AccountClass::Mining, 10), (AccountClass::Normal, 10)],
         );
-        let graphs = multiclass_graphs(&world, SamplerConfig { top_k: 15, hops: 2 });
+        let graphs = multiclass_graphs(&world, SamplerConfig::new(15, 2));
         // Only 3 of the 7 labels appear; run with the full 7-way head.
         let mut cfg = Dbg4EthConfig::fast();
         cfg.epochs = 20;
@@ -208,7 +208,7 @@ mod tests {
             WorldConfig { n_background: 400, seed: 3, ..Default::default() },
             &[(AccountClass::Exchange, 8), (AccountClass::Mining, 8), (AccountClass::Normal, 8)],
         );
-        let graphs = multiclass_graphs(&world, SamplerConfig { top_k: 12, hops: 2 });
+        let graphs = multiclass_graphs(&world, SamplerConfig::new(12, 2));
         let mut cfg = Dbg4EthConfig::fast();
         cfg.epochs = 6;
         cfg.gsg.hidden = 16;

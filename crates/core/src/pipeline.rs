@@ -531,7 +531,7 @@ mod tests {
             bridge: 0,
             defi: 0,
         };
-        Benchmark::generate(scale, SamplerConfig { top_k: 12, hops: 2 }, 5)
+        Benchmark::generate(scale, SamplerConfig::new(12, 2), 5)
     }
 
     fn tiny_config() -> Dbg4EthConfig {

@@ -1,8 +1,8 @@
 //! The serving-session handle: one loaded (or freshly trained) model plus
 //! everything needed to score accounts with it.
 //!
-//! [`Session`] replaces the free-function trio `train` / `infer` /
-//! `infer_detailed`:
+//! [`Session`] is the one train/serve surface — the free-function trio
+//! `train` / `infer` / `infer_detailed` it replaced is gone:
 //!
 //! ```no_run
 //! use dbg4eth::{InferOptions, Session};
@@ -15,8 +15,8 @@
 //! # Ok::<(), dbg4eth::Error>(())
 //! ```
 //!
-//! Scores are bit-identical to the deprecated free functions for every
-//! option combination — the session only routes, it never recomputes.
+//! Scores are bit-identical for every option combination — the session
+//! only routes, it never recomputes.
 
 use crate::config::{ConfigError, Dbg4EthConfig};
 use crate::error::Error;
@@ -132,9 +132,34 @@ impl Session {
         Ok(self.model.save(path)?)
     }
 
-    /// Score accounts with graceful per-account degradation on the model's
-    /// configured thread count. Equivalent to the deprecated
-    /// `infer_detailed`, bit for bit.
+    /// Score accounts with per-account containment and graceful
+    /// degradation, on the model's configured thread count.
+    ///
+    /// The ladder, applied independently per account so damage never
+    /// spreads:
+    ///
+    /// 1. **Quarantine** — the subgraph is validated up front
+    ///    ([`Subgraph::validate`]); invalid or fault-dropped accounts get
+    ///    a typed [`crate::ScoreError`] and never touch the pipeline.
+    /// 2. **Contained lowering** — each account lowers in its own panic
+    ///    boundary; a lowering panic fails only that account.
+    /// 3. **Branch scoring** — each enabled branch scores survivors in
+    ///    parallel with per-task isolation. A panicking or non-finite raw
+    ///    score fails the (account, branch) pair, not the batch; the
+    ///    confidence scaler is fitted on the finite survivors.
+    /// 4. **Calibrator fallback** — a panicking or lost calibrator
+    ///    downgrades its branch to uncalibrated scaled confidences
+    ///    (`degraded: true`).
+    /// 5. **Classifier** — per-row prediction in a panic boundary; a
+    ///    failing row falls back to the mean of the branch confidences.
+    /// 6. **Surviving branch** — an account with one usable branch
+    ///    confidence is scored from it directly (`degraded: true`); with
+    ///    none, it gets [`crate::ScoreError::NoUsableBranch`].
+    ///
+    /// Every degradation is counted in the obs registry
+    /// (`infer.quarantined`, `infer.degraded`, `infer.branch_failures`,
+    /// `infer.calibrator_fallbacks`, `infer.classifier_fallbacks`) and
+    /// lands in the JSON run-report.
     pub fn score(&self, accounts: &[Subgraph]) -> InferReport {
         infer_impl(&self.model, accounts, self.model.config.threads(), InferRun::default())
     }
@@ -177,7 +202,7 @@ mod tests {
             bridge: 0,
             defi: 0,
         };
-        let bench = Benchmark::generate(scale, SamplerConfig { top_k: 10, hops: 2 }, 23);
+        let bench = Benchmark::generate(scale, SamplerConfig::new(10, 2), 23);
         let graphs = bench.dataset(AccountClass::Exchange).graphs.clone();
         let dataset = GraphDataset { class: AccountClass::Exchange, graphs };
         let mut cfg = Dbg4EthConfig::fast();
@@ -198,19 +223,16 @@ mod tests {
     }
 
     #[test]
-    fn session_round_trip_matches_deprecated_functions_bitwise() {
+    fn session_round_trip_reproduces_training_scores_bitwise() {
         let (dataset, cfg) = tiny();
         let (session, run) = Session::train(&dataset, 0.7, &cfg).expect("train");
         let accounts = test_accounts(&dataset, cfg.seed);
 
-        // score == the deprecated infer_detailed, bit for bit.
-        #[allow(deprecated)]
-        let old = crate::model::infer_detailed(session.model(), &accounts);
+        // score == the pipeline's test-split scores, bit for bit.
         let new = session.score(&accounts);
         let bits = |r: &InferReport| -> Vec<Option<u64>> {
             r.scores.iter().map(|s| s.as_ref().ok().map(|a| a.score.to_bits())).collect()
         };
-        assert_eq!(bits(&old), bits(&new));
         assert_eq!(
             run.test_scores.iter().map(|p| p.to_bits()).collect::<Vec<_>>(),
             new.scores.iter().map(|s| s.as_ref().unwrap().score.to_bits()).collect::<Vec<_>>()

@@ -228,10 +228,10 @@ mod tests {
     #[test]
     fn trans2vec_prefers_heavy_edges() {
         // Star 0-{1,2}: edge to 1 carries 1000x the value of edge to 2.
-        let g = Subgraph {
-            nodes: vec![0, 1, 2],
-            kinds: vec![AccountKind::Eoa; 3],
-            txs: vec![
+        let g = Subgraph::from_parts(
+            vec![0, 1, 2],
+            vec![AccountKind::Eoa; 3],
+            vec![
                 LocalTx {
                     src: 0,
                     dst: 1,
@@ -249,8 +249,8 @@ mod tests {
                     contract_call: false,
                 },
             ],
-            label: None,
-        };
+            None,
+        );
         let mut rng = StdRng::seed_from_u64(4);
         let cfg = WalkConfig { walk_length: 2, walks_per_node: 300 };
         let walks = trans2vec_walks(&g, 1.0, cfg, &mut rng);

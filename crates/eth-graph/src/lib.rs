@@ -4,6 +4,8 @@
 //!
 //! * [`TxRecord`] / [`AccountKind`] — domain types (Section II-A),
 //! * [`TxGraph`] — the global multigraph with merged pair statistics,
+//! * [`GraphStore`] — streaming ingest: the mutable multigraph, grown
+//!   batch-by-batch with [`IngestDelta`] invalidation reporting,
 //! * [`sample_subgraph`] — top-K important-neighbour sampling (Eq. 2),
 //! * [`Subgraph`] — account-centred subgraphs with GSG merged edges and
 //!   LDG time slices (Eq. 1, Section III-B3),
@@ -15,11 +17,13 @@ pub mod adj;
 pub mod centrality;
 mod sampling;
 pub mod stats;
+mod store;
 mod subgraph;
 mod tx;
 mod txgraph;
 
 pub use sampling::{sample_subgraph, SamplerConfig};
+pub use store::{GraphStore, IngestDelta, IngestReject, StoreConfig};
 pub use subgraph::{LocalTx, MergedEdge, Subgraph, SubgraphError, TimeSlice};
 pub use tx::{filter_submitted, AccountKind, TxRecord};
 pub use txgraph::{PairStats, TxGraph};

@@ -6,8 +6,9 @@
 //! duplicate averages). Iterating for `h` hops yields the node set
 //! `V_i = ⋃ₖ Vₖ` of the account-centred subgraph.
 
-use crate::subgraph::{LocalTx, Subgraph};
+use crate::subgraph::{LocalTx, Subgraph, SubgraphError};
 use crate::txgraph::TxGraph;
+use std::borrow::Cow;
 use std::collections::HashMap;
 
 /// Fixed bucket edges for the sampled-subgraph size histograms — constant
@@ -16,7 +17,11 @@ const SUBGRAPH_NODE_EDGES: &[f64] = &[8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0
 const SUBGRAPH_TX_EDGES: &[f64] = &[16.0, 64.0, 256.0, 1024.0, 4096.0, 16384.0];
 
 /// Parameters of the subgraph sampler.
+///
+/// `#[non_exhaustive]`: construct with [`SamplerConfig::new`] or
+/// [`SamplerConfig::default`] so future knobs are not semver breaks.
 #[derive(Clone, Copy, Debug)]
+#[non_exhaustive]
 pub struct SamplerConfig {
     /// Neighbours kept per node per hop (paper: K = 2000).
     pub top_k: usize,
@@ -24,15 +29,27 @@ pub struct SamplerConfig {
     pub hops: usize,
 }
 
-impl Default for SamplerConfig {
-    fn default() -> Self {
-        Self { top_k: 2000, hops: 2 }
+impl SamplerConfig {
+    /// A sampler keeping the `top_k` most important neighbours per node
+    /// for `hops` hops.
+    #[must_use]
+    pub fn new(top_k: usize, hops: usize) -> Self {
+        Self { top_k, hops }
     }
 }
 
-/// Rank the neighbours of `node` by (avg value desc, total value desc,
-/// neighbour id asc) and keep the best `k`.
-fn top_k_neighbours(graph: &TxGraph, node: usize, k: usize) -> Vec<usize> {
+impl Default for SamplerConfig {
+    fn default() -> Self {
+        Self::new(2000, 2)
+    }
+}
+
+/// Rank **all** neighbours of `node` by (avg value desc, total value desc,
+/// neighbour id asc). The full ranking is k-independent, so callers (the
+/// free sampler, [`crate::GraphStore`]'s per-account cache) truncate to
+/// their own `top_k` — both paths share this one comparator, which is what
+/// keeps streamed and rebuilt sampling bit-identical.
+pub(crate) fn rank_neighbours(graph: &TxGraph, node: usize) -> Vec<usize> {
     // Combine both directions per neighbour: the edge importance used for
     // sampling is the best merged edge between the pair.
     let mut scored: Vec<(usize, f64, f64)> = graph
@@ -58,7 +75,6 @@ fn top_k_neighbours(graph: &TxGraph, node: usize, k: usize) -> Vec<usize> {
             .then(b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal))
             .then(a.0.cmp(&b.0))
     });
-    scored.truncate(k);
     scored.into_iter().map(|(nb, _, _)| nb).collect()
 }
 
@@ -70,6 +86,20 @@ pub fn sample_subgraph(
     config: SamplerConfig,
     label: Option<usize>,
 ) -> Subgraph {
+    sample_with_ranker(graph, center, config, label, |g, node| Cow::Owned(rank_neighbours(g, node)))
+}
+
+/// The sampling loop, generic over where ranked neighbour lists come from:
+/// computed on the fly (the free function) or served from a pre-ranked
+/// cache ([`crate::GraphStore`]). `ranked` must return the full
+/// [`rank_neighbours`] ordering; truncation to `top_k` happens here.
+pub(crate) fn sample_with_ranker<'g>(
+    graph: &'g TxGraph,
+    center: usize,
+    config: SamplerConfig,
+    label: Option<usize>,
+    ranked: impl Fn(&'g TxGraph, usize) -> Cow<'g, [usize]>,
+) -> Subgraph {
     let mut selected: Vec<usize> = vec![center];
     let mut in_set: HashMap<usize, usize> = HashMap::new();
     in_set.insert(center, 0);
@@ -77,7 +107,8 @@ pub fn sample_subgraph(
     for _hop in 0..config.hops {
         let mut next = Vec::new();
         for &node in &frontier {
-            for nb in top_k_neighbours(graph, node, config.top_k) {
+            let order = ranked(graph, node);
+            for &nb in order.iter().take(config.top_k) {
                 if let std::collections::hash_map::Entry::Vacant(e) = in_set.entry(nb) {
                     e.insert(selected.len());
                     selected.push(nb);
@@ -115,7 +146,18 @@ pub fn sample_subgraph(
     obs::observe("graph.subgraph_nodes", SUBGRAPH_NODE_EDGES, selected.len() as f64);
     obs::observe("graph.subgraph_txs", SUBGRAPH_TX_EDGES, txs.len() as f64);
     let kinds = selected.iter().map(|&a| graph.kind(a)).collect();
-    Subgraph { nodes: selected, kinds, txs, label }
+    let sub = Subgraph::from_parts(selected, kinds, txs, label);
+    // Constructed through the validated path: a clean graph always passes
+    // (an inactive centre's edge-less singleton is the one benign
+    // exception). Violations are *data* problems — duplicate records or
+    // fault-injected poison already present in the TxGraph — which must
+    // flow through to per-account quarantine with the same typed reason,
+    // never panic the sampler; the counter makes them visible upstream.
+    match sub.validate() {
+        Ok(()) | Err(SubgraphError::NoEdges) => {}
+        Err(_) => obs::counter_add("graph.sampled_invalid", 1),
+    }
+    sub
 }
 
 #[cfg(test)]

@@ -94,7 +94,12 @@ pub struct TimeSlice {
 }
 
 /// An account-centred subgraph. Node 0 is always the centre account.
+///
+/// `#[non_exhaustive]`: construct through [`Subgraph::new`] (validated) or
+/// [`Subgraph::from_parts`] (unchecked); fields stay readable and mutable
+/// but new fields may be added without a semver break.
 #[derive(Clone, Debug)]
+#[non_exhaustive]
 pub struct Subgraph {
     /// Global account ids of the local nodes; `nodes[0]` is the centre.
     pub nodes: Vec<usize>,
@@ -106,6 +111,36 @@ pub struct Subgraph {
 }
 
 impl Subgraph {
+    /// Construct and [`validate`](Subgraph::validate) in one step: the
+    /// subgraph you get back is guaranteed scoreable (every invariant the
+    /// encoding path relies on holds). Rejects with the same typed
+    /// [`SubgraphError`] the quarantine path reports.
+    pub fn new(
+        nodes: Vec<usize>,
+        kinds: Vec<AccountKind>,
+        txs: Vec<LocalTx>,
+        label: Option<usize>,
+    ) -> Result<Self, SubgraphError> {
+        let g = Self::from_parts(nodes, kinds, txs, label);
+        g.validate()?;
+        Ok(g)
+    }
+
+    /// Construct without validating. For producers that legitimately emit
+    /// shapes `validate` rejects — the sampler's edge-less singleton for an
+    /// inactive centre, wire decoding ahead of per-account quarantine, and
+    /// tests that need malformed subgraphs on purpose. Everything else
+    /// should use [`Subgraph::new`].
+    #[must_use]
+    pub fn from_parts(
+        nodes: Vec<usize>,
+        kinds: Vec<AccountKind>,
+        txs: Vec<LocalTx>,
+        label: Option<usize>,
+    ) -> Self {
+        Self { nodes, kinds, txs, label }
+    }
+
     /// Number of nodes.
     pub fn n(&self) -> usize {
         self.nodes.len()
@@ -322,6 +357,20 @@ mod tests {
     #[test]
     fn validate_accepts_well_formed_subgraphs() {
         assert_eq!(sample().validate(), Ok(()));
+    }
+
+    #[test]
+    fn new_validates_and_from_parts_does_not() {
+        let g = sample();
+        assert!(Subgraph::new(g.nodes.clone(), g.kinds.clone(), g.txs.clone(), g.label).is_ok());
+        assert_eq!(
+            Subgraph::new(g.nodes.clone(), g.kinds.clone(), Vec::new(), g.label).unwrap_err(),
+            SubgraphError::NoEdges
+        );
+        // The unchecked constructor accepts the same shape and defers the
+        // verdict to validate().
+        let raw = Subgraph::from_parts(g.nodes.clone(), g.kinds.clone(), Vec::new(), None);
+        assert_eq!(raw.validate(), Err(SubgraphError::NoEdges));
     }
 
     #[test]

@@ -112,18 +112,52 @@ impl TxGraph {
         &self.neighbours[account]
     }
 
-    /// All merged directed pairs incident to `account` (either direction).
-    pub fn incident_pairs(&self, account: usize) -> Vec<&PairStats> {
-        let mut out = Vec::new();
-        for &nb in &self.neighbours[account] {
-            if let Some(p) = self.pairs.get(&(account, nb)) {
-                out.push(p);
-            }
-            if let Some(p) = self.pairs.get(&(nb, account)) {
-                out.push(p);
+    /// All merged directed pairs incident to `account` (either direction),
+    /// lazily — no per-call allocation on the feature hot path. Pairs come
+    /// out grouped per neighbour (outgoing before incoming), neighbours in
+    /// ascending id order.
+    pub fn incident_pairs(&self, account: usize) -> impl Iterator<Item = &PairStats> + '_ {
+        self.neighbours[account].iter().flat_map(move |&nb| {
+            [self.pairs.get(&(account, nb)), self.pairs.get(&(nb, account))].into_iter().flatten()
+        })
+    }
+
+    /// Append `extra` fresh (transaction-less) accounts, returning the id
+    /// of the first new account. Used by [`crate::GraphStore`].
+    pub(crate) fn push_accounts(&mut self, extra: &[AccountKind]) -> usize {
+        let first = self.n_accounts;
+        self.kinds.extend_from_slice(extra);
+        self.n_accounts += extra.len();
+        self.out_txs.resize_with(self.n_accounts, Vec::new);
+        self.in_txs.resize_with(self.n_accounts, Vec::new);
+        self.neighbours.resize_with(self.n_accounts, Vec::new);
+        first
+    }
+
+    /// Append one already-validated, submitted transaction, updating every
+    /// index exactly as [`TxGraph::build`] would have: pair stats fold
+    /// `total_value` in arrival order and neighbour lists stay sorted and
+    /// deduplicated, so an incrementally grown graph is bit-identical to a
+    /// from-scratch rebuild over the same record sequence.
+    pub(crate) fn insert_submitted(&mut self, t: TxRecord) {
+        debug_assert!(t.submitted && t.from < self.n_accounts && t.to < self.n_accounts);
+        let i = self.txs.len();
+        self.out_txs[t.from].push(i);
+        self.in_txs[t.to].push(i);
+        let e = self.pairs.entry((t.from, t.to)).or_insert(PairStats {
+            from: t.from,
+            to: t.to,
+            total_value: 0.0,
+            count: 0,
+        });
+        e.total_value += t.value;
+        e.count += 1;
+        for (a, b) in [(t.from, t.to), (t.to, t.from)] {
+            if let Err(pos) = self.neighbours[a].binary_search(&b) {
+                self.neighbours[a].insert(pos, b);
             }
         }
-        out
+        self.txs.push(t);
     }
 }
 
@@ -164,7 +198,7 @@ mod tests {
         let txs = vec![tx(0, 1, 1.0), tx(2, 0, 1.0), tx(3, 2, 1.0)];
         let g = TxGraph::build(kinds, txs);
         assert_eq!(g.neighbours(0), &[1, 2]);
-        assert_eq!(g.incident_pairs(0).len(), 2);
+        assert_eq!(g.incident_pairs(0).count(), 2);
         assert_eq!(g.neighbours(3), &[2]);
     }
 

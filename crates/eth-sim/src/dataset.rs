@@ -248,7 +248,7 @@ mod tests {
             bridge: 4,
             defi: 4,
         };
-        Benchmark::generate(scale, SamplerConfig { top_k: 30, hops: 2 }, 3)
+        Benchmark::generate(scale, SamplerConfig::new(30, 2), 3)
     }
 
     #[test]

@@ -11,6 +11,7 @@ mod dataset;
 pub mod dist;
 mod obfuscate;
 mod profile;
+mod stream;
 mod world;
 
 pub use dataset::{
@@ -21,4 +22,5 @@ pub use obfuscate::{
     denomination_for, obfuscate_dataset, obfuscate_subgraph, MixerConfig, DENOMINATIONS,
 };
 pub use profile::{profile, AccountClass, ClassProfile, TemporalPattern};
+pub use stream::{StreamScenario, StreamWindow};
 pub use world::{World, WorldConfig, EPOCH_END, EPOCH_START};

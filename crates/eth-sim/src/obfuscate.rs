@@ -108,10 +108,10 @@ mod tests {
     use super::*;
 
     fn graph() -> Subgraph {
-        Subgraph {
-            nodes: vec![10, 20, 30],
-            kinds: vec![AccountKind::Eoa; 3],
-            txs: vec![
+        Subgraph::from_parts(
+            vec![10, 20, 30],
+            vec![AccountKind::Eoa; 3],
+            vec![
                 LocalTx {
                     src: 0,
                     dst: 1,
@@ -137,8 +137,8 @@ mod tests {
                     contract_call: false,
                 },
             ],
-            label: Some(1),
-        }
+            Some(1),
+        )
     }
 
     #[test]

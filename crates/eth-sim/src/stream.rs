@@ -1,0 +1,157 @@
+//! Temporal-drift streaming scenario: one world, presented as an ordered
+//! transaction stream cut into equal time windows.
+//!
+//! The streaming evaluation (`bench`'s `stream-eval`) trains on a time
+//! prefix of the stream, then applies the remaining windows one at a time
+//! through `eth_graph::GraphStore::apply` and re-scores the centres each
+//! window touched. With `drift > 0` the labelled centres behave more like
+//! ordinary accounts as their lifetimes progress (see
+//! [`crate::WorldConfig::drift`]), so per-window F1/ECE measured against
+//! the frozen early model *decays* — the paper's temporal-generalisation
+//! failure mode, reproduced synthetically.
+//!
+//! The scenario is deliberately thin: it owns the account universe, the
+//! binary-labelled centres and the time-sorted transaction log, and knows
+//! how to slice the log into windows. Graph maintenance belongs to
+//! `GraphStore`, scoring to `dbg4eth::Session`.
+
+use crate::profile::AccountClass;
+use crate::world::{World, WorldConfig};
+use eth_graph::{AccountKind, TxRecord};
+use std::ops::Range;
+
+/// One equal-width time slice of the stream.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StreamWindow {
+    /// Inclusive start timestamp of the window.
+    pub t_start: u64,
+    /// Exclusive end timestamp (the last window's is `t_end + 1` so it
+    /// covers the final transaction).
+    pub t_end: u64,
+    /// Index range into [`StreamScenario::txs`] (which is time-sorted, so
+    /// every window is a contiguous slice).
+    pub txs: Range<usize>,
+}
+
+/// A drifting world flattened into an ordered transaction stream (see the
+/// module docs).
+pub struct StreamScenario {
+    /// Kind of every account in the universe.
+    pub kinds: Vec<AccountKind>,
+    /// Binary-labelled centres: `(account id, is_positive)`. Positives are
+    /// the scenario's class; negatives are `Normal` centres.
+    pub centers: Vec<(usize, bool)>,
+    /// The full transaction log, sorted by timestamp.
+    pub txs: Vec<TxRecord>,
+    /// Timestamp of the first transaction.
+    pub t_start: u64,
+    /// Timestamp of the last transaction.
+    pub t_end: u64,
+}
+
+impl StreamScenario {
+    /// Generate a scenario with `n_pos` positive centres of `class`,
+    /// `n_pos` `Normal` negatives, and the given behavioural drift.
+    /// Determinism matches [`World::generate`]: same arguments, same
+    /// stream, bit for bit.
+    pub fn generate(class: AccountClass, n_pos: usize, drift: f64, seed: u64) -> Self {
+        Self::from_config(
+            WorldConfig { drift, seed, n_background: 600, ..WorldConfig::default() },
+            class,
+            n_pos,
+        )
+    }
+
+    /// [`StreamScenario::generate`] with an explicit [`WorldConfig`] (the
+    /// `drift` and `seed` fields are taken from `config`).
+    pub fn from_config(config: WorldConfig, class: AccountClass, n_pos: usize) -> Self {
+        assert_ne!(class, AccountClass::Normal, "positives must be a labelled class");
+        let world = World::generate(config, &[(class, n_pos), (AccountClass::Normal, n_pos)]);
+        let World { kinds, classes: _, centers, txs } = world;
+        let centers = centers.into_iter().map(|(a, c)| (a, c == class)).collect();
+        let (t_start, t_end) = match (txs.first(), txs.last()) {
+            (Some(first), Some(last)) => (first.timestamp, last.timestamp),
+            _ => (0, 0),
+        };
+        Self { kinds, centers, txs, t_start, t_end }
+    }
+
+    /// Cut the stream into `n` equal-width time windows covering
+    /// `[t_start, t_end]`. Every transaction lands in exactly one window
+    /// and the index ranges tile `0..txs.len()` in order.
+    pub fn windows(&self, n: usize) -> Vec<StreamWindow> {
+        assert!(n > 0, "at least one window");
+        let span = (self.t_end - self.t_start).max(1) + 1; // inclusive of t_end
+        let mut out = Vec::with_capacity(n);
+        let mut lo = 0usize;
+        for w in 0..n {
+            let t0 = self.t_start + span * w as u64 / n as u64;
+            let t1 = self.t_start + span * (w as u64 + 1) / n as u64;
+            let hi = lo + self.txs[lo..].partition_point(|t| t.timestamp < t1);
+            out.push(StreamWindow { t_start: t0, t_end: t1, txs: lo..hi });
+            lo = hi;
+        }
+        debug_assert_eq!(lo, self.txs.len(), "windows must tile the stream");
+        out
+    }
+
+    /// The transactions of one window (a contiguous, time-sorted slice).
+    #[must_use]
+    pub fn window_txs(&self, window: &StreamWindow) -> &[TxRecord] {
+        &self.txs[window.txs.clone()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> StreamScenario {
+        StreamScenario::from_config(
+            WorldConfig { n_background: 200, drift: 0.5, seed: 13, ..WorldConfig::default() },
+            AccountClass::Exchange,
+            4,
+        )
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = tiny();
+        let b = tiny();
+        assert_eq!(a.txs, b.txs);
+        assert_eq!(a.centers, b.centers);
+        assert_eq!((a.t_start, a.t_end), (b.t_start, b.t_end));
+    }
+
+    #[test]
+    fn centers_are_balanced_binary() {
+        let s = tiny();
+        let pos = s.centers.iter().filter(|(_, p)| *p).count();
+        assert_eq!(pos, 4);
+        assert_eq!(s.centers.len(), 8);
+    }
+
+    #[test]
+    fn windows_tile_the_stream_in_time_order() {
+        let s = tiny();
+        for n in [1usize, 3, 7] {
+            let windows = s.windows(n);
+            assert_eq!(windows.len(), n);
+            let mut covered = 0usize;
+            for w in &windows {
+                assert_eq!(w.txs.start, covered);
+                covered = w.txs.end;
+                for t in s.window_txs(w) {
+                    assert!(
+                        t.timestamp >= w.t_start && t.timestamp < w.t_end,
+                        "tx at {} outside window [{}, {})",
+                        t.timestamp,
+                        w.t_start,
+                        w.t_end
+                    );
+                }
+            }
+            assert_eq!(covered, s.txs.len());
+        }
+    }
+}

@@ -25,6 +25,16 @@ pub struct WorldConfig {
     /// Extra counterparties each fresh peer connects to (gives hop-2
     /// structure to the sampled subgraphs).
     pub peer_fanout: f64,
+    /// Temporal behavioural drift of labelled centres. `0.0` (the
+    /// default) keeps each centre's jittered profile fixed over its whole
+    /// lifetime — bit-identical to pre-drift worlds, because drift scales
+    /// parameter values without drawing extra randomness. At `d > 0`, a
+    /// centre's value/flow/gas behaviour interpolates toward the `Normal`
+    /// profile as its lifetime progresses, reaching a `d` blend at the
+    /// final transaction — the class signal decays over time, so models
+    /// trained on an early prefix degrade on later windows (the
+    /// streaming-evaluation scenario).
+    pub drift: f64,
     pub seed: u64,
 }
 
@@ -35,6 +45,7 @@ impl Default for WorldConfig {
             background_contract_frac: 0.12,
             background_activity: 1.0,
             peer_fanout: 0.8,
+            drift: 0.0,
             seed: 7,
         }
     }
@@ -245,6 +256,10 @@ impl WorldBuilder {
             p.mean_degree = other.mean_degree;
             p.pattern = other.pattern;
         }
+        // Where drifting centres converge to: the Normal (ordinary-user)
+        // profile, so the class signal fades rather than mutating into a
+        // different labelled class.
+        let drift_target = profile(AccountClass::Normal);
         let kind =
             if class == AccountClass::Bridge { AccountKind::Contract } else { AccountKind::Eoa };
         let center = self.new_account(kind, class);
@@ -328,19 +343,38 @@ impl WorldBuilder {
             for _ in 0..n_txs {
                 let ts = self.timestamp(p.pattern, start, life_span, tx_counter, est_total, rng);
                 tx_counter += 1;
-                let value = dist::lognormal(rng, p.value_mu, p.value_sigma);
+                // Temporal drift: blend the behavioural parameters toward
+                // the Normal profile by how far through the centre's
+                // lifetime this transaction falls. The blend only rescales
+                // parameter values and draws no extra randomness, so at
+                // `drift: 0.0` every parameter — and therefore every draw
+                // — is bit-identical to worlds generated before drift
+                // existed.
+                let phase = if life_span > 0 {
+                    (ts.saturating_sub(start)).min(life_span) as f64 / life_span as f64
+                } else {
+                    0.0
+                };
+                let fade = (self.config.drift * phase).clamp(0.0, 1.0);
+                let lerp = |a: f64, b: f64| a + fade * (b - a);
+                let value_mu = lerp(p.value_mu, drift_target.value_mu);
+                let incoming_frac =
+                    lerp(p.incoming_frac, drift_target.incoming_frac).clamp(0.0, 1.0);
+                let gas_price = lerp(p.mean_gas_price_gwei, drift_target.mean_gas_price_gwei);
+                let gas_used = lerp(p.mean_gas_used, drift_target.mean_gas_used);
+                let value = dist::lognormal(rng, value_mu, p.value_sigma);
                 // Contract peers mostly receive calls from the centre;
                 // occasionally they pay out (withdrawals).
                 let incoming = if contract_peer {
-                    rng.gen_bool(0.25 * p.incoming_frac)
+                    rng.gen_bool(0.25 * incoming_frac)
                 } else {
-                    rng.gen_bool(p.incoming_frac)
+                    rng.gen_bool(incoming_frac)
                 };
                 // Contracts cannot originate top-level transactions unless
                 // the centre itself is a contract (bridge); route those
                 // through the peer only when it is an EOA.
                 let (from, to) = if incoming { (peer, center) } else { (center, peer) };
-                self.push_tx(from, to, value, ts, p.mean_gas_price_gwei, p.mean_gas_used, rng);
+                self.push_tx(from, to, value, ts, gas_price, gas_used, rng);
             }
         }
     }
@@ -369,6 +403,30 @@ mod tests {
         assert_eq!(a.txs.len(), b.txs.len());
         assert_eq!(a.centers, b.centers);
         assert_eq!(a.txs[0], b.txs[0]);
+    }
+
+    #[test]
+    fn drift_zero_is_bit_identical_and_drift_preserves_the_schedule() {
+        let spec =
+            [(AccountClass::Exchange, 5), (AccountClass::PhishHack, 5), (AccountClass::Normal, 5)];
+        let base = small_world();
+        let zero = World::generate(
+            WorldConfig { n_background: 300, seed: 11, drift: 0.0, ..Default::default() },
+            &spec,
+        );
+        assert_eq!(base.txs, zero.txs, "drift 0.0 must be a bitwise no-op");
+        assert_eq!(base.centers, zero.centers);
+
+        // Drift actually changes behaviour (values and flow directions
+        // shift, which also reshuffles downstream draws), while the
+        // centre roster keeps the requested classes.
+        let drifted = World::generate(
+            WorldConfig { n_background: 300, seed: 11, drift: 0.9, ..Default::default() },
+            &spec,
+        );
+        let classes = |w: &World| w.centers.iter().map(|&(_, c)| c).collect::<Vec<_>>();
+        assert_eq!(classes(&drifted), classes(&base));
+        assert_ne!(drifted.txs, base.txs, "drift 0.9 left the stream untouched");
     }
 
     #[test]

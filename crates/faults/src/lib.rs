@@ -107,6 +107,8 @@ pub fn sites() -> &'static [&'static str] {
         "features.deep",
         "gnn.lower",
         "gsg.encode",
+        "ingest.batch",
+        "ingest.tx",
         "ldg.encode",
         "model.calib",
         "model.classifier",
@@ -530,7 +532,15 @@ mod tests {
 
     #[test]
     fn sites_cover_the_serving_path_and_flag_unknowns() {
-        for site in ["serve.conn", "serve.frame", "serve.worker", "serve.client", "par.task"] {
+        for site in [
+            "serve.conn",
+            "serve.frame",
+            "serve.worker",
+            "serve.client",
+            "par.task",
+            "ingest.tx",
+            "ingest.batch",
+        ] {
             assert!(sites().contains(&site), "{site} missing from sites()");
         }
         let plan = FaultPlan::parse("drop@serve.conn:0,nan@gsg.encod:1,panic@typo.site").unwrap();

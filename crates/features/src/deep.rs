@@ -205,17 +205,17 @@ mod tests {
     }
 
     fn graph() -> Subgraph {
-        Subgraph {
-            nodes: vec![0, 1, 2],
-            kinds: vec![AccountKind::Eoa, AccountKind::Eoa, AccountKind::Contract],
-            txs: vec![
+        Subgraph::from_parts(
+            vec![0, 1, 2],
+            vec![AccountKind::Eoa, AccountKind::Eoa, AccountKind::Contract],
+            vec![
                 ltx(0, 1, 2.0, 100, 0.001, false),
                 ltx(0, 1, 4.0, 160, 0.003, false),
                 ltx(0, 2, 6.0, 400, 0.010, true),
                 ltx(1, 0, 1.0, 500, 0.002, false),
             ],
-            label: None,
-        }
+            None,
+        )
     }
 
     #[test]
@@ -284,8 +284,7 @@ mod tests {
 
     #[test]
     fn empty_graph_features_are_zero() {
-        let g =
-            Subgraph { nodes: vec![0], kinds: vec![AccountKind::Eoa], txs: vec![], label: None };
+        let g = Subgraph::from_parts(vec![0], vec![AccountKind::Eoa], vec![], None);
         let f = raw_features(&g);
         assert!(f.data().iter().all(|&x| x == 0.0));
     }

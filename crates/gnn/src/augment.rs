@@ -143,12 +143,7 @@ mod tests {
             fee: 0.0,
             contract_call: false,
         });
-        let g = Subgraph {
-            nodes: (0..6).collect(),
-            kinds: vec![AccountKind::Eoa; 6],
-            txs,
-            label: Some(1),
-        };
+        let g = Subgraph::from_parts((0..6).collect(), vec![AccountKind::Eoa; 6], txs, Some(1));
         GraphTensors::from_subgraph(&g, 2)
     }
 

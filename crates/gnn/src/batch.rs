@@ -288,10 +288,10 @@ mod tests {
     }
 
     fn toy(n: usize, label: usize) -> GraphTensors {
-        let g = Subgraph {
-            nodes: (0..n).collect(),
-            kinds: vec![AccountKind::Eoa; n],
-            txs: (0..2 * n)
+        let g = Subgraph::from_parts(
+            (0..n).collect(),
+            vec![AccountKind::Eoa; n],
+            (0..2 * n)
                 .map(|i| LocalTx {
                     src: i % n,
                     dst: (i + 1) % n,
@@ -301,8 +301,8 @@ mod tests {
                     contract_call: i % 3 == 0,
                 })
                 .collect(),
-            label: Some(label),
-        };
+            Some(label),
+        );
         GraphTensors::from_subgraph(&g, 4)
     }
 

@@ -337,10 +337,10 @@ mod tests {
         // Bursty graphs concentrate all transactions in the first slice;
         // uniform graphs spread them out.
         let ts = |i: usize| if bursty { i as u64 } else { i as u64 * 1000 };
-        let g = Subgraph {
-            nodes: vec![0, 1, 2],
-            kinds: vec![AccountKind::Eoa; 3],
-            txs: (0..6)
+        let g = Subgraph::from_parts(
+            vec![0, 1, 2],
+            vec![AccountKind::Eoa; 3],
+            (0..6)
                 .map(|i| LocalTx {
                     src: i % 3,
                     dst: (i + 1) % 3,
@@ -350,8 +350,8 @@ mod tests {
                     contract_call: false,
                 })
                 .collect(),
-            label: Some(label),
-        };
+            Some(label),
+        );
         GraphTensors::from_subgraph(&g, 5)
     }
 

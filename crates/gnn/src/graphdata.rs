@@ -162,10 +162,10 @@ mod tests {
     use eth_graph::{AccountKind, LocalTx};
 
     fn graph() -> Subgraph {
-        Subgraph {
-            nodes: vec![0, 1, 2],
-            kinds: vec![AccountKind::Eoa; 3],
-            txs: vec![
+        Subgraph::from_parts(
+            vec![0, 1, 2],
+            vec![AccountKind::Eoa; 3],
+            vec![
                 LocalTx {
                     src: 0,
                     dst: 1,
@@ -191,8 +191,8 @@ mod tests {
                     contract_call: false,
                 },
             ],
-            label: Some(1),
-        }
+            Some(1),
+        )
     }
 
     #[test]

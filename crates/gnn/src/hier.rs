@@ -309,10 +309,10 @@ mod tests {
     use rand::SeedableRng;
 
     fn toy_graph(label: usize) -> GraphTensors {
-        let g = Subgraph {
-            nodes: vec![0, 1, 2, 3],
-            kinds: vec![AccountKind::Eoa; 4],
-            txs: vec![
+        let g = Subgraph::from_parts(
+            vec![0, 1, 2, 3],
+            vec![AccountKind::Eoa; 4],
+            vec![
                 LocalTx {
                     src: 0,
                     dst: 1,
@@ -346,8 +346,8 @@ mod tests {
                     contract_call: true,
                 },
             ],
-            label: Some(label),
-        };
+            Some(label),
+        );
         GraphTensors::from_subgraph(&g, 3)
     }
 
@@ -396,10 +396,10 @@ mod tests {
         let enc = GsgEncoder::new(&mut store, &mut rng, cfg);
         let g1 = toy_graph(1);
         let g0 = {
-            let g = Subgraph {
-                nodes: vec![0, 1],
-                kinds: vec![AccountKind::Eoa; 2],
-                txs: vec![LocalTx {
+            let g = Subgraph::from_parts(
+                vec![0, 1],
+                vec![AccountKind::Eoa; 2],
+                vec![LocalTx {
                     src: 0,
                     dst: 1,
                     value: 0.1,
@@ -407,8 +407,8 @@ mod tests {
                     fee: 0.0,
                     contract_call: false,
                 }],
-                label: Some(0),
-            };
+                Some(0),
+            );
             GraphTensors::from_subgraph(&g, 3)
         };
         let mut opt = nn::Adam::new(0.01);

@@ -18,7 +18,7 @@
 //! Every multi-byte value inside a payload is written by [`SectionWriter`]
 //! and read back by [`SectionReader`]; floats travel as IEEE-754 bit
 //! patterns (`to_bits`/`from_bits`), so a round-trip is exact — the
-//! load→infer byte-identity contract of `dbg4eth::infer` rests on this.
+//! load→infer byte-identity contract of `dbg4eth::Session::score` rests on this.
 //!
 //! Failure behaviour is part of the API: a truncated, bit-flipped or
 //! version-skewed file must surface as a typed [`ModelIoError`], never a

@@ -104,7 +104,7 @@ impl ParamStore {
     /// `n_params u32 | per param: name | rows u32 | cols u32 | f32 bits`.
     /// Weights travel as IEEE-754 bit patterns, so a save→load round trip
     /// reproduces every value exactly (the byte-identity contract of
-    /// `dbg4eth::infer` depends on this).
+    /// `dbg4eth::Session::score` depends on this).
     pub fn write_section(&self, s: &mut SectionWriter) {
         s.put_u32(self.len() as u32);
         for id in self.ids() {

@@ -25,10 +25,20 @@
 //!
 //! Eviction is bounded FIFO: the oldest inserted entry leaves first. The
 //! cache stores `f64` scores keyed by `u64`, so memory stays O(capacity).
+//!
+//! Streaming invalidation: every leadership claim registers the subgraph's
+//! *member* account ids (its `nodes`), maintained in a reverse index, so
+//! [`ScoreCache::invalidate`] can evict exactly the fingerprints whose
+//! subgraphs contain an account named by an `IngestDelta`. A ready entry
+//! is removed outright; an in-flight entry is *doomed* — its leader still
+//! answers its own request (the score is a pure function of the request's
+//! subgraph bytes), but the result is not retained and the next `begin`
+//! re-scores from the post-ingest graph. Either way, a stale score is
+//! never served after the invalidation returns.
 
 use dbg4eth::AccountScore;
 use std::collections::hash_map::RandomState;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::hash::{BuildHasher, Hasher};
 use std::sync::{Condvar, Mutex, OnceLock};
 use std::time::Instant;
@@ -46,8 +56,10 @@ pub fn fingerprint(bytes: &[u8]) -> u64 {
 }
 
 enum Slot {
-    /// A leader is scoring this fingerprint right now.
-    InFlight,
+    /// A leader is scoring this fingerprint right now. `doomed` marks an
+    /// invalidation that arrived mid-flight: the leader's result must not
+    /// be retained.
+    InFlight { doomed: bool },
     /// A published clean score.
     Ready(AccountScore),
 }
@@ -56,8 +68,38 @@ struct State {
     slots: HashMap<u64, Slot>,
     /// Insertion order of Ready entries, for FIFO eviction.
     order: VecDeque<u64>,
+    /// Member account ids per live fingerprint (registered at `begin`).
+    members: HashMap<u64, Vec<usize>>,
+    /// Reverse index: account id → fingerprints whose subgraphs contain it.
+    by_account: HashMap<usize, HashSet<u64>>,
     hits: u64,
     misses: u64,
+}
+
+/// Register `fp`'s member set, replacing any earlier registration.
+fn register(state: &mut State, fp: u64, members: &[usize]) {
+    unregister(state, fp);
+    if members.is_empty() {
+        return;
+    }
+    state.members.insert(fp, members.to_vec());
+    for &a in members {
+        state.by_account.entry(a).or_default().insert(fp);
+    }
+}
+
+/// Drop `fp` from the member index (idempotent).
+fn unregister(state: &mut State, fp: u64) {
+    if let Some(members) = state.members.remove(&fp) {
+        for a in members {
+            if let Some(set) = state.by_account.get_mut(&a) {
+                set.remove(&fp);
+                if set.is_empty() {
+                    state.by_account.remove(&a);
+                }
+            }
+        }
+    }
 }
 
 /// What [`ScoreCache::begin`] resolved a fingerprint to.
@@ -87,6 +129,8 @@ impl ScoreCache {
             state: Mutex::new(State {
                 slots: HashMap::new(),
                 order: VecDeque::new(),
+                members: HashMap::new(),
+                by_account: HashMap::new(),
                 hits: 0,
                 misses: 0,
             }),
@@ -96,8 +140,10 @@ impl ScoreCache {
     }
 
     /// Resolve a fingerprint: a hit, a leadership claim, or deadline
-    /// expiry while waiting on another leader.
-    pub fn begin(&self, fp: u64, deadline: Option<Instant>) -> Lease {
+    /// expiry while waiting on another leader. `members` is the subgraph's
+    /// global node set, registered on a leadership claim so
+    /// [`ScoreCache::invalidate`] can find this fingerprint by account.
+    pub fn begin(&self, fp: u64, members: &[usize], deadline: Option<Instant>) -> Lease {
         let mut state = self.state.lock().expect("cache lock");
         loop {
             match state.slots.get(&fp) {
@@ -106,7 +152,7 @@ impl ScoreCache {
                     state.hits += 1;
                     return Lease::Hit(score);
                 }
-                Some(Slot::InFlight) => {
+                Some(Slot::InFlight { .. }) => {
                     // Wait for the leader to publish or retract.
                     match deadline {
                         Some(t) => {
@@ -123,26 +169,31 @@ impl ScoreCache {
                 }
                 None => {
                     state.misses += 1;
-                    state.slots.insert(fp, Slot::InFlight);
+                    state.slots.insert(fp, Slot::InFlight { doomed: false });
+                    register(&mut state, fp, members);
                     return Lease::Lead;
                 }
             }
         }
     }
 
-    /// Publish the leader's outcome. `Some(score)` caches a clean score;
-    /// `None` (failure, degraded, deadline) retracts the claim so a waiter
-    /// can take over. Either way every waiter wakes.
+    /// Publish the leader's outcome. `Some(score)` caches a clean score —
+    /// unless an invalidation doomed the claim mid-flight, in which case
+    /// the leader keeps its own (correct for its request bytes) result but
+    /// nothing is retained. `None` (failure, degraded, deadline) retracts
+    /// the claim so a waiter can take over. Either way every waiter wakes.
     pub fn fulfil(&self, fp: u64, outcome: Option<AccountScore>) {
         let mut state = self.state.lock().expect("cache lock");
+        let doomed = matches!(state.slots.get(&fp), Some(Slot::InFlight { doomed: true }));
         match outcome {
-            Some(score) if self.capacity > 0 => {
-                if let Some(Slot::InFlight) = state.slots.insert(fp, Slot::Ready(score)) {
+            Some(score) if self.capacity > 0 && !doomed => {
+                if let Some(Slot::InFlight { .. }) = state.slots.insert(fp, Slot::Ready(score)) {
                     state.order.push_back(fp);
                 }
                 while state.order.len() > self.capacity {
                     if let Some(old) = state.order.pop_front() {
                         state.slots.remove(&old);
+                        unregister(&mut state, old);
                     }
                 }
             }
@@ -152,11 +203,47 @@ impl ScoreCache {
                     // the begin/fulfil discipline, but cheap insurance
                     // against double-fulfil bugs.)
                     state.slots.insert(fp, Slot::Ready(score));
+                } else {
+                    unregister(&mut state, fp);
                 }
             }
         }
         drop(state);
         self.published.notify_all();
+    }
+
+    /// Evict every fingerprint whose registered member set intersects
+    /// `accounts`: ready scores are removed (counted in the return value),
+    /// in-flight claims are doomed so their results are not retained. On
+    /// return, no score cached from the pre-ingest graph can be served for
+    /// any listed account.
+    pub fn invalidate(&self, accounts: &[usize]) -> u64 {
+        let mut state = self.state.lock().expect("cache lock");
+        let mut victims: Vec<u64> = Vec::new();
+        for a in accounts {
+            if let Some(fps) = state.by_account.get(a) {
+                victims.extend(fps.iter().copied());
+            }
+        }
+        victims.sort_unstable();
+        victims.dedup();
+        let mut evicted = 0u64;
+        for fp in victims {
+            match state.slots.get_mut(&fp) {
+                Some(Slot::Ready(_)) => {
+                    state.slots.remove(&fp);
+                    state.order.retain(|&f| f != fp);
+                    unregister(&mut state, fp);
+                    evicted += 1;
+                }
+                Some(Slot::InFlight { doomed }) => {
+                    *doomed = true;
+                    unregister(&mut state, fp);
+                }
+                None => unregister(&mut state, fp),
+            }
+        }
+        evicted
     }
 
     /// Lifetime `(hits, misses)` counters.
@@ -196,28 +283,28 @@ mod tests {
     fn hit_after_fulfil_and_fifo_eviction() {
         let cache = ScoreCache::new(2);
         for fp in [1u64, 2, 3] {
-            assert!(matches!(cache.begin(fp, None), Lease::Lead));
+            assert!(matches!(cache.begin(fp, &[], None), Lease::Lead));
             cache.fulfil(fp, Some(AccountScore { score: fp as f64, degraded: false }));
         }
         // Capacity 2: fp 1 (oldest) evicted, 2 and 3 remain.
-        assert!(matches!(cache.begin(1, None), Lease::Lead));
+        assert!(matches!(cache.begin(1, &[], None), Lease::Lead));
         cache.fulfil(1, None); // retract the probe claim
-        let Lease::Hit(s) = cache.begin(2, None) else { panic!("expected hit") };
+        let Lease::Hit(s) = cache.begin(2, &[], None) else { panic!("expected hit") };
         assert_eq!(s.score, 2.0);
-        assert!(matches!(cache.begin(3, None), Lease::Hit(_)));
+        assert!(matches!(cache.begin(3, &[], None), Lease::Hit(_)));
         assert_eq!(cache.len(), 2);
     }
 
     #[test]
     fn failed_leader_hands_off_to_a_waiter() {
         let cache = Arc::new(ScoreCache::new(8));
-        assert!(matches!(cache.begin(9, None), Lease::Lead));
+        assert!(matches!(cache.begin(9, &[], None), Lease::Lead));
         let leaders = Arc::new(AtomicUsize::new(0));
         let mut handles = Vec::new();
         for _ in 0..3 {
             let cache = Arc::clone(&cache);
             let leaders = Arc::clone(&leaders);
-            handles.push(std::thread::spawn(move || match cache.begin(9, None) {
+            handles.push(std::thread::spawn(move || match cache.begin(9, &[], None) {
                 Lease::Lead => {
                     leaders.fetch_add(1, Ordering::SeqCst);
                     cache.fulfil(9, Some(AccountScore { score: 0.5, degraded: false }));
@@ -234,27 +321,60 @@ mod tests {
         }
         // Exactly one waiter took over; the rest saw its published score.
         assert_eq!(leaders.load(Ordering::SeqCst), 1);
-        assert!(matches!(cache.begin(9, None), Lease::Hit(_)));
+        assert!(matches!(cache.begin(9, &[], None), Lease::Hit(_)));
     }
 
     #[test]
     fn waiting_respects_the_deadline() {
         let cache = ScoreCache::new(8);
-        assert!(matches!(cache.begin(5, None), Lease::Lead));
+        assert!(matches!(cache.begin(5, &[], None), Lease::Lead));
         let deadline = Instant::now() + Duration::from_millis(30);
         // The leader never publishes; the waiter must give up at deadline.
-        assert!(matches!(cache.begin(5, Some(deadline)), Lease::Expired));
+        assert!(matches!(cache.begin(5, &[], Some(deadline)), Lease::Expired));
         cache.fulfil(5, None);
+    }
+
+    #[test]
+    fn invalidate_evicts_exactly_the_fingerprints_containing_the_account() {
+        let cache = ScoreCache::new(8);
+        assert!(matches!(cache.begin(1, &[10, 11], None), Lease::Lead));
+        cache.fulfil(1, Some(AccountScore { score: 0.1, degraded: false }));
+        assert!(matches!(cache.begin(2, &[12], None), Lease::Lead));
+        cache.fulfil(2, Some(AccountScore { score: 0.2, degraded: false }));
+        // Account 11 appears only in fp 1's subgraph.
+        assert_eq!(cache.invalidate(&[11]), 1);
+        assert!(matches!(cache.begin(1, &[10, 11], None), Lease::Lead));
+        cache.fulfil(1, None);
+        // fp 2's members were untouched: still a hit.
+        assert!(matches!(cache.begin(2, &[12], None), Lease::Hit(_)));
+        // Accounts nobody registered evict nothing.
+        assert_eq!(cache.invalidate(&[99]), 0);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn invalidation_dooms_in_flight_leaders() {
+        let cache = ScoreCache::new(8);
+        assert!(matches!(cache.begin(7, &[3], None), Lease::Lead));
+        // Nothing is Ready yet, so nothing counts as evicted — but the
+        // in-flight claim is doomed.
+        assert_eq!(cache.invalidate(&[3]), 0);
+        // The leader still publishes (its own reply stays correct), yet
+        // the stale-graph result must not be retained.
+        cache.fulfil(7, Some(AccountScore { score: 0.9, degraded: false }));
+        assert!(cache.is_empty());
+        assert!(matches!(cache.begin(7, &[3], None), Lease::Lead));
+        cache.fulfil(7, None);
     }
 
     #[test]
     fn degraded_scores_are_never_cached() {
         let cache = ScoreCache::new(8);
-        assert!(matches!(cache.begin(4, None), Lease::Lead));
+        assert!(matches!(cache.begin(4, &[], None), Lease::Lead));
         // The server only fulfils Some(..) for clean scores; a degraded
         // outcome arrives as None and leaves nothing behind.
         cache.fulfil(4, None);
-        assert!(matches!(cache.begin(4, None), Lease::Lead));
+        assert!(matches!(cache.begin(4, &[], None), Lease::Lead));
         cache.fulfil(4, None);
         assert!(cache.is_empty());
     }

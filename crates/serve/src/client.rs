@@ -8,7 +8,7 @@
 //! misbehaving peer.
 
 use crate::proto::{
-    read_frame, write_frame, ProtoError, Reply, Request, ScoreRequest, MAX_FRAME_LEN,
+    read_frame, write_frame, IngestRequest, ProtoError, Reply, Request, ScoreRequest, MAX_FRAME_LEN,
 };
 use eth_graph::Subgraph;
 use std::io::Write;
@@ -76,6 +76,17 @@ impl ScoreClient {
         self.next_id += 1;
         let id = self.next_id;
         self.request(&Request::Score(ScoreRequest { id, deadline_ms, accounts }))
+    }
+
+    /// Notify the server that a streaming-ingest batch touched the k-hop
+    /// neighbourhoods of `accounts` (an [`eth_graph::IngestDelta`]'s
+    /// membership), so every cached score whose subgraph contains one of
+    /// them is evicted. `applied` is the number of transactions applied,
+    /// for the server's counters.
+    pub fn ingest(&mut self, accounts: Vec<usize>, applied: u64) -> Result<Reply, ProtoError> {
+        self.next_id += 1;
+        let id = self.next_id;
+        self.request(&Request::Ingest(IngestRequest { id, accounts, applied }))
     }
 
     /// Fetch the server's lifetime counters.

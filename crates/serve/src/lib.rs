@@ -20,12 +20,16 @@
 //!   confidence scaler, making every score batch-independent.
 //! * **Slow-loris reaping** — per-connection read timeouts bound how long
 //!   a dribbling client can hold a connection thread.
+//! * **Streaming invalidation** — [`proto::Request::Ingest`] carries an
+//!   [`eth_graph::IngestDelta`]'s account membership; the cache evicts
+//!   exactly the fingerprints whose subgraphs contain a named account, so
+//!   a score computed on the pre-ingest graph is never served afterwards.
 //!
 //! Fault sites `drop@serve.conn`, `corrupt@serve.frame`,
-//! `panic@serve.worker`, `stall@serve.worker` and `stall@serve.client`
-//! (see [`faults::sites`]) make every one of these paths deterministically
-//! testable; `tests/serve_chaos.rs` and the `serve-replay` bench binary
-//! drive them.
+//! `panic@serve.worker`, `stall@serve.worker`, `stall@serve.client` and
+//! `corrupt@ingest.batch` (see [`faults::sites`]) make every one of these
+//! paths deterministically testable; `tests/serve_chaos.rs` and the
+//! `serve-replay` bench binary drive them.
 
 pub mod cache;
 pub mod client;
@@ -35,7 +39,8 @@ pub mod server;
 pub use cache::{fingerprint, Lease, ScoreCache};
 pub use client::ScoreClient;
 pub use proto::{
-    ErrorCode, ProtoError, Reply, Request, ScoreReply, ScoreRequest, StatsReply, WireResult,
+    ErrorCode, IngestRequest, ProtoError, Reply, Request, ScoreReply, ScoreRequest, StatsReply,
+    WireResult,
 };
 pub use server::{
     ScoreServer, ServeConfig, ADDR_ENV, CACHE_ENV, DEADLINE_ENV, IDLE_ENV, QUEUE_ENV, WORKERS_ENV,

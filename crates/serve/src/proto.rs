@@ -76,6 +76,7 @@ fn bounded_count(
 const TAG_SCORE: u8 = 0x01;
 const TAG_STATS: u8 = 0x02;
 const TAG_SHUTDOWN: u8 = 0x03;
+pub(crate) const TAG_INGEST: u8 = 0x04;
 
 /// Reply tags (server → client).
 const TAG_SCORES: u8 = 0x81;
@@ -83,16 +84,41 @@ const TAG_OVERLOADED: u8 = 0x82;
 const TAG_PROTOCOL_ERROR: u8 = 0x83;
 const TAG_STATS_REPLY: u8 = 0x84;
 const TAG_SHUTDOWN_ACK: u8 = 0x85;
+const TAG_INGEST_ACK: u8 = 0x86;
 
 /// A client → server message.
+///
+/// `#[non_exhaustive]`: new frames (like [`Request::Ingest`]) are protocol
+/// extensions, not semver breaks — match with a wildcard arm.
 #[derive(Clone, Debug)]
+#[non_exhaustive]
 pub enum Request {
     /// Score a batch of account subgraphs.
     Score(ScoreRequest),
+    /// An ingest happened upstream: evict cached scores whose subgraphs
+    /// contain any of the named accounts.
+    Ingest(IngestRequest),
     /// Ask for the server's lifetime counters.
     Stats,
     /// Ask the daemon to stop accepting and exit cleanly (exit code 0).
     Shutdown,
+}
+
+/// The cache-invalidation request body.
+///
+/// The server owns no transaction graph — the ingesting process does — so
+/// the frame carries the already-computed `IngestDelta` membership (the
+/// global account ids whose subgraphs changed), not raw transactions.
+/// Eviction matches these ids against the member sets registered when each
+/// score was cached.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IngestRequest {
+    /// Client-chosen correlation id, echoed in the ack.
+    pub id: u64,
+    /// `IngestDelta::accounts`: global ids whose subgraphs changed.
+    pub accounts: Vec<usize>,
+    /// Transactions the ingest applied (bookkeeping, echoed to obs).
+    pub applied: u64,
 }
 
 /// The scoring request body.
@@ -108,7 +134,11 @@ pub struct ScoreRequest {
 }
 
 /// A server → client message.
+///
+/// `#[non_exhaustive]`: new frames are protocol extensions, not semver
+/// breaks — match with a wildcard arm.
 #[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
 pub enum Reply {
     /// Per-account scoring results, in request order.
     Scores(ScoreReply),
@@ -123,6 +153,13 @@ pub enum Reply {
     Stats(StatsReply),
     /// The daemon acknowledged [`Request::Shutdown`] and is exiting.
     ShutdownAck,
+    /// The cache eviction for a [`Request::Ingest`] is complete.
+    IngestAck {
+        /// Echo of [`IngestRequest::id`].
+        id: u64,
+        /// Cached scores evicted because they contained a named account.
+        evicted: u64,
+    },
 }
 
 /// One account's wire-level result.
@@ -188,6 +225,10 @@ pub struct StatsReply {
     pub cache_misses: u64,
     pub deadline_exceeded: u64,
     pub worker_panics: u64,
+    /// Ingest frames handled.
+    pub ingests: u64,
+    /// Cached scores evicted by ingest invalidation.
+    pub evicted: u64,
 }
 
 // ---------------------------------------------------------------------------
@@ -255,7 +296,7 @@ fn decode_subgraph(s: &mut SectionReader<'_>) -> Result<Subgraph, ProtoError> {
             contract_call: s.get_bool().map_err(|e| bad("tx contract_call", &e))?,
         });
     }
-    Ok(Subgraph { nodes, kinds, txs, label })
+    Ok(Subgraph::from_parts(nodes, kinds, txs, label))
 }
 
 fn bad(what: &str, e: &model_io::ModelIoError) -> ProtoError {
@@ -281,6 +322,12 @@ impl Request {
                     encode_subgraph(&mut w, g);
                 }
             }
+            Request::Ingest(req) => {
+                w.put_u8(TAG_INGEST);
+                w.put_u64(req.id);
+                w.put_u64(req.applied);
+                w.put_usizes(&req.accounts);
+            }
             Request::Stats => w.put_u8(TAG_STATS),
             Request::Shutdown => w.put_u8(TAG_SHUTDOWN),
         }
@@ -301,6 +348,13 @@ impl Request {
                 }
                 expect_drained(&s)?;
                 Ok(Request::Score(ScoreRequest { id, deadline_ms, accounts }))
+            }
+            TAG_INGEST => {
+                let id = s.get_u64().map_err(|e| bad("id", &e))?;
+                let applied = s.get_u64().map_err(|e| bad("applied", &e))?;
+                let accounts = s.get_usizes().map_err(|e| bad("accounts", &e))?;
+                expect_drained(&s)?;
+                Ok(Request::Ingest(IngestRequest { id, accounts, applied }))
             }
             TAG_STATS => {
                 expect_drained(&s)?;
@@ -363,11 +417,18 @@ impl Reply {
                     s.cache_misses,
                     s.deadline_exceeded,
                     s.worker_panics,
+                    s.ingests,
+                    s.evicted,
                 ] {
                     w.put_u64(v);
                 }
             }
             Reply::ShutdownAck => w.put_u8(TAG_SHUTDOWN_ACK),
+            Reply::IngestAck { id, evicted } => {
+                w.put_u8(TAG_INGEST_ACK);
+                w.put_u64(*id);
+                w.put_u64(*evicted);
+            }
         }
         w.into_bytes()
     }
@@ -412,7 +473,7 @@ impl Reply {
                 Ok(Reply::ProtocolError(msg))
             }
             TAG_STATS_REPLY => {
-                let mut fields = [0u64; 9];
+                let mut fields = [0u64; 11];
                 for f in &mut fields {
                     *f = s.get_u64().map_err(|e| bad("stats", &e))?;
                 }
@@ -427,11 +488,19 @@ impl Reply {
                     cache_misses: fields[6],
                     deadline_exceeded: fields[7],
                     worker_panics: fields[8],
+                    ingests: fields[9],
+                    evicted: fields[10],
                 }))
             }
             TAG_SHUTDOWN_ACK => {
                 expect_drained(&s)?;
                 Ok(Reply::ShutdownAck)
+            }
+            TAG_INGEST_ACK => {
+                let id = s.get_u64().map_err(|e| bad("id", &e))?;
+                let evicted = s.get_u64().map_err(|e| bad("evicted", &e))?;
+                expect_drained(&s)?;
+                Ok(Reply::IngestAck { id, evicted })
             }
             other => Err(ProtoError::Malformed(format!("unknown reply tag {other:#04x}"))),
         }
@@ -486,10 +555,10 @@ mod tests {
     use super::*;
 
     fn sample_subgraph() -> Subgraph {
-        Subgraph {
-            nodes: vec![7, 3, 11],
-            kinds: vec![AccountKind::Eoa, AccountKind::Contract, AccountKind::Eoa],
-            txs: vec![
+        Subgraph::from_parts(
+            vec![7, 3, 11],
+            vec![AccountKind::Eoa, AccountKind::Contract, AccountKind::Eoa],
+            vec![
                 LocalTx {
                     src: 0,
                     dst: 1,
@@ -507,8 +576,8 @@ mod tests {
                     contract_call: false,
                 },
             ],
-            label: Some(4),
-        }
+            Some(4),
+        )
     }
 
     #[test]
@@ -518,12 +587,7 @@ mod tests {
             deadline_ms: 250,
             accounts: vec![
                 sample_subgraph(),
-                Subgraph {
-                    nodes: vec![1],
-                    kinds: vec![AccountKind::Contract],
-                    txs: vec![],
-                    label: None,
-                },
+                Subgraph::from_parts(vec![1], vec![AccountKind::Contract], vec![], None),
             ],
         });
         let payload = req.to_payload();
@@ -571,6 +635,30 @@ mod tests {
         for r in replies {
             assert_eq!(Reply::from_payload(&r.to_payload()).expect("parse"), r);
         }
+    }
+
+    #[test]
+    fn ingest_frames_round_trip() {
+        let req = Request::Ingest(IngestRequest { id: 17, accounts: vec![3, 8, 1290], applied: 5 });
+        let Request::Ingest(back) = Request::from_payload(&req.to_payload()).expect("parse") else {
+            panic!("wrong variant");
+        };
+        assert_eq!(back, IngestRequest { id: 17, accounts: vec![3, 8, 1290], applied: 5 });
+        let ack = Reply::IngestAck { id: 17, evicted: 2 };
+        assert_eq!(Reply::from_payload(&ack.to_payload()).expect("parse"), ack);
+        // Stats round-trips the widened counter set.
+        let stats = Reply::Stats(StatsReply { ingests: 4, evicted: 9, ..StatsReply::default() });
+        assert_eq!(Reply::from_payload(&stats.to_payload()).expect("parse"), stats);
+    }
+
+    #[test]
+    fn truncated_ingest_frame_is_a_typed_error() {
+        // corrupt@ingest.batch truncates the payload by one byte on the
+        // server side; the parse must fail loudly, not half-apply.
+        let req = Request::Ingest(IngestRequest { id: 1, accounts: vec![2, 4], applied: 1 });
+        let mut payload = req.to_payload();
+        payload.pop();
+        assert!(Request::from_payload(&payload).is_err());
     }
 
     #[test]

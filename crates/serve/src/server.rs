@@ -21,8 +21,8 @@
 
 use crate::cache::{fingerprint, Lease, ScoreCache};
 use crate::proto::{
-    encode_subgraph, read_frame, write_frame, ErrorCode, ProtoError, Reply, Request, ScoreReply,
-    ScoreRequest, StatsReply, WireResult, MAX_FRAME_LEN,
+    encode_subgraph, read_frame, write_frame, ErrorCode, IngestRequest, ProtoError, Reply, Request,
+    ScoreReply, ScoreRequest, StatsReply, WireResult, MAX_FRAME_LEN, TAG_INGEST,
 };
 use dbg4eth::{AccountScore, InferOptions, ScoreError, Session};
 use model_io::SectionWriter;
@@ -125,6 +125,8 @@ struct ServeStats {
     malformed: AtomicU64,
     deadline_exceeded: AtomicU64,
     worker_panics: AtomicU64,
+    ingests: AtomicU64,
+    evicted: AtomicU64,
 }
 
 impl ServeStats {
@@ -272,6 +274,8 @@ fn snapshot_stats(shared: &Shared) -> StatsReply {
         cache_misses,
         deadline_exceeded: shared.stats.deadline_exceeded.load(Ordering::Relaxed),
         worker_panics: shared.stats.worker_panics.load(Ordering::Relaxed),
+        ingests: shared.stats.ingests.load(Ordering::Relaxed),
+        evicted: shared.stats.evicted.load(Ordering::Relaxed),
     }
 }
 
@@ -335,6 +339,13 @@ fn conn_loop(shared: &Arc<Shared>, mut stream: TcpStream, queue: &SyncSender<Job
         if faults::corrupts("serve.frame") && !payload.is_empty() {
             payload[0] ^= 0xFF;
         }
+        // corrupt@ingest.batch: an ingest frame arrives truncated — the
+        // last payload byte is lost in transit. Decoding fails with a
+        // typed error, *nothing* is evicted (a partial delta must not be
+        // applied), and the connection survives for the client's retry.
+        if payload.first() == Some(&TAG_INGEST) && faults::corrupts("ingest.batch") {
+            payload.pop();
+        }
         let request = match Request::from_payload(&payload) {
             Ok(r) => r,
             Err(e) => {
@@ -355,11 +366,30 @@ fn conn_loop(shared: &Arc<Shared>, mut stream: TcpStream, queue: &SyncSender<Job
                 return;
             }
             Request::Score(req) => admit(shared, queue, req),
+            // Ingest notifications bypass the scoring queue: invalidation
+            // must not wait behind queued score work, or a racing Score on
+            // another connection could be served a stale cached entry
+            // after the ingest was acknowledged.
+            Request::Ingest(req) => handle_ingest(shared, &req),
         };
         if write_frame(&mut stream, &reply.to_payload()).is_err() {
             return;
         }
     }
+}
+
+/// Apply a streaming-ingest delta to the score cache: every fingerprint
+/// whose subgraph contains an account named in the delta is evicted (or
+/// doomed, if mid-flight), so no score computed on the pre-ingest graph
+/// outlives the acknowledgement.
+fn handle_ingest(shared: &Arc<Shared>, request: &IngestRequest) -> Reply {
+    let _span = obs::span("serve.ingest");
+    ServeStats::bump(&shared.stats.ingests, "serve.ingests");
+    let evicted = shared.cache.invalidate(&request.accounts);
+    shared.stats.evicted.fetch_add(evicted, Ordering::Relaxed);
+    obs::counter_add("serve.cache_evicted", evicted);
+    obs::counter_add("serve.ingested_txs", request.applied);
+    Reply::IngestAck { id: request.id, evicted }
 }
 
 /// Admission control: enqueue the request or shed it with a typed
@@ -544,7 +574,9 @@ fn score_request(
     let mut slots: Vec<Option<WireResult>> = vec![None; request.accounts.len()];
     let mut guard = LeaseGuard { cache: &shared.cache, pending: Vec::new() };
     for &(fp, i) in &acquisition {
-        match shared.cache.begin(fp, deadline) {
+        // Register the subgraph's global node ids with the lease so a
+        // later `Ingest` can find this fingerprint by member account.
+        match shared.cache.begin(fp, &request.accounts[i].nodes, deadline) {
             Lease::Hit(score) => {
                 obs::counter_add("serve.cache_hits", 1);
                 slots[i] = Some(WireResult::Ok {

@@ -14,8 +14,7 @@ use eth_graph::SamplerConfig;
 use eth_sim::{AccountClass, Benchmark, DatasetScale};
 
 fn main() {
-    let bench =
-        Benchmark::generate(DatasetScale::small(), SamplerConfig { top_k: 2000, hops: 2 }, 33);
+    let bench = Benchmark::generate(DatasetScale::small(), SamplerConfig::new(2000, 2), 33);
     let cfg = Dbg4EthConfig::builder().epochs(10).build().expect("valid configuration");
 
     println!("== account compliance monitor: one detector per category ==");

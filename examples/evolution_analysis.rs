@@ -15,8 +15,7 @@ use eth_sim::{AccountClass, Benchmark, DatasetScale, POSITIVE};
 use gnn::GraphTensors;
 
 fn main() {
-    let bench =
-        Benchmark::generate(DatasetScale::small(), SamplerConfig { top_k: 2000, hops: 2 }, 11);
+    let bench = Benchmark::generate(DatasetScale::small(), SamplerConfig::new(2000, 2), 11);
     let cfg = Dbg4EthConfig::builder().epochs(10).build().expect("valid configuration");
 
     println!("learned time-slice attention α_t (Eq. 22), per account type:");

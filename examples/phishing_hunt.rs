@@ -14,8 +14,7 @@ use eth_graph::SamplerConfig;
 use eth_sim::{AccountClass, Benchmark, DatasetScale};
 
 fn main() {
-    let bench =
-        Benchmark::generate(DatasetScale::small(), SamplerConfig { top_k: 2000, hops: 2 }, 21);
+    let bench = Benchmark::generate(DatasetScale::small(), SamplerConfig::new(2000, 2), 21);
     let dataset = bench.dataset(AccountClass::PhishHack);
     println!("phish/hack dataset: {} graphs, training on 80%...", dataset.graphs.len());
     let out = run(dataset, 0.8, &Dbg4EthConfig::default());

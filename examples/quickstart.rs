@@ -12,8 +12,7 @@ use eth_sim::{AccountClass, Benchmark, DatasetScale};
 fn main() {
     // 1. A synthetic Ethereum world with labelled accounts of six types
     //    (the substitution for the paper's on-chain data; see DESIGN.md).
-    let bench =
-        Benchmark::generate(DatasetScale::small(), SamplerConfig { top_k: 2000, hops: 2 }, 7);
+    let bench = Benchmark::generate(DatasetScale::small(), SamplerConfig::new(2000, 2), 7);
 
     // 2. Pick a dataset: exchange-vs-rest binary graph classification.
     let dataset = bench.dataset(AccountClass::Exchange);

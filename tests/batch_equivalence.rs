@@ -15,8 +15,6 @@
 //! and requires bit-identical probabilities, so the batched encode stays
 //! independent of the task-parallel fan-out around it.
 
-#![allow(deprecated)] // train/infer free functions wrap the Session API
-
 use eth_graph::{AccountKind, LocalTx, Subgraph};
 use eth_sim::{AccountClass, Benchmark, DatasetScale};
 use gnn::{
@@ -57,14 +55,14 @@ fn arb_graph() -> impl Strategy<Value = GraphTensors> {
                     contract_call,
                 })
                 .collect();
-            let g = Subgraph {
-                nodes: (0..n).collect(),
-                kinds: (0..n)
+            let g = Subgraph::from_parts(
+                (0..n).collect(),
+                (0..n)
                     .map(|i| if i % 3 == 2 { AccountKind::Contract } else { AccountKind::Eoa })
                     .collect(),
                 txs,
-                label: Some(n % 2),
-            };
+                Some(n % 2),
+            );
             GraphTensors::from_subgraph(&g, T_SLICES)
         })
 }
@@ -260,12 +258,12 @@ proptest! {
 /// probabilities under the Strict profile.
 #[test]
 fn batched_pipeline_is_thread_count_invariant() {
-    use dbg4eth::{infer, train, Dbg4EthConfig};
+    use dbg4eth::{Dbg4EthConfig, InferOptions, Session};
     use eth_graph::SamplerConfig;
 
     let scale =
         DatasetScale { exchange: 8, ico_wallet: 0, mining: 0, phish_hack: 0, bridge: 0, defi: 0 };
-    let bench = Benchmark::generate(scale, SamplerConfig { top_k: 10, hops: 2 }, 20);
+    let bench = Benchmark::generate(scale, SamplerConfig::new(10, 2), 20);
     let dataset = bench.dataset(AccountClass::Exchange);
 
     let mut cfg = Dbg4EthConfig::fast();
@@ -280,10 +278,18 @@ fn batched_pipeline_is_thread_count_invariant() {
     let mut probs = Vec::new();
     for threads in [1usize, 8] {
         cfg.parallelism = threads;
-        let out = train(dataset, 0.7, &cfg);
+        let (session, _) = Session::train(dataset, 0.7, &cfg).expect("train");
         let (_, test_idx) = dataset.split(0.7, cfg.seed);
         let accounts: Vec<Subgraph> = test_idx.iter().map(|&i| dataset.graphs[i].clone()).collect();
-        probs.push(infer(&out.model, &accounts).iter().map(|p| p.to_bits()).collect::<Vec<u64>>());
+        let opts = InferOptions { strict: true, ..InferOptions::default() };
+        let report = session.score_with(&accounts, &opts).expect("strict scoring");
+        probs.push(
+            report
+                .scores
+                .iter()
+                .map(|r| r.as_ref().expect("strict result").score.to_bits())
+                .collect::<Vec<u64>>(),
+        );
     }
     assert_eq!(
         probs[0], probs[1],

@@ -1,7 +1,7 @@
 //! Chaos suite: deterministic fault injection across the serving pipeline.
 //!
 //! Every test installs a fault plan (the in-process equivalent of setting
-//! `DBG4ETH_FAULTS`), drives `infer_detailed` through it, and asserts the
+//! `DBG4ETH_FAULTS`), drives `Session::score` through it, and asserts the
 //! blast radius: targeted accounts get typed errors or degraded scores,
 //! unaffected accounts are byte-identical at one worker thread and at
 //! eight, and the test process itself never panics.
@@ -10,11 +10,7 @@
 //! mutex. In-crate tests elsewhere never install plans; this file is the
 //! only place plans are active while the full pipeline runs.
 
-// This suite deliberately keeps exercising the deprecated free functions:
-// they must stay bit-identical to the Session API they now wrap.
-#![allow(deprecated)]
-
-use dbg4eth::{infer, infer_detailed, train, Dbg4EthConfig, InferReport, ScoreError, TrainedModel};
+use dbg4eth::{Dbg4EthConfig, InferOptions, InferReport, ScoreError, Session, TrainedModel};
 use eth_graph::{AccountKind, LocalTx, SamplerConfig, Subgraph};
 use eth_sim::{AccountClass, Benchmark, DatasetScale};
 use faults::FaultPlan;
@@ -38,7 +34,7 @@ fn with_plan<T>(spec: &str, f: impl FnOnce() -> T) -> T {
 }
 
 struct Fixture {
-    model: Mutex<TrainedModel>,
+    session: Session,
     accounts: Vec<Subgraph>,
     /// Clean-serve bit patterns at train time, the baseline every blast
     /// radius is measured against.
@@ -56,7 +52,7 @@ fn fixture() -> &'static Fixture {
             bridge: 0,
             defi: 0,
         };
-        let bench = Benchmark::generate(scale, SamplerConfig { top_k: 12, hops: 2 }, 21);
+        let bench = Benchmark::generate(scale, SamplerConfig::new(12, 2), 21);
         let dataset = bench.dataset(AccountClass::Exchange);
         let mut cfg = Dbg4EthConfig::fast();
         cfg.epochs = 4;
@@ -67,11 +63,11 @@ fn fixture() -> &'static Fixture {
         cfg.ldg.pool_clusters = [4, 2, 1];
         cfg.t_slices = 3;
         cfg.parallelism = 1;
-        let out = train(dataset, 0.7, &cfg);
+        let (session, run_out) = Session::train(dataset, 0.7, &cfg).expect("train");
         let (_, test_idx) = dataset.split(0.7, cfg.seed);
         let accounts: Vec<Subgraph> = test_idx.iter().map(|&i| dataset.graphs[i].clone()).collect();
-        let clean = out.run.test_scores.iter().map(|p| p.to_bits()).collect();
-        Fixture { model: Mutex::new(out.model), accounts, clean }
+        let clean = run_out.test_scores.iter().map(|p| p.to_bits()).collect();
+        Fixture { session, accounts, clean }
     })
 }
 
@@ -86,17 +82,19 @@ fn report_bits(r: &InferReport) -> Vec<Result<(u64, bool), String>> {
         .collect()
 }
 
+/// Score with graceful degradation on an explicit worker-thread count.
+fn score_at(session: &Session, accounts: &[Subgraph], threads: usize) -> InferReport {
+    let opts = InferOptions { threads: Some(threads), ..InferOptions::default() };
+    session.score_with(accounts, &opts).expect("lenient scoring never fails the batch")
+}
+
 /// Run the same plan at one and eight worker threads and assert the entire
 /// report — scores, degraded flags and typed errors — is identical.
 fn thread_invariant_report(spec: &str, accounts: &[Subgraph]) -> InferReport {
     with_plan(spec, || {
         let fx = fixture();
-        let mut model = fx.model.lock().unwrap();
-        model.config.parallelism = 1;
-        let serial = infer_detailed(&model, accounts);
-        model.config.parallelism = 8;
-        let parallel = infer_detailed(&model, accounts);
-        model.config.parallelism = 1;
+        let serial = score_at(&fx.session, accounts, 1);
+        let parallel = score_at(&fx.session, accounts, 8);
         assert_eq!(
             report_bits(&serial),
             report_bits(&parallel),
@@ -133,7 +131,13 @@ fn dropped_accounts_leave_survivors_byte_identical_to_the_smaller_batch() {
     // fitted, so survivors must score exactly as if the batch had never
     // contained the dropped accounts.
     let clean_subset: Vec<u64> = with_plan("", || {
-        infer(&fixture().model.lock().unwrap(), &subset).iter().map(|p| p.to_bits()).collect()
+        fixture()
+            .session
+            .score(&subset)
+            .scores
+            .iter()
+            .map(|r| r.as_ref().expect("clean subset scores").score.to_bits())
+            .collect()
     });
     let report = thread_invariant_report("drop@account:1, drop@account:3", &fx.accounts);
     assert_eq!(report.quarantined, dropped.len());
@@ -154,10 +158,10 @@ fn dropped_accounts_leave_survivors_byte_identical_to_the_smaller_batch() {
 fn invalid_subgraphs_are_quarantined_without_touching_the_rest() {
     let fx = fixture();
     // A self-loop transaction fails `Subgraph::validate`.
-    let bad = Subgraph {
-        nodes: vec![900_000, 900_001],
-        kinds: vec![AccountKind::Eoa; 2],
-        txs: vec![LocalTx {
+    let bad = Subgraph::from_parts(
+        vec![900_000, 900_001],
+        vec![AccountKind::Eoa; 2],
+        vec![LocalTx {
             src: 1,
             dst: 1,
             value: 5.0,
@@ -165,8 +169,8 @@ fn invalid_subgraphs_are_quarantined_without_touching_the_rest() {
             fee: 0.001,
             contract_call: false,
         }],
-        label: None,
-    };
+        None,
+    );
     let mut accounts = fx.accounts.clone();
     accounts.push(bad);
     let report = thread_invariant_report("", &accounts);
@@ -244,7 +248,7 @@ fn panics_in_parallel_stages_are_contained_per_account() {
 fn corrupted_calibrator_sections_serve_uncalibrated_but_degraded() {
     let fx = fixture();
     // `corrupt@model.calib` damages both calibrator sections at save time.
-    let bytes = with_plan("corrupt@model.calib", || fx.model.lock().unwrap().to_bytes());
+    let bytes = with_plan("corrupt@model.calib", || fx.session.model().to_bytes());
     // Strict load refuses the damage outright…
     assert!(TrainedModel::from_bytes(&bytes).is_err(), "strict load accepted damaged bytes");
     // …the degraded load serves around it.
@@ -259,7 +263,7 @@ fn corrupted_calibrator_sections_serve_uncalibrated_but_degraded() {
         "lost sections must carry CRC evidence: {:?}",
         degraded.lost_sections
     );
-    let report = with_plan("", || infer_detailed(&model, &fx.accounts));
+    let report = with_plan("", || Session::from_model(model).score(&fx.accounts));
     assert!(report.scores.iter().all(|r| r.is_ok()));
     assert_eq!(report.degraded, fx.accounts.len(), "uncalibrated scores must be flagged");
 }
@@ -269,7 +273,7 @@ fn corrupted_branch_sections_fall_back_to_the_surviving_branch() {
     let fx = fixture();
     for (section, surviving) in [("gsg", "ldg"), ("ldg", "gsg")] {
         let bytes =
-            with_plan(&format!("corrupt@model.{section}"), || fx.model.lock().unwrap().to_bytes());
+            with_plan(&format!("corrupt@model.{section}"), || fx.session.model().to_bytes());
         assert!(TrainedModel::from_bytes(&bytes).is_err());
         let (model, degraded) = with_plan("", || TrainedModel::from_bytes_degraded(&bytes))
             .unwrap_or_else(|e| panic!("losing {section} must be survivable: {e}"));
@@ -282,7 +286,7 @@ fn corrupted_branch_sections_fall_back_to_the_surviving_branch() {
             "gsg" => assert!(model.gsg.is_some() && model.ldg.is_none()),
             _ => assert!(model.ldg.is_some() && model.gsg.is_none()),
         }
-        let report = with_plan("", || infer_detailed(&model, &fx.accounts));
+        let report = with_plan("", || Session::from_model(model).score(&fx.accounts));
         assert!(report.scores.iter().all(|r| r.is_ok()), "surviving {surviving} branch failed");
         assert_eq!(report.degraded, fx.accounts.len());
     }
@@ -293,15 +297,14 @@ fn load_bearing_sections_stay_fatal_and_total_loss_is_typed() {
     let fx = fixture();
     for section in ["config", "classifier"] {
         let bytes =
-            with_plan(&format!("corrupt@model.{section}"), || fx.model.lock().unwrap().to_bytes());
+            with_plan(&format!("corrupt@model.{section}"), || fx.session.model().to_bytes());
         assert!(
             with_plan("", || TrainedModel::from_bytes_degraded(&bytes)).is_err(),
             "damaged {section} must not be survivable"
         );
     }
     // Both branches gone leaves nothing to serve from.
-    let bytes =
-        with_plan("corrupt@model.gsg, corrupt@model.ldg", || fx.model.lock().unwrap().to_bytes());
+    let bytes = with_plan("corrupt@model.gsg, corrupt@model.ldg", || fx.session.model().to_bytes());
     match with_plan("", || TrainedModel::from_bytes_degraded(&bytes)) {
         Err(e) => assert!(e.to_string().contains("branch"), "untyped total loss: {e}"),
         Ok(_) => panic!("model with no usable branch loaded"),
@@ -312,10 +315,10 @@ fn load_bearing_sections_stay_fatal_and_total_loss_is_typed() {
 fn fault_free_save_load_is_unaffected_by_the_framework() {
     // The degraded loader on pristine bytes is exactly the strict loader.
     let fx = fixture();
-    let bytes = with_plan("", || fx.model.lock().unwrap().to_bytes());
+    let bytes = with_plan("", || fx.session.model().to_bytes());
     let (model, degraded) = TrainedModel::from_bytes_degraded(&bytes).expect("pristine load");
     assert!(degraded.is_clean());
-    let report = with_plan("", || infer_detailed(&model, &fx.accounts));
+    let report = with_plan("", || Session::from_model(model).score(&fx.accounts));
     let bits: Vec<u64> =
         report.scores.iter().map(|r| r.as_ref().unwrap().score.to_bits()).collect();
     assert_eq!(bits, fx.clean);

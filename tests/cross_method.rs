@@ -9,7 +9,7 @@ use eth_sim::{AccountClass, Benchmark, DatasetScale};
 fn tiny() -> Benchmark {
     let scale =
         DatasetScale { exchange: 14, ico_wallet: 0, mining: 0, phish_hack: 0, bridge: 0, defi: 0 };
-    Benchmark::generate(scale, SamplerConfig { top_k: 15, hops: 2 }, 8)
+    Benchmark::generate(scale, SamplerConfig::new(15, 2), 8)
 }
 
 fn tiny_baseline_config() -> BaselineConfig {

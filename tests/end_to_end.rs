@@ -54,7 +54,7 @@ fn world_to_subgraph_to_tensors_round_trip() {
 
 #[test]
 fn pipeline_beats_chance_on_separable_data() {
-    let bench = Benchmark::generate(tiny_scale(), SamplerConfig { top_k: 15, hops: 2 }, 4);
+    let bench = Benchmark::generate(tiny_scale(), SamplerConfig::new(15, 2), 4);
     let out = run(bench.dataset(AccountClass::Exchange), 0.7, &tiny_config());
     // With 12+12 graphs the tiny config will not be perfect, but it must be
     // far above coin-flipping.
@@ -64,7 +64,7 @@ fn pipeline_beats_chance_on_separable_data() {
 
 #[test]
 fn calibration_diagnostics_are_consistent() {
-    let bench = Benchmark::generate(tiny_scale(), SamplerConfig { top_k: 15, hops: 2 }, 5);
+    let bench = Benchmark::generate(tiny_scale(), SamplerConfig::new(15, 2), 5);
     let out = run(bench.dataset(AccountClass::PhishHack), 0.7, &tiny_config());
     for diag in [out.gsg.as_ref().unwrap(), out.ldg.as_ref().unwrap()] {
         assert_eq!(diag.weights.len(), 6);
@@ -76,7 +76,7 @@ fn calibration_diagnostics_are_consistent() {
 
 #[test]
 fn branch_features_match_split_sizes() {
-    let bench = Benchmark::generate(tiny_scale(), SamplerConfig { top_k: 15, hops: 2 }, 6);
+    let bench = Benchmark::generate(tiny_scale(), SamplerConfig::new(15, 2), 6);
     let dataset = bench.dataset(AccountClass::Exchange);
     let (train_idx, test_idx) = dataset.split(0.7, tiny_config().seed);
     let out = run(dataset, 0.7, &tiny_config());
@@ -90,7 +90,7 @@ fn branch_features_match_split_sizes() {
 /// and the emitted run-report must round-trip through the JSON parser.
 #[test]
 fn observability_is_invisible_to_predictions_and_reports_round_trip() {
-    let bench = Benchmark::generate(tiny_scale(), SamplerConfig { top_k: 15, hops: 2 }, 4);
+    let bench = Benchmark::generate(tiny_scale(), SamplerConfig::new(15, 2), 4);
     let dataset = bench.dataset(AccountClass::Exchange);
     let mut cfg = tiny_config();
     cfg.parallelism = 1;

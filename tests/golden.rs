@@ -17,11 +17,7 @@
 //! The fixture itself (`fixture.txt`) is never regenerated automatically —
 //! it is the frozen input that makes traces comparable across PRs.
 
-// The golden trace deliberately stays on the deprecated free functions:
-// they must remain bit-identical to the Session API they now wrap.
-#![allow(deprecated)]
-
-use dbg4eth::{infer, train, Dbg4EthConfig, TrainedModel};
+use dbg4eth::{Dbg4EthConfig, InferOptions, Session, TrainedModel};
 use eth_graph::{AccountKind, LocalTx, Subgraph};
 use eth_sim::{AccountClass, GraphDataset};
 use std::fmt::Write as _;
@@ -71,12 +67,8 @@ fn parse_fixture(text: &str) -> Vec<Subgraph> {
             "graph" => {
                 assert!(current.is_none(), "unterminated graph before {}", ctx());
                 let label = it.next().and_then(|l| l.parse().ok()).expect("graph label");
-                current = Some(Subgraph {
-                    nodes: Vec::new(),
-                    kinds: Vec::new(),
-                    txs: Vec::new(),
-                    label: Some(label),
-                });
+                current =
+                    Some(Subgraph::from_parts(Vec::new(), Vec::new(), Vec::new(), Some(label)));
             }
             "node" => {
                 let g = current.as_mut().unwrap_or_else(|| panic!("node outside graph: {}", ctx()));
@@ -138,7 +130,7 @@ fn render_fixture(graphs: &[Subgraph]) -> String {
 
 fn render_expected(probs: &[f64]) -> String {
     let mut out = String::from(
-        "# Expected infer() bit patterns for fixture.txt. Regenerate with\n\
+        "# Expected serving bit patterns for fixture.txt. Regenerate with\n\
          # DBG4ETH_REGEN_GOLDEN=1 cargo test -p dbg4eth --test golden\n",
     );
     for p in probs {
@@ -166,7 +158,7 @@ fn generate_fixture() -> Vec<Subgraph> {
     use eth_sim::{Benchmark, DatasetScale};
     let scale =
         DatasetScale { exchange: 8, ico_wallet: 0, mining: 0, phish_hack: 0, bridge: 0, defi: 0 };
-    let bench = Benchmark::generate(scale, SamplerConfig { top_k: 10, hops: 2 }, 20);
+    let bench = Benchmark::generate(scale, SamplerConfig::new(10, 2), 20);
     bench.dataset(AccountClass::Exchange).graphs.clone()
 }
 
@@ -219,11 +211,16 @@ fn golden_trace_is_bit_stable() {
     // model container, serve the test split.
     let dataset = GraphDataset { class: AccountClass::Exchange, graphs };
     let cfg = golden_config();
-    let out = train(&dataset, 0.7, &cfg);
-    let model = TrainedModel::from_bytes(&out.model.to_bytes()).expect("container round trip");
+    let (trained, _) = Session::train(&dataset, 0.7, &cfg).expect("train");
+    let model =
+        TrainedModel::from_bytes(&trained.model().to_bytes()).expect("container round trip");
+    let session = Session::from_model(model);
     let (_, test_idx) = dataset.split(0.7, cfg.seed);
     let accounts: Vec<Subgraph> = test_idx.iter().map(|&i| dataset.graphs[i].clone()).collect();
-    let probs = infer(&model, &accounts);
+    let opts = InferOptions { strict: true, ..InferOptions::default() };
+    let report = session.score_with(&accounts, &opts).expect("strict golden scoring");
+    let probs: Vec<f64> =
+        report.scores.into_iter().map(|r| r.expect("strict result").score).collect();
     assert!(!probs.is_empty());
     let got: Vec<u64> = probs.iter().map(|p| p.to_bits()).collect();
 

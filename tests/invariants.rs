@@ -36,7 +36,7 @@ proptest! {
     #[test]
     fn sampling_invariants(txs in arbitrary_txs(12), center in 0usize..12, k in 1usize..6) {
         let graph = TxGraph::build(vec![AccountKind::Eoa; 12], txs);
-        let sg = sample_subgraph(&graph, center, SamplerConfig { top_k: k, hops: 2 }, Some(1));
+        let sg = sample_subgraph(&graph, center, SamplerConfig::new(k, 2), Some(1));
         prop_assert_eq!(sg.nodes[0], center);
         let mut seen = std::collections::HashSet::new();
         for &n in &sg.nodes {
@@ -54,7 +54,7 @@ proptest! {
     fn merging_and_slicing_preserve_value(txs in arbitrary_txs(8), t_slices in 1usize..12) {
         let graph = TxGraph::build(vec![AccountKind::Eoa; 8], txs.clone());
         let submitted: f64 = txs.iter().filter(|t| t.submitted).map(|t| t.value).sum();
-        let sg = sample_subgraph(&graph, 0, SamplerConfig { top_k: 100, hops: 8 }, None);
+        let sg = sample_subgraph(&graph, 0, SamplerConfig::new(100, 8), None);
         let merged: f64 = sg.merged_edges().iter().map(|e: &MergedEdge| e.total_value).sum();
         let sliced: f64 = sg
             .time_slices(t_slices)
@@ -71,7 +71,7 @@ proptest! {
     #[test]
     fn features_are_finite(txs in arbitrary_txs(8)) {
         let graph = TxGraph::build(vec![AccountKind::Eoa; 8], txs);
-        let sg = sample_subgraph(&graph, 0, SamplerConfig { top_k: 50, hops: 3 }, None);
+        let sg = sample_subgraph(&graph, 0, SamplerConfig::new(50, 3), None);
         let raw = features::raw_features(&sg);
         prop_assert!(raw.all_finite());
         prop_assert!(raw.data().iter().all(|&v| v >= 0.0));
@@ -130,12 +130,7 @@ proptest! {
                 contract_call: false,
             })
             .collect();
-        let sg = Subgraph {
-            nodes: vec![0, 1],
-            kinds: vec![AccountKind::Eoa; 2],
-            txs,
-            label: None,
-        };
+        let sg = Subgraph::from_parts(vec![0, 1], vec![AccountKind::Eoa; 2], txs, None);
         let total: f64 = sg
             .time_slices(t_slices)
             .iter()

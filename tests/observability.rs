@@ -41,7 +41,7 @@ fn tiny_config() -> Dbg4EthConfig {
 }
 
 fn tiny_bench(seed: u64) -> Benchmark {
-    Benchmark::generate(tiny_scale(), SamplerConfig { top_k: 12, hops: 2 }, seed)
+    Benchmark::generate(tiny_scale(), SamplerConfig::new(12, 2), seed)
 }
 
 fn test_split_graphs(dataset: &GraphDataset, train_frac: f64, seed: u64) -> Vec<Subgraph> {

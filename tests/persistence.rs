@@ -5,13 +5,7 @@
 //! in-memory model, for every account category and at any worker-thread
 //! count — and a damaged model file is always a typed error, never a panic.
 
-// Deliberately keeps exercising the deprecated free functions: they must
-// stay bit-identical to the Session API they now wrap.
-#![allow(deprecated)]
-
-use dbg4eth::{
-    infer, run, train, Dbg4EthConfig, InferOptions, ModelIoError, Session, TrainedModel,
-};
+use dbg4eth::{run, Dbg4EthConfig, InferOptions, ModelIoError, Session, TrainedModel};
 use eth_graph::{SamplerConfig, Subgraph};
 use eth_sim::{AccountClass, Benchmark, DatasetScale, GraphDataset};
 use std::path::PathBuf;
@@ -38,7 +32,7 @@ fn all_category_bench(seed: u64) -> Benchmark {
         bridge: 10,
         defi: 10,
     };
-    Benchmark::generate(scale, SamplerConfig { top_k: 12, hops: 2 }, seed)
+    Benchmark::generate(scale, SamplerConfig::new(12, 2), seed)
 }
 
 fn test_split_graphs(dataset: &GraphDataset, train_frac: f64, seed: u64) -> Vec<Subgraph> {
@@ -48,6 +42,22 @@ fn test_split_graphs(dataset: &GraphDataset, train_frac: f64, seed: u64) -> Vec<
 
 fn bits(v: &[f64]) -> Vec<u64> {
     v.iter().map(|p| p.to_bits()).collect()
+}
+
+/// Strict serving through the Session API: every account must score, and
+/// the scores come back in input order.
+fn strict_scores(session: &Session, accounts: &[Subgraph]) -> Vec<f64> {
+    strict_scores_with(session, accounts, None)
+}
+
+fn strict_scores_with(
+    session: &Session,
+    accounts: &[Subgraph],
+    threads: Option<usize>,
+) -> Vec<f64> {
+    let opts = InferOptions { strict: true, threads, ..InferOptions::default() };
+    let report = session.score_with(accounts, &opts).expect("strict scoring");
+    report.scores.into_iter().map(|r| r.expect("strict result").score).collect()
 }
 
 fn scratch_path(name: &str) -> PathBuf {
@@ -66,24 +76,24 @@ fn saved_models_serve_byte_identical_predictions_for_all_categories() {
     for class in AccountClass::LABELLED {
         let dataset = bench.dataset(class);
         let cfg = tiny_config();
-        let out = train(dataset, 0.7, &cfg);
+        let (session, run_out) = Session::train(dataset, 0.7, &cfg).expect("train");
         let accounts = test_split_graphs(dataset, 0.7, cfg.seed);
 
         // The serving path retraces the pipeline's test path exactly.
-        let in_memory = infer(&out.model, &accounts);
+        let in_memory = strict_scores(&session, &accounts);
         assert_eq!(
             bits(&in_memory),
-            bits(&out.run.test_scores),
-            "{} infer() diverged from the training run",
+            bits(&run_out.test_scores),
+            "{} serving diverged from the training run",
             class.name()
         );
 
         // Disk round trip, then serve again — same bits.
         let path = scratch_path(&format!("{}.dbgm", class.name().replace('/', "-")));
-        out.model.save(&path).expect("save");
-        let mut loaded = TrainedModel::load(&path).expect("load");
+        session.save(&path).expect("save");
+        let loaded = Session::open(&path).expect("load");
         assert_eq!(
-            bits(&infer(&loaded, &accounts)),
+            bits(&strict_scores(&loaded, &accounts)),
             bits(&in_memory),
             "{} reloaded model diverged",
             class.name()
@@ -91,9 +101,8 @@ fn saved_models_serve_byte_identical_predictions_for_all_categories() {
 
         // Thread count is a performance knob, never a numerics knob.
         for threads in [2, 8] {
-            loaded.config.parallelism = threads;
             assert_eq!(
-                bits(&infer(&loaded, &accounts)),
+                bits(&strict_scores_with(&loaded, &accounts, Some(threads))),
                 bits(&in_memory),
                 "{} diverged at {threads} threads",
                 class.name()
@@ -103,32 +112,35 @@ fn saved_models_serve_byte_identical_predictions_for_all_categories() {
     }
 }
 
-/// `train` is `run` plus model capture: its reported run must match a plain
-/// `run` bit for bit, and the container must round-trip through memory too.
+/// `Session::train` is `run` plus model capture: its reported run must
+/// match a plain `run` bit for bit, and the container must round-trip
+/// through memory too.
 #[test]
 fn train_matches_run_and_containers_round_trip_in_memory() {
     let bench = all_category_bench(12);
     let dataset = bench.dataset(AccountClass::Exchange);
     let cfg = tiny_config();
     let plain = run(dataset, 0.7, &cfg);
-    let out = train(dataset, 0.7, &cfg);
-    assert_eq!(bits(&plain.test_scores), bits(&out.run.test_scores));
-    assert_eq!(plain.metrics.f1, out.run.metrics.f1);
+    let (session, run_out) = Session::train(dataset, 0.7, &cfg).expect("train");
+    assert_eq!(bits(&plain.test_scores), bits(&run_out.test_scores));
+    assert_eq!(plain.metrics.f1, run_out.metrics.f1);
 
-    let bytes = out.model.to_bytes();
-    let loaded = TrainedModel::from_bytes(&bytes).expect("in-memory round trip");
+    let bytes = session.model().to_bytes();
+    let loaded =
+        Session::from_model(TrainedModel::from_bytes(&bytes).expect("in-memory round trip"));
     let accounts = test_split_graphs(dataset, 0.7, cfg.seed);
-    assert_eq!(bits(&infer(&loaded, &accounts)), bits(&out.run.test_scores));
+    assert_eq!(bits(&strict_scores(&loaded, &accounts)), bits(&run_out.test_scores));
     // Serialisation is deterministic: same model, same bytes.
-    assert_eq!(bytes, loaded.to_bytes());
+    assert_eq!(bytes, loaded.model().to_bytes());
 }
 
 /// An empty account batch is a no-op, not an error.
 #[test]
-fn infer_on_empty_batch_returns_empty() {
+fn scoring_an_empty_batch_returns_empty() {
     let bench = all_category_bench(13);
-    let out = train(bench.dataset(AccountClass::Mining), 0.7, &tiny_config());
-    assert!(infer(&out.model, &[]).is_empty());
+    let (session, _) =
+        Session::train(bench.dataset(AccountClass::Mining), 0.7, &tiny_config()).expect("train");
+    assert!(session.score(&[]).scores.is_empty());
 }
 
 /// Rewrite a v3 container as its faithful v2 equivalent: strip the
@@ -176,9 +188,9 @@ fn v2_containers_load_and_pinned_scaling_degrades_to_refit() {
     let bench = all_category_bench(15);
     let dataset = bench.dataset(AccountClass::Exchange);
     let cfg = tiny_config();
-    let out = train(dataset, 0.7, &cfg);
+    let (trained, run_out) = Session::train(dataset, 0.7, &cfg).expect("train");
     let accounts = test_split_graphs(dataset, 0.7, cfg.seed);
-    let v2 = downgrade_to_v2(&out.model.to_bytes());
+    let v2 = downgrade_to_v2(&trained.model().to_bytes());
 
     let path = scratch_path("v2-model.dbgm");
     std::fs::write(&path, &v2).expect("write v2 container");
@@ -187,7 +199,7 @@ fn v2_containers_load_and_pinned_scaling_degrades_to_refit() {
     let report = session.score(&accounts);
     let got: Vec<u64> =
         report.scores.iter().map(|r| r.as_ref().expect("scored").score.to_bits()).collect();
-    assert_eq!(got, bits(&out.run.test_scores), "v2 refit scoring diverged from the training run");
+    assert_eq!(got, bits(&run_out.test_scores), "v2 refit scoring diverged from the training run");
 
     let opts = InferOptions { pinned_scaling: true, ..InferOptions::default() };
     let report = session.score_with(&accounts, &opts).expect("degraded, not fatal");
@@ -209,7 +221,11 @@ fn corrupted_model_files_fail_with_typed_errors() {
     let mut cfg = tiny_config();
     cfg.epochs = 2;
     cfg.use_ldg = false; // smallest trainable model
-    let bytes = train(bench.dataset(AccountClass::Defi), 0.7, &cfg).model.to_bytes();
+    let bytes = Session::train(bench.dataset(AccountClass::Defi), 0.7, &cfg)
+        .expect("train")
+        .0
+        .into_model()
+        .to_bytes();
     assert!(TrainedModel::from_bytes(&bytes).is_ok(), "pristine bytes load");
 
     // Wrong magic.

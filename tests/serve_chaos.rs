@@ -70,7 +70,7 @@ fn fixture() -> &'static Fixture {
             bridge: 0,
             defi: 0,
         };
-        let bench = Benchmark::generate(scale, SamplerConfig { top_k: 12, hops: 2 }, 29);
+        let bench = Benchmark::generate(scale, SamplerConfig::new(12, 2), 29);
         let dataset = bench.dataset(AccountClass::Exchange);
         let mut cfg = Dbg4EthConfig::fast();
         cfg.epochs = 4;
@@ -459,5 +459,101 @@ fn shutdown_drains_and_is_idempotent() {
         let stats = srv.stats();
         assert_eq!(stats.requests, 1);
         assert_eq!(stats.completed, 1);
+    });
+}
+
+/// Tentpole invariant of streaming ingest: after an `Ingest` frame names
+/// an account, no cache entry whose sampled subgraph contains it is ever
+/// served again — the next request for that fingerprint recomputes
+/// (`cached: false`) and still returns the clean bits. Fingerprints whose
+/// members the batch did not touch keep their cache hits.
+#[test]
+fn ingest_evicts_touched_fingerprints_and_spares_the_rest() {
+    with_plan("", || {
+        let fx = fixture();
+        let srv = server(2, 16, Duration::from_millis(2000), 64);
+        let mut client = ScoreClient::connect(srv.addr()).expect("connect");
+        let a = fx.accounts[0].clone();
+        let b = fx.accounts[1].clone();
+
+        // Warm the cache with both accounts, then prove both are hits.
+        for (i, acct) in [&a, &b].into_iter().enumerate() {
+            let reply = client.score(vec![acct.clone()], 0).expect("request");
+            assert_eq!(reply_bits(&reply)[0], Ok((fx.clean[i], false)));
+            let reply = client.score(vec![acct.clone()], 0).expect("request");
+            assert_eq!(reply_bits(&reply)[0], Ok((fx.clean[i], true)));
+        }
+
+        // Ingest a batch touching a member of `a`'s subgraph only.
+        let touched: Vec<usize> =
+            a.nodes.iter().copied().filter(|n| !b.nodes.contains(n)).take(1).collect();
+        assert!(!touched.is_empty(), "test accounts must not share every node");
+        match client.ingest(touched, 3).expect("ingest") {
+            Reply::IngestAck { evicted, .. } => assert_eq!(evicted, 1, "exactly `a` evicted"),
+            other => panic!("expected IngestAck, got {other:?}"),
+        }
+
+        // `a` is stale: recomputed, never served from cache — same bits.
+        let reply = client.score(vec![a.clone()], 0).expect("request");
+        assert_eq!(reply_bits(&reply)[0], Ok((fx.clean[0], false)), "stale entry must not serve");
+        // `b` was untouched: still a hit.
+        let reply = client.score(vec![b], 0).expect("request");
+        assert_eq!(reply_bits(&reply)[0], Ok((fx.clean[1], true)));
+
+        // An ingest naming no cached member evicts nothing.
+        match client.ingest(vec![usize::MAX - 1], 1).expect("ingest") {
+            Reply::IngestAck { evicted, .. } => assert_eq!(evicted, 0),
+            other => panic!("expected IngestAck, got {other:?}"),
+        }
+        let Reply::Stats(stats) = client.stats().expect("stats") else { panic!("stats reply") };
+        assert_eq!(stats.ingests, 2);
+        assert_eq!(stats.evicted, 1);
+    });
+}
+
+/// `corrupt@ingest.batch` truncates ingest frames on the wire: the reply
+/// is a typed protocol error, **nothing** is evicted (a half-applied
+/// invalidation would be worse than none), and the connection survives.
+/// With the plan cleared the same ingest goes through.
+#[test]
+fn corrupted_ingest_batches_are_rejected_without_evicting() {
+    let addr_accounts = with_plan("corrupt@ingest.batch", || {
+        let fx = fixture();
+        let srv = server(1, 8, Duration::from_millis(2000), 64);
+        let mut client = ScoreClient::connect(srv.addr()).expect("connect");
+
+        // Warm the cache; score frames are untouched by the ingest site.
+        let a = fx.accounts[0].clone();
+        let reply = client.score(vec![a.clone()], 0).expect("request");
+        assert_eq!(reply_bits(&reply)[0], Ok((fx.clean[0], false)));
+
+        // Every ingest frame is corrupted: typed error, no eviction.
+        for _ in 0..2 {
+            match client.ingest(a.nodes.clone(), 1).expect("ingest") {
+                Reply::ProtocolError(msg) => assert!(!msg.is_empty()),
+                other => panic!("corrupted ingest must be rejected, got {other:?}"),
+            }
+        }
+
+        // The same connection still serves, and the entry is still a hit
+        // — the corrupted batches evicted nothing.
+        let reply = client.score(vec![a.clone()], 0).expect("request");
+        assert_eq!(reply_bits(&reply)[0], Ok((fx.clean[0], true)));
+        let Reply::Stats(stats) = client.stats().expect("stats") else { panic!("stats reply") };
+        assert_eq!(stats.ingests, 0, "a corrupted batch must not count as ingested");
+        assert_eq!(stats.evicted, 0);
+        (srv, a)
+    });
+
+    // Plan cleared: the identical ingest now evicts the entry.
+    with_plan("", || {
+        let (srv, a) = addr_accounts;
+        let mut client = ScoreClient::connect(srv.addr()).expect("connect");
+        match client.ingest(a.nodes.clone(), 1).expect("ingest") {
+            Reply::IngestAck { evicted, .. } => assert_eq!(evicted, 1),
+            other => panic!("expected IngestAck, got {other:?}"),
+        }
+        let reply = client.score(vec![a], 0).expect("request");
+        assert_eq!(reply_bits(&reply)[0], Ok((fixture().clean[0], false)));
     });
 }

@@ -1,0 +1,190 @@
+//! Streaming-ingest equivalence suite.
+//!
+//! The contract under test (the `GraphStore` module docs' "equivalence
+//! contract"): after **any** sequence of `apply` batches, the store is
+//! bit-identical to a from-scratch [`TxGraph::build`] over the same
+//! records — the same graph, the same sampled subgraphs, and therefore
+//! byte-identical served scores at one worker thread and at eight. The
+//! reported [`IngestDelta`]s are split-invariant: applying a batch as N
+//! smaller batches yields deltas whose union equals the single-batch
+//! delta.
+
+use dbg4eth::{Dbg4EthConfig, InferOptions, Session};
+use eth_graph::{
+    sample_subgraph, AccountKind, GraphStore, IngestDelta, SamplerConfig, StoreConfig, Subgraph,
+    TxGraph, TxRecord,
+};
+use eth_sim::{AccountClass, GraphDataset, StreamScenario};
+use proptest::prelude::*;
+
+const N: usize = 10;
+
+fn arbitrary_txs() -> impl Strategy<Value = Vec<TxRecord>> {
+    prop::collection::vec((0..N, 0..N, 0.001f64..100.0, 0u64..1_000_000, any::<bool>()), 1..60)
+        .prop_map(|raw| {
+            raw.into_iter()
+                .map(|(from, to, value, timestamp, submitted)| TxRecord {
+                    from,
+                    to,
+                    value,
+                    timestamp,
+                    gas_price: 2e-8,
+                    gas_used: 21_000.0,
+                    contract_call: false,
+                    submitted,
+                })
+                .collect()
+        })
+}
+
+/// Two graphs agree on every public accessor (TxGraph holds no other
+/// state: pair stats and neighbour lists are derived from these).
+fn assert_graph_eq(a: &TxGraph, b: &TxGraph) {
+    assert_eq!(a.n_accounts(), b.n_accounts());
+    assert_eq!(a.transactions(), b.transactions());
+    for acct in 0..a.n_accounts() {
+        assert_eq!(a.kind(acct), b.kind(acct));
+        assert_eq!(a.sent_by(acct), b.sent_by(acct), "out-tx lists of {acct}");
+        assert_eq!(a.received_by(acct), b.received_by(acct), "in-tx lists of {acct}");
+        assert_eq!(a.neighbours(acct), b.neighbours(acct), "neighbours of {acct}");
+        for &n in a.neighbours(acct) {
+            assert_eq!(a.pair(acct, n), b.pair(acct, n), "pair ({acct}, {n})");
+            assert_eq!(a.pair(n, acct), b.pair(n, acct), "pair ({n}, {acct})");
+        }
+    }
+}
+
+/// Field-wise subgraph identity (`Subgraph` is `#[non_exhaustive]` and
+/// deliberately not `PartialEq`).
+fn assert_subgraph_eq(a: &Subgraph, b: &Subgraph, centre: usize) {
+    assert_eq!(a.nodes, b.nodes, "nodes of centre {centre}");
+    assert_eq!(a.kinds, b.kinds, "kinds of centre {centre}");
+    assert_eq!(a.txs, b.txs, "local txs of centre {centre}");
+    assert_eq!(a.label, b.label, "label of centre {centre}");
+}
+
+/// Cut `txs` into consecutive batches at the (clamped, sorted) cut points.
+fn batches(txs: &[TxRecord], cuts: &[usize]) -> Vec<Vec<TxRecord>> {
+    let mut points: Vec<usize> = cuts.iter().map(|&c| c % (txs.len() + 1)).collect();
+    points.sort_unstable();
+    points.dedup();
+    let mut out = Vec::new();
+    let mut lo = 0;
+    for p in points {
+        out.push(txs[lo..p].to_vec());
+        lo = p;
+    }
+    out.push(txs[lo..].to_vec());
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Core tentpole property: any split of the same records into apply
+    /// batches produces a store bit-identical to `TxGraph::build`, with
+    /// identical sampled subgraphs for every centre, and the per-batch
+    /// deltas union to the single-batch delta.
+    #[test]
+    fn any_batch_split_matches_rebuild_and_deltas_union(
+        txs in arbitrary_txs(),
+        cuts in prop::collection::vec(0usize..64, 0..4),
+        top_k in 1usize..6,
+    ) {
+        let built = TxGraph::build(vec![AccountKind::Eoa; N], txs.clone());
+        let config = StoreConfig::new(2, 250_000, 0);
+
+        let mut single = GraphStore::new(vec![AccountKind::Eoa; N], config);
+        let single_delta = single.apply(&txs);
+
+        let mut split = GraphStore::new(vec![AccountKind::Eoa; N], config);
+        let mut union = IngestDelta::default();
+        for batch in batches(&txs, &cuts) {
+            union.merge(&split.apply(&batch));
+        }
+
+        prop_assert_eq!(&union.accounts, &single_delta.accounts, "delta union is split-variant");
+        prop_assert_eq!(union.applied, single_delta.applied);
+        prop_assert_eq!(union.skipped, single_delta.skipped);
+
+        assert_graph_eq(single.graph(), &built);
+        assert_graph_eq(split.graph(), &built);
+        let sampler = SamplerConfig::new(top_k, 2);
+        for centre in 0..N {
+            let from_store = split.sample(centre, sampler, Some(1));
+            let from_build = sample_subgraph(&built, centre, sampler, Some(1));
+            assert_subgraph_eq(&from_store, &from_build, centre);
+        }
+    }
+}
+
+fn tiny_config() -> Dbg4EthConfig {
+    let mut cfg = Dbg4EthConfig::fast();
+    cfg.epochs = 4;
+    cfg.gsg.hidden = 16;
+    cfg.gsg.d_out = 8;
+    cfg.ldg.hidden = 16;
+    cfg.ldg.d_out = 8;
+    cfg.ldg.pool_clusters = [6, 3, 1];
+    cfg.t_slices = 4;
+    cfg.parallelism = 1;
+    cfg
+}
+
+fn strict_bits(session: &Session, accounts: &[Subgraph], threads: usize) -> Vec<u64> {
+    let opts = InferOptions { strict: true, threads: Some(threads), ..InferOptions::default() };
+    let report = session.score_with(accounts, &opts).expect("strict scoring");
+    report.scores.into_iter().map(|r| r.expect("scored").score.to_bits()).collect()
+}
+
+/// End-to-end acceptance criterion: a realistic drifting stream applied
+/// window by window serves the **same score bits** as a from-scratch
+/// rebuild over the full log — at one worker thread and at eight.
+#[test]
+fn streamed_scores_are_bit_identical_to_rebuild_at_1_and_8_threads() {
+    let scenario = StreamScenario::generate(AccountClass::Exchange, 6, 0.5, 21);
+    let windows = scenario.windows(5);
+    let sampler = SamplerConfig::new(12, 2);
+    let config = StoreConfig::new(2, 30 * 86_400, scenario.t_start);
+    let mut store = GraphStore::new(scenario.kinds.clone(), config);
+
+    // Train a session on subgraphs from the stream's time prefix.
+    for w in &windows[..2] {
+        store.apply(scenario.window_txs(w));
+    }
+    let sample_all = |store: &GraphStore| -> Vec<Subgraph> {
+        scenario
+            .centers
+            .iter()
+            .map(|&(id, pos)| store.sample(id, sampler, Some(usize::from(pos))))
+            .collect()
+    };
+    let dataset = GraphDataset { class: AccountClass::Exchange, graphs: sample_all(&store) };
+    let (session, _) = Session::train(&dataset, 0.7, &tiny_config()).expect("train");
+
+    // Stream in the rest, then compare against a full rebuild.
+    for w in &windows[2..] {
+        store.apply(scenario.window_txs(w));
+    }
+    let built = TxGraph::build(scenario.kinds.clone(), scenario.txs.clone());
+    assert_graph_eq(store.graph(), &built);
+
+    let from_store = sample_all(&store);
+    let from_build: Vec<Subgraph> = scenario
+        .centers
+        .iter()
+        .map(|&(id, pos)| sample_subgraph(&built, id, sampler, Some(usize::from(pos))))
+        .collect();
+    for (i, (a, b)) in from_store.iter().zip(from_build.iter()).enumerate() {
+        assert_subgraph_eq(a, b, scenario.centers[i].0);
+    }
+
+    let baseline = strict_bits(&session, &from_build, 1);
+    for threads in [1, 8] {
+        assert_eq!(
+            strict_bits(&session, &from_store, threads),
+            baseline,
+            "streamed scores diverged from rebuild at {threads} threads"
+        );
+    }
+}

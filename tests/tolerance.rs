@@ -23,10 +23,8 @@
 //! Strict sweep and requires it to reproduce the fixture exactly, so the
 //! baseline can never drift silently out from under the tolerance bounds.
 
-#![allow(deprecated)] // train/infer free functions wrap the Session API
-
 use calib::ece;
-use dbg4eth::{infer, train, Dbg4EthConfig};
+use dbg4eth::{Dbg4EthConfig, InferOptions, Session};
 use eth_graph::{SamplerConfig, Subgraph};
 use eth_sim::{AccountClass, Benchmark, DatasetScale, POSITIVE};
 use nn::metrics::Metrics;
@@ -83,19 +81,26 @@ fn deciles(scores: &[f64]) -> Vec<f64> {
     (1..=N_QUANTILES).map(|i| s[((i * s.len()) / 10).min(s.len() - 1)]).collect()
 }
 
+/// Strict serving through the Session API: every account must score.
+fn strict_scores(session: &Session, accounts: &[Subgraph]) -> Vec<f64> {
+    let opts = InferOptions { strict: true, ..InferOptions::default() };
+    let report = session.score_with(accounts, &opts).expect("strict scoring");
+    report.scores.into_iter().map(|r| r.expect("strict result").score).collect()
+}
+
 /// Train + serve one seed under the given profile and summarise the test
 /// split: binary F1 at threshold 0.5, ECE, and score deciles.
 fn run_seed(seed: u64, numerics: NumericsProfile) -> SeedMetrics {
     let scale =
         DatasetScale { exchange: 8, ico_wallet: 0, mining: 0, phish_hack: 0, bridge: 0, defi: 0 };
-    let bench = Benchmark::generate(scale, SamplerConfig { top_k: 10, hops: 2 }, seed);
+    let bench = Benchmark::generate(scale, SamplerConfig::new(10, 2), seed);
     let dataset = bench.dataset(AccountClass::Exchange);
     let cfg = tolerance_config(seed, numerics);
-    let out = train(dataset, 0.7, &cfg);
+    let (session, _) = Session::train(dataset, 0.7, &cfg).expect("train");
     let (_, test_idx) = dataset.split(0.7, cfg.seed);
     let accounts: Vec<Subgraph> = test_idx.iter().map(|&i| dataset.graphs[i].clone()).collect();
     let labels: Vec<bool> = accounts.iter().map(|g| g.label == Some(POSITIVE)).collect();
-    let probs = infer(&out.model, &accounts);
+    let probs = strict_scores(&session, &accounts);
     assert!(!probs.is_empty(), "seed {seed}: empty test split");
     let m = Metrics::from_scores(&probs, &labels, 0.5);
     SeedMetrics { seed, f1: m.f1, ece: ece(&probs, &labels, ECE_BINS), quantiles: deciles(&probs) }
@@ -261,16 +266,18 @@ fn fast_profile_is_thread_count_invariant() {
     let seed = SEEDS[0];
     let scale =
         DatasetScale { exchange: 8, ico_wallet: 0, mining: 0, phish_hack: 0, bridge: 0, defi: 0 };
-    let bench = Benchmark::generate(scale, SamplerConfig { top_k: 10, hops: 2 }, seed);
+    let bench = Benchmark::generate(scale, SamplerConfig::new(10, 2), seed);
     let dataset = bench.dataset(AccountClass::Exchange);
     let mut probs = Vec::new();
     for threads in [1usize, 8] {
         let mut cfg = tolerance_config(seed, NumericsProfile::Fast);
         cfg.parallelism = threads;
-        let out = train(dataset, 0.7, &cfg);
+        let (session, _) = Session::train(dataset, 0.7, &cfg).expect("train");
         let (_, test_idx) = dataset.split(0.7, cfg.seed);
         let accounts: Vec<Subgraph> = test_idx.iter().map(|&i| dataset.graphs[i].clone()).collect();
-        probs.push(infer(&out.model, &accounts).iter().map(|p| p.to_bits()).collect::<Vec<u64>>());
+        probs.push(
+            strict_scores(&session, &accounts).iter().map(|p| p.to_bits()).collect::<Vec<u64>>(),
+        );
     }
     assert_eq!(
         probs[0], probs[1],
